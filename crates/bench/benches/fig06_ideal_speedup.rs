@@ -1,0 +1,43 @@
+//! Fig. 6 — Theoretical maximum speedup of a single DNN workload under
+//! perfect intra-workload operator-level parallelism: total sequential
+//! operator time divided by the dependency DAG's critical path. The paper
+//! finds this marginal (6.7% on average) — the motivation for
+//! cross-workload parallelism instead.
+
+use v10_bench::{geomean, print_table, seed};
+use v10_workloads::Model;
+
+fn main() {
+    let batches = [1u32, 8, 32, 64, 128, 256];
+    let mut header = vec!["Model".to_string()];
+    header.extend(batches.iter().map(|b| format!("b={b}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for m in Model::ALL {
+        let mut row = vec![m.abbrev().to_string()];
+        for &b in &batches {
+            match m.profile(b) {
+                Ok(p) => {
+                    let dag = p.synthesize_dag(seed());
+                    let s = dag.ideal_speedup().expect("synthesized DAGs are acyclic");
+                    speedups.push(s);
+                    row.push(format!("{s:.3}"));
+                }
+                Err(_) => row.push("OOM".to_string()),
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 6 — Ideal operator-level-parallelism speedup (DAG critical path)",
+        &header_refs,
+        &rows,
+    );
+    println!(
+        "Average ideal speedup: {:.1}% (paper: 6.7% on average — compiler \
+         parallelization of a single workload is marginal).",
+        (geomean(&speedups) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 8 — Roofline plot data for the DNN inference workloads: operation
+//! intensity (FLOPs/byte) vs achieved TFLOPs/s, against the ~24 TFLOPs/s
+//! compute roof and the 330 GB/s memory roof.
+
+use v10_bench::print_table;
+use v10_workloads::profile::{SA_PEAK_FLOPS_PER_CYCLE, VU_PEAK_FLOPS_PER_CYCLE};
+use v10_workloads::Model;
+
+fn main() {
+    let peak_tflops = (SA_PEAK_FLOPS_PER_CYCLE + VU_PEAK_FLOPS_PER_CYCLE) * 700e6 / 1e12;
+    println!("Compute roof: {peak_tflops:.1} TFLOPs/s; memory roof: 330 GB/s (0.33 TB/s).");
+
+    let mut rows = Vec::new();
+    for m in Model::ALL {
+        for b in m.batch_sweep() {
+            let p = m.profile(b).expect("batch within sweep");
+            rows.push(vec![
+                m.abbrev().to_string(),
+                b.to_string(),
+                format!("{:.2}", p.operation_intensity()),
+                format!("{:.3}", p.achieved_tflops()),
+                format!("{:.3}", p.operation_intensity() * 0.33),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 8 — Roofline points (intensity, achieved TFLOPs/s, memory-roof bound)",
+        &["Model", "Batch", "FLOPs/Byte", "TFLOPs/s", "Mem roof (TFLOPs/s)"],
+        &rows,
+    );
+    println!(
+        "All points sit under both roofs; intensity grows with batch size \
+         but achieved FLOPS stays well below peak (O2)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 15 — Clustering of the 11 models across batch sizes: each point is
+//! one (model, batch) workload, plotted by SA utilization x HBM bandwidth
+//! utilization with its K-Means cluster label.
+
+use v10_bench::{print_table, seed};
+use v10_collocate::{build_default_dataset, ClusteringPipeline, PairPerfCache};
+
+fn main() {
+    let points = build_default_dataset(seed());
+    let mut cache = PairPerfCache::new(v10_bench::requests().min(6), seed());
+    let pipeline = ClusteringPipeline::fit(&points, 4, 5, &mut cache, seed());
+
+    let mut rows = Vec::new();
+    for p in &points {
+        rows.push(vec![
+            format!("{}@{}", p.model.abbrev(), p.batch),
+            format!("{:.2}", p.profile.sa_util()),
+            format!("{:.2}", p.profile.hbm_util()),
+            format!("cluster {}", pipeline.cluster_of_features(&p.features)),
+        ]);
+    }
+    print_table(
+        "Fig. 15 — Workload clusters (SA util x HBM BW util, 5 clusters)",
+        &["Workload", "SA util", "HBM util", "Cluster"],
+        &rows,
+    );
+
+    let table = pipeline.cluster_perf_table();
+    let mut perf_rows = Vec::new();
+    for (i, row) in table.iter().enumerate() {
+        perf_rows.push(
+            std::iter::once(format!("C{i}"))
+                .chain(row.iter().map(|v| format!("{v:.2}")))
+                .collect(),
+        );
+    }
+    let mut header = vec!["".to_string()];
+    header.extend((0..table.len()).map(|i| format!("C{i}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        "Inter-cluster collocation performance (profiled STP, Fig. 14)",
+        &header_refs,
+        &perf_rows,
+    );
+}

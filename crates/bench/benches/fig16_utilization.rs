@@ -1,0 +1,54 @@
+//! Fig. 16 — SA, VU, and HBM bandwidth utilization of the 11 collocated
+//! pairs under PMT, V10-Base, V10-Fair, and V10-Full.
+
+use v10_bench::{eval_pairs, fmt_pct, fmt_x, geomean, print_table, run_all_designs};
+use v10_core::Design;
+use v10_npu::NpuConfig;
+
+fn main() {
+    let cfg = NpuConfig::table5();
+    let mut sa_rows = Vec::new();
+    let mut vu_rows = Vec::new();
+    let mut hbm_rows = Vec::new();
+    let mut agg_gain = Vec::new();
+    let mut sa_gain = Vec::new();
+    let mut vu_gain = Vec::new();
+    let mut hbm_gain = Vec::new();
+
+    for case in eval_pairs() {
+        let results = run_all_designs(&case, &cfg);
+        let get = |d: Design| &results.iter().find(|(x, _)| *x == d).expect("all designs run").1;
+        let (pmt, full) = (get(Design::Pmt), get(Design::V10Full));
+        agg_gain.push(full.aggregate_compute_util() / pmt.aggregate_compute_util());
+        sa_gain.push(full.sa_util() / pmt.sa_util());
+        vu_gain.push(full.vu_util() / pmt.vu_util());
+        hbm_gain.push(full.hbm_util() / pmt.hbm_util());
+        sa_rows.push(
+            std::iter::once(case.label.clone())
+                .chain(results.iter().map(|(_, r)| fmt_pct(r.sa_util())))
+                .collect(),
+        );
+        vu_rows.push(
+            std::iter::once(case.label.clone())
+                .chain(results.iter().map(|(_, r)| fmt_pct(r.vu_util())))
+                .collect(),
+        );
+        hbm_rows.push(
+            std::iter::once(case.label.clone())
+                .chain(results.iter().map(|(_, r)| fmt_pct(r.hbm_util())))
+                .collect(),
+        );
+    }
+    let header = ["Pair", "PMT", "V10-Base", "V10-Fair", "V10-Full"];
+    print_table("Fig. 16a — SA utilization", &header, &sa_rows);
+    print_table("Fig. 16b — VU utilization", &header, &vu_rows);
+    print_table("Fig. 16c — HBM bandwidth utilization", &header, &hbm_rows);
+    println!(
+        "V10-Full vs PMT (geomean): aggregate compute {} (paper: 1.64x), \
+         SA {} (1.63x), VU {} (1.65x), HBM {} (1.47x).",
+        fmt_x(geomean(&agg_gain)),
+        fmt_x(geomean(&sa_gain)),
+        fmt_x(geomean(&vu_gain)),
+        fmt_x(geomean(&hbm_gain)),
+    );
+}

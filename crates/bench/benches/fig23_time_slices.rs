@@ -1,0 +1,47 @@
+//! Fig. 23 — V10-Full throughput across scheduler time slices (512 ...
+//! 1048576 cycles), normalized to PMT. Small slices buy scheduling
+//! granularity at higher preemption overhead; huge slices reintroduce
+//! head-of-line blocking. The paper finds 32768 cycles (~46 µs) optimal.
+
+use v10_bench::{eval_pairs, print_table, run_options, single_refs};
+use v10_core::{run_design, Design};
+use v10_npu::NpuConfig;
+
+const SLICES: [u64; 6] = [512, 1024, 4096, 32_768, 65_536, 1_048_576];
+
+fn main() {
+    let opts = run_options();
+    let base_cfg = NpuConfig::table5();
+    let mut rows = Vec::new();
+    let mut means = vec![0.0f64; SLICES.len()];
+    let cases = eval_pairs();
+    for case in &cases {
+        let singles = single_refs(case, &base_cfg);
+        let pmt = run_design(Design::Pmt, &case.specs, &base_cfg, &opts);
+        let pmt_stp = pmt.system_throughput(&singles);
+        let mut row = vec![case.label.clone()];
+        for (i, &slice) in SLICES.iter().enumerate() {
+            let cfg = NpuConfig::builder().time_slice_cycles(slice).build();
+            let full = run_design(Design::V10Full, &case.specs, &cfg, &opts);
+            let gain = full.system_throughput(&singles) / pmt_stp;
+            means[i] += gain / cases.len() as f64;
+            row.push(format!("{gain:.2}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 23 — V10-Full throughput vs PMT across scheduler time slices (cycles)",
+        &["Pair", "512", "1024", "4096", "32768", "65536", "1048576"],
+        &rows,
+    );
+    let best = SLICES
+        .iter()
+        .zip(&means)
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "Mean gains per slice: {:?}; best slice: {} cycles (paper: 32768 ~= 46 us).",
+        means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>(),
+        best.0
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 25 — Scalability: throughput (sum of normalized progress vs
+//! single-tenant execution) as the core grows from (1 SA, 1 VU) to
+//! (8, 8) and hosts 2-32 randomly picked workloads. HBM bandwidth scales
+//! with the FU count, as the paper assumes. Throughput grows until the
+//! workload count passes the FU count, then saturates.
+
+use v10_bench::{print_table, requests, run_options, seed};
+use v10_core::{run_design, run_single_tenant, Design, WorkloadSpec};
+use v10_npu::NpuConfig;
+use v10_sim::SimRng;
+use v10_workloads::Model;
+
+const FU_COUNTS: [u32; 4] = [1, 2, 4, 8];
+const WORKLOADS: [usize; 8] = [2, 4, 6, 8, 12, 16, 24, 32];
+
+fn main() {
+    let opts = run_options();
+    let mut rng = SimRng::seed_from(seed() ^ 0xF25);
+    let mut rows = Vec::new();
+    for &fu in &FU_COUNTS {
+        let cfg = NpuConfig::builder().fu_count(fu).build();
+        let mut row = vec![format!("({fu}, {fu})")];
+        for &n in &WORKLOADS {
+            // Random workload set, as in the paper.
+            let specs: Vec<WorkloadSpec> = (0..n)
+                .map(|i| {
+                    let m = *rng.choose(&Model::ALL).expect("non-empty");
+                    WorkloadSpec::new(
+                        format!("{}#{i}", m.abbrev()),
+                        m.default_profile().synthesize(seed().wrapping_add(i as u64)),
+                    )
+                })
+                .collect();
+            let singles: Vec<f64> = specs
+                .iter()
+                .map(|s| run_single_tenant(s, &cfg, requests()).workloads()[0].avg_latency_cycles())
+                .collect();
+            let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+            row.push(format!("{:.2}", full.system_throughput(&singles)));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["(#SA, #VU)".to_string()];
+    header.extend(WORKLOADS.iter().map(|n| format!("{n} wl")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        "Fig. 25 — Throughput (sum of normalized progress) scaling with FUs and workloads",
+        &header_refs,
+        &rows,
+    );
+    println!(
+        "Throughput improves roughly linearly until the workload count \
+         reaches the FU count, then levels off — more collocated workloads \
+         give the scheduler more chances to find operators for idle FUs."
+    );
+}

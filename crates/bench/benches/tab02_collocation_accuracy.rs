@@ -1,0 +1,44 @@
+//! Table 2 — Prediction accuracy of the Random / Heuristic / Clustering
+//! collocation schemes under leave-2-out cross-validation: does a pair
+//! clear the benefit threshold (the paper's >= 1.3x, recalibrated to this
+//! simulator's STP distribution — see `BENEFIT_THRESHOLD`)?
+
+use v10_bench::{fmt_pct, print_table, seed};
+use v10_collocate::{cross_validate_table2, PairPerfCache, BENEFIT_THRESHOLD};
+use v10_workloads::Model;
+
+fn main() {
+    let requests = v10_bench::requests().min(8);
+    let mut cache = PairPerfCache::new(requests, seed());
+    let rows = cross_validate_table2(&Model::ALL, &mut cache, seed());
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                fmt_pct(r.accuracy),
+                fmt_pct(r.true_positive_rate),
+                fmt_pct(r.true_negative_rate),
+                fmt_pct(r.false_positive_rate),
+                fmt_pct(r.false_negative_rate),
+                format!("{:.3}x", r.worst_perf),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Table 2 — Collocation prediction accuracy (threshold = median STP {:.2}x, \
+             default {BENEFIT_THRESHOLD}x; leave-2-out over 11 models, {} ground-truth pair simulations)",
+            rows[0].threshold,
+            cache.len()
+        ),
+        &["Scheme", "Accuracy", "TP", "TN", "FP", "FN", "Worst perf"],
+        &table,
+    );
+    println!(
+        "Paper: Random 44.83% / Heuristic 64.91% / Clustering 84.73% accuracy; \
+         clustering prevents most non-beneficial collocations and never picks \
+         a harmful pair."
+    );
+}

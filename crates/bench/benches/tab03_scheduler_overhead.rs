@@ -1,0 +1,45 @@
+//! Table 3 — Hardware overhead of the tensor operator scheduler: context
+//! table storage (recomputed from Fig. 11's field widths), scheduling
+//! latency, and area/power normalized to a TPUv3 core (published synthesis
+//! results; see DESIGN.md for the substitution note).
+
+use v10_bench::print_table;
+use v10_core::{estimate_overhead, TABLE3_PUBLISHED};
+
+fn main() {
+    let mut rows = Vec::new();
+    for o in TABLE3_PUBLISHED {
+        let est = estimate_overhead(o.num_sas, o.num_vus, o.num_workloads);
+        rows.push(vec![
+            o.num_sas.to_string(),
+            o.num_vus.to_string(),
+            o.num_workloads.to_string(),
+            format!("{} B", est.context_table_bytes),
+            format!("{} cycles", est.latency_cycles),
+            format!("{:.3}%", est.area_percent),
+            format!("{:.3}%", est.power_percent),
+        ]);
+    }
+    // A few extrapolated configurations beyond the published table.
+    for (sas, vus, wls) in [(2usize, 2usize, 8usize), (8, 8, 16)] {
+        let est = estimate_overhead(sas, vus, wls);
+        rows.push(vec![
+            format!("{sas}*"),
+            format!("{vus}*"),
+            format!("{wls}*"),
+            format!("{} B", est.context_table_bytes),
+            format!("{} cycles", est.latency_cycles),
+            format!("{:.3}%", est.area_percent),
+            format!("{:.3}%", est.power_percent),
+        ]);
+    }
+    print_table(
+        "Table 3 — Operator scheduler overhead (rows marked * are extrapolated)",
+        &["#SAs", "#VUs", "#Workloads", "Context table", "Latency", "Area", "Power"],
+        &rows,
+    );
+    println!(
+        "Area and power stay fractions of a percent of a TPUv3 core; the \
+         scheduler latency is negligible next to >= 10 us operators."
+    );
+}

@@ -1,0 +1,186 @@
+//! # v10-bench — experiment harness for the V10 reproduction
+//!
+//! Each bench target (`cargo bench -p v10-bench --bench <id>`) regenerates
+//! one table or figure of the paper and prints it as a markdown table; the
+//! `micro_scheduler` target holds Criterion micro-benchmarks of the
+//! scheduler primitives. This library hosts the shared plumbing: the
+//! canonical pair lists as ready-to-run [`WorkloadSpec`]s, design runners,
+//! single-tenant reference caching, and table formatting.
+//!
+//! Knobs (environment variables, all optional):
+//!
+//! * `V10_BENCH_REQUESTS` — requests each workload must complete per run
+//!   (default 12; higher = steadier numbers, longer runs).
+//! * `V10_BENCH_SEED` — the experiment seed (default 2023).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use v10_core::{run_design, run_single_tenant, Design, RunOptions, RunReport, WorkloadSpec};
+use v10_npu::NpuConfig;
+use v10_workloads::{pairs::pair_label, Model};
+
+/// Requests per workload per run (env `V10_BENCH_REQUESTS`, default 12).
+#[must_use]
+pub fn requests() -> usize {
+    std::env::var("V10_BENCH_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(12)
+}
+
+/// The experiment seed (env `V10_BENCH_SEED`, default 2023).
+#[must_use]
+pub fn seed() -> u64 {
+    std::env::var("V10_BENCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2023)
+}
+
+/// Run options derived from the environment knobs.
+#[must_use]
+pub fn run_options() -> RunOptions {
+    RunOptions::new(requests()).with_seed(seed())
+}
+
+/// A ready-to-run collocation pair.
+#[derive(Debug, Clone)]
+pub struct PairCase {
+    /// The paper's x-axis label, e.g. `"BERT+NCF"`.
+    pub label: String,
+    /// The two models.
+    pub models: (Model, Model),
+    /// The two workload specs (traces at default batch, priority 1.0).
+    pub specs: [WorkloadSpec; 2],
+}
+
+fn spec_of(model: Model, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        model.abbrev(),
+        model.default_profile().synthesize(seed ^ model.abbrev().len() as u64),
+    )
+}
+
+fn cases_from(pairs: &[(Model, Model)]) -> Vec<PairCase> {
+    let s = seed();
+    pairs
+        .iter()
+        .map(|&(a, b)| PairCase {
+            label: pair_label((a, b)),
+            models: (a, b),
+            specs: [spec_of(a, s), spec_of(b, s.wrapping_add(1))],
+        })
+        .collect()
+}
+
+/// The 11 evaluation pairs of Figs. 16–24.
+#[must_use]
+pub fn eval_pairs() -> Vec<PairCase> {
+    cases_from(&v10_workloads::PAIRS_EVAL)
+}
+
+/// The 15 characterization pairs of Fig. 9.
+#[must_use]
+pub fn fig9_pairs() -> Vec<PairCase> {
+    cases_from(&v10_workloads::PAIRS_FIG9)
+}
+
+/// Runs one pair under all four designs, in [`Design::ALL`] order.
+#[must_use]
+pub fn run_all_designs(case: &PairCase, cfg: &NpuConfig) -> Vec<(Design, RunReport)> {
+    let opts = run_options();
+    Design::ALL
+        .iter()
+        .map(|&d| (d, run_design(d, &case.specs, cfg, &opts)))
+        .collect()
+}
+
+/// Single-tenant average latencies for a pair (the STP normalization
+/// references).
+#[must_use]
+pub fn single_refs(case: &PairCase, cfg: &NpuConfig) -> Vec<f64> {
+    case.specs
+        .iter()
+        .map(|s| run_single_tenant(s, cfg, requests()).workloads()[0].avg_latency_cycles())
+        .collect()
+}
+
+/// Prints a markdown table: a header row, a separator, then the body rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// Formats a ratio like the paper's "1.64x".
+#[must_use]
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+#[must_use]
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Geometric mean of a slice (used for "on average" speedup claims).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive entry.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_lists_have_paper_lengths() {
+        assert_eq!(eval_pairs().len(), 11);
+        assert_eq!(fig9_pairs().len(), 15);
+        assert_eq!(eval_pairs()[0].label, "BERT+NCF");
+    }
+
+    #[test]
+    fn geomean_of_constants_is_constant() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_x(1.639), "1.64x");
+        assert_eq!(fmt_pct(0.5012), "50.1%");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn default_knobs() {
+        // In the test environment the vars are unset.
+        assert!(requests() >= 1);
+        let _ = seed();
+    }
+}

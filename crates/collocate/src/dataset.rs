@@ -1,0 +1,120 @@
+//! Workload datasets for the clustering pipeline.
+//!
+//! Each point is one (model, batch) workload with its §3.4 feature vector —
+//! the population Fig. 15 clusters ("each point is a model with a distinct
+//! batch size").
+
+use v10_workloads::{Model, ModelProfile};
+
+/// One workload in the clustering dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPoint {
+    /// The DNN model.
+    pub model: Model,
+    /// The inference batch size.
+    pub batch: u32,
+    /// The §3.4 resource-contention features.
+    pub features: Vec<f64>,
+    /// The calibrated profile the features came from.
+    pub profile: ModelProfile,
+}
+
+impl WorkloadPoint {
+    /// True if this is the model's default-batch point — the representative
+    /// used when profiling inter-cluster collocation performance.
+    #[must_use]
+    pub fn is_default_batch(&self) -> bool {
+        self.batch == self.model.default_batch()
+    }
+}
+
+/// Builds the dataset for `models` across `batches`, silently skipping
+/// out-of-memory (model, batch) combinations. Every model's default batch is
+/// always included, whether or not it is in `batches`.
+#[must_use]
+pub fn build_dataset(models: &[Model], batches: &[u32], seed: u64) -> Vec<WorkloadPoint> {
+    let mut points = Vec::new();
+    for &model in models {
+        let mut batch_list: Vec<u32> = batches
+            .iter()
+            .copied()
+            .filter(|&b| b > 0 && b <= model.max_batch())
+            .collect();
+        if !batch_list.contains(&model.default_batch()) {
+            batch_list.push(model.default_batch());
+        }
+        batch_list.sort_unstable();
+        batch_list.dedup();
+        for batch in batch_list {
+            let profile = model
+                .profile(batch)
+                .expect("batch filtered to the model's memory limit");
+            points.push(WorkloadPoint {
+                model,
+                batch,
+                features: profile.feature_vector(seed).as_slice().to_vec(),
+                profile,
+            });
+        }
+    }
+    points
+}
+
+/// The default dataset: all 11 models at batches {8, 32, 64, 128} (capped
+/// per model), plus each model's default batch.
+#[must_use]
+pub fn build_default_dataset(seed: u64) -> Vec<WorkloadPoint> {
+    build_dataset(&Model::ALL, &[8, 32, 64, 128], seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dataset_covers_all_models() {
+        let points = build_default_dataset(1);
+        for m in Model::ALL {
+            assert!(
+                points.iter().any(|p| p.model == m && p.is_default_batch()),
+                "{m} missing its default-batch point"
+            );
+        }
+        // Several batches per model.
+        assert!(points.len() > 2 * Model::ALL.len());
+    }
+
+    #[test]
+    fn oom_batches_skipped() {
+        let points = build_dataset(&[Model::ShapeMask], &[8, 64, 2048], 1);
+        // ShapeMask caps at 32: only batch 8 from the list, plus default 8.
+        assert!(points.iter().all(|p| p.batch <= 32));
+        assert!(!points.is_empty());
+    }
+
+    #[test]
+    fn default_batch_always_present_even_if_not_listed() {
+        let points = build_dataset(&[Model::MaskRcnn], &[8], 1);
+        assert!(points.iter().any(|p| p.batch == 16), "MRCN default batch 16");
+    }
+
+    #[test]
+    fn no_duplicate_points() {
+        let points = build_dataset(&[Model::Bert], &[32, 32, 8], 1);
+        let mut keys: Vec<(Model, u32)> = points.iter().map(|p| (p.model, p.batch)).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn features_are_finite_and_fixed_width() {
+        let points = build_default_dataset(3);
+        let dim = points[0].features.len();
+        for p in &points {
+            assert_eq!(p.features.len(), dim);
+            assert!(p.features.iter().all(|f| f.is_finite()), "{}@{}", p.model, p.batch);
+        }
+    }
+}

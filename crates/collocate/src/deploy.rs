@@ -1,0 +1,250 @@
+//! Cluster-level deployment: "Put It All Together" (§3.5 of the paper).
+//!
+//! "At runtime, V10 leverages the pre-built clustering model to identify
+//! groups of workloads with complementary resource demands, and dispatches
+//! each group to each NPU core to maximize the potential of overlapped
+//! execution." This module implements that loop: given a pool of incoming
+//! workloads and a number of NPU cores, pair workloads greedily by
+//! predicted collocation performance (best-predicted pairs first), place
+//! each pair on a core, and run every core's V10-Full engine. Pairs whose
+//! predicted performance misses the benefit threshold are left to run
+//! alone when spare cores exist.
+
+use v10_core::{run_design, run_single_tenant, Design, RunOptions, RunReport, WorkloadSpec};
+use v10_npu::NpuConfig;
+use v10_workloads::Model;
+
+use crate::eval::BENEFIT_THRESHOLD;
+use crate::pipeline::ClusteringPipeline;
+
+/// One core's assignment in a deployment plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreAssignment {
+    /// Two collocated workloads with the pipeline's predicted STP.
+    Pair {
+        /// First workload.
+        a: Model,
+        /// Second workload.
+        b: Model,
+        /// The pipeline's predicted system throughput.
+        predicted_stp: f64,
+    },
+    /// A workload running alone (no compatible partner, or spare capacity).
+    Solo(Model),
+}
+
+impl CoreAssignment {
+    /// The models placed on this core.
+    #[must_use]
+    pub fn models(&self) -> Vec<Model> {
+        match self {
+            CoreAssignment::Pair { a, b, .. } => vec![*a, *b],
+            CoreAssignment::Solo(m) => vec![*m],
+        }
+    }
+}
+
+/// A deployment plan over a fixed pool of NPU cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentPlan {
+    assignments: Vec<CoreAssignment>,
+}
+
+impl DeploymentPlan {
+    /// The per-core assignments.
+    #[must_use]
+    pub fn assignments(&self) -> &[CoreAssignment] {
+        &self.assignments
+    }
+
+    /// Number of cores used.
+    #[must_use]
+    pub fn cores_used(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+/// Plans the placement of `workloads` onto at most `cores` NPU cores using
+/// the trained `pipeline` (§3.5).
+///
+/// Greedy: repeatedly pick the remaining pair with the highest predicted
+/// STP; pairs below the benefit threshold are split into solo placements
+/// when spare cores remain. Workloads that cannot fit (more workloads than
+/// 2 × cores) are dropped from the plan — callers see this as a shorter
+/// total model count.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or `workloads` is empty.
+#[must_use]
+pub fn plan_deployment(
+    workloads: &[Model],
+    cores: usize,
+    pipeline: &ClusteringPipeline,
+) -> DeploymentPlan {
+    assert!(cores > 0, "need at least one NPU core");
+    assert!(!workloads.is_empty(), "need at least one workload");
+    let mut remaining: Vec<Model> = workloads.to_vec();
+    let mut assignments = Vec::new();
+
+    while !remaining.is_empty() && assignments.len() < cores {
+        let spare_cores = cores - assignments.len();
+        if remaining.len() == 1 {
+            assignments.push(CoreAssignment::Solo(remaining.remove(0)));
+            break;
+        }
+        // Best remaining pair by predicted STP.
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..remaining.len() {
+            for j in (i + 1)..remaining.len() {
+                let stp = pipeline.predict_pair_performance(remaining[i], remaining[j]);
+                if stp > best.2 {
+                    best = (i, j, stp);
+                }
+            }
+        }
+        let (i, j, stp) = best;
+        // If even the best pair is predicted non-beneficial and there is
+        // room to spread out, prefer solo placement.
+        let must_pack = remaining.len() > spare_cores;
+        if stp >= BENEFIT_THRESHOLD || (must_pack && remaining.len() > 1) {
+            let b = remaining.remove(j);
+            let a = remaining.remove(i);
+            assignments.push(CoreAssignment::Pair { a, b, predicted_stp: stp });
+        } else {
+            assignments.push(CoreAssignment::Solo(remaining.remove(0)));
+        }
+    }
+    DeploymentPlan { assignments }
+}
+
+/// Simulates an entire deployment plan: every core runs independently (the
+/// paper: "each core runs independently"), so reports are per core.
+/// Returns `(assignment, report, aggregate_stp)` triples.
+#[must_use]
+pub fn simulate_deployment(
+    plan: &DeploymentPlan,
+    config: &NpuConfig,
+    requests: usize,
+    seed: u64,
+) -> Vec<(CoreAssignment, RunReport, f64)> {
+    let opts = RunOptions::new(requests).with_seed(seed);
+    plan.assignments()
+        .iter()
+        .map(|assignment| {
+            let specs: Vec<WorkloadSpec> = assignment
+                .models()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    WorkloadSpec::new(
+                        m.abbrev(),
+                        m.default_profile().synthesize(seed.wrapping_add(i as u64)),
+                    )
+                })
+                .collect();
+            let singles: Vec<f64> = specs
+                .iter()
+                .map(|s| {
+                    run_single_tenant(s, config, requests).workloads()[0].avg_latency_cycles()
+                })
+                .collect();
+            let report = run_design(Design::V10Full, &specs, config, &opts);
+            let stp = report.system_throughput(&singles);
+            (assignment.clone(), report, stp)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::build_dataset;
+    use crate::eval::PairPerfCache;
+
+    fn pipeline() -> ClusteringPipeline {
+        let models = [
+            Model::Bert,
+            Model::Ncf,
+            Model::Dlrm,
+            Model::ResNet,
+            Model::Mnist,
+            Model::RetinaNet,
+        ];
+        let points = build_dataset(&models, &[], 3);
+        let mut cache = PairPerfCache::new(2, 3);
+        ClusteringPipeline::fit(&points, 3, 3, &mut cache, 3)
+    }
+
+    #[test]
+    fn plan_covers_all_workloads_when_cores_suffice() {
+        let p = pipeline();
+        let fleet = [Model::Bert, Model::Ncf, Model::Dlrm, Model::ResNet];
+        let plan = plan_deployment(&fleet, 4, &p);
+        let placed: usize = plan.assignments().iter().map(|a| a.models().len()).sum();
+        assert_eq!(placed, 4);
+        assert!(plan.cores_used() <= 4);
+    }
+
+    #[test]
+    fn odd_fleet_leaves_a_solo() {
+        let p = pipeline();
+        let fleet = [Model::Bert, Model::Ncf, Model::Mnist];
+        let plan = plan_deployment(&fleet, 3, &p);
+        let solos = plan
+            .assignments()
+            .iter()
+            .filter(|a| matches!(a, CoreAssignment::Solo(_)))
+            .count();
+        assert_eq!(solos, 1);
+    }
+
+    #[test]
+    fn scarce_cores_force_packing() {
+        let p = pipeline();
+        let fleet = [Model::Bert, Model::Ncf, Model::Dlrm, Model::ResNet];
+        let plan = plan_deployment(&fleet, 2, &p);
+        assert_eq!(plan.cores_used(), 2);
+        for a in plan.assignments() {
+            assert!(matches!(a, CoreAssignment::Pair { .. }), "must pack pairs");
+        }
+    }
+
+    #[test]
+    fn best_predicted_pair_is_placed_first() {
+        let p = pipeline();
+        let fleet = [Model::Bert, Model::Ncf, Model::ResNet, Model::Dlrm];
+        let plan = plan_deployment(&fleet, 4, &p);
+        if let CoreAssignment::Pair { predicted_stp, .. } = &plan.assignments()[0] {
+            // The first placement is the globally best pair: every later
+            // pair's prediction is <= it.
+            for a in &plan.assignments()[1..] {
+                if let CoreAssignment::Pair { predicted_stp: later, .. } = a {
+                    assert!(later <= predicted_stp);
+                }
+            }
+        } else {
+            panic!("first assignment should be a pair");
+        }
+    }
+
+    #[test]
+    fn simulation_runs_every_core() {
+        let p = pipeline();
+        let fleet = [Model::Mnist, Model::Dlrm, Model::Ncf];
+        let plan = plan_deployment(&fleet, 2, &p);
+        let results = simulate_deployment(&plan, &NpuConfig::table5(), 2, 9);
+        assert_eq!(results.len(), plan.cores_used());
+        for (assignment, report, stp) in &results {
+            assert_eq!(report.workloads().len(), assignment.models().len());
+            assert!(*stp > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NPU core")]
+    fn zero_cores_rejected() {
+        let p = pipeline();
+        let _ = plan_deployment(&[Model::Bert], 0, &p);
+    }
+}

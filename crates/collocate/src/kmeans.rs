@@ -1,0 +1,294 @@
+//! K-Means clustering with k-means++ seeding, from scratch.
+
+use v10_sim::SimRng;
+
+/// A fitted K-Means model.
+///
+/// # Example
+///
+/// ```
+/// use v10_collocate::KMeans;
+///
+/// let data = vec![
+///     vec![0.0, 0.0], vec![0.1, -0.1], vec![-0.1, 0.1],
+///     vec![10.0, 10.0], vec![10.1, 9.9], vec![9.9, 10.1],
+/// ];
+/// let km = KMeans::fit(&data, 2, 42);
+/// let a = km.predict(&data[0]);
+/// let b = km.predict(&data[3]);
+/// assert_ne!(a, b);
+/// assert_eq!(km.predict(&[0.05, 0.0]), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    assignments: Vec<usize>,
+    inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fits `k` clusters to `data` with k-means++ initialization and Lloyd
+    /// iterations until convergence (or 200 iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, rows disagree in dimension, or `k` is zero
+    /// or exceeds the number of points.
+    #[must_use]
+    pub fn fit(data: &[Vec<f64>], k: usize, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot cluster an empty dataset");
+        assert!(
+            k > 0 && k <= data.len(),
+            "k = {k} out of range for {} points",
+            data.len()
+        );
+        let dim = data[0].len();
+        for row in data {
+            assert_eq!(row.len(), dim, "inconsistent feature dimensions");
+        }
+        let mut rng = SimRng::seed_from(seed ^ 0x4B4D_45414E53);
+
+        // --- k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(data[rng.index(data.len())].clone());
+        while centroids.len() < k {
+            let d2: Vec<f64> = data
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(p, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                // All points coincide with existing centroids; pick any.
+                rng.index(data.len())
+            } else {
+                let mut target = rng.unit_f64() * total;
+                let mut chosen = data.len() - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        chosen = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                chosen
+            };
+            centroids.push(data[next].clone());
+        }
+
+        // --- Lloyd iterations.
+        let mut assignments = vec![0usize; data.len()];
+        for _ in 0..200 {
+            let mut changed = false;
+            for (i, p) in data.iter().enumerate() {
+                let best = Self::nearest(&centroids, p);
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids; empty clusters keep their position.
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in data.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (cc, &s) in c.iter_mut().zip(sum) {
+                        *cc = s / count as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let inertia = data
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| sq_dist(p, &centroids[a]))
+            .sum();
+        KMeans {
+            centroids,
+            assignments,
+            inertia,
+        }
+    }
+
+    fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in centroids.iter().enumerate() {
+            let d = sq_dist(p, c);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The fitted centroids.
+    #[must_use]
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Cluster labels of the training points, in input order.
+    #[must_use]
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances of points to their centroid (lower = tighter).
+    #[must_use]
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Predicts the cluster of a new point — the "Cluster Prediction" step
+    /// of the online inference phase (Fig. 14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension does not match.
+    #[must_use]
+    pub fn predict(&self, point: &[f64]) -> usize {
+        assert_eq!(
+            point.len(),
+            self.centroids[0].len(),
+            "dimension mismatch"
+        );
+        Self::nearest(&self.centroids, point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..10 {
+            let j = i as f64 * 0.01;
+            data.push(vec![j, -j]);
+            data.push(vec![5.0 + j, 5.0 - j]);
+            data.push(vec![-5.0 - j, 5.0 + j]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let data = blobs();
+        let km = KMeans::fit(&data, 3, 7);
+        // Points from the same blob share a label; different blobs differ.
+        let labels: Vec<usize> = (0..3).map(|b| km.assignments()[b]).collect();
+        for (i, &a) in km.assignments().iter().enumerate() {
+            assert_eq!(a, labels[i % 3], "point {i}");
+        }
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+        assert!(km.inertia() < 1.0);
+    }
+
+    #[test]
+    fn labels_bounded_by_k() {
+        let data = blobs();
+        for k in 1..=5 {
+            let km = KMeans::fit(&data, k, 3);
+            assert_eq!(km.k(), k);
+            assert!(km.assignments().iter().all(|&a| a < k));
+            assert_eq!(km.assignments().len(), data.len());
+        }
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let data = blobs();
+        let km = KMeans::fit(&data, 3, 11);
+        for (p, &a) in data.iter().zip(km.assignments()) {
+            assert_eq!(km.predict(p), a);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = vec![vec![0.0], vec![1.0], vec![5.0]];
+        let km = KMeans::fit(&data, 3, 1);
+        assert!(km.inertia() < 1e-20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let a = KMeans::fit(&data, 3, 42);
+        let b = KMeans::fit(&data, 3, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let data = vec![vec![1.0, 1.0]; 8];
+        let km = KMeans::fit(&data, 3, 5);
+        assert!(km.inertia() < 1e-20);
+        assert_eq!(km.predict(&[1.0, 1.0]), km.assignments()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_zero_rejected() {
+        let _ = KMeans::fit(&[vec![1.0]], 0, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every point's assigned centroid is its nearest centroid, and the
+        /// inertia equals the recomputed sum of squared distances.
+        #[test]
+        fn assignment_optimality(
+            points in proptest::collection::vec(
+                proptest::collection::vec(-50.0f64..50.0, 3), 3..40),
+            k in 1usize..4,
+            seed in 0u64..100,
+        ) {
+            let k = k.min(points.len());
+            let km = KMeans::fit(&points, k, seed);
+            let mut inertia = 0.0;
+            for (p, &a) in points.iter().zip(km.assignments()) {
+                let da = sq_dist(p, &km.centroids()[a]);
+                for c in km.centroids() {
+                    prop_assert!(da <= sq_dist(p, c) + 1e-9);
+                }
+                inertia += da;
+            }
+            prop_assert!((inertia - km.inertia()).abs() < 1e-6 * (1.0 + inertia));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Z-score feature standardization.
+//!
+//! The §3.4 feature vector mixes utilizations in `[0, 1]` with
+//! log-operator-lengths spanning several units; standardizing to zero mean
+//! and unit variance keeps PCA and K-Means from being dominated by the
+//! widest-ranged feature.
+
+/// A fitted per-feature standardizer.
+///
+/// # Example
+///
+/// ```
+/// use v10_collocate::Standardizer;
+///
+/// let data = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+/// let s = Standardizer::fit(&data);
+/// let z = s.transform(&data[0]);
+/// assert!((z[0] + 1.0).abs() < 1e-12); // (1 - 2) / 1
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations per feature column.
+    ///
+    /// Constant features get a unit standard deviation so they standardize
+    /// to zero instead of dividing by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows have inconsistent lengths.
+    #[must_use]
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "cannot standardize an empty dataset");
+        let dim = data[0].len();
+        for row in data {
+            assert_eq!(row.len(), dim, "inconsistent feature dimensions");
+        }
+        let n = data.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in data {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x / n;
+            }
+        }
+        let mut stds = vec![0.0; dim];
+        for row in data {
+            for ((s, &x), &m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (x - m) * (x - m) / n;
+            }
+        }
+        for s in &mut stds {
+            *s = s.sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Standardizes one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension does not match the fitted data.
+    #[must_use]
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a whole dataset.
+    #[must_use]
+    pub fn transform_all(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Number of feature dimensions.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_data_has_zero_mean_unit_variance() {
+        let data: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i as f64) * 3.0 - 7.0])
+            .collect();
+        let s = Standardizer::fit(&data);
+        let z = s.transform_all(&data);
+        for d in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[d]).sum::<f64>() / 20.0;
+            let var: f64 = z.iter().map(|r| r[d] * r[d]).sum::<f64>() / 20.0;
+            assert!(mean.abs() < 1e-10, "dim {d}: mean {mean}");
+            assert!((var - 1.0).abs() < 1e-10, "dim {d}: var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let data = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let s = Standardizer::fit(&data);
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+        assert_eq!(s.dim(), 1);
+    }
+
+    #[test]
+    fn single_row_dataset_is_fine() {
+        let s = Standardizer::fit(&[vec![2.0, 4.0]]);
+        assert_eq!(s.transform(&[2.0, 4.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_rejected() {
+        let _ = Standardizer::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_transform_rejected() {
+        let s = Standardizer::fit(&[vec![1.0, 2.0]]);
+        let _ = s.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! The four evaluated designs (§5.1 of the paper).
+
+use std::fmt;
+
+use v10_npu::NpuConfig;
+
+use crate::engine::{RunOptions, V10Engine, WorkloadSpec};
+use crate::metrics::RunReport;
+use crate::pmt::run_pmt;
+use crate::policy::Policy;
+
+/// One of the paper's compared designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Baseline preemptive multi-tasking: task-level time sharing, no
+    /// simultaneous operator execution, 20–40 µs context switches.
+    Pmt,
+    /// V10 with simultaneous operator execution and non-preemptive
+    /// round-robin operator scheduling.
+    V10Base,
+    /// V10-Base plus the priority-based scheduling policy (Algorithm 1),
+    /// equal priorities by default.
+    V10Fair,
+    /// The full design: V10-Fair plus operator preemption (§3.3).
+    V10Full,
+}
+
+impl Design {
+    /// All four designs in the paper's comparison order.
+    pub const ALL: [Design; 4] = [Design::Pmt, Design::V10Base, Design::V10Fair, Design::V10Full];
+
+    /// The paper's display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Design::Pmt => "PMT",
+            Design::V10Base => "V10-Base",
+            Design::V10Fair => "V10-Fair",
+            Design::V10Full => "V10-Full",
+        }
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs `specs` collocated on one core under `design`.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+#[must_use]
+pub fn run_design(
+    design: Design,
+    specs: &[WorkloadSpec],
+    config: &NpuConfig,
+    opts: &RunOptions,
+) -> RunReport {
+    match design {
+        Design::Pmt => run_pmt(specs, config, opts),
+        Design::V10Base => V10Engine::new(*config, Policy::RoundRobin, false).run(specs, opts),
+        Design::V10Fair => V10Engine::new(*config, Policy::Priority, false).run(specs, opts),
+        Design::V10Full => V10Engine::new(*config, Policy::Priority, true).run(specs, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v10_isa::{FuKind, OpDesc, RequestTrace};
+
+    fn spec(label: &str, ops: Vec<OpDesc>) -> WorkloadSpec {
+        WorkloadSpec::new(label, RequestTrace::new(ops))
+    }
+    fn sa(c: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Sa).compute_cycles(c).build()
+    }
+    fn vu(c: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Vu).compute_cycles(c).build()
+    }
+
+    /// A complementary pair with mismatched operator lengths — the paper's
+    /// canonical scenario (Fig. 12).
+    fn mismatched_pair() -> [WorkloadSpec; 2] {
+        [
+            spec("long-sa", vec![sa(600_000), vu(20_000)]),
+            spec(
+                "short-mixed",
+                vec![sa(10_000), vu(50_000), sa(10_000), vu(50_000)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn design_ordering_on_aggregate_utilization() {
+        // §5.2: V10-Full >= V10-Base variants >= PMT on aggregate compute
+        // utilization for a complementary pair.
+        let specs = mismatched_pair();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(10);
+        let util = |d: Design| run_design(d, &specs, &cfg, &opts).aggregate_compute_util();
+        let pmt = util(Design::Pmt);
+        let base = util(Design::V10Base);
+        let full = util(Design::V10Full);
+        assert!(base > pmt, "V10-Base {base} should beat PMT {pmt}");
+        assert!(full + 0.02 >= base, "V10-Full {full} should not lose to Base {base}");
+    }
+
+    #[test]
+    fn v10_full_beats_pmt_on_elapsed_time() {
+        let specs = mismatched_pair();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(10);
+        let pmt = run_design(Design::Pmt, &specs, &cfg, &opts);
+        let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+        assert!(full.elapsed_cycles() < pmt.elapsed_cycles());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Design::Pmt.to_string(), "PMT");
+        assert_eq!(Design::V10Full.to_string(), "V10-Full");
+        assert_eq!(Design::ALL.len(), 4);
+    }
+
+    #[test]
+    fn only_full_design_preempts_operators() {
+        let specs = [
+            spec("a", vec![sa(400_000)]),
+            spec("b", vec![sa(8_000), vu(8_000)]),
+        ];
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(6);
+        for d in [Design::V10Base, Design::V10Fair] {
+            let r = run_design(d, &specs, &cfg, &opts);
+            let preempts: u64 = r.workloads().iter().map(|w| w.preemptions()).sum();
+            assert_eq!(preempts, 0, "{d} must not preempt operators");
+        }
+        let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+        let preempts: u64 = full.workloads().iter().map(|w| w.preemptions()).sum();
+        assert!(preempts > 0, "V10-Full should preempt the long SA ops");
+    }
+}

@@ -1,0 +1,813 @@
+//! The V10 simultaneous-multi-tenancy execution engine.
+//!
+//! Event-driven co-execution of multiple workloads' operator streams over
+//! one NPU core's FU pool (§3.2–§3.3 of the paper):
+//!
+//! * operators become **Ready** when their instruction DMA completes
+//!   (prefetched while the predecessor runs);
+//! * a ready operator is issued **as soon as** a matching FU is idle (work
+//!   conservation); when contended, the configured [`Policy`] picks;
+//! * every `time_slice` cycles the **preemption timer** fires: if a waiting
+//!   workload is more starved (`active_rate_p`) than one occupying an FU of
+//!   the kind it needs, the occupant is preempted — the FU blocks for the
+//!   context-switch cost (3N cycles for an SA, §3.3) and the starved
+//!   operator takes over;
+//! * concurrently executing operators share HBM bandwidth max-min fairly;
+//!   an operator granted less than its demand slows proportionally.
+//!
+//! Between events the system is piecewise-constant, so the engine advances
+//! directly to the next completion / DMA-ready / switch-done / timer tick,
+//! accumulating per-FU busy time, overlap buckets (Fig. 17), and HBM bytes.
+
+use v10_isa::{FuKind, RequestTrace};
+use v10_npu::{FuId, FuPool, HbmArbiter, InstructionDma, NpuConfig};
+
+use crate::context::{ContextTable, WorkloadId};
+use crate::metrics::{OverlapBreakdown, RunReport, WorkloadReport};
+use crate::policy::{Policy, Scheduler};
+
+const EPS: f64 = 1e-6;
+
+/// One workload to collocate: its trace, label, and relative priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    label: String,
+    trace: RequestTrace,
+    priority: f64,
+}
+
+impl WorkloadSpec {
+    /// Creates a workload with priority 1.0.
+    #[must_use]
+    pub fn new(label: impl Into<String>, trace: RequestTrace) -> Self {
+        WorkloadSpec {
+            label: label.into(),
+            trace,
+            priority: 1.0,
+        }
+    }
+
+    /// Sets the relative priority (§5.6 uses shares summing to 100 %; only
+    /// ratios matter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority` is not finite and positive.
+    #[must_use]
+    pub fn with_priority(mut self, priority: f64) -> Self {
+        assert!(
+            priority.is_finite() && priority > 0.0,
+            "priority must be positive, got {priority}"
+        );
+        self.priority = priority;
+        self
+    }
+
+    /// The workload's display label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The per-request operator trace.
+    #[must_use]
+    pub fn trace(&self) -> &RequestTrace {
+        &self.trace
+    }
+
+    /// The relative priority.
+    #[must_use]
+    pub fn priority(&self) -> f64 {
+        self.priority
+    }
+}
+
+/// Options shared by every executor run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    requests_per_workload: usize,
+    seed: u64,
+    pmt_slice_cycles: u64,
+}
+
+impl RunOptions {
+    /// Measures until every workload completes `requests_per_workload`
+    /// inference requests (§5.1's steady-state methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests_per_workload` is zero.
+    #[must_use]
+    pub fn new(requests_per_workload: usize) -> Self {
+        assert!(requests_per_workload > 0, "need at least one request per workload");
+        RunOptions {
+            requests_per_workload,
+            seed: 0x5EED,
+            pmt_slice_cycles: 1_400_000, // 2 ms at 700 MHz: task-level slicing
+        }
+    }
+
+    /// Sets the RNG seed (PMT context-switch jitter).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the PMT baseline's task-level time slice in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    #[must_use]
+    pub fn with_pmt_slice_cycles(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "PMT slice must be positive");
+        self.pmt_slice_cycles = cycles;
+        self
+    }
+
+    /// Requests each workload must complete before the run ends.
+    #[must_use]
+    pub fn requests_per_workload(&self) -> usize {
+        self.requests_per_workload
+    }
+
+    /// The RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The PMT baseline's time slice in cycles.
+    #[must_use]
+    pub fn pmt_slice_cycles(&self) -> u64 {
+        self.pmt_slice_cycles
+    }
+}
+
+/// Per-workload mutable execution state.
+#[derive(Debug)]
+struct WlState {
+    trace: RequestTrace,
+    op_idx: usize,
+    op_remaining: f64,
+    /// Absolute time at which the current operator's instruction DMA
+    /// completes (drives the Ready bit while the operator is neither ready
+    /// nor active).
+    fetch_ready_at: f64,
+    /// When the current operator was (first) issued — the prefetch start of
+    /// its successor.
+    last_issue_at: f64,
+    request_start: f64,
+    completed: usize,
+    next_op_id: u64,
+    // accounting
+    latencies: Vec<f64>,
+    busy_sa: f64,
+    busy_vu: f64,
+    hbm_bytes: f64,
+    preemptions: u64,
+    switch_overhead: f64,
+}
+
+impl WlState {
+    fn current_op(&self) -> &v10_isa::OpDesc {
+        &self.trace.ops()[self.op_idx]
+    }
+}
+
+#[derive(Debug)]
+struct FuState {
+    id: FuId,
+    kind: FuKind,
+    occupant: Option<usize>,
+    switch_until: f64,
+}
+
+/// The V10 multi-tenant executor (designs `V10-Base`, `V10-Fair`,
+/// `V10-Full` depending on policy and preemption flag).
+///
+/// See the crate-level example for typical usage; [`crate::run_design`] is
+/// the convenience entry point.
+#[derive(Debug)]
+pub struct V10Engine {
+    config: NpuConfig,
+    policy: Policy,
+    preemption: bool,
+}
+
+impl V10Engine {
+    /// Creates an engine for the given configuration and scheduling knobs.
+    #[must_use]
+    pub fn new(config: NpuConfig, policy: Policy, preemption: bool) -> Self {
+        V10Engine { config, policy, preemption }
+    }
+
+    /// Runs `specs` collocated on one core until each completes
+    /// `opts.requests_per_workload()` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    #[must_use]
+    pub fn run(&self, specs: &[WorkloadSpec], opts: &RunOptions) -> RunReport {
+        assert!(!specs.is_empty(), "need at least one workload");
+        let cfg = &self.config;
+        let pool = FuPool::new(cfg.fu_count() as usize);
+        let hbm_peak = cfg.hbm_bytes_per_cycle();
+        let mut hbm = HbmArbiter::new(hbm_peak);
+        let dma = InstructionDma::new(hbm_peak);
+        let mut scheduler = Scheduler::new(self.policy);
+        let mut table = ContextTable::new(
+            &specs.iter().map(WorkloadSpec::priority).collect::<Vec<_>>(),
+        );
+
+        let mut wls: Vec<WlState> = specs
+            .iter()
+            .map(|s| {
+                let mut wl = WlState {
+                    trace: s.trace().clone(),
+                    op_idx: 0,
+                    op_remaining: 0.0,
+                    fetch_ready_at: 0.0,
+                    last_issue_at: 0.0,
+                    request_start: 0.0,
+                    completed: 0,
+                    next_op_id: 0,
+                    latencies: Vec::new(),
+                    busy_sa: 0.0,
+                    busy_vu: 0.0,
+                    hbm_bytes: 0.0,
+                    preemptions: 0,
+                    switch_overhead: 0.0,
+                };
+                wl.op_remaining = wl.current_op().compute_cycles() as f64;
+                wl.fetch_ready_at = dma
+                    .ready_at(wl.current_op(), 0.0, 0.0)
+                    .max(wl.current_op().dispatch_gap_cycles() as f64);
+                wl
+            })
+            .collect();
+        for (i, wl) in wls.iter().enumerate() {
+            table.set_current_op(WorkloadId::new(i), 0, wl.current_op().kind());
+        }
+
+        let mut fus: Vec<FuState> = pool
+            .iter()
+            .map(|id| FuState {
+                id,
+                kind: pool.kind(id),
+                occupant: None,
+                switch_until: 0.0,
+            })
+            .collect();
+
+        let slice = cfg.time_slice_cycles() as f64;
+        let mut tick_next = slice;
+        let mut now = 0.0f64;
+        let mut overlap = OverlapBreakdown::default();
+        let (mut sa_busy, mut vu_busy) = (0.0f64, 0.0f64);
+        let mut switch_overhead_total = 0.0f64;
+        let mut zero_dt_streak = 0u32;
+
+        loop {
+            // -------- Phase 1: promote fetches, issue ready operators.
+            for (i, wl) in wls.iter().enumerate() {
+                let id = WorkloadId::new(i);
+                if !table.is_active(id) && !table.is_ready(id) && wl.fetch_ready_at <= now + EPS {
+                    table.set_ready(id, true);
+                }
+            }
+            for fu in fus.iter_mut() {
+                if fu.occupant.is_none() && fu.switch_until <= now + EPS {
+                    if let Some(w) = scheduler.pick_next(&table, fu.kind, now) {
+                        table.mark_issued(w, fu.id);
+                        fu.occupant = Some(w.index());
+                        wls[w.index()].last_issue_at = now;
+                    }
+                }
+            }
+
+            // -------- Termination check (after issuing, so the final event
+            // is fully accounted).
+            if wls.iter().all(|w| w.completed >= opts.requests_per_workload()) {
+                break;
+            }
+
+            // -------- Phase 2: progress rates under HBM arbitration.
+            let flows: Vec<(usize, f64)> = fus
+                .iter()
+                .filter_map(|fu| {
+                    fu.occupant
+                        .map(|w| (w, wls[w].current_op().hbm_demand_bytes_per_cycle()))
+                })
+                .collect();
+            let rates = hbm.progress_rates(&flows);
+            let rate_of = |w: usize| -> f64 {
+                rates
+                    .iter()
+                    .find(|&&(id, _)| id == w)
+                    .map(|&(_, r)| r)
+                    .unwrap_or(1.0)
+            };
+
+            // -------- Phase 3: time to the next event.
+            let mut dt = f64::INFINITY;
+            for fu in &fus {
+                if let Some(w) = fu.occupant {
+                    let r = rate_of(w);
+                    if r > EPS {
+                        dt = dt.min(wls[w].op_remaining / r);
+                    }
+                }
+                if fu.switch_until > now + EPS {
+                    dt = dt.min(fu.switch_until - now);
+                }
+            }
+            for (i, wl) in wls.iter().enumerate() {
+                let id = WorkloadId::new(i);
+                if !table.is_active(id) && !table.is_ready(id) && wl.fetch_ready_at > now + EPS {
+                    dt = dt.min(wl.fetch_ready_at - now);
+                }
+            }
+            if self.preemption {
+                dt = dt.min(tick_next - now);
+            }
+            assert!(
+                dt.is_finite(),
+                "engine deadlock at cycle {now}: no pending events for {} workloads",
+                wls.len()
+            );
+            let dt = dt.max(0.0);
+            if dt <= EPS {
+                zero_dt_streak += 1;
+                assert!(zero_dt_streak < 10_000, "engine livelock at cycle {now}");
+            } else {
+                zero_dt_streak = 0;
+            }
+
+            // -------- Phase 4: advance, accounting as we go.
+            let mut sa_active = 0usize;
+            let mut vu_active = 0usize;
+            for fu in &fus {
+                if let Some(w) = fu.occupant {
+                    match fu.kind {
+                        FuKind::Sa => sa_active += 1,
+                        FuKind::Vu => vu_active += 1,
+                    }
+                    let r = rate_of(w);
+                    let wl = &mut wls[w];
+                    wl.op_remaining -= r * dt;
+                    let bytes = wl.current_op().hbm_demand_bytes_per_cycle() * r * dt;
+                    wl.hbm_bytes += bytes;
+                    hbm.record_bytes(bytes);
+                    match fu.kind {
+                        FuKind::Sa => wl.busy_sa += dt,
+                        FuKind::Vu => wl.busy_vu += dt,
+                    }
+                    table.add_active_cycles(WorkloadId::new(w), dt);
+                } else if fu.switch_until > now + EPS {
+                    switch_overhead_total += dt.min(fu.switch_until - now);
+                }
+            }
+            sa_busy += sa_active as f64 * dt;
+            vu_busy += vu_active as f64 * dt;
+            overlap.accumulate(sa_active > 0, vu_active > 0, dt);
+            now += dt;
+
+            // -------- Phase 5a: operator completions.
+            for fu in fus.iter_mut() {
+                let Some(w) = fu.occupant else { continue };
+                if wls[w].op_remaining > EPS {
+                    continue;
+                }
+                fu.occupant = None;
+                let id = WorkloadId::new(w);
+                table.mark_released(id, false);
+                let wl = &mut wls[w];
+                wl.op_idx += 1;
+                if wl.op_idx == wl.trace.ops().len() {
+                    wl.latencies.push(now - wl.request_start);
+                    wl.completed += 1;
+                    wl.op_idx = 0;
+                    wl.request_start = now;
+                }
+                wl.next_op_id += 1;
+                wl.op_remaining = wl.current_op().compute_cycles() as f64;
+                // The next operator's instructions were prefetched from the
+                // moment the finished operator issued; its dispatch gap
+                // (host-side stalls) starts now.
+                wl.fetch_ready_at = dma
+                    .ready_at(wl.current_op(), wl.last_issue_at, now)
+                    .max(now + wl.current_op().dispatch_gap_cycles() as f64);
+                table.set_current_op(id, wl.next_op_id, wl.current_op().kind());
+            }
+
+            // -------- Phase 5b: preemption timer (§3.3).
+            if self.preemption && now + EPS >= tick_next {
+                while tick_next <= now + EPS {
+                    tick_next += slice;
+                }
+                for fu in fus.iter_mut() {
+                    let Some(w) = fu.occupant else { continue };
+                    let running = WorkloadId::new(w);
+                    let Some(candidate) = scheduler.pick_next(&table, fu.kind, now) else {
+                        continue;
+                    };
+                    if scheduler.prefers_preemption(&table, running, candidate, now) {
+                        let cost = match fu.kind {
+                            FuKind::Sa => cfg.sa_switch_cycles(),
+                            FuKind::Vu => cfg.vu_switch_cycles(),
+                        } as f64;
+                        table.mark_released(running, true);
+                        fu.occupant = None;
+                        fu.switch_until = now + cost;
+                        let wl = &mut wls[w];
+                        wl.preemptions += 1;
+                        wl.switch_overhead += cost;
+                    }
+                }
+            }
+        }
+
+        let workloads = specs
+            .iter()
+            .zip(&wls)
+            .map(|(spec, wl)| {
+                WorkloadReport::new(
+                    spec.label().to_string(),
+                    spec.priority(),
+                    wl.completed,
+                    wl.latencies.clone(),
+                    wl.busy_sa,
+                    wl.busy_vu,
+                    wl.hbm_bytes,
+                    wl.preemptions,
+                    wl.switch_overhead,
+                )
+            })
+            .collect();
+        RunReport::new(
+            now,
+            sa_busy,
+            vu_busy,
+            switch_overhead_total,
+            overlap,
+            hbm.bytes_moved(),
+            hbm_peak,
+            cfg.fu_count(),
+            workloads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v10_isa::OpDesc;
+
+    fn sa(cycles: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Sa).compute_cycles(cycles).build()
+    }
+    fn vu(cycles: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Vu).compute_cycles(cycles).build()
+    }
+    fn spec(label: &str, ops: Vec<OpDesc>) -> WorkloadSpec {
+        WorkloadSpec::new(label, RequestTrace::new(ops))
+    }
+
+    fn engine(policy: Policy, preemption: bool) -> V10Engine {
+        V10Engine::new(NpuConfig::table5(), policy, preemption)
+    }
+
+    #[test]
+    fn single_workload_runs_sequentially() {
+        let e = engine(Policy::Priority, false);
+        let r = e.run(&[spec("w", vec![sa(1_000), vu(500)])], &RunOptions::new(4));
+        let wl = &r.workloads()[0];
+        assert_eq!(wl.completed_requests(), 4);
+        // Each request is 1500 busy cycles plus a little DMA-ready latency.
+        assert!(wl.avg_latency_cycles() >= 1_500.0);
+        assert!(wl.avg_latency_cycles() < 1_700.0, "{}", wl.avg_latency_cycles());
+        // Never both busy: ops are sequential within a workload.
+        assert_eq!(r.overlap().both, 0.0);
+    }
+
+    #[test]
+    fn complementary_workloads_overlap() {
+        let e = engine(Policy::Priority, false);
+        let r = e.run(
+            &[
+                spec("sa-heavy", vec![sa(10_000), vu(100)]),
+                spec("vu-heavy", vec![sa(100), vu(10_000)]),
+            ],
+            &RunOptions::new(10),
+        );
+        // The SA-heavy workload's matmuls run while the VU-heavy workload's
+        // vector ops run: substantial both-busy time.
+        assert!(
+            r.overlap().both > 0.5 * r.elapsed_cycles(),
+            "both-busy fraction {:.2}",
+            r.overlap().both / r.elapsed_cycles()
+        );
+        assert!(r.sa_util() > 0.7);
+        assert!(r.vu_util() > 0.7);
+    }
+
+    #[test]
+    fn same_kind_workloads_serialize_on_one_fu() {
+        let e = engine(Policy::Priority, false);
+        let r = e.run(
+            &[spec("a", vec![sa(1_000)]), spec("b", vec![sa(1_000)])],
+            &RunOptions::new(5),
+        );
+        // Only one SA: total elapsed at least the serialized work.
+        assert!(r.elapsed_cycles() >= 10_000.0);
+        assert!(r.sa_util() > 0.9);
+        assert_eq!(r.overlap().both, 0.0);
+    }
+
+    #[test]
+    fn work_conservation_fu_idle_only_without_ready_ops() {
+        // One workload alternating SA/VU: exactly one FU busy at any time
+        // (modulo DMA-ready gaps), so sa_only + vu_only ~= elapsed.
+        let e = engine(Policy::RoundRobin, false);
+        let r = e.run(&[spec("w", vec![sa(5_000), vu(5_000)])], &RunOptions::new(5));
+        let covered = r.overlap().sa_only + r.overlap().vu_only;
+        assert!(covered > 0.98 * r.elapsed_cycles());
+    }
+
+    #[test]
+    fn preemption_breaks_long_op_blocking() {
+        // Fig. 12's scenario: workload 1 has very long SA ops; workload 2
+        // has short SA ops gating a VU chain.
+        let w1 = spec("long-sa", vec![sa(700_000), vu(7_000)]);
+        let w2 = spec(
+            "short-ops",
+            vec![sa(7_000), vu(70_000), sa(7_000), vu(70_000)],
+        );
+        let opts = RunOptions::new(8);
+        let fair = engine(Policy::Priority, false).run(&[w1.clone(), w2.clone()], &opts);
+        let full = engine(Policy::Priority, true).run(&[w1, w2], &opts);
+        let lat_fair = fair.workloads()[1].avg_latency_cycles();
+        let lat_full = full.workloads()[1].avg_latency_cycles();
+        assert!(
+            lat_full < lat_fair * 0.8,
+            "preemption should cut the short-op workload's latency: {lat_fair} -> {lat_full}"
+        );
+        assert!(full.workloads()[0].preemptions() > 0);
+        assert_eq!(fair.workloads()[0].preemptions(), 0);
+    }
+
+    #[test]
+    fn preemption_charges_switch_overhead() {
+        let w1 = spec("long-sa", vec![sa(700_000)]);
+        let w2 = spec("short-sa", vec![sa(7_000)]);
+        let full = engine(Policy::Priority, true).run(&[w1, w2], &RunOptions::new(5));
+        assert!(full.switch_overhead_cycles() > 0.0);
+        let preempted = &full.workloads()[0];
+        assert!(preempted.switch_overhead_cycles() >= 384.0);
+        // Overhead stays a small fraction of the run (Fig. 21: < 2%).
+        assert!(full.switch_overhead_cycles() < 0.05 * full.elapsed_cycles());
+    }
+
+    #[test]
+    fn priorities_shift_active_share() {
+        let mk = |p: f64| {
+            spec("w", vec![sa(10_000)]).with_priority(p)
+        };
+        let r = engine(Policy::Priority, true).run(
+            &[mk(9.0), mk(1.0)],
+            &RunOptions::new(20),
+        );
+        let hi = &r.workloads()[0];
+        let lo = &r.workloads()[1];
+        // Contending for the same SA, the high-priority workload gets most
+        // of it.
+        assert!(
+            hi.completed_requests() > 2 * lo.completed_requests(),
+            "hi {} vs lo {}",
+            hi.completed_requests(),
+            lo.completed_requests()
+        );
+    }
+
+    #[test]
+    fn multi_fu_pool_runs_same_kind_in_parallel() {
+        let cfg = NpuConfig::builder().fu_count(2).build();
+        let e = V10Engine::new(cfg, Policy::Priority, false);
+        let r = e.run(
+            &[spec("a", vec![sa(10_000)]), spec("b", vec![sa(10_000)])],
+            &RunOptions::new(5),
+        );
+        // Two SAs: the workloads truly run concurrently.
+        assert!(r.elapsed_cycles() < 1.2 * 5.0 * 10_000.0);
+    }
+
+    #[test]
+    fn hbm_contention_slows_memory_bound_ops() {
+        let heavy = |label: &str| {
+            spec(
+                label,
+                vec![OpDesc::builder(FuKind::Sa)
+                    .compute_cycles(10_000)
+                    // Demands 80% of peak alone; two of them oversubscribe.
+                    .hbm_bytes((10_000.0 * 471.0 * 0.8) as u64)
+                    .build()],
+            )
+        };
+        let a = heavy("a");
+        let b = spec(
+            "b",
+            vec![OpDesc::builder(FuKind::Vu)
+                .compute_cycles(10_000)
+                .hbm_bytes((10_000.0 * 471.0 * 0.8) as u64)
+                .build()],
+        );
+        let r = engine(Policy::Priority, false).run(&[a, b], &RunOptions::new(3));
+        // 1.6x demand vs 1.0 capacity: ops stretch by ~1.6x.
+        let lat = r.workloads()[0].avg_latency_cycles();
+        assert!(lat > 14_000.0, "expected HBM-stretched latency, got {lat}");
+        assert!(r.hbm_util() > 0.9, "HBM should be saturated: {}", r.hbm_util());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let specs = [
+            spec("a", vec![sa(5_000), vu(1_000)]),
+            spec("b", vec![sa(500), vu(4_000)]),
+        ];
+        let opts = RunOptions::new(7);
+        let r1 = engine(Policy::Priority, true).run(&specs, &opts);
+        let r2 = engine(Policy::Priority, true).run(&specs, &opts);
+        assert_eq!(r1.elapsed_cycles(), r2.elapsed_cycles());
+        assert_eq!(
+            r1.workloads()[0].avg_latency_cycles(),
+            r2.workloads()[0].avg_latency_cycles()
+        );
+    }
+
+    #[test]
+    fn report_conserves_busy_time() {
+        let specs = [
+            spec("a", vec![sa(5_000), vu(1_000)]),
+            spec("b", vec![sa(500), vu(4_000)]),
+        ];
+        let r = engine(Policy::Priority, true).run(&specs, &RunOptions::new(5));
+        let wl_busy: f64 = r
+            .workloads()
+            .iter()
+            .map(|w| w.busy_sa_cycles() + w.busy_vu_cycles())
+            .sum();
+        let fu_busy = r.sa_busy_cycles() + r.vu_busy_cycles();
+        assert!((wl_busy - fu_busy).abs() < 1e-3);
+        // Overlap buckets partition elapsed time.
+        let o = r.overlap();
+        assert!((o.both + o.sa_only + o.vu_only + o.idle - r.elapsed_cycles()).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_specs_rejected() {
+        let _ = engine(Policy::Priority, false).run(&[], &RunOptions::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_requests_rejected() {
+        let _ = RunOptions::new(0);
+    }
+
+    #[test]
+    fn workload_spec_accessors() {
+        let s = spec("name", vec![sa(10)]).with_priority(3.0);
+        assert_eq!(s.label(), "name");
+        assert_eq!(s.priority(), 3.0);
+        assert_eq!(s.trace().ops().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use v10_isa::OpDesc;
+
+    /// Strategy: a small random trace of 1-6 operators with mixed kinds,
+    /// lengths, and HBM demands.
+    fn arb_trace() -> impl Strategy<Value = RequestTrace> {
+        proptest::collection::vec(
+            (
+                proptest::bool::ANY,
+                1_000u64..200_000,
+                0u64..100_000_000,
+                0u64..2_000,
+            ),
+            1..6,
+        )
+        .prop_map(|ops| {
+            RequestTrace::new(
+                ops.into_iter()
+                    .map(|(is_sa, cycles, hbm, gap)| {
+                        let kind = if is_sa { FuKind::Sa } else { FuKind::Vu };
+                        OpDesc::builder(kind)
+                            .compute_cycles(cycles)
+                            .hbm_bytes(hbm.min(cycles * 300)) // keep demand < peak
+                            .dispatch_gap_cycles(gap)
+                            .build()
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Engine invariants hold for arbitrary workload pairs under every
+        /// design: requests complete, busy time is conserved (>= trace work,
+        /// bounded by elapsed), overlap buckets partition elapsed time, and
+        /// per-request latency is at least the trace's critical work.
+        #[test]
+        fn engine_invariants_random_traces(
+            t1 in arb_trace(),
+            t2 in arb_trace(),
+            preemption in proptest::bool::ANY,
+            rr in proptest::bool::ANY,
+        ) {
+            let specs = [
+                WorkloadSpec::new("a", t1.clone()),
+                WorkloadSpec::new("b", t2.clone()),
+            ];
+            let policy = if rr { Policy::RoundRobin } else { Policy::Priority };
+            let engine = V10Engine::new(NpuConfig::table5(), policy, preemption && !rr);
+            let r = engine.run(&specs, &RunOptions::new(3));
+
+            // All requests completed.
+            for wl in r.workloads() {
+                prop_assert!(wl.completed_requests() >= 3);
+            }
+            // Work conservation per workload.
+            for (wl, trace) in r.workloads().iter().zip([&t1, &t2]) {
+                let per_req = trace.total_compute_cycles() as f64;
+                let done = wl.completed_requests() as f64;
+                let busy = wl.busy_sa_cycles() + wl.busy_vu_cycles();
+                prop_assert!(busy >= done * per_req - 1.0,
+                    "lost work: busy {busy} < {} requests x {per_req}", done);
+                // Occupancy can stretch under HBM contention, but not 3x.
+                prop_assert!(busy <= 3.0 * done * per_req + 1.0);
+                // Latency covers at least the request's own busy time.
+                for &lat in wl.latencies_cycles() {
+                    prop_assert!(lat + 1.0 >= per_req, "latency {lat} < work {per_req}");
+                }
+            }
+            // Overlap buckets partition elapsed time.
+            let o = r.overlap();
+            prop_assert!((o.total() - r.elapsed_cycles()).abs() < 1e-3);
+            // FU-side busy equals workload-side busy.
+            let wl_busy: f64 = r.workloads().iter()
+                .map(|w| w.busy_sa_cycles() + w.busy_vu_cycles()).sum();
+            prop_assert!((wl_busy - r.sa_busy_cycles() - r.vu_busy_cycles()).abs() < 1e-3);
+            // Utilizations are fractions.
+            for u in [r.sa_util(), r.vu_util(), r.hbm_util()] {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+            }
+        }
+
+        /// Without preemption, no workload is ever preempted; with the
+        /// round-robin policy the same holds (V10-Base is non-preemptive).
+        #[test]
+        fn no_preemption_designs_never_preempt(
+            t1 in arb_trace(),
+            t2 in arb_trace(),
+        ) {
+            for (policy, preempt) in [(Policy::RoundRobin, false), (Policy::Priority, false)] {
+                let engine = V10Engine::new(NpuConfig::table5(), policy, preempt);
+                let r = engine.run(
+                    &[WorkloadSpec::new("a", t1.clone()), WorkloadSpec::new("b", t2.clone())],
+                    &RunOptions::new(2),
+                );
+                for wl in r.workloads() {
+                    prop_assert_eq!(wl.preemptions(), 0);
+                }
+                prop_assert_eq!(r.switch_overhead_cycles(), 0.0);
+            }
+        }
+
+        /// Scaling the FU pool never hurts: elapsed time with 2 FU pairs is
+        /// at most (slightly above) elapsed with 1 pair.
+        #[test]
+        fn more_fus_never_slow_things_down(
+            t1 in arb_trace(),
+            t2 in arb_trace(),
+        ) {
+            let specs = [WorkloadSpec::new("a", t1), WorkloadSpec::new("b", t2)];
+            let opts = RunOptions::new(2);
+            let small = V10Engine::new(NpuConfig::table5(), Policy::Priority, false)
+                .run(&specs, &opts);
+            let big_cfg = NpuConfig::builder().fu_count(2).build();
+            let big = V10Engine::new(big_cfg, Policy::Priority, false).run(&specs, &opts);
+            prop_assert!(big.elapsed_cycles() <= small.elapsed_cycles() * 1.01 + 1.0);
+        }
+    }
+}

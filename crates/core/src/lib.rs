@@ -1,0 +1,78 @@
+//! # v10-core — the V10 hardware-assisted NPU multi-tenancy framework
+//!
+//! This crate is the paper's primary contribution: an operator scheduler
+//! that co-executes tensor operators from different ML workloads on the
+//! systolic arrays and vector units of one NPU core, with fine-grained
+//! operator preemption and priority-based fairness.
+//!
+//! * [`context`] — the workload context table of Fig. 11 ([`ContextTable`]):
+//!   one row per collocated workload tracking its most recent operator's
+//!   Ready/Active bits, FU assignment, and active/total cycle counters.
+//! * [`policy`] — the scheduling policies of §3.2 ([`Policy`],
+//!   [`Scheduler`]): Round-Robin and the priority-based policy of
+//!   Algorithm 1 (lowest `active_rate_p = active_rate / priority` first).
+//! * [`engine`] — the simultaneous-multi-tenancy executor ([`V10Engine`]):
+//!   event-driven co-execution of operator streams over the FU pool, HBM
+//!   arbitration, instruction-prefetch Ready tracking, and the
+//!   preemption-timer mechanism of §3.3.
+//! * [`pmt`] — the baselines: PREMA-style preemptive multi-tasking
+//!   ([`run_pmt`], task-level time sharing with 20–40 µs context switches)
+//!   and single-tenant execution ([`run_single_tenant`]).
+//! * [`design`] — the four evaluated designs ([`Design`]): `PMT`,
+//!   `V10-Base`, `V10-Fair`, `V10-Full` (§5.1), behind one entry point
+//!   ([`run_design`]).
+//! * [`metrics`] — run reports and the paper's metrics: utilizations,
+//!   overlap breakdown (Fig. 17), system throughput (STP, Fig. 18),
+//!   average/tail latency (Figs. 19–20), preemption accounting (Fig. 21).
+//! * [`overhead`] — the hardware-cost model of Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use v10_core::{run_design, Design, WorkloadSpec, RunOptions};
+//! use v10_isa::{FuKind, OpDesc, RequestTrace};
+//! use v10_npu::NpuConfig;
+//!
+//! // Two tiny complementary workloads: one SA-heavy, one VU-heavy.
+//! let sa_heavy = WorkloadSpec::new(
+//!     "sa-heavy",
+//!     RequestTrace::new(vec![
+//!         OpDesc::builder(FuKind::Sa).compute_cycles(5_000).build(),
+//!         OpDesc::builder(FuKind::Vu).compute_cycles(500).build(),
+//!     ]),
+//! );
+//! let vu_heavy = WorkloadSpec::new(
+//!     "vu-heavy",
+//!     RequestTrace::new(vec![
+//!         OpDesc::builder(FuKind::Sa).compute_cycles(500).build(),
+//!         OpDesc::builder(FuKind::Vu).compute_cycles(5_000).build(),
+//!     ]),
+//! );
+//! let cfg = NpuConfig::table5();
+//! let opts = RunOptions::new(20);
+//! let pmt = run_design(Design::Pmt, &[sa_heavy.clone(), vu_heavy.clone()], &cfg, &opts);
+//! let v10 = run_design(Design::V10Full, &[sa_heavy, vu_heavy], &cfg, &opts);
+//! // Simultaneous operator execution finishes the same work sooner.
+//! assert!(v10.elapsed_cycles() < pmt.elapsed_cycles());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod design;
+pub mod engine;
+pub mod metrics;
+pub mod overhead;
+pub mod packed;
+pub mod pmt;
+pub mod policy;
+
+pub use context::{ContextTable, WorkloadId};
+pub use design::{run_design, Design};
+pub use engine::{RunOptions, V10Engine, WorkloadSpec};
+pub use metrics::{OverlapBreakdown, RunReport, WorkloadReport};
+pub use overhead::{estimate_overhead, SchedulerOverhead, TABLE3_PUBLISHED};
+pub use packed::{pack_row, parse_table_image, snapshot_table, unpack_row, PackedRowFields};
+pub use pmt::{run_pmt, run_single_tenant};
+pub use policy::{Policy, Scheduler};

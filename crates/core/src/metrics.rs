@@ -1,0 +1,440 @@
+//! Run reports and the paper's evaluation metrics.
+//!
+//! * **Utilization** (Figs. 9, 16): per-kind FU occupancy and HBM bandwidth
+//!   use over the run.
+//! * **Overlap breakdown** (Fig. 17): wall-clock time with both SA and VU
+//!   busy, only one busy, or neither.
+//! * **System throughput** (Fig. 18): the sum of each workload's normalized
+//!   forward progress versus its single-tenant run — the STP metric of
+//!   Eyerman & Eeckhout that the paper adopts ("the sum of the normalized
+//!   forward progress of each collocated workload").
+//! * **Latency** (Figs. 19–20): per-workload average and 95th-percentile
+//!   request latency.
+//! * **Preemption accounting** (Fig. 21): context-switch overhead and
+//!   preemptions per request.
+
+use v10_sim::Percentiles;
+
+/// Wall-clock partition of a run by which FU kinds were busy (Fig. 17).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapBreakdown {
+    /// Cycles with at least one SA *and* one VU busy.
+    pub both: f64,
+    /// Cycles with only SA(s) busy.
+    pub sa_only: f64,
+    /// Cycles with only VU(s) busy.
+    pub vu_only: f64,
+    /// Cycles with no FU busy.
+    pub idle: f64,
+}
+
+impl OverlapBreakdown {
+    /// Adds `dt` cycles to the bucket matching the busy pattern.
+    pub fn accumulate(&mut self, sa_busy: bool, vu_busy: bool, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        match (sa_busy, vu_busy) {
+            (true, true) => self.both += dt,
+            (true, false) => self.sa_only += dt,
+            (false, true) => self.vu_only += dt,
+            (false, false) => self.idle += dt,
+        }
+    }
+
+    /// Total accounted cycles.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.both + self.sa_only + self.vu_only + self.idle
+    }
+
+    /// Fraction of non-idle time with both kinds busy — the paper's
+    /// "SA Op & VU Op" share in Fig. 17.
+    #[must_use]
+    pub fn both_fraction_of_elapsed(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.both / t
+        }
+    }
+}
+
+/// Per-workload outcome of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    label: String,
+    priority: f64,
+    completed_requests: usize,
+    latencies: Vec<f64>,
+    avg_latency: f64,
+    p95_latency: f64,
+    busy_sa: f64,
+    busy_vu: f64,
+    hbm_bytes: f64,
+    preemptions: u64,
+    switch_overhead: f64,
+}
+
+impl WorkloadReport {
+    /// Assembles a report; latency summaries are precomputed here.
+    #[allow(clippy::too_many_arguments)] // internal constructor, called by the executors
+    #[must_use]
+    pub(crate) fn new(
+        label: String,
+        priority: f64,
+        completed_requests: usize,
+        latencies: Vec<f64>,
+        busy_sa: f64,
+        busy_vu: f64,
+        hbm_bytes: f64,
+        preemptions: u64,
+        switch_overhead: f64,
+    ) -> Self {
+        let mut p: Percentiles = latencies.iter().copied().collect();
+        let avg = p.mean();
+        let p95 = p.p95().unwrap_or(0.0);
+        WorkloadReport {
+            label,
+            priority,
+            completed_requests,
+            latencies,
+            avg_latency: avg,
+            p95_latency: p95,
+            busy_sa,
+            busy_vu,
+            hbm_bytes,
+            preemptions,
+            switch_overhead,
+        }
+    }
+
+    /// The workload's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The configured priority.
+    #[must_use]
+    pub fn priority(&self) -> f64 {
+        self.priority
+    }
+
+    /// Inference requests completed during the run.
+    #[must_use]
+    pub fn completed_requests(&self) -> usize {
+        self.completed_requests
+    }
+
+    /// Raw per-request latencies in cycles.
+    #[must_use]
+    pub fn latencies_cycles(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Mean request latency in cycles (Fig. 19's metric).
+    #[must_use]
+    pub fn avg_latency_cycles(&self) -> f64 {
+        self.avg_latency
+    }
+
+    /// 95th-percentile request latency in cycles (Fig. 20's metric).
+    #[must_use]
+    pub fn p95_latency_cycles(&self) -> f64 {
+        self.p95_latency
+    }
+
+    /// Cycles this workload occupied SAs.
+    #[must_use]
+    pub fn busy_sa_cycles(&self) -> f64 {
+        self.busy_sa
+    }
+
+    /// Cycles this workload occupied VUs.
+    #[must_use]
+    pub fn busy_vu_cycles(&self) -> f64 {
+        self.busy_vu
+    }
+
+    /// HBM bytes this workload moved.
+    #[must_use]
+    pub fn hbm_bytes(&self) -> f64 {
+        self.hbm_bytes
+    }
+
+    /// Times this workload's operators were preempted.
+    #[must_use]
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Context-switch cycles charged to this workload's preemptions.
+    #[must_use]
+    pub fn switch_overhead_cycles(&self) -> f64 {
+        self.switch_overhead
+    }
+
+    /// Preemptions per completed request (Fig. 21, right axis).
+    #[must_use]
+    pub fn preemptions_per_request(&self) -> f64 {
+        if self.completed_requests == 0 {
+            0.0
+        } else {
+            self.preemptions as f64 / self.completed_requests as f64
+        }
+    }
+
+    /// Context-switch overhead relative to the workload's useful busy time
+    /// (Fig. 21, left axis).
+    #[must_use]
+    pub fn switch_overhead_fraction(&self) -> f64 {
+        let busy = self.busy_sa + self.busy_vu;
+        if busy <= 0.0 {
+            0.0
+        } else {
+            self.switch_overhead / busy
+        }
+    }
+}
+
+/// The outcome of one multi-tenant (or single-tenant) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    elapsed: f64,
+    sa_busy: f64,
+    vu_busy: f64,
+    switch_overhead: f64,
+    overlap: OverlapBreakdown,
+    hbm_bytes: f64,
+    hbm_peak_bytes_per_cycle: f64,
+    fu_pairs: u32,
+    workloads: Vec<WorkloadReport>,
+}
+
+impl RunReport {
+    #[allow(clippy::too_many_arguments)] // internal constructor, called by the executors
+    #[must_use]
+    pub(crate) fn new(
+        elapsed: f64,
+        sa_busy: f64,
+        vu_busy: f64,
+        switch_overhead: f64,
+        overlap: OverlapBreakdown,
+        hbm_bytes: f64,
+        hbm_peak_bytes_per_cycle: f64,
+        fu_pairs: u32,
+        workloads: Vec<WorkloadReport>,
+    ) -> Self {
+        RunReport {
+            elapsed,
+            sa_busy,
+            vu_busy,
+            switch_overhead,
+            overlap,
+            hbm_bytes,
+            hbm_peak_bytes_per_cycle,
+            fu_pairs,
+            workloads,
+        }
+    }
+
+    /// Simulated cycles until every workload reached its request target.
+    #[must_use]
+    pub fn elapsed_cycles(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Aggregate SA busy cycles (summed over the pool's SAs).
+    #[must_use]
+    pub fn sa_busy_cycles(&self) -> f64 {
+        self.sa_busy
+    }
+
+    /// Aggregate VU busy cycles.
+    #[must_use]
+    pub fn vu_busy_cycles(&self) -> f64 {
+        self.vu_busy
+    }
+
+    /// Aggregate context-switch cycles across all FUs.
+    #[must_use]
+    pub fn switch_overhead_cycles(&self) -> f64 {
+        self.switch_overhead
+    }
+
+    /// SA temporal utilization in `[0, 1]` (Fig. 16a).
+    #[must_use]
+    pub fn sa_util(&self) -> f64 {
+        self.sa_busy / (self.fu_pairs as f64 * self.elapsed.max(1e-12))
+    }
+
+    /// VU temporal utilization in `[0, 1]` (Fig. 16b).
+    #[must_use]
+    pub fn vu_util(&self) -> f64 {
+        self.vu_busy / (self.fu_pairs as f64 * self.elapsed.max(1e-12))
+    }
+
+    /// Mean of SA and VU utilization — the "aggregated utilization of all
+    /// compute units" headline metric (§5.2).
+    #[must_use]
+    pub fn aggregate_compute_util(&self) -> f64 {
+        (self.sa_util() + self.vu_util()) / 2.0
+    }
+
+    /// HBM bandwidth utilization in `[0, 1]` (Fig. 16c).
+    #[must_use]
+    pub fn hbm_util(&self) -> f64 {
+        self.hbm_bytes / (self.elapsed.max(1e-12) * self.hbm_peak_bytes_per_cycle)
+    }
+
+    /// The Fig. 17 overlap breakdown.
+    #[must_use]
+    pub fn overlap(&self) -> OverlapBreakdown {
+        self.overlap
+    }
+
+    /// Per-workload reports, in spec order.
+    #[must_use]
+    pub fn workloads(&self) -> &[WorkloadReport] {
+        &self.workloads
+    }
+
+    /// System throughput: `Σ_i single_tenant_avg_latency_i /
+    /// multi_tenant_avg_latency_i` — each workload's normalized forward
+    /// progress, summed (Fig. 18; ideal = number of workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `single_tenant_avg_latencies` does not have one entry per
+    /// workload or any entry is non-positive.
+    #[must_use]
+    pub fn system_throughput(&self, single_tenant_avg_latencies: &[f64]) -> f64 {
+        assert_eq!(
+            single_tenant_avg_latencies.len(),
+            self.workloads.len(),
+            "need one single-tenant reference per workload"
+        );
+        self.workloads
+            .iter()
+            .zip(single_tenant_avg_latencies)
+            .map(|(wl, &single)| {
+                assert!(single > 0.0, "single-tenant latency must be positive");
+                let multi = wl.avg_latency_cycles();
+                if multi <= 0.0 {
+                    0.0
+                } else {
+                    single / multi
+                }
+            })
+            .sum()
+    }
+
+    /// One workload's normalized progress vs its dedicated-core run
+    /// (Fig. 22a's "Perf vs Ideal").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `single_tenant_avg_latency` is
+    /// non-positive.
+    #[must_use]
+    pub fn normalized_progress(&self, index: usize, single_tenant_avg_latency: f64) -> f64 {
+        assert!(single_tenant_avg_latency > 0.0, "reference latency must be positive");
+        let multi = self.workloads[index].avg_latency_cycles();
+        if multi <= 0.0 {
+            0.0
+        } else {
+            single_tenant_avg_latency / multi
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(label: &str, latencies: Vec<f64>) -> WorkloadReport {
+        WorkloadReport::new(label.into(), 1.0, latencies.len(), latencies, 10.0, 5.0, 0.0, 3, 100.0)
+    }
+
+    fn report(workloads: Vec<WorkloadReport>) -> RunReport {
+        RunReport::new(
+            1_000.0,
+            600.0,
+            300.0,
+            50.0,
+            OverlapBreakdown { both: 250.0, sa_only: 350.0, vu_only: 50.0, idle: 350.0 },
+            100_000.0,
+            471.0,
+            1,
+            workloads,
+        )
+    }
+
+    #[test]
+    fn utilizations_divide_by_elapsed_and_pool() {
+        let r = report(vec![wl("a", vec![100.0])]);
+        assert!((r.sa_util() - 0.6).abs() < 1e-12);
+        assert!((r.vu_util() - 0.3).abs() < 1e-12);
+        assert!((r.aggregate_compute_util() - 0.45).abs() < 1e-12);
+        assert!((r.hbm_util() - 100_000.0 / 471_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_buckets_partition_time() {
+        let mut o = OverlapBreakdown::default();
+        o.accumulate(true, true, 1.0);
+        o.accumulate(true, false, 2.0);
+        o.accumulate(false, true, 3.0);
+        o.accumulate(false, false, 4.0);
+        assert_eq!(o.total(), 10.0);
+        assert!((o.both_fraction_of_elapsed() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_summaries_precomputed() {
+        let w = wl("a", (1..=100).map(f64::from).collect());
+        assert!((w.avg_latency_cycles() - 50.5).abs() < 1e-12);
+        assert!((w.p95_latency_cycles() - 95.05).abs() < 1e-9);
+        assert_eq!(w.completed_requests(), 100);
+    }
+
+    #[test]
+    fn empty_latency_workload_is_zeroed() {
+        let w = WorkloadReport::new("x".into(), 1.0, 0, vec![], 0.0, 0.0, 0.0, 0, 0.0);
+        assert_eq!(w.avg_latency_cycles(), 0.0);
+        assert_eq!(w.p95_latency_cycles(), 0.0);
+        assert_eq!(w.preemptions_per_request(), 0.0);
+        assert_eq!(w.switch_overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stp_sums_normalized_progress() {
+        let r = report(vec![wl("a", vec![200.0]), wl("b", vec![400.0])]);
+        // Singles: 100 and 100 -> progress 0.5 + 0.25.
+        let stp = r.system_throughput(&[100.0, 100.0]);
+        assert!((stp - 0.75).abs() < 1e-12);
+        assert!((r.normalized_progress(1, 100.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preemption_accounting() {
+        let w = wl("a", vec![10.0, 20.0]);
+        assert!((w.preemptions_per_request() - 1.5).abs() < 1e-12);
+        // overhead 100 / busy 15.
+        assert!((w.switch_overhead_fraction() - 100.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one single-tenant reference")]
+    fn stp_requires_matching_lengths() {
+        let r = report(vec![wl("a", vec![1.0])]);
+        let _ = r.system_throughput(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn stp_rejects_bad_reference() {
+        let r = report(vec![wl("a", vec![1.0])]);
+        let _ = r.system_throughput(&[0.0]);
+    }
+}

@@ -1,0 +1,384 @@
+//! Baseline executors: PREMA-style preemptive multi-tasking and
+//! single-tenant execution.
+//!
+//! **PMT** (§5.1) is "the baseline preemptive multi-tasking NPU, which
+//! supports time-sharing of an NPU core without simultaneous operator
+//! execution. It preempts a workload at the ML inference task level with
+//! 20 µs–40 µs context switch overhead." Exactly one workload owns the whole
+//! core at a time (its SA and VU operators still run one after another, as
+//! in single-tenant execution); ownership rotates round-robin with time
+//! slices proportional to priority; each rotation pays a uniformly random
+//! 20–40 µs whole-core context switch (PREMA stores the full context in
+//! off-chip HBM).
+//!
+//! **Single-tenant** execution is PMT with one workload and no switches —
+//! the normalization baseline for forward progress / STP.
+
+use v10_isa::FuKind;
+use v10_npu::{HbmArbiter, InstructionDma, NpuConfig};
+use v10_sim::SimRng;
+
+use crate::engine::{RunOptions, WorkloadSpec};
+use crate::metrics::{OverlapBreakdown, RunReport, WorkloadReport};
+
+const EPS: f64 = 1e-6;
+
+/// PMT's context-switch cost range in microseconds (§5.1).
+const PMT_SWITCH_MIN_US: f64 = 20.0;
+const PMT_SWITCH_MAX_US: f64 = 40.0;
+
+#[derive(Debug)]
+struct WlState {
+    trace: v10_isa::RequestTrace,
+    op_idx: usize,
+    op_remaining: f64,
+    fetch_ready_at: f64,
+    request_start: f64,
+    completed: usize,
+    latencies: Vec<f64>,
+    busy_sa: f64,
+    busy_vu: f64,
+    hbm_bytes: f64,
+    preemptions: u64,
+    switch_overhead: f64,
+    /// Wall-clock residence: accumulated outside ownership too, so request
+    /// latency spans the paused periods (as it must).
+    _reserved: (),
+}
+
+impl WlState {
+    fn current_op(&self) -> &v10_isa::OpDesc {
+        &self.trace.ops()[self.op_idx]
+    }
+}
+
+/// Runs the PMT baseline on `specs`.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+#[must_use]
+pub fn run_pmt(specs: &[WorkloadSpec], config: &NpuConfig, opts: &RunOptions) -> RunReport {
+    assert!(!specs.is_empty(), "need at least one workload");
+    let hbm_peak = config.hbm_bytes_per_cycle();
+    let mut hbm = HbmArbiter::new(hbm_peak);
+    let dma = InstructionDma::new(hbm_peak);
+    let mut rng = SimRng::seed_from(opts.seed() ^ 0x0093_4711);
+    let clock = config.frequency();
+
+    let mut wls: Vec<WlState> = specs
+        .iter()
+        .map(|s| {
+            let mut wl = WlState {
+                trace: s.trace().clone(),
+                op_idx: 0,
+                op_remaining: 0.0,
+                fetch_ready_at: 0.0,
+                request_start: 0.0,
+                completed: 0,
+                latencies: Vec::new(),
+                busy_sa: 0.0,
+                busy_vu: 0.0,
+                hbm_bytes: 0.0,
+                preemptions: 0,
+                switch_overhead: 0.0,
+                _reserved: (),
+            };
+            wl.op_remaining = wl.current_op().compute_cycles() as f64;
+            wl.fetch_ready_at = dma
+                .ready_at(wl.current_op(), 0.0, 0.0)
+                .max(wl.current_op().dispatch_gap_cycles() as f64);
+            wl
+        })
+        .collect();
+
+    // Ownership slices proportional to priority, averaging the configured
+    // PMT slice.
+    let total_priority: f64 = specs.iter().map(WorkloadSpec::priority).sum();
+    let slice_of = |i: usize| -> f64 {
+        opts.pmt_slice_cycles() as f64 * specs.len() as f64 * specs[i].priority() / total_priority
+    };
+
+    let mut owner = 0usize;
+    let mut now = 0.0f64;
+    let mut owner_until = slice_of(owner);
+    let mut overlap = OverlapBreakdown::default();
+    let (mut sa_busy, mut vu_busy) = (0.0f64, 0.0f64);
+    let mut switch_overhead_total = 0.0f64;
+    let single = specs.len() == 1;
+
+    while !wls
+        .iter()
+        .all(|w| w.completed >= opts.requests_per_workload())
+    {
+        // Ownership expiry (multi-tenant only).
+        if !single && now + EPS >= owner_until {
+            let cost = clock
+                .cycles_from_micros(rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US))
+                .as_u64() as f64;
+            wls[owner].preemptions += 1;
+            wls[owner].switch_overhead += cost;
+            switch_overhead_total += cost;
+            overlap.accumulate(false, false, cost);
+            now += cost;
+            owner = (owner + 1) % wls.len();
+            owner_until = now + slice_of(owner);
+            continue;
+        }
+
+        let fetching = {
+            let wl = &wls[owner];
+            wl.fetch_ready_at > now + EPS
+        };
+        let mut dt = if single { f64::INFINITY } else { owner_until - now };
+        if fetching {
+            dt = dt.min(wls[owner].fetch_ready_at - now);
+            // Idle while waiting for the instruction DMA.
+            let dt = dt.max(0.0);
+            overlap.accumulate(false, false, dt);
+            now += dt;
+            continue;
+        }
+
+        // The owner's current operator runs alone on the core.
+        let kind = wls[owner].current_op().kind();
+        let demand = wls[owner].current_op().hbm_demand_bytes_per_cycle();
+        let rate = hbm.progress_rates(&[(owner, demand)])[0].1;
+        assert!(rate > EPS, "operator starved of bandwidth");
+        dt = dt.min(wls[owner].op_remaining / rate);
+        let dt = dt.max(0.0);
+
+        {
+            let wl = &mut wls[owner];
+            wl.op_remaining -= rate * dt;
+            let bytes = demand * rate * dt;
+            wl.hbm_bytes += bytes;
+            hbm.record_bytes(bytes);
+            match kind {
+                FuKind::Sa => {
+                    wl.busy_sa += dt;
+                    sa_busy += dt;
+                }
+                FuKind::Vu => {
+                    wl.busy_vu += dt;
+                    vu_busy += dt;
+                }
+            }
+        }
+        overlap.accumulate(kind == FuKind::Sa, kind == FuKind::Vu, dt);
+        now += dt;
+
+        // Operator completion.
+        if wls[owner].op_remaining <= EPS {
+            let issue_time = now; // prefetch of the next op starts now
+            let wl = &mut wls[owner];
+            wl.op_idx += 1;
+            if wl.op_idx == wl.trace.ops().len() {
+                wl.latencies.push(now - wl.request_start);
+                wl.completed += 1;
+                wl.op_idx = 0;
+                wl.request_start = now;
+            }
+            wl.op_remaining = wl.current_op().compute_cycles() as f64;
+            // The fetch overlapped the finished operator, surfacing only its
+            // tail; the dispatch gap (host-side stalls) starts now.
+            wl.fetch_ready_at = dma
+                .ready_at(wl.current_op(), issue_time, now)
+                .max(now + wl.current_op().dispatch_gap_cycles() as f64);
+        }
+    }
+
+    let workloads = specs
+        .iter()
+        .zip(&wls)
+        .map(|(spec, wl)| {
+            WorkloadReport::new(
+                spec.label().to_string(),
+                spec.priority(),
+                wl.completed,
+                wl.latencies.clone(),
+                wl.busy_sa,
+                wl.busy_vu,
+                wl.hbm_bytes,
+                wl.preemptions,
+                wl.switch_overhead,
+            )
+        })
+        .collect();
+    RunReport::new(
+        now,
+        sa_busy,
+        vu_busy,
+        switch_overhead_total,
+        overlap,
+        hbm.bytes_moved(),
+        hbm_peak,
+        config.fu_count(),
+        workloads,
+    )
+}
+
+/// Runs `spec` alone on a dedicated core — the normalization baseline for
+/// forward progress, STP, and the Fig. 22 "ideal" reference.
+#[must_use]
+pub fn run_single_tenant(spec: &WorkloadSpec, config: &NpuConfig, requests: usize) -> RunReport {
+    run_pmt(
+        std::slice::from_ref(spec),
+        config,
+        &RunOptions::new(requests),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v10_isa::{OpDesc, RequestTrace};
+
+    fn sa(cycles: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Sa).compute_cycles(cycles).build()
+    }
+    fn vu(cycles: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Vu).compute_cycles(cycles).build()
+    }
+    fn spec(label: &str, ops: Vec<OpDesc>) -> WorkloadSpec {
+        WorkloadSpec::new(label, RequestTrace::new(ops))
+    }
+
+    #[test]
+    fn single_tenant_has_no_switches() {
+        let r = run_single_tenant(
+            &spec("w", vec![sa(10_000), vu(2_000)]),
+            &NpuConfig::table5(),
+            5,
+        );
+        let wl = &r.workloads()[0];
+        assert_eq!(wl.completed_requests(), 5);
+        assert_eq!(wl.preemptions(), 0);
+        assert_eq!(r.switch_overhead_cycles(), 0.0);
+        // Latency ~= busy time plus small DMA tails.
+        assert!(wl.avg_latency_cycles() >= 12_000.0);
+        assert!(wl.avg_latency_cycles() < 13_000.0);
+    }
+
+    #[test]
+    fn pmt_never_overlaps_sa_and_vu() {
+        let r = run_pmt(
+            &[
+                spec("a", vec![sa(50_000), vu(5_000)]),
+                spec("b", vec![sa(5_000), vu(50_000)]),
+            ],
+            &NpuConfig::table5(),
+            &RunOptions::new(5),
+        );
+        assert_eq!(r.overlap().both, 0.0, "PMT cannot overlap SA and VU (O4)");
+        assert!(r.sa_util() < 1.0 && r.vu_util() < 1.0);
+    }
+
+    #[test]
+    fn pmt_time_shares_fairly_with_equal_priorities() {
+        // Requests comparable to the 2 ms PMT slice, many of them, so the
+        // end-of-run imbalance is at most one slice.
+        let w = spec("w", vec![sa(1_000_000)]);
+        let r = run_pmt(
+            &[w.clone(), w],
+            &NpuConfig::table5(),
+            &RunOptions::new(10),
+        );
+        let a = r.workloads()[0].busy_sa_cycles();
+        let b = r.workloads()[1].busy_sa_cycles();
+        let ratio = a / b;
+        assert!((0.8..1.25).contains(&ratio), "unfair share: {ratio}");
+    }
+
+    #[test]
+    fn pmt_priority_scales_time_share() {
+        let mk = |p: f64| spec("w", vec![sa(100_000)]).with_priority(p);
+        let r = run_pmt(
+            &[mk(3.0), mk(1.0)],
+            &NpuConfig::table5(),
+            &RunOptions::new(6),
+        );
+        // The high-priority workload gets ~3x the core time, so it finishes
+        // requests ~3x faster.
+        let hi = r.workloads()[0].avg_latency_cycles();
+        let lo = r.workloads()[1].avg_latency_cycles();
+        assert!(lo > 1.8 * hi, "priority had no effect: hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn pmt_switch_costs_are_20_to_40_us() {
+        let r = run_pmt(
+            &[
+                spec("a", vec![sa(1_000_000)]),
+                spec("b", vec![sa(1_000_000)]),
+            ],
+            &NpuConfig::table5(),
+            &RunOptions::new(3),
+        );
+        let total_preempts: u64 = r.workloads().iter().map(|w| w.preemptions()).sum();
+        assert!(total_preempts > 0);
+        let per_switch = r.switch_overhead_cycles() / total_preempts as f64;
+        // 20-40 us at 700 MHz = 14_000-28_000 cycles.
+        assert!(
+            (14_000.0..=28_000.0).contains(&per_switch),
+            "per-switch cost {per_switch}"
+        );
+    }
+
+    #[test]
+    fn pmt_preempts_far_less_often_than_its_slice_would_under_v10() {
+        // PMT's 2 ms task-level slice gives ~request-scale preemption counts.
+        let r = run_pmt(
+            &[
+                spec("a", vec![sa(700_000), vu(700_000)]), // 2 ms requests
+                spec("b", vec![sa(700_000), vu(700_000)]),
+            ],
+            &NpuConfig::table5(),
+            &RunOptions::new(5),
+        );
+        for wl in r.workloads() {
+            assert!(
+                wl.preemptions_per_request() <= 4.0,
+                "{}: {} preempts/request",
+                wl.label(),
+                wl.preemptions_per_request()
+            );
+        }
+    }
+
+    #[test]
+    fn latencies_span_paused_periods() {
+        // With two tenants, each request takes at least ~2x its busy time.
+        let r = run_pmt(
+            &[
+                spec("a", vec![sa(3_000_000)]),
+                spec("b", vec![sa(3_000_000)]),
+            ],
+            &NpuConfig::table5(),
+            &RunOptions::new(3),
+        );
+        for wl in r.workloads() {
+            assert!(wl.avg_latency_cycles() > 1.7 * 3_000_000.0, "{}", wl.label());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let specs = [
+            spec("a", vec![sa(50_000)]),
+            spec("b", vec![vu(50_000)]),
+        ];
+        let opts = RunOptions::new(4).with_seed(9);
+        let r1 = run_pmt(&specs, &NpuConfig::table5(), &opts);
+        let r2 = run_pmt(&specs, &NpuConfig::table5(), &opts);
+        assert_eq!(r1.elapsed_cycles(), r2.elapsed_cycles());
+        let r3 = run_pmt(&specs, &NpuConfig::table5(), &RunOptions::new(4).with_seed(10));
+        assert_ne!(r1.elapsed_cycles(), r3.elapsed_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_specs_rejected() {
+        let _ = run_pmt(&[], &NpuConfig::table5(), &RunOptions::new(1));
+    }
+}

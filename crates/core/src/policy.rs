@@ -1,0 +1,299 @@
+//! Operator scheduling policies (§3.2 of the paper).
+//!
+//! When more operators are ready than functional units are free, the
+//! scheduling policy decides which workload executes next:
+//!
+//! * **Round-Robin** (the V10-Base policy): circulate through the workloads
+//!   with ready operators. Balances operator *counts*, not execution time,
+//!   so long-operator workloads starve short-operator ones.
+//! * **Priority-based** (Algorithm 1, used by V10-Fair and V10-Full): pick
+//!   the non-running workload with the smallest
+//!   `active_rate_p = active_rate / priority` whose ready operator matches
+//!   the free FU's kind — the workload most starved relative to its
+//!   priority.
+
+use v10_isa::FuKind;
+
+use crate::context::{ContextTable, WorkloadId};
+
+/// Preempt when the waiting workload's `active_rate_p` is below this
+/// fraction of the running one's. At `1.0` this is Algorithm 1 verbatim:
+/// any active-rate imbalance lets the starved workload take the FU at the
+/// next timer tick. Values below 1.0 add hysteresis (preempt only on clear
+/// starvation); with realistic traces — whose inter-operator dispatch gaps
+/// give the preempted workload natural catch-up windows — the verbatim
+/// policy measures strictly better, so it is the default. See
+/// [`Scheduler::prefers_preemption`].
+pub const PREEMPT_HYSTERESIS: f64 = 1.0;
+
+/// Which scheduling policy the operator scheduler enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Naïve round-robin over workloads with ready operators.
+    RoundRobin,
+    /// Algorithm 1: lowest `active_rate_p` first.
+    Priority,
+}
+
+/// The operator scheduler's policy engine.
+///
+/// # Example
+///
+/// ```
+/// use v10_core::{ContextTable, Policy, Scheduler, WorkloadId};
+/// use v10_isa::FuKind;
+///
+/// let mut table = ContextTable::new(&[1.0, 1.0]);
+/// let (w0, w1) = (WorkloadId::new(0), WorkloadId::new(1));
+/// for w in [w0, w1] {
+///     table.set_current_op(w, 0, FuKind::Sa);
+///     table.set_ready(w, true);
+/// }
+/// // w0 has hogged the core; Algorithm 1 picks the starved w1.
+/// table.add_active_cycles(w0, 900.0);
+/// table.add_active_cycles(w1, 100.0);
+/// let mut sched = Scheduler::new(Policy::Priority);
+/// assert_eq!(sched.pick_next(&table, FuKind::Sa, 1_000.0), Some(w1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduler {
+    policy: Policy,
+    rr_cursor: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler enforcing `policy`.
+    #[must_use]
+    pub fn new(policy: Policy) -> Self {
+        Scheduler { policy, rr_cursor: 0 }
+    }
+
+    /// The enforced policy.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Picks the workload whose ready operator should be issued to a free
+    /// FU of kind `fu_type`, or `None` if no workload qualifies
+    /// (Algorithm 1's `NO_WORKLOAD_AVAILABLE`).
+    ///
+    /// A workload qualifies when it is not already running on some FU
+    /// (operators within a workload are sequential) and its current operator
+    /// is ready and of the right kind.
+    pub fn pick_next(
+        &mut self,
+        table: &ContextTable,
+        fu_type: FuKind,
+        now: f64,
+    ) -> Option<WorkloadId> {
+        match self.policy {
+            Policy::RoundRobin => self.pick_round_robin(table, fu_type),
+            Policy::Priority => Self::pick_priority(table, fu_type, now),
+        }
+    }
+
+    /// Would Algorithm 1 rather run `candidate` than keep `running` on the
+    /// FU? True when the candidate is more starved relative to its priority
+    /// (scaled by [`PREEMPT_HYSTERESIS`]) — the preemption module's trigger
+    /// condition (§3.3), evaluated on every preemption-timer tick. This is
+    /// what stops long operators from starving short ones (Fig. 12).
+    ///
+    /// Round-robin is non-preemptive (V10-Base), so it never prefers a
+    /// switch.
+    #[must_use]
+    pub fn prefers_preemption(
+        &self,
+        table: &ContextTable,
+        running: WorkloadId,
+        candidate: WorkloadId,
+        now: f64,
+    ) -> bool {
+        match self.policy {
+            Policy::RoundRobin => false,
+            Policy::Priority => {
+                table.active_rate_p(candidate, now)
+                    < PREEMPT_HYSTERESIS * table.active_rate_p(running, now)
+            }
+        }
+    }
+
+    fn qualifies(table: &ContextTable, id: WorkloadId, fu_type: FuKind) -> bool {
+        !table.is_active(id) && table.is_ready(id) && table.op_kind(id) == Some(fu_type)
+    }
+
+    fn pick_round_robin(&mut self, table: &ContextTable, fu_type: FuKind) -> Option<WorkloadId> {
+        let n = table.len();
+        for off in 0..n {
+            let idx = (self.rr_cursor + off) % n;
+            let id = WorkloadId::new(idx);
+            if Self::qualifies(table, id, fu_type) {
+                self.rr_cursor = (idx + 1) % n;
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Algorithm 1: walk workloads in ascending `active_rate_p` order and
+    /// return the first that qualifies.
+    fn pick_priority(table: &ContextTable, fu_type: FuKind, now: f64) -> Option<WorkloadId> {
+        let mut order: Vec<WorkloadId> = table.ids().collect();
+        order.sort_by(|&a, &b| {
+            table
+                .active_rate_p(a, now)
+                .partial_cmp(&table.active_rate_p(b, now))
+                .expect("active rates are finite")
+                .then(a.index().cmp(&b.index()))
+        });
+        order
+            .into_iter()
+            .find(|&id| Self::qualifies(table, id, fu_type))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready_table(n: usize, kind: FuKind) -> ContextTable {
+        let mut t = ContextTable::new(&vec![1.0; n]);
+        for id in t.ids().collect::<Vec<_>>() {
+            t.set_current_op(id, 0, kind);
+            t.set_ready(id, true);
+        }
+        t
+    }
+
+    #[test]
+    fn round_robin_circulates() {
+        let t = ready_table(3, FuKind::Sa);
+        let mut s = Scheduler::new(Policy::RoundRobin);
+        let picks: Vec<usize> = (0..6)
+            .map(|_| s.pick_next(&t, FuKind::Sa, 0.0).unwrap().index())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_unready_and_active() {
+        let mut t = ready_table(3, FuKind::Sa);
+        t.set_ready(WorkloadId::new(0), false);
+        let fu = v10_npu::FuPool::new(1).iter().next().unwrap();
+        t.mark_issued(WorkloadId::new(1), fu);
+        let mut s = Scheduler::new(Policy::RoundRobin);
+        assert_eq!(s.pick_next(&t, FuKind::Sa, 0.0), Some(WorkloadId::new(2)));
+    }
+
+    #[test]
+    fn kind_mismatch_yields_none() {
+        let t = ready_table(2, FuKind::Sa);
+        let mut s = Scheduler::new(Policy::Priority);
+        assert_eq!(s.pick_next(&t, FuKind::Vu, 0.0), None);
+    }
+
+    #[test]
+    fn priority_picks_most_starved() {
+        let mut t = ready_table(3, FuKind::Vu);
+        t.add_active_cycles(WorkloadId::new(0), 300.0);
+        t.add_active_cycles(WorkloadId::new(1), 100.0);
+        t.add_active_cycles(WorkloadId::new(2), 200.0);
+        let mut s = Scheduler::new(Policy::Priority);
+        assert_eq!(s.pick_next(&t, FuKind::Vu, 1_000.0), Some(WorkloadId::new(1)));
+    }
+
+    #[test]
+    fn priority_respects_configured_weights() {
+        // Equal active time, but w1 has twice the priority: its arp is half
+        // of w0's, so it is scheduled first.
+        let mut t = ContextTable::new(&[1.0, 2.0]);
+        for id in [WorkloadId::new(0), WorkloadId::new(1)] {
+            t.set_current_op(id, 0, FuKind::Sa);
+            t.set_ready(id, true);
+            t.add_active_cycles(id, 500.0);
+        }
+        let mut s = Scheduler::new(Policy::Priority);
+        assert_eq!(s.pick_next(&t, FuKind::Sa, 1_000.0), Some(WorkloadId::new(1)));
+    }
+
+    #[test]
+    fn priority_ties_break_by_index() {
+        let t = ready_table(2, FuKind::Sa);
+        let mut s = Scheduler::new(Policy::Priority);
+        assert_eq!(s.pick_next(&t, FuKind::Sa, 0.0), Some(WorkloadId::new(0)));
+    }
+
+    #[test]
+    fn preemption_preference_tracks_arp() {
+        let mut t = ready_table(2, FuKind::Sa);
+        t.add_active_cycles(WorkloadId::new(0), 900.0);
+        t.add_active_cycles(WorkloadId::new(1), 100.0);
+        let s = Scheduler::new(Policy::Priority);
+        assert!(s.prefers_preemption(&t, WorkloadId::new(0), WorkloadId::new(1), 1_000.0));
+        assert!(!s.prefers_preemption(&t, WorkloadId::new(1), WorkloadId::new(0), 1_000.0));
+    }
+
+    #[test]
+    fn round_robin_never_preempts() {
+        let mut t = ready_table(2, FuKind::Sa);
+        t.add_active_cycles(WorkloadId::new(0), 900.0);
+        let s = Scheduler::new(Policy::RoundRobin);
+        assert!(!s.prefers_preemption(&t, WorkloadId::new(0), WorkloadId::new(1), 1_000.0));
+    }
+
+    #[test]
+    fn all_blocked_yields_none() {
+        let mut t = ready_table(2, FuKind::Sa);
+        t.set_ready(WorkloadId::new(0), false);
+        t.set_ready(WorkloadId::new(1), false);
+        let mut s = Scheduler::new(Policy::Priority);
+        assert_eq!(s.pick_next(&t, FuKind::Sa, 0.0), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the state, a picked workload always qualifies: not
+        /// active, ready, right kind.
+        #[test]
+        fn picked_workload_qualifies(
+            n in 1usize..8,
+            actives in proptest::collection::vec(0.0f64..1e6, 8),
+            ready_mask in 0u8..=255,
+            kind_mask in 0u8..=255,
+            rr in proptest::bool::ANY,
+        ) {
+            let mut t = ContextTable::new(&vec![1.0; n]);
+            for (i, id) in t.ids().collect::<Vec<_>>().into_iter().enumerate() {
+                let kind = if kind_mask & (1 << i) != 0 { FuKind::Sa } else { FuKind::Vu };
+                t.set_current_op(id, i as u64, kind);
+                t.set_ready(id, ready_mask & (1 << i) != 0);
+                t.add_active_cycles(id, actives[i]);
+            }
+            let mut s = Scheduler::new(if rr { Policy::RoundRobin } else { Policy::Priority });
+            for fu_type in [FuKind::Sa, FuKind::Vu] {
+                if let Some(picked) = s.pick_next(&t, fu_type, 2e6) {
+                    prop_assert!(t.is_ready(picked));
+                    prop_assert!(!t.is_active(picked));
+                    prop_assert_eq!(t.op_kind(picked), Some(fu_type));
+                    // Priority: nothing qualifying has a strictly lower arp.
+                    if !rr {
+                        for other in t.ids() {
+                            if t.is_ready(other) && !t.is_active(other)
+                                && t.op_kind(other) == Some(fu_type) {
+                                prop_assert!(
+                                    t.active_rate_p(picked, 2e6)
+                                        <= t.active_rate_p(other, 2e6) + 1e-12
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

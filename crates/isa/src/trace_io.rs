@@ -1,0 +1,270 @@
+//! Trace serialization: CSV import/export of [`RequestTrace`]s.
+//!
+//! The paper's simulator replays operator traces captured on real TPUs with
+//! TensorBoard. This reproduction ships a synthetic zoo, but downstream
+//! users with access to real hardware can profile their own workloads and
+//! feed them in through this format — one operator per line:
+//!
+//! ```csv
+//! kind,compute_cycles,hbm_bytes,vmem_bytes,flops,instr_count,dispatch_gap_cycles
+//! SA,107800,4194304,2097152,3531511808,16384,900
+//! VU,8960,1048576,262144,14680064,2240,900
+//! ```
+//!
+//! The header line is required; `kind` is `SA` or `VU` (case-insensitive).
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::op::{FuKind, OpDesc};
+use crate::trace::RequestTrace;
+
+/// The CSV header line (without trailing newline).
+pub const CSV_HEADER: &str =
+    "kind,compute_cycles,hbm_bytes,vmem_bytes,flops,instr_count,dispatch_gap_cycles";
+
+/// Error type for trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The first line is not the expected header.
+    BadHeader {
+        /// What was actually read.
+        found: String,
+    },
+    /// A data line is malformed.
+    BadLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The file contained a header but no operators.
+    Empty,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error reading trace: {e}"),
+            TraceIoError::BadHeader { found } => {
+                write!(f, "expected header `{CSV_HEADER}`, found `{found}`")
+            }
+            TraceIoError::BadLine { line, reason } => {
+                write!(f, "malformed operator on line {line}: {reason}")
+            }
+            TraceIoError::Empty => write!(f, "trace contains no operators"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes `trace` as CSV. A `&mut` writer may be passed (C-RW-VALUE).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace_csv<W: Write>(mut w: W, trace: &RequestTrace) -> Result<(), TraceIoError> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for op in trace.ops() {
+        let kind = match op.kind() {
+            FuKind::Sa => "SA",
+            FuKind::Vu => "VU",
+        };
+        writeln!(
+            w,
+            "{kind},{},{},{},{},{},{}",
+            op.compute_cycles(),
+            op.hbm_bytes(),
+            op.vmem_bytes(),
+            op.flops(),
+            op.instr_count(),
+            op.dispatch_gap_cycles(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from CSV. A `&mut` reader may be passed (C-RW-VALUE).
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure, a missing/incorrect header, a
+/// malformed line, or an operator-free file. Blank lines are skipped.
+pub fn read_trace_csv<R: BufRead>(r: R) -> Result<RequestTrace, TraceIoError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or(TraceIoError::BadHeader { found: String::new() })?;
+    if header.trim() != CSV_HEADER {
+        return Err(TraceIoError::BadHeader { found: header.trim().to_string() });
+    }
+
+    let mut ops = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2; // 1-based, after the header
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 7 {
+            return Err(TraceIoError::BadLine {
+                line: line_no,
+                reason: format!("expected 7 fields, found {}", fields.len()),
+            });
+        }
+        let kind = match fields[0].to_ascii_uppercase().as_str() {
+            "SA" => FuKind::Sa,
+            "VU" => FuKind::Vu,
+            other => {
+                return Err(TraceIoError::BadLine {
+                    line: line_no,
+                    reason: format!("unknown FU kind `{other}` (expected SA or VU)"),
+                })
+            }
+        };
+        let num = |idx: usize, name: &str| -> Result<u64, TraceIoError> {
+            fields[idx].parse().map_err(|_| TraceIoError::BadLine {
+                line: line_no,
+                reason: format!("{name} `{}` is not a non-negative integer", fields[idx]),
+            })
+        };
+        let compute = num(1, "compute_cycles")?;
+        if compute == 0 {
+            return Err(TraceIoError::BadLine {
+                line: line_no,
+                reason: "compute_cycles must be positive".into(),
+            });
+        }
+        let instr_count = num(5, "instr_count")?.max(1);
+        let instr_count = u32::try_from(instr_count).map_err(|_| TraceIoError::BadLine {
+            line: line_no,
+            reason: "instr_count exceeds u32".into(),
+        })?;
+        ops.push(
+            OpDesc::builder(kind)
+                .compute_cycles(compute)
+                .hbm_bytes(num(2, "hbm_bytes")?)
+                .vmem_bytes(num(3, "vmem_bytes")?)
+                .flops(num(4, "flops")?)
+                .instr_count(instr_count)
+                .dispatch_gap_cycles(num(6, "dispatch_gap_cycles")?)
+                .build(),
+        );
+    }
+    if ops.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    Ok(RequestTrace::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RequestTrace {
+        RequestTrace::new(vec![
+            OpDesc::builder(FuKind::Sa)
+                .compute_cycles(107_800)
+                .hbm_bytes(4 << 20)
+                .vmem_bytes(2 << 20)
+                .flops(3_531_511_808)
+                .instr_count(16_384)
+                .dispatch_gap_cycles(900)
+                .build(),
+            OpDesc::builder(FuKind::Vu)
+                .compute_cycles(8_960)
+                .hbm_bytes(1 << 20)
+                .flops(14_680_064)
+                .build(),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_csv(&mut buf, &trace).unwrap();
+        let back = read_trace_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let mut buf = Vec::new();
+        write_trace_csv(&mut buf, &sample_trace()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(CSV_HEADER));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = read_trace_csv("SA,1,0,0,0,1,0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader { .. }));
+        assert!(err.to_string().contains("expected header"));
+    }
+
+    #[test]
+    fn kind_is_case_insensitive_and_blank_lines_skipped() {
+        let text = format!("{CSV_HEADER}\n\nsa,100,0,0,0,16,0\n  \nvu,50,0,0,0,16,0\n");
+        let t = read_trace_csv(text.as_bytes()).unwrap();
+        assert_eq!(t.ops().len(), 2);
+        assert_eq!(t.ops()[0].kind(), FuKind::Sa);
+        assert_eq!(t.ops()[1].kind(), FuKind::Vu);
+    }
+
+    #[test]
+    fn bad_field_count_reports_line() {
+        let text = format!("{CSV_HEADER}\nSA,100,0\n");
+        let err = read_trace_csv(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_kind_and_bad_number_rejected() {
+        let text = format!("{CSV_HEADER}\nGPU,100,0,0,0,16,0\n");
+        assert!(read_trace_csv(text.as_bytes()).unwrap_err().to_string().contains("GPU"));
+        let text = format!("{CSV_HEADER}\nSA,abc,0,0,0,16,0\n");
+        assert!(read_trace_csv(text.as_bytes())
+            .unwrap_err()
+            .to_string()
+            .contains("compute_cycles"));
+    }
+
+    #[test]
+    fn zero_compute_rejected() {
+        let text = format!("{CSV_HEADER}\nSA,0,0,0,0,16,0\n");
+        assert!(read_trace_csv(text.as_bytes())
+            .unwrap_err()
+            .to_string()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let text = format!("{CSV_HEADER}\n");
+        assert!(matches!(read_trace_csv(text.as_bytes()), Err(TraceIoError::Empty)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared-HBM bandwidth arbitration and accounting.
+//!
+//! Every concurrently executing operator streams its tensors through the
+//! core's HBM interface. The arbiter grants each active flow a max-min fair
+//! share of the peak bandwidth ([`v10_sim::WaterFilling`]); operators whose
+//! demand is not met slow down proportionally — the mechanism behind the
+//! paper's observation that collocation can *oversubscribe* HBM (the
+//! `DLRM+RsNt` priority anomaly in §5.6) — and the moved-bytes counter feeds
+//! the bandwidth-utilization results (Figs. 7, 16c, 24).
+
+use v10_sim::{Demand, WaterFilling};
+
+/// Bandwidth arbiter + bytes-moved accounting for one core's HBM interface.
+///
+/// # Example
+///
+/// ```
+/// use v10_npu::HbmArbiter;
+///
+/// let mut hbm = HbmArbiter::new(100.0); // bytes/cycle
+/// // Two operators demand 80 B/cycle each: each is granted 50, i.e. runs
+/// // at 62.5% speed if fully memory-bound.
+/// let rates = hbm.progress_rates(&[(0, 80.0), (1, 80.0)]);
+/// assert_eq!(rates, vec![(0, 0.625), (1, 0.625)]);
+/// hbm.record_bytes(1_000.0);
+/// assert_eq!(hbm.bytes_moved(), 1_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HbmArbiter {
+    allocator: WaterFilling,
+    bytes_moved: f64,
+}
+
+impl HbmArbiter {
+    /// Creates an arbiter over `peak_bytes_per_cycle` of bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peak is not finite and non-negative.
+    #[must_use]
+    pub fn new(peak_bytes_per_cycle: f64) -> Self {
+        HbmArbiter {
+            allocator: WaterFilling::new(peak_bytes_per_cycle),
+            bytes_moved: 0.0,
+        }
+    }
+
+    /// Peak bandwidth in bytes/cycle.
+    #[must_use]
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.allocator.capacity()
+    }
+
+    /// Computes each flow's progress rate in `(0, 1]` cycles-per-cycle:
+    /// `min(1, granted / demanded)`. Flows are `(id, bytes_per_cycle)`
+    /// demands; zero-demand flows always run at full rate.
+    #[must_use]
+    pub fn progress_rates(&self, flows: &[(usize, f64)]) -> Vec<(usize, f64)> {
+        let demands: Vec<Demand> = flows.iter().map(|&(id, d)| Demand::new(id, d)).collect();
+        self.allocator.slowdown_factors(&demands)
+    }
+
+    /// Records `bytes` as moved (called by the engine as operators make
+    /// progress).
+    pub fn record_bytes(&mut self, bytes: f64) {
+        debug_assert!(bytes >= 0.0);
+        self.bytes_moved += bytes;
+    }
+
+    /// Total bytes moved since construction (or the last reset).
+    #[must_use]
+    pub fn bytes_moved(&self) -> f64 {
+        self.bytes_moved
+    }
+
+    /// Bandwidth utilization over an `elapsed_cycles` window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed_cycles` is not positive.
+    #[must_use]
+    pub fn utilization(&self, elapsed_cycles: f64) -> f64 {
+        assert!(elapsed_cycles > 0.0, "elapsed window must be positive");
+        self.bytes_moved / (elapsed_cycles * self.allocator.capacity())
+    }
+
+    /// Resets the moved-bytes counter (e.g. after a warm-up phase).
+    pub fn reset_accounting(&mut self) {
+        self.bytes_moved = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_flows_run_full_speed() {
+        let hbm = HbmArbiter::new(471.4);
+        let rates = hbm.progress_rates(&[(0, 100.0), (1, 200.0)]);
+        assert_eq!(rates, vec![(0, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn oversubscription_slows_proportionally() {
+        let hbm = HbmArbiter::new(100.0);
+        let rates = hbm.progress_rates(&[(0, 150.0), (1, 50.0)]);
+        // Flow 1 (small) fully satisfied; flow 0 gets the remaining 50.
+        assert!((rates[0].1 - 50.0 / 150.0).abs() < 1e-9);
+        assert!((rates[1].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_is_full_rate_even_with_zero_capacity() {
+        let hbm = HbmArbiter::new(0.0);
+        let rates = hbm.progress_rates(&[(7, 0.0)]);
+        assert_eq!(rates, vec![(7, 1.0)]);
+    }
+
+    #[test]
+    fn accounting_accumulates_and_resets() {
+        let mut hbm = HbmArbiter::new(100.0);
+        hbm.record_bytes(300.0);
+        hbm.record_bytes(200.0);
+        assert_eq!(hbm.bytes_moved(), 500.0);
+        assert!((hbm.utilization(10.0) - 0.5).abs() < 1e-12);
+        hbm.reset_accounting();
+        assert_eq!(hbm.bytes_moved(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_utilization_rejected() {
+        let _ = HbmArbiter::new(10.0).utilization(0.0);
+    }
+}

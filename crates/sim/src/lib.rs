@@ -1,0 +1,47 @@
+//! # v10-sim — simulation kernel for the V10 NPU multi-tenancy reproduction
+//!
+//! This crate provides the domain-neutral substrate shared by every other
+//! crate in the workspace:
+//!
+//! * [`time`] — strongly-typed simulation time ([`Cycle`], [`CycleCount`])
+//!   and clock-frequency conversions ([`Frequency`]).
+//! * [`events`] — a deterministic discrete-event queue ([`EventQueue`]) with
+//!   stable FIFO ordering for simultaneous events.
+//! * [`bandwidth`] — a water-filling (max-min fair) bandwidth allocator
+//!   ([`WaterFilling`]) used to model HBM bandwidth sharing between
+//!   concurrently executing operators and DMA prefetch flows.
+//! * [`stats`] — streaming and exact statistics ([`OnlineStats`],
+//!   [`Percentiles`], [`Histogram`]) used by the metric collectors.
+//! * [`rng`] — deterministic random sampling helpers (normal / lognormal via
+//!   Box–Muller, bounded uniforms) on top of a seedable PRNG, so that every
+//!   experiment in the workspace is reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use v10_sim::{Cycle, Frequency, EventQueue};
+//!
+//! // The paper's NPU runs at 700 MHz (Table 5).
+//! let clk = Frequency::mhz(700);
+//! assert_eq!(clk.cycles_from_micros(46.0).as_u64(), 32_200);
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(Cycle::new(10), "timer");
+//! q.push(Cycle::new(5), "op-complete");
+//! assert_eq!(q.pop(), Some((Cycle::new(5), "op-complete")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use bandwidth::{Demand, WaterFilling};
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats, Percentiles};
+pub use time::{Cycle, CycleCount, Frequency};

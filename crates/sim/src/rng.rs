@@ -1,0 +1,252 @@
+//! Deterministic random sampling.
+//!
+//! Every stochastic element of the reproduction — operator-length jitter in
+//! the synthetic traces, PMT's 20–40 µs context-switch cost, K-Means++
+//! seeding, random workload picks for the scaling study — draws from a
+//! [`SimRng`] seeded explicitly, so that every experiment replays bit-for-bit
+//! from its seed.
+//!
+//! Normal and lognormal variates are generated with Box–Muller rather than
+//! pulling in `rand_distr` (which is not on the approved dependency list).
+
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{Rng, SeedableRng};
+
+/// A seedable PRNG with the sampling helpers the simulator needs.
+///
+/// # Example
+///
+/// ```
+/// use v10_sim::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// // Same seed, same stream.
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.lognormal(100.0, 0.5);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second variate from Box–Muller.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each workload
+    /// its own stream so adding a workload never perturbs the others.
+    #[must_use]
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform range must be non-empty: [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform range must be non-empty: [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform index in `[0, n)` — the idiom for random picks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.unit_f64();
+        let u2: f64 = self.unit_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Lognormal variate with the given *arithmetic* mean and shape `sigma`
+    /// (the std-dev of the underlying normal).
+    ///
+    /// Parameterizing by the arithmetic mean lets callers plug in Table 1's
+    /// average operator lengths directly: `E[X] = mean` exactly, with heavier
+    /// tails as `sigma` grows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `sigma < 0`.
+    pub fn lognormal(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(mean > 0.0, "lognormal mean must be positive, got {mean}");
+        assert!(sigma >= 0.0, "lognormal sigma must be non-negative");
+        // If X = exp(N(mu, sigma^2)) then E[X] = exp(mu + sigma^2/2);
+        // solve for mu so the arithmetic mean is exact.
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        slice.shuffle(&mut self.inner);
+    }
+
+    /// Picks a uniformly random element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        slice.choose(&mut self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from(9);
+        let mut parent2 = SimRng::seed_from(9);
+        let mut c1 = parent1.fork(0);
+        let mut c2 = parent2.fork(0);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // A differently-salted fork gives a different stream.
+        let mut c3 = parent1.fork(1);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let x = r.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+            let n = r.uniform_u64(10, 20);
+            assert!((10..20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments_are_plausible() {
+        let mut r = SimRng::seed_from(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn lognormal_arithmetic_mean_is_exact_in_expectation() {
+        let mut r = SimRng::seed_from(13);
+        let n = 40_000;
+        let target = 877.0; // BERT's average SA operator length in µs (Table 1)
+        let mean = (0..n).map(|_| r.lognormal(target, 0.5)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - target).abs() / target < 0.05,
+            "sample mean {mean} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let mut r = SimRng::seed_from(17);
+        for _ in 0..10 {
+            assert!((r.lognormal(50.0, 0.0) - 50.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut r = SimRng::seed_from(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_from_empty_is_none() {
+        let mut r = SimRng::seed_from(5);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.choose(&empty), None);
+        assert!(r.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_rejects_empty_range() {
+        SimRng::seed_from(0).uniform(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn lognormal_rejects_nonpositive_mean() {
+        SimRng::seed_from(0).lognormal(0.0, 1.0);
+    }
+}

@@ -1,0 +1,498 @@
+//! Streaming and exact statistics for metric collection.
+//!
+//! The evaluation reports averages (Fig. 19), 95th-percentile tails
+//! (Fig. 20), and utilization histograms. [`OnlineStats`] accumulates
+//! mean/variance in one pass (Welford), [`Percentiles`] keeps exact samples
+//! for quantile queries, and [`Histogram`] buckets values for distribution
+//! summaries.
+
+/// One-pass mean / variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use v10_sim::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN — a NaN sample would silently poison every
+    /// downstream statistic.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample pushed into OnlineStats");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `0.0` when fewer than two samples.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest sample; `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Exact quantile estimator: stores all samples, sorts on demand.
+///
+/// Request counts per experiment are small (hundreds), so exact quantiles are
+/// affordable and avoid sketch error in the tail-latency numbers (Fig. 20).
+///
+/// # Example
+///
+/// ```
+/// use v10_sim::Percentiles;
+/// let mut p: Percentiles = (1..=100).map(f64::from).collect();
+/// assert!((p.quantile(0.95).unwrap() - 95.05).abs() < 1e-9);
+/// assert_eq!(p.median(), Some(50.5));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample pushed into Percentiles");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+            self.sorted = true;
+        }
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) with linear interpolation between order
+    /// statistics, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return Some(self.samples[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// The median (0.5 quantile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The 95th percentile — the paper's tail-latency metric (Fig. 20).
+    pub fn p95(&mut self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Arithmetic mean of the samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Read-only view of the raw samples (unspecified order).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for Percentiles {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Percentiles {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut p = Percentiles::new();
+        p.extend(iter);
+        p
+    }
+}
+
+/// Fixed-width bucketed histogram over `[lo, hi)`.
+///
+/// Out-of-range samples are clamped into the first / last bucket so that the
+/// total count always equals the number of pushes.
+///
+/// # Example
+///
+/// ```
+/// use v10_sim::Histogram;
+/// let mut h = Histogram::new(0.0, 1.0, 4);
+/// for x in [0.1, 0.3, 0.35, 0.9, 1.5] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.counts(), &[1, 2, 0, 2]);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty: [{lo}, {hi})");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Adds a sample, clamping out-of-range values into the edge buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample pushed into Histogram");
+        let n = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            let f = (x - self.lo) / (self.hi - self.lo);
+            ((f * n as f64) as usize).min(n - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket counts, lowest bucket first.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `[lo, hi)` bounds of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bucket index {i} out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_empty_defaults() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn online_stats_single_sample() {
+        let s: OnlineStats = [42.0].into_iter().collect();
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let all: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: OnlineStats = all.iter().copied().collect();
+        let mut a: OnlineStats = all[..20].iter().copied().collect();
+        let b: OnlineStats = all[20..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - seq.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn online_stats_rejects_nan() {
+        OnlineStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let mut p: Percentiles = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(3.0));
+        assert_eq!(p.median(), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.quantile(0.5), None);
+        assert!(p.is_empty());
+        assert_eq!(p.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut p: Percentiles = [7.0].into_iter().collect();
+        assert_eq!(p.p95(), Some(7.0));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let mut p: Percentiles = [0.0, 10.0].into_iter().collect();
+        assert_eq!(p.quantile(0.25), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn percentile_rejects_out_of_range_q() {
+        let mut p: Percentiles = [1.0].into_iter().collect();
+        let _ = p.quantile(1.5);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.push(-5.0);
+        h.push(25.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bucket_bounds(0), (0.0, 25.0));
+        assert_eq!(h.bucket_bounds(3), (75.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Welford mean matches the naive sum-based mean.
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: OnlineStats = xs.iter().copied().collect();
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        }
+
+        /// Quantiles are monotone in q and bounded by min/max.
+        #[test]
+        fn quantiles_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                              q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let (qlo, qhi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let mut p: Percentiles = xs.iter().copied().collect();
+            let vlo = p.quantile(qlo).unwrap();
+            let vhi = p.quantile(qhi).unwrap();
+            prop_assert!(vlo <= vhi + 1e-9);
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(vlo >= min - 1e-9 && vhi <= max + 1e-9);
+        }
+
+        /// Histogram total always equals the number of pushes.
+        #[test]
+        fn histogram_conserves_count(xs in proptest::collection::vec(-10.0f64..10.0, 0..100)) {
+            let mut h = Histogram::new(0.0, 1.0, 7);
+            for x in &xs { h.push(*x); }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Strongly-typed simulation time.
+//!
+//! All timing in the workspace is expressed in clock cycles of the simulated
+//! NPU. [`Cycle`] is an absolute point on the simulated clock, while
+//! [`CycleCount`] is a duration. [`Frequency`] converts between wall-clock
+//! units (µs, ns) and cycles; the paper's NPU runs at 700 MHz (Table 5).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulated clock, measured in cycles since the
+/// start of the simulation.
+///
+/// `Cycle` is a newtype over `u64` so that instants and durations
+/// ([`CycleCount`]) cannot be confused (C-NEWTYPE).
+///
+/// # Example
+///
+/// ```
+/// use v10_sim::{Cycle, CycleCount};
+/// let t = Cycle::new(100) + CycleCount::new(28);
+/// assert_eq!(t, Cycle::new(128));
+/// assert_eq!(t - Cycle::new(100), CycleCount::new(28));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The instant at which every simulation starts.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates an instant at `cycles` cycles from the simulation origin.
+    #[must_use]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Cycle) -> CycleCount {
+        CycleCount(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl Add<CycleCount> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: CycleCount) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<CycleCount> for Cycle {
+    fn add_assign(&mut self, rhs: CycleCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = CycleCount;
+    /// Duration between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self` (u64 underflow).
+    fn sub(self, rhs: Cycle) -> CycleCount {
+        CycleCount(self.0 - rhs.0)
+    }
+}
+
+/// A duration measured in cycles.
+///
+/// # Example
+///
+/// ```
+/// use v10_sim::CycleCount;
+/// let slice = CycleCount::new(32_768); // the paper's scheduler time slice
+/// assert_eq!(slice + slice, CycleCount::new(65_536));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CycleCount(u64);
+
+impl CycleCount {
+    /// The empty duration.
+    pub const ZERO: CycleCount = CycleCount(0);
+
+    /// Creates a duration of `cycles` cycles.
+    #[must_use]
+    pub const fn new(cycles: u64) -> Self {
+        CycleCount(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as a floating-point cycle count (for rate math).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction of two durations.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: CycleCount) -> CycleCount {
+        CycleCount(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if this duration is zero cycles.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for CycleCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for CycleCount {
+    type Output = CycleCount;
+    fn add(self, rhs: CycleCount) -> CycleCount {
+        CycleCount(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for CycleCount {
+    fn add_assign(&mut self, rhs: CycleCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for CycleCount {
+    type Output = CycleCount;
+    fn sub(self, rhs: CycleCount) -> CycleCount {
+        CycleCount(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for CycleCount {
+    fn sum<I: Iterator<Item = CycleCount>>(iter: I) -> CycleCount {
+        iter.fold(CycleCount::ZERO, |a, b| a + b)
+    }
+}
+
+/// A clock frequency, used to convert between wall-clock time and cycles.
+///
+/// # Example
+///
+/// ```
+/// use v10_sim::Frequency;
+/// let clk = Frequency::mhz(700);
+/// // Table 1 of the paper quotes operator lengths in µs; 10 µs = 7000 cycles.
+/// assert_eq!(clk.cycles_from_micros(10.0).as_u64(), 7_000);
+/// assert!((clk.micros_from_cycles(7_000) - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frequency {
+    hz: u64,
+}
+
+impl Frequency {
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero — a zero-frequency clock cannot advance.
+    #[must_use]
+    pub fn hz(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be positive");
+        Frequency { hz }
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub fn mhz(mhz: u64) -> Self {
+        Frequency::hz(mhz * 1_000_000)
+    }
+
+    /// Returns the frequency in hertz.
+    #[must_use]
+    pub const fn as_hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Converts a duration in microseconds to cycles (rounded to nearest).
+    #[must_use]
+    pub fn cycles_from_micros(self, micros: f64) -> CycleCount {
+        CycleCount::new((micros * self.hz as f64 / 1e6).round() as u64)
+    }
+
+    /// Converts a cycle count to microseconds.
+    #[must_use]
+    pub fn micros_from_cycles(self, cycles: u64) -> f64 {
+        cycles as f64 * 1e6 / self.hz as f64
+    }
+
+    /// Converts a cycle count to seconds.
+    #[must_use]
+    pub fn seconds_from_cycles(self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz as f64
+    }
+
+    /// Bytes per cycle for a link of `bytes_per_second` at this clock.
+    ///
+    /// Used to express the HBM bandwidth (330 GB/s in Table 5) in the
+    /// simulator's native bytes/cycle unit.
+    #[must_use]
+    pub fn bytes_per_cycle(self, bytes_per_second: f64) -> f64 {
+        bytes_per_second / self.hz as f64
+    }
+}
+
+impl Default for Frequency {
+    /// The paper's NPU clock: 700 MHz (Table 5).
+    fn default() -> Self {
+        Frequency::mhz(700)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hz.is_multiple_of(1_000_000) {
+            write!(f, "{} MHz", self.hz / 1_000_000)
+        } else {
+            write!(f, "{} Hz", self.hz)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_roundtrips() {
+        let t0 = Cycle::new(42);
+        let d = CycleCount::new(58);
+        assert_eq!((t0 + d) - t0, d);
+        assert_eq!((t0 + d).as_u64(), 100);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = Cycle::new(10);
+        let late = Cycle::new(20);
+        assert_eq!(late.saturating_since(early), CycleCount::new(10));
+        assert_eq!(early.saturating_since(late), CycleCount::ZERO);
+    }
+
+    #[test]
+    fn add_assign_advances_clock() {
+        let mut now = Cycle::ZERO;
+        now += CycleCount::new(5);
+        now += CycleCount::new(7);
+        assert_eq!(now, Cycle::new(12));
+    }
+
+    #[test]
+    fn cycle_count_sum_over_iterator() {
+        let total: CycleCount = (1..=4).map(CycleCount::new).sum();
+        assert_eq!(total, CycleCount::new(10));
+    }
+
+    #[test]
+    fn frequency_micros_roundtrip() {
+        let clk = Frequency::mhz(700);
+        let c = clk.cycles_from_micros(46.0);
+        assert_eq!(c.as_u64(), 32_200);
+        let us = clk.micros_from_cycles(c.as_u64());
+        assert!((us - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_frequency_is_700_mhz() {
+        assert_eq!(Frequency::default().as_hz(), 700_000_000);
+    }
+
+    #[test]
+    fn bytes_per_cycle_matches_table5_hbm() {
+        // 330 GB/s at 700 MHz = ~471.43 B/cycle.
+        let clk = Frequency::mhz(700);
+        let bpc = clk.bytes_per_cycle(330e9);
+        assert!((bpc - 471.428).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::hz(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cycle::new(7).to_string(), "cycle 7");
+        assert_eq!(CycleCount::new(7).to_string(), "7 cycles");
+        assert_eq!(Frequency::mhz(700).to_string(), "700 MHz");
+    }
+}

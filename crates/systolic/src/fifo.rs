@@ -1,0 +1,136 @@
+//! Bounded FIFOs between the vector unit and the systolic array (Fig. 2).
+//!
+//! The vector unit "orchestrates the push and pop operations to stream data
+//! to/from the systolic array via dedicated FIFO buffers" (§2.1). A full
+//! in-FIFO back-pressures `push`; an empty out-FIFO stalls `pop`.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of `T`.
+///
+/// # Example
+///
+/// ```
+/// use v10_systolic::Fifo;
+/// let mut f = Fifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert_eq!(f.push(3), Err(3)); // full: element handed back
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Enqueues `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` (handing the element back) when the FIFO is
+    /// full — the caller models back-pressure.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.queue.len() == self.capacity {
+            Err(value)
+        } else {
+            self.queue.push_back(value);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest element, or `None` when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True when `push` would fail.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Maximum occupancy.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert!(f.is_full());
+        assert_eq!((0..4).map(|_| f.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn push_full_hands_back() {
+        let mut f = Fifo::new(1);
+        f.push("a").unwrap();
+        assert_eq!(f.push("b"), Err("b"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let mut f: Fifo<u8> = Fifo::new(3);
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = Fifo::new(2);
+        f.push(1).unwrap();
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.is_full());
+        assert_eq!(f.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's canonical workload collocation pairs.
+//!
+//! Figures 16–24 evaluate 11 pairs chosen by the clustering mechanism
+//! (§3.4); the motivational Fig. 9 uses 15 pairs (the 11 plus four
+//! deliberately poor matches such as `BERT+RsNt`, two SA-intensive models).
+
+use crate::model::Model;
+
+/// The 11 collocation pairs of the evaluation figures (Figs. 16–24), in the
+/// paper's x-axis order. Each entry is `(DNN1, DNN2)`.
+pub const PAIRS_EVAL: [(Model, Model); 11] = [
+    (Model::Bert, Model::Ncf),
+    (Model::Bert, Model::RetinaNet),
+    (Model::ResNet, Model::RetinaNet),
+    (Model::Ncf, Model::ResNet),
+    (Model::Bert, Model::Transformer),
+    (Model::Bert, Model::Dlrm),
+    (Model::ResNetRs, Model::ShapeMask),
+    (Model::EfficientNet, Model::ResNet),
+    (Model::Mnist, Model::Ncf),
+    (Model::Dlrm, Model::ResNet),
+    (Model::ResNetRs, Model::MaskRcnn),
+];
+
+/// The 15 collocation pairs of the characterization study (Fig. 9), in the
+/// paper's x-axis order.
+pub const PAIRS_FIG9: [(Model, Model); 15] = [
+    (Model::Bert, Model::Ncf),
+    (Model::Bert, Model::RetinaNet),
+    (Model::ResNet, Model::RetinaNet),
+    (Model::Ncf, Model::ResNet),
+    (Model::Bert, Model::Transformer),
+    (Model::Bert, Model::Dlrm),
+    (Model::ResNetRs, Model::ShapeMask),
+    (Model::EfficientNet, Model::ResNet),
+    (Model::Mnist, Model::Ncf),
+    (Model::Dlrm, Model::ResNet),
+    (Model::ResNetRs, Model::MaskRcnn),
+    (Model::Mnist, Model::ResNetRs),
+    (Model::Bert, Model::ResNet),
+    (Model::Dlrm, Model::RetinaNet),
+    (Model::Dlrm, Model::Ncf),
+];
+
+/// Formats a pair the way the paper labels its x-axes, e.g. `"BERT+NCF"`.
+#[must_use]
+pub fn pair_label(pair: (Model, Model)) -> String {
+    format!("{}+{}", pair.0.abbrev(), pair.1.abbrev())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_pairs_are_a_prefix_of_fig9_pairs() {
+        for (i, p) in PAIRS_EVAL.iter().enumerate() {
+            assert_eq!(*p, PAIRS_FIG9[i]);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(pair_label(PAIRS_EVAL[0]), "BERT+NCF");
+        assert_eq!(pair_label(PAIRS_EVAL[10]), "RNRS+MRCN");
+        assert_eq!(pair_label(PAIRS_FIG9[12]), "BERT+RsNt");
+    }
+
+    #[test]
+    fn no_self_pairs() {
+        for p in PAIRS_FIG9 {
+            assert_ne!(p.0, p.1);
+        }
+    }
+
+    #[test]
+    fn fig9_extends_with_contending_pairs() {
+        // The four extra Fig. 9 pairs include same-resource collocations the
+        // paper highlights as having "little room for overlapping execution".
+        assert!(PAIRS_FIG9.contains(&(Model::Bert, Model::ResNet)));
+        assert!(PAIRS_FIG9.contains(&(Model::Dlrm, Model::RetinaNet)));
+    }
+}

@@ -1,0 +1,484 @@
+//! Batch-size-aware model profiles.
+//!
+//! A [`ModelProfile`] is the calibrated description of one (model, batch)
+//! point: realized single-tenant utilizations, operator counts and mean
+//! lengths, HBM traffic, and FLOPs. It is the single source of truth from
+//! which traces ([`crate::synth`]), DAGs, collocation features
+//! ([`crate::features`]), and the characterization figures (Figs. 3–8) are
+//! all derived, so they are mutually consistent by construction.
+//!
+//! Batch scaling laws (anchored at the default batch, exponents chosen to
+//! reproduce the paper's trends):
+//!
+//! * operator lengths grow sublinearly with batch (`b^0.8` for SA, `b^0.7`
+//!   for VU) — larger batches amortize padding;
+//! * MXU utilization rises with batch (Fig. 4: the XLA compiler maps more
+//!   work to the MXU) while VPU utilization drifts slightly down (Fig. 5);
+//! * HBM bandwidth utilization falls with batch (`b^-0.25`) for every model
+//!   except Transformer, where beam search makes it rise (Fig. 7);
+//! * SA spatial efficiency (fraction of the 128×128 array doing useful
+//!   MACs) rises with batch — less padding — which drives the FLOPS
+//!   utilization growth in Fig. 3.
+
+use std::fmt;
+
+use v10_sim::Frequency;
+
+use crate::model::Model;
+use crate::zoo::anchor;
+
+/// Peak FLOPs per cycle of the 128×128 systolic array (one MAC = 2 FLOPs).
+pub const SA_PEAK_FLOPS_PER_CYCLE: f64 = 2.0 * 128.0 * 128.0;
+
+/// Peak FLOPs per cycle of the vector unit (8×128 lanes × 2 ops/cycle,
+/// Table 5).
+pub const VU_PEAK_FLOPS_PER_CYCLE: f64 = 8.0 * 128.0 * 2.0;
+
+/// Peak HBM bandwidth in bytes/cycle (330 GB/s at 700 MHz, Table 5).
+pub const HBM_BYTES_PER_CYCLE: f64 = 330e9 / 700e6;
+
+/// VU operators move more HBM bytes per busy cycle than SA operators
+/// (element-wise ops have no data reuse); this is their relative weight when
+/// distributing a request's HBM traffic.
+const VU_HBM_WEIGHT: f64 = 3.0;
+
+/// Cap on any operator's standalone HBM demand, as a fraction of peak
+/// bandwidth, so single-tenant runs are compute-bound as in the paper.
+const OP_HBM_DEMAND_CAP: f64 = 0.8;
+
+/// Average fraction of VU lanes doing useful work during a VU operator.
+const VU_EFFICIENCY: f64 = 0.8;
+
+/// Error for invalid batch sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// Batch size zero is meaningless.
+    Zero,
+    /// The batch does not fit in device memory (Fig. 3's missing bars).
+    OutOfMemory {
+        /// The model that ran out of memory.
+        model: Model,
+        /// The requested batch size.
+        batch: u32,
+        /// The largest batch that fits.
+        max: u32,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Zero => write!(f, "batch size must be positive"),
+            BatchError::OutOfMemory { model, batch, max } => write!(
+                f,
+                "{} with batch {batch} exceeds device memory (max batch {max})",
+                model.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// The calibrated single-tenant profile of one (model, batch) point.
+///
+/// # Example
+///
+/// ```
+/// use v10_workloads::Model;
+///
+/// let p = Model::Bert.default_profile();
+/// // BERT is SA-intensive (Fig. 4 vs Fig. 5).
+/// assert!(p.sa_util() > 0.5 && p.vu_util() < 0.2);
+/// // And well below peak FLOPS (Fig. 3 / O1).
+/// assert!(p.flops_util() < 0.55);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelProfile {
+    model: Model,
+    batch: u32,
+    request_cycles: u64,
+    n_sa_ops: usize,
+    n_vu_ops: usize,
+    sa_len_cycles: u64,
+    vu_len_cycles: u64,
+    sa_hbm_bytes_per_cycle: f64,
+    vu_hbm_bytes_per_cycle: f64,
+    sa_spatial_eff: f64,
+    len_sigma: f64,
+    branch_prob: f64,
+}
+
+fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+impl ModelProfile {
+    /// Builds the calibrated profile for `model` at `batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] if `batch` is zero or exceeds the model's
+    /// memory limit.
+    pub fn calibrated(model: Model, batch: u32) -> Result<Self, BatchError> {
+        if batch == 0 {
+            return Err(BatchError::Zero);
+        }
+        if batch > model.max_batch() {
+            return Err(BatchError::OutOfMemory {
+                model,
+                batch,
+                max: model.max_batch(),
+            });
+        }
+        let a = anchor(model);
+        let clock = Frequency::default();
+        let r = batch as f64 / model.default_batch() as f64;
+        let log2_r = r.log2();
+
+        // Target utilizations under the batch-scaling laws.
+        let mut mxu_t = clamp(a.mxu_util + 0.04 * log2_r, 0.02, 0.90);
+        let mut vpu_t = clamp(a.vpu_util - 0.015 * log2_r, 0.02, 0.90);
+        let sum = mxu_t + vpu_t;
+        if sum > 0.95 {
+            mxu_t *= 0.95 / sum;
+            vpu_t *= 0.95 / sum;
+        }
+        let hbm_t = if a.hbm_rises_with_batch {
+            clamp(a.hbm_util * r.powf(0.15), 0.02, 0.90)
+        } else {
+            clamp(a.hbm_util * r.powf(-0.25), 0.02, 0.90)
+        };
+
+        // Operator lengths (Table 1 at the anchor) and the request window.
+        let sa_len_us = a.sa_len_us * r.powf(0.8);
+        let vu_len_us = a.vu_len_us * r.powf(0.7);
+        let mut request_us = a.request_ms * 1e3 * r.powf(0.85);
+
+        let n_sa_ops = ((mxu_t * request_us / sa_len_us).round() as usize).max(1);
+        let n_vu_ops = ((vpu_t * request_us / vu_len_us).round() as usize).max(1);
+        let sa_busy_us = n_sa_ops as f64 * sa_len_us;
+        let vu_busy_us = n_vu_ops as f64 * vu_len_us;
+        // Rounding up the op counts can over-commit small requests; stretch
+        // the window so there is always idle time (O1 holds at every batch).
+        if sa_busy_us + vu_busy_us > 0.95 * request_us {
+            request_us = (sa_busy_us + vu_busy_us) / 0.95;
+        }
+
+        let request_cycles = clock.cycles_from_micros(request_us).as_u64();
+        let sa_len_cycles = clock.cycles_from_micros(sa_len_us).as_u64().max(1);
+        let vu_len_cycles = clock.cycles_from_micros(vu_len_us).as_u64().max(1);
+        let sa_busy = n_sa_ops as u64 * sa_len_cycles;
+        let vu_busy = n_vu_ops as u64 * vu_len_cycles;
+
+        // Distribute the request's HBM traffic over SA and VU busy cycles,
+        // weighting VU ops heavier (no data reuse) and capping per-op demand
+        // so single-tenant operators stay compute-bound.
+        let total_bytes = hbm_t * request_cycles as f64 * HBM_BYTES_PER_CYCLE;
+        let demand_cap = OP_HBM_DEMAND_CAP * HBM_BYTES_PER_CYCLE;
+        let weight_sum = sa_busy as f64 + VU_HBM_WEIGHT * vu_busy as f64;
+        let mut vu_bytes = total_bytes * VU_HBM_WEIGHT * vu_busy as f64 / weight_sum;
+        let mut sa_bytes = total_bytes - vu_bytes;
+        // Cap the VU side, spilling the excess to the SA side, then cap that
+        // too (any final excess is dropped and shows up as a slightly lower
+        // realized HBM utilization).
+        let vu_cap = demand_cap * vu_busy as f64;
+        if vu_bytes > vu_cap {
+            sa_bytes += vu_bytes - vu_cap;
+            vu_bytes = vu_cap;
+        }
+        let sa_cap = demand_cap * sa_busy as f64;
+        sa_bytes = sa_bytes.min(sa_cap);
+
+        let sa_spatial_eff = clamp(0.30 + 0.062 * (batch as f64).log2(), 0.25, 0.75);
+
+        Ok(ModelProfile {
+            model,
+            batch,
+            request_cycles,
+            n_sa_ops,
+            n_vu_ops,
+            sa_len_cycles,
+            vu_len_cycles,
+            sa_hbm_bytes_per_cycle: sa_bytes / sa_busy as f64,
+            vu_hbm_bytes_per_cycle: vu_bytes / vu_busy as f64,
+            sa_spatial_eff,
+            len_sigma: a.len_sigma,
+            branch_prob: a.branch_prob,
+        })
+    }
+
+    /// The model this profile describes.
+    #[must_use]
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// The batch size this profile describes.
+    #[must_use]
+    pub fn batch(&self) -> u32 {
+        self.batch
+    }
+
+    /// Single-tenant request latency in cycles (before HBM contention).
+    #[must_use]
+    pub fn request_cycles(&self) -> u64 {
+        self.request_cycles
+    }
+
+    /// Number of SA operators per request.
+    #[must_use]
+    pub fn sa_op_count(&self) -> usize {
+        self.n_sa_ops
+    }
+
+    /// Number of VU operators per request.
+    #[must_use]
+    pub fn vu_op_count(&self) -> usize {
+        self.n_vu_ops
+    }
+
+    /// Mean SA operator length in cycles.
+    #[must_use]
+    pub fn sa_len_cycles(&self) -> u64 {
+        self.sa_len_cycles
+    }
+
+    /// Mean VU operator length in cycles.
+    #[must_use]
+    pub fn vu_len_cycles(&self) -> u64 {
+        self.vu_len_cycles
+    }
+
+    /// Realized single-tenant SA (MXU) temporal utilization — Fig. 4.
+    #[must_use]
+    pub fn sa_util(&self) -> f64 {
+        (self.n_sa_ops as u64 * self.sa_len_cycles) as f64 / self.request_cycles as f64
+    }
+
+    /// Realized single-tenant VU (VPU) temporal utilization — Fig. 5.
+    #[must_use]
+    pub fn vu_util(&self) -> f64 {
+        (self.n_vu_ops as u64 * self.vu_len_cycles) as f64 / self.request_cycles as f64
+    }
+
+    /// Realized single-tenant HBM bandwidth utilization — Fig. 7.
+    #[must_use]
+    pub fn hbm_util(&self) -> f64 {
+        self.hbm_bytes_per_request() / (self.request_cycles as f64 * HBM_BYTES_PER_CYCLE)
+    }
+
+    /// HBM bytes moved per request.
+    #[must_use]
+    pub fn hbm_bytes_per_request(&self) -> f64 {
+        let sa_busy = (self.n_sa_ops as u64 * self.sa_len_cycles) as f64;
+        let vu_busy = (self.n_vu_ops as u64 * self.vu_len_cycles) as f64;
+        sa_busy * self.sa_hbm_bytes_per_cycle + vu_busy * self.vu_hbm_bytes_per_cycle
+    }
+
+    /// HBM demand of an SA operator in bytes per busy cycle.
+    #[must_use]
+    pub fn sa_hbm_bytes_per_cycle(&self) -> f64 {
+        self.sa_hbm_bytes_per_cycle
+    }
+
+    /// HBM demand of a VU operator in bytes per busy cycle.
+    #[must_use]
+    pub fn vu_hbm_bytes_per_cycle(&self) -> f64 {
+        self.vu_hbm_bytes_per_cycle
+    }
+
+    /// Fraction of the 128×128 PE array doing useful MACs during SA ops.
+    #[must_use]
+    pub fn sa_spatial_efficiency(&self) -> f64 {
+        self.sa_spatial_eff
+    }
+
+    /// FLOPs executed per request.
+    #[must_use]
+    pub fn flops_per_request(&self) -> f64 {
+        let sa_busy = (self.n_sa_ops as u64 * self.sa_len_cycles) as f64;
+        let vu_busy = (self.n_vu_ops as u64 * self.vu_len_cycles) as f64;
+        sa_busy * SA_PEAK_FLOPS_PER_CYCLE * self.sa_spatial_eff
+            + vu_busy * VU_PEAK_FLOPS_PER_CYCLE * VU_EFFICIENCY
+    }
+
+    /// Overall FLOPS utilization — the y-axis of Fig. 3.
+    #[must_use]
+    pub fn flops_util(&self) -> f64 {
+        let peak = (SA_PEAK_FLOPS_PER_CYCLE + VU_PEAK_FLOPS_PER_CYCLE) * self.request_cycles as f64;
+        self.flops_per_request() / peak
+    }
+
+    /// Achieved TFLOPs/s — the y-axis of the roofline plot (Fig. 8).
+    #[must_use]
+    pub fn achieved_tflops(&self) -> f64 {
+        let clock = Frequency::default();
+        self.flops_per_request() / clock.seconds_from_cycles(self.request_cycles) / 1e12
+    }
+
+    /// Operation intensity in FLOPs/byte — the x-axis of Fig. 8.
+    #[must_use]
+    pub fn operation_intensity(&self) -> f64 {
+        self.flops_per_request() / self.hbm_bytes_per_request()
+    }
+
+    /// Lognormal shape parameter for operator-length jitter.
+    #[must_use]
+    pub fn len_sigma(&self) -> f64 {
+        self.len_sigma
+    }
+
+    /// DAG side-branch probability (Fig. 6 calibration).
+    #[must_use]
+    pub fn branch_prob(&self) -> f64 {
+        self.branch_prob
+    }
+}
+
+impl fmt::Display for ModelProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}: SA {:.0}% / VU {:.0}% / HBM {:.0}%, {}+{} ops",
+            self.model,
+            self.batch,
+            self.sa_util() * 100.0,
+            self.vu_util() * 100.0,
+            self.hbm_util() * 100.0,
+            self.n_sa_ops,
+            self.n_vu_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_zero_rejected() {
+        assert_eq!(ModelProfile::calibrated(Model::Bert, 0), Err(BatchError::Zero));
+    }
+
+    #[test]
+    fn oom_batches_rejected_with_context() {
+        let err = ModelProfile::calibrated(Model::ShapeMask, 64).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::OutOfMemory { model: Model::ShapeMask, batch: 64, max: 32 }
+        );
+        assert!(err.to_string().contains("ShapeMask"));
+    }
+
+    #[test]
+    fn default_profiles_match_anchor_utilizations_loosely() {
+        // Realized utils drift from the anchors only through op-count
+        // rounding, so they must stay close.
+        for m in Model::ALL {
+            let a = anchor(m);
+            let p = m.default_profile();
+            assert!(
+                (p.sa_util() - a.mxu_util).abs() < 0.12,
+                "{m}: SA util {} vs anchor {}",
+                p.sa_util(),
+                a.mxu_util
+            );
+            assert!(
+                (p.vu_util() - a.vpu_util).abs() < 0.12,
+                "{m}: VU util {} vs anchor {}",
+                p.vu_util(),
+                a.vpu_util
+            );
+            assert!(p.hbm_util() <= a.hbm_util + 1e-9, "{m}: HBM never above target");
+        }
+    }
+
+    #[test]
+    fn utilizations_always_feasible() {
+        for m in Model::ALL {
+            for b in m.batch_sweep() {
+                let p = m.profile(b).unwrap();
+                let sum = p.sa_util() + p.vu_util();
+                assert!(sum <= 1.0 + 1e-9, "{m}@{b}: busy exceeds request ({sum})");
+                assert!(p.hbm_util() <= 0.95, "{m}@{b}");
+                assert!(p.flops_util() < 1.0, "{m}@{b}");
+                assert!(p.sa_op_count() >= 1 && p.vu_op_count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn most_workloads_under_half_peak_flops_at_default_batch() {
+        // Fig. 3 / O1: "Most DNN workloads utilize less than half of the
+        // total available FLOPS on a TPU core."
+        let under_half = Model::ALL
+            .iter()
+            .filter(|m| m.default_profile().flops_util() < 0.5)
+            .count();
+        assert!(under_half >= 9, "only {under_half}/11 under 50% FLOPS");
+    }
+
+    #[test]
+    fn mxu_util_rises_with_batch() {
+        // Fig. 4 trend (deeper color = larger batch = taller bar).
+        for m in [Model::Bert, Model::ResNet, Model::Dlrm] {
+            let lo = m.profile(1).unwrap().sa_util();
+            let hi = m.profile(m.max_batch()).unwrap().sa_util();
+            assert!(hi > lo, "{m}: MXU util should rise with batch ({lo} -> {hi})");
+        }
+    }
+
+    #[test]
+    fn hbm_util_falls_with_batch_except_transformer() {
+        for m in Model::ALL {
+            let lo_b = m.profile(8).unwrap().hbm_util();
+            let hi_b = m.profile(m.max_batch()).unwrap().hbm_util();
+            if m == Model::Transformer {
+                assert!(hi_b > lo_b, "TFMR HBM util should rise with batch");
+            } else {
+                assert!(hi_b < lo_b + 1e-9, "{m}: HBM util should fall with batch");
+            }
+        }
+    }
+
+    #[test]
+    fn operation_intensity_rises_with_batch() {
+        // Fig. 8: "with a larger batch size, the operation intensity
+        // increases for most DNN inference workloads".
+        for m in [Model::Bert, Model::ResNet, Model::Ncf] {
+            let lo = m.profile(1).unwrap().operation_intensity();
+            let hi = m.profile(m.max_batch()).unwrap().operation_intensity();
+            assert!(hi > lo, "{m}: intensity {lo} -> {hi}");
+        }
+    }
+
+    #[test]
+    fn roofline_points_under_both_roofs() {
+        for m in Model::ALL {
+            for b in m.batch_sweep() {
+                let p = m.profile(b).unwrap();
+                let peak_tflops = (SA_PEAK_FLOPS_PER_CYCLE + VU_PEAK_FLOPS_PER_CYCLE) * 700e6 / 1e12;
+                assert!(p.achieved_tflops() <= peak_tflops, "{m}@{b}: above compute roof");
+                let mem_roof = p.operation_intensity() * 330e9 / 1e12;
+                assert!(p.achieved_tflops() <= mem_roof + 1e-9, "{m}@{b}: above memory roof");
+            }
+        }
+    }
+
+    #[test]
+    fn per_op_hbm_demand_is_capped() {
+        for m in Model::ALL {
+            let p = m.default_profile();
+            assert!(p.sa_hbm_bytes_per_cycle() <= OP_HBM_DEMAND_CAP * HBM_BYTES_PER_CYCLE + 1e-9);
+            assert!(p.vu_hbm_bytes_per_cycle() <= OP_HBM_DEMAND_CAP * HBM_BYTES_PER_CYCLE + 1e-9);
+        }
+    }
+
+    #[test]
+    fn display_mentions_model_and_ops() {
+        let s = Model::Bert.default_profile().to_string();
+        assert!(s.contains("BERT@32"), "{s}");
+        assert!(s.contains("ops"), "{s}");
+    }
+}

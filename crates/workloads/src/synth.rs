@@ -1,0 +1,430 @@
+//! Trace and DAG synthesis from calibrated profiles.
+//!
+//! [`ModelProfile::synthesize`] turns a profile into a concrete
+//! [`RequestTrace`]: per-operator lengths are lognormal-jittered around the
+//! Table 1 means and then renormalized so the per-request busy totals (and
+//! hence the realized utilizations) match the profile *exactly*; SA and VU
+//! operators are interleaved evenly, mimicking the layer-by-layer
+//! matmul → activation structure of real models.
+//!
+//! [`ModelProfile::synthesize_dag`] builds the dependency DAG used by the
+//! Fig. 6 critical-path study, and [`refit_vmem`] models the compiler
+//! re-tiling operators whose working set exceeds a (partitioned) vector
+//! memory — the mechanism behind the paper's Fig. 24 vmem-capacity sweep.
+
+use v10_isa::{FuKind, OpDesc, OpDag, RequestTrace};
+use v10_sim::SimRng;
+
+use crate::profile::{ModelProfile, SA_PEAK_FLOPS_PER_CYCLE, VU_PEAK_FLOPS_PER_CYCLE};
+
+/// Floor for a synthesized operator's vector-memory footprint.
+const VMEM_FLOOR_BYTES: f64 = 64.0 * 1024.0;
+/// Ceiling for a synthesized operator's vector-memory footprint (half the
+/// paper's 32 MB vector memory — one workload's partition under two-tenant
+/// sharing never forces a refit at the default configuration).
+const VMEM_CEIL_BYTES: f64 = 16.0 * 1024.0 * 1024.0;
+
+impl ModelProfile {
+    /// Synthesizes the per-request operator trace for this profile.
+    ///
+    /// Deterministic in `(self, seed)`. The trace satisfies, exactly:
+    /// `busy_cycles(kind) == op_count(kind) * mean_len(kind)` for both
+    /// kinds, so the realized utilizations equal the profile's.
+    #[must_use]
+    pub fn synthesize(&self, seed: u64) -> RequestTrace {
+        let mut rng = SimRng::seed_from(seed ^ 0x5EED_0F7B_4CE5);
+        let sa_lens = jittered_lengths(
+            &mut rng,
+            self.sa_op_count(),
+            self.sa_len_cycles(),
+            self.len_sigma(),
+        );
+        let vu_lens = jittered_lengths(
+            &mut rng,
+            self.vu_op_count(),
+            self.vu_len_cycles(),
+            self.len_sigma(),
+        );
+        let batch_ratio = self.batch() as f64 / self.model().default_batch() as f64;
+
+        // Distribute the profile's residual idle time (request minus busy —
+        // host dispatch, sync, and other stalls seen in real traces) evenly
+        // as pre-dispatch gaps, so a single-tenant replay reproduces the
+        // profile's request latency and utilizations (Figs. 3-5).
+        let n_total = sa_lens.len() + vu_lens.len();
+        let busy: u64 = sa_lens.iter().chain(vu_lens.iter()).sum();
+        let gap = self.request_cycles().saturating_sub(busy) / n_total as u64;
+
+        let mut ops = Vec::with_capacity(n_total);
+        for (kind, cycles) in interleave(&sa_lens, &vu_lens) {
+            ops.push(self.make_op(kind, cycles, batch_ratio, gap));
+        }
+        RequestTrace::new(ops)
+    }
+
+    /// Synthesizes the operator dependency DAG for the Fig. 6 analysis.
+    ///
+    /// The DAG is a chain (DNN layers are sequential — §2.2), except that
+    /// with probability `branch_prob` an SA operator runs in parallel with
+    /// the preceding layer's element-wise post-processing: the run of VU
+    /// operators that follows it in program order forms a side branch,
+    /// joining at the next operator after the run. This is the limited
+    /// tile-level SA/VU pipelining the paper acknowledges ("it is possible
+    /// to pipeline some MXU and VPU operations ... the VPU execution time is
+    /// still much smaller than that of MXU"), so the critical-path saving
+    /// per branch is `min(SA length, VU-run length)` — small, keeping the
+    /// ideal speedup marginal.
+    #[must_use]
+    pub fn synthesize_dag(&self, seed: u64) -> OpDag {
+        let trace = self.synthesize(seed);
+        let mut rng = SimRng::seed_from(seed ^ 0x0DA6_0F7B_4CE5);
+        let ops = trace.ops();
+        let mut dag = OpDag::new();
+        let ids: Vec<usize> = ops.iter().map(|&op| dag.add_node(op)).collect();
+
+        let mut i = 0;
+        let mut prev_tail: Option<usize> = None;
+        while i < ids.len() {
+            // Candidate branch: SA op at i, a non-empty VU run after it, and
+            // a join node following the run.
+            if ops[i].kind() == FuKind::Sa && rng.unit_f64() < self.branch_prob() {
+                let mut j = i + 1;
+                while j < ids.len() && ops[j].kind() == FuKind::Vu {
+                    j += 1;
+                }
+                if j > i + 1 && j < ids.len() {
+                    // SA(i) runs parallel to the VU chain (i+1 .. j-1);
+                    // both arms feed the join at j.
+                    if let Some(p) = prev_tail {
+                        dag.add_edge(p, ids[i]).expect("indices valid");
+                        dag.add_edge(p, ids[i + 1]).expect("indices valid");
+                    }
+                    for w in ids[i + 1..j].windows(2) {
+                        dag.add_edge(w[0], w[1]).expect("indices valid");
+                    }
+                    dag.add_edge(ids[i], ids[j]).expect("indices valid");
+                    dag.add_edge(ids[j - 1], ids[j]).expect("indices valid");
+                    prev_tail = Some(ids[j]);
+                    i = j + 1;
+                    continue;
+                }
+            }
+            if let Some(p) = prev_tail {
+                dag.add_edge(p, ids[i]).expect("indices valid");
+            }
+            prev_tail = Some(ids[i]);
+            i += 1;
+        }
+        dag
+    }
+
+    fn make_op(&self, kind: FuKind, cycles: u64, batch_ratio: f64, gap: u64) -> OpDesc {
+        let (bytes_per_cycle, flops_per_cycle) = match kind {
+            FuKind::Sa => (
+                self.sa_hbm_bytes_per_cycle(),
+                SA_PEAK_FLOPS_PER_CYCLE * self.sa_spatial_efficiency(),
+            ),
+            FuKind::Vu => (self.vu_hbm_bytes_per_cycle(), VU_PEAK_FLOPS_PER_CYCLE * 0.8),
+        };
+        let len_us = cycles as f64 / 700.0;
+        let vmem = (2.0 * 1024.0 * 1024.0 * (len_us / 100.0).sqrt() * batch_ratio.powf(0.3))
+            .clamp(VMEM_FLOOR_BYTES, VMEM_CEIL_BYTES);
+        OpDesc::builder(kind)
+            .compute_cycles(cycles)
+            .hbm_bytes((cycles as f64 * bytes_per_cycle) as u64)
+            .vmem_bytes(vmem as u64)
+            .flops((cycles as f64 * flops_per_cycle) as u64)
+            .instr_count(((cycles / 4).clamp(16, 1 << 20)) as u32)
+            .dispatch_gap_cycles(gap)
+            .build()
+    }
+}
+
+/// Draws `n` lognormal lengths with the given mean and renormalizes them so
+/// they sum to exactly `n * mean_cycles` (keeping every length ≥ 1).
+fn jittered_lengths(rng: &mut SimRng, n: usize, mean_cycles: u64, sigma: f64) -> Vec<u64> {
+    assert!(n > 0, "need at least one operator");
+    let raw: Vec<f64> = (0..n).map(|_| rng.lognormal(mean_cycles as f64, sigma)).collect();
+    let target = n as u64 * mean_cycles;
+    let raw_sum: f64 = raw.iter().sum();
+    let scale = target as f64 / raw_sum;
+    let mut lens: Vec<u64> = raw.iter().map(|&x| ((x * scale).round() as u64).max(1)).collect();
+    // Fix rounding drift on the longest operator so the sum is exact.
+    let sum: u64 = lens.iter().sum();
+    let longest = lens
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &l)| l)
+        .map(|(i, _)| i)
+        .expect("n > 0");
+    if sum > target {
+        let over = sum - target;
+        lens[longest] = lens[longest].saturating_sub(over).max(1);
+    } else {
+        lens[longest] += target - sum;
+    }
+    lens
+}
+
+/// Interleaves SA and VU operator lengths evenly (Bresenham merge), so the
+/// trace alternates at the cadence of the rarer kind — the layer-by-layer
+/// structure where matmuls are followed by their activations.
+fn interleave(sa_lens: &[u64], vu_lens: &[u64]) -> Vec<(FuKind, u64)> {
+    let (n_sa, n_vu) = (sa_lens.len(), vu_lens.len());
+    let total = n_sa + n_vu;
+    let mut out = Vec::with_capacity(total);
+    let (mut i_sa, mut i_vu) = (0usize, 0usize);
+    // Walk the merged sequence, emitting whichever kind is "behind" its
+    // proportional position.
+    for k in 0..total {
+        let sa_due = ((k + 1) * n_sa).div_ceil(total);
+        if i_sa < sa_due && i_sa < n_sa {
+            out.push((FuKind::Sa, sa_lens[i_sa]));
+            i_sa += 1;
+        } else if i_vu < n_vu {
+            out.push((FuKind::Vu, vu_lens[i_vu]));
+            i_vu += 1;
+        } else {
+            out.push((FuKind::Sa, sa_lens[i_sa]));
+            i_sa += 1;
+        }
+    }
+    out
+}
+
+/// Models the XLA compiler re-tiling a trace to fit a smaller vector-memory
+/// partition (§3.6 / Fig. 24).
+///
+/// Operators whose footprint exceeds `partition_bytes` are split into
+/// `ceil(vmem / partition)` sub-operators; the smaller tiles lose data
+/// reuse, inflating total HBM traffic by `sqrt(vmem / partition)` (the
+/// classic tiled-matmul reuse model).
+///
+/// # Panics
+///
+/// Panics if `partition_bytes` is zero.
+#[must_use]
+pub fn refit_vmem(trace: &RequestTrace, partition_bytes: u64) -> RequestTrace {
+    assert!(partition_bytes > 0, "vector-memory partition must be non-empty");
+    let mut ops = Vec::with_capacity(trace.ops().len());
+    for op in trace.ops() {
+        if op.vmem_bytes() <= partition_bytes {
+            ops.push(*op);
+            continue;
+        }
+        let ratio = op.vmem_bytes() as f64 / partition_bytes as f64;
+        let k = ratio.ceil() as u64;
+        let inflated_bytes = (op.hbm_bytes() as f64 * ratio.sqrt()) as u64;
+        for part in 0..k {
+            // Distribute cycles/bytes/flops as evenly as integer division
+            // allows, putting remainders on the first sub-op.
+            let share = |total: u64| -> u64 {
+                let base = total / k;
+                if part == 0 {
+                    base + total % k
+                } else {
+                    base
+                }
+            };
+            ops.push(
+                OpDesc::builder(op.kind())
+                    .compute_cycles(share(op.compute_cycles()).max(1))
+                    .hbm_bytes(share(inflated_bytes))
+                    .vmem_bytes(partition_bytes)
+                    .flops(share(op.flops()))
+                    .instr_count((op.instr_count() / k as u32).max(16))
+                    // The dispatch gap precedes the operator once, not per tile.
+                    .dispatch_gap_cycles(if part == 0 { op.dispatch_gap_cycles() } else { 0 })
+                    .build(),
+            );
+        }
+    }
+    RequestTrace::new(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use v10_sim::Frequency;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let p = Model::ResNet.default_profile();
+        assert_eq!(p.synthesize(7), p.synthesize(7));
+        assert_ne!(p.synthesize(7), p.synthesize(8));
+    }
+
+    #[test]
+    fn busy_cycles_match_profile_exactly() {
+        for m in Model::ALL {
+            let p = m.default_profile();
+            let t = p.synthesize(1);
+            assert_eq!(
+                t.busy_cycles(FuKind::Sa),
+                p.sa_op_count() as u64 * p.sa_len_cycles(),
+                "{m}"
+            );
+            assert_eq!(
+                t.busy_cycles(FuKind::Vu),
+                p.vu_op_count() as u64 * p.vu_len_cycles(),
+                "{m}"
+            );
+            assert_eq!(t.count(FuKind::Sa), p.sa_op_count(), "{m}");
+            assert_eq!(t.count(FuKind::Vu), p.vu_op_count(), "{m}");
+        }
+    }
+
+    #[test]
+    fn table1_means_reproduced() {
+        let clk = Frequency::default();
+        let cases = [
+            (Model::Bert, 877.0, 34.7),
+            (Model::Dlrm, 17.0, 4.43),
+            (Model::Transformer, 6_650.0, 55.4),
+            (Model::ShapeMask, 1_910.0, 20.2),
+        ];
+        for (m, sa_us, vu_us) in cases {
+            let s = m.default_profile().synthesize(3).summarize(clk);
+            assert!(
+                (s.avg_sa_op_micros - sa_us).abs() / sa_us < 0.02,
+                "{m}: mean SA {} vs Table 1 {sa_us}",
+                s.avg_sa_op_micros
+            );
+            assert!(
+                (s.avg_vu_op_micros - vu_us).abs() / vu_us < 0.02,
+                "{m}: mean VU {} vs Table 1 {vu_us}",
+                s.avg_vu_op_micros
+            );
+        }
+    }
+
+    #[test]
+    fn interleave_spreads_kinds() {
+        let sa = vec![10u64; 3];
+        let vu = vec![1u64; 9];
+        let merged = interleave(&sa, &vu);
+        assert_eq!(merged.len(), 12);
+        // No run of more than ceil(9/3)+1 VU ops between SA ops.
+        let mut run = 0;
+        for (k, _) in &merged {
+            if *k == FuKind::Vu {
+                run += 1;
+                assert!(run <= 4, "VU run too long");
+            } else {
+                run = 0;
+            }
+        }
+        assert_eq!(merged.iter().filter(|(k, _)| *k == FuKind::Sa).count(), 3);
+    }
+
+    #[test]
+    fn interleave_handles_one_sided_inputs() {
+        let merged = interleave(&[5, 5], &[]);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.iter().all(|(k, _)| *k == FuKind::Sa));
+    }
+
+    #[test]
+    fn jittered_lengths_sum_exact_and_positive() {
+        let mut rng = SimRng::seed_from(9);
+        for (n, mean, sigma) in [(1usize, 100u64, 0.5), (17, 3, 0.9), (100, 1_000, 0.3)] {
+            let lens = jittered_lengths(&mut rng, n, mean, sigma);
+            assert_eq!(lens.iter().sum::<u64>(), n as u64 * mean);
+            assert!(lens.iter().all(|&l| l >= 1));
+        }
+    }
+
+    #[test]
+    fn dag_speedup_is_marginal() {
+        // Fig. 6: ideal operator-parallel speedup is ~6.7% on average and
+        // never large.
+        let mut speedups = Vec::new();
+        for m in Model::ALL {
+            let dag = m.default_profile().synthesize_dag(11);
+            let s = dag.ideal_speedup().unwrap();
+            assert!((1.0..1.5).contains(&s), "{m}: ideal speedup {s} out of range");
+            speedups.push(s);
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!(avg < 1.20, "average ideal speedup {avg} should be marginal");
+    }
+
+    #[test]
+    fn dag_total_matches_trace_total() {
+        let p = Model::EfficientNet.default_profile();
+        let dag = p.synthesize_dag(5);
+        let trace = p.synthesize(5);
+        assert_eq!(dag.total_cycles(), trace.total_compute_cycles());
+    }
+
+    #[test]
+    fn refit_noop_when_partition_large() {
+        let p = Model::ResNet.default_profile();
+        let t = p.synthesize(2);
+        let refit = refit_vmem(&t, 16 << 20);
+        assert_eq!(refit, t, "16 MB partition should fit every default op");
+    }
+
+    #[test]
+    fn refit_splits_and_inflates_hbm() {
+        let p = Model::Transformer.default_profile();
+        let t = p.synthesize(2);
+        let small = refit_vmem(&t, 4 << 20); // 8 MB vmem / 2 workloads
+        assert!(small.ops().len() > t.ops().len(), "large ops should split");
+        assert!(
+            small.total_hbm_bytes() > t.total_hbm_bytes(),
+            "lost reuse should inflate HBM traffic"
+        );
+        // Compute work is preserved.
+        assert_eq!(small.total_compute_cycles(), t.total_compute_cycles());
+        assert!(small.ops().iter().all(|o| o.vmem_bytes() <= 4 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn refit_rejects_zero_partition() {
+        let t = Model::Mnist.default_profile().synthesize(1);
+        let _ = refit_vmem(&t, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::model::Model;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Synthesis never violates the profile's busy-cycle contract, for
+        /// any model, any legal batch, any seed.
+        #[test]
+        fn busy_contract(model_idx in 0usize..11, batch_exp in 0u32..12, seed in 0u64..1000) {
+            let m = Model::ALL[model_idx];
+            let batch = (1u32 << batch_exp).min(m.max_batch());
+            let p = m.profile(batch).unwrap();
+            let t = p.synthesize(seed);
+            prop_assert_eq!(
+                t.busy_cycles(FuKind::Sa),
+                p.sa_op_count() as u64 * p.sa_len_cycles()
+            );
+            prop_assert_eq!(
+                t.busy_cycles(FuKind::Vu),
+                p.vu_op_count() as u64 * p.vu_len_cycles()
+            );
+        }
+
+        /// Refitting preserves compute cycles and never shrinks HBM bytes.
+        #[test]
+        fn refit_invariants(seed in 0u64..200, part_mb in 1u64..32) {
+            let p = Model::ShapeMask.default_profile();
+            let t = p.synthesize(seed);
+            let refit = refit_vmem(&t, part_mb << 20);
+            prop_assert_eq!(refit.total_compute_cycles(), t.total_compute_cycles());
+            prop_assert!(refit.total_hbm_bytes() >= t.total_hbm_bytes());
+            prop_assert!(refit.ops().iter().all(|o| o.vmem_bytes() <= part_mb << 20));
+        }
+    }
+}

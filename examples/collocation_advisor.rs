@@ -1,0 +1,78 @@
+//! Collocation advisor: cluster a fleet of inference services (§3.4) and
+//! recommend which pairs to place on shared NPU cores.
+//!
+//! Mirrors the deployment story of §3.5: the operator "trains the clustering
+//! model offline" and at runtime "identifies groups of workloads with
+//! complementary resource demands and dispatches each group to each NPU
+//! core".
+//!
+//! ```sh
+//! cargo run --release --example collocation_advisor
+//! ```
+
+use v10::collocate::{build_default_dataset, ClusteringPipeline, PairPerfCache, BENEFIT_THRESHOLD};
+use v10::workloads::Model;
+
+fn main() {
+    // Offline training: features -> PCA -> K-Means -> inter-cluster
+    // collocation profiling on the simulator.
+    println!("Training the clustering pipeline on the model zoo...");
+    let points = build_default_dataset(7);
+    let mut cache = PairPerfCache::new(6, 7);
+    let pipeline = ClusteringPipeline::fit(&points, 3, 5, &mut cache, 7);
+    println!(
+        "Trained: {} workload points, {} clusters, {} profiled pair simulations.\n",
+        points.len(),
+        pipeline.clusters(),
+        cache.len()
+    );
+
+    // Show each model's cluster.
+    println!("{:<14} {:>8} {:>8} {:>8} {:>9}", "Model", "SA util", "VU util", "HBM", "Cluster");
+    for m in Model::ALL {
+        let p = m.default_profile();
+        println!(
+            "{:<14} {:>7.0}% {:>7.0}% {:>7.0}% {:>9}",
+            m.name(),
+            p.sa_util() * 100.0,
+            p.vu_util() * 100.0,
+            p.hbm_util() * 100.0,
+            pipeline.cluster_of_model(m)
+        );
+    }
+
+    // Online inference: greedy pairing of the fleet by predicted STP.
+    let mut remaining: Vec<Model> = Model::ALL.to_vec();
+    let mut placements = Vec::new();
+    while remaining.len() >= 2 {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..remaining.len() {
+            for j in (i + 1)..remaining.len() {
+                let stp = pipeline.predict_pair_performance(remaining[i], remaining[j]);
+                if best.is_none_or(|(_, _, b)| stp > b) {
+                    best = Some((i, j, stp));
+                }
+            }
+        }
+        let (i, j, stp) = best.expect("at least one pair");
+        let b = remaining.remove(j);
+        let a = remaining.remove(i);
+        placements.push((a, b, stp));
+    }
+
+    println!("\nRecommended core placements (greedy, by predicted STP):");
+    for (core, (a, b, stp)) in placements.iter().enumerate() {
+        let verdict = if *stp >= BENEFIT_THRESHOLD { "collocate" } else { "separate cores" };
+        println!(
+            "  core {}: {:<6} + {:<6} predicted STP {:.2} -> {}",
+            core,
+            a.abbrev(),
+            b.abbrev(),
+            stp,
+            verdict
+        );
+    }
+    if let Some(solo) = remaining.first() {
+        println!("  leftover: {} runs alone", solo.abbrev());
+    }
+}

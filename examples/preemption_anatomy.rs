@@ -1,0 +1,63 @@
+//! Anatomy of an SA operator preemption (Fig. 13): drive the *functional*
+//! systolic-array model through a mid-operator context switch and verify,
+//! element by element, that checkpoint/replay restores the matmul exactly —
+//! then show the cost model the performance simulator inherits.
+//!
+//! ```sh
+//! cargo run --release --example preemption_anatomy
+//! ```
+
+use v10::systolic::{
+    checkpoint_context_bytes, context_switch_bound_cycles, naive_context_bytes, Matrix, SaExecutor,
+};
+
+fn main() {
+    // A 3x3 array, as in the paper's worked example (Fig. 13, left).
+    let n = 3;
+    let a = Matrix::from_fn(6, n, |i, j| (i * n + j) as f32);
+    let w = Matrix::from_fn(n, n, |i, j| if (i + j) % 2 == 0 { 1.0 } else { -1.0 });
+    let reference = a.matmul(&w);
+
+    let mut sa = SaExecutor::new(n);
+    sa.begin(a.clone(), w.clone()).expect("operands fit the array");
+    println!("cycle {:>3}: weights loaded, streaming inputs...", sa.cycle());
+
+    sa.run_cycles(4);
+    println!("cycle {:>3}: preemption timer fires mid-operator", sa.cycle());
+
+    // Fig. 13 steps 1-5: stop injecting inputs (they are checkpointed),
+    // drain the in-flight wavefront (still popping *valid* outputs), swap
+    // weights out/in.
+    let (ctx, cost) = sa.preempt().expect("array is busy");
+    println!(
+        "cycle {:>3}: context switch done in {cost} cycles (bound 3N = {}), \
+         {} rows completed / {} to replay",
+        sa.cycle(),
+        context_switch_bound_cycles(n as u64),
+        ctx.completed_rows(),
+        ctx.remaining_rows()
+    );
+
+    // Another tenant's operator borrows the array.
+    let other = Matrix::identity(n);
+    sa.begin(other.clone(), other).expect("array is free");
+    let _ = sa.run_to_completion();
+    println!("cycle {:>3}: collocated tenant's operator ran in between", sa.cycle());
+
+    // Restore and finish the preempted operator.
+    sa.restore(ctx).expect("array is free");
+    let out = sa.run_to_completion();
+    println!("cycle {:>3}: preempted operator resumed and completed", sa.cycle());
+
+    assert_eq!(out, reference, "checkpoint/replay must be exact");
+    println!("\nresult identical to the uninterrupted matmul — no precision loss.");
+
+    // The production-size numbers the performance model uses (§3.3).
+    println!(
+        "\n128x128 array: context switch <= {} cycles; context = {} KB \
+         (vs {} KB naive drain: 25% saved)",
+        context_switch_bound_cycles(128),
+        checkpoint_context_bytes(128) / 1024,
+        naive_context_bytes(128) / 1024,
+    );
+}

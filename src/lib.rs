@@ -1,0 +1,15 @@
+//! # v10 — facade crate for the V10 NPU multi-tenancy reproduction
+//!
+//! Re-exports every crate in the workspace under one roof so that examples,
+//! integration tests, and downstream users can `use v10::...` without
+//! tracking the internal crate layout.
+
+#![forbid(unsafe_code)]
+
+pub use v10_collocate as collocate;
+pub use v10_core as core;
+pub use v10_isa as isa;
+pub use v10_npu as npu;
+pub use v10_sim as sim;
+pub use v10_systolic as systolic;
+pub use v10_workloads as workloads;

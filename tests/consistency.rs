@@ -1,0 +1,136 @@
+//! Cross-crate consistency checks: the performance model, the functional
+//! models, and the workload zoo must agree with each other.
+
+use v10::core::{run_design, run_single_tenant, Design, RunOptions, WorkloadSpec};
+use v10::isa::FuKind;
+use v10::npu::NpuConfig;
+use v10::systolic::{checkpoint_context_bytes, Matrix, SaExecutor};
+use v10::workloads::{refit_vmem, Model};
+
+/// The performance model's SA context-switch constant must dominate every
+/// cost the functional array actually measures.
+#[test]
+fn perf_model_switch_cost_covers_functional_model() {
+    let cfg = NpuConfig::table5();
+    let n = cfg.sa_dim() as usize;
+    let a = Matrix::from_fn(2 * n, n, |i, j| ((i + j) % 3) as f32);
+    let w = Matrix::from_fn(n, n, |i, j| ((i * 2 + j) % 5) as f32);
+    for preempt_at in [0u64, 64, 200, 333] {
+        let mut sa = SaExecutor::new(n);
+        sa.begin(a.clone(), w.clone()).unwrap();
+        sa.run_cycles(preempt_at);
+        let (_, cost) = sa.preempt().unwrap();
+        assert!(
+            cost <= cfg.sa_switch_cycles(),
+            "functional cost {cost} exceeds the {}-cycle budget",
+            cfg.sa_switch_cycles()
+        );
+    }
+    assert_eq!(cfg.sa_context_bytes(), checkpoint_context_bytes(128));
+}
+
+/// Executed busy cycles in a single-tenant run equal the trace's busy
+/// cycles times the number of completed requests (work conservation across
+/// the zoo → engine boundary).
+#[test]
+fn engine_busy_time_matches_trace_totals() {
+    let cfg = NpuConfig::table5();
+    let requests = 3;
+    for m in [Model::Mnist, Model::Dlrm, Model::ResNet] {
+        let trace = m.default_profile().synthesize(21);
+        let sa_per_req = trace.busy_cycles(FuKind::Sa) as f64;
+        let vu_per_req = trace.busy_cycles(FuKind::Vu) as f64;
+        let spec = WorkloadSpec::new(m.abbrev(), trace);
+        let r = run_single_tenant(&spec, &cfg, requests);
+        let wl = &r.workloads()[0];
+        let completed = wl.completed_requests() as f64;
+        assert!(
+            (wl.busy_sa_cycles() - completed * sa_per_req).abs() < 1.0,
+            "{m}: SA busy {} vs {}",
+            wl.busy_sa_cycles(),
+            completed * sa_per_req
+        );
+        assert!((wl.busy_vu_cycles() - completed * vu_per_req).abs() < 1.0, "{m}");
+    }
+}
+
+/// Multi-tenant execution conserves work too: per-workload busy time equals
+/// requests × trace busy time, regardless of preemptions.
+#[test]
+fn preemption_never_loses_or_duplicates_work() {
+    let cfg = NpuConfig::table5();
+    let opts = RunOptions::new(3);
+    let traces = [
+        Model::Bert.default_profile().synthesize(31),
+        Model::Dlrm.default_profile().synthesize(32),
+    ];
+    let specs = [
+        WorkloadSpec::new("BERT", traces[0].clone()),
+        WorkloadSpec::new("DLRM", traces[1].clone()),
+    ];
+    let r = run_design(Design::V10Full, &specs, &cfg, &opts);
+    for (wl, trace) in r.workloads().iter().zip(&traces) {
+        let per_req =
+            (trace.busy_cycles(FuKind::Sa) + trace.busy_cycles(FuKind::Vu)) as f64;
+        let expected = wl.completed_requests() as f64 * per_req;
+        let got = wl.busy_sa_cycles() + wl.busy_vu_cycles();
+        // Busy time counts FU occupancy; HBM contention stretches occupancy,
+        // so got >= expected, but preemption must never lose work.
+        assert!(
+            got >= expected - 1.0,
+            "{}: executed {got} < expected {expected}",
+            wl.label()
+        );
+        assert!(
+            got <= 1.5 * expected,
+            "{}: executed {got} vastly exceeds expected {expected}",
+            wl.label()
+        );
+    }
+}
+
+/// The Fig. 24 mechanism: refitting traces to a smaller vmem partition
+/// raises simulated HBM utilization but preserves compute work.
+#[test]
+fn vmem_refit_shows_up_in_simulation() {
+    let cfg = NpuConfig::table5();
+    let trace = Model::Transformer.default_profile().synthesize(41);
+    let small = refit_vmem(&trace, 4 << 20);
+    assert_eq!(small.total_compute_cycles(), trace.total_compute_cycles());
+
+    let full = run_single_tenant(&WorkloadSpec::new("t", trace), &cfg, 2);
+    let refit = run_single_tenant(&WorkloadSpec::new("t", small), &cfg, 2);
+    assert!(
+        refit.hbm_util() > full.hbm_util(),
+        "refit HBM {:.3} should exceed {:.3}",
+        refit.hbm_util(),
+        full.hbm_util()
+    );
+}
+
+/// Utilizations reported by the engine agree with the profile's targets for
+/// a single-tenant run (the calibration loop is closed: zoo → engine →
+/// metrics reproduces Figs. 4/5 inputs).
+#[test]
+fn single_tenant_utilization_matches_profile() {
+    let cfg = NpuConfig::table5();
+    for m in [Model::Bert, Model::Ncf, Model::Mnist] {
+        let p = m.default_profile();
+        let spec = WorkloadSpec::new(m.abbrev(), p.synthesize(51));
+        let r = run_single_tenant(&spec, &cfg, 3);
+        // The engine adds DMA-ready gaps, so utilization can only drop
+        // slightly below the profile's target.
+        assert!(
+            (r.sa_util() - p.sa_util()).abs() < 0.08,
+            "{m}: engine SA {:.3} vs profile {:.3}",
+            r.sa_util(),
+            p.sa_util()
+        );
+        assert!(
+            (r.vu_util() - p.vu_util()).abs() < 0.08,
+            "{m}: engine VU {:.3} vs profile {:.3}",
+            r.vu_util(),
+            p.vu_util()
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end test of the §3.5 deployment story plus the trace-exchange
+//! format: train the clustering pipeline, plan a fleet placement, simulate
+//! every core, and round-trip a workload's trace through CSV on the way.
+
+use v10::collocate::{
+    build_dataset, plan_deployment, simulate_deployment, ClusteringPipeline, CoreAssignment,
+    PairPerfCache,
+};
+use v10::isa::{read_trace_csv, write_trace_csv};
+use v10::npu::{HbmLayout, NpuConfig};
+use v10::workloads::Model;
+
+#[test]
+fn fleet_deployment_end_to_end() {
+    // Offline: train on a subset (cheap in debug builds).
+    let training = [
+        Model::Bert,
+        Model::Ncf,
+        Model::Dlrm,
+        Model::ResNet,
+        Model::Mnist,
+        Model::RetinaNet,
+    ];
+    let points = build_dataset(&training, &[], 11);
+    let mut cache = PairPerfCache::new(2, 11);
+    let pipeline = ClusteringPipeline::fit(&points, 3, 3, &mut cache, 11);
+
+    // Online: place a fleet (including models unseen in training) onto 3
+    // cores.
+    let fleet = [
+        Model::Bert,
+        Model::Ncf,
+        Model::Dlrm,
+        Model::ResNet,
+        Model::Mnist,
+        Model::RetinaNet,
+    ];
+    let plan = plan_deployment(&fleet, 3, &pipeline);
+    assert_eq!(plan.cores_used(), 3);
+    let placed: usize = plan.assignments().iter().map(|a| a.models().len()).sum();
+    assert_eq!(placed, fleet.len(), "every workload placed");
+
+    // Admission control on the HBM side: every core's tenants must fit its
+    // 32 GB (§3.6 segmentation) — model footprints here are nominal 4 GB.
+    for a in plan.assignments() {
+        let mut hbm = HbmLayout::new(NpuConfig::table5().hbm_capacity_bytes());
+        for _ in a.models() {
+            hbm.allocate(4 << 30).expect("tenant fits its region");
+        }
+    }
+
+    // Simulate the whole fleet; every pair should beat fair time-sharing.
+    let results = simulate_deployment(&plan, &NpuConfig::table5(), 2, 11);
+    for (assignment, report, stp) in &results {
+        match assignment {
+            CoreAssignment::Pair { .. } => {
+                assert!(*stp > 1.0, "collocated pair below time-sharing: {stp}");
+                assert_eq!(report.workloads().len(), 2);
+            }
+            CoreAssignment::Solo(_) => {
+                assert!(*stp > 0.9, "solo workload should run near-dedicated");
+            }
+        }
+    }
+}
+
+#[test]
+fn csv_traces_drive_the_simulator_identically() {
+    // Export a zoo trace, re-import it, and check the simulator cannot tell
+    // the difference.
+    use v10::core::{run_single_tenant, WorkloadSpec};
+    let cfg = NpuConfig::table5();
+    let original = Model::Mnist.default_profile().synthesize(21);
+
+    let mut csv = Vec::new();
+    write_trace_csv(&mut csv, &original).expect("in-memory write");
+    let reloaded = read_trace_csv(csv.as_slice()).expect("roundtrip parse");
+    assert_eq!(reloaded, original);
+
+    let a = run_single_tenant(&WorkloadSpec::new("orig", original), &cfg, 2);
+    let b = run_single_tenant(&WorkloadSpec::new("csv", reloaded), &cfg, 2);
+    assert_eq!(a.elapsed_cycles(), b.elapsed_cycles());
+    assert_eq!(
+        a.workloads()[0].avg_latency_cycles(),
+        b.workloads()[0].avg_latency_cycles()
+    );
+}
