@@ -17,10 +17,19 @@ fn round_trip(n: usize, naive: bool) -> u64 {
     sa.begin(a.clone(), w.clone()).expect("dims ok");
     sa.run_cycles(n as u64 + 2); // mid-wavefront
     let before = sa.cycle();
-    let (ctx, _) = if naive { sa.preempt_naive() } else { sa.preempt() }.expect("busy");
+    let (ctx, _) = if naive {
+        sa.preempt_naive()
+    } else {
+        sa.preempt()
+    }
+    .expect("busy");
     sa.restore(ctx).expect("idle");
     let switch_cycles = sa.cycle() - before;
-    assert_eq!(sa.run_to_completion(), a.matmul(&w), "n={n}: corrupted result");
+    assert_eq!(
+        sa.run_to_completion(),
+        a.matmul(&w),
+        "n={n}: corrupted result"
+    );
     switch_cycles
 }
 

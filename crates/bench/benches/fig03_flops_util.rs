@@ -32,7 +32,11 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Fig. 3 — FLOPS utilization (single workload)", &header_refs, &rows);
+    print_table(
+        "Fig. 3 — FLOPS utilization (single workload)",
+        &header_refs,
+        &rows,
+    );
     println!(
         "{} of {} (model, batch) points use less than half of peak FLOPS \
          (paper: most workloads stay under 50%).",

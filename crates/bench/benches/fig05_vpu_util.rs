@@ -22,5 +22,7 @@ fn main() {
         rows.push(row);
     }
     print_table("Fig. 5 — VPU temporal utilization", &header_refs, &rows);
-    println!("VU-intensive models (DLRM, NCF, ShapeMask, MNIST) show the tallest bars, as in the paper.");
+    println!(
+        "VU-intensive models (DLRM, NCF, ShapeMask, MNIST) show the tallest bars, as in the paper."
+    );
 }

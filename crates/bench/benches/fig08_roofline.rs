@@ -25,7 +25,13 @@ fn main() {
     }
     print_table(
         "Fig. 8 — Roofline points (intensity, achieved TFLOPs/s, memory-roof bound)",
-        &["Model", "Batch", "FLOPs/Byte", "TFLOPs/s", "Mem roof (TFLOPs/s)"],
+        &[
+            "Model",
+            "Batch",
+            "FLOPs/Byte",
+            "TFLOPs/s",
+            "Mem roof (TFLOPs/s)",
+        ],
         &rows,
     );
     println!(

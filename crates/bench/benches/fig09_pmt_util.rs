@@ -12,7 +12,7 @@ fn main() {
     let opts = run_options();
     let mut rows = Vec::new();
     for case in fig9_pairs() {
-        let r = run_pmt(&case.specs, &cfg, &opts);
+        let r = run_pmt(&case.specs, &cfg, &opts).expect("validated pair case");
         let elapsed = r.elapsed_cycles();
         let w = r.workloads();
         rows.push(vec![

@@ -5,8 +5,7 @@
 
 use v10_bench::print_table;
 use v10_systolic::{
-    checkpoint_context_bytes, context_switch_bound_cycles, naive_context_bytes, Matrix,
-    SaExecutor,
+    checkpoint_context_bytes, context_switch_bound_cycles, naive_context_bytes, Matrix, SaExecutor,
 };
 
 fn measure(n: usize, rows: usize, preempt_after: u64) -> (u64, bool) {
@@ -24,19 +23,34 @@ fn measure(n: usize, rows: usize, preempt_after: u64) -> (u64, bool) {
 
 fn main() {
     let mut rows_out = Vec::new();
-    for (n, m, at) in [(3usize, 9usize, 5u64), (3, 9, 1), (128, 256, 200), (128, 256, 50)] {
+    for (n, m, at) in [
+        (3usize, 9usize, 5u64),
+        (3, 9, 1),
+        (128, 256, 200),
+        (128, 256, 50),
+    ] {
         let (cost, exact) = measure(n, m, at);
         rows_out.push(vec![
             format!("{n}x{n}"),
             at.to_string(),
             cost.to_string(),
             context_switch_bound_cycles(n as u64).to_string(),
-            if exact { "exact".into() } else { "CORRUPTED".to_string() },
+            if exact {
+                "exact".into()
+            } else {
+                "CORRUPTED".to_string()
+            },
         ]);
     }
     print_table(
         "Fig. 13 — SA preemption cost (measured vs 3N bound) and correctness",
-        &["Array", "Preempt at cycle", "Measured cost", "3N bound", "Result"],
+        &[
+            "Array",
+            "Preempt at cycle",
+            "Measured cost",
+            "3N bound",
+            "Result",
+        ],
         &rows_out,
     );
 
@@ -46,8 +60,16 @@ fn main() {
         "Context storage per preempted SA operator (N = 128)",
         &["Scheme", "Bytes", "KB"],
         &[
-            vec!["Checkpoint/replay (V10)".into(), ckpt.to_string(), format!("{}", ckpt / 1024)],
-            vec!["Naive drain".into(), naive.to_string(), format!("{}", naive / 1024)],
+            vec![
+                "Checkpoint/replay (V10)".into(),
+                ckpt.to_string(),
+                format!("{}", ckpt / 1024),
+            ],
+            vec![
+                "Naive drain".into(),
+                naive.to_string(),
+                format!("{}", naive / 1024),
+            ],
         ],
     );
     println!(

@@ -1,7 +1,8 @@
 //! Fig. 16 — SA, VU, and HBM bandwidth utilization of the 11 collocated
 //! pairs under PMT, V10-Base, V10-Fair, and V10-Full.
 
-use v10_bench::{eval_pairs, fmt_pct, fmt_x, geomean, print_table, run_all_designs};
+use v10_bench::sweep::sweep_pairs;
+use v10_bench::{eval_pairs, fmt_pct, fmt_x, geomean, print_table};
 use v10_core::Design;
 use v10_npu::NpuConfig;
 
@@ -15,26 +16,32 @@ fn main() {
     let mut vu_gain = Vec::new();
     let mut hbm_gain = Vec::new();
 
-    for case in eval_pairs() {
-        let results = run_all_designs(&case, &cfg);
-        let get = |d: Design| &results.iter().find(|(x, _)| *x == d).expect("all designs run").1;
+    for sweep in sweep_pairs(&eval_pairs(), &cfg) {
+        let results = sweep.reports;
+        let get = |d: Design| {
+            &results
+                .iter()
+                .find(|(x, _)| *x == d)
+                .expect("all designs run")
+                .1
+        };
         let (pmt, full) = (get(Design::Pmt), get(Design::V10Full));
         agg_gain.push(full.aggregate_compute_util() / pmt.aggregate_compute_util());
         sa_gain.push(full.sa_util() / pmt.sa_util());
         vu_gain.push(full.vu_util() / pmt.vu_util());
         hbm_gain.push(full.hbm_util() / pmt.hbm_util());
         sa_rows.push(
-            std::iter::once(case.label.clone())
+            std::iter::once(sweep.label.clone())
                 .chain(results.iter().map(|(_, r)| fmt_pct(r.sa_util())))
                 .collect(),
         );
         vu_rows.push(
-            std::iter::once(case.label.clone())
+            std::iter::once(sweep.label.clone())
                 .chain(results.iter().map(|(_, r)| fmt_pct(r.vu_util())))
                 .collect(),
         );
         hbm_rows.push(
-            std::iter::once(case.label.clone())
+            std::iter::once(sweep.label.clone())
                 .chain(results.iter().map(|(_, r)| fmt_pct(r.hbm_util())))
                 .collect(),
         );

@@ -2,7 +2,8 @@
 //! executing simultaneously, only an SA op, or only a VU op, for each pair
 //! under the four designs.
 
-use v10_bench::{eval_pairs, fmt_pct, print_table, run_all_designs};
+use v10_bench::sweep::sweep_pairs;
+use v10_bench::{eval_pairs, fmt_pct, print_table};
 use v10_npu::NpuConfig;
 
 fn main() {
@@ -10,8 +11,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut max_both: f64 = 0.0;
     let mut full_both = Vec::new();
-    for case in eval_pairs() {
-        for (d, r) in run_all_designs(&case, &cfg) {
+    for sweep in sweep_pairs(&eval_pairs(), &cfg) {
+        for (d, r) in sweep.reports {
             let o = r.overlap();
             let t = r.elapsed_cycles();
             if d == v10_core::Design::V10Full {
@@ -19,7 +20,7 @@ fn main() {
                 max_both = max_both.max(o.both / t);
             }
             rows.push(vec![
-                case.label.clone(),
+                sweep.label.clone(),
                 d.to_string(),
                 fmt_pct(o.both / t),
                 fmt_pct(o.sa_only / t),

@@ -1,7 +1,8 @@
 //! Fig. 18 — Overall system throughput (sum of normalized forward progress)
 //! of the 11 pairs, normalized to PMT.
 
-use v10_bench::{eval_pairs, fmt_x, geomean, print_table, run_all_designs, single_refs};
+use v10_bench::sweep::sweep_pairs;
+use v10_bench::{eval_pairs, fmt_x, geomean, print_table};
 use v10_core::Design;
 use v10_npu::NpuConfig;
 
@@ -9,18 +10,18 @@ fn main() {
     let cfg = NpuConfig::table5();
     let mut rows = Vec::new();
     let mut gains = vec![Vec::new(); 3]; // Base, Fair, Full vs PMT
-    for case in eval_pairs() {
-        let singles = single_refs(&case, &cfg);
-        let results = run_all_designs(&case, &cfg);
+    for sweep in sweep_pairs(&eval_pairs(), &cfg) {
+        let singles = &sweep.singles;
+        let results = &sweep.reports;
         let stp: Vec<f64> = results
             .iter()
-            .map(|(_, r)| r.system_throughput(&singles))
+            .map(|(_, r)| r.system_throughput(singles))
             .collect();
         for (i, g) in gains.iter_mut().enumerate() {
             g.push(stp[i + 1] / stp[0]);
         }
         rows.push(vec![
-            case.label.clone(),
+            sweep.label.clone(),
             format!("{:.3} (1.00x)", stp[0]),
             format!("{:.3} ({})", stp[1], fmt_x(stp[1] / stp[0])),
             format!("{:.3} ({})", stp[2], fmt_x(stp[2] / stp[0])),

@@ -1,21 +1,25 @@
 //! Fig. 20 — 95th-percentile tail latency of each collocated workload,
 //! normalized to PMT.
 
-use v10_bench::{eval_pairs, fmt_x, geomean, print_table, run_all_designs};
+use v10_bench::sweep::sweep_pairs;
+use v10_bench::{eval_pairs, fmt_x, geomean, print_table};
 use v10_npu::NpuConfig;
 
 fn main() {
     let cfg = NpuConfig::table5();
     let mut rows = Vec::new();
     let mut improvements = Vec::new();
-    for case in eval_pairs() {
-        let results = run_all_designs(&case, &cfg);
+    for sweep in sweep_pairs(&eval_pairs(), &cfg) {
+        let results = &sweep.reports;
         let pmt = &results[0].1;
         for wl in 0..2 {
             let base = pmt.workloads()[wl].p95_latency_cycles();
-            let mut row = vec![case.label.clone(), format!("DNN{}", wl + 1)];
-            for (_, r) in &results {
-                row.push(format!("{:.2}", r.workloads()[wl].p95_latency_cycles() / base));
+            let mut row = vec![sweep.label.clone(), format!("DNN{}", wl + 1)];
+            for (_, r) in results {
+                row.push(format!(
+                    "{:.2}",
+                    r.workloads()[wl].p95_latency_cycles() / base
+                ));
             }
             improvements.push(base / results[3].1.workloads()[wl].p95_latency_cycles());
             rows.push(row);
@@ -23,7 +27,9 @@ fn main() {
     }
     print_table(
         "Fig. 20 — 95th-percentile tail latency (normalized to PMT)",
-        &["Pair", "Workload", "PMT", "V10-Base", "V10-Fair", "V10-Full"],
+        &[
+            "Pair", "Workload", "PMT", "V10-Base", "V10-Fair", "V10-Full",
+        ],
         &rows,
     );
     println!(

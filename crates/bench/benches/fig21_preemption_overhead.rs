@@ -3,22 +3,23 @@
 //! magnitude more often at similar (negligible) overhead — the payoff of
 //! the lightweight operator-level context switch.
 
-use v10_bench::{eval_pairs, fmt_pct, print_table, run_all_designs};
+use v10_bench::sweep::sweep_pairs;
+use v10_bench::{eval_pairs, fmt_pct, print_table};
 use v10_core::Design;
 use v10_npu::NpuConfig;
 
 fn main() {
     let cfg = NpuConfig::table5();
     let mut rows = Vec::new();
-    for case in eval_pairs() {
-        let results = run_all_designs(&case, &cfg);
+    for sweep in sweep_pairs(&eval_pairs(), &cfg) {
+        let results = &sweep.reports;
         let get = |d: Design| &results.iter().find(|(x, _)| *x == d).expect("ran").1;
         let (pmt, full) = (get(Design::Pmt), get(Design::V10Full));
         for wl in 0..2 {
             let p = &pmt.workloads()[wl];
             let f = &full.workloads()[wl];
             rows.push(vec![
-                case.label.clone(),
+                sweep.label.clone(),
                 format!("DNN{}", wl + 1),
                 fmt_pct(p.switch_overhead_fraction()),
                 fmt_pct(f.switch_overhead_fraction()),

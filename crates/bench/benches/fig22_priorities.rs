@@ -6,7 +6,13 @@ use v10_bench::{eval_pairs, print_table, run_options, single_refs};
 use v10_core::{run_design, Design, WorkloadSpec};
 use v10_npu::NpuConfig;
 
-const SPLITS: [(f64, f64); 5] = [(50.0, 50.0), (60.0, 40.0), (70.0, 30.0), (80.0, 20.0), (90.0, 10.0)];
+const SPLITS: [(f64, f64); 5] = [
+    (50.0, 50.0),
+    (60.0, 40.0),
+    (70.0, 30.0),
+    (80.0, 20.0),
+    (90.0, 10.0),
+];
 
 fn main() {
     let cfg = NpuConfig::table5();
@@ -18,11 +24,18 @@ fn main() {
         let mut thr_row = vec![case.label.clone()];
         for (p1, p2) in SPLITS {
             let specs: Vec<WorkloadSpec> = vec![
-                case.specs[0].clone().with_priority(p1),
-                case.specs[1].clone().with_priority(p2),
+                case.specs[0]
+                    .clone()
+                    .with_priority(p1)
+                    .expect("positive priority"),
+                case.specs[1]
+                    .clone()
+                    .with_priority(p2)
+                    .expect("positive priority"),
             ];
-            let full = run_design(Design::V10Full, &specs, &cfg, &opts);
-            let pmt = run_design(Design::Pmt, &specs, &cfg, &opts);
+            let full =
+                run_design(Design::V10Full, &specs, &cfg, &opts).expect("validated pair case");
+            let pmt = run_design(Design::Pmt, &specs, &cfg, &opts).expect("validated pair case");
             perf_rows.push(vec![
                 case.label.clone(),
                 format!("{:.0}-{:.0}", p1, p2),
@@ -40,7 +53,9 @@ fn main() {
     }
     print_table(
         "Fig. 22a — Per-workload performance vs dedicated-core ideal (DNN1 prioritized)",
-        &["Pair", "Split", "V10 DNN1", "V10 DNN2", "PMT DNN1", "PMT DNN2"],
+        &[
+            "Pair", "Split", "V10 DNN1", "V10 DNN2", "PMT DNN1", "PMT DNN2",
+        ],
         &perf_rows,
     );
     print_table(

@@ -17,12 +17,17 @@ fn main() {
     let cases = eval_pairs();
     for case in &cases {
         let singles = single_refs(case, &base_cfg);
-        let pmt = run_design(Design::Pmt, &case.specs, &base_cfg, &opts);
+        let pmt =
+            run_design(Design::Pmt, &case.specs, &base_cfg, &opts).expect("validated pair case");
         let pmt_stp = pmt.system_throughput(&singles);
         let mut row = vec![case.label.clone()];
         for (i, &slice) in SLICES.iter().enumerate() {
-            let cfg = NpuConfig::builder().time_slice_cycles(slice).build();
-            let full = run_design(Design::V10Full, &case.specs, &cfg, &opts);
+            let cfg = NpuConfig::builder()
+                .time_slice_cycles(slice)
+                .build()
+                .expect("valid slice");
+            let full =
+                run_design(Design::V10Full, &case.specs, &cfg, &opts).expect("validated pair case");
             let gain = full.system_throughput(&singles) / pmt_stp;
             means[i] += gain / cases.len() as f64;
             row.push(format!("{gain:.2}"));

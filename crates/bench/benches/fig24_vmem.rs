@@ -19,7 +19,10 @@ fn main() {
         let mut thr_row = vec![case.label.clone()];
         let mut hbm_row = vec![case.label.clone()];
         for &mb in &VMEM_MB {
-            let cfg = NpuConfig::builder().vmem_bytes(mb << 20).build();
+            let cfg = NpuConfig::builder()
+                .vmem_bytes(mb << 20)
+                .build()
+                .expect("valid capacity");
             let partition = cfg.vmem_partition_bytes(2);
             // The compiler refits each workload's trace to its partition.
             let specs: Vec<WorkloadSpec> = case
@@ -28,6 +31,7 @@ fn main() {
                 .map(|s| {
                     WorkloadSpec::new(s.label(), refit_vmem(s.trace(), partition))
                         .with_priority(s.priority())
+                        .expect("positive priority")
                 })
                 .collect();
             // Single-tenant references see the whole vmem (no partitioning).
@@ -35,12 +39,17 @@ fn main() {
                 .specs
                 .iter()
                 .map(|s| {
-                    let refit = WorkloadSpec::new(s.label(), refit_vmem(s.trace(), cfg.vmem_bytes()));
-                    run_single_tenant(&refit, &cfg, requests()).workloads()[0].avg_latency_cycles()
+                    let refit =
+                        WorkloadSpec::new(s.label(), refit_vmem(s.trace(), cfg.vmem_bytes()));
+                    run_single_tenant(&refit, &cfg, requests())
+                        .expect("validated pair case")
+                        .workloads()[0]
+                        .avg_latency_cycles()
                 })
                 .collect();
-            let pmt = run_design(Design::Pmt, &specs, &cfg, &opts);
-            let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+            let pmt = run_design(Design::Pmt, &specs, &cfg, &opts).expect("validated pair case");
+            let full =
+                run_design(Design::V10Full, &specs, &cfg, &opts).expect("validated pair case");
             thr_row.push(format!(
                 "{:.2}",
                 full.system_throughput(&singles) / pmt.system_throughput(&singles)
@@ -51,8 +60,16 @@ fn main() {
         hbm_rows.push(hbm_row);
     }
     let header = ["Pair", "8MB", "16MB", "24MB", "32MB", "48MB", "64MB"];
-    print_table("Fig. 24 — V10-Full throughput vs PMT across vmem capacities", &header, &thr_rows);
-    print_table("Fig. 24 — V10-Full HBM BW utilization across vmem capacities", &header, &hbm_rows);
+    print_table(
+        "Fig. 24 — V10-Full throughput vs PMT across vmem capacities",
+        &header,
+        &thr_rows,
+    );
+    print_table(
+        "Fig. 24 — V10-Full HBM BW utilization across vmem capacities",
+        &header,
+        &hbm_rows,
+    );
     println!(
         "V10 outperforms PMT at every capacity; small partitions raise HBM \
          traffic slightly (lost reuse) without erasing the gain. Seed: {}.",

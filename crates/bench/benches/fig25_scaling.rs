@@ -4,6 +4,7 @@
 //! with the FU count, as the paper assumes. Throughput grows until the
 //! workload count passes the FU count, then saturates.
 
+use v10_bench::sweep::parallel_map;
 use v10_bench::{print_table, requests, run_options, seed};
 use v10_core::{run_design, run_single_tenant, Design, WorkloadSpec};
 use v10_npu::NpuConfig;
@@ -15,11 +16,16 @@ const WORKLOADS: [usize; 8] = [2, 4, 6, 8, 12, 16, 24, 32];
 
 fn main() {
     let opts = run_options();
+    // Draw every random workload set up front, in a fixed order, so the
+    // parallel fan-out below cannot perturb the RNG stream: the printed
+    // table is byte-identical at any thread count.
     let mut rng = SimRng::seed_from(seed() ^ 0xF25);
-    let mut rows = Vec::new();
+    let mut grid: Vec<(NpuConfig, Vec<WorkloadSpec>)> = Vec::new();
     for &fu in &FU_COUNTS {
-        let cfg = NpuConfig::builder().fu_count(fu).build();
-        let mut row = vec![format!("({fu}, {fu})")];
+        let cfg = NpuConfig::builder()
+            .fu_count(fu)
+            .build()
+            .expect("valid FU count");
         for &n in &WORKLOADS {
             // Random workload set, as in the paper.
             let specs: Vec<WorkloadSpec> = (0..n)
@@ -27,19 +33,40 @@ fn main() {
                     let m = *rng.choose(&Model::ALL).expect("non-empty");
                     WorkloadSpec::new(
                         format!("{}#{i}", m.abbrev()),
-                        m.default_profile().synthesize(seed().wrapping_add(i as u64)),
+                        m.default_profile()
+                            .synthesize(seed().wrapping_add(i as u64)),
                     )
                 })
                 .collect();
-            let singles: Vec<f64> = specs
-                .iter()
-                .map(|s| run_single_tenant(s, &cfg, requests()).workloads()[0].avg_latency_cycles())
-                .collect();
-            let full = run_design(Design::V10Full, &specs, &cfg, &opts);
-            row.push(format!("{:.2}", full.system_throughput(&singles)));
+            grid.push((cfg, specs));
         }
-        rows.push(row);
     }
+    let cells = parallel_map(&grid, |(cfg, specs)| {
+        let singles: Vec<f64> = specs
+            .iter()
+            .map(|s| {
+                run_single_tenant(s, cfg, requests())
+                    .expect("validated workload")
+                    .workloads()[0]
+                    .avg_latency_cycles()
+            })
+            .collect();
+        let full = run_design(Design::V10Full, specs, cfg, &opts).expect("validated workloads");
+        format!("{:.2}", full.system_throughput(&singles))
+    });
+    let rows: Vec<Vec<String>> = FU_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(fi, &fu)| {
+            std::iter::once(format!("({fu}, {fu})"))
+                .chain(
+                    cells[fi * WORKLOADS.len()..(fi + 1) * WORKLOADS.len()]
+                        .iter()
+                        .cloned(),
+                )
+                .collect()
+        })
+        .collect();
     let mut header = vec!["(#SA, #VU)".to_string()];
     header.extend(WORKLOADS.iter().map(|n| format!("{n} wl")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();

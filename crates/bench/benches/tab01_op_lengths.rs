@@ -7,17 +7,17 @@ use v10_workloads::Model;
 
 /// The paper's published Table 1 values in µs, for side-by-side comparison.
 const PAPER: [(f64, f64); 11] = [
-    (877.0, 34.7),   // BERT
-    (17.0, 4.43),    // DLRM
-    (105.0, 69.0),   // EfficientNet
-    (138.0, 14.6),   // Mask-RCNN
-    (180.0, 202.0),  // MNIST
-    (430.0, 17.1),   // NCF
-    (154.0, 12.8),   // ResNet
-    (3200.0, 61.9),  // ResNet-RS
-    (157.0, 4.08),   // RetinaNet
-    (1910.0, 20.2),  // ShapeMask
-    (6650.0, 55.4),  // Transformer
+    (877.0, 34.7),  // BERT
+    (17.0, 4.43),   // DLRM
+    (105.0, 69.0),  // EfficientNet
+    (138.0, 14.6),  // Mask-RCNN
+    (180.0, 202.0), // MNIST
+    (430.0, 17.1),  // NCF
+    (154.0, 12.8),  // ResNet
+    (3200.0, 61.9), // ResNet-RS
+    (157.0, 4.08),  // RetinaNet
+    (1910.0, 20.2), // ShapeMask
+    (6650.0, 55.4), // Transformer
 ];
 
 fn main() {
@@ -35,7 +35,13 @@ fn main() {
     }
     print_table(
         "Table 1 — Average operator lengths (µs)",
-        &["Model", "SA (measured)", "SA (paper)", "VU (measured)", "VU (paper)"],
+        &[
+            "Model",
+            "SA (measured)",
+            "SA (paper)",
+            "VU (measured)",
+            "VU (paper)",
+        ],
         &rows,
     );
 }

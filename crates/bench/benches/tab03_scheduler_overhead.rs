@@ -35,7 +35,15 @@ fn main() {
     }
     print_table(
         "Table 3 — Operator scheduler overhead (rows marked * are extrapolated)",
-        &["#SAs", "#VUs", "#Workloads", "Context table", "Latency", "Area", "Power"],
+        &[
+            "#SAs",
+            "#VUs",
+            "#Workloads",
+            "Context table",
+            "Latency",
+            "Area",
+            "Power",
+        ],
         &rows,
     );
     println!(

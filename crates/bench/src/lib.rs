@@ -2,9 +2,10 @@
 //!
 //! Each bench target (`cargo bench -p v10-bench --bench <id>`) regenerates
 //! one table or figure of the paper and prints it as a markdown table; the
-//! `micro_scheduler` target holds Criterion micro-benchmarks of the
-//! scheduler primitives. This library hosts the shared plumbing: the
-//! canonical pair lists as ready-to-run [`WorkloadSpec`]s, design runners,
+//! `micro_scheduler` target holds micro-benchmarks of the scheduler
+//! primitives on the in-repo [`timing`] harness. This library hosts the
+//! shared plumbing: the canonical pair lists as ready-to-run
+//! [`WorkloadSpec`]s, design runners (sequential and [`sweep`]-parallel),
 //! single-tenant reference caching, and table formatting.
 //!
 //! Knobs (environment variables, all optional):
@@ -15,6 +16,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod sweep;
+pub mod timing;
 
 use v10_core::{run_design, run_single_tenant, Design, RunOptions, RunReport, WorkloadSpec};
 use v10_npu::NpuConfig;
@@ -42,7 +46,9 @@ pub fn seed() -> u64 {
 /// Run options derived from the environment knobs.
 #[must_use]
 pub fn run_options() -> RunOptions {
-    RunOptions::new(requests()).with_seed(seed())
+    RunOptions::new(requests())
+        .expect("requests() filters out zero")
+        .with_seed(seed())
 }
 
 /// A ready-to-run collocation pair.
@@ -59,7 +65,9 @@ pub struct PairCase {
 fn spec_of(model: Model, seed: u64) -> WorkloadSpec {
     WorkloadSpec::new(
         model.abbrev(),
-        model.default_profile().synthesize(seed ^ model.abbrev().len() as u64),
+        model
+            .default_profile()
+            .synthesize(seed ^ model.abbrev().len() as u64),
     )
 }
 
@@ -93,7 +101,12 @@ pub fn run_all_designs(case: &PairCase, cfg: &NpuConfig) -> Vec<(Design, RunRepo
     let opts = run_options();
     Design::ALL
         .iter()
-        .map(|&d| (d, run_design(d, &case.specs, cfg, &opts)))
+        .map(|&d| {
+            (
+                d,
+                run_design(d, &case.specs, cfg, &opts).expect("validated pair case"),
+            )
+        })
         .collect()
 }
 
@@ -103,7 +116,12 @@ pub fn run_all_designs(case: &PairCase, cfg: &NpuConfig) -> Vec<(Design, RunRepo
 pub fn single_refs(case: &PairCase, cfg: &NpuConfig) -> Vec<f64> {
     case.specs
         .iter()
-        .map(|s| run_single_tenant(s, cfg, requests()).workloads()[0].avg_latency_cycles())
+        .map(|s| {
+            run_single_tenant(s, cfg, requests())
+                .expect("validated pair case")
+                .workloads()[0]
+                .avg_latency_cycles()
+        })
         .collect()
 }
 
@@ -111,7 +129,10 @@ pub fn single_refs(case: &PairCase, cfg: &NpuConfig) -> Vec<f64> {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

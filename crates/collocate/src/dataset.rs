@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn default_batch_always_present_even_if_not_listed() {
         let points = build_dataset(&[Model::MaskRcnn], &[8], 1);
-        assert!(points.iter().any(|p| p.batch == 16), "MRCN default batch 16");
+        assert!(
+            points.iter().any(|p| p.batch == 16),
+            "MRCN default batch 16"
+        );
     }
 
     #[test]
@@ -114,7 +117,12 @@ mod tests {
         let dim = points[0].features.len();
         for p in &points {
             assert_eq!(p.features.len(), dim);
-            assert!(p.features.iter().all(|f| f.is_finite()), "{}@{}", p.model, p.batch);
+            assert!(
+                p.features.iter().all(|f| f.is_finite()),
+                "{}@{}",
+                p.model,
+                p.batch
+            );
         }
     }
 }

@@ -110,7 +110,11 @@ pub fn plan_deployment(
         if stp >= BENEFIT_THRESHOLD || (must_pack && remaining.len() > 1) {
             let b = remaining.remove(j);
             let a = remaining.remove(i);
-            assignments.push(CoreAssignment::Pair { a, b, predicted_stp: stp });
+            assignments.push(CoreAssignment::Pair {
+                a,
+                b,
+                predicted_stp: stp,
+            });
         } else {
             assignments.push(CoreAssignment::Solo(remaining.remove(0)));
         }
@@ -128,7 +132,9 @@ pub fn simulate_deployment(
     requests: usize,
     seed: u64,
 ) -> Vec<(CoreAssignment, RunReport, f64)> {
-    let opts = RunOptions::new(requests).with_seed(seed);
+    let opts = RunOptions::new(requests)
+        .expect("deployment simulations need at least one request")
+        .with_seed(seed);
     plan.assignments()
         .iter()
         .map(|assignment| {
@@ -146,10 +152,14 @@ pub fn simulate_deployment(
             let singles: Vec<f64> = specs
                 .iter()
                 .map(|s| {
-                    run_single_tenant(s, config, requests).workloads()[0].avg_latency_cycles()
+                    run_single_tenant(s, config, requests)
+                        .expect("validated workload")
+                        .workloads()[0]
+                        .avg_latency_cycles()
                 })
                 .collect();
-            let report = run_design(Design::V10Full, &specs, config, &opts);
+            let report =
+                run_design(Design::V10Full, &specs, config, &opts).expect("validated workloads");
             let stp = report.system_throughput(&singles);
             (assignment.clone(), report, stp)
         })
@@ -219,7 +229,11 @@ mod tests {
             // The first placement is the globally best pair: every later
             // pair's prediction is <= it.
             for a in &plan.assignments()[1..] {
-                if let CoreAssignment::Pair { predicted_stp: later, .. } = a {
+                if let CoreAssignment::Pair {
+                    predicted_stp: later,
+                    ..
+                } = a
+                {
                     assert!(later <= predicted_stp);
                 }
             }

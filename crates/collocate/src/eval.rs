@@ -30,23 +30,27 @@ pub const BENEFIT_THRESHOLD: f64 = 1.55;
 /// Simulates collocating two profiles under V10-Full and returns the system
 /// throughput (Σ normalized forward progress; 2.0 = both run as if alone).
 #[must_use]
-pub fn measure_pair_stp(
-    a: &ModelProfile,
-    b: &ModelProfile,
-    requests: usize,
-    seed: u64,
-) -> f64 {
+pub fn measure_pair_stp(a: &ModelProfile, b: &ModelProfile, requests: usize, seed: u64) -> f64 {
     let cfg = NpuConfig::table5();
     let spec_a = WorkloadSpec::new(a.model().abbrev(), a.synthesize(seed));
     let spec_b = WorkloadSpec::new(b.model().abbrev(), b.synthesize(seed ^ 0xB));
-    let single_a = run_single_tenant(&spec_a, &cfg, requests).workloads()[0].avg_latency_cycles();
-    let single_b = run_single_tenant(&spec_b, &cfg, requests).workloads()[0].avg_latency_cycles();
+    let single_a = run_single_tenant(&spec_a, &cfg, requests)
+        .expect("validated workload")
+        .workloads()[0]
+        .avg_latency_cycles();
+    let single_b = run_single_tenant(&spec_b, &cfg, requests)
+        .expect("validated workload")
+        .workloads()[0]
+        .avg_latency_cycles();
     let pair = run_design(
         Design::V10Full,
         &[spec_a, spec_b],
         &cfg,
-        &RunOptions::new(requests).with_seed(seed),
+        &RunOptions::new(requests)
+            .expect("pair simulations need at least one request")
+            .with_seed(seed),
     );
+    let pair = pair.expect("validated workloads");
     pair.system_throughput(&[single_a, single_b])
 }
 
@@ -162,7 +166,11 @@ pub fn cross_validate_table2(
     let threshold = all_stps[all_stps.len() / 2];
 
     let mut rows = Vec::new();
-    for kind in [SchemeKind::Random, SchemeKind::Heuristic, SchemeKind::Clustering] {
+    for kind in [
+        SchemeKind::Random,
+        SchemeKind::Heuristic,
+        SchemeKind::Clustering,
+    ] {
         let mut tp = 0usize;
         let mut tn = 0usize;
         let mut fp = 0usize;

@@ -173,11 +173,7 @@ impl KMeans {
     /// Panics if the dimension does not match.
     #[must_use]
     pub fn predict(&self, point: &[f64]) -> usize {
-        assert_eq!(
-            point.len(),
-            self.centroids[0].len(),
-            "dimension mismatch"
-        );
+        assert_eq!(point.len(), self.centroids[0].len(), "dimension mismatch");
         Self::nearest(&self.centroids, point)
     }
 }
@@ -262,33 +258,31 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod seeded_tests {
     use super::*;
-    use proptest::prelude::*;
+    use v10_sim::SimRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// Every point's assigned centroid is its nearest centroid, and the
-        /// inertia equals the recomputed sum of squared distances.
-        #[test]
-        fn assignment_optimality(
-            points in proptest::collection::vec(
-                proptest::collection::vec(-50.0f64..50.0, 3), 3..40),
-            k in 1usize..4,
-            seed in 0u64..100,
-        ) {
-            let k = k.min(points.len());
-            let km = KMeans::fit(&points, k, seed);
+    /// Every point's assigned centroid is its nearest centroid, and the
+    /// inertia equals the recomputed sum of squared distances.
+    #[test]
+    fn assignment_optimality() {
+        let mut rng = SimRng::seed_from(0x63A5);
+        for case in 0..32u64 {
+            let n = 3 + rng.index(37);
+            let points: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..3).map(|_| rng.uniform(-50.0, 50.0)).collect())
+                .collect();
+            let k = (1 + rng.index(3)).min(points.len());
+            let km = KMeans::fit(&points, k, case);
             let mut inertia = 0.0;
             for (p, &a) in points.iter().zip(km.assignments()) {
                 let da = sq_dist(p, &km.centroids()[a]);
                 for c in km.centroids() {
-                    prop_assert!(da <= sq_dist(p, c) + 1e-9);
+                    assert!(da <= sq_dist(p, c) + 1e-9, "case {case}");
                 }
                 inertia += da;
             }
-            prop_assert!((inertia - km.inertia()).abs() < 1e-6 * (1.0 + inertia));
+            assert!((inertia - km.inertia()).abs() < 1e-6 * (1.0 + inertia));
         }
     }
 }

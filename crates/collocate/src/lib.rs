@@ -48,7 +48,9 @@ pub mod standardize;
 
 pub use dataset::{build_dataset, build_default_dataset, WorkloadPoint};
 pub use deploy::{plan_deployment, simulate_deployment, CoreAssignment, DeploymentPlan};
-pub use eval::{cross_validate_table2, measure_pair_stp, PairPerfCache, Table2Row, BENEFIT_THRESHOLD};
+pub use eval::{
+    cross_validate_table2, measure_pair_stp, PairPerfCache, Table2Row, BENEFIT_THRESHOLD,
+};
 pub use kmeans::KMeans;
 pub use pca::Pca;
 pub use pipeline::ClusteringPipeline;

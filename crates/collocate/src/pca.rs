@@ -290,36 +290,36 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod seeded_tests {
     use super::*;
-    use proptest::prelude::*;
+    use v10_sim::SimRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// Components are always orthonormal and explained variance ratios
-        /// are a sub-probability distribution.
-        #[test]
-        fn pca_invariants(
-            rows in proptest::collection::vec(
-                proptest::collection::vec(-100.0f64..100.0, 4), 2..40),
-            k in 1usize..4,
-        ) {
+    /// Components are always orthonormal and explained variance ratios
+    /// are a sub-probability distribution.
+    #[test]
+    fn pca_invariants() {
+        let mut rng = SimRng::seed_from(0x9CA0);
+        for case in 0..32 {
+            let n = 2 + rng.index(38);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..4).map(|_| rng.uniform(-100.0, 100.0)).collect())
+                .collect();
+            let k = 1 + rng.index(3);
             let pca = Pca::fit(&rows, k);
             for (i, a) in pca.components().iter().enumerate() {
                 let norm: f64 = a.iter().map(|x| x * x).sum();
-                prop_assert!((norm - 1.0).abs() < 1e-6);
+                assert!((norm - 1.0).abs() < 1e-6, "case {case}");
                 for b in pca.components().iter().skip(i + 1) {
                     let d: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-                    prop_assert!(d.abs() < 1e-6);
+                    assert!(d.abs() < 1e-6, "case {case}");
                 }
             }
             let evr = pca.explained_variance_ratio();
-            prop_assert!(evr.iter().all(|&r| (-1e-9..=1.0 + 1e-9).contains(&r)));
-            prop_assert!(evr.iter().sum::<f64>() <= 1.0 + 1e-6);
+            assert!(evr.iter().all(|&r| (-1e-9..=1.0 + 1e-9).contains(&r)));
+            assert!(evr.iter().sum::<f64>() <= 1.0 + 1e-6);
             // Eigenvalues kept in descending order.
             for w in evr.windows(2) {
-                prop_assert!(w[0] + 1e-9 >= w[1]);
+                assert!(w[0] + 1e-9 >= w[1]);
             }
         }
     }

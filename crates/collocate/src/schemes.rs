@@ -13,8 +13,8 @@
 
 use v10_workloads::Model;
 
-use crate::eval::{PairPerfCache, BENEFIT_THRESHOLD};
 use crate::dataset::build_dataset;
+use crate::eval::{PairPerfCache, BENEFIT_THRESHOLD};
 use crate::pipeline::ClusteringPipeline;
 
 /// Identifies one of the three compared schemes.

@@ -15,6 +15,7 @@ use std::fmt;
 
 use v10_isa::FuKind;
 use v10_npu::FuId;
+use v10_sim::{V10Error, V10Result};
 
 /// Index of a collocated workload on one NPU core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -61,7 +62,7 @@ struct Row {
 /// use v10_core::ContextTable;
 /// use v10_isa::FuKind;
 ///
-/// let mut table = ContextTable::new(&[1.0, 1.0]);
+/// let mut table = ContextTable::new(&[1.0, 1.0]).expect("valid priorities");
 /// let w0 = table.ids().next().unwrap();
 /// table.set_current_op(w0, 42, FuKind::Sa);
 /// table.set_ready(w0, true);
@@ -77,17 +78,26 @@ impl ContextTable {
     /// Creates a table with one row per priority entry; all workloads arrive
     /// at cycle 0.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `priorities` is empty or contains a non-positive or
-    /// non-finite priority.
-    #[must_use]
-    pub fn new(priorities: &[f64]) -> Self {
-        assert!(!priorities.is_empty(), "context table needs at least one workload");
-        for &p in priorities {
-            assert!(p.is_finite() && p > 0.0, "priorities must be positive, got {p}");
+    /// Returns [`V10Error::InvalidArgument`] if `priorities` is empty or
+    /// contains a non-positive or non-finite priority.
+    pub fn new(priorities: &[f64]) -> V10Result<Self> {
+        if priorities.is_empty() {
+            return Err(V10Error::invalid(
+                "ContextTable::new",
+                "context table needs at least one workload",
+            ));
         }
-        ContextTable {
+        for &p in priorities {
+            if !(p.is_finite() && p > 0.0) {
+                return Err(V10Error::invalid(
+                    "ContextTable::new",
+                    format!("priorities must be positive, got {p}"),
+                ));
+            }
+        }
+        Ok(ContextTable {
             rows: priorities
                 .iter()
                 .map(|&priority| Row {
@@ -101,7 +111,7 @@ impl ContextTable {
                     priority,
                 })
                 .collect(),
-        }
+        })
     }
 
     /// Number of workload rows.
@@ -258,12 +268,12 @@ mod tests {
     use v10_npu::FuPool;
 
     fn fu0() -> FuId {
-        FuPool::new(1).iter().next().unwrap()
+        FuPool::new(1).unwrap().iter().next().unwrap()
     }
 
     #[test]
     fn new_rows_are_idle() {
-        let t = ContextTable::new(&[1.0, 2.0]);
+        let t = ContextTable::new(&[1.0, 2.0]).unwrap();
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         for id in t.ids() {
@@ -277,7 +287,7 @@ mod tests {
 
     #[test]
     fn issue_sets_active_and_clears_ready() {
-        let mut t = ContextTable::new(&[1.0]);
+        let mut t = ContextTable::new(&[1.0]).unwrap();
         let w = WorkloadId::new(0);
         t.set_current_op(w, 7, FuKind::Vu);
         t.set_ready(w, true);
@@ -290,7 +300,7 @@ mod tests {
 
     #[test]
     fn release_to_ready_models_preemption() {
-        let mut t = ContextTable::new(&[1.0]);
+        let mut t = ContextTable::new(&[1.0]).unwrap();
         let w = WorkloadId::new(0);
         t.set_current_op(w, 1, FuKind::Sa);
         t.set_ready(w, true);
@@ -306,7 +316,7 @@ mod tests {
 
     #[test]
     fn active_rate_is_share_of_residence() {
-        let mut t = ContextTable::new(&[1.0]);
+        let mut t = ContextTable::new(&[1.0]).unwrap();
         let w = WorkloadId::new(0);
         t.add_active_cycles(w, 250.0);
         assert!((t.active_rate(w, 1_000.0) - 0.25).abs() < 1e-12);
@@ -315,7 +325,7 @@ mod tests {
     #[test]
     fn active_rate_p_divides_by_priority() {
         // §3.2's example: with active_rate 1/2 and priority 2, arp = 1/4.
-        let mut t = ContextTable::new(&[2.0, 1.0]);
+        let mut t = ContextTable::new(&[2.0, 1.0]).unwrap();
         let (hi, lo) = (WorkloadId::new(0), WorkloadId::new(1));
         t.add_active_cycles(hi, 500.0);
         t.add_active_cycles(lo, 500.0);
@@ -328,10 +338,10 @@ mod tests {
         // Table 3: (1 SA, 1 VU, 2 workloads) -> 43 bytes; (1,1,4) -> 86;
         // (2,2,4) -> 86; (4,4,8) -> 173 (ours: 172 — the paper appears to
         // round per-row for the largest config).
-        assert_eq!(ContextTable::new(&[1.0; 2]).storage_bytes(2), 43);
-        assert_eq!(ContextTable::new(&[1.0; 4]).storage_bytes(2), 86);
-        assert_eq!(ContextTable::new(&[1.0; 4]).storage_bytes(4), 86);
-        let big = ContextTable::new(&[1.0; 8]).storage_bytes(8);
+        assert_eq!(ContextTable::new(&[1.0; 2]).unwrap().storage_bytes(2), 43);
+        assert_eq!(ContextTable::new(&[1.0; 4]).unwrap().storage_bytes(2), 86);
+        assert_eq!(ContextTable::new(&[1.0; 4]).unwrap().storage_bytes(4), 86);
+        let big = ContextTable::new(&[1.0; 8]).unwrap().storage_bytes(8);
         assert!((172..=173).contains(&big), "got {big}");
     }
 
@@ -354,15 +364,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn non_positive_priority_rejected() {
-        let _ = ContextTable::new(&[0.0]);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ContextTable::new(&[bad]).unwrap_err();
+            assert!(err.to_string().contains("positive"), "{err}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "at least one workload")]
     fn empty_table_rejected() {
-        let _ = ContextTable::new(&[]);
+        let err = ContextTable::new(&[]).unwrap_err();
+        assert!(err.to_string().contains("at least one workload"), "{err}");
     }
 
     #[test]

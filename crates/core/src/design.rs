@@ -3,6 +3,7 @@
 use std::fmt;
 
 use v10_npu::NpuConfig;
+use v10_sim::V10Result;
 
 use crate::engine::{RunOptions, V10Engine, WorkloadSpec};
 use crate::metrics::RunReport;
@@ -27,7 +28,12 @@ pub enum Design {
 
 impl Design {
     /// All four designs in the paper's comparison order.
-    pub const ALL: [Design; 4] = [Design::Pmt, Design::V10Base, Design::V10Fair, Design::V10Full];
+    pub const ALL: [Design; 4] = [
+        Design::Pmt,
+        Design::V10Base,
+        Design::V10Fair,
+        Design::V10Full,
+    ];
 
     /// The paper's display name.
     #[must_use]
@@ -49,16 +55,17 @@ impl fmt::Display for Design {
 
 /// Runs `specs` collocated on one core under `design`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `specs` is empty.
-#[must_use]
+/// Returns [`v10_sim::V10Error::InvalidArgument`] if `specs` is empty, and
+/// [`v10_sim::V10Error::Deadlock`] / [`v10_sim::V10Error::Livelock`] if the
+/// simulation stops making progress.
 pub fn run_design(
     design: Design,
     specs: &[WorkloadSpec],
     config: &NpuConfig,
     opts: &RunOptions,
-) -> RunReport {
+) -> V10Result<RunReport> {
     match design {
         Design::Pmt => run_pmt(specs, config, opts),
         Design::V10Base => V10Engine::new(*config, Policy::RoundRobin, false).run(specs, opts),
@@ -73,7 +80,7 @@ mod tests {
     use v10_isa::{FuKind, OpDesc, RequestTrace};
 
     fn spec(label: &str, ops: Vec<OpDesc>) -> WorkloadSpec {
-        WorkloadSpec::new(label, RequestTrace::new(ops))
+        WorkloadSpec::new(label, RequestTrace::new(ops).unwrap())
     }
     fn sa(c: u64) -> OpDesc {
         OpDesc::builder(FuKind::Sa).compute_cycles(c).build()
@@ -100,22 +107,29 @@ mod tests {
         // utilization for a complementary pair.
         let specs = mismatched_pair();
         let cfg = NpuConfig::table5();
-        let opts = RunOptions::new(10);
-        let util = |d: Design| run_design(d, &specs, &cfg, &opts).aggregate_compute_util();
+        let opts = RunOptions::new(10).unwrap();
+        let util = |d: Design| {
+            run_design(d, &specs, &cfg, &opts)
+                .unwrap()
+                .aggregate_compute_util()
+        };
         let pmt = util(Design::Pmt);
         let base = util(Design::V10Base);
         let full = util(Design::V10Full);
         assert!(base > pmt, "V10-Base {base} should beat PMT {pmt}");
-        assert!(full + 0.02 >= base, "V10-Full {full} should not lose to Base {base}");
+        assert!(
+            full + 0.02 >= base,
+            "V10-Full {full} should not lose to Base {base}"
+        );
     }
 
     #[test]
     fn v10_full_beats_pmt_on_elapsed_time() {
         let specs = mismatched_pair();
         let cfg = NpuConfig::table5();
-        let opts = RunOptions::new(10);
-        let pmt = run_design(Design::Pmt, &specs, &cfg, &opts);
-        let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+        let opts = RunOptions::new(10).unwrap();
+        let pmt = run_design(Design::Pmt, &specs, &cfg, &opts).unwrap();
+        let full = run_design(Design::V10Full, &specs, &cfg, &opts).unwrap();
         assert!(full.elapsed_cycles() < pmt.elapsed_cycles());
     }
 
@@ -133,13 +147,13 @@ mod tests {
             spec("b", vec![sa(8_000), vu(8_000)]),
         ];
         let cfg = NpuConfig::table5();
-        let opts = RunOptions::new(6);
+        let opts = RunOptions::new(6).unwrap();
         for d in [Design::V10Base, Design::V10Fair] {
-            let r = run_design(d, &specs, &cfg, &opts);
+            let r = run_design(d, &specs, &cfg, &opts).unwrap();
             let preempts: u64 = r.workloads().iter().map(|w| w.preemptions()).sum();
             assert_eq!(preempts, 0, "{d} must not preempt operators");
         }
-        let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+        let full = run_design(Design::V10Full, &specs, &cfg, &opts).unwrap();
         let preempts: u64 = full.workloads().iter().map(|w| w.preemptions()).sum();
         assert!(preempts > 0, "V10-Full should preempt the long SA ops");
     }

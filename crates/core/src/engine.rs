@@ -15,18 +15,21 @@
 //! * concurrently executing operators share HBM bandwidth max-min fairly;
 //!   an operator granted less than its demand slows proportionally.
 //!
-//! Between events the system is piecewise-constant, so the engine advances
-//! directly to the next completion / DMA-ready / switch-done / timer tick,
-//! accumulating per-FU busy time, overlap buckets (Fig. 17), and HBM bytes.
+//! The event-loop mechanics — piecewise-constant time advance, busy/overlap
+//! accounting (Fig. 17), HBM byte tracking — live in the shared
+//! [`EngineCore`](crate::engine_core::EngineCore); this module contributes
+//! only the V10 scheduling strategy: fetch promotion through the context
+//! table, policy-driven issue, and the preemption timer.
 
 use v10_isa::{FuKind, RequestTrace};
-use v10_npu::{FuId, FuPool, HbmArbiter, InstructionDma, NpuConfig};
+use v10_npu::{FuPool, NpuConfig};
+use v10_sim::{V10Error, V10Result};
 
-use crate::context::{ContextTable, WorkloadId};
-use crate::metrics::{OverlapBreakdown, RunReport, WorkloadReport};
+use crate::context::WorkloadId;
+use crate::engine_core::{drive, rate_of, EngineCore, ExecutorStrategy, Slot, StepOutcome, EPS};
+use crate::metrics::RunReport;
+use crate::observer::{NullObserver, SimEvent, SimObserver};
 use crate::policy::{Policy, Scheduler};
-
-const EPS: f64 = 1e-6;
 
 /// One workload to collocate: its trace, label, and relative priority.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,17 +53,19 @@ impl WorkloadSpec {
     /// Sets the relative priority (§5.6 uses shares summing to 100 %; only
     /// ratios matter).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `priority` is not finite and positive.
-    #[must_use]
-    pub fn with_priority(mut self, priority: f64) -> Self {
-        assert!(
-            priority.is_finite() && priority > 0.0,
-            "priority must be positive, got {priority}"
-        );
+    /// Returns [`V10Error::InvalidArgument`] if `priority` is not finite
+    /// and positive.
+    pub fn with_priority(mut self, priority: f64) -> V10Result<Self> {
+        if !(priority.is_finite() && priority > 0.0) {
+            return Err(V10Error::invalid(
+                "WorkloadSpec::with_priority",
+                format!("priority must be positive, got {priority}"),
+            ));
+        }
         self.priority = priority;
-        self
+        Ok(self)
     }
 
     /// The workload's display label.
@@ -94,17 +99,22 @@ impl RunOptions {
     /// Measures until every workload completes `requests_per_workload`
     /// inference requests (§5.1's steady-state methodology).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `requests_per_workload` is zero.
-    #[must_use]
-    pub fn new(requests_per_workload: usize) -> Self {
-        assert!(requests_per_workload > 0, "need at least one request per workload");
-        RunOptions {
+    /// Returns [`V10Error::InvalidArgument`] if `requests_per_workload` is
+    /// zero.
+    pub fn new(requests_per_workload: usize) -> V10Result<Self> {
+        if requests_per_workload == 0 {
+            return Err(V10Error::invalid(
+                "RunOptions::new",
+                "need at least one request per workload",
+            ));
+        }
+        Ok(RunOptions {
             requests_per_workload,
             seed: 0x5EED,
             pmt_slice_cycles: 1_400_000, // 2 ms at 700 MHz: task-level slicing
-        }
+        })
     }
 
     /// Sets the RNG seed (PMT context-switch jitter).
@@ -116,14 +126,18 @@ impl RunOptions {
 
     /// Sets the PMT baseline's task-level time slice in cycles.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cycles` is zero.
-    #[must_use]
-    pub fn with_pmt_slice_cycles(mut self, cycles: u64) -> Self {
-        assert!(cycles > 0, "PMT slice must be positive");
+    /// Returns [`V10Error::InvalidArgument`] if `cycles` is zero.
+    pub fn with_pmt_slice_cycles(mut self, cycles: u64) -> V10Result<Self> {
+        if cycles == 0 {
+            return Err(V10Error::invalid(
+                "RunOptions::with_pmt_slice_cycles",
+                "PMT slice must be positive",
+            ));
+        }
         self.pmt_slice_cycles = cycles;
-        self
+        Ok(self)
     }
 
     /// Requests each workload must complete before the run ends.
@@ -145,45 +159,6 @@ impl RunOptions {
     }
 }
 
-/// Per-workload mutable execution state.
-#[derive(Debug)]
-struct WlState {
-    trace: RequestTrace,
-    op_idx: usize,
-    op_remaining: f64,
-    /// Absolute time at which the current operator's instruction DMA
-    /// completes (drives the Ready bit while the operator is neither ready
-    /// nor active).
-    fetch_ready_at: f64,
-    /// When the current operator was (first) issued — the prefetch start of
-    /// its successor.
-    last_issue_at: f64,
-    request_start: f64,
-    completed: usize,
-    next_op_id: u64,
-    // accounting
-    latencies: Vec<f64>,
-    busy_sa: f64,
-    busy_vu: f64,
-    hbm_bytes: f64,
-    preemptions: u64,
-    switch_overhead: f64,
-}
-
-impl WlState {
-    fn current_op(&self) -> &v10_isa::OpDesc {
-        &self.trace.ops()[self.op_idx]
-    }
-}
-
-#[derive(Debug)]
-struct FuState {
-    id: FuId,
-    kind: FuKind,
-    occupant: Option<usize>,
-    switch_until: f64,
-}
-
 /// The V10 multi-tenant executor (designs `V10-Base`, `V10-Fair`,
 /// `V10-Full` depending on policy and preemption flag).
 ///
@@ -200,270 +175,239 @@ impl V10Engine {
     /// Creates an engine for the given configuration and scheduling knobs.
     #[must_use]
     pub fn new(config: NpuConfig, policy: Policy, preemption: bool) -> Self {
-        V10Engine { config, policy, preemption }
+        V10Engine {
+            config,
+            policy,
+            preemption,
+        }
     }
 
     /// Runs `specs` collocated on one core until each completes
     /// `opts.requests_per_workload()` requests.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `specs` is empty.
-    #[must_use]
-    pub fn run(&self, specs: &[WorkloadSpec], opts: &RunOptions) -> RunReport {
-        assert!(!specs.is_empty(), "need at least one workload");
+    /// Returns [`V10Error::InvalidArgument`] if `specs` is empty, and
+    /// [`V10Error::Deadlock`] / [`V10Error::Livelock`] if the simulation
+    /// stops making progress.
+    pub fn run(&self, specs: &[WorkloadSpec], opts: &RunOptions) -> V10Result<RunReport> {
+        self.run_observed(specs, opts, &mut NullObserver)
+    }
+
+    /// [`run`](Self::run) with an observer receiving the engine's event
+    /// stream — see [`SimObserver`]. With [`NullObserver`] this
+    /// monomorphizes to the unobserved engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_observed<O: SimObserver>(
+        &self,
+        specs: &[WorkloadSpec],
+        opts: &RunOptions,
+        observer: &mut O,
+    ) -> V10Result<RunReport> {
         let cfg = &self.config;
-        let pool = FuPool::new(cfg.fu_count() as usize);
-        let hbm_peak = cfg.hbm_bytes_per_cycle();
-        let mut hbm = HbmArbiter::new(hbm_peak);
-        let dma = InstructionDma::new(hbm_peak);
-        let mut scheduler = Scheduler::new(self.policy);
-        let mut table = ContextTable::new(
-            &specs.iter().map(WorkloadSpec::priority).collect::<Vec<_>>(),
-        );
+        let pool = FuPool::new(cfg.fu_count() as usize).expect("validated configuration");
+        let slots = pool.iter().map(|id| Slot::new(id, pool.kind(id))).collect();
+        let core = EngineCore::new("V10Engine::run", specs, opts, cfg, slots, observer)?;
+        let mut strategy = V10Strategy::new(cfg, self.policy, self.preemption);
+        drive(core, &mut strategy)
+    }
+}
 
-        let mut wls: Vec<WlState> = specs
-            .iter()
-            .map(|s| {
-                let mut wl = WlState {
-                    trace: s.trace().clone(),
-                    op_idx: 0,
-                    op_remaining: 0.0,
-                    fetch_ready_at: 0.0,
-                    last_issue_at: 0.0,
-                    request_start: 0.0,
-                    completed: 0,
-                    next_op_id: 0,
-                    latencies: Vec::new(),
-                    busy_sa: 0.0,
-                    busy_vu: 0.0,
-                    hbm_bytes: 0.0,
-                    preemptions: 0,
-                    switch_overhead: 0.0,
-                };
-                wl.op_remaining = wl.current_op().compute_cycles() as f64;
-                wl.fetch_ready_at = dma
-                    .ready_at(wl.current_op(), 0.0, 0.0)
-                    .max(wl.current_op().dispatch_gap_cycles() as f64);
-                wl
-            })
-            .collect();
-        for (i, wl) in wls.iter().enumerate() {
-            table.set_current_op(WorkloadId::new(i), 0, wl.current_op().kind());
+/// The V10 operator-granularity scheduling strategy (§3.2–§3.3).
+struct V10Strategy {
+    scheduler: Scheduler,
+    preemption: bool,
+    slice: f64,
+    tick_next: f64,
+    sa_switch_cycles: u64,
+    vu_switch_cycles: u64,
+}
+
+impl V10Strategy {
+    fn new(config: &NpuConfig, policy: Policy, preemption: bool) -> Self {
+        let slice = config.time_slice_cycles() as f64;
+        V10Strategy {
+            scheduler: Scheduler::new(policy),
+            preemption,
+            slice,
+            tick_next: slice,
+            sa_switch_cycles: config.sa_switch_cycles(),
+            vu_switch_cycles: config.vu_switch_cycles(),
         }
+    }
+}
 
-        let mut fus: Vec<FuState> = pool
-            .iter()
-            .map(|id| FuState {
-                id,
-                kind: pool.kind(id),
-                occupant: None,
-                switch_until: 0.0,
-            })
-            .collect();
-
-        let slice = cfg.time_slice_cycles() as f64;
-        let mut tick_next = slice;
-        let mut now = 0.0f64;
-        let mut overlap = OverlapBreakdown::default();
-        let (mut sa_busy, mut vu_busy) = (0.0f64, 0.0f64);
-        let mut switch_overhead_total = 0.0f64;
-        let mut zero_dt_streak = 0u32;
-
-        loop {
-            // -------- Phase 1: promote fetches, issue ready operators.
-            for (i, wl) in wls.iter().enumerate() {
-                let id = WorkloadId::new(i);
-                if !table.is_active(id) && !table.is_ready(id) && wl.fetch_ready_at <= now + EPS {
-                    table.set_ready(id, true);
-                }
+impl ExecutorStrategy for V10Strategy {
+    fn step<O: SimObserver>(&mut self, core: &mut EngineCore<'_, O>) -> V10Result<StepOutcome> {
+        // -------- Phase 1: promote fetches, issue ready operators.
+        for i in 0..core.wls.len() {
+            let id = WorkloadId::new(i);
+            if !core.table.is_active(id)
+                && !core.table.is_ready(id)
+                && core.wls[i].fetch_ready_at <= core.now + EPS
+            {
+                core.table.set_ready(id, true);
+                let op_id = core.wls[i].next_op_id;
+                let at = core.now;
+                core.emit(SimEvent::DmaReady {
+                    workload: i,
+                    op_id,
+                    at,
+                });
             }
-            for fu in fus.iter_mut() {
-                if fu.occupant.is_none() && fu.switch_until <= now + EPS {
-                    if let Some(w) = scheduler.pick_next(&table, fu.kind, now) {
-                        table.mark_issued(w, fu.id);
-                        fu.occupant = Some(w.index());
-                        wls[w.index()].last_issue_at = now;
-                    }
-                }
+        }
+        for s in 0..core.slots.len() {
+            if core.slots[s].occupant.is_some() {
+                continue;
             }
-
-            // -------- Termination check (after issuing, so the final event
-            // is fully accounted).
-            if wls.iter().all(|w| w.completed >= opts.requests_per_workload()) {
-                break;
+            // A pending switch window that has elapsed closes here. (The
+            // sentinel reset to 0.0 is unobservable to the schedule: the
+            // clock only grows, so an elapsed deadline and 0.0 compare
+            // identically ever after.)
+            if core.slots[s].switch_until > 0.0 && core.slots[s].switch_until <= core.now + EPS {
+                core.slots[s].switch_until = 0.0;
+                let at = core.now;
+                core.emit(SimEvent::CtxSwitchEnded { fu: s, at });
             }
-
-            // -------- Phase 2: progress rates under HBM arbitration.
-            let flows: Vec<(usize, f64)> = fus
-                .iter()
-                .filter_map(|fu| {
-                    fu.occupant
-                        .map(|w| (w, wls[w].current_op().hbm_demand_bytes_per_cycle()))
-                })
-                .collect();
-            let rates = hbm.progress_rates(&flows);
-            let rate_of = |w: usize| -> f64 {
-                rates
-                    .iter()
-                    .find(|&&(id, _)| id == w)
-                    .map(|&(_, r)| r)
-                    .unwrap_or(1.0)
-            };
-
-            // -------- Phase 3: time to the next event.
-            let mut dt = f64::INFINITY;
-            for fu in &fus {
-                if let Some(w) = fu.occupant {
-                    let r = rate_of(w);
-                    if r > EPS {
-                        dt = dt.min(wls[w].op_remaining / r);
-                    }
-                }
-                if fu.switch_until > now + EPS {
-                    dt = dt.min(fu.switch_until - now);
-                }
-            }
-            for (i, wl) in wls.iter().enumerate() {
-                let id = WorkloadId::new(i);
-                if !table.is_active(id) && !table.is_ready(id) && wl.fetch_ready_at > now + EPS {
-                    dt = dt.min(wl.fetch_ready_at - now);
-                }
-            }
-            if self.preemption {
-                dt = dt.min(tick_next - now);
-            }
-            assert!(
-                dt.is_finite(),
-                "engine deadlock at cycle {now}: no pending events for {} workloads",
-                wls.len()
-            );
-            let dt = dt.max(0.0);
-            if dt <= EPS {
-                zero_dt_streak += 1;
-                assert!(zero_dt_streak < 10_000, "engine livelock at cycle {now}");
-            } else {
-                zero_dt_streak = 0;
-            }
-
-            // -------- Phase 4: advance, accounting as we go.
-            let mut sa_active = 0usize;
-            let mut vu_active = 0usize;
-            for fu in &fus {
-                if let Some(w) = fu.occupant {
-                    match fu.kind {
-                        FuKind::Sa => sa_active += 1,
-                        FuKind::Vu => vu_active += 1,
-                    }
-                    let r = rate_of(w);
-                    let wl = &mut wls[w];
-                    wl.op_remaining -= r * dt;
-                    let bytes = wl.current_op().hbm_demand_bytes_per_cycle() * r * dt;
-                    wl.hbm_bytes += bytes;
-                    hbm.record_bytes(bytes);
-                    match fu.kind {
-                        FuKind::Sa => wl.busy_sa += dt,
-                        FuKind::Vu => wl.busy_vu += dt,
-                    }
-                    table.add_active_cycles(WorkloadId::new(w), dt);
-                } else if fu.switch_until > now + EPS {
-                    switch_overhead_total += dt.min(fu.switch_until - now);
-                }
-            }
-            sa_busy += sa_active as f64 * dt;
-            vu_busy += vu_active as f64 * dt;
-            overlap.accumulate(sa_active > 0, vu_active > 0, dt);
-            now += dt;
-
-            // -------- Phase 5a: operator completions.
-            for fu in fus.iter_mut() {
-                let Some(w) = fu.occupant else { continue };
-                if wls[w].op_remaining > EPS {
-                    continue;
-                }
-                fu.occupant = None;
-                let id = WorkloadId::new(w);
-                table.mark_released(id, false);
-                let wl = &mut wls[w];
-                wl.op_idx += 1;
-                if wl.op_idx == wl.trace.ops().len() {
-                    wl.latencies.push(now - wl.request_start);
-                    wl.completed += 1;
-                    wl.op_idx = 0;
-                    wl.request_start = now;
-                }
-                wl.next_op_id += 1;
-                wl.op_remaining = wl.current_op().compute_cycles() as f64;
-                // The next operator's instructions were prefetched from the
-                // moment the finished operator issued; its dispatch gap
-                // (host-side stalls) starts now.
-                wl.fetch_ready_at = dma
-                    .ready_at(wl.current_op(), wl.last_issue_at, now)
-                    .max(now + wl.current_op().dispatch_gap_cycles() as f64);
-                table.set_current_op(id, wl.next_op_id, wl.current_op().kind());
-            }
-
-            // -------- Phase 5b: preemption timer (§3.3).
-            if self.preemption && now + EPS >= tick_next {
-                while tick_next <= now + EPS {
-                    tick_next += slice;
-                }
-                for fu in fus.iter_mut() {
-                    let Some(w) = fu.occupant else { continue };
-                    let running = WorkloadId::new(w);
-                    let Some(candidate) = scheduler.pick_next(&table, fu.kind, now) else {
-                        continue;
+            if core.slots[s].switch_until <= core.now + EPS {
+                if let Some(w) = self
+                    .scheduler
+                    .pick_next(&core.table, core.slots[s].kind, core.now)
+                {
+                    core.table.mark_issued(w, core.slots[s].fu);
+                    core.slots[s].occupant = Some(w.index());
+                    core.wls[w.index()].last_issue_at = core.now;
+                    let ev = SimEvent::OpIssued {
+                        workload: w.index(),
+                        fu: s,
+                        kind: core.slots[s].kind,
+                        op_id: core.wls[w.index()].next_op_id,
+                        at: core.now,
                     };
-                    if scheduler.prefers_preemption(&table, running, candidate, now) {
-                        let cost = match fu.kind {
-                            FuKind::Sa => cfg.sa_switch_cycles(),
-                            FuKind::Vu => cfg.vu_switch_cycles(),
-                        } as f64;
-                        table.mark_released(running, true);
-                        fu.occupant = None;
-                        fu.switch_until = now + cost;
-                        let wl = &mut wls[w];
-                        wl.preemptions += 1;
-                        wl.switch_overhead += cost;
-                    }
+                    core.emit(ev);
                 }
             }
         }
 
-        let workloads = specs
+        // -------- Termination check (after issuing, so the final event is
+        // fully accounted).
+        if core.all_done() {
+            return Ok(StepOutcome::Finished);
+        }
+
+        // -------- Phase 2: progress rates under HBM arbitration.
+        let flows: Vec<(usize, f64)> = core
+            .slots
             .iter()
-            .zip(&wls)
-            .map(|(spec, wl)| {
-                WorkloadReport::new(
-                    spec.label().to_string(),
-                    spec.priority(),
-                    wl.completed,
-                    wl.latencies.clone(),
-                    wl.busy_sa,
-                    wl.busy_vu,
-                    wl.hbm_bytes,
-                    wl.preemptions,
-                    wl.switch_overhead,
-                )
+            .filter_map(|slot| {
+                slot.occupant
+                    .map(|w| (w, core.wls[w].current_op().hbm_demand_bytes_per_cycle()))
             })
             .collect();
-        RunReport::new(
-            now,
-            sa_busy,
-            vu_busy,
-            switch_overhead_total,
-            overlap,
-            hbm.bytes_moved(),
-            hbm_peak,
-            cfg.fu_count(),
-            workloads,
-        )
+        let rates = core.hbm.progress_rates(&flows);
+
+        // -------- Phase 3: time to the next event.
+        let mut dt = f64::INFINITY;
+        for slot in &core.slots {
+            if let Some(w) = slot.occupant {
+                let r = rate_of(&rates, w);
+                if r > EPS {
+                    dt = dt.min(core.wls[w].op_remaining / r);
+                }
+            }
+            if slot.switch_until > core.now + EPS {
+                dt = dt.min(slot.switch_until - core.now);
+            }
+        }
+        for (i, wl) in core.wls.iter().enumerate() {
+            let id = WorkloadId::new(i);
+            if !core.table.is_active(id)
+                && !core.table.is_ready(id)
+                && wl.fetch_ready_at > core.now + EPS
+            {
+                dt = dt.min(wl.fetch_ready_at - core.now);
+            }
+        }
+        if self.preemption {
+            dt = dt.min(self.tick_next - core.now);
+        }
+        let dt = core.resolve_dt(dt)?;
+
+        // -------- Phase 4: advance, accounting as we go.
+        core.advance(dt, &rates);
+
+        // -------- Phase 5a: operator completions.
+        for s in 0..core.slots.len() {
+            let Some(w) = core.slots[s].occupant else {
+                continue;
+            };
+            if core.wls[w].op_remaining > EPS {
+                continue;
+            }
+            core.slots[s].occupant = None;
+            let id = WorkloadId::new(w);
+            core.table.mark_released(id, false);
+            core.finish_op(w);
+            core.table
+                .set_current_op(id, core.wls[w].next_op_id, core.wls[w].current_op().kind());
+        }
+
+        // -------- Phase 5b: preemption timer (§3.3).
+        if self.preemption && core.now + EPS >= self.tick_next {
+            while self.tick_next <= core.now + EPS {
+                self.tick_next += self.slice;
+            }
+            let at = core.now;
+            core.emit(SimEvent::TimerTick { at });
+            for s in 0..core.slots.len() {
+                let Some(w) = core.slots[s].occupant else {
+                    continue;
+                };
+                let running = WorkloadId::new(w);
+                let Some(candidate) =
+                    self.scheduler
+                        .pick_next(&core.table, core.slots[s].kind, core.now)
+                else {
+                    continue;
+                };
+                if self
+                    .scheduler
+                    .prefers_preemption(&core.table, running, candidate, core.now)
+                {
+                    let cost = match core.slots[s].kind {
+                        FuKind::Sa => self.sa_switch_cycles,
+                        FuKind::Vu => self.vu_switch_cycles,
+                    } as f64;
+                    core.table.mark_released(running, true);
+                    core.slots[s].occupant = None;
+                    core.slots[s].switch_until = core.now + cost;
+                    core.wls[w].preemptions += 1;
+                    core.wls[w].switch_overhead += cost;
+                    let at = core.now;
+                    core.emit(SimEvent::OpPreempted {
+                        workload: w,
+                        fu: s,
+                        at,
+                    });
+                    core.emit(SimEvent::CtxSwitchStarted {
+                        fu: s,
+                        cost_cycles: cost,
+                        at,
+                    });
+                }
+            }
+        }
+        Ok(StepOutcome::Continue)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::CounterObserver;
     use v10_isa::OpDesc;
 
     fn sa(cycles: u64) -> OpDesc {
@@ -473,7 +417,7 @@ mod tests {
         OpDesc::builder(FuKind::Vu).compute_cycles(cycles).build()
     }
     fn spec(label: &str, ops: Vec<OpDesc>) -> WorkloadSpec {
-        WorkloadSpec::new(label, RequestTrace::new(ops))
+        WorkloadSpec::new(label, RequestTrace::new(ops).unwrap())
     }
 
     fn engine(policy: Policy, preemption: bool) -> V10Engine {
@@ -483,12 +427,21 @@ mod tests {
     #[test]
     fn single_workload_runs_sequentially() {
         let e = engine(Policy::Priority, false);
-        let r = e.run(&[spec("w", vec![sa(1_000), vu(500)])], &RunOptions::new(4));
+        let r = e
+            .run(
+                &[spec("w", vec![sa(1_000), vu(500)])],
+                &RunOptions::new(4).unwrap(),
+            )
+            .unwrap();
         let wl = &r.workloads()[0];
         assert_eq!(wl.completed_requests(), 4);
         // Each request is 1500 busy cycles plus a little DMA-ready latency.
         assert!(wl.avg_latency_cycles() >= 1_500.0);
-        assert!(wl.avg_latency_cycles() < 1_700.0, "{}", wl.avg_latency_cycles());
+        assert!(
+            wl.avg_latency_cycles() < 1_700.0,
+            "{}",
+            wl.avg_latency_cycles()
+        );
         // Never both busy: ops are sequential within a workload.
         assert_eq!(r.overlap().both, 0.0);
     }
@@ -496,13 +449,15 @@ mod tests {
     #[test]
     fn complementary_workloads_overlap() {
         let e = engine(Policy::Priority, false);
-        let r = e.run(
-            &[
-                spec("sa-heavy", vec![sa(10_000), vu(100)]),
-                spec("vu-heavy", vec![sa(100), vu(10_000)]),
-            ],
-            &RunOptions::new(10),
-        );
+        let r = e
+            .run(
+                &[
+                    spec("sa-heavy", vec![sa(10_000), vu(100)]),
+                    spec("vu-heavy", vec![sa(100), vu(10_000)]),
+                ],
+                &RunOptions::new(10).unwrap(),
+            )
+            .unwrap();
         // The SA-heavy workload's matmuls run while the VU-heavy workload's
         // vector ops run: substantial both-busy time.
         assert!(
@@ -517,10 +472,12 @@ mod tests {
     #[test]
     fn same_kind_workloads_serialize_on_one_fu() {
         let e = engine(Policy::Priority, false);
-        let r = e.run(
-            &[spec("a", vec![sa(1_000)]), spec("b", vec![sa(1_000)])],
-            &RunOptions::new(5),
-        );
+        let r = e
+            .run(
+                &[spec("a", vec![sa(1_000)]), spec("b", vec![sa(1_000)])],
+                &RunOptions::new(5).unwrap(),
+            )
+            .unwrap();
         // Only one SA: total elapsed at least the serialized work.
         assert!(r.elapsed_cycles() >= 10_000.0);
         assert!(r.sa_util() > 0.9);
@@ -532,7 +489,12 @@ mod tests {
         // One workload alternating SA/VU: exactly one FU busy at any time
         // (modulo DMA-ready gaps), so sa_only + vu_only ~= elapsed.
         let e = engine(Policy::RoundRobin, false);
-        let r = e.run(&[spec("w", vec![sa(5_000), vu(5_000)])], &RunOptions::new(5));
+        let r = e
+            .run(
+                &[spec("w", vec![sa(5_000), vu(5_000)])],
+                &RunOptions::new(5).unwrap(),
+            )
+            .unwrap();
         let covered = r.overlap().sa_only + r.overlap().vu_only;
         assert!(covered > 0.98 * r.elapsed_cycles());
     }
@@ -546,9 +508,13 @@ mod tests {
             "short-ops",
             vec![sa(7_000), vu(70_000), sa(7_000), vu(70_000)],
         );
-        let opts = RunOptions::new(8);
-        let fair = engine(Policy::Priority, false).run(&[w1.clone(), w2.clone()], &opts);
-        let full = engine(Policy::Priority, true).run(&[w1, w2], &opts);
+        let opts = RunOptions::new(8).unwrap();
+        let fair = engine(Policy::Priority, false)
+            .run(&[w1.clone(), w2.clone()], &opts)
+            .unwrap();
+        let full = engine(Policy::Priority, true)
+            .run(&[w1, w2], &opts)
+            .unwrap();
         let lat_fair = fair.workloads()[1].avg_latency_cycles();
         let lat_full = full.workloads()[1].avg_latency_cycles();
         assert!(
@@ -563,7 +529,9 @@ mod tests {
     fn preemption_charges_switch_overhead() {
         let w1 = spec("long-sa", vec![sa(700_000)]);
         let w2 = spec("short-sa", vec![sa(7_000)]);
-        let full = engine(Policy::Priority, true).run(&[w1, w2], &RunOptions::new(5));
+        let full = engine(Policy::Priority, true)
+            .run(&[w1, w2], &RunOptions::new(5).unwrap())
+            .unwrap();
         assert!(full.switch_overhead_cycles() > 0.0);
         let preempted = &full.workloads()[0];
         assert!(preempted.switch_overhead_cycles() >= 384.0);
@@ -573,13 +541,10 @@ mod tests {
 
     #[test]
     fn priorities_shift_active_share() {
-        let mk = |p: f64| {
-            spec("w", vec![sa(10_000)]).with_priority(p)
-        };
-        let r = engine(Policy::Priority, true).run(
-            &[mk(9.0), mk(1.0)],
-            &RunOptions::new(20),
-        );
+        let mk = |p: f64| spec("w", vec![sa(10_000)]).with_priority(p).unwrap();
+        let r = engine(Policy::Priority, true)
+            .run(&[mk(9.0), mk(1.0)], &RunOptions::new(20).unwrap())
+            .unwrap();
         let hi = &r.workloads()[0];
         let lo = &r.workloads()[1];
         // Contending for the same SA, the high-priority workload gets most
@@ -594,12 +559,14 @@ mod tests {
 
     #[test]
     fn multi_fu_pool_runs_same_kind_in_parallel() {
-        let cfg = NpuConfig::builder().fu_count(2).build();
+        let cfg = NpuConfig::builder().fu_count(2).build().unwrap();
         let e = V10Engine::new(cfg, Policy::Priority, false);
-        let r = e.run(
-            &[spec("a", vec![sa(10_000)]), spec("b", vec![sa(10_000)])],
-            &RunOptions::new(5),
-        );
+        let r = e
+            .run(
+                &[spec("a", vec![sa(10_000)]), spec("b", vec![sa(10_000)])],
+                &RunOptions::new(5).unwrap(),
+            )
+            .unwrap();
         // Two SAs: the workloads truly run concurrently.
         assert!(r.elapsed_cycles() < 1.2 * 5.0 * 10_000.0);
     }
@@ -624,11 +591,17 @@ mod tests {
                 .hbm_bytes((10_000.0 * 471.0 * 0.8) as u64)
                 .build()],
         );
-        let r = engine(Policy::Priority, false).run(&[a, b], &RunOptions::new(3));
+        let r = engine(Policy::Priority, false)
+            .run(&[a, b], &RunOptions::new(3).unwrap())
+            .unwrap();
         // 1.6x demand vs 1.0 capacity: ops stretch by ~1.6x.
         let lat = r.workloads()[0].avg_latency_cycles();
         assert!(lat > 14_000.0, "expected HBM-stretched latency, got {lat}");
-        assert!(r.hbm_util() > 0.9, "HBM should be saturated: {}", r.hbm_util());
+        assert!(
+            r.hbm_util() > 0.9,
+            "HBM should be saturated: {}",
+            r.hbm_util()
+        );
     }
 
     #[test]
@@ -637,9 +610,9 @@ mod tests {
             spec("a", vec![sa(5_000), vu(1_000)]),
             spec("b", vec![sa(500), vu(4_000)]),
         ];
-        let opts = RunOptions::new(7);
-        let r1 = engine(Policy::Priority, true).run(&specs, &opts);
-        let r2 = engine(Policy::Priority, true).run(&specs, &opts);
+        let opts = RunOptions::new(7).unwrap();
+        let r1 = engine(Policy::Priority, true).run(&specs, &opts).unwrap();
+        let r2 = engine(Policy::Priority, true).run(&specs, &opts).unwrap();
         assert_eq!(r1.elapsed_cycles(), r2.elapsed_cycles());
         assert_eq!(
             r1.workloads()[0].avg_latency_cycles(),
@@ -653,7 +626,9 @@ mod tests {
             spec("a", vec![sa(5_000), vu(1_000)]),
             spec("b", vec![sa(500), vu(4_000)]),
         ];
-        let r = engine(Policy::Priority, true).run(&specs, &RunOptions::new(5));
+        let r = engine(Policy::Priority, true)
+            .run(&specs, &RunOptions::new(5).unwrap())
+            .unwrap();
         let wl_busy: f64 = r
             .workloads()
             .iter()
@@ -667,147 +642,232 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one workload")]
     fn empty_specs_rejected() {
-        let _ = engine(Policy::Priority, false).run(&[], &RunOptions::new(1));
+        let err = engine(Policy::Priority, false)
+            .run(&[], &RunOptions::new(1).unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one workload"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "at least one request")]
     fn zero_requests_rejected() {
-        let _ = RunOptions::new(0);
+        let err = RunOptions::new(0).unwrap_err();
+        assert!(err.to_string().contains("at least one request"), "{err}");
+    }
+
+    #[test]
+    fn non_positive_priority_rejected() {
+        for bad in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let err = spec("w", vec![sa(10)]).with_priority(bad).unwrap_err();
+            assert!(err.to_string().contains("positive"), "{err}");
+        }
+    }
+
+    #[test]
+    fn zero_pmt_slice_rejected() {
+        let err = RunOptions::new(1)
+            .unwrap()
+            .with_pmt_slice_cycles(0)
+            .unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
     }
 
     #[test]
     fn workload_spec_accessors() {
-        let s = spec("name", vec![sa(10)]).with_priority(3.0);
+        let s = spec("name", vec![sa(10)]).with_priority(3.0).unwrap();
         assert_eq!(s.label(), "name");
         assert_eq!(s.priority(), 3.0);
         assert_eq!(s.trace().ops().len(), 1);
     }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_counts_add_up() {
+        let specs = [
+            spec("a", vec![sa(5_000), vu(1_000)]),
+            spec("b", vec![sa(500), vu(4_000)]),
+        ];
+        let opts = RunOptions::new(5).unwrap();
+        let e = engine(Policy::Priority, true);
+        let plain = e.run(&specs, &opts).unwrap();
+        let mut counters = CounterObserver::new();
+        let observed = e.run_observed(&specs, &opts, &mut counters).unwrap();
+        // Observation must not perturb the simulation.
+        assert_eq!(plain.elapsed_cycles(), observed.elapsed_cycles());
+        assert_eq!(
+            plain.workloads()[0].avg_latency_cycles(),
+            observed.workloads()[0].avg_latency_cycles()
+        );
+        // Event counts line up with the report.
+        let completed: usize = observed
+            .workloads()
+            .iter()
+            .map(|w| w.completed_requests())
+            .sum();
+        assert_eq!(counters.request_completed(), completed as u64);
+        let preempted: u64 = observed.workloads().iter().map(|w| w.preemptions()).sum();
+        assert_eq!(counters.op_preempted(), preempted);
+        assert_eq!(counters.ctx_switch_started(), preempted);
+        // Each completion was preceded by an issue (re-issues after
+        // preemption add more).
+        assert!(counters.op_issued() >= counters.op_completed());
+        assert!(counters.op_completed() > 0);
+        assert!(counters.dma_ready() > 0);
+    }
+
+    #[test]
+    fn ctx_switch_windows_balance() {
+        let w1 = spec("long-sa", vec![sa(700_000)]);
+        let w2 = spec("short-sa", vec![sa(7_000)]);
+        let mut counters = CounterObserver::new();
+        let _ = engine(Policy::Priority, true)
+            .run_observed(&[w1, w2], &RunOptions::new(5).unwrap(), &mut counters)
+            .unwrap();
+        assert!(counters.ctx_switch_started() > 0);
+        // Every switch window that opened also closed (the run only ends
+        // once all work is issued and finished).
+        assert_eq!(counters.ctx_switch_started(), counters.ctx_switch_ended());
+        assert!(counters.timer_tick() > 0);
+    }
 }
 
 #[cfg(test)]
-mod proptests {
+mod seeded_tests {
     use super::*;
-    use proptest::prelude::*;
     use v10_isa::OpDesc;
+    use v10_sim::SimRng;
 
-    /// Strategy: a small random trace of 1-6 operators with mixed kinds,
-    /// lengths, and HBM demands.
-    fn arb_trace() -> impl Strategy<Value = RequestTrace> {
-        proptest::collection::vec(
-            (
-                proptest::bool::ANY,
-                1_000u64..200_000,
-                0u64..100_000_000,
-                0u64..2_000,
-            ),
-            1..6,
+    /// A small random trace of 1-6 operators with mixed kinds, lengths,
+    /// and HBM demands.
+    fn random_trace(rng: &mut SimRng) -> RequestTrace {
+        let n = 1 + rng.index(5);
+        RequestTrace::new(
+            (0..n)
+                .map(|_| {
+                    let kind = if rng.next_u64() & 1 == 0 {
+                        FuKind::Sa
+                    } else {
+                        FuKind::Vu
+                    };
+                    let cycles = rng.uniform_u64(1_000, 200_000);
+                    let hbm = rng.uniform_u64(0, 100_000_000).min(cycles * 300); // demand < peak
+                    let gap = rng.uniform_u64(0, 2_000);
+                    OpDesc::builder(kind)
+                        .compute_cycles(cycles)
+                        .hbm_bytes(hbm)
+                        .dispatch_gap_cycles(gap)
+                        .build()
+                })
+                .collect(),
         )
-        .prop_map(|ops| {
-            RequestTrace::new(
-                ops.into_iter()
-                    .map(|(is_sa, cycles, hbm, gap)| {
-                        let kind = if is_sa { FuKind::Sa } else { FuKind::Vu };
-                        OpDesc::builder(kind)
-                            .compute_cycles(cycles)
-                            .hbm_bytes(hbm.min(cycles * 300)) // keep demand < peak
-                            .dispatch_gap_cycles(gap)
-                            .build()
-                    })
-                    .collect(),
-            )
-        })
+        .unwrap()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Engine invariants hold for random workload pairs under every
+    /// design: requests complete, busy time is conserved (>= trace work,
+    /// bounded by elapsed), overlap buckets partition elapsed time, and
+    /// per-request latency is at least the trace's critical work.
+    #[test]
+    fn engine_invariants_random_traces() {
+        let mut rng = SimRng::seed_from(0xE161);
+        for case in 0..8 {
+            let t1 = random_trace(&mut rng);
+            let t2 = random_trace(&mut rng);
+            for (policy, preemption) in [
+                (Policy::RoundRobin, false),
+                (Policy::Priority, false),
+                (Policy::Priority, true),
+            ] {
+                let specs = [
+                    WorkloadSpec::new("a", t1.clone()),
+                    WorkloadSpec::new("b", t2.clone()),
+                ];
+                let engine = V10Engine::new(NpuConfig::table5(), policy, preemption);
+                let r = engine.run(&specs, &RunOptions::new(3).unwrap()).unwrap();
 
-        /// Engine invariants hold for arbitrary workload pairs under every
-        /// design: requests complete, busy time is conserved (>= trace work,
-        /// bounded by elapsed), overlap buckets partition elapsed time, and
-        /// per-request latency is at least the trace's critical work.
-        #[test]
-        fn engine_invariants_random_traces(
-            t1 in arb_trace(),
-            t2 in arb_trace(),
-            preemption in proptest::bool::ANY,
-            rr in proptest::bool::ANY,
-        ) {
-            let specs = [
-                WorkloadSpec::new("a", t1.clone()),
-                WorkloadSpec::new("b", t2.clone()),
-            ];
-            let policy = if rr { Policy::RoundRobin } else { Policy::Priority };
-            let engine = V10Engine::new(NpuConfig::table5(), policy, preemption && !rr);
-            let r = engine.run(&specs, &RunOptions::new(3));
-
-            // All requests completed.
-            for wl in r.workloads() {
-                prop_assert!(wl.completed_requests() >= 3);
-            }
-            // Work conservation per workload.
-            for (wl, trace) in r.workloads().iter().zip([&t1, &t2]) {
-                let per_req = trace.total_compute_cycles() as f64;
-                let done = wl.completed_requests() as f64;
-                let busy = wl.busy_sa_cycles() + wl.busy_vu_cycles();
-                prop_assert!(busy >= done * per_req - 1.0,
-                    "lost work: busy {busy} < {} requests x {per_req}", done);
-                // Occupancy can stretch under HBM contention, but not 3x.
-                prop_assert!(busy <= 3.0 * done * per_req + 1.0);
-                // Latency covers at least the request's own busy time.
-                for &lat in wl.latencies_cycles() {
-                    prop_assert!(lat + 1.0 >= per_req, "latency {lat} < work {per_req}");
-                }
-            }
-            // Overlap buckets partition elapsed time.
-            let o = r.overlap();
-            prop_assert!((o.total() - r.elapsed_cycles()).abs() < 1e-3);
-            // FU-side busy equals workload-side busy.
-            let wl_busy: f64 = r.workloads().iter()
-                .map(|w| w.busy_sa_cycles() + w.busy_vu_cycles()).sum();
-            prop_assert!((wl_busy - r.sa_busy_cycles() - r.vu_busy_cycles()).abs() < 1e-3);
-            // Utilizations are fractions.
-            for u in [r.sa_util(), r.vu_util(), r.hbm_util()] {
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
-            }
-        }
-
-        /// Without preemption, no workload is ever preempted; with the
-        /// round-robin policy the same holds (V10-Base is non-preemptive).
-        #[test]
-        fn no_preemption_designs_never_preempt(
-            t1 in arb_trace(),
-            t2 in arb_trace(),
-        ) {
-            for (policy, preempt) in [(Policy::RoundRobin, false), (Policy::Priority, false)] {
-                let engine = V10Engine::new(NpuConfig::table5(), policy, preempt);
-                let r = engine.run(
-                    &[WorkloadSpec::new("a", t1.clone()), WorkloadSpec::new("b", t2.clone())],
-                    &RunOptions::new(2),
-                );
+                // All requests completed.
                 for wl in r.workloads() {
-                    prop_assert_eq!(wl.preemptions(), 0);
+                    assert!(wl.completed_requests() >= 3, "case {case}");
                 }
-                prop_assert_eq!(r.switch_overhead_cycles(), 0.0);
+                // Work conservation per workload.
+                for (wl, trace) in r.workloads().iter().zip([&t1, &t2]) {
+                    let per_req = trace.total_compute_cycles() as f64;
+                    let done = wl.completed_requests() as f64;
+                    let busy = wl.busy_sa_cycles() + wl.busy_vu_cycles();
+                    assert!(
+                        busy >= done * per_req - 1.0,
+                        "lost work: busy {busy} < {done} requests x {per_req}"
+                    );
+                    // Occupancy can stretch under HBM contention, but not 3x.
+                    assert!(busy <= 3.0 * done * per_req + 1.0);
+                    // Latency covers at least the request's own busy time.
+                    for &lat in wl.latencies_cycles() {
+                        assert!(lat + 1.0 >= per_req, "latency {lat} < work {per_req}");
+                    }
+                }
+                // Overlap buckets partition elapsed time.
+                let o = r.overlap();
+                assert!((o.total() - r.elapsed_cycles()).abs() < 1e-3);
+                // FU-side busy equals workload-side busy.
+                let wl_busy: f64 = r
+                    .workloads()
+                    .iter()
+                    .map(|w| w.busy_sa_cycles() + w.busy_vu_cycles())
+                    .sum();
+                assert!((wl_busy - r.sa_busy_cycles() - r.vu_busy_cycles()).abs() < 1e-3);
+                // Utilizations are fractions.
+                for u in [r.sa_util(), r.vu_util(), r.hbm_util()] {
+                    assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+                }
             }
         }
+    }
 
-        /// Scaling the FU pool never hurts: elapsed time with 2 FU pairs is
-        /// at most (slightly above) elapsed with 1 pair.
-        #[test]
-        fn more_fus_never_slow_things_down(
-            t1 in arb_trace(),
-            t2 in arb_trace(),
-        ) {
-            let specs = [WorkloadSpec::new("a", t1), WorkloadSpec::new("b", t2)];
-            let opts = RunOptions::new(2);
+    /// Without preemption, no workload is ever preempted; with the
+    /// round-robin policy the same holds (V10-Base is non-preemptive).
+    #[test]
+    fn no_preemption_designs_never_preempt() {
+        let mut rng = SimRng::seed_from(0x0BA5);
+        for _ in 0..8 {
+            let t1 = random_trace(&mut rng);
+            let t2 = random_trace(&mut rng);
+            for policy in [Policy::RoundRobin, Policy::Priority] {
+                let engine = V10Engine::new(NpuConfig::table5(), policy, false);
+                let r = engine
+                    .run(
+                        &[
+                            WorkloadSpec::new("a", t1.clone()),
+                            WorkloadSpec::new("b", t2.clone()),
+                        ],
+                        &RunOptions::new(2).unwrap(),
+                    )
+                    .unwrap();
+                for wl in r.workloads() {
+                    assert_eq!(wl.preemptions(), 0);
+                }
+                assert_eq!(r.switch_overhead_cycles(), 0.0);
+            }
+        }
+    }
+
+    /// Scaling the FU pool never hurts: elapsed time with 2 FU pairs is
+    /// at most (slightly above) elapsed with 1 pair.
+    #[test]
+    fn more_fus_never_slow_things_down() {
+        let mut rng = SimRng::seed_from(0x2F05);
+        for _ in 0..8 {
+            let specs = [
+                WorkloadSpec::new("a", random_trace(&mut rng)),
+                WorkloadSpec::new("b", random_trace(&mut rng)),
+            ];
+            let opts = RunOptions::new(2).unwrap();
             let small = V10Engine::new(NpuConfig::table5(), Policy::Priority, false)
-                .run(&specs, &opts);
-            let big_cfg = NpuConfig::builder().fu_count(2).build();
-            let big = V10Engine::new(big_cfg, Policy::Priority, false).run(&specs, &opts);
-            prop_assert!(big.elapsed_cycles() <= small.elapsed_cycles() * 1.01 + 1.0);
+                .run(&specs, &opts)
+                .unwrap();
+            let big_cfg = NpuConfig::builder().fu_count(2).build().unwrap();
+            let big = V10Engine::new(big_cfg, Policy::Priority, false)
+                .run(&specs, &opts)
+                .unwrap();
+            assert!(big.elapsed_cycles() <= small.elapsed_cycles() * 1.01 + 1.0);
         }
     }
 }

@@ -1,0 +1,395 @@
+//! The shared event-loop core behind every executor.
+//!
+//! Both the operator-granularity V10 engine ([`crate::engine::V10Engine`])
+//! and the task-granularity PMT baseline ([`crate::pmt::run_pmt`]) are
+//! piecewise-constant event simulations: between events nothing changes, so
+//! the clock jumps straight to the next operator completion, DMA-ready
+//! instant, context-switch end, or timer tick. [`EngineCore`] owns that
+//! machinery — per-workload execution state, FU occupancy slots, the HBM
+//! arbiter, the instruction DMA model, busy/idle/overhead accounting, and
+//! the observer hookup — while an [`ExecutorStrategy`] supplies only the
+//! scheduling *decisions*. [`drive`] runs a strategy over a core to
+//! completion.
+//!
+//! Splitting decision from mechanism keeps the two executors bit-identical
+//! with their historical standalone loops (the golden-run regression test
+//! pins this) while deduplicating the accounting that used to be maintained
+//! twice.
+
+use v10_isa::{FuKind, OpDesc, RequestTrace};
+use v10_npu::{FuId, HbmArbiter, InstructionDma, NpuConfig};
+use v10_sim::{V10Error, V10Result};
+
+use crate::context::{ContextTable, WorkloadId};
+use crate::engine::{RunOptions, WorkloadSpec};
+use crate::metrics::{OverlapBreakdown, RunReport, WorkloadReport};
+use crate::observer::{SimEvent, SimObserver};
+
+/// Time-comparison slack: two instants closer than this are simultaneous.
+pub(crate) const EPS: f64 = 1e-6;
+
+/// Advancing the clock by less than `EPS` this many consecutive iterations
+/// is a livelock.
+const LIVELOCK_STREAK: u32 = 10_000;
+
+/// Per-workload mutable execution state.
+#[derive(Debug)]
+pub(crate) struct WlState {
+    pub(crate) trace: RequestTrace,
+    pub(crate) op_idx: usize,
+    pub(crate) op_remaining: f64,
+    /// Absolute time at which the current operator's instruction DMA
+    /// completes (drives the Ready bit while the operator is neither ready
+    /// nor active).
+    pub(crate) fetch_ready_at: f64,
+    /// When the current operator was (first) issued — the prefetch start of
+    /// its successor.
+    pub(crate) last_issue_at: f64,
+    pub(crate) request_start: f64,
+    pub(crate) completed: usize,
+    pub(crate) next_op_id: u64,
+    // accounting
+    pub(crate) latencies: Vec<f64>,
+    pub(crate) busy_sa: f64,
+    pub(crate) busy_vu: f64,
+    pub(crate) hbm_bytes: f64,
+    pub(crate) preemptions: u64,
+    pub(crate) switch_overhead: f64,
+}
+
+impl WlState {
+    pub(crate) fn current_op(&self) -> &OpDesc {
+        &self.trace.ops()[self.op_idx]
+    }
+}
+
+/// One functional-unit occupancy slot.
+///
+/// The V10 executor keeps one slot per FU in the pool; the PMT baseline
+/// models whole-core ownership with a single slot whose kind tracks the
+/// owner's current operator.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    pub(crate) fu: FuId,
+    pub(crate) kind: FuKind,
+    pub(crate) occupant: Option<usize>,
+    pub(crate) switch_until: f64,
+}
+
+impl Slot {
+    pub(crate) fn new(fu: FuId, kind: FuKind) -> Self {
+        Slot {
+            fu,
+            kind,
+            occupant: None,
+            switch_until: 0.0,
+        }
+    }
+}
+
+/// The progress rate the HBM arbiter granted workload `w`, defaulting to
+/// full rate for flows it was not asked about.
+pub(crate) fn rate_of(rates: &[(usize, f64)], w: usize) -> f64 {
+    rates
+        .iter()
+        .find(|&&(id, _)| id == w)
+        .map(|&(_, r)| r)
+        .unwrap_or(1.0)
+}
+
+/// Should [`drive`] keep iterating?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Run another scheduling step.
+    Continue,
+    /// Every workload met its request quota; emit the report.
+    Finished,
+}
+
+/// Scheduling decisions layered over an [`EngineCore`].
+///
+/// One [`step`](ExecutorStrategy::step) inspects the core, picks the next
+/// event horizon, advances the core across it, and applies completions —
+/// the core supplies the mechanisms ([`EngineCore::advance`],
+/// [`EngineCore::finish_op`], ...), the strategy the policy.
+pub(crate) trait ExecutorStrategy {
+    /// Runs one scheduling iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::Deadlock`] / [`V10Error::Livelock`] when the
+    /// simulation cannot make progress.
+    fn step<O: SimObserver>(&mut self, core: &mut EngineCore<'_, O>) -> V10Result<StepOutcome>;
+}
+
+/// Runs `strategy` over `core` until it reports completion.
+pub(crate) fn drive<S: ExecutorStrategy, O: SimObserver>(
+    mut core: EngineCore<'_, O>,
+    strategy: &mut S,
+) -> V10Result<RunReport> {
+    loop {
+        if strategy.step(&mut core)? == StepOutcome::Finished {
+            return Ok(core.into_report());
+        }
+    }
+}
+
+/// The shared simulation state and mechanisms of one executor run.
+///
+/// Fields are `pub(crate)` so strategies can make scheduling decisions over
+/// them directly; the mutation *mechanisms* (time advance, operator
+/// completion, event emission) go through methods so their accounting —
+/// and the float-operation order the golden run pins — lives in exactly
+/// one place.
+#[derive(Debug)]
+pub(crate) struct EngineCore<'a, O: SimObserver> {
+    specs: &'a [WorkloadSpec],
+    opts: &'a RunOptions,
+    pub(crate) table: ContextTable,
+    pub(crate) hbm: HbmArbiter,
+    pub(crate) dma: InstructionDma,
+    pub(crate) wls: Vec<WlState>,
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) now: f64,
+    pub(crate) switch_overhead_total: f64,
+    overlap: OverlapBreakdown,
+    sa_busy: f64,
+    vu_busy: f64,
+    zero_dt_streak: u32,
+    hbm_peak: f64,
+    fu_count: u32,
+    observer: &'a mut O,
+}
+
+impl<'a, O: SimObserver> EngineCore<'a, O> {
+    /// Builds a core at cycle 0: every workload's first operator is being
+    /// fetched, every slot is free.
+    ///
+    /// `context` names the public entry point for error messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `specs` is empty.
+    pub(crate) fn new(
+        context: &'static str,
+        specs: &'a [WorkloadSpec],
+        opts: &'a RunOptions,
+        config: &NpuConfig,
+        slots: Vec<Slot>,
+        observer: &'a mut O,
+    ) -> V10Result<Self> {
+        if specs.is_empty() {
+            return Err(V10Error::invalid(context, "need at least one workload"));
+        }
+        let hbm_peak = config.hbm_bytes_per_cycle();
+        let hbm = HbmArbiter::new(hbm_peak).expect("validated configuration");
+        let dma = InstructionDma::new(hbm_peak).expect("validated configuration");
+        let mut table =
+            ContextTable::new(&specs.iter().map(WorkloadSpec::priority).collect::<Vec<_>>())?;
+
+        let wls: Vec<WlState> = specs
+            .iter()
+            .map(|s| {
+                let mut wl = WlState {
+                    trace: s.trace().clone(),
+                    op_idx: 0,
+                    op_remaining: 0.0,
+                    fetch_ready_at: 0.0,
+                    last_issue_at: 0.0,
+                    request_start: 0.0,
+                    completed: 0,
+                    next_op_id: 0,
+                    latencies: Vec::new(),
+                    busy_sa: 0.0,
+                    busy_vu: 0.0,
+                    hbm_bytes: 0.0,
+                    preemptions: 0,
+                    switch_overhead: 0.0,
+                };
+                wl.op_remaining = wl.current_op().compute_cycles() as f64;
+                wl.fetch_ready_at = dma
+                    .ready_at(wl.current_op(), 0.0, 0.0)
+                    .max(wl.current_op().dispatch_gap_cycles() as f64);
+                wl
+            })
+            .collect();
+        for (i, wl) in wls.iter().enumerate() {
+            table.set_current_op(WorkloadId::new(i), 0, wl.current_op().kind());
+        }
+
+        Ok(EngineCore {
+            specs,
+            opts,
+            table,
+            hbm,
+            dma,
+            wls,
+            slots,
+            now: 0.0,
+            switch_overhead_total: 0.0,
+            overlap: OverlapBreakdown::default(),
+            sa_busy: 0.0,
+            vu_busy: 0.0,
+            zero_dt_streak: 0,
+            hbm_peak,
+            fu_count: config.fu_count(),
+            observer,
+        })
+    }
+
+    /// Forwards one event to the observer.
+    #[inline(always)]
+    pub(crate) fn emit(&mut self, event: SimEvent) {
+        self.observer.on_event(event);
+    }
+
+    /// Has every workload met its request quota?
+    pub(crate) fn all_done(&self) -> bool {
+        self.wls
+            .iter()
+            .all(|w| w.completed >= self.opts.requests_per_workload())
+    }
+
+    /// Validates a proposed time step: rejects a horizon with no pending
+    /// event (deadlock) and too many consecutive zero-length steps
+    /// (livelock), and clamps numerical noise below zero.
+    ///
+    /// # Errors
+    ///
+    /// [`V10Error::Deadlock`] if `dt` is not finite; [`V10Error::Livelock`]
+    /// after [`LIVELOCK_STREAK`] consecutive sub-`EPS` steps.
+    pub(crate) fn resolve_dt(&mut self, dt: f64) -> V10Result<f64> {
+        if !dt.is_finite() {
+            return Err(V10Error::Deadlock {
+                cycle: self.now,
+                message: format!("no pending events for {} workloads", self.wls.len()),
+            });
+        }
+        let dt = dt.max(0.0);
+        if dt <= EPS {
+            self.zero_dt_streak += 1;
+            if self.zero_dt_streak >= LIVELOCK_STREAK {
+                return Err(V10Error::Livelock { cycle: self.now });
+            }
+        } else {
+            self.zero_dt_streak = 0;
+        }
+        Ok(dt)
+    }
+
+    /// Advances simulated time by `dt`, accounting as it goes: every
+    /// occupied slot's workload progresses at its HBM-granted rate (from
+    /// `rates`, full rate if absent) and accrues busy time and HBM bytes;
+    /// unoccupied slots mid-switch accrue switch overhead; the overlap
+    /// buckets and the clock move.
+    pub(crate) fn advance(&mut self, dt: f64, rates: &[(usize, f64)]) {
+        let mut sa_active = 0usize;
+        let mut vu_active = 0usize;
+        for s in 0..self.slots.len() {
+            let slot = &self.slots[s];
+            if let Some(w) = slot.occupant {
+                match slot.kind {
+                    FuKind::Sa => sa_active += 1,
+                    FuKind::Vu => vu_active += 1,
+                }
+                let kind = slot.kind;
+                let r = rate_of(rates, w);
+                let wl = &mut self.wls[w];
+                wl.op_remaining -= r * dt;
+                let bytes = wl.current_op().hbm_demand_bytes_per_cycle() * r * dt;
+                wl.hbm_bytes += bytes;
+                self.hbm.record_bytes(bytes);
+                match kind {
+                    FuKind::Sa => wl.busy_sa += dt,
+                    FuKind::Vu => wl.busy_vu += dt,
+                }
+                self.table.add_active_cycles(WorkloadId::new(w), dt);
+            } else if slot.switch_until > self.now + EPS {
+                self.switch_overhead_total += dt.min(slot.switch_until - self.now);
+            }
+        }
+        self.sa_busy += sa_active as f64 * dt;
+        self.vu_busy += vu_active as f64 * dt;
+        self.overlap.accumulate(sa_active > 0, vu_active > 0, dt);
+        self.now += dt;
+    }
+
+    /// Completes workload `w`'s current operator: records request latency on
+    /// a trace wraparound, loads the next operator, and schedules its
+    /// instruction DMA (prefetched since the finished operator issued, then
+    /// gated by the dispatch gap).
+    ///
+    /// Touches no context-table state, so both the table-driven V10
+    /// strategy and the table-less PMT baseline share it; emits
+    /// [`SimEvent::OpCompleted`] and, on wraparound,
+    /// [`SimEvent::RequestCompleted`].
+    pub(crate) fn finish_op(&mut self, w: usize) {
+        let now = self.now;
+        let wl = &mut self.wls[w];
+        let done_op_id = wl.next_op_id;
+        let mut finished_request = None;
+        wl.op_idx += 1;
+        if wl.op_idx == wl.trace.ops().len() {
+            let latency = now - wl.request_start;
+            wl.latencies.push(latency);
+            wl.completed += 1;
+            wl.op_idx = 0;
+            wl.request_start = now;
+            finished_request = Some(latency);
+        }
+        wl.next_op_id += 1;
+        wl.op_remaining = wl.current_op().compute_cycles() as f64;
+        // The next operator's instructions were prefetched from the moment
+        // the finished operator issued; its dispatch gap (host-side stalls)
+        // starts now.
+        wl.fetch_ready_at = self
+            .dma
+            .ready_at(wl.current_op(), wl.last_issue_at, now)
+            .max(now + wl.current_op().dispatch_gap_cycles() as f64);
+        self.emit(SimEvent::OpCompleted {
+            workload: w,
+            op_id: done_op_id,
+            at: now,
+        });
+        if let Some(latency_cycles) = finished_request {
+            self.emit(SimEvent::RequestCompleted {
+                workload: w,
+                latency_cycles,
+                at: now,
+            });
+        }
+    }
+
+    /// Consumes the core into the run's final report.
+    pub(crate) fn into_report(self) -> RunReport {
+        let workloads = self
+            .specs
+            .iter()
+            .zip(&self.wls)
+            .map(|(spec, wl)| {
+                WorkloadReport::new(
+                    spec.label().to_string(),
+                    spec.priority(),
+                    wl.completed,
+                    wl.latencies.clone(),
+                    wl.busy_sa,
+                    wl.busy_vu,
+                    wl.hbm_bytes,
+                    wl.preemptions,
+                    wl.switch_overhead,
+                )
+            })
+            .collect();
+        RunReport::new(
+            self.now,
+            self.sa_busy,
+            self.vu_busy,
+            self.switch_overhead_total,
+            self.overlap,
+            self.hbm.bytes_moved(),
+            self.hbm_peak,
+            self.fu_count,
+            workloads,
+        )
+    }
+}

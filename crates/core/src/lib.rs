@@ -24,7 +24,16 @@
 //! * [`metrics`] — run reports and the paper's metrics: utilizations,
 //!   overlap breakdown (Fig. 17), system throughput (STP, Fig. 18),
 //!   average/tail latency (Figs. 19–20), preemption accounting (Fig. 21).
+//! * [`observer`] — zero-cost-when-disabled instrumentation: the engine
+//!   event stream ([`SimEvent`]) behind the [`SimObserver`] trait, with
+//!   built-in [`CounterObserver`] and [`JsonLinesObserver`] sinks.
 //! * [`overhead`] — the hardware-cost model of Table 3.
+//!
+//! Both executors drive the same event-loop core (the crate-private
+//! `engine_core` module) through a strategy trait, so their busy/overlap
+//! accounting and observability hookup are shared. Public entry points
+//! validate their inputs and return [`Result`]s over the workspace-wide
+//! [`V10Error`].
 //!
 //! # Example
 //!
@@ -39,19 +48,23 @@
 //!     RequestTrace::new(vec![
 //!         OpDesc::builder(FuKind::Sa).compute_cycles(5_000).build(),
 //!         OpDesc::builder(FuKind::Vu).compute_cycles(500).build(),
-//!     ]),
+//!     ])
+//!     .expect("non-empty trace"),
 //! );
 //! let vu_heavy = WorkloadSpec::new(
 //!     "vu-heavy",
 //!     RequestTrace::new(vec![
 //!         OpDesc::builder(FuKind::Sa).compute_cycles(500).build(),
 //!         OpDesc::builder(FuKind::Vu).compute_cycles(5_000).build(),
-//!     ]),
+//!     ])
+//!     .expect("non-empty trace"),
 //! );
 //! let cfg = NpuConfig::table5();
-//! let opts = RunOptions::new(20);
-//! let pmt = run_design(Design::Pmt, &[sa_heavy.clone(), vu_heavy.clone()], &cfg, &opts);
-//! let v10 = run_design(Design::V10Full, &[sa_heavy, vu_heavy], &cfg, &opts);
+//! let opts = RunOptions::new(20).expect("positive request count");
+//! let pmt = run_design(Design::Pmt, &[sa_heavy.clone(), vu_heavy.clone()], &cfg, &opts)
+//!     .expect("valid run");
+//! let v10 = run_design(Design::V10Full, &[sa_heavy, vu_heavy], &cfg, &opts)
+//!     .expect("valid run");
 //! // Simultaneous operator execution finishes the same work sooner.
 //! assert!(v10.elapsed_cycles() < pmt.elapsed_cycles());
 //! ```
@@ -62,7 +75,9 @@
 pub mod context;
 pub mod design;
 pub mod engine;
+mod engine_core;
 pub mod metrics;
+pub mod observer;
 pub mod overhead;
 pub mod packed;
 pub mod pmt;
@@ -72,7 +87,9 @@ pub use context::{ContextTable, WorkloadId};
 pub use design::{run_design, Design};
 pub use engine::{RunOptions, V10Engine, WorkloadSpec};
 pub use metrics::{OverlapBreakdown, RunReport, WorkloadReport};
+pub use observer::{CounterObserver, JsonLinesObserver, NullObserver, SimEvent, SimObserver};
 pub use overhead::{estimate_overhead, SchedulerOverhead, TABLE3_PUBLISHED};
 pub use packed::{pack_row, parse_table_image, snapshot_table, unpack_row, PackedRowFields};
-pub use pmt::{run_pmt, run_single_tenant};
+pub use pmt::{run_pmt, run_pmt_observed, run_single_tenant};
 pub use policy::{Policy, Scheduler};
+pub use v10_sim::{V10Error, V10Result};

@@ -338,7 +338,10 @@ impl RunReport {
     /// non-positive.
     #[must_use]
     pub fn normalized_progress(&self, index: usize, single_tenant_avg_latency: f64) -> f64 {
-        assert!(single_tenant_avg_latency > 0.0, "reference latency must be positive");
+        assert!(
+            single_tenant_avg_latency > 0.0,
+            "reference latency must be positive"
+        );
         let multi = self.workloads[index].avg_latency_cycles();
         if multi <= 0.0 {
             0.0
@@ -353,7 +356,17 @@ mod tests {
     use super::*;
 
     fn wl(label: &str, latencies: Vec<f64>) -> WorkloadReport {
-        WorkloadReport::new(label.into(), 1.0, latencies.len(), latencies, 10.0, 5.0, 0.0, 3, 100.0)
+        WorkloadReport::new(
+            label.into(),
+            1.0,
+            latencies.len(),
+            latencies,
+            10.0,
+            5.0,
+            0.0,
+            3,
+            100.0,
+        )
     }
 
     fn report(workloads: Vec<WorkloadReport>) -> RunReport {
@@ -362,7 +375,12 @@ mod tests {
             600.0,
             300.0,
             50.0,
-            OverlapBreakdown { both: 250.0, sa_only: 350.0, vu_only: 50.0, idle: 350.0 },
+            OverlapBreakdown {
+                both: 250.0,
+                sa_only: 350.0,
+                vu_only: 50.0,
+                idle: 350.0,
+            },
             100_000.0,
             471.0,
             1,

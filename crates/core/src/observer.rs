@@ -1,0 +1,428 @@
+//! Zero-cost-when-disabled engine instrumentation.
+//!
+//! The unified engine core emits a typed event stream — operator issues and
+//! completions, preemptions, context-switch windows, DMA readiness, timer
+//! ticks — through the [`SimObserver`] trait. The engine is generic over the
+//! observer, so the default [`NullObserver`] monomorphizes every emission
+//! into nothing: an unobserved run compiles to exactly the code it had
+//! before instrumentation existed. [`CounterObserver`] tallies event counts
+//! for cheap always-on telemetry; [`JsonLinesObserver`] streams each event
+//! as one JSON object per line for offline timeline analysis.
+
+use std::io::Write;
+
+use v10_isa::FuKind;
+
+/// One engine event, stamped with the simulated cycle at which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SimEvent {
+    /// A workload's operator was issued to a functional unit.
+    OpIssued {
+        /// Index of the workload in the run's spec slice.
+        workload: usize,
+        /// Pool index of the functional unit.
+        fu: usize,
+        /// The FU kind the operator targets.
+        kind: FuKind,
+        /// The operator's id (monotonic per workload).
+        op_id: u64,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A workload's operator ran to completion.
+    OpCompleted {
+        /// Index of the workload.
+        workload: usize,
+        /// The completed operator's id.
+        op_id: u64,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A workload finished one full inference request.
+    RequestCompleted {
+        /// Index of the workload.
+        workload: usize,
+        /// The request's end-to-end latency in cycles.
+        latency_cycles: f64,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A running operator was preempted off its functional unit.
+    OpPreempted {
+        /// Index of the preempted workload.
+        workload: usize,
+        /// Pool index of the functional unit it was evicted from.
+        fu: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A context-switch window opened on a functional unit.
+    CtxSwitchStarted {
+        /// Pool index of the switching functional unit.
+        fu: usize,
+        /// The switch cost in cycles.
+        cost_cycles: f64,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A context-switch window closed; the unit is schedulable again.
+    CtxSwitchEnded {
+        /// Pool index of the functional unit.
+        fu: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A workload's instruction DMA completed: its next operator is Ready.
+    DmaReady {
+        /// Index of the workload.
+        workload: usize,
+        /// The operator that became ready.
+        op_id: u64,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// The preemption timer fired (§3.3's time-slice check).
+    TimerTick {
+        /// Simulated cycle.
+        at: f64,
+    },
+}
+
+impl SimEvent {
+    /// A short stable name for the event variant (used as the JSON `event`
+    /// field and the counter key).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimEvent::OpIssued { .. } => "op_issued",
+            SimEvent::OpCompleted { .. } => "op_completed",
+            SimEvent::RequestCompleted { .. } => "request_completed",
+            SimEvent::OpPreempted { .. } => "op_preempted",
+            SimEvent::CtxSwitchStarted { .. } => "ctx_switch_started",
+            SimEvent::CtxSwitchEnded { .. } => "ctx_switch_ended",
+            SimEvent::DmaReady { .. } => "dma_ready",
+            SimEvent::TimerTick { .. } => "timer_tick",
+        }
+    }
+
+    /// The simulated cycle the event is stamped with.
+    #[must_use]
+    pub fn at(&self) -> f64 {
+        match *self {
+            SimEvent::OpIssued { at, .. }
+            | SimEvent::OpCompleted { at, .. }
+            | SimEvent::RequestCompleted { at, .. }
+            | SimEvent::OpPreempted { at, .. }
+            | SimEvent::CtxSwitchStarted { at, .. }
+            | SimEvent::CtxSwitchEnded { at, .. }
+            | SimEvent::DmaReady { at, .. }
+            | SimEvent::TimerTick { at } => at,
+        }
+    }
+}
+
+/// Receives the engine's event stream.
+///
+/// Implementations must be cheap: the engine calls [`SimObserver::on_event`]
+/// inline from its hot loop. The engine is generic over the observer type,
+/// so a no-op implementation ([`NullObserver`]) costs nothing after
+/// monomorphization.
+pub trait SimObserver {
+    /// Called for every engine event, in simulated-time order.
+    ///
+    /// Events are small `Copy` values and are passed by value so emission
+    /// sites never have to materialize them in memory.
+    fn on_event(&mut self, event: SimEvent);
+}
+
+/// The disabled observer: every event vanishes at compile time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {
+    #[inline(always)]
+    fn on_event(&mut self, _event: SimEvent) {}
+}
+
+/// Tallies how many times each event fired.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CounterObserver {
+    op_issued: u64,
+    op_completed: u64,
+    request_completed: u64,
+    op_preempted: u64,
+    ctx_switch_started: u64,
+    ctx_switch_ended: u64,
+    dma_ready: u64,
+    timer_tick: u64,
+}
+
+impl CounterObserver {
+    /// Creates a zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        CounterObserver::default()
+    }
+
+    /// Operators issued to functional units.
+    #[must_use]
+    pub fn op_issued(&self) -> u64 {
+        self.op_issued
+    }
+
+    /// Operators run to completion.
+    #[must_use]
+    pub fn op_completed(&self) -> u64 {
+        self.op_completed
+    }
+
+    /// Full inference requests completed.
+    #[must_use]
+    pub fn request_completed(&self) -> u64 {
+        self.request_completed
+    }
+
+    /// Operators preempted off their functional unit.
+    #[must_use]
+    pub fn op_preempted(&self) -> u64 {
+        self.op_preempted
+    }
+
+    /// Context-switch windows opened.
+    #[must_use]
+    pub fn ctx_switch_started(&self) -> u64 {
+        self.ctx_switch_started
+    }
+
+    /// Context-switch windows closed.
+    #[must_use]
+    pub fn ctx_switch_ended(&self) -> u64 {
+        self.ctx_switch_ended
+    }
+
+    /// Instruction DMAs completed.
+    #[must_use]
+    pub fn dma_ready(&self) -> u64 {
+        self.dma_ready
+    }
+
+    /// Preemption-timer firings.
+    #[must_use]
+    pub fn timer_tick(&self) -> u64 {
+        self.timer_tick
+    }
+
+    /// Sum over all event kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.op_issued
+            + self.op_completed
+            + self.request_completed
+            + self.op_preempted
+            + self.ctx_switch_started
+            + self.ctx_switch_ended
+            + self.dma_ready
+            + self.timer_tick
+    }
+}
+
+impl SimObserver for CounterObserver {
+    #[inline(always)]
+    fn on_event(&mut self, event: SimEvent) {
+        let slot = match event {
+            SimEvent::OpIssued { .. } => &mut self.op_issued,
+            SimEvent::OpCompleted { .. } => &mut self.op_completed,
+            SimEvent::RequestCompleted { .. } => &mut self.request_completed,
+            SimEvent::OpPreempted { .. } => &mut self.op_preempted,
+            SimEvent::CtxSwitchStarted { .. } => &mut self.ctx_switch_started,
+            SimEvent::CtxSwitchEnded { .. } => &mut self.ctx_switch_ended,
+            SimEvent::DmaReady { .. } => &mut self.dma_ready,
+            SimEvent::TimerTick { .. } => &mut self.timer_tick,
+        };
+        *slot += 1;
+    }
+}
+
+/// Streams each event as one JSON object per line (JSON-lines / `ndjson`).
+///
+/// The encoding is hand-rolled — the workspace carries no serde — but every
+/// field is a number or a fixed identifier, so escaping is a non-issue.
+/// Write failures are counted, not propagated: instrumentation must never
+/// alter simulation behavior.
+///
+/// # Example
+///
+/// ```
+/// use v10_core::{JsonLinesObserver, SimEvent, SimObserver};
+///
+/// let mut buf = Vec::new();
+/// let mut obs = JsonLinesObserver::new(&mut buf);
+/// obs.on_event(SimEvent::TimerTick { at: 32768.0 });
+/// assert_eq!(
+///     String::from_utf8(buf).unwrap(),
+///     "{\"event\":\"timer_tick\",\"at\":32768}\n"
+/// );
+/// ```
+#[derive(Debug)]
+pub struct JsonLinesObserver<W: Write> {
+    sink: W,
+    write_errors: u64,
+}
+
+impl<W: Write> JsonLinesObserver<W> {
+    /// Wraps a byte sink (a file, a `Vec<u8>`, a locked stdout, ...).
+    pub fn new(sink: W) -> Self {
+        JsonLinesObserver {
+            sink,
+            write_errors: 0,
+        }
+    }
+
+    /// Number of events dropped because the sink reported a write error.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Unwraps the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// Formats an `f64` cycle stamp compactly: integral values lose the `.0`
+/// suffix so the common case stays short.
+fn fmt_cycles(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl<W: Write> SimObserver for JsonLinesObserver<W> {
+    fn on_event(&mut self, event: SimEvent) {
+        let name = event.name();
+        let at = fmt_cycles(event.at());
+        let line = match event {
+            SimEvent::OpIssued { workload, fu, kind, op_id, .. } => format!(
+                "{{\"event\":\"{name}\",\"workload\":{workload},\"fu\":{fu},\"kind\":\"{}\",\"op_id\":{op_id},\"at\":{at}}}",
+                match kind {
+                    FuKind::Sa => "SA",
+                    FuKind::Vu => "VU",
+                }
+            ),
+            SimEvent::OpCompleted { workload, op_id, .. }
+            | SimEvent::DmaReady { workload, op_id, .. } => format!(
+                "{{\"event\":\"{name}\",\"workload\":{workload},\"op_id\":{op_id},\"at\":{at}}}"
+            ),
+            SimEvent::RequestCompleted { workload, latency_cycles, .. } => format!(
+                "{{\"event\":\"{name}\",\"workload\":{workload},\"latency_cycles\":{},\"at\":{at}}}",
+                fmt_cycles(latency_cycles)
+            ),
+            SimEvent::OpPreempted { workload, fu, .. } => format!(
+                "{{\"event\":\"{name}\",\"workload\":{workload},\"fu\":{fu},\"at\":{at}}}"
+            ),
+            SimEvent::CtxSwitchStarted { fu, cost_cycles, .. } => format!(
+                "{{\"event\":\"{name}\",\"fu\":{fu},\"cost_cycles\":{},\"at\":{at}}}",
+                fmt_cycles(cost_cycles)
+            ),
+            SimEvent::CtxSwitchEnded { fu, .. } => {
+                format!("{{\"event\":\"{name}\",\"fu\":{fu},\"at\":{at}}}")
+            }
+            SimEvent::TimerTick { .. } => format!("{{\"event\":\"{name}\",\"at\":{at}}}"),
+        };
+        if writeln!(self.sink, "{line}").is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_tallies_each_kind() {
+        let mut c = CounterObserver::new();
+        c.on_event(SimEvent::TimerTick { at: 1.0 });
+        c.on_event(SimEvent::TimerTick { at: 2.0 });
+        c.on_event(SimEvent::OpIssued {
+            workload: 0,
+            fu: 0,
+            kind: FuKind::Sa,
+            op_id: 0,
+            at: 0.0,
+        });
+        assert_eq!(c.timer_tick(), 2);
+        assert_eq!(c.op_issued(), 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn null_observer_is_a_no_op() {
+        let mut n = NullObserver;
+        n.on_event(SimEvent::TimerTick { at: 0.0 });
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_line() {
+        let mut buf = Vec::new();
+        {
+            let mut obs = JsonLinesObserver::new(&mut buf);
+            obs.on_event(SimEvent::OpIssued {
+                workload: 1,
+                fu: 0,
+                kind: FuKind::Vu,
+                op_id: 7,
+                at: 1_234.5,
+            });
+            obs.on_event(SimEvent::RequestCompleted {
+                workload: 1,
+                latency_cycles: 99.0,
+                at: 2_000.0,
+            });
+            assert_eq!(obs.write_errors(), 0);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"op_issued\",\"workload\":1,\"fu\":0,\"kind\":\"VU\",\"op_id\":7,\"at\":1234.5}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"request_completed\",\"workload\":1,\"latency_cycles\":99,\"at\":2000}"
+        );
+    }
+
+    #[test]
+    fn json_write_errors_are_counted_not_propagated() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut obs = JsonLinesObserver::new(Broken);
+        obs.on_event(SimEvent::TimerTick { at: 0.0 });
+        obs.on_event(SimEvent::TimerTick { at: 1.0 });
+        assert_eq!(obs.write_errors(), 2);
+    }
+
+    #[test]
+    fn event_names_and_stamps() {
+        let e = SimEvent::CtxSwitchStarted {
+            fu: 2,
+            cost_cycles: 384.0,
+            at: 10.0,
+        };
+        assert_eq!(e.name(), "ctx_switch_started");
+        assert_eq!(e.at(), 10.0);
+    }
+}

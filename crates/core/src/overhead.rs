@@ -104,8 +104,15 @@ pub const TABLE3_PUBLISHED: [SchedulerOverhead; 4] = [
 ///
 /// Panics if any count is zero.
 #[must_use]
-pub fn estimate_overhead(num_sas: usize, num_vus: usize, num_workloads: usize) -> SchedulerOverhead {
-    assert!(num_sas > 0 && num_vus > 0, "need at least one FU of each kind");
+pub fn estimate_overhead(
+    num_sas: usize,
+    num_vus: usize,
+    num_workloads: usize,
+) -> SchedulerOverhead {
+    assert!(
+        num_sas > 0 && num_vus > 0,
+        "need at least one FU of each kind"
+    );
     assert!(num_workloads > 0, "need at least one workload");
     if let Some(published) = TABLE3_PUBLISHED
         .iter()
@@ -115,7 +122,7 @@ pub fn estimate_overhead(num_sas: usize, num_vus: usize, num_workloads: usize) -
     }
 
     let num_fus = num_sas + num_vus;
-    let table = ContextTable::new(&vec![1.0; num_workloads]);
+    let table = ContextTable::new(&vec![1.0; num_workloads]).expect("positive priorities");
     let context_table_bytes = table.storage_bytes(num_fus);
 
     // Latency fit: a per-workload scan plus a quadratic FU term (the issue
@@ -157,7 +164,7 @@ mod tests {
     #[test]
     fn published_table_bytes_match_fig11_arithmetic() {
         for row in TABLE3_PUBLISHED {
-            let table = ContextTable::new(&vec![1.0; row.num_workloads]);
+            let table = ContextTable::new(&vec![1.0; row.num_workloads]).unwrap();
             let bytes = table.storage_bytes(row.num_sas + row.num_vus);
             assert!(
                 (bytes as i64 - row.context_table_bytes as i64).abs() <= 1,

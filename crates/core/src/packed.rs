@@ -135,7 +135,10 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { bytes: Vec::new(), bit: 0 }
+        BitWriter {
+            bytes: Vec::new(),
+            bit: 0,
+        }
     }
 
     fn push(&mut self, value: u64, width: u32) {
@@ -227,8 +230,8 @@ mod tests {
 
     #[test]
     fn snapshot_parses_back() {
-        let mut table = ContextTable::new(&[2.0, 1.0]);
-        let pool = FuPool::new(1);
+        let mut table = ContextTable::new(&[2.0, 1.0]).unwrap();
+        let pool = FuPool::new(1).unwrap();
         let w0 = WorkloadId::new(0);
         table.set_current_op(w0, 7, FuKind::Sa);
         table.set_ready(w0, true);

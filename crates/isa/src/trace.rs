@@ -7,7 +7,7 @@
 //! sequence; the multi-tenant executors replay it repeatedly to measure
 //! steady-state behaviour (§5.1).
 
-use v10_sim::Frequency;
+use v10_sim::{Frequency, V10Error, V10Result};
 
 use crate::op::{FuKind, OpDesc};
 
@@ -22,7 +22,7 @@ use crate::op::{FuKind, OpDesc};
 ///     OpDesc::builder(FuKind::Sa).compute_cycles(700).build(),
 ///     OpDesc::builder(FuKind::Vu).compute_cycles(70).build(),
 /// ];
-/// let trace = RequestTrace::new(ops);
+/// let trace = RequestTrace::new(ops).expect("non-empty trace");
 /// assert_eq!(trace.total_compute_cycles(), 770);
 /// assert_eq!(trace.busy_cycles(FuKind::Sa), 700);
 /// ```
@@ -34,14 +34,19 @@ pub struct RequestTrace {
 impl RequestTrace {
     /// Wraps an operator sequence.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ops` is empty — a request with no operators cannot make
-    /// progress and would deadlock the executors.
-    #[must_use]
-    pub fn new(ops: Vec<OpDesc>) -> Self {
-        assert!(!ops.is_empty(), "a request trace must contain at least one operator");
-        RequestTrace { ops }
+    /// Returns [`V10Error::InvalidArgument`] if `ops` is empty — a request
+    /// with no operators cannot make progress and would deadlock the
+    /// executors.
+    pub fn new(ops: Vec<OpDesc>) -> V10Result<Self> {
+        if ops.is_empty() {
+            return Err(V10Error::invalid(
+                "RequestTrace::new",
+                "a request trace must contain at least one operator",
+            ));
+        }
+        Ok(RequestTrace { ops })
     }
 
     /// The operators, in program order.
@@ -119,8 +124,16 @@ impl RequestTrace {
         };
         let sa = lens_us(FuKind::Sa);
         let vu = lens_us(FuKind::Vu);
-        let (sa_min, sa_max) = if sa.is_empty() { (0.0, 0.0) } else { minmax(&sa) };
-        let (vu_min, vu_max) = if vu.is_empty() { (0.0, 0.0) } else { minmax(&vu) };
+        let (sa_min, sa_max) = if sa.is_empty() {
+            (0.0, 0.0)
+        } else {
+            minmax(&sa)
+        };
+        let (vu_min, vu_max) = if vu.is_empty() {
+            (0.0, 0.0)
+        } else {
+            minmax(&vu)
+        };
         TraceSummary {
             sa_op_count: self.count(FuKind::Sa),
             vu_op_count: self.count(FuKind::Vu),
@@ -175,7 +188,7 @@ mod tests {
 
     #[test]
     fn counts_and_busy_cycles() {
-        let t = RequestTrace::new(vec![sa(100), vu(10), sa(200), vu(30)]);
+        let t = RequestTrace::new(vec![sa(100), vu(10), sa(200), vu(30)]).unwrap();
         assert_eq!(t.count(FuKind::Sa), 2);
         assert_eq!(t.count(FuKind::Vu), 2);
         assert_eq!(t.busy_cycles(FuKind::Sa), 300);
@@ -195,7 +208,7 @@ mod tests {
             .hbm_bytes(50)
             .flops(200)
             .build();
-        let t = RequestTrace::new(vec![a, b]);
+        let t = RequestTrace::new(vec![a, b]).unwrap();
         assert_eq!(t.total_hbm_bytes(), 150);
         assert_eq!(t.total_flops(), 1_200);
     }
@@ -204,7 +217,7 @@ mod tests {
     fn peak_vmem_is_max_not_sum() {
         let a = OpDesc::builder(FuKind::Sa).vmem_bytes(100).build();
         let b = OpDesc::builder(FuKind::Vu).vmem_bytes(300).build();
-        let t = RequestTrace::new(vec![a, b]);
+        let t = RequestTrace::new(vec![a, b]).unwrap();
         assert_eq!(t.peak_vmem_bytes(), 300);
     }
 
@@ -212,7 +225,7 @@ mod tests {
     fn summary_means_in_micros() {
         let clk = Frequency::mhz(700);
         // 700 cycles = 1 us at 700 MHz.
-        let t = RequestTrace::new(vec![sa(700), sa(2_100), vu(1_400)]);
+        let t = RequestTrace::new(vec![sa(700), sa(2_100), vu(1_400)]).unwrap();
         let s = t.summarize(clk);
         assert_eq!(s.sa_op_count, 2);
         assert_eq!(s.vu_op_count, 1);
@@ -225,7 +238,7 @@ mod tests {
     #[test]
     fn summary_of_one_sided_trace_has_zero_other_side() {
         let clk = Frequency::mhz(700);
-        let t = RequestTrace::new(vec![sa(700)]);
+        let t = RequestTrace::new(vec![sa(700)]).unwrap();
         let s = t.summarize(clk);
         assert_eq!(s.vu_op_count, 0);
         assert_eq!(s.avg_vu_op_micros, 0.0);
@@ -234,8 +247,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one operator")]
     fn empty_trace_rejected() {
-        let _ = RequestTrace::new(vec![]);
+        let err = RequestTrace::new(vec![]).unwrap_err();
+        assert!(err.to_string().contains("at least one operator"), "{err}");
     }
 }

@@ -12,9 +12,12 @@
 //! ```
 //!
 //! The header line is required; `kind` is `SA` or `VU` (case-insensitive).
+//! All failures — I/O, malformed lines, an operator-free file — surface as
+//! the workspace-wide [`V10Error`].
 
-use std::fmt;
 use std::io::{BufRead, Write};
+
+use v10_sim::{V10Error, V10Result};
 
 use crate::op::{FuKind, OpDesc};
 use crate::trace::RequestTrace;
@@ -23,64 +26,12 @@ use crate::trace::RequestTrace;
 pub const CSV_HEADER: &str =
     "kind,compute_cycles,hbm_bytes,vmem_bytes,flops,instr_count,dispatch_gap_cycles";
 
-/// Error type for trace parsing.
-#[derive(Debug)]
-pub enum TraceIoError {
-    /// An underlying I/O failure.
-    Io(std::io::Error),
-    /// The first line is not the expected header.
-    BadHeader {
-        /// What was actually read.
-        found: String,
-    },
-    /// A data line is malformed.
-    BadLine {
-        /// 1-based line number in the input.
-        line: usize,
-        /// Explanation of the problem.
-        reason: String,
-    },
-    /// The file contained a header but no operators.
-    Empty,
-}
-
-impl fmt::Display for TraceIoError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TraceIoError::Io(e) => write!(f, "I/O error reading trace: {e}"),
-            TraceIoError::BadHeader { found } => {
-                write!(f, "expected header `{CSV_HEADER}`, found `{found}`")
-            }
-            TraceIoError::BadLine { line, reason } => {
-                write!(f, "malformed operator on line {line}: {reason}")
-            }
-            TraceIoError::Empty => write!(f, "trace contains no operators"),
-        }
-    }
-}
-
-impl std::error::Error for TraceIoError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            TraceIoError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-#[doc(hidden)]
-impl From<std::io::Error> for TraceIoError {
-    fn from(e: std::io::Error) -> Self {
-        TraceIoError::Io(e)
-    }
-}
-
 /// Writes `trace` as CSV. A `&mut` writer may be passed (C-RW-VALUE).
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
-pub fn write_trace_csv<W: Write>(mut w: W, trace: &RequestTrace) -> Result<(), TraceIoError> {
+/// Propagates I/O errors from the writer as [`V10Error::Io`].
+pub fn write_trace_csv<W: Write>(mut w: W, trace: &RequestTrace) -> V10Result<()> {
     writeln!(w, "{CSV_HEADER}")?;
     for op in trace.ops() {
         let kind = match op.kind() {
@@ -105,16 +56,21 @@ pub fn write_trace_csv<W: Write>(mut w: W, trace: &RequestTrace) -> Result<(), T
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError`] on I/O failure, a missing/incorrect header, a
-/// malformed line, or an operator-free file. Blank lines are skipped.
-pub fn read_trace_csv<R: BufRead>(r: R) -> Result<RequestTrace, TraceIoError> {
+/// Returns [`V10Error::Io`] on I/O failure, [`V10Error::Parse`] on a
+/// missing/incorrect header or a malformed line, and
+/// [`V10Error::InvalidArgument`] for an operator-free file. Blank lines are
+/// skipped.
+pub fn read_trace_csv<R: BufRead>(r: R) -> V10Result<RequestTrace> {
     let mut lines = r.lines();
     let header = lines
         .next()
         .transpose()?
-        .ok_or(TraceIoError::BadHeader { found: String::new() })?;
+        .ok_or_else(|| V10Error::parse(1, format!("expected header `{CSV_HEADER}`, found ``")))?;
     if header.trim() != CSV_HEADER {
-        return Err(TraceIoError::BadHeader { found: header.trim().to_string() });
+        return Err(V10Error::parse(
+            1,
+            format!("expected header `{CSV_HEADER}`, found `{}`", header.trim()),
+        ));
     }
 
     let mut ops = Vec::new();
@@ -127,39 +83,36 @@ pub fn read_trace_csv<R: BufRead>(r: R) -> Result<RequestTrace, TraceIoError> {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 7 {
-            return Err(TraceIoError::BadLine {
-                line: line_no,
-                reason: format!("expected 7 fields, found {}", fields.len()),
-            });
+            return Err(V10Error::parse(
+                line_no,
+                format!("expected 7 fields, found {}", fields.len()),
+            ));
         }
         let kind = match fields[0].to_ascii_uppercase().as_str() {
             "SA" => FuKind::Sa,
             "VU" => FuKind::Vu,
             other => {
-                return Err(TraceIoError::BadLine {
-                    line: line_no,
-                    reason: format!("unknown FU kind `{other}` (expected SA or VU)"),
-                })
+                return Err(V10Error::parse(
+                    line_no,
+                    format!("unknown FU kind `{other}` (expected SA or VU)"),
+                ))
             }
         };
-        let num = |idx: usize, name: &str| -> Result<u64, TraceIoError> {
-            fields[idx].parse().map_err(|_| TraceIoError::BadLine {
-                line: line_no,
-                reason: format!("{name} `{}` is not a non-negative integer", fields[idx]),
+        let num = |idx: usize, name: &str| -> V10Result<u64> {
+            fields[idx].parse().map_err(|_| {
+                V10Error::parse(
+                    line_no,
+                    format!("{name} `{}` is not a non-negative integer", fields[idx]),
+                )
             })
         };
         let compute = num(1, "compute_cycles")?;
         if compute == 0 {
-            return Err(TraceIoError::BadLine {
-                line: line_no,
-                reason: "compute_cycles must be positive".into(),
-            });
+            return Err(V10Error::parse(line_no, "compute_cycles must be positive"));
         }
         let instr_count = num(5, "instr_count")?.max(1);
-        let instr_count = u32::try_from(instr_count).map_err(|_| TraceIoError::BadLine {
-            line: line_no,
-            reason: "instr_count exceeds u32".into(),
-        })?;
+        let instr_count = u32::try_from(instr_count)
+            .map_err(|_| V10Error::parse(line_no, "instr_count exceeds u32"))?;
         ops.push(
             OpDesc::builder(kind)
                 .compute_cycles(compute)
@@ -171,10 +124,7 @@ pub fn read_trace_csv<R: BufRead>(r: R) -> Result<RequestTrace, TraceIoError> {
                 .build(),
         );
     }
-    if ops.is_empty() {
-        return Err(TraceIoError::Empty);
-    }
-    Ok(RequestTrace::new(ops))
+    RequestTrace::new(ops)
 }
 
 #[cfg(test)]
@@ -197,6 +147,7 @@ mod tests {
                 .flops(14_680_064)
                 .build(),
         ])
+        .unwrap()
     }
 
     #[test]
@@ -219,7 +170,7 @@ mod tests {
     #[test]
     fn missing_header_rejected() {
         let err = read_trace_csv("SA,1,0,0,0,1,0\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, TraceIoError::BadHeader { .. }));
+        assert!(matches!(err, V10Error::Parse { line: 1, .. }));
         assert!(err.to_string().contains("expected header"));
     }
 
@@ -237,7 +188,7 @@ mod tests {
         let text = format!("{CSV_HEADER}\nSA,100,0\n");
         let err = read_trace_csv(text.as_bytes()).unwrap_err();
         match err {
-            TraceIoError::BadLine { line, .. } => assert_eq!(line, 2),
+            V10Error::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other}"),
         }
     }
@@ -245,7 +196,10 @@ mod tests {
     #[test]
     fn bad_kind_and_bad_number_rejected() {
         let text = format!("{CSV_HEADER}\nGPU,100,0,0,0,16,0\n");
-        assert!(read_trace_csv(text.as_bytes()).unwrap_err().to_string().contains("GPU"));
+        assert!(read_trace_csv(text.as_bytes())
+            .unwrap_err()
+            .to_string()
+            .contains("GPU"));
         let text = format!("{CSV_HEADER}\nSA,abc,0,0,0,16,0\n");
         assert!(read_trace_csv(text.as_bytes())
             .unwrap_err()
@@ -265,6 +219,23 @@ mod tests {
     #[test]
     fn empty_body_rejected() {
         let text = format!("{CSV_HEADER}\n");
-        assert!(matches!(read_trace_csv(text.as_bytes()), Err(TraceIoError::Empty)));
+        let err = read_trace_csv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, V10Error::InvalidArgument { .. }));
+        assert!(err.to_string().contains("at least one operator"));
+    }
+
+    #[test]
+    fn write_propagates_io_errors() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_trace_csv(Broken, &sample_trace()).unwrap_err();
+        assert!(matches!(err, V10Error::Io(_)));
     }
 }

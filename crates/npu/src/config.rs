@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use v10_sim::Frequency;
+use v10_sim::{Frequency, V10Error, V10Result};
 
 /// Configuration of one simulated NPU core.
 ///
@@ -18,7 +18,8 @@ use v10_sim::Frequency;
 /// let cfg = NpuConfig::builder()
 ///     .time_slice_cycles(4_096)
 ///     .vmem_bytes(8 << 20)
-///     .build();
+///     .build()
+///     .expect("valid configuration");
 /// assert_eq!(cfg.time_slice_cycles(), 4_096);
 /// assert_eq!(cfg.vmem_bytes(), 8 << 20);
 /// ```
@@ -40,7 +41,9 @@ impl NpuConfig {
     /// scheduler time slice.
     #[must_use]
     pub fn table5() -> Self {
-        NpuConfig::builder().build()
+        NpuConfig::builder()
+            .build()
+            .expect("Table 5 defaults are valid")
     }
 
     /// Starts building a configuration from the Table 5 defaults.
@@ -177,26 +180,17 @@ pub struct NpuConfigBuilder {
 }
 
 impl NpuConfigBuilder {
-    /// Sets the systolic-array side length.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dim` is zero.
+    /// Sets the systolic-array side length. Validated by [`Self::build`].
     #[must_use]
     pub fn sa_dim(mut self, dim: u32) -> Self {
-        assert!(dim > 0, "SA dimension must be positive");
         self.sa_dim = dim;
         self
     }
 
-    /// Sets the number of SA/VU pairs in the core (Fig. 25).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `count` is zero.
+    /// Sets the number of SA/VU pairs in the core (Fig. 25). Validated by
+    /// [`Self::build`].
     #[must_use]
     pub fn fu_count(mut self, count: u32) -> Self {
-        assert!(count > 0, "need at least one SA/VU pair");
         self.fu_count = count;
         self
     }
@@ -208,14 +202,10 @@ impl NpuConfigBuilder {
         self
     }
 
-    /// Sets the vector-memory capacity (Fig. 24 sweeps 8–64 MB).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bytes` is zero.
+    /// Sets the vector-memory capacity (Fig. 24 sweeps 8–64 MB). Validated
+    /// by [`Self::build`].
     #[must_use]
     pub fn vmem_bytes(mut self, bytes: u64) -> Self {
-        assert!(bytes > 0, "vector memory must be non-empty");
         self.vmem_bytes = bytes;
         self
     }
@@ -227,27 +217,18 @@ impl NpuConfigBuilder {
         self
     }
 
-    /// Sets the per-FU-pair HBM bandwidth in bytes/second.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bw` is not finite and positive.
+    /// Sets the per-FU-pair HBM bandwidth in bytes/second. Validated by
+    /// [`Self::build`].
     #[must_use]
     pub fn hbm_bandwidth_bytes_per_sec(mut self, bw: f64) -> Self {
-        assert!(bw.is_finite() && bw > 0.0, "bandwidth must be positive");
         self.hbm_bandwidth_bytes_per_sec = bw;
         self
     }
 
     /// Sets the scheduler time slice in cycles (Fig. 23 sweeps
-    /// 512–1048576).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cycles` is zero.
+    /// 512–1048576). Validated by [`Self::build`].
     #[must_use]
     pub fn time_slice_cycles(mut self, cycles: u64) -> Self {
-        assert!(cycles > 0, "time slice must be positive");
         self.time_slice_cycles = cycles;
         self
     }
@@ -259,10 +240,38 @@ impl NpuConfigBuilder {
         self
     }
 
-    /// Finalizes the configuration.
-    #[must_use]
-    pub fn build(self) -> NpuConfig {
-        NpuConfig {
+    /// Validates and finalizes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if the SA dimension, FU count,
+    /// vector-memory capacity, or time slice is zero, or if the HBM
+    /// bandwidth is not finite and positive.
+    pub fn build(self) -> V10Result<NpuConfig> {
+        let invalid = |message: String| V10Error::InvalidArgument {
+            context: "NpuConfigBuilder::build",
+            message,
+        };
+        if self.sa_dim == 0 {
+            return Err(invalid("SA dimension must be positive".into()));
+        }
+        if self.fu_count == 0 {
+            return Err(invalid("need at least one SA/VU pair".into()));
+        }
+        if self.vmem_bytes == 0 {
+            return Err(invalid("vector memory must be non-empty".into()));
+        }
+        if !(self.hbm_bandwidth_bytes_per_sec.is_finite() && self.hbm_bandwidth_bytes_per_sec > 0.0)
+        {
+            return Err(invalid(format!(
+                "bandwidth must be positive, got {}",
+                self.hbm_bandwidth_bytes_per_sec
+            )));
+        }
+        if self.time_slice_cycles == 0 {
+            return Err(invalid("time slice must be positive".into()));
+        }
+        Ok(NpuConfig {
             sa_dim: self.sa_dim,
             fu_count: self.fu_count,
             frequency: self.frequency,
@@ -271,7 +280,7 @@ impl NpuConfigBuilder {
             hbm_bandwidth_bytes_per_sec: self.hbm_bandwidth_bytes_per_sec,
             time_slice_cycles: self.time_slice_cycles,
             vu_switch_cycles: self.vu_switch_cycles,
-        }
+        })
     }
 }
 
@@ -310,7 +319,7 @@ mod tests {
     #[test]
     fn hbm_bandwidth_scales_with_fu_count() {
         for n in [1u32, 2, 4, 8] {
-            let c = NpuConfig::builder().fu_count(n).build();
+            let c = NpuConfig::builder().fu_count(n).build().unwrap();
             let expected = n as f64 * 330e9 / 700e6;
             assert!((c.hbm_bytes_per_cycle() - expected).abs() < 1e-9, "n={n}");
         }
@@ -332,7 +341,8 @@ mod tests {
             .vmem_bytes(8 << 20)
             .time_slice_cycles(512)
             .vu_switch_cycles(16)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(c.sa_dim(), 64);
         assert_eq!(c.sa_switch_cycles(), 192);
         assert_eq!(c.fu_count(), 2);
@@ -350,9 +360,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_slice_rejected() {
-        let _ = NpuConfig::builder().time_slice_cycles(0);
+    fn invalid_builder_inputs_rejected_at_build() {
+        let err = NpuConfig::builder()
+            .time_slice_cycles(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("time slice"), "{err}");
+        let err = NpuConfig::builder().sa_dim(0).build().unwrap_err();
+        assert!(err.to_string().contains("SA dimension"), "{err}");
+        let err = NpuConfig::builder().fu_count(0).build().unwrap_err();
+        assert!(err.to_string().contains("SA/VU pair"), "{err}");
+        let err = NpuConfig::builder().vmem_bytes(0).build().unwrap_err();
+        assert!(err.to_string().contains("vector memory"), "{err}");
+        for bad_bw in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = NpuConfig::builder()
+                .hbm_bandwidth_bytes_per_sec(bad_bw)
+                .build()
+                .unwrap_err();
+            assert!(err.to_string().contains("bandwidth"), "{err}");
+        }
     }
 
     #[test]

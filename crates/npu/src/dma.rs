@@ -13,6 +13,7 @@
 //! arbiter — a simplification documented in DESIGN.md.
 
 use v10_isa::OpDesc;
+use v10_sim::{V10Error, V10Result};
 
 /// Fraction of peak HBM bandwidth reserved for instruction prefetch.
 const PREFETCH_BANDWIDTH_SHARE: f64 = 0.05;
@@ -25,7 +26,7 @@ const PREFETCH_BANDWIDTH_SHARE: f64 = 0.05;
 /// use v10_isa::{FuKind, OpDesc};
 /// use v10_npu::InstructionDma;
 ///
-/// let dma = InstructionDma::new(471.4); // Table 5 HBM, bytes/cycle
+/// let dma = InstructionDma::new(471.4).expect("valid peak"); // Table 5 HBM, bytes/cycle
 /// let op = OpDesc::builder(FuKind::Sa).compute_cycles(70_000).build();
 /// // Fetch latency is tiny relative to operator lengths.
 /// assert!(dma.fetch_cycles(&op) < 1_000.0);
@@ -39,18 +40,20 @@ impl InstructionDma {
     /// Creates the model over a link of `peak_bytes_per_cycle` total HBM
     /// bandwidth.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the peak is not finite and positive.
-    #[must_use]
-    pub fn new(peak_bytes_per_cycle: f64) -> Self {
-        assert!(
-            peak_bytes_per_cycle.is_finite() && peak_bytes_per_cycle > 0.0,
-            "bandwidth must be positive"
-        );
-        InstructionDma {
-            bytes_per_cycle: peak_bytes_per_cycle * PREFETCH_BANDWIDTH_SHARE,
+    /// Returns [`V10Error::InvalidArgument`] if the peak is not finite and
+    /// positive.
+    pub fn new(peak_bytes_per_cycle: f64) -> V10Result<Self> {
+        if !(peak_bytes_per_cycle.is_finite() && peak_bytes_per_cycle > 0.0) {
+            return Err(V10Error::invalid(
+                "InstructionDma::new",
+                format!("bandwidth must be positive, got {peak_bytes_per_cycle}"),
+            ));
         }
+        Ok(InstructionDma {
+            bytes_per_cycle: peak_bytes_per_cycle * PREFETCH_BANDWIDTH_SHARE,
+        })
     }
 
     /// Cycles to DMA `op`'s instruction stream into instruction memory.
@@ -80,7 +83,7 @@ mod tests {
 
     #[test]
     fn fetch_scales_with_instruction_bytes() {
-        let dma = InstructionDma::new(100.0);
+        let dma = InstructionDma::new(100.0).unwrap();
         let small = OpDesc::builder(FuKind::Sa).instr_count(100).build();
         let large = OpDesc::builder(FuKind::Sa).instr_count(10_000).build();
         assert!(dma.fetch_cycles(&large) > dma.fetch_cycles(&small));
@@ -90,7 +93,7 @@ mod tests {
 
     #[test]
     fn ready_hides_behind_long_predecessor() {
-        let dma = InstructionDma::new(471.4);
+        let dma = InstructionDma::new(471.4).unwrap();
         let o = op(70_000);
         // Fetch starts at 0, predecessor runs until 50_000: fully hidden.
         assert_eq!(dma.ready_at(&o, 0.0, 50_000.0), 50_000.0);
@@ -98,7 +101,7 @@ mod tests {
 
     #[test]
     fn ready_surfaces_after_short_predecessor() {
-        let dma = InstructionDma::new(471.4);
+        let dma = InstructionDma::new(471.4).unwrap();
         let o = OpDesc::builder(FuKind::Sa).instr_count(1 << 20).build();
         let fetch = dma.fetch_cycles(&o);
         // Predecessor finished immediately: the fetch is exposed.
@@ -106,8 +109,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_bandwidth_rejected() {
-        let _ = InstructionDma::new(0.0);
+    fn non_positive_bandwidth_rejected() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let err = InstructionDma::new(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("bandwidth must be positive"),
+                "{err}"
+            );
+        }
     }
 }

@@ -8,6 +8,7 @@
 use std::fmt;
 
 use v10_isa::FuKind;
+use v10_sim::{V10Error, V10Result};
 
 /// Identifier of one functional unit within a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -35,7 +36,7 @@ impl fmt::Display for FuId {
 /// use v10_isa::FuKind;
 /// use v10_npu::FuPool;
 ///
-/// let pool = FuPool::new(2); // (2 SAs, 2 VUs) — a Fig. 25 point
+/// let pool = FuPool::new(2).expect("non-empty pool"); // (2 SAs, 2 VUs) — a Fig. 25 point
 /// assert_eq!(pool.len(), 4);
 /// assert_eq!(pool.of_kind(FuKind::Sa).count(), 2);
 /// let sa0 = pool.of_kind(FuKind::Sa).next().unwrap();
@@ -49,13 +50,17 @@ pub struct FuPool {
 impl FuPool {
     /// Creates a pool of `per_kind` SAs and `per_kind` VUs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `per_kind` is zero.
-    #[must_use]
-    pub fn new(per_kind: usize) -> Self {
-        assert!(per_kind > 0, "need at least one SA/VU pair");
-        FuPool { per_kind }
+    /// Returns [`V10Error::InvalidArgument`] if `per_kind` is zero.
+    pub fn new(per_kind: usize) -> V10Result<Self> {
+        if per_kind == 0 {
+            return Err(V10Error::invalid(
+                "FuPool::new",
+                "need at least one SA/VU pair",
+            ));
+        }
+        Ok(FuPool { per_kind })
     }
 
     /// Total number of functional units.
@@ -85,7 +90,11 @@ impl FuPool {
     /// Panics if `id` is not in this pool.
     #[must_use]
     pub fn kind(&self, id: FuId) -> FuKind {
-        assert!(id.0 < self.len(), "{id} out of range for pool of {}", self.len());
+        assert!(
+            id.0 < self.len(),
+            "{id} out of range for pool of {}",
+            self.len()
+        );
         if id.0 < self.per_kind {
             FuKind::Sa
         } else {
@@ -114,7 +123,7 @@ mod tests {
 
     #[test]
     fn pool_layout_sas_then_vus() {
-        let p = FuPool::new(3);
+        let p = FuPool::new(3).unwrap();
         assert_eq!(p.len(), 6);
         assert!(!p.is_empty());
         let sas: Vec<FuId> = p.of_kind(FuKind::Sa).collect();
@@ -131,7 +140,7 @@ mod tests {
 
     #[test]
     fn iter_covers_all_units_once() {
-        let p = FuPool::new(2);
+        let p = FuPool::new(2).unwrap();
         let ids: Vec<usize> = p.iter().map(FuId::index).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
         assert_eq!(p.count(FuKind::Sa), 2);
@@ -146,14 +155,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn kind_of_foreign_id_panics() {
-        let p = FuPool::new(1);
-        let big = FuPool::new(4).of_kind(FuKind::Vu).last().unwrap();
+        let p = FuPool::new(1).unwrap();
+        let big = FuPool::new(4).unwrap().of_kind(FuKind::Vu).last().unwrap();
         let _ = p.kind(big);
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
     fn empty_pool_rejected() {
-        let _ = FuPool::new(0);
+        let err = FuPool::new(0).unwrap_err();
+        assert!(err.to_string().contains("at least one"), "{err}");
     }
 }

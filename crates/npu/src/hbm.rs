@@ -8,7 +8,7 @@
 //! `DLRM+RsNt` priority anomaly in §5.6) — and the moved-bytes counter feeds
 //! the bandwidth-utilization results (Figs. 7, 16c, 24).
 
-use v10_sim::{Demand, WaterFilling};
+use v10_sim::{Demand, V10Error, V10Result, WaterFilling};
 
 /// Bandwidth arbiter + bytes-moved accounting for one core's HBM interface.
 ///
@@ -17,7 +17,7 @@ use v10_sim::{Demand, WaterFilling};
 /// ```
 /// use v10_npu::HbmArbiter;
 ///
-/// let mut hbm = HbmArbiter::new(100.0); // bytes/cycle
+/// let mut hbm = HbmArbiter::new(100.0).expect("valid peak"); // bytes/cycle
 /// // Two operators demand 80 B/cycle each: each is granted 50, i.e. runs
 /// // at 62.5% speed if fully memory-bound.
 /// let rates = hbm.progress_rates(&[(0, 80.0), (1, 80.0)]);
@@ -34,15 +34,23 @@ pub struct HbmArbiter {
 impl HbmArbiter {
     /// Creates an arbiter over `peak_bytes_per_cycle` of bandwidth.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the peak is not finite and non-negative.
-    #[must_use]
-    pub fn new(peak_bytes_per_cycle: f64) -> Self {
-        HbmArbiter {
+    /// Returns [`V10Error::InvalidArgument`] if the peak is not finite and
+    /// non-negative.
+    pub fn new(peak_bytes_per_cycle: f64) -> V10Result<Self> {
+        if !(peak_bytes_per_cycle.is_finite() && peak_bytes_per_cycle >= 0.0) {
+            return Err(V10Error::invalid(
+                "HbmArbiter::new",
+                format!(
+                    "peak bandwidth must be finite and non-negative, got {peak_bytes_per_cycle}"
+                ),
+            ));
+        }
+        Ok(HbmArbiter {
             allocator: WaterFilling::new(peak_bytes_per_cycle),
             bytes_moved: 0.0,
-        }
+        })
     }
 
     /// Peak bandwidth in bytes/cycle.
@@ -96,14 +104,14 @@ mod tests {
 
     #[test]
     fn uncontended_flows_run_full_speed() {
-        let hbm = HbmArbiter::new(471.4);
+        let hbm = HbmArbiter::new(471.4).unwrap();
         let rates = hbm.progress_rates(&[(0, 100.0), (1, 200.0)]);
         assert_eq!(rates, vec![(0, 1.0), (1, 1.0)]);
     }
 
     #[test]
     fn oversubscription_slows_proportionally() {
-        let hbm = HbmArbiter::new(100.0);
+        let hbm = HbmArbiter::new(100.0).unwrap();
         let rates = hbm.progress_rates(&[(0, 150.0), (1, 50.0)]);
         // Flow 1 (small) fully satisfied; flow 0 gets the remaining 50.
         assert!((rates[0].1 - 50.0 / 150.0).abs() < 1e-9);
@@ -112,14 +120,14 @@ mod tests {
 
     #[test]
     fn zero_demand_is_full_rate_even_with_zero_capacity() {
-        let hbm = HbmArbiter::new(0.0);
+        let hbm = HbmArbiter::new(0.0).unwrap();
         let rates = hbm.progress_rates(&[(7, 0.0)]);
         assert_eq!(rates, vec![(7, 1.0)]);
     }
 
     #[test]
     fn accounting_accumulates_and_resets() {
-        let mut hbm = HbmArbiter::new(100.0);
+        let mut hbm = HbmArbiter::new(100.0).unwrap();
         hbm.record_bytes(300.0);
         hbm.record_bytes(200.0);
         assert_eq!(hbm.bytes_moved(), 500.0);
@@ -129,8 +137,16 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_peak_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = HbmArbiter::new(bad).unwrap_err();
+            assert!(err.to_string().contains("peak bandwidth"), "{err}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn zero_window_utilization_rejected() {
-        let _ = HbmArbiter::new(10.0).utilization(0.0);
+        let _ = HbmArbiter::new(10.0).unwrap().utilization(0.0);
     }
 }

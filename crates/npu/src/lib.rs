@@ -26,7 +26,7 @@
 //! assert_eq!(cfg.time_slice_cycles(), 32_768);
 //! // Fig. 25 scales FUs; HBM bandwidth scales with them "as a common
 //! // practice" (§5.9).
-//! let big = NpuConfig::builder().fu_count(4).build();
+//! let big = NpuConfig::builder().fu_count(4).build().expect("valid configuration");
 //! assert!((big.hbm_bytes_per_cycle() - 4.0 * cfg.hbm_bytes_per_cycle()).abs() < 1e-9);
 //! ```
 
@@ -44,3 +44,4 @@ pub use dma::InstructionDma;
 pub use fu::{FuId, FuPool};
 pub use hbm::HbmArbiter;
 pub use layout::{HbmLayout, HbmLayoutError, RegionId};
+pub use v10_sim::{V10Error, V10Result};

@@ -240,63 +240,83 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod seeded_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    fn demand_vec() -> impl Strategy<Value = Vec<Demand>> {
-        proptest::collection::vec(0.0f64..500.0, 0..20)
-            .prop_map(|rates| rates.into_iter().enumerate().map(|(i, r)| Demand::new(i, r)).collect())
+    fn random_demands(rng: &mut SimRng) -> Vec<Demand> {
+        let n = rng.index(21);
+        (0..n)
+            .map(|i| Demand::new(i, rng.uniform(0.0, 500.0)))
+            .collect()
     }
 
-    proptest! {
-        /// Grants never exceed demand and the total never exceeds capacity.
-        #[test]
-        fn feasibility(cap in 0.0f64..1000.0, demands in demand_vec()) {
+    /// Grants never exceed demand and the total never exceeds capacity.
+    #[test]
+    fn feasibility() {
+        let mut rng = SimRng::seed_from(0xFEA5);
+        for _ in 0..200 {
+            let cap = rng.uniform(0.0, 1000.0);
+            let demands = random_demands(&mut rng);
             let w = WaterFilling::new(cap);
             let alloc = w.allocate(&demands);
             let mut sum = 0.0;
             for ((id, g), d) in alloc.iter().zip(&demands) {
-                prop_assert_eq!(*id, d.id);
-                prop_assert!(*g <= d.rate + 1e-9);
-                prop_assert!(*g >= -1e-12);
+                assert_eq!(*id, d.id);
+                assert!(*g <= d.rate + 1e-9);
+                assert!(*g >= -1e-12);
                 sum += g;
             }
-            prop_assert!(sum <= cap + 1e-6);
+            assert!(sum <= cap + 1e-6);
         }
+    }
 
-        /// When total demand fits, everyone is fully satisfied; otherwise the
-        /// capacity is fully used.
-        #[test]
-        fn work_conserving(cap in 1.0f64..1000.0, demands in demand_vec()) {
+    /// When total demand fits, everyone is fully satisfied; otherwise the
+    /// capacity is fully used.
+    #[test]
+    fn work_conserving() {
+        let mut rng = SimRng::seed_from(0x3057);
+        for _ in 0..200 {
+            let cap = rng.uniform(1.0, 1000.0);
+            let demands = random_demands(&mut rng);
             let w = WaterFilling::new(cap);
             let alloc = w.allocate(&demands);
             let demand_sum: f64 = demands.iter().map(|d| d.rate).sum();
             let grant_sum: f64 = alloc.iter().map(|&(_, g)| g).sum();
             if demand_sum <= cap {
-                prop_assert!((grant_sum - demand_sum).abs() < 1e-6);
+                assert!((grant_sum - demand_sum).abs() < 1e-6);
             } else {
-                prop_assert!((grant_sum - cap).abs() < 1e-6);
+                assert!((grant_sum - cap).abs() < 1e-6);
             }
         }
+    }
 
-        /// Max-min fairness: all unsatisfied flows receive the same grant
-        /// (the water level), and no satisfied flow exceeds it.
-        #[test]
-        fn max_min_water_level(cap in 1.0f64..1000.0, demands in demand_vec()) {
+    /// Max-min fairness: all unsatisfied flows receive the same grant
+    /// (the water level), and no satisfied flow exceeds it.
+    #[test]
+    fn max_min_water_level() {
+        let mut rng = SimRng::seed_from(0x1EE7);
+        for _ in 0..200 {
+            let cap = rng.uniform(1.0, 1000.0);
+            let demands = random_demands(&mut rng);
             let w = WaterFilling::new(cap);
             let alloc = w.allocate(&demands);
-            let unsat: Vec<f64> = alloc.iter().zip(&demands)
+            let unsat: Vec<f64> = alloc
+                .iter()
+                .zip(&demands)
                 .filter(|((_, g), d)| *g < d.rate - 1e-9)
                 .map(|((_, g), _)| *g)
                 .collect();
             if let Some(&level) = unsat.first() {
                 for g in &unsat {
-                    prop_assert!((g - level).abs() < 1e-6, "unsatisfied flows unequal: {g} vs {level}");
+                    assert!(
+                        (g - level).abs() < 1e-6,
+                        "unsatisfied flows unequal: {g} vs {level}"
+                    );
                 }
                 for ((_, g), d) in alloc.iter().zip(&demands) {
                     if *g >= d.rate - 1e-9 {
-                        prop_assert!(*g <= level + 1e-6, "satisfied flow above water level");
+                        assert!(*g <= level + 1e-6, "satisfied flow above water level");
                     }
                 }
             }

@@ -15,6 +15,8 @@
 //! * [`rng`] — deterministic random sampling helpers (normal / lognormal via
 //!   Box–Muller, bounded uniforms) on top of a seedable PRNG, so that every
 //!   experiment in the workspace is reproducible from a seed.
+//! * [`error`] — the workspace-wide [`V10Error`] type returned by every
+//!   fallible public constructor and runner in the higher-level crates.
 //!
 //! # Example
 //!
@@ -35,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod error;
 pub mod events;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use bandwidth::{Demand, WaterFilling};
+pub use error::{V10Error, V10Result};
 pub use events::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Percentiles};

@@ -6,12 +6,19 @@
 //! [`SimRng`] seeded explicitly, so that every experiment replays bit-for-bit
 //! from its seed.
 //!
-//! Normal and lognormal variates are generated with Box–Muller rather than
-//! pulling in `rand_distr` (which is not on the approved dependency list).
+//! The generator is a self-contained xoshiro256++ core seeded through
+//! SplitMix64 — no external crates, so the workspace builds in fully offline
+//! environments and the stream is frozen forever by this file alone. Normal
+//! and lognormal variates are generated with Box–Muller.
 
-use rand::rngs::StdRng;
-use rand::seq::{IndexedRandom, SliceRandom};
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step; used to expand a 64-bit seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seedable PRNG with the sampling helpers the simulator needs.
 ///
@@ -28,7 +35,8 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    /// xoshiro256++ state; never all-zero thanks to SplitMix64 seeding.
+    state: [u64; 4],
     /// Cached second variate from Box–Muller.
     spare_normal: Option<f64>,
 }
@@ -37,8 +45,14 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             spare_normal: None,
         }
     }
@@ -47,18 +61,27 @@ impl SimRng {
     /// its own stream so adding a workload never perturbs the others.
     #[must_use]
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from(s)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` — 53 high bits of a raw draw.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -68,7 +91,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform range must be non-empty: [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        lo + (hi - lo) * self.unit_f64()
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -78,7 +101,11 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "uniform range must be non-empty: [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        // Fixed-point multiply maps a raw draw onto [0, span) without modulo
+        // bias beyond 2^-64 — indistinguishable at simulation sample counts.
+        let wide = u128::from(self.next_u64()) * u128::from(span);
+        lo + (wide >> 64) as u64
     }
 
     /// Uniform index in `[0, n)` — the idiom for random picks.
@@ -88,7 +115,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick from an empty range");
-        self.inner.random_range(0..n)
+        self.uniform_u64(0, n as u64) as usize
     }
 
     /// Standard normal variate via Box–Muller.
@@ -136,12 +163,19 @@ impl SimRng {
 
     /// Fisher–Yates shuffle in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        slice.shuffle(&mut self.inner);
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
     }
 
     /// Picks a uniformly random element, or `None` if the slice is empty.
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
-        slice.choose(&mut self.inner)
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
     }
 }
 
@@ -179,6 +213,15 @@ mod tests {
     }
 
     #[test]
+    fn unit_f64_stays_in_range() {
+        let mut r = SimRng::seed_from(23);
+        for _ in 0..10_000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
     fn uniform_respects_bounds() {
         let mut r = SimRng::seed_from(3);
         for _ in 0..1000 {
@@ -187,6 +230,16 @@ mod tests {
             let n = r.uniform_u64(10, 20);
             assert!((10..20).contains(&n));
         }
+    }
+
+    #[test]
+    fn uniform_u64_covers_small_ranges() {
+        let mut r = SimRng::seed_from(29);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.uniform_u64(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets reachable: {seen:?}");
     }
 
     #[test]
@@ -228,6 +281,14 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_actually_permutes() {
+        let mut r = SimRng::seed_from(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        assert_ne!(v, (0..32).collect::<Vec<_>>());
     }
 
     #[test]

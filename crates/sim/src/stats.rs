@@ -206,7 +206,10 @@ impl Percentiles {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.samples.is_empty() {
             return None;
         }
@@ -460,39 +463,57 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod seeded_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    proptest! {
-        /// Welford mean matches the naive sum-based mean.
-        #[test]
-        fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+    /// Welford mean matches the naive sum-based mean on random inputs.
+    #[test]
+    fn welford_matches_naive() {
+        let mut rng = SimRng::seed_from(0xA11CE);
+        for case in 0..64 {
+            let n = 1 + rng.index(200);
+            let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect();
             let s: OnlineStats = xs.iter().copied().collect();
             let naive = xs.iter().sum::<f64>() / xs.len() as f64;
-            prop_assert!((s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+            assert!(
+                (s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()),
+                "case {case}: {} vs {naive}",
+                s.mean()
+            );
         }
+    }
 
-        /// Quantiles are monotone in q and bounded by min/max.
-        #[test]
-        fn quantiles_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
-                              q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone() {
+        let mut rng = SimRng::seed_from(0xBEE5);
+        for case in 0..64 {
+            let n = 1 + rng.index(100);
+            let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e3, 1e3)).collect();
+            let (q1, q2) = (rng.unit_f64(), rng.unit_f64());
             let (qlo, qhi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
             let mut p: Percentiles = xs.iter().copied().collect();
             let vlo = p.quantile(qlo).unwrap();
             let vhi = p.quantile(qhi).unwrap();
-            prop_assert!(vlo <= vhi + 1e-9);
+            assert!(vlo <= vhi + 1e-9, "case {case}");
             let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
             let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(vlo >= min - 1e-9 && vhi <= max + 1e-9);
+            assert!(vlo >= min - 1e-9 && vhi <= max + 1e-9, "case {case}");
         }
+    }
 
-        /// Histogram total always equals the number of pushes.
-        #[test]
-        fn histogram_conserves_count(xs in proptest::collection::vec(-10.0f64..10.0, 0..100)) {
+    /// Histogram total always equals the number of pushes.
+    #[test]
+    fn histogram_conserves_count() {
+        let mut rng = SimRng::seed_from(0xC0DE);
+        for _ in 0..64 {
+            let n = rng.index(101);
             let mut h = Histogram::new(0.0, 1.0, 7);
-            for x in &xs { h.push(*x); }
-            prop_assert_eq!(h.total(), xs.len() as u64);
+            for _ in 0..n {
+                h.push(rng.uniform(-10.0, 10.0));
+            }
+            assert_eq!(h.total(), n as u64);
         }
     }
 }

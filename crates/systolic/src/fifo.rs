@@ -100,7 +100,10 @@ mod tests {
             f.push(i).unwrap();
         }
         assert!(f.is_full());
-        assert_eq!((0..4).map(|_| f.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            (0..4).map(|_| f.pop().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert!(f.is_empty());
     }
 

@@ -92,8 +92,7 @@ mod tests {
     #[test]
     fn checkpoint_saves_25_percent() {
         for n in [3u64, 8, 64, 128, 256] {
-            let saving =
-                1.0 - checkpoint_context_bytes(n) as f64 / naive_context_bytes(n) as f64;
+            let saving = 1.0 - checkpoint_context_bytes(n) as f64 / naive_context_bytes(n) as f64;
             assert!((saving - 0.25).abs() < 1e-12, "n={n}: saving {saving}");
         }
     }

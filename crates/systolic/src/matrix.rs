@@ -144,14 +144,20 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -160,8 +166,18 @@ impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}x{} matrix", self.rows, self.cols)?;
         for i in 0..self.rows.min(8) {
-            let row: Vec<String> = self.row(i).iter().take(8).map(|x| format!("{x:7.2}")).collect();
-            writeln!(f, "  [{}{}]", row.join(" "), if self.cols > 8 { " …" } else { "" })?;
+            let row: Vec<String> = self
+                .row(i)
+                .iter()
+                .take(8)
+                .map(|x| format!("{x:7.2}"))
+                .collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(" "),
+                if self.cols > 8 { " …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;

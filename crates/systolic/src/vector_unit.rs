@@ -39,7 +39,10 @@ impl fmt::Display for VuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VuError::SaInstruction(i) => {
-                write!(f, "systolic-array instruction `{i}` in a vector-unit program")
+                write!(
+                    f,
+                    "systolic-array instruction `{i}` in a vector-unit program"
+                )
             }
             VuError::Vmem(e) => write!(f, "vector-memory fault: {e}"),
             VuError::NoProgram => write!(f, "no program loaded"),
@@ -194,7 +197,12 @@ impl VectorUnit {
                 let data = self.regs[src.index() as usize].clone();
                 vmem.write(addr.as_u32() as usize, &data)?;
             }
-            Inst::VAlu { op, dst, src1, src2 } => {
+            Inst::VAlu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let a = self.regs[src1.index() as usize].clone();
                 let b = self.regs[src2.index() as usize].clone();
                 let out = &mut self.regs[dst.index() as usize];
@@ -273,12 +281,36 @@ mod tests {
     /// A program computing relu(a * b + a) over two input tiles.
     fn fused_program() -> Vec<Inst> {
         vec![
-            Inst::Ld { dst: r(0), addr: VmemAddr::new(0) },
-            Inst::Ld { dst: r(1), addr: VmemAddr::new(TILE_WORDS as u32) },
-            Inst::VAlu { op: VAluOp::Mul, dst: r(2), src1: r(0), src2: r(1) },
-            Inst::VAlu { op: VAluOp::Add, dst: r(2), src1: r(2), src2: r(0) },
-            Inst::VAlu { op: VAluOp::Relu, dst: r(3), src1: r(2), src2: r(2) },
-            Inst::St { src: r(3), addr: VmemAddr::new(2 * TILE_WORDS as u32) },
+            Inst::Ld {
+                dst: r(0),
+                addr: VmemAddr::new(0),
+            },
+            Inst::Ld {
+                dst: r(1),
+                addr: VmemAddr::new(TILE_WORDS as u32),
+            },
+            Inst::VAlu {
+                op: VAluOp::Mul,
+                dst: r(2),
+                src1: r(0),
+                src2: r(1),
+            },
+            Inst::VAlu {
+                op: VAluOp::Add,
+                dst: r(2),
+                src1: r(2),
+                src2: r(0),
+            },
+            Inst::VAlu {
+                op: VAluOp::Relu,
+                dst: r(3),
+                src1: r(2),
+                src2: r(2),
+            },
+            Inst::St {
+                src: r(3),
+                addr: VmemAddr::new(2 * TILE_WORDS as u32),
+            },
             Inst::Halt,
         ]
     }
@@ -297,7 +329,10 @@ mod tests {
         vu.load_program(fused_program());
         let cycles = vu.run(&mut vmem).unwrap();
         // relu(-2*3 + -2) = relu(-8) = 0
-        assert_eq!(vmem.read(2 * TILE_WORDS, TILE_WORDS).unwrap(), &tile(0.0)[..]);
+        assert_eq!(
+            vmem.read(2 * TILE_WORDS, TILE_WORDS).unwrap(),
+            &tile(0.0)[..]
+        );
         assert_eq!(cycles, 6); // 2 ld + 3 alu + 1 st; halt is free
         assert!(vu.is_halted());
     }
@@ -308,10 +343,28 @@ mod tests {
         vmem.write(0, &tile(5.0)).unwrap();
         let mut vu = VectorUnit::new();
         vu.load_program(vec![
-            Inst::Ld { dst: r(0), addr: VmemAddr::new(0) },
-            Inst::VAlu { op: VAluOp::Sub, dst: r(1), src1: r(0), src2: r(0) },
-            Inst::VAlu { op: VAluOp::Max, dst: r(2), src1: r(0), src2: r(1) },
-            Inst::VAlu { op: VAluOp::Mov, dst: r(3), src1: r(2), src2: r(0) },
+            Inst::Ld {
+                dst: r(0),
+                addr: VmemAddr::new(0),
+            },
+            Inst::VAlu {
+                op: VAluOp::Sub,
+                dst: r(1),
+                src1: r(0),
+                src2: r(0),
+            },
+            Inst::VAlu {
+                op: VAluOp::Max,
+                dst: r(2),
+                src1: r(0),
+                src2: r(1),
+            },
+            Inst::VAlu {
+                op: VAluOp::Mov,
+                dst: r(3),
+                src1: r(2),
+                src2: r(0),
+            },
             Inst::Halt,
         ]);
         vu.run(&mut vmem).unwrap();
@@ -338,7 +391,12 @@ mod tests {
             let ctx = vu.preempt();
             // Another workload's operator trashes the registers.
             vu.load_program(vec![
-                Inst::VAlu { op: VAluOp::Sub, dst: r(2), src1: r(2), src2: r(2) },
+                Inst::VAlu {
+                    op: VAluOp::Sub,
+                    dst: r(2),
+                    src1: r(2),
+                    src2: r(2),
+                },
                 Inst::Halt,
             ]);
             vu.run(&mut vmem).unwrap();
@@ -387,7 +445,13 @@ mod tests {
     fn vmem_fault_propagates_with_source() {
         let mut vmem = VectorMemory::with_words(16); // far too small
         let mut vu = VectorUnit::new();
-        vu.load_program(vec![Inst::Ld { dst: r(0), addr: VmemAddr::new(0) }, Inst::Halt]);
+        vu.load_program(vec![
+            Inst::Ld {
+                dst: r(0),
+                addr: VmemAddr::new(0),
+            },
+            Inst::Halt,
+        ]);
         let err = vu.run(&mut vmem).unwrap_err();
         assert!(matches!(err, VuError::Vmem(_)));
         assert!(std::error::Error::source(&err).is_some());
@@ -404,7 +468,12 @@ mod tests {
     fn missing_halt_is_implicit_halt() {
         let mut vmem = VectorMemory::with_words(2 * TILE_WORDS);
         let mut vu = VectorUnit::new();
-        vu.load_program(vec![Inst::VAlu { op: VAluOp::Add, dst: r(0), src1: r(0), src2: r(0) }]);
+        vu.load_program(vec![Inst::VAlu {
+            op: VAluOp::Add,
+            dst: r(0),
+            src1: r(0),
+            src2: r(0),
+        }]);
         assert!(!vu.step(&mut vmem).unwrap());
         assert!(vu.step(&mut vmem).unwrap());
         assert!(vu.is_halted());

@@ -34,13 +34,23 @@ pub enum VmemError {
 impl fmt::Display for VmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VmemError::OutOfBounds { addr, len, capacity } => write!(
+            VmemError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "vmem access [{addr}, {}) exceeds capacity {capacity}",
                 addr + len
             ),
-            VmemError::BadPartition { workload, partitions } => {
-                write!(f, "workload {workload} has no partition (only {partitions})")
+            VmemError::BadPartition {
+                workload,
+                partitions,
+            } => {
+                write!(
+                    f,
+                    "workload {workload} has no partition (only {partitions})"
+                )
             }
         }
     }
@@ -73,7 +83,9 @@ impl VectorMemory {
     #[must_use]
     pub fn with_words(words: usize) -> Self {
         assert!(words > 0, "vector memory must be non-empty");
-        VectorMemory { words: vec![0.0; words] }
+        VectorMemory {
+            words: vec![0.0; words],
+        }
     }
 
     /// Creates the paper's default 32 MB vector memory (Table 5).
@@ -110,8 +122,15 @@ impl VectorMemory {
     }
 
     fn check(&self, addr: usize, len: usize) -> Result<(), VmemError> {
-        if addr.checked_add(len).is_none_or(|end| end > self.words.len()) {
-            Err(VmemError::OutOfBounds { addr, len, capacity: self.words.len() })
+        if addr
+            .checked_add(len)
+            .is_none_or(|end| end > self.words.len())
+        {
+            Err(VmemError::OutOfBounds {
+                addr,
+                len,
+                capacity: self.words.len(),
+            })
         } else {
             Ok(())
         }
@@ -172,7 +191,10 @@ impl PartitionedVmem {
 
     fn base(&self, workload: usize) -> Result<usize, VmemError> {
         if workload >= self.partitions {
-            Err(VmemError::BadPartition { workload, partitions: self.partitions })
+            Err(VmemError::BadPartition {
+                workload,
+                partitions: self.partitions,
+            })
         } else {
             Ok(workload * self.partition_words())
         }
@@ -205,7 +227,11 @@ impl PartitionedVmem {
     fn check_partition(&self, addr: usize, len: usize) -> Result<(), VmemError> {
         let cap = self.partition_words();
         if addr.checked_add(len).is_none_or(|end| end > cap) {
-            Err(VmemError::OutOfBounds { addr, len, capacity: cap })
+            Err(VmemError::OutOfBounds {
+                addr,
+                len,
+                capacity: cap,
+            })
         } else {
             Ok(())
         }
@@ -228,7 +254,14 @@ mod tests {
     fn out_of_bounds_reported_with_context() {
         let m = VectorMemory::with_words(8);
         let err = m.read(6, 4).unwrap_err();
-        assert_eq!(err, VmemError::OutOfBounds { addr: 6, len: 4, capacity: 8 });
+        assert_eq!(
+            err,
+            VmemError::OutOfBounds {
+                addr: 6,
+                len: 4,
+                capacity: 8
+            }
+        );
         assert!(err.to_string().contains("exceeds capacity 8"));
     }
 
@@ -240,7 +273,10 @@ mod tests {
 
     #[test]
     fn table5_default_is_32mb() {
-        assert_eq!(VectorMemory::table5_default().capacity_words(), 8 * 1024 * 1024);
+        assert_eq!(
+            VectorMemory::table5_default().capacity_words(),
+            8 * 1024 * 1024
+        );
     }
 
     #[test]
@@ -261,7 +297,14 @@ mod tests {
         // Address 16 would land in workload 1's partition; must be rejected
         // for workload 0 rather than silently crossing over.
         let err = p.write(0, 16, &[1.0]).unwrap_err();
-        assert_eq!(err, VmemError::OutOfBounds { addr: 16, len: 1, capacity: 16 });
+        assert_eq!(
+            err,
+            VmemError::OutOfBounds {
+                addr: 16,
+                len: 1,
+                capacity: 16
+            }
+        );
     }
 
     #[test]
@@ -269,7 +312,10 @@ mod tests {
         let p = PartitionedVmem::new(64, 2);
         assert_eq!(
             p.read(2, 0, 1).unwrap_err(),
-            VmemError::BadPartition { workload: 2, partitions: 2 }
+            VmemError::BadPartition {
+                workload: 2,
+                partitions: 2
+            }
         );
     }
 

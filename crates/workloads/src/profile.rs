@@ -358,7 +358,10 @@ mod tests {
 
     #[test]
     fn batch_zero_rejected() {
-        assert_eq!(ModelProfile::calibrated(Model::Bert, 0), Err(BatchError::Zero));
+        assert_eq!(
+            ModelProfile::calibrated(Model::Bert, 0),
+            Err(BatchError::Zero)
+        );
     }
 
     #[test]
@@ -366,7 +369,11 @@ mod tests {
         let err = ModelProfile::calibrated(Model::ShapeMask, 64).unwrap_err();
         assert_eq!(
             err,
-            BatchError::OutOfMemory { model: Model::ShapeMask, batch: 64, max: 32 }
+            BatchError::OutOfMemory {
+                model: Model::ShapeMask,
+                batch: 64,
+                max: 32
+            }
         );
         assert!(err.to_string().contains("ShapeMask"));
     }
@@ -390,7 +397,10 @@ mod tests {
                 p.vu_util(),
                 a.vpu_util
             );
-            assert!(p.hbm_util() <= a.hbm_util + 1e-9, "{m}: HBM never above target");
+            assert!(
+                p.hbm_util() <= a.hbm_util + 1e-9,
+                "{m}: HBM never above target"
+            );
         }
     }
 
@@ -425,7 +435,10 @@ mod tests {
         for m in [Model::Bert, Model::ResNet, Model::Dlrm] {
             let lo = m.profile(1).unwrap().sa_util();
             let hi = m.profile(m.max_batch()).unwrap().sa_util();
-            assert!(hi > lo, "{m}: MXU util should rise with batch ({lo} -> {hi})");
+            assert!(
+                hi > lo,
+                "{m}: MXU util should rise with batch ({lo} -> {hi})"
+            );
         }
     }
 
@@ -458,10 +471,17 @@ mod tests {
         for m in Model::ALL {
             for b in m.batch_sweep() {
                 let p = m.profile(b).unwrap();
-                let peak_tflops = (SA_PEAK_FLOPS_PER_CYCLE + VU_PEAK_FLOPS_PER_CYCLE) * 700e6 / 1e12;
-                assert!(p.achieved_tflops() <= peak_tflops, "{m}@{b}: above compute roof");
+                let peak_tflops =
+                    (SA_PEAK_FLOPS_PER_CYCLE + VU_PEAK_FLOPS_PER_CYCLE) * 700e6 / 1e12;
+                assert!(
+                    p.achieved_tflops() <= peak_tflops,
+                    "{m}@{b}: above compute roof"
+                );
                 let mem_roof = p.operation_intensity() * 330e9 / 1e12;
-                assert!(p.achieved_tflops() <= mem_roof + 1e-9, "{m}@{b}: above memory roof");
+                assert!(
+                    p.achieved_tflops() <= mem_roof + 1e-9,
+                    "{m}@{b}: above memory roof"
+                );
             }
         }
     }

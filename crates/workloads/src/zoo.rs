@@ -203,7 +203,12 @@ mod tests {
     fn sa_and_vu_intensive_classes_match_paper() {
         // §2.2: BERT and ResNet are MXU-intensive; DLRM and ShapeMask are
         // bottlenecked by element-wise VPU operations; NCF is VU-intensive.
-        for m in [Model::Bert, Model::ResNet, Model::ResNetRs, Model::Transformer] {
+        for m in [
+            Model::Bert,
+            Model::ResNet,
+            Model::ResNetRs,
+            Model::Transformer,
+        ] {
             let a = anchor(m);
             assert!(a.mxu_util > a.vpu_util, "{m} should be SA-intensive");
         }

@@ -28,7 +28,10 @@ fn main() {
     );
 
     // Show each model's cluster.
-    println!("{:<14} {:>8} {:>8} {:>8} {:>9}", "Model", "SA util", "VU util", "HBM", "Cluster");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>9}",
+        "Model", "SA util", "VU util", "HBM", "Cluster"
+    );
     for m in Model::ALL {
         let p = m.default_profile();
         println!(
@@ -62,7 +65,11 @@ fn main() {
 
     println!("\nRecommended core placements (greedy, by predicted STP):");
     for (core, (a, b, stp)) in placements.iter().enumerate() {
-        let verdict = if *stp >= BENEFIT_THRESHOLD { "collocate" } else { "separate cores" };
+        let verdict = if *stp >= BENEFIT_THRESHOLD {
+            "collocate"
+        } else {
+            "separate cores"
+        };
         println!(
             "  core {}: {:<6} + {:<6} predicted STP {:.2} -> {}",
             core,

@@ -19,11 +19,18 @@ fn main() {
     let reference = a.matmul(&w);
 
     let mut sa = SaExecutor::new(n);
-    sa.begin(a.clone(), w.clone()).expect("operands fit the array");
-    println!("cycle {:>3}: weights loaded, streaming inputs...", sa.cycle());
+    sa.begin(a.clone(), w.clone())
+        .expect("operands fit the array");
+    println!(
+        "cycle {:>3}: weights loaded, streaming inputs...",
+        sa.cycle()
+    );
 
     sa.run_cycles(4);
-    println!("cycle {:>3}: preemption timer fires mid-operator", sa.cycle());
+    println!(
+        "cycle {:>3}: preemption timer fires mid-operator",
+        sa.cycle()
+    );
 
     // Fig. 13 steps 1-5: stop injecting inputs (they are checkpointed),
     // drain the in-flight wavefront (still popping *valid* outputs), swap
@@ -42,12 +49,18 @@ fn main() {
     let other = Matrix::identity(n);
     sa.begin(other.clone(), other).expect("array is free");
     let _ = sa.run_to_completion();
-    println!("cycle {:>3}: collocated tenant's operator ran in between", sa.cycle());
+    println!(
+        "cycle {:>3}: collocated tenant's operator ran in between",
+        sa.cycle()
+    );
 
     // Restore and finish the preempted operator.
     sa.restore(ctx).expect("array is free");
     let out = sa.run_to_completion();
-    println!("cycle {:>3}: preempted operator resumed and completed", sa.cycle());
+    println!(
+        "cycle {:>3}: preempted operator resumed and completed",
+        sa.cycle()
+    );
 
     assert_eq!(out, reference, "checkpoint/replay must be exact");
     println!("\nresult identical to the uninterrupted matmul — no precision loss.");

@@ -7,29 +7,37 @@
 //! cargo run --release --example priority_sla
 //! ```
 
-use v10::core::{run_design, run_single_tenant, Design, RunOptions, WorkloadSpec};
+use v10::core::{run_design, run_single_tenant, Design, RunOptions, V10Result, WorkloadSpec};
 use v10::npu::NpuConfig;
 use v10::workloads::Model;
 
-fn main() {
+fn main() -> V10Result<()> {
     let cfg = NpuConfig::table5();
     let requests = 16;
 
     // The latency-sensitive service: ResNet image classification.
     // The best-effort job: NCF recommendation scoring.
     let serve = |p: f64| {
-        WorkloadSpec::new("ResNet (SLA)", Model::ResNet.default_profile().synthesize(3))
-            .with_priority(p)
+        WorkloadSpec::new(
+            "ResNet (SLA)",
+            Model::ResNet.default_profile().synthesize(3),
+        )
+        .with_priority(p)
+        .expect("positive priority")
     };
     let batch = |p: f64| {
-        WorkloadSpec::new("NCF (best-effort)", Model::Ncf.default_profile().synthesize(4))
-            .with_priority(p)
+        WorkloadSpec::new(
+            "NCF (best-effort)",
+            Model::Ncf.default_profile().synthesize(4),
+        )
+        .with_priority(p)
+        .expect("positive priority")
     };
 
     let single_serve =
-        run_single_tenant(&serve(1.0), &cfg, requests).workloads()[0].avg_latency_cycles();
+        run_single_tenant(&serve(1.0), &cfg, requests)?.workloads()[0].avg_latency_cycles();
     let single_batch =
-        run_single_tenant(&batch(1.0), &cfg, requests).workloads()[0].avg_latency_cycles();
+        run_single_tenant(&batch(1.0), &cfg, requests)?.workloads()[0].avg_latency_cycles();
 
     println!(
         "Dedicated-core latencies: ResNet {:.2} ms, NCF {:.2} ms\n",
@@ -43,7 +51,7 @@ fn main() {
     );
     for (hi, lo) in [(50.0, 50.0), (70.0, 30.0), (90.0, 10.0)] {
         let specs = [serve(hi), batch(lo)];
-        let r = run_design(Design::V10Full, &specs, &cfg, &RunOptions::new(requests));
+        let r = run_design(Design::V10Full, &specs, &cfg, &RunOptions::new(requests)?)?;
         let p95_ms = cfg
             .frequency()
             .micros_from_cycles(r.workloads()[0].p95_latency_cycles() as u64)
@@ -63,4 +71,5 @@ fn main() {
          100% of a dedicated core; the best-effort job still harvests idle \
          SA/VU cycles, keeping aggregate throughput above 1.0 (§5.6)."
     );
+    Ok(())
 }

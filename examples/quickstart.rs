@@ -1,15 +1,19 @@
 //! Quickstart: collocate two ML inference services on one simulated NPU
-//! core and compare V10 against preemptive multi-tasking.
+//! core, compare V10 against preemptive multi-tasking, and dump a
+//! JSON-lines event trace of the winning design.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use v10::core::{run_design, run_single_tenant, Design, RunOptions, WorkloadSpec};
+use v10::core::{
+    run_design, run_single_tenant, CounterObserver, Design, JsonLinesObserver, Policy, RunOptions,
+    V10Engine, V10Result, WorkloadSpec,
+};
 use v10::npu::NpuConfig;
 use v10::workloads::Model;
 
-fn main() {
+fn main() -> V10Result<()> {
     // 1. Pick two complementary workloads from the model zoo: BERT is
     //    systolic-array-intensive, NCF is vector-unit-intensive (Table 4 /
     //    Figs. 4-5 of the paper).
@@ -19,18 +23,21 @@ fn main() {
     // 2. The NPU core from Table 5: 128x128 SA + 8x128x2 VU @ 700 MHz,
     //    32 MB vector memory, 330 GB/s HBM, 32768-cycle scheduler slice.
     let cfg = NpuConfig::table5();
-    let opts = RunOptions::new(16);
+    let opts = RunOptions::new(16)?;
 
     // 3. Single-tenant references for normalized progress.
-    let singles: Vec<f64> = [&bert, &ncf]
-        .iter()
-        .map(|s| run_single_tenant(s, &cfg, 16).workloads()[0].avg_latency_cycles())
-        .collect();
+    let mut singles = Vec::new();
+    for s in [&bert, &ncf] {
+        singles.push(run_single_tenant(s, &cfg, 16)?.workloads()[0].avg_latency_cycles());
+    }
 
     // 4. Run all four designs the paper compares.
-    println!("{:<10} {:>8} {:>8} {:>8} {:>10} {:>12}", "Design", "SA util", "VU util", "HBM", "STP", "Overlap");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "Design", "SA util", "VU util", "HBM", "STP", "Overlap"
+    );
     for design in Design::ALL {
-        let r = run_design(design, &[bert.clone(), ncf.clone()], &cfg, &opts);
+        let r = run_design(design, &[bert.clone(), ncf.clone()], &cfg, &opts)?;
         println!(
             "{:<10} {:>7.1}% {:>7.1}% {:>7.1}% {:>10.3} {:>11.1}%",
             design.to_string(),
@@ -47,4 +54,28 @@ fn main() {
          simultaneously on the SA and VU of one core, which PMT's task-level \
          time sharing cannot do (its overlap column is always 0%)."
     );
+
+    // 5. Observability: re-run V10-Full with a JSON-lines trace observer
+    //    (one event object per line — issues, completions, preemptions,
+    //    context-switch windows, DMA readiness, timer ticks) plus an event
+    //    counter. The observer is generic, so the unobserved runs above
+    //    paid nothing for this hook.
+    let engine = V10Engine::new(cfg, Policy::Priority, true);
+    let mut trace = JsonLinesObserver::new(Vec::new());
+    engine.run_observed(&[bert.clone(), ncf.clone()], &opts, &mut trace)?;
+    let mut counters = CounterObserver::new();
+    engine.run_observed(&[bert, ncf], &opts, &mut counters)?;
+    let jsonl = String::from_utf8(trace.into_inner()).expect("trace is ASCII JSON");
+    println!(
+        "\nV10-Full event trace: {} events ({} issues, {} preemptions, {} timer ticks).",
+        counters.total(),
+        counters.op_issued(),
+        counters.op_preempted(),
+        counters.timer_tick(),
+    );
+    println!("First three JSON-lines records:");
+    for line in jsonl.lines().take(3) {
+        println!("  {line}");
+    }
+    Ok(())
 }

@@ -41,7 +41,7 @@ fn engine_busy_time_matches_trace_totals() {
         let sa_per_req = trace.busy_cycles(FuKind::Sa) as f64;
         let vu_per_req = trace.busy_cycles(FuKind::Vu) as f64;
         let spec = WorkloadSpec::new(m.abbrev(), trace);
-        let r = run_single_tenant(&spec, &cfg, requests);
+        let r = run_single_tenant(&spec, &cfg, requests).unwrap();
         let wl = &r.workloads()[0];
         let completed = wl.completed_requests() as f64;
         assert!(
@@ -50,7 +50,10 @@ fn engine_busy_time_matches_trace_totals() {
             wl.busy_sa_cycles(),
             completed * sa_per_req
         );
-        assert!((wl.busy_vu_cycles() - completed * vu_per_req).abs() < 1.0, "{m}");
+        assert!(
+            (wl.busy_vu_cycles() - completed * vu_per_req).abs() < 1.0,
+            "{m}"
+        );
     }
 }
 
@@ -59,7 +62,7 @@ fn engine_busy_time_matches_trace_totals() {
 #[test]
 fn preemption_never_loses_or_duplicates_work() {
     let cfg = NpuConfig::table5();
-    let opts = RunOptions::new(3);
+    let opts = RunOptions::new(3).unwrap();
     let traces = [
         Model::Bert.default_profile().synthesize(31),
         Model::Dlrm.default_profile().synthesize(32),
@@ -68,10 +71,9 @@ fn preemption_never_loses_or_duplicates_work() {
         WorkloadSpec::new("BERT", traces[0].clone()),
         WorkloadSpec::new("DLRM", traces[1].clone()),
     ];
-    let r = run_design(Design::V10Full, &specs, &cfg, &opts);
+    let r = run_design(Design::V10Full, &specs, &cfg, &opts).unwrap();
     for (wl, trace) in r.workloads().iter().zip(&traces) {
-        let per_req =
-            (trace.busy_cycles(FuKind::Sa) + trace.busy_cycles(FuKind::Vu)) as f64;
+        let per_req = (trace.busy_cycles(FuKind::Sa) + trace.busy_cycles(FuKind::Vu)) as f64;
         let expected = wl.completed_requests() as f64 * per_req;
         let got = wl.busy_sa_cycles() + wl.busy_vu_cycles();
         // Busy time counts FU occupancy; HBM contention stretches occupancy,
@@ -98,8 +100,8 @@ fn vmem_refit_shows_up_in_simulation() {
     let small = refit_vmem(&trace, 4 << 20);
     assert_eq!(small.total_compute_cycles(), trace.total_compute_cycles());
 
-    let full = run_single_tenant(&WorkloadSpec::new("t", trace), &cfg, 2);
-    let refit = run_single_tenant(&WorkloadSpec::new("t", small), &cfg, 2);
+    let full = run_single_tenant(&WorkloadSpec::new("t", trace), &cfg, 2).unwrap();
+    let refit = run_single_tenant(&WorkloadSpec::new("t", small), &cfg, 2).unwrap();
     assert!(
         refit.hbm_util() > full.hbm_util(),
         "refit HBM {:.3} should exceed {:.3}",
@@ -117,7 +119,7 @@ fn single_tenant_utilization_matches_profile() {
     for m in [Model::Bert, Model::Ncf, Model::Mnist] {
         let p = m.default_profile();
         let spec = WorkloadSpec::new(m.abbrev(), p.synthesize(51));
-        let r = run_single_tenant(&spec, &cfg, 3);
+        let r = run_single_tenant(&spec, &cfg, 3).unwrap();
         // The engine adds DMA-ready gaps, so utilization can only drop
         // slightly below the profile's target.
         assert!(

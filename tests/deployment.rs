@@ -77,8 +77,8 @@ fn csv_traces_drive_the_simulator_identically() {
     let reloaded = read_trace_csv(csv.as_slice()).expect("roundtrip parse");
     assert_eq!(reloaded, original);
 
-    let a = run_single_tenant(&WorkloadSpec::new("orig", original), &cfg, 2);
-    let b = run_single_tenant(&WorkloadSpec::new("csv", reloaded), &cfg, 2);
+    let a = run_single_tenant(&WorkloadSpec::new("orig", original), &cfg, 2).unwrap();
+    let b = run_single_tenant(&WorkloadSpec::new("csv", reloaded), &cfg, 2).unwrap();
     assert_eq!(a.elapsed_cycles(), b.elapsed_cycles());
     assert_eq!(
         a.workloads()[0].avg_latency_cycles(),

@@ -13,7 +13,7 @@ fn spec(m: Model, seed: u64) -> WorkloadSpec {
 fn singles(specs: &[WorkloadSpec], cfg: &NpuConfig, requests: usize) -> Vec<f64> {
     specs
         .iter()
-        .map(|s| run_single_tenant(s, cfg, requests).workloads()[0].avg_latency_cycles())
+        .map(|s| run_single_tenant(s, cfg, requests).unwrap().workloads()[0].avg_latency_cycles())
         .collect()
 }
 
@@ -23,11 +23,11 @@ fn singles(specs: &[WorkloadSpec], cfg: &NpuConfig, requests: usize) -> Vec<f64>
 #[test]
 fn v10_improves_utilization_over_pmt_for_complementary_pair() {
     let cfg = NpuConfig::table5();
-    let opts = RunOptions::new(4);
+    let opts = RunOptions::new(4).unwrap();
     let specs = [spec(Model::Bert, 1), spec(Model::Ncf, 2)];
-    let pmt = run_design(Design::Pmt, &specs, &cfg, &opts);
-    let base = run_design(Design::V10Base, &specs, &cfg, &opts);
-    let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+    let pmt = run_design(Design::Pmt, &specs, &cfg, &opts).unwrap();
+    let base = run_design(Design::V10Base, &specs, &cfg, &opts).unwrap();
+    let full = run_design(Design::V10Full, &specs, &cfg, &opts).unwrap();
     assert!(
         base.aggregate_compute_util() > 1.15 * pmt.aggregate_compute_util(),
         "V10-Base {:.2} vs PMT {:.2}",
@@ -45,11 +45,15 @@ fn v10_improves_utilization_over_pmt_for_complementary_pair() {
 #[test]
 fn throughput_ordering_and_bounds() {
     let cfg = NpuConfig::table5();
-    let opts = RunOptions::new(4);
+    let opts = RunOptions::new(4).unwrap();
     let specs = [spec(Model::ResNet, 3), spec(Model::RetinaNet, 4)];
     let refs = singles(&specs, &cfg, 4);
-    let pmt = run_design(Design::Pmt, &specs, &cfg, &opts).system_throughput(&refs);
-    let full = run_design(Design::V10Full, &specs, &cfg, &opts).system_throughput(&refs);
+    let pmt = run_design(Design::Pmt, &specs, &cfg, &opts)
+        .unwrap()
+        .system_throughput(&refs);
+    let full = run_design(Design::V10Full, &specs, &cfg, &opts)
+        .unwrap()
+        .system_throughput(&refs);
     assert!(full > pmt, "V10-Full STP {full:.2} <= PMT {pmt:.2}");
     for stp in [pmt, full] {
         assert!(stp > 0.0 && stp <= 2.05, "STP {stp} out of bounds");
@@ -61,10 +65,10 @@ fn throughput_ordering_and_bounds() {
 #[test]
 fn preemption_rescues_dlrm_from_bert_starvation() {
     let cfg = NpuConfig::table5();
-    let opts = RunOptions::new(4);
+    let opts = RunOptions::new(4).unwrap();
     let specs = [spec(Model::Bert, 5), spec(Model::Dlrm, 6)];
-    let fair = run_design(Design::V10Fair, &specs, &cfg, &opts);
-    let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+    let fair = run_design(Design::V10Fair, &specs, &cfg, &opts).unwrap();
+    let full = run_design(Design::V10Full, &specs, &cfg, &opts).unwrap();
     let dlrm_fair = fair.workloads()[1].avg_latency_cycles();
     let dlrm_full = full.workloads()[1].avg_latency_cycles();
     assert!(
@@ -75,7 +79,10 @@ fn preemption_rescues_dlrm_from_bert_starvation() {
     // impacts on BERT").
     let bert_fair = fair.workloads()[0].avg_latency_cycles();
     let bert_full = full.workloads()[0].avg_latency_cycles();
-    assert!(bert_full < 1.35 * bert_fair, "{bert_fair:.0} -> {bert_full:.0}");
+    assert!(
+        bert_full < 1.35 * bert_fair,
+        "{bert_fair:.0} -> {bert_full:.0}"
+    );
 }
 
 /// §5.5: V10's operator preemption is far more frequent than PMT's
@@ -83,10 +90,10 @@ fn preemption_rescues_dlrm_from_bert_starvation() {
 #[test]
 fn preemption_granularity_and_overhead() {
     let cfg = NpuConfig::table5();
-    let opts = RunOptions::new(4);
+    let opts = RunOptions::new(4).unwrap();
     let specs = [spec(Model::Bert, 7), spec(Model::Dlrm, 8)];
-    let pmt = run_design(Design::Pmt, &specs, &cfg, &opts);
-    let full = run_design(Design::V10Full, &specs, &cfg, &opts);
+    let pmt = run_design(Design::Pmt, &specs, &cfg, &opts).unwrap();
+    let full = run_design(Design::V10Full, &specs, &cfg, &opts).unwrap();
     let pmt_preempts: u64 = pmt.workloads().iter().map(|w| w.preemptions()).sum();
     let full_preempts: u64 = full.workloads().iter().map(|w| w.preemptions()).sum();
     assert!(
@@ -108,16 +115,16 @@ fn preemption_granularity_and_overhead() {
 #[test]
 fn priorities_shift_progress_monotonically() {
     let cfg = NpuConfig::table5();
-    let opts = RunOptions::new(4);
+    let opts = RunOptions::new(4).unwrap();
     let base = [spec(Model::ResNet, 9), spec(Model::RetinaNet, 10)];
     let refs = singles(&base, &cfg, 4);
     let mut prev_hi = 0.0;
     for (hi, lo) in [(50.0, 50.0), (70.0, 30.0), (90.0, 10.0)] {
         let specs = [
-            base[0].clone().with_priority(hi),
-            base[1].clone().with_priority(lo),
+            base[0].clone().with_priority(hi).unwrap(),
+            base[1].clone().with_priority(lo).unwrap(),
         ];
-        let r = run_design(Design::V10Full, &specs, &cfg, &opts);
+        let r = run_design(Design::V10Full, &specs, &cfg, &opts).unwrap();
         let hi_prog = r.normalized_progress(0, refs[0]);
         assert!(
             hi_prog + 0.03 >= prev_hi,
@@ -125,14 +132,17 @@ fn priorities_shift_progress_monotonically() {
         );
         prev_hi = hi_prog;
     }
-    assert!(prev_hi > 0.75, "90%-priority workload should run near-dedicated");
+    assert!(
+        prev_hi > 0.75,
+        "90%-priority workload should run near-dedicated"
+    );
 }
 
 /// §5.9: doubling the FU pool (and HBM with it) raises the throughput of a
 /// four-workload mix.
 #[test]
 fn scaling_with_more_fus() {
-    let opts = RunOptions::new(3);
+    let opts = RunOptions::new(3).unwrap();
     let specs = [
         spec(Model::ResNet, 11),
         spec(Model::Ncf, 12),
@@ -140,10 +150,14 @@ fn scaling_with_more_fus() {
         spec(Model::Mnist, 14),
     ];
     let cfg1 = NpuConfig::table5();
-    let cfg2 = NpuConfig::builder().fu_count(2).build();
+    let cfg2 = NpuConfig::builder().fu_count(2).build().unwrap();
     let refs: Vec<f64> = singles(&specs, &cfg1, 3);
-    let small = run_design(Design::V10Full, &specs, &cfg1, &opts).system_throughput(&refs);
-    let big = run_design(Design::V10Full, &specs, &cfg2, &opts).system_throughput(&refs);
+    let small = run_design(Design::V10Full, &specs, &cfg1, &opts)
+        .unwrap()
+        .system_throughput(&refs);
+    let big = run_design(Design::V10Full, &specs, &cfg2, &opts)
+        .unwrap()
+        .system_throughput(&refs);
     assert!(big > 1.2 * small, "2x FUs: STP {small:.2} -> {big:.2}");
 }
 
@@ -152,10 +166,10 @@ fn scaling_with_more_fus() {
 #[test]
 fn full_pipeline_is_deterministic() {
     let cfg = NpuConfig::table5();
-    let opts = RunOptions::new(3).with_seed(99);
+    let opts = RunOptions::new(3).unwrap().with_seed(99);
     let mk = || [spec(Model::EfficientNet, 15), spec(Model::ResNet, 16)];
-    let a = run_design(Design::V10Full, &mk(), &cfg, &opts);
-    let b = run_design(Design::V10Full, &mk(), &cfg, &opts);
+    let a = run_design(Design::V10Full, &mk(), &cfg, &opts).unwrap();
+    let b = run_design(Design::V10Full, &mk(), &cfg, &opts).unwrap();
     assert_eq!(a.elapsed_cycles(), b.elapsed_cycles());
     assert_eq!(a.sa_busy_cycles(), b.sa_busy_cycles());
     assert_eq!(
