@@ -12,4 +12,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo bench --no-run (bench targets must keep building)"
+cargo bench --workspace --no-run -q
+
+echo "==> examples (smoke tests)"
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "--> example $name"
+    cargo run -q --release --example "$name" > /dev/null
+done
+
 echo "CI OK"

@@ -3,7 +3,8 @@
 //! PMT "balances" the bars but cannot exceed the average of the two
 //! single-tenant utilizations (O4).
 
-use v10_bench::{fig9_pairs, fmt_pct, print_table, run_options};
+use v10_bench::pairs::fig9_pairs;
+use v10_bench::{fmt_pct, print_table, run_options};
 use v10_core::run_pmt;
 use v10_npu::NpuConfig;
 

@@ -1,8 +1,9 @@
 //! Fig. 16 — SA, VU, and HBM bandwidth utilization of the 11 collocated
 //! pairs under PMT, V10-Base, V10-Fair, and V10-Full.
 
+use v10_bench::pairs::eval_pairs;
 use v10_bench::sweep::sweep_pairs;
-use v10_bench::{eval_pairs, fmt_pct, fmt_x, geomean, print_table};
+use v10_bench::{fmt_pct, fmt_x, geomean, print_table};
 use v10_core::Design;
 use v10_npu::NpuConfig;
 

@@ -2,8 +2,9 @@
 //! executing simultaneously, only an SA op, or only a VU op, for each pair
 //! under the four designs.
 
+use v10_bench::pairs::eval_pairs;
 use v10_bench::sweep::sweep_pairs;
-use v10_bench::{eval_pairs, fmt_pct, print_table};
+use v10_bench::{fmt_pct, print_table};
 use v10_npu::NpuConfig;
 
 fn main() {

@@ -1,8 +1,9 @@
 //! Fig. 18 — Overall system throughput (sum of normalized forward progress)
 //! of the 11 pairs, normalized to PMT.
 
+use v10_bench::pairs::eval_pairs;
 use v10_bench::sweep::sweep_pairs;
-use v10_bench::{eval_pairs, fmt_x, geomean, print_table};
+use v10_bench::{fmt_x, geomean, print_table};
 use v10_core::Design;
 use v10_npu::NpuConfig;
 

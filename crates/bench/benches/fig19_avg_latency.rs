@@ -1,8 +1,9 @@
 //! Fig. 19 — Average request latency of each collocated workload,
 //! normalized to PMT (lower than 1.0 = faster than PMT).
 
+use v10_bench::pairs::eval_pairs;
 use v10_bench::sweep::sweep_pairs;
-use v10_bench::{eval_pairs, fmt_x, geomean, print_table};
+use v10_bench::{fmt_x, geomean, print_table};
 use v10_npu::NpuConfig;
 
 fn main() {

@@ -3,8 +3,9 @@
 //! magnitude more often at similar (negligible) overhead — the payoff of
 //! the lightweight operator-level context switch.
 
+use v10_bench::pairs::eval_pairs;
 use v10_bench::sweep::sweep_pairs;
-use v10_bench::{eval_pairs, fmt_pct, print_table};
+use v10_bench::{fmt_pct, print_table};
 use v10_core::Design;
 use v10_npu::NpuConfig;
 

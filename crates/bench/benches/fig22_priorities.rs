@@ -2,7 +2,8 @@
 //! performance relative to its dedicated-core ideal, and aggregate
 //! throughput of V10-Full normalized to PMT at the same split.
 
-use v10_bench::{eval_pairs, print_table, run_options, single_refs};
+use v10_bench::pairs::eval_pairs;
+use v10_bench::{print_table, run_options, single_refs};
 use v10_core::{run_design, Design, WorkloadSpec};
 use v10_npu::NpuConfig;
 

@@ -3,7 +3,8 @@
 //! granularity at higher preemption overhead; huge slices reintroduce
 //! head-of-line blocking. The paper finds 32768 cycles (~46 µs) optimal.
 
-use v10_bench::{eval_pairs, print_table, run_options, single_refs};
+use v10_bench::pairs::eval_pairs;
+use v10_bench::{print_table, run_options, single_refs};
 use v10_core::{run_design, Design};
 use v10_npu::NpuConfig;
 

@@ -4,7 +4,8 @@
 //! longer fits are re-tiled by the compiler, losing data reuse and spending
 //! more HBM bandwidth.
 
-use v10_bench::{eval_pairs, print_table, requests, run_options, seed};
+use v10_bench::pairs::eval_pairs;
+use v10_bench::{print_table, requests, run_options, seed};
 use v10_core::{run_design, run_single_tenant, Design, WorkloadSpec};
 use v10_npu::NpuConfig;
 use v10_workloads::refit_vmem;

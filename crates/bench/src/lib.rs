@@ -4,8 +4,8 @@
 //! one table or figure of the paper and prints it as a markdown table; the
 //! `micro_scheduler` target holds micro-benchmarks of the scheduler
 //! primitives on the in-repo [`timing`] harness. This library hosts the
-//! shared plumbing: the canonical pair lists as ready-to-run
-//! [`WorkloadSpec`]s, design runners (sequential and [`sweep`]-parallel),
+//! shared plumbing: the canonical pair and model lists as ready-to-run
+//! specs ([`pairs`]), design runners (sequential and [`sweep`]-parallel),
 //! single-tenant reference caching, and table formatting.
 //!
 //! Knobs (environment variables, all optional):
@@ -17,12 +17,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pairs;
 pub mod sweep;
 pub mod timing;
 
-use v10_core::{run_design, run_single_tenant, Design, RunOptions, RunReport, WorkloadSpec};
+pub use pairs::{eval_pairs, fig9_pairs, PairCase};
+
+use v10_core::{run_design, run_single_tenant, Design, RunOptions, RunReport};
 use v10_npu::NpuConfig;
-use v10_workloads::{pairs::pair_label, Model};
 
 /// Requests per workload per run (env `V10_BENCH_REQUESTS`, default 12).
 #[must_use]
@@ -49,50 +51,6 @@ pub fn run_options() -> RunOptions {
     RunOptions::new(requests())
         .expect("requests() filters out zero")
         .with_seed(seed())
-}
-
-/// A ready-to-run collocation pair.
-#[derive(Debug, Clone)]
-pub struct PairCase {
-    /// The paper's x-axis label, e.g. `"BERT+NCF"`.
-    pub label: String,
-    /// The two models.
-    pub models: (Model, Model),
-    /// The two workload specs (traces at default batch, priority 1.0).
-    pub specs: [WorkloadSpec; 2],
-}
-
-fn spec_of(model: Model, seed: u64) -> WorkloadSpec {
-    WorkloadSpec::new(
-        model.abbrev(),
-        model
-            .default_profile()
-            .synthesize(seed ^ model.abbrev().len() as u64),
-    )
-}
-
-fn cases_from(pairs: &[(Model, Model)]) -> Vec<PairCase> {
-    let s = seed();
-    pairs
-        .iter()
-        .map(|&(a, b)| PairCase {
-            label: pair_label((a, b)),
-            models: (a, b),
-            specs: [spec_of(a, s), spec_of(b, s.wrapping_add(1))],
-        })
-        .collect()
-}
-
-/// The 11 evaluation pairs of Figs. 16–24.
-#[must_use]
-pub fn eval_pairs() -> Vec<PairCase> {
-    cases_from(&v10_workloads::PAIRS_EVAL)
-}
-
-/// The 15 characterization pairs of Fig. 9.
-#[must_use]
-pub fn fig9_pairs() -> Vec<PairCase> {
-    cases_from(&v10_workloads::PAIRS_FIG9)
 }
 
 /// Runs one pair under all four designs, in [`Design::ALL`] order.
@@ -172,13 +130,6 @@ pub fn geomean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn pair_lists_have_paper_lengths() {
-        assert_eq!(eval_pairs().len(), 11);
-        assert_eq!(fig9_pairs().len(), 15);
-        assert_eq!(eval_pairs()[0].label, "BERT+NCF");
-    }
 
     #[test]
     fn geomean_of_constants_is_constant() {

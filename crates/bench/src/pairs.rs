@@ -1,0 +1,82 @@
+//! The canonical workload lists of the evaluation, in one place.
+//!
+//! Every pair-sweep bench (Figs. 16–24) iterates the same 11 collocation
+//! pairs, and the characterization benches iterate the same 11-model zoo;
+//! this module is their single home so a list tweak never has to touch a
+//! dozen bench targets. The raw `(Model, Model)` tuples live in
+//! `v10-workloads` (they are paper data, [`PAIRS_EVAL`]/[`PAIRS_FIG9`]);
+//! here they are materialized into ready-to-run [`WorkloadSpec`]s under the
+//! experiment seed.
+
+use v10_core::WorkloadSpec;
+use v10_workloads::Model;
+pub use v10_workloads::{pairs::pair_label, PAIRS_EVAL, PAIRS_FIG9};
+
+/// All 11 models of Table 4, the x-axis of the characterization figures.
+pub const MODELS: [Model; 11] = Model::ALL;
+
+/// A ready-to-run collocation pair.
+#[derive(Debug, Clone)]
+pub struct PairCase {
+    /// The paper's x-axis label, e.g. `"BERT+NCF"`.
+    pub label: String,
+    /// The two models.
+    pub models: (Model, Model),
+    /// The two workload specs (traces at default batch, priority 1.0).
+    pub specs: [WorkloadSpec; 2],
+}
+
+fn spec_of(model: Model, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        model.abbrev(),
+        model
+            .default_profile()
+            .synthesize(seed ^ model.abbrev().len() as u64),
+    )
+}
+
+fn cases_from(pairs: &[(Model, Model)]) -> Vec<PairCase> {
+    let s = crate::seed();
+    pairs
+        .iter()
+        .map(|&(a, b)| PairCase {
+            label: pair_label((a, b)),
+            models: (a, b),
+            specs: [spec_of(a, s), spec_of(b, s.wrapping_add(1))],
+        })
+        .collect()
+}
+
+/// The 11 evaluation pairs of Figs. 16–24.
+#[must_use]
+pub fn eval_pairs() -> Vec<PairCase> {
+    cases_from(&PAIRS_EVAL)
+}
+
+/// The 15 characterization pairs of Fig. 9.
+#[must_use]
+pub fn fig9_pairs() -> Vec<PairCase> {
+    cases_from(&PAIRS_FIG9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_lists_have_paper_lengths() {
+        assert_eq!(eval_pairs().len(), 11);
+        assert_eq!(fig9_pairs().len(), 15);
+        assert_eq!(eval_pairs()[0].label, "BERT+NCF");
+        assert_eq!(MODELS.len(), 11);
+    }
+
+    #[test]
+    fn cases_match_their_source_tuples() {
+        for (case, &(a, b)) in eval_pairs().iter().zip(PAIRS_EVAL.iter()) {
+            assert_eq!(case.models, (a, b));
+            assert_eq!(case.specs[0].label(), a.abbrev());
+            assert_eq!(case.specs[1].label(), b.abbrev());
+        }
+    }
+}

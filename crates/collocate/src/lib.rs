@@ -20,6 +20,10 @@
 //!   `Heuristic` (aggregate utilization must fit), and `Clustering`.
 //! * [`eval`] — ground-truth pair profiling on the simulator, the ≥ 1.3×
 //!   decision threshold, and the leave-2-out cross-validation protocol.
+//! * [`placer`] — the cluster database as an *online* placement advisor
+//!   ([`OnlinePlacer`]) plus the multi-core admission controller
+//!   ([`MultiCoreAdmission`]) that compiles accepted arrivals into per-core
+//!   admission schedules for the serving engine.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod eval;
 pub mod kmeans;
 pub mod pca;
 pub mod pipeline;
+pub mod placer;
 pub mod schemes;
 pub mod standardize;
 
@@ -54,5 +59,6 @@ pub use eval::{
 pub use kmeans::KMeans;
 pub use pca::Pca;
 pub use pipeline::ClusteringPipeline;
+pub use placer::{AdmissionDecision, MultiCoreAdmission, OnlinePlacer, Placement};
 pub use schemes::{Scheme, SchemeKind};
 pub use standardize::Standardizer;

@@ -1,0 +1,520 @@
+//! Online placement: the Fig. 14 cluster database as a serving-time
+//! admission advisor.
+//!
+//! The offline planner ([`plan_deployment`](crate::deploy::plan_deployment))
+//! pairs a *known* workload set before anything runs. A serving cluster
+//! instead sees tenants one at a time: when a tenant arrives, the
+//! [`OnlinePlacer`] maps its §3.4 feature vector to a K-Means cluster and
+//! scores collocating it with each core's current residents using the
+//! profiled cluster-pair STP table. Cores whose predicted STP clears the
+//! benefit threshold are candidates; the best one wins. If no occupied core
+//! qualifies, the tenant gets an empty core; with no free slot anywhere it
+//! is rejected.
+//!
+//! [`MultiCoreAdmission`] wraps the advisor around a
+//! [`ClusterState`](v10_npu::ClusterState) and compiles the accepted
+//! arrivals into per-core [`AdmissionSchedule`]s that the serving engine
+//! replays (`v10_core::serve_design`).
+
+use v10_core::{Admission, AdmissionSchedule, WorkloadSpec};
+use v10_npu::ClusterState;
+use v10_sim::{V10Error, V10Result};
+use v10_workloads::{Model, TimedArrival};
+
+use crate::eval::BENEFIT_THRESHOLD;
+use crate::pipeline::ClusteringPipeline;
+
+/// The advisor's verdict for one arriving tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Admit the tenant onto this core.
+    Core(usize),
+    /// No core can take the tenant: every occupied core's predicted STP is
+    /// below the threshold and no empty slot remains.
+    Reject,
+}
+
+/// A serving-time placement advisor over a fitted [`ClusteringPipeline`].
+///
+/// Placement prefers *beneficial collocation* over spreading out — the
+/// whole point of V10 is that complementary tenants sharing a core beat two
+/// half-idle cores — so an occupied core whose predicted STP clears the
+/// threshold wins over an empty one.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlinePlacer<'a> {
+    pipeline: &'a ClusteringPipeline,
+    threshold: f64,
+}
+
+impl<'a> OnlinePlacer<'a> {
+    /// An advisor over `pipeline` using the default
+    /// [`BENEFIT_THRESHOLD`].
+    #[must_use]
+    pub fn new(pipeline: &'a ClusteringPipeline) -> Self {
+        OnlinePlacer {
+            pipeline,
+            threshold: BENEFIT_THRESHOLD,
+        }
+    }
+
+    /// Overrides the collocation-benefit threshold (predicted STP at or
+    /// above which sharing a core is considered worthwhile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `threshold` is not finite
+    /// and positive.
+    pub fn with_threshold(mut self, threshold: f64) -> V10Result<Self> {
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(V10Error::invalid(
+                "OnlinePlacer::with_threshold",
+                format!("benefit threshold must be finite and positive, got {threshold}"),
+            ));
+        }
+        self.threshold = threshold;
+        Ok(self)
+    }
+
+    /// The collocation-benefit threshold in use.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The underlying fitted pipeline.
+    #[must_use]
+    pub fn pipeline(&self) -> &'a ClusteringPipeline {
+        self.pipeline
+    }
+
+    /// Maps a model (at its default batch) to its behavior class — the
+    /// K-Means cluster id used as the [`ClusterState`] resident tag.
+    #[must_use]
+    pub fn class_of_model(&self, model: Model) -> usize {
+        self.pipeline.cluster_of_model(model)
+    }
+
+    /// Places an arriving tenant described by its raw §3.4 feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `features` has the wrong
+    /// dimensionality or contains a non-finite value, or if `cluster_state`
+    /// carries a resident class tag outside the pipeline's cluster range.
+    pub fn place(&self, features: &[f64], cluster_state: &ClusterState) -> V10Result<Placement> {
+        if features.len() != self.pipeline.feature_dim() {
+            return Err(V10Error::invalid(
+                "OnlinePlacer::place",
+                format!(
+                    "feature vector has {} dimensions, pipeline expects {}",
+                    features.len(),
+                    self.pipeline.feature_dim()
+                ),
+            ));
+        }
+        if let Some(bad) = features.iter().find(|f| !f.is_finite()) {
+            return Err(V10Error::invalid(
+                "OnlinePlacer::place",
+                format!("feature vector contains non-finite value {bad}"),
+            ));
+        }
+        self.place_class(self.pipeline.cluster_of_features(features), cluster_state)
+    }
+
+    /// Places an arriving model (classing it at its default batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the class-tag validation of
+    /// [`place_class`](Self::place_class).
+    pub fn place_model(&self, model: Model, cluster_state: &ClusterState) -> V10Result<Placement> {
+        self.place_class(self.class_of_model(model), cluster_state)
+    }
+
+    /// Places an arriving tenant already mapped to behavior class `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `class` — or any resident
+    /// tag in `cluster_state` — is outside the pipeline's cluster range.
+    pub fn place_class(&self, class: usize, cluster_state: &ClusterState) -> V10Result<Placement> {
+        let k = self.pipeline.clusters();
+        if class >= k {
+            return Err(V10Error::invalid(
+                "OnlinePlacer::place_class",
+                format!("class {class} out of range for a {k}-cluster pipeline"),
+            ));
+        }
+        let perf = self.pipeline.cluster_perf_table();
+        let mut best: Option<(usize, f64)> = None;
+        let mut empty: Option<usize> = None;
+        for core in 0..cluster_state.cores() {
+            if cluster_state.free_slots(core)? == 0 {
+                continue;
+            }
+            let residents = cluster_state.residents(core)?;
+            if residents.is_empty() {
+                if empty.is_none() {
+                    empty = Some(core);
+                }
+                continue;
+            }
+            // Conservative score: the worst predicted pairing with any
+            // resident must still clear the threshold.
+            let mut predicted = f64::INFINITY;
+            for &r in residents {
+                if r >= k {
+                    return Err(V10Error::invalid(
+                        "OnlinePlacer::place_class",
+                        format!(
+                            "resident class {r} on core {core} out of range \
+                             for a {k}-cluster pipeline"
+                        ),
+                    ));
+                }
+                predicted = predicted.min(perf[class][r]);
+            }
+            if predicted >= self.threshold && best.is_none_or(|(_, stp)| predicted > stp) {
+                best = Some((core, predicted));
+            }
+        }
+        Ok(match (best, empty) {
+            (Some((core, _)), _) => Placement::Core(core),
+            (None, Some(core)) => Placement::Core(core),
+            (None, None) => Placement::Reject,
+        })
+    }
+}
+
+/// One admission decision recorded by [`MultiCoreAdmission`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionDecision {
+    /// The tenant's label (from the arrival stream).
+    pub label: String,
+    /// The arriving model.
+    pub model: Model,
+    /// Arrival time in cycles.
+    pub at_cycles: f64,
+    /// Where the tenant landed, or [`Placement::Reject`].
+    pub placement: Placement,
+}
+
+/// An online multi-core admission controller: feeds arriving tenants
+/// through an [`OnlinePlacer`], tracks cluster occupancy, and compiles the
+/// accepted arrivals into per-core [`AdmissionSchedule`]s.
+///
+/// The controller plans conservatively: an admitted tenant holds its slot
+/// for the whole planning horizon unless [`release`](Self::release) is
+/// called (the serving engine itself frees context-table rows the moment a
+/// tenant's quota completes).
+#[derive(Debug)]
+pub struct MultiCoreAdmission<'a> {
+    placer: OnlinePlacer<'a>,
+    state: ClusterState,
+    per_core: Vec<Vec<Admission>>,
+    decisions: Vec<AdmissionDecision>,
+    rejected: usize,
+}
+
+impl<'a> MultiCoreAdmission<'a> {
+    /// A controller over `cores` cores with `slots_per_core` context-table
+    /// slots each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `cores` or `slots_per_core`
+    /// is zero.
+    pub fn new(placer: OnlinePlacer<'a>, cores: usize, slots_per_core: usize) -> V10Result<Self> {
+        Ok(MultiCoreAdmission {
+            placer,
+            state: ClusterState::new(cores, slots_per_core)?,
+            per_core: vec![Vec::new(); cores],
+            decisions: Vec::new(),
+            rejected: 0,
+        })
+    }
+
+    /// Offers one arriving tenant to the cluster. Returns the core it was
+    /// placed on, or `None` if the advisor rejected it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placer/state validation errors; a *rejection* is not an
+    /// error.
+    pub fn offer(&mut self, arrival: &TimedArrival) -> V10Result<Option<usize>> {
+        let class = self.placer.class_of_model(arrival.model());
+        let placement = self.placer.place_class(class, &self.state)?;
+        self.decisions.push(AdmissionDecision {
+            label: arrival.label().to_string(),
+            model: arrival.model(),
+            at_cycles: arrival.at_cycles(),
+            placement,
+        });
+        match placement {
+            Placement::Core(core) => {
+                self.state.admit(core, class)?;
+                let spec = WorkloadSpec::new(arrival.label(), arrival.trace().clone());
+                self.per_core[core].push(Admission::new(
+                    spec,
+                    arrival.at_cycles(),
+                    arrival.requests(),
+                )?);
+                Ok(Some(core))
+            }
+            Placement::Reject => {
+                self.rejected += 1;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Releases a previously admitted tenant of `model`'s behavior class
+    /// from `core`, freeing its slot for later arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `core` is out of range or
+    /// no tenant of that class is resident there.
+    pub fn release(&mut self, core: usize, model: Model) -> V10Result<()> {
+        self.state.release(core, self.placer.class_of_model(model))
+    }
+
+    /// The advisor in use.
+    #[must_use]
+    pub fn placer(&self) -> &OnlinePlacer<'a> {
+        &self.placer
+    }
+
+    /// Current cluster occupancy.
+    #[must_use]
+    pub fn state(&self) -> &ClusterState {
+        &self.state
+    }
+
+    /// Every decision taken so far, in offer order.
+    #[must_use]
+    pub fn decisions(&self) -> &[AdmissionDecision] {
+        &self.decisions
+    }
+
+    /// Tenants accepted so far.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.decisions.len() - self.rejected
+    }
+
+    /// Tenants rejected so far.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Compiles the accepted arrivals into one [`AdmissionSchedule`] per
+    /// core (`None` for cores that received no tenant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule-construction errors (none are expected for
+    /// controller-built admission lists).
+    pub fn schedules(&self) -> V10Result<Vec<Option<AdmissionSchedule>>> {
+        self.per_core
+            .iter()
+            .map(|admissions| {
+                if admissions.is_empty() {
+                    Ok(None)
+                } else {
+                    AdmissionSchedule::new(admissions.clone()).map(Some)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::build_dataset;
+    use crate::eval::PairPerfCache;
+    use v10_workloads::OpenLoopProcess;
+
+    fn pipeline() -> ClusteringPipeline {
+        let models = [
+            Model::Bert,
+            Model::Ncf,
+            Model::Dlrm,
+            Model::ResNet,
+            Model::Mnist,
+            Model::RetinaNet,
+        ];
+        let points = build_dataset(&models, &[], 3);
+        let mut cache = PairPerfCache::new(2, 3);
+        ClusteringPipeline::fit(&points, 3, 3, &mut cache, 3)
+    }
+
+    #[test]
+    fn empty_cluster_places_on_first_core() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p);
+        let state = ClusterState::new(3, 8).unwrap();
+        assert_eq!(
+            placer.place_model(Model::Bert, &state).unwrap(),
+            Placement::Core(0)
+        );
+    }
+
+    #[test]
+    fn beneficial_pairing_beats_empty_core() {
+        let p = pipeline();
+        // Find two models the pipeline predicts as beneficial together.
+        let models = [Model::Bert, Model::Ncf, Model::Dlrm, Model::ResNet];
+        let pair = models
+            .iter()
+            .flat_map(|&a| models.iter().map(move |&b| (a, b)))
+            .find(|&(a, b)| a != b && p.predict_pair_performance(a, b) >= BENEFIT_THRESHOLD);
+        let Some((a, b)) = pair else {
+            // The tiny training set may predict nothing as beneficial; the
+            // empty-core fallback is then the only reachable branch.
+            return;
+        };
+        let placer = OnlinePlacer::new(&p);
+        let mut state = ClusterState::new(2, 8).unwrap();
+        state.admit(0, placer.class_of_model(a)).unwrap();
+        assert_eq!(
+            placer.place_model(b, &state).unwrap(),
+            Placement::Core(0),
+            "{a}+{b} predicted beneficial, should collocate"
+        );
+    }
+
+    #[test]
+    fn non_beneficial_pairing_takes_empty_core_then_rejects() {
+        let p = pipeline();
+        // A sky-high threshold makes every collocation non-beneficial.
+        let placer = OnlinePlacer::new(&p).with_threshold(1.0e9).unwrap();
+        let mut state = ClusterState::new(2, 8).unwrap();
+        state.admit(0, placer.class_of_model(Model::Bert)).unwrap();
+        assert_eq!(
+            placer.place_model(Model::Dlrm, &state).unwrap(),
+            Placement::Core(1),
+            "advisor refuses collocation, tenant goes to the empty core"
+        );
+        state.admit(1, placer.class_of_model(Model::Dlrm)).unwrap();
+        assert_eq!(
+            placer.place_model(Model::Ncf, &state).unwrap(),
+            Placement::Reject,
+            "no beneficial pairing and no empty core left"
+        );
+    }
+
+    #[test]
+    fn full_cluster_rejects() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
+        let mut state = ClusterState::new(1, 1).unwrap();
+        state.admit(0, 0).unwrap();
+        assert_eq!(
+            placer.place_model(Model::Bert, &state).unwrap(),
+            Placement::Reject
+        );
+    }
+
+    #[test]
+    fn bad_feature_vectors_rejected() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p);
+        let state = ClusterState::new(1, 8).unwrap();
+        let err = placer.place(&[1.0, 2.0], &state).unwrap_err();
+        assert!(err.to_string().contains("dimensions"), "{err}");
+        let mut nan = vec![0.0; p.feature_dim()];
+        nan[3] = f64::NAN;
+        let err = placer.place(&nan, &state).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_classes_rejected() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p);
+        let state = ClusterState::new(1, 8).unwrap();
+        let err = placer.place_class(p.clusters(), &state).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // A resident tag from some other pipeline is caught too.
+        let mut state = ClusterState::new(1, 8).unwrap();
+        state.admit(0, p.clusters() + 5).unwrap();
+        let err = placer.place_class(0, &state).unwrap_err();
+        assert!(err.to_string().contains("resident class"), "{err}");
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let p = pipeline();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = OnlinePlacer::new(&p).with_threshold(bad).unwrap_err();
+            assert!(err.to_string().contains("finite and positive"), "{err}");
+        }
+    }
+
+    #[test]
+    fn valid_features_place_like_the_model() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p);
+        let state = ClusterState::new(2, 8).unwrap();
+        let features = Model::Bert
+            .default_profile()
+            .feature_vector(3)
+            .as_slice()
+            .to_vec();
+        assert_eq!(
+            placer.place(&features, &state).unwrap(),
+            placer.place_model(Model::Bert, &state).unwrap()
+        );
+    }
+
+    #[test]
+    fn controller_compiles_per_core_schedules() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p);
+        let mut ctl = MultiCoreAdmission::new(placer, 2, 2).unwrap();
+        let arrivals = OpenLoopProcess::new(&[Model::Bert, Model::Ncf, Model::Dlrm], 1.0e6, 11)
+            .unwrap()
+            .sample(5)
+            .unwrap();
+        for a in &arrivals {
+            ctl.offer(a).unwrap();
+        }
+        assert_eq!(ctl.admitted() + ctl.rejected(), 5);
+        assert_eq!(ctl.decisions().len(), 5);
+        // 2 cores × 2 slots: at most 4 admitted with no releases.
+        assert!(ctl.admitted() <= 4);
+        let schedules = ctl.schedules().unwrap();
+        assert_eq!(schedules.len(), 2);
+        let scheduled: usize = schedules.iter().flatten().map(AdmissionSchedule::len).sum();
+        assert_eq!(scheduled, ctl.admitted());
+        assert_eq!(ctl.state().total_residents(), ctl.admitted());
+    }
+
+    #[test]
+    fn controller_release_frees_the_slot() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
+        let mut ctl = MultiCoreAdmission::new(placer, 1, 1).unwrap();
+        let arrivals = OpenLoopProcess::new(&[Model::Bert], 1.0e6, 2)
+            .unwrap()
+            .sample(3)
+            .unwrap();
+        assert_eq!(ctl.offer(&arrivals[0]).unwrap(), Some(0));
+        assert_eq!(ctl.offer(&arrivals[1]).unwrap(), None, "slot taken");
+        ctl.release(0, Model::Bert).unwrap();
+        assert_eq!(ctl.offer(&arrivals[2]).unwrap(), Some(0));
+        assert_eq!(ctl.rejected(), 1);
+        assert_eq!(ctl.admitted(), 2);
+    }
+
+    #[test]
+    fn degenerate_controller_rejected() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p);
+        assert!(MultiCoreAdmission::new(placer, 0, 4).is_err());
+        assert!(MultiCoreAdmission::new(placer, 2, 0).is_err());
+    }
+}

@@ -1,4 +1,4 @@
-//! The workload context table (Fig. 11 of the paper).
+//! The workload context table (Fig. 11 of the paper), as a slot allocator.
 //!
 //! The operator scheduler tracks one row per collocated workload. "Because
 //! the operators within one workload execute sequentially, each row only
@@ -7,9 +7,18 @@
 //! FU), the FU id, the workload's cumulative active cycles, its total
 //! residence time, and its priority.
 //!
+//! The hardware provisions a fixed number of rows (Table 3 evaluates 2–8);
+//! tenants are *admitted* into a free row on arrival and *retire* from it on
+//! departure, so a long-running core serves an open-ended stream of tenants
+//! through a bounded table. A [`WorkloadId`] names a slot *and* the
+//! generation of its occupancy, so an id held past its tenant's departure
+//! goes stale instead of silently aliasing the slot's next occupant.
+//!
 //! The table also computes the quantities Algorithm 1 schedules on:
 //! `active_rate = active_time / total_time` and
-//! `active_rate_p = active_rate / priority`.
+//! `active_rate_p = active_rate / priority`. Both counters restart from
+//! zero when a slot is reused — a new tenant starts with a clean fairness
+//! history.
 
 use std::fmt;
 
@@ -17,33 +26,58 @@ use v10_isa::FuKind;
 use v10_npu::FuId;
 use v10_sim::{V10Error, V10Result};
 
-/// Index of a collocated workload on one NPU core.
+/// Identity of one tenancy in the context table: which slot it occupies and
+/// which occupancy generation of that slot it is.
+///
+/// Ids are stable: they keep naming the same tenancy for its whole life, and
+/// once the tenant retires every operation through the old id reports a
+/// stale-id error rather than touching the slot's next occupant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct WorkloadId(usize);
+pub struct WorkloadId {
+    slot: u32,
+    gen: u32,
+}
 
 impl WorkloadId {
-    /// Creates a workload id from its context-table row index.
+    /// Creates the id of `index`'s *first* occupancy — the id
+    /// [`ContextTable::new`] hands out for closed-loop runs, where every
+    /// workload is admitted once at cycle 0 and never retires.
     #[must_use]
     pub const fn new(index: usize) -> Self {
-        WorkloadId(index)
+        WorkloadId {
+            slot: index as u32,
+            gen: 0,
+        }
     }
 
-    /// The row index.
+    /// The context-table slot (row index).
     #[must_use]
     pub const fn index(self) -> usize {
-        self.0
+        self.slot as usize
+    }
+
+    /// The slot's occupancy generation this id belongs to (0 for the first
+    /// tenant ever admitted into the slot).
+    #[must_use]
+    pub const fn generation(self) -> u32 {
+        self.gen
     }
 }
 
 impl fmt::Display for WorkloadId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "W{}", self.0)
+        if self.gen == 0 {
+            write!(f, "W{}", self.slot)
+        } else {
+            write!(f, "W{}@{}", self.slot, self.gen)
+        }
     }
 }
 
-/// One row of the context table.
+/// One occupied row of the context table.
 #[derive(Debug, Clone, PartialEq)]
 struct Row {
+    gen: u32,
     op_id: u64,
     op_kind: Option<FuKind>,
     ready: bool,
@@ -54,7 +88,8 @@ struct Row {
     priority: f64,
 }
 
-/// The workload context table.
+/// The workload context table: a fixed-capacity slot allocator for tenant
+/// rows.
 ///
 /// # Example
 ///
@@ -62,21 +97,50 @@ struct Row {
 /// use v10_core::ContextTable;
 /// use v10_isa::FuKind;
 ///
-/// let mut table = ContextTable::new(&[1.0, 1.0]).expect("valid priorities");
-/// let w0 = table.ids().next().unwrap();
-/// table.set_current_op(w0, 42, FuKind::Sa);
-/// table.set_ready(w0, true);
+/// let mut table = ContextTable::with_capacity(2).expect("positive capacity");
+/// let w0 = table.admit(1.0, 0.0).expect("free slot");
+/// table.set_current_op(w0, 42, FuKind::Sa).expect("live id");
+/// table.set_ready(w0, true).expect("live id");
 /// assert!(table.is_ready(w0));
-/// assert_eq!(table.op_kind(w0), Some(FuKind::Sa));
+/// table.retire(w0).expect("live id");
+/// // The id is stale now: the slot may be reused, but never under this id.
+/// assert!(table.set_ready(w0, true).is_err());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ContextTable {
-    rows: Vec<Row>,
+    slots: Vec<Option<Row>>,
+    /// Generation the next occupant of each slot will get.
+    next_gen: Vec<u32>,
+    live: usize,
+}
+
+fn stale(context: &'static str, id: WorkloadId) -> V10Error {
+    V10Error::invalid(context, format!("stale or unknown workload id {id}"))
 }
 
 impl ContextTable {
-    /// Creates a table with one row per priority entry; all workloads arrive
-    /// at cycle 0.
+    /// Creates an empty table with `capacity` hardware rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> V10Result<Self> {
+        if capacity == 0 {
+            return Err(V10Error::invalid(
+                "ContextTable::with_capacity",
+                "context table needs at least one slot",
+            ));
+        }
+        Ok(ContextTable {
+            slots: vec![None; capacity],
+            next_gen: vec![0; capacity],
+            live: 0,
+        })
+    }
+
+    /// Creates a table with one row per priority entry, every workload
+    /// admitted at cycle 0 — the closed-loop construction, where the ids are
+    /// exactly `WorkloadId::new(0..n)`.
     ///
     /// # Errors
     ///
@@ -89,142 +153,268 @@ impl ContextTable {
                 "context table needs at least one workload",
             ));
         }
+        let mut table = Self::with_capacity(priorities.len())?;
         for &p in priorities {
-            if !(p.is_finite() && p > 0.0) {
-                return Err(V10Error::invalid(
-                    "ContextTable::new",
-                    format!("priorities must be positive, got {p}"),
-                ));
-            }
+            table.admit(p, 0.0)?;
         }
-        Ok(ContextTable {
-            rows: priorities
-                .iter()
-                .map(|&priority| Row {
-                    op_id: 0,
-                    op_kind: None,
-                    ready: false,
-                    active: false,
-                    fu: None,
-                    active_cycles: 0.0,
-                    arrival: 0.0,
-                    priority,
-                })
-                .collect(),
+        Ok(table)
+    }
+
+    /// Admits a tenant with the given `priority` arriving at cycle `now`
+    /// into the lowest free slot. The row starts idle with zeroed
+    /// active-rate accounting, so a reused slot carries nothing over from
+    /// its previous occupant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `priority` is not finite and
+    /// positive, or if every slot is occupied.
+    pub fn admit(&mut self, priority: f64, now: f64) -> V10Result<WorkloadId> {
+        if !(priority.is_finite() && priority > 0.0) {
+            return Err(V10Error::invalid(
+                "ContextTable::admit",
+                format!("priorities must be positive, got {priority}"),
+            ));
+        }
+        let Some(slot) = self.slots.iter().position(Option::is_none) else {
+            return Err(V10Error::invalid(
+                "ContextTable::admit",
+                format!(
+                    "context table full: all {} slots occupied",
+                    self.slots.len()
+                ),
+            ));
+        };
+        let gen = self.next_gen[slot];
+        self.next_gen[slot] += 1;
+        self.slots[slot] = Some(Row {
+            gen,
+            op_id: 0,
+            op_kind: None,
+            ready: false,
+            active: false,
+            fu: None,
+            active_cycles: 0.0,
+            arrival: now,
+            priority,
+        });
+        self.live += 1;
+        Ok(WorkloadId {
+            slot: slot as u32,
+            gen,
         })
     }
 
-    /// Number of workload rows.
+    /// Retires a tenant, freeing its slot for the next admission. The id —
+    /// and any copy of it — is stale afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `id` is stale or unknown.
+    pub fn retire(&mut self, id: WorkloadId) -> V10Result<()> {
+        if self.row(id).is_none() {
+            return Err(stale("ContextTable::retire", id));
+        }
+        self.slots[id.index()] = None;
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Number of live (admitted, not retired) workload rows.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.live
     }
 
-    /// A context table always tracks at least one workload.
+    /// True when no tenant currently occupies any slot.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        false
+        self.live == 0
     }
 
-    /// Iterates over all workload ids.
-    pub fn ids(&self) -> impl Iterator<Item = WorkloadId> {
-        (0..self.rows.len()).map(WorkloadId)
+    /// Number of hardware rows the table provisions.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
-    fn row(&self, id: WorkloadId) -> &Row {
-        &self.rows[id.0]
+    /// True when every hardware slot is occupied — the next
+    /// [`admit`](Self::admit) will be rejected.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.live == self.slots.len()
     }
 
-    fn row_mut(&mut self, id: WorkloadId) -> &mut Row {
-        &mut self.rows[id.0]
+    /// Iterates over the ids of all live workloads, in slot order.
+    pub fn ids(&self) -> impl Iterator<Item = WorkloadId> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref().map(|row| WorkloadId {
+                slot: i as u32,
+                gen: row.gen,
+            })
+        })
+    }
+
+    /// The id of the tenant currently occupying `slot`, if any.
+    #[must_use]
+    pub fn id_at_slot(&self, slot: usize) -> Option<WorkloadId> {
+        self.slots.get(slot)?.as_ref().map(|row| WorkloadId {
+            slot: slot as u32,
+            gen: row.gen,
+        })
+    }
+
+    /// True while `id` names a live tenancy.
+    #[must_use]
+    pub fn contains(&self, id: WorkloadId) -> bool {
+        self.row(id).is_some()
+    }
+
+    fn row(&self, id: WorkloadId) -> Option<&Row> {
+        self.slots
+            .get(id.index())?
+            .as_ref()
+            .filter(|row| row.gen == id.gen)
+    }
+
+    fn row_mut(&mut self, id: WorkloadId) -> Option<&mut Row> {
+        self.slots
+            .get_mut(id.index())?
+            .as_mut()
+            .filter(|row| row.gen == id.gen)
     }
 
     /// Records that `id`'s most recent operator is `op_id` of kind `kind`
     /// (clears Ready and Active — the DMA for the new operator has not
     /// completed yet).
-    pub fn set_current_op(&mut self, id: WorkloadId, op_id: u64, kind: FuKind) {
-        let row = self.row_mut(id);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `id` is stale or unknown.
+    pub fn set_current_op(&mut self, id: WorkloadId, op_id: u64, kind: FuKind) -> V10Result<()> {
+        let row = self
+            .row_mut(id)
+            .ok_or_else(|| stale("ContextTable::set_current_op", id))?;
         row.op_id = op_id;
         row.op_kind = Some(kind);
         row.ready = false;
         row.active = false;
         row.fu = None;
+        Ok(())
     }
 
     /// Sets or clears the Ready bit.
-    pub fn set_ready(&mut self, id: WorkloadId, ready: bool) {
-        self.row_mut(id).ready = ready;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `id` is stale or unknown.
+    pub fn set_ready(&mut self, id: WorkloadId, ready: bool) -> V10Result<()> {
+        self.row_mut(id)
+            .ok_or_else(|| stale("ContextTable::set_ready", id))?
+            .ready = ready;
+        Ok(())
     }
 
     /// Marks the workload's operator as issued on `fu`: sets Active, zeroes
     /// Ready (§3.2: "the scheduler sets the Active bits and zeros out the
     /// Ready bits").
-    pub fn mark_issued(&mut self, id: WorkloadId, fu: FuId) {
-        let row = self.row_mut(id);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `id` is stale or unknown.
+    pub fn mark_issued(&mut self, id: WorkloadId, fu: FuId) -> V10Result<()> {
+        let row = self
+            .row_mut(id)
+            .ok_or_else(|| stale("ContextTable::mark_issued", id))?;
         debug_assert!(row.ready, "issuing a non-ready operator");
         row.ready = false;
         row.active = true;
         row.fu = Some(fu);
+        Ok(())
     }
 
     /// Marks the workload's operator as off the FU. If `back_to_ready`, the
     /// operator was preempted and can be re-issued immediately (its
     /// instructions are still resident); otherwise it completed.
-    pub fn mark_released(&mut self, id: WorkloadId, back_to_ready: bool) {
-        let row = self.row_mut(id);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `id` is stale or unknown.
+    pub fn mark_released(&mut self, id: WorkloadId, back_to_ready: bool) -> V10Result<()> {
+        let row = self
+            .row_mut(id)
+            .ok_or_else(|| stale("ContextTable::mark_released", id))?;
         row.active = false;
         row.fu = None;
         row.ready = back_to_ready;
+        Ok(())
     }
 
-    /// The most recent operator's id.
+    /// The most recent operator's id; 0 for a stale id.
     #[must_use]
     pub fn op_id(&self, id: WorkloadId) -> u64 {
-        self.row(id).op_id
+        self.row(id).map_or(0, |row| row.op_id)
     }
 
-    /// The most recent operator's FU kind, if one has been recorded.
+    /// The most recent operator's FU kind, if one has been recorded;
+    /// `None` for a stale id.
     #[must_use]
     pub fn op_kind(&self, id: WorkloadId) -> Option<FuKind> {
-        self.row(id).op_kind
+        self.row(id).and_then(|row| row.op_kind)
     }
 
-    /// Ready bit: instructions DMA'd, operator can start (§3.2).
+    /// Ready bit: instructions DMA'd, operator can start (§3.2). A stale id
+    /// is never ready.
     #[must_use]
     pub fn is_ready(&self, id: WorkloadId) -> bool {
-        self.row(id).ready
+        self.row(id).is_some_and(|row| row.ready)
     }
 
-    /// Active bit: operator currently issued on an FU.
+    /// Active bit: operator currently issued on an FU. A stale id is never
+    /// active.
     #[must_use]
     pub fn is_active(&self, id: WorkloadId) -> bool {
-        self.row(id).active
+        self.row(id).is_some_and(|row| row.active)
     }
 
-    /// The FU the workload's operator occupies, if active.
+    /// The FU the workload's operator occupies, if active; `None` for a
+    /// stale id.
     #[must_use]
     pub fn fu(&self, id: WorkloadId) -> Option<FuId> {
-        self.row(id).fu
+        self.row(id).and_then(|row| row.fu)
     }
 
-    /// The workload's configured priority.
+    /// The workload's configured priority; 0.0 for a stale id.
     #[must_use]
     pub fn priority(&self, id: WorkloadId) -> f64 {
-        self.row(id).priority
+        self.row(id).map_or(0.0, |row| row.priority)
+    }
+
+    /// The cycle at which this tenancy was admitted; 0.0 for a stale id.
+    #[must_use]
+    pub fn arrival(&self, id: WorkloadId) -> f64 {
+        self.row(id).map_or(0.0, |row| row.arrival)
     }
 
     /// Accumulates active execution time (called by the engine as simulated
-    /// time advances with the workload's operator on an FU).
+    /// time advances with the workload's operator on an FU). A no-op for a
+    /// stale id: this sits on the engine's hot per-step path, and a retired
+    /// tenant has no accounting left to corrupt.
     pub fn add_active_cycles(&mut self, id: WorkloadId, cycles: f64) {
         debug_assert!(cycles >= 0.0);
-        self.row_mut(id).active_cycles += cycles;
+        if let Some(row) = self.row_mut(id) {
+            row.active_cycles += cycles;
+        }
     }
 
     /// `active_rate = active_time / total_time` — the workload's relative
-    /// throughput versus a dedicated core (§3.2). Zero at arrival.
+    /// throughput versus a dedicated core (§3.2). Zero at arrival, and zero
+    /// for a stale id.
     #[must_use]
     pub fn active_rate(&self, id: WorkloadId, now: f64) -> f64 {
-        let row = self.row(id);
+        let Some(row) = self.row(id) else {
+            return 0.0;
+        };
         let total = now - row.arrival;
         if total <= 0.0 {
             0.0
@@ -235,20 +425,24 @@ impl ContextTable {
 
     /// `active_rate_p = active_rate / priority` — Algorithm 1's scheduling
     /// key. The workload with the smallest value is the most starved
-    /// relative to its priority and is scheduled first.
+    /// relative to its priority and is scheduled first. Zero for a stale id.
     #[must_use]
     pub fn active_rate_p(&self, id: WorkloadId, now: f64) -> f64 {
-        self.active_rate(id, now) / self.row(id).priority
+        let Some(row) = self.row(id) else {
+            return 0.0;
+        };
+        self.active_rate(id, now) / row.priority
     }
 
     /// On-chip storage the table occupies, per Fig. 11's field widths:
     /// 32-bit op id, 1+1 Ready/Active bits, `max(1, ceil(log2(num_fus)))`
-    /// FU-id bits, two 64-bit counters, 7-bit priority.
+    /// FU-id bits, two 64-bit counters, 7-bit priority. The hardware
+    /// provisions every slot whether occupied or not.
     #[must_use]
     pub fn storage_bytes(&self, num_fus: usize) -> u64 {
         let fu_bits = fu_id_bits(num_fus);
         let row_bits = 32 + 1 + 1 + fu_bits + 64 + 64 + 7;
-        let total_bits = row_bits * self.rows.len() as u64;
+        let total_bits = row_bits * self.slots.len() as u64;
         total_bits.div_ceil(8)
     }
 }
@@ -286,12 +480,26 @@ mod tests {
     }
 
     #[test]
+    fn closed_loop_ids_are_dense_generation_zero() {
+        let t = ContextTable::new(&[1.0, 1.0, 1.0]).unwrap();
+        let ids: Vec<WorkloadId> = t.ids().collect();
+        assert_eq!(
+            ids,
+            vec![WorkloadId::new(0), WorkloadId::new(1), WorkloadId::new(2)]
+        );
+        for (slot, id) in ids.iter().enumerate() {
+            assert_eq!(t.id_at_slot(slot), Some(*id));
+            assert_eq!(id.generation(), 0);
+        }
+    }
+
+    #[test]
     fn issue_sets_active_and_clears_ready() {
         let mut t = ContextTable::new(&[1.0]).unwrap();
         let w = WorkloadId::new(0);
-        t.set_current_op(w, 7, FuKind::Vu);
-        t.set_ready(w, true);
-        t.mark_issued(w, fu0());
+        t.set_current_op(w, 7, FuKind::Vu).unwrap();
+        t.set_ready(w, true).unwrap();
+        t.mark_issued(w, fu0()).unwrap();
         assert!(t.is_active(w));
         assert!(!t.is_ready(w));
         assert_eq!(t.fu(w), Some(fu0()));
@@ -302,15 +510,15 @@ mod tests {
     fn release_to_ready_models_preemption() {
         let mut t = ContextTable::new(&[1.0]).unwrap();
         let w = WorkloadId::new(0);
-        t.set_current_op(w, 1, FuKind::Sa);
-        t.set_ready(w, true);
-        t.mark_issued(w, fu0());
-        t.mark_released(w, true); // preempted
+        t.set_current_op(w, 1, FuKind::Sa).unwrap();
+        t.set_ready(w, true).unwrap();
+        t.mark_issued(w, fu0()).unwrap();
+        t.mark_released(w, true).unwrap(); // preempted
         assert!(!t.is_active(w));
         assert!(t.is_ready(w));
-        t.set_ready(w, true);
-        t.mark_issued(w, fu0());
-        t.mark_released(w, false); // completed
+        t.set_ready(w, true).unwrap();
+        t.mark_issued(w, fu0()).unwrap();
+        t.mark_released(w, false).unwrap(); // completed
         assert!(!t.is_ready(w));
     }
 
@@ -334,6 +542,117 @@ mod tests {
     }
 
     #[test]
+    fn mid_run_arrival_rates_from_admission_instant() {
+        let mut t = ContextTable::with_capacity(2).unwrap();
+        let w = t.admit(1.0, 1_000.0).unwrap();
+        assert_eq!(t.arrival(w), 1_000.0);
+        t.add_active_cycles(w, 250.0);
+        // Residence is measured from admission, not cycle 0.
+        assert!((t.active_rate(w, 2_000.0) - 0.25).abs() < 1e-12);
+        assert_eq!(t.active_rate(w, 500.0), 0.0, "before arrival: zero");
+    }
+
+    #[test]
+    fn admit_fills_lowest_free_slot_and_reuses_generations() {
+        let mut t = ContextTable::with_capacity(3).unwrap();
+        let a = t.admit(1.0, 0.0).unwrap();
+        let b = t.admit(1.0, 0.0).unwrap();
+        let c = t.admit(1.0, 0.0).unwrap();
+        assert_eq!((a.index(), b.index(), c.index()), (0, 1, 2));
+        t.retire(b).unwrap();
+        assert_eq!(t.len(), 2);
+        let d = t.admit(2.0, 50.0).unwrap();
+        assert_eq!(d.index(), 1, "lowest free slot reused");
+        assert_eq!(d.generation(), 1, "second occupancy of slot 1");
+        assert_ne!(d, b);
+        assert!(t.contains(d));
+        assert!(!t.contains(b));
+    }
+
+    #[test]
+    fn slot_reuse_restarts_active_rate_accounting() {
+        let mut t = ContextTable::with_capacity(1).unwrap();
+        let a = t.admit(1.0, 0.0).unwrap();
+        t.add_active_cycles(a, 900.0);
+        assert!(t.active_rate(a, 1_000.0) > 0.8);
+        t.retire(a).unwrap();
+        let b = t.admit(1.0, 1_000.0).unwrap();
+        assert_eq!(b.index(), a.index());
+        assert_eq!(
+            t.active_rate(b, 2_000.0),
+            0.0,
+            "fresh tenant carries no active cycles"
+        );
+        assert_eq!(t.arrival(b), 1_000.0);
+        t.add_active_cycles(b, 500.0);
+        assert!((t.active_rate(b, 2_000.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_id_mutators_rejected() {
+        let mut t = ContextTable::with_capacity(2).unwrap();
+        let w = t.admit(1.0, 0.0).unwrap();
+        t.retire(w).unwrap();
+        // The slot is reused; the stale id still must not reach it.
+        let fresh = t.admit(1.0, 10.0).unwrap();
+        assert_eq!(fresh.index(), w.index());
+        for err in [
+            t.set_ready(w, true).unwrap_err(),
+            t.mark_released(w, false).unwrap_err(),
+            t.mark_issued(w, fu0()).unwrap_err(),
+            t.set_current_op(w, 1, FuKind::Sa).unwrap_err(),
+            t.retire(w).unwrap_err(),
+        ] {
+            assert!(err.to_string().contains("stale"), "{err}");
+        }
+        // Read accessors degrade to neutral values instead of panicking.
+        assert!(!t.is_ready(w));
+        assert!(!t.is_active(w));
+        assert_eq!(t.op_kind(w), None);
+        assert_eq!(t.fu(w), None);
+        assert_eq!(t.active_rate_p(w, 100.0), 0.0);
+        // The fresh occupant is untouched.
+        assert!(t.contains(fresh));
+        assert!(!t.is_ready(fresh));
+    }
+
+    #[test]
+    fn retire_twice_rejected() {
+        let mut t = ContextTable::with_capacity(1).unwrap();
+        let w = t.admit(1.0, 0.0).unwrap();
+        t.retire(w).unwrap();
+        let err = t.retire(w).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn full_table_rejects_admission() {
+        let mut t = ContextTable::with_capacity(2).unwrap();
+        t.admit(1.0, 0.0).unwrap();
+        t.admit(1.0, 0.0).unwrap();
+        let err = t.admit(1.0, 0.0).unwrap_err();
+        assert!(err.to_string().contains("full"), "{err}");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ids_skip_retired_slots() {
+        let mut t = ContextTable::with_capacity(3).unwrap();
+        let a = t.admit(1.0, 0.0).unwrap();
+        let b = t.admit(1.0, 0.0).unwrap();
+        let c = t.admit(1.0, 0.0).unwrap();
+        t.retire(b).unwrap();
+        let ids: Vec<WorkloadId> = t.ids().collect();
+        assert_eq!(ids, vec![a, c]);
+        assert_eq!(t.id_at_slot(1), None);
+        assert_eq!(t.len(), 2);
+        t.retire(a).unwrap();
+        t.retire(c).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), 3);
+    }
+
+    #[test]
     fn storage_matches_table3_published_sizes() {
         // Table 3: (1 SA, 1 VU, 2 workloads) -> 43 bytes; (1,1,4) -> 86;
         // (2,2,4) -> 86; (4,4,8) -> 173 (ours: 172 — the paper appears to
@@ -343,6 +662,9 @@ mod tests {
         assert_eq!(ContextTable::new(&[1.0; 4]).unwrap().storage_bytes(4), 86);
         let big = ContextTable::new(&[1.0; 8]).unwrap().storage_bytes(8);
         assert!((172..=173).contains(&big), "got {big}");
+        // Storage is provisioned per slot, not per live tenant.
+        let empty = ContextTable::with_capacity(2).unwrap();
+        assert_eq!(empty.storage_bytes(2), 43);
     }
 
     #[test]
@@ -368,6 +690,11 @@ mod tests {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             let err = ContextTable::new(&[bad]).unwrap_err();
             assert!(err.to_string().contains("positive"), "{err}");
+            let err = ContextTable::with_capacity(1)
+                .unwrap()
+                .admit(bad, 0.0)
+                .unwrap_err();
+            assert!(err.to_string().contains("positive"), "{err}");
         }
     }
 
@@ -375,11 +702,91 @@ mod tests {
     fn empty_table_rejected() {
         let err = ContextTable::new(&[]).unwrap_err();
         assert!(err.to_string().contains("at least one workload"), "{err}");
+        let err = ContextTable::with_capacity(0).unwrap_err();
+        assert!(err.to_string().contains("at least one slot"), "{err}");
     }
 
     #[test]
     fn workload_id_display() {
         assert_eq!(WorkloadId::new(3).to_string(), "W3");
         assert_eq!(WorkloadId::new(3).index(), 3);
+        let mut t = ContextTable::with_capacity(1).unwrap();
+        let a = t.admit(1.0, 0.0).unwrap();
+        t.retire(a).unwrap();
+        let b = t.admit(1.0, 0.0).unwrap();
+        assert_eq!(b.to_string(), "W0@1");
+    }
+}
+
+#[cfg(test)]
+mod seeded_tests {
+    use super::*;
+    use v10_sim::SimRng;
+
+    /// Proptest-style property: slot reuse never corrupts fairness
+    /// accounting. For any random interleaving of admissions, retirements,
+    /// and active-cycle accrual, every live tenant's `active_rate_p` equals
+    /// a fresh single-tenant reference table replaying only that tenant's
+    /// history — bit for bit — and every retired id stays rejected forever.
+    #[test]
+    fn slot_reuse_never_corrupts_fairness_accounting() {
+        let mut rng = SimRng::seed_from(0xFA12_0CA7);
+        for case in 0..64 {
+            let cap = 1 + rng.index(6);
+            let mut table = ContextTable::with_capacity(cap).unwrap();
+            // Shadow state per live tenant: (id, arrival, accrued, priority).
+            let mut live: Vec<(WorkloadId, f64, f64, f64)> = Vec::new();
+            let mut retired: Vec<WorkloadId> = Vec::new();
+            let mut now = 0.0;
+            for step in 0..160 {
+                now += rng.uniform(0.0, 1_000.0);
+                match rng.index(4) {
+                    0 => {
+                        let p = rng.uniform(0.5, 4.0);
+                        match table.admit(p, now) {
+                            Ok(id) => live.push((id, now, 0.0, p)),
+                            Err(_) => assert_eq!(
+                                live.len(),
+                                cap,
+                                "case {case} step {step}: admit failed below capacity"
+                            ),
+                        }
+                    }
+                    1 => {
+                        if !live.is_empty() {
+                            let (id, ..) = live.remove(rng.index(live.len()));
+                            table.retire(id).unwrap();
+                            retired.push(id);
+                        }
+                    }
+                    _ => {
+                        if !live.is_empty() {
+                            let k = rng.index(live.len());
+                            let dt = rng.uniform(0.0, 500.0);
+                            table.add_active_cycles(live[k].0, dt);
+                            live[k].2 += dt;
+                        }
+                    }
+                }
+                assert_eq!(table.len(), live.len());
+                for &(id, arrival, accrued, priority) in &live {
+                    let mut fresh = ContextTable::with_capacity(1).unwrap();
+                    let fid = fresh.admit(priority, arrival).unwrap();
+                    fresh.add_active_cycles(fid, accrued);
+                    assert_eq!(
+                        table.active_rate_p(id, now).to_bits(),
+                        fresh.active_rate_p(fid, now).to_bits(),
+                        "case {case} step {step}: {id} diverged from fresh-table reference"
+                    );
+                }
+                for &id in &retired {
+                    assert!(
+                        !table.contains(id),
+                        "case {case} step {step}: retired {id} resurrected"
+                    );
+                    assert!(table.set_ready(id, true).is_err());
+                }
+            }
+        }
     }
 }

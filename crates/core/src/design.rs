@@ -6,8 +6,9 @@ use v10_npu::NpuConfig;
 use v10_sim::V10Result;
 
 use crate::engine::{RunOptions, V10Engine, WorkloadSpec};
+use crate::lifecycle::AdmissionSchedule;
 use crate::metrics::RunReport;
-use crate::pmt::run_pmt;
+use crate::pmt::{run_pmt, serve_pmt};
 use crate::policy::Policy;
 
 /// One of the paper's compared designs.
@@ -71,6 +72,27 @@ pub fn run_design(
         Design::V10Base => V10Engine::new(*config, Policy::RoundRobin, false).run(specs, opts),
         Design::V10Fair => V10Engine::new(*config, Policy::Priority, false).run(specs, opts),
         Design::V10Full => V10Engine::new(*config, Policy::Priority, true).run(specs, opts),
+    }
+}
+
+/// Serves an open-loop [`AdmissionSchedule`] on one core under `design`:
+/// tenants are admitted as they arrive (rejected while the context table is
+/// full), complete their request quota, and depart.
+///
+/// # Errors
+///
+/// As [`run_design`].
+pub fn serve_design(
+    design: Design,
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+) -> V10Result<RunReport> {
+    match design {
+        Design::Pmt => serve_pmt(schedule, config, opts),
+        Design::V10Base => V10Engine::new(*config, Policy::RoundRobin, false).serve(schedule, opts),
+        Design::V10Fair => V10Engine::new(*config, Policy::Priority, false).serve(schedule, opts),
+        Design::V10Full => V10Engine::new(*config, Policy::Priority, true).serve(schedule, opts),
     }
 }
 

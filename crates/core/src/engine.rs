@@ -25,10 +25,11 @@ use v10_isa::{FuKind, RequestTrace};
 use v10_npu::{FuPool, NpuConfig};
 use v10_sim::{V10Error, V10Result};
 
-use crate::context::WorkloadId;
 use crate::engine_core::{drive, rate_of, EngineCore, ExecutorStrategy, Slot, StepOutcome, EPS};
+use crate::lifecycle::AdmissionSchedule;
 use crate::metrics::RunReport;
 use crate::observer::{NullObserver, SimEvent, SimObserver};
+use crate::packed::FIG11_TABLE_ROWS;
 use crate::policy::{Policy, Scheduler};
 
 /// One workload to collocate: its trace, label, and relative priority.
@@ -93,6 +94,7 @@ pub struct RunOptions {
     requests_per_workload: usize,
     seed: u64,
     pmt_slice_cycles: u64,
+    table_capacity: Option<usize>,
 }
 
 impl RunOptions {
@@ -114,7 +116,26 @@ impl RunOptions {
             requests_per_workload,
             seed: 0x5EED,
             pmt_slice_cycles: 1_400_000, // 2 ms at 700 MHz: task-level slicing
+            table_capacity: None,
         })
+    }
+
+    /// Sets the context-table slot capacity for open-loop serving. Unset,
+    /// serving uses [`FIG11_TABLE_ROWS`] and closed-loop runs size the
+    /// table to the workload set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `slots` is zero.
+    pub fn with_table_capacity(mut self, slots: usize) -> V10Result<Self> {
+        if slots == 0 {
+            return Err(V10Error::invalid(
+                "RunOptions::with_table_capacity",
+                "context table needs at least one slot",
+            ));
+        }
+        self.table_capacity = Some(slots);
+        Ok(self)
     }
 
     /// Sets the RNG seed (PMT context-switch jitter).
@@ -156,6 +177,12 @@ impl RunOptions {
     #[must_use]
     pub fn pmt_slice_cycles(&self) -> u64 {
         self.pmt_slice_cycles
+    }
+
+    /// The configured context-table capacity, if overridden.
+    #[must_use]
+    pub fn table_capacity(&self) -> Option<usize> {
+        self.table_capacity
     }
 }
 
@@ -207,10 +234,60 @@ impl V10Engine {
         opts: &RunOptions,
         observer: &mut O,
     ) -> V10Result<RunReport> {
+        if specs.is_empty() {
+            return Err(V10Error::invalid(
+                "V10Engine::run",
+                "need at least one workload",
+            ));
+        }
+        let schedule = AdmissionSchedule::closed_loop(specs, opts.requests_per_workload())?;
+        // The table is sized to the workload set, so slot indices match the
+        // historical dense workload numbering.
+        self.serve_with_capacity("V10Engine::run", &schedule, specs.len(), observer)
+    }
+
+    /// Serves an open-loop [`AdmissionSchedule`]: tenants are admitted when
+    /// they arrive (rejected if the context table is full), run their
+    /// request quota, and depart, freeing their slot for later arrivals.
+    ///
+    /// The table holds `opts.table_capacity()` slots, defaulting to
+    /// [`FIG11_TABLE_ROWS`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn serve(&self, schedule: &AdmissionSchedule, opts: &RunOptions) -> V10Result<RunReport> {
+        self.serve_observed(schedule, opts, &mut NullObserver)
+    }
+
+    /// [`serve`](Self::serve) with an observer receiving the event stream,
+    /// including the tenancy events [`SimEvent::TenantAdmitted`],
+    /// [`SimEvent::TenantRetired`], and [`SimEvent::AdmissionRejected`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn serve_observed<O: SimObserver>(
+        &self,
+        schedule: &AdmissionSchedule,
+        opts: &RunOptions,
+        observer: &mut O,
+    ) -> V10Result<RunReport> {
+        let capacity = opts.table_capacity().unwrap_or(FIG11_TABLE_ROWS);
+        self.serve_with_capacity("V10Engine::serve", schedule, capacity, observer)
+    }
+
+    fn serve_with_capacity<O: SimObserver>(
+        &self,
+        context: &'static str,
+        schedule: &AdmissionSchedule,
+        capacity: usize,
+        observer: &mut O,
+    ) -> V10Result<RunReport> {
         let cfg = &self.config;
         let pool = FuPool::new(cfg.fu_count() as usize).expect("validated configuration");
         let slots = pool.iter().map(|id| Slot::new(id, pool.kind(id))).collect();
-        let core = EngineCore::new("V10Engine::run", specs, opts, cfg, slots, observer)?;
+        let core = EngineCore::new(context, schedule, cfg, capacity, slots, observer)?;
         let mut strategy = V10Strategy::new(cfg, self.policy, self.preemption);
         drive(core, &mut strategy)
     }
@@ -242,14 +319,20 @@ impl V10Strategy {
 
 impl ExecutorStrategy for V10Strategy {
     fn step<O: SimObserver>(&mut self, core: &mut EngineCore<'_, O>) -> V10Result<StepOutcome> {
+        // -------- Phase 0: seat arrivals that are due.
+        core.admit_due()?;
+
         // -------- Phase 1: promote fetches, issue ready operators.
         for i in 0..core.wls.len() {
-            let id = WorkloadId::new(i);
+            if !core.wls[i].alive {
+                continue;
+            }
+            let id = core.wls[i].id;
             if !core.table.is_active(id)
                 && !core.table.is_ready(id)
                 && core.wls[i].fetch_ready_at <= core.now + EPS
             {
-                core.table.set_ready(id, true);
+                core.table.set_ready(id, true)?;
                 let op_id = core.wls[i].next_op_id;
                 let at = core.now;
                 core.emit(SimEvent::DmaReady {
@@ -273,18 +356,19 @@ impl ExecutorStrategy for V10Strategy {
                 core.emit(SimEvent::CtxSwitchEnded { fu: s, at });
             }
             if core.slots[s].switch_until <= core.now + EPS {
-                if let Some(w) = self
-                    .scheduler
-                    .pick_next(&core.table, core.slots[s].kind, core.now)
+                if let Some(id) =
+                    self.scheduler
+                        .pick_next(&core.table, core.slots[s].kind, core.now)
                 {
-                    core.table.mark_issued(w, core.slots[s].fu);
-                    core.slots[s].occupant = Some(w.index());
-                    core.wls[w.index()].last_issue_at = core.now;
+                    let w = core.owner_of(id);
+                    core.table.mark_issued(id, core.slots[s].fu)?;
+                    core.slots[s].occupant = Some(w);
+                    core.wls[w].last_issue_at = core.now;
                     let ev = SimEvent::OpIssued {
-                        workload: w.index(),
+                        workload: w,
                         fu: s,
                         kind: core.slots[s].kind,
-                        op_id: core.wls[w.index()].next_op_id,
+                        op_id: core.wls[w].next_op_id,
                         at: core.now,
                     };
                     core.emit(ev);
@@ -322,14 +406,16 @@ impl ExecutorStrategy for V10Strategy {
                 dt = dt.min(slot.switch_until - core.now);
             }
         }
-        for (i, wl) in core.wls.iter().enumerate() {
-            let id = WorkloadId::new(i);
-            if !core.table.is_active(id)
-                && !core.table.is_ready(id)
+        for wl in core.wls.iter().filter(|wl| wl.alive) {
+            if !core.table.is_active(wl.id)
+                && !core.table.is_ready(wl.id)
                 && wl.fetch_ready_at > core.now + EPS
             {
                 dt = dt.min(wl.fetch_ready_at - core.now);
             }
+        }
+        if let Some(at) = core.next_arrival_at() {
+            dt = dt.min(at - core.now);
         }
         if self.preemption {
             dt = dt.min(self.tick_next - core.now);
@@ -339,7 +425,7 @@ impl ExecutorStrategy for V10Strategy {
         // -------- Phase 4: advance, accounting as we go.
         core.advance(dt, &rates);
 
-        // -------- Phase 5a: operator completions.
+        // -------- Phase 5a: operator completions (and departures).
         for s in 0..core.slots.len() {
             let Some(w) = core.slots[s].occupant else {
                 continue;
@@ -348,11 +434,16 @@ impl ExecutorStrategy for V10Strategy {
                 continue;
             }
             core.slots[s].occupant = None;
-            let id = WorkloadId::new(w);
-            core.table.mark_released(id, false);
-            core.finish_op(w);
-            core.table
-                .set_current_op(id, core.wls[w].next_op_id, core.wls[w].current_op().kind());
+            let id = core.wls[w].id;
+            core.table.mark_released(id, false)?;
+            core.finish_op(w)?;
+            if core.wls[w].alive {
+                core.table.set_current_op(
+                    id,
+                    core.wls[w].next_op_id,
+                    core.wls[w].current_op().kind(),
+                )?;
+            }
         }
 
         // -------- Phase 5b: preemption timer (§3.3).
@@ -366,7 +457,7 @@ impl ExecutorStrategy for V10Strategy {
                 let Some(w) = core.slots[s].occupant else {
                     continue;
                 };
-                let running = WorkloadId::new(w);
+                let running = core.wls[w].id;
                 let Some(candidate) =
                     self.scheduler
                         .pick_next(&core.table, core.slots[s].kind, core.now)
@@ -381,7 +472,7 @@ impl ExecutorStrategy for V10Strategy {
                         FuKind::Sa => self.sa_switch_cycles,
                         FuKind::Vu => self.vu_switch_cycles,
                     } as f64;
-                    core.table.mark_released(running, true);
+                    core.table.mark_released(running, true)?;
                     core.slots[s].occupant = None;
                     core.slots[s].switch_until = core.now + cost;
                     core.wls[w].preemptions += 1;

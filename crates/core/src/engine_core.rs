@@ -4,24 +4,29 @@
 //! and the task-granularity PMT baseline ([`crate::pmt::run_pmt`]) are
 //! piecewise-constant event simulations: between events nothing changes, so
 //! the clock jumps straight to the next operator completion, DMA-ready
-//! instant, context-switch end, or timer tick. [`EngineCore`] owns that
-//! machinery — per-workload execution state, FU occupancy slots, the HBM
-//! arbiter, the instruction DMA model, busy/idle/overhead accounting, and
-//! the observer hookup — while an [`ExecutorStrategy`] supplies only the
-//! scheduling *decisions*. [`drive`] runs a strategy over a core to
-//! completion.
+//! instant, context-switch end, timer tick, or tenant arrival.
+//! [`EngineCore`] owns that machinery — per-tenant execution state, the
+//! pending admission queue, FU occupancy slots, the HBM arbiter, the
+//! instruction DMA model, busy/idle/overhead accounting, and the observer
+//! hookup — while an [`ExecutorStrategy`] supplies only the scheduling
+//! *decisions*. [`drive`] runs a strategy over a core to completion.
 //!
-//! Splitting decision from mechanism keeps the two executors bit-identical
-//! with their historical standalone loops (the golden-run regression test
-//! pins this) while deduplicating the accounting that used to be maintained
-//! twice.
+//! Tenancy is dynamic: the core consumes an
+//! [`AdmissionSchedule`](crate::lifecycle::AdmissionSchedule), admitting
+//! each arrival into a free context-table slot when its time comes (or
+//! rejecting it when the table is full) and retiring non-resident tenants
+//! once they meet their request quota. The closed-loop entry points feed an
+//! admit-everything-at-cycle-0 schedule of resident tenants through this
+//! same path, which the golden-run regression test pins bit for bit.
+
+use std::collections::VecDeque;
 
 use v10_isa::{FuKind, OpDesc, RequestTrace};
 use v10_npu::{FuId, HbmArbiter, InstructionDma, NpuConfig};
 use v10_sim::{V10Error, V10Result};
 
 use crate::context::{ContextTable, WorkloadId};
-use crate::engine::{RunOptions, WorkloadSpec};
+use crate::lifecycle::{Admission, AdmissionSchedule};
 use crate::metrics::{OverlapBreakdown, RunReport, WorkloadReport};
 use crate::observer::{SimEvent, SimObserver};
 
@@ -32,9 +37,24 @@ pub(crate) const EPS: f64 = 1e-6;
 /// is a livelock.
 const LIVELOCK_STREAK: u32 = 10_000;
 
-/// Per-workload mutable execution state.
+/// Per-tenant mutable execution state. One entry per *admitted* tenant, in
+/// admission order; retired tenants keep their entry (with `alive` false)
+/// so the final report covers every tenancy the run served.
 #[derive(Debug)]
 pub(crate) struct WlState {
+    pub(crate) label: String,
+    pub(crate) priority: f64,
+    /// The tenancy's context-table id (slot + generation).
+    pub(crate) id: WorkloadId,
+    /// Requests the tenant must complete.
+    pub(crate) quota: usize,
+    /// Resident tenants keep running past their quota until the run ends
+    /// (the closed-loop steady-state methodology); non-resident tenants
+    /// retire at their quota, freeing their slot.
+    pub(crate) resident: bool,
+    pub(crate) alive: bool,
+    pub(crate) admitted_at: f64,
+    pub(crate) retired_at: Option<f64>,
     pub(crate) trace: RequestTrace,
     pub(crate) op_idx: usize,
     pub(crate) op_remaining: f64,
@@ -102,16 +122,18 @@ pub(crate) fn rate_of(rates: &[(usize, f64)], w: usize) -> f64 {
 pub(crate) enum StepOutcome {
     /// Run another scheduling step.
     Continue,
-    /// Every workload met its request quota; emit the report.
+    /// Every admission was served and every tenant met its request quota;
+    /// emit the report.
     Finished,
 }
 
 /// Scheduling decisions layered over an [`EngineCore`].
 ///
-/// One [`step`](ExecutorStrategy::step) inspects the core, picks the next
-/// event horizon, advances the core across it, and applies completions —
-/// the core supplies the mechanisms ([`EngineCore::advance`],
-/// [`EngineCore::finish_op`], ...), the strategy the policy.
+/// One [`step`](ExecutorStrategy::step) admits due arrivals, inspects the
+/// core, picks the next event horizon, advances the core across it, and
+/// applies completions — the core supplies the mechanisms
+/// ([`EngineCore::advance`], [`EngineCore::finish_op`], ...), the strategy
+/// the policy.
 pub(crate) trait ExecutorStrategy {
     /// Runs one scheduling iteration.
     ///
@@ -137,14 +159,12 @@ pub(crate) fn drive<S: ExecutorStrategy, O: SimObserver>(
 /// The shared simulation state and mechanisms of one executor run.
 ///
 /// Fields are `pub(crate)` so strategies can make scheduling decisions over
-/// them directly; the mutation *mechanisms* (time advance, operator
-/// completion, event emission) go through methods so their accounting —
-/// and the float-operation order the golden run pins — lives in exactly
-/// one place.
+/// them directly; the mutation *mechanisms* (time advance, admission,
+/// operator completion, retirement, event emission) go through methods so
+/// their accounting — and the float-operation order the golden run pins —
+/// lives in exactly one place.
 #[derive(Debug)]
 pub(crate) struct EngineCore<'a, O: SimObserver> {
-    specs: &'a [WorkloadSpec],
-    opts: &'a RunOptions,
     pub(crate) table: ContextTable,
     pub(crate) hbm: HbmArbiter,
     pub(crate) dma: InstructionDma,
@@ -152,6 +172,15 @@ pub(crate) struct EngineCore<'a, O: SimObserver> {
     pub(crate) slots: Vec<Slot>,
     pub(crate) now: f64,
     pub(crate) switch_overhead_total: f64,
+    /// Bumped on every admission and retirement; strategies that cache
+    /// derived tenant state (PMT's rotation slices) resync when it moves.
+    pub(crate) tenancy_epoch: u64,
+    /// Arrivals not yet due, in arrival order.
+    pending: VecDeque<Admission>,
+    /// Context-table slot index -> `wls` index of its live occupant.
+    slot_owner: Vec<Option<usize>>,
+    rejected: u64,
+    arrival_seq: usize,
     overlap: OverlapBreakdown,
     sa_busy: f64,
     vu_busy: f64,
@@ -162,71 +191,47 @@ pub(crate) struct EngineCore<'a, O: SimObserver> {
 }
 
 impl<'a, O: SimObserver> EngineCore<'a, O> {
-    /// Builds a core at cycle 0: every workload's first operator is being
-    /// fetched, every slot is free.
+    /// Builds a core at cycle 0 with an empty table of `capacity` slots and
+    /// the whole `schedule` pending. The strategy's first
+    /// [`admit_due`](Self::admit_due) call seats the cycle-0 arrivals.
     ///
     /// `context` names the public entry point for error messages.
     ///
     /// # Errors
     ///
-    /// Returns [`V10Error::InvalidArgument`] if `specs` is empty.
+    /// Returns [`V10Error::InvalidArgument`] if `capacity` is zero.
     pub(crate) fn new(
         context: &'static str,
-        specs: &'a [WorkloadSpec],
-        opts: &'a RunOptions,
+        schedule: &AdmissionSchedule,
         config: &NpuConfig,
+        capacity: usize,
         slots: Vec<Slot>,
         observer: &'a mut O,
     ) -> V10Result<Self> {
-        if specs.is_empty() {
-            return Err(V10Error::invalid(context, "need at least one workload"));
+        if capacity == 0 {
+            return Err(V10Error::invalid(
+                context,
+                "context table needs at least one slot",
+            ));
         }
         let hbm_peak = config.hbm_bytes_per_cycle();
         let hbm = HbmArbiter::new(hbm_peak).expect("validated configuration");
         let dma = InstructionDma::new(hbm_peak).expect("validated configuration");
-        let mut table =
-            ContextTable::new(&specs.iter().map(WorkloadSpec::priority).collect::<Vec<_>>())?;
-
-        let wls: Vec<WlState> = specs
-            .iter()
-            .map(|s| {
-                let mut wl = WlState {
-                    trace: s.trace().clone(),
-                    op_idx: 0,
-                    op_remaining: 0.0,
-                    fetch_ready_at: 0.0,
-                    last_issue_at: 0.0,
-                    request_start: 0.0,
-                    completed: 0,
-                    next_op_id: 0,
-                    latencies: Vec::new(),
-                    busy_sa: 0.0,
-                    busy_vu: 0.0,
-                    hbm_bytes: 0.0,
-                    preemptions: 0,
-                    switch_overhead: 0.0,
-                };
-                wl.op_remaining = wl.current_op().compute_cycles() as f64;
-                wl.fetch_ready_at = dma
-                    .ready_at(wl.current_op(), 0.0, 0.0)
-                    .max(wl.current_op().dispatch_gap_cycles() as f64);
-                wl
-            })
-            .collect();
-        for (i, wl) in wls.iter().enumerate() {
-            table.set_current_op(WorkloadId::new(i), 0, wl.current_op().kind());
-        }
+        let table = ContextTable::with_capacity(capacity)?;
 
         Ok(EngineCore {
-            specs,
-            opts,
             table,
             hbm,
             dma,
-            wls,
+            wls: Vec::new(),
             slots,
             now: 0.0,
             switch_overhead_total: 0.0,
+            tenancy_epoch: 0,
+            pending: schedule.entries().iter().cloned().collect(),
+            slot_owner: vec![None; capacity],
+            rejected: 0,
+            arrival_seq: 0,
             overlap: OverlapBreakdown::default(),
             sa_busy: 0.0,
             vu_busy: 0.0,
@@ -243,11 +248,124 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
         self.observer.on_event(event);
     }
 
-    /// Has every workload met its request quota?
+    /// Admits every pending arrival due at or before the current instant.
+    /// Strategies call this at the top of each step so a freshly due tenant
+    /// is schedulable in the same iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if an admission carries a
+    /// non-positive priority (unreachable through the validated public
+    /// constructors).
+    #[inline(always)]
+    pub(crate) fn admit_due(&mut self) -> V10Result<()> {
+        // Fast path: this runs at the top of every scheduler step, and
+        // almost every step has nothing due — keep it a single front-check
+        // so the seating machinery stays out of the hot loop.
+        if self
+            .pending
+            .front()
+            .is_some_and(|a| a.at_cycles() <= self.now + EPS)
+        {
+            self.admit_all_due()?;
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn admit_all_due(&mut self) -> V10Result<()> {
+        while self
+            .pending
+            .front()
+            .is_some_and(|a| a.at_cycles() <= self.now + EPS)
+        {
+            let adm = self.pending.pop_front().expect("checked non-empty");
+            self.admit_tenant(&adm)?;
+        }
+        Ok(())
+    }
+
+    /// Seats one arrival: claims a context-table slot, initializes its
+    /// execution state (first operator fetching, counters zeroed), and
+    /// emits [`SimEvent::TenantAdmitted`]. A full table rejects the arrival
+    /// instead — [`SimEvent::AdmissionRejected`] — and the run goes on.
+    fn admit_tenant(&mut self, adm: &Admission) -> V10Result<()> {
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        let now = self.now;
+        let id = match self.table.admit(adm.spec().priority(), now) {
+            Ok(id) => id,
+            Err(err) => {
+                // Spec priorities were validated at construction, so the
+                // only reachable failure is a full table: count it as a
+                // rejection. Anything else is a real error.
+                if !self.table.is_full() {
+                    return Err(err);
+                }
+                self.rejected += 1;
+                self.emit(SimEvent::AdmissionRejected {
+                    arrival: seq,
+                    at: now,
+                });
+                return Ok(());
+            }
+        };
+        let mut wl = WlState {
+            label: adm.spec().label().to_string(),
+            priority: adm.spec().priority(),
+            id,
+            quota: adm.requests(),
+            resident: adm.is_resident(),
+            alive: true,
+            admitted_at: now,
+            retired_at: None,
+            trace: adm.spec().trace().clone(),
+            op_idx: 0,
+            op_remaining: 0.0,
+            fetch_ready_at: 0.0,
+            last_issue_at: now,
+            request_start: now,
+            completed: 0,
+            next_op_id: 0,
+            latencies: Vec::new(),
+            busy_sa: 0.0,
+            busy_vu: 0.0,
+            hbm_bytes: 0.0,
+            preemptions: 0,
+            switch_overhead: 0.0,
+        };
+        wl.op_remaining = wl.current_op().compute_cycles() as f64;
+        wl.fetch_ready_at = self
+            .dma
+            .ready_at(wl.current_op(), now, now)
+            .max(now + wl.current_op().dispatch_gap_cycles() as f64);
+        let kind = wl.current_op().kind();
+        let w = self.wls.len();
+        self.slot_owner[id.index()] = Some(w);
+        self.table.set_current_op(id, 0, kind)?;
+        self.wls.push(wl);
+        self.emit(SimEvent::TenantAdmitted {
+            workload: w,
+            at: now,
+        });
+        self.tenancy_epoch += 1;
+        Ok(())
+    }
+
+    /// Arrival time of the next pending admission, if any — an event
+    /// horizon every strategy must respect.
+    pub(crate) fn next_arrival_at(&self) -> Option<f64> {
+        self.pending.front().map(Admission::at_cycles)
+    }
+
+    /// Maps a live tenancy id back to its `wls` index.
+    pub(crate) fn owner_of(&self, id: WorkloadId) -> usize {
+        self.slot_owner[id.index()].expect("scheduler picked a live tenant")
+    }
+
+    /// Has every arrival been served and every tenant met its quota?
     pub(crate) fn all_done(&self) -> bool {
-        self.wls
-            .iter()
-            .all(|w| w.completed >= self.opts.requests_per_workload())
+        self.pending.is_empty() && self.wls.iter().all(|w| w.completed >= w.quota)
     }
 
     /// Validates a proposed time step: rejects a horizon with no pending
@@ -295,6 +413,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                 let kind = slot.kind;
                 let r = rate_of(rates, w);
                 let wl = &mut self.wls[w];
+                let id = wl.id;
                 wl.op_remaining -= r * dt;
                 let bytes = wl.current_op().hbm_demand_bytes_per_cycle() * r * dt;
                 wl.hbm_bytes += bytes;
@@ -303,7 +422,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                     FuKind::Sa => wl.busy_sa += dt,
                     FuKind::Vu => wl.busy_vu += dt,
                 }
-                self.table.add_active_cycles(WorkloadId::new(w), dt);
+                self.table.add_active_cycles(id, dt);
             } else if slot.switch_until > self.now + EPS {
                 self.switch_overhead_total += dt.min(slot.switch_until - self.now);
             }
@@ -315,37 +434,59 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     }
 
     /// Completes workload `w`'s current operator: records request latency on
-    /// a trace wraparound, loads the next operator, and schedules its
-    /// instruction DMA (prefetched since the finished operator issued, then
-    /// gated by the dispatch gap).
+    /// a trace wraparound, then either loads the next operator and schedules
+    /// its instruction DMA (prefetched since the finished operator issued,
+    /// then gated by the dispatch gap), or — for a non-resident tenant that
+    /// just met its quota — retires the tenant, freeing its context-table
+    /// slot.
     ///
-    /// Touches no context-table state, so both the table-driven V10
-    /// strategy and the table-less PMT baseline share it; emits
-    /// [`SimEvent::OpCompleted`] and, on wraparound,
-    /// [`SimEvent::RequestCompleted`].
-    pub(crate) fn finish_op(&mut self, w: usize) {
+    /// Emits [`SimEvent::OpCompleted`], then on wraparound
+    /// [`SimEvent::RequestCompleted`], then on departure
+    /// [`SimEvent::TenantRetired`]. The caller must not touch the tenant's
+    /// table row afterwards unless it is still `alive`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if the tenant's id has gone
+    /// stale (an engine invariant violation).
+    pub(crate) fn finish_op(&mut self, w: usize) -> V10Result<()> {
         let now = self.now;
-        let wl = &mut self.wls[w];
-        let done_op_id = wl.next_op_id;
-        let mut finished_request = None;
-        wl.op_idx += 1;
-        if wl.op_idx == wl.trace.ops().len() {
-            let latency = now - wl.request_start;
-            wl.latencies.push(latency);
-            wl.completed += 1;
-            wl.op_idx = 0;
-            wl.request_start = now;
-            finished_request = Some(latency);
+        let (done_op_id, finished_request, departs) = {
+            let wl = &mut self.wls[w];
+            let done_op_id = wl.next_op_id;
+            let mut finished_request = None;
+            wl.op_idx += 1;
+            if wl.op_idx == wl.trace.ops().len() {
+                let latency = now - wl.request_start;
+                wl.latencies.push(latency);
+                wl.completed += 1;
+                wl.op_idx = 0;
+                wl.request_start = now;
+                finished_request = Some(latency);
+            }
+            wl.next_op_id += 1;
+            let departs =
+                finished_request.is_some() && !wl.resident && wl.completed >= wl.quota && wl.alive;
+            if departs {
+                wl.alive = false;
+                wl.retired_at = Some(now);
+            } else {
+                wl.op_remaining = wl.current_op().compute_cycles() as f64;
+                // The next operator's instructions were prefetched from the
+                // moment the finished operator issued; its dispatch gap
+                // (host-side stalls) starts now.
+                wl.fetch_ready_at = self
+                    .dma
+                    .ready_at(wl.current_op(), wl.last_issue_at, now)
+                    .max(now + wl.current_op().dispatch_gap_cycles() as f64);
+            }
+            (done_op_id, finished_request, departs)
+        };
+        if departs {
+            let id = self.wls[w].id;
+            self.table.retire(id)?;
+            self.slot_owner[id.index()] = None;
         }
-        wl.next_op_id += 1;
-        wl.op_remaining = wl.current_op().compute_cycles() as f64;
-        // The next operator's instructions were prefetched from the moment
-        // the finished operator issued; its dispatch gap (host-side stalls)
-        // starts now.
-        wl.fetch_ready_at = self
-            .dma
-            .ready_at(wl.current_op(), wl.last_issue_at, now)
-            .max(now + wl.current_op().dispatch_gap_cycles() as f64);
         self.emit(SimEvent::OpCompleted {
             workload: w,
             op_id: done_op_id,
@@ -358,18 +499,26 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                 at: now,
             });
         }
+        if departs {
+            self.emit(SimEvent::TenantRetired {
+                workload: w,
+                at: now,
+            });
+            self.tenancy_epoch += 1;
+        }
+        Ok(())
     }
 
-    /// Consumes the core into the run's final report.
+    /// Consumes the core into the run's final report, one workload entry
+    /// per admitted tenancy in admission order.
     pub(crate) fn into_report(self) -> RunReport {
         let workloads = self
-            .specs
+            .wls
             .iter()
-            .zip(&self.wls)
-            .map(|(spec, wl)| {
+            .map(|wl| {
                 WorkloadReport::new(
-                    spec.label().to_string(),
-                    spec.priority(),
+                    wl.label.clone(),
+                    wl.priority,
                     wl.completed,
                     wl.latencies.clone(),
                     wl.busy_sa,
@@ -377,6 +526,8 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                     wl.hbm_bytes,
                     wl.preemptions,
                     wl.switch_overhead,
+                    wl.admitted_at,
+                    wl.retired_at,
                 )
             })
             .collect();
@@ -389,6 +540,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             self.hbm.bytes_moved(),
             self.hbm_peak,
             self.fu_count,
+            self.rejected,
             workloads,
         )
     }

@@ -20,7 +20,10 @@
 //!   and single-tenant execution ([`run_single_tenant`]).
 //! * [`design`] — the four evaluated designs ([`Design`]): `PMT`,
 //!   `V10-Base`, `V10-Fair`, `V10-Full` (§5.1), behind one entry point
-//!   ([`run_design`]).
+//!   ([`run_design`]; [`serve_design`] for open-loop schedules).
+//! * [`lifecycle`] — dynamic tenancy ([`Admission`],
+//!   [`AdmissionSchedule`]): open-loop tenant arrival/departure serving,
+//!   with the classic fixed-set runs as an admit-all-at-cycle-0 wrapper.
 //! * [`metrics`] — run reports and the paper's metrics: utilizations,
 //!   overlap breakdown (Fig. 17), system throughput (STP, Fig. 18),
 //!   average/tail latency (Figs. 19–20), preemption accounting (Fig. 21).
@@ -76,6 +79,7 @@ pub mod context;
 pub mod design;
 pub mod engine;
 mod engine_core;
+pub mod lifecycle;
 pub mod metrics;
 pub mod observer;
 pub mod overhead;
@@ -84,12 +88,15 @@ pub mod pmt;
 pub mod policy;
 
 pub use context::{ContextTable, WorkloadId};
-pub use design::{run_design, Design};
+pub use design::{run_design, serve_design, Design};
 pub use engine::{RunOptions, V10Engine, WorkloadSpec};
+pub use lifecycle::{Admission, AdmissionSchedule};
 pub use metrics::{OverlapBreakdown, RunReport, WorkloadReport};
 pub use observer::{CounterObserver, JsonLinesObserver, NullObserver, SimEvent, SimObserver};
 pub use overhead::{estimate_overhead, SchedulerOverhead, TABLE3_PUBLISHED};
-pub use packed::{pack_row, parse_table_image, snapshot_table, unpack_row, PackedRowFields};
-pub use pmt::{run_pmt, run_pmt_observed, run_single_tenant};
+pub use packed::{
+    pack_row, parse_table_image, snapshot_table, unpack_row, PackedRowFields, FIG11_TABLE_ROWS,
+};
+pub use pmt::{run_pmt, run_pmt_observed, run_single_tenant, serve_pmt, serve_pmt_observed};
 pub use policy::{Policy, Scheduler};
 pub use v10_sim::{V10Error, V10Result};

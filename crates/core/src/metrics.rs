@@ -60,6 +60,10 @@ impl OverlapBreakdown {
 }
 
 /// Per-workload outcome of a run.
+///
+/// Under open-loop serving one entry describes one *tenancy*: the report
+/// also records when the tenant was admitted and (for non-resident tenants
+/// that met their quota) when it retired.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadReport {
     label: String,
@@ -67,12 +71,16 @@ pub struct WorkloadReport {
     completed_requests: usize,
     latencies: Vec<f64>,
     avg_latency: f64,
+    p50_latency: f64,
     p95_latency: f64,
+    p99_latency: f64,
     busy_sa: f64,
     busy_vu: f64,
     hbm_bytes: f64,
     preemptions: u64,
     switch_overhead: f64,
+    admitted_at: f64,
+    retired_at: Option<f64>,
 }
 
 impl WorkloadReport {
@@ -89,22 +97,30 @@ impl WorkloadReport {
         hbm_bytes: f64,
         preemptions: u64,
         switch_overhead: f64,
+        admitted_at: f64,
+        retired_at: Option<f64>,
     ) -> Self {
         let mut p: Percentiles = latencies.iter().copied().collect();
         let avg = p.mean();
+        let p50 = p.median().unwrap_or(0.0);
         let p95 = p.p95().unwrap_or(0.0);
+        let p99 = p.quantile(0.99).unwrap_or(0.0);
         WorkloadReport {
             label,
             priority,
             completed_requests,
             latencies,
             avg_latency: avg,
+            p50_latency: p50,
             p95_latency: p95,
+            p99_latency: p99,
             busy_sa,
             busy_vu,
             hbm_bytes,
             preemptions,
             switch_overhead,
+            admitted_at,
+            retired_at,
         }
     }
 
@@ -138,10 +154,35 @@ impl WorkloadReport {
         self.avg_latency
     }
 
+    /// Median request latency in cycles.
+    #[must_use]
+    pub fn p50_latency_cycles(&self) -> f64 {
+        self.p50_latency
+    }
+
     /// 95th-percentile request latency in cycles (Fig. 20's metric).
     #[must_use]
     pub fn p95_latency_cycles(&self) -> f64 {
         self.p95_latency
+    }
+
+    /// 99th-percentile request latency in cycles (the serving-tail metric).
+    #[must_use]
+    pub fn p99_latency_cycles(&self) -> f64 {
+        self.p99_latency
+    }
+
+    /// Cycle at which the tenant was admitted (0 for closed-loop runs).
+    #[must_use]
+    pub fn admitted_at_cycles(&self) -> f64 {
+        self.admitted_at
+    }
+
+    /// Cycle at which the tenant retired, freeing its slot. `None` while
+    /// resident (closed-loop tenants stay until the run ends).
+    #[must_use]
+    pub fn retired_at_cycles(&self) -> Option<f64> {
+        self.retired_at
     }
 
     /// Cycles this workload occupied SAs.
@@ -208,6 +249,7 @@ pub struct RunReport {
     hbm_bytes: f64,
     hbm_peak_bytes_per_cycle: f64,
     fu_pairs: u32,
+    rejected_admissions: u64,
     workloads: Vec<WorkloadReport>,
 }
 
@@ -223,6 +265,7 @@ impl RunReport {
         hbm_bytes: f64,
         hbm_peak_bytes_per_cycle: f64,
         fu_pairs: u32,
+        rejected_admissions: u64,
         workloads: Vec<WorkloadReport>,
     ) -> Self {
         RunReport {
@@ -234,6 +277,7 @@ impl RunReport {
             hbm_bytes,
             hbm_peak_bytes_per_cycle,
             fu_pairs,
+            rejected_admissions,
             workloads,
         }
     }
@@ -293,10 +337,17 @@ impl RunReport {
         self.overlap
     }
 
-    /// Per-workload reports, in spec order.
+    /// Per-workload reports, in admission order (spec order for closed-loop
+    /// runs). Includes retired tenants.
     #[must_use]
     pub fn workloads(&self) -> &[WorkloadReport] {
         &self.workloads
+    }
+
+    /// Arrivals turned away because the context table was full.
+    #[must_use]
+    pub fn rejected_admissions(&self) -> u64 {
+        self.rejected_admissions
     }
 
     /// System throughput: `Σ_i single_tenant_avg_latency_i /
@@ -366,6 +417,8 @@ mod tests {
             0.0,
             3,
             100.0,
+            0.0,
+            None,
         )
     }
 
@@ -384,6 +437,7 @@ mod tests {
             100_000.0,
             471.0,
             1,
+            0,
             workloads,
         )
     }
@@ -412,17 +466,42 @@ mod tests {
     fn latency_summaries_precomputed() {
         let w = wl("a", (1..=100).map(f64::from).collect());
         assert!((w.avg_latency_cycles() - 50.5).abs() < 1e-12);
+        assert!((w.p50_latency_cycles() - 50.5).abs() < 1e-9);
         assert!((w.p95_latency_cycles() - 95.05).abs() < 1e-9);
+        assert!((w.p99_latency_cycles() - 99.01).abs() < 1e-9);
         assert_eq!(w.completed_requests(), 100);
     }
 
     #[test]
     fn empty_latency_workload_is_zeroed() {
-        let w = WorkloadReport::new("x".into(), 1.0, 0, vec![], 0.0, 0.0, 0.0, 0, 0.0);
+        let w = WorkloadReport::new("x".into(), 1.0, 0, vec![], 0.0, 0.0, 0.0, 0, 0.0, 0.0, None);
         assert_eq!(w.avg_latency_cycles(), 0.0);
+        assert_eq!(w.p50_latency_cycles(), 0.0);
         assert_eq!(w.p95_latency_cycles(), 0.0);
+        assert_eq!(w.p99_latency_cycles(), 0.0);
         assert_eq!(w.preemptions_per_request(), 0.0);
         assert_eq!(w.switch_overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tenancy_fields_carried_through() {
+        let w = WorkloadReport::new(
+            "t".into(),
+            2.0,
+            1,
+            vec![5.0],
+            1.0,
+            1.0,
+            0.0,
+            0,
+            0.0,
+            123.0,
+            Some(456.0),
+        );
+        assert_eq!(w.admitted_at_cycles(), 123.0);
+        assert_eq!(w.retired_at_cycles(), Some(456.0));
+        let r = report(vec![w]);
+        assert_eq!(r.rejected_admissions(), 0);
     }
 
     #[test]

@@ -87,6 +87,27 @@ pub enum SimEvent {
         /// Simulated cycle.
         at: f64,
     },
+    /// A tenant was admitted into a free context-table slot.
+    TenantAdmitted {
+        /// Index of the workload (admission order within the run).
+        workload: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A tenant completed its request quota and left, freeing its slot.
+    TenantRetired {
+        /// Index of the workload.
+        workload: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// An arrival found no free context-table slot and was turned away.
+    AdmissionRejected {
+        /// Sequence number of the arrival within the run's schedule.
+        arrival: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
 }
 
 impl SimEvent {
@@ -103,6 +124,9 @@ impl SimEvent {
             SimEvent::CtxSwitchEnded { .. } => "ctx_switch_ended",
             SimEvent::DmaReady { .. } => "dma_ready",
             SimEvent::TimerTick { .. } => "timer_tick",
+            SimEvent::TenantAdmitted { .. } => "tenant_admitted",
+            SimEvent::TenantRetired { .. } => "tenant_retired",
+            SimEvent::AdmissionRejected { .. } => "admission_rejected",
         }
     }
 
@@ -117,7 +141,10 @@ impl SimEvent {
             | SimEvent::CtxSwitchStarted { at, .. }
             | SimEvent::CtxSwitchEnded { at, .. }
             | SimEvent::DmaReady { at, .. }
-            | SimEvent::TimerTick { at } => at,
+            | SimEvent::TimerTick { at }
+            | SimEvent::TenantAdmitted { at, .. }
+            | SimEvent::TenantRetired { at, .. }
+            | SimEvent::AdmissionRejected { at, .. } => at,
         }
     }
 }
@@ -156,6 +183,9 @@ pub struct CounterObserver {
     ctx_switch_ended: u64,
     dma_ready: u64,
     timer_tick: u64,
+    tenant_admitted: u64,
+    tenant_retired: u64,
+    admission_rejected: u64,
 }
 
 impl CounterObserver {
@@ -213,6 +243,24 @@ impl CounterObserver {
         self.timer_tick
     }
 
+    /// Tenants admitted into context-table slots.
+    #[must_use]
+    pub fn tenant_admitted(&self) -> u64 {
+        self.tenant_admitted
+    }
+
+    /// Tenants that completed their quota and departed.
+    #[must_use]
+    pub fn tenant_retired(&self) -> u64 {
+        self.tenant_retired
+    }
+
+    /// Arrivals rejected for lack of a free slot.
+    #[must_use]
+    pub fn admission_rejected(&self) -> u64 {
+        self.admission_rejected
+    }
+
     /// Sum over all event kinds.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -224,6 +272,9 @@ impl CounterObserver {
             + self.ctx_switch_ended
             + self.dma_ready
             + self.timer_tick
+            + self.tenant_admitted
+            + self.tenant_retired
+            + self.admission_rejected
     }
 }
 
@@ -239,6 +290,9 @@ impl SimObserver for CounterObserver {
             SimEvent::CtxSwitchEnded { .. } => &mut self.ctx_switch_ended,
             SimEvent::DmaReady { .. } => &mut self.dma_ready,
             SimEvent::TimerTick { .. } => &mut self.timer_tick,
+            SimEvent::TenantAdmitted { .. } => &mut self.tenant_admitted,
+            SimEvent::TenantRetired { .. } => &mut self.tenant_retired,
+            SimEvent::AdmissionRejected { .. } => &mut self.admission_rejected,
         };
         *slot += 1;
     }
@@ -332,6 +386,13 @@ impl<W: Write> SimObserver for JsonLinesObserver<W> {
                 format!("{{\"event\":\"{name}\",\"fu\":{fu},\"at\":{at}}}")
             }
             SimEvent::TimerTick { .. } => format!("{{\"event\":\"{name}\",\"at\":{at}}}"),
+            SimEvent::TenantAdmitted { workload, .. }
+            | SimEvent::TenantRetired { workload, .. } => {
+                format!("{{\"event\":\"{name}\",\"workload\":{workload},\"at\":{at}}}")
+            }
+            SimEvent::AdmissionRejected { arrival, .. } => {
+                format!("{{\"event\":\"{name}\",\"arrival\":{arrival},\"at\":{at}}}")
+            }
         };
         if writeln!(self.sink, "{line}").is_err() {
             self.write_errors += 1;
@@ -413,6 +474,58 @@ mod tests {
         obs.on_event(SimEvent::TimerTick { at: 0.0 });
         obs.on_event(SimEvent::TimerTick { at: 1.0 });
         assert_eq!(obs.write_errors(), 2);
+    }
+
+    #[test]
+    fn lifecycle_events_count_name_and_encode() {
+        let mut c = CounterObserver::new();
+        c.on_event(SimEvent::TenantAdmitted {
+            workload: 0,
+            at: 0.0,
+        });
+        c.on_event(SimEvent::TenantRetired {
+            workload: 0,
+            at: 5.0,
+        });
+        c.on_event(SimEvent::AdmissionRejected {
+            arrival: 3,
+            at: 7.0,
+        });
+        assert_eq!(c.tenant_admitted(), 1);
+        assert_eq!(c.tenant_retired(), 1);
+        assert_eq!(c.admission_rejected(), 1);
+        assert_eq!(c.total(), 3);
+
+        let mut buf = Vec::new();
+        {
+            let mut obs = JsonLinesObserver::new(&mut buf);
+            obs.on_event(SimEvent::TenantAdmitted {
+                workload: 2,
+                at: 10.0,
+            });
+            obs.on_event(SimEvent::AdmissionRejected {
+                arrival: 4,
+                at: 11.0,
+            });
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"tenant_admitted\",\"workload\":2,\"at\":10}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"admission_rejected\",\"arrival\":4,\"at\":11}"
+        );
+        assert_eq!(
+            SimEvent::TenantRetired {
+                workload: 0,
+                at: 1.0
+            }
+            .name(),
+            "tenant_retired"
+        );
     }
 
     #[test]

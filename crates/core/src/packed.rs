@@ -12,6 +12,13 @@ use v10_npu::FuPool;
 
 use crate::context::{fu_id_bits, ContextTable};
 
+/// Hardware rows the Fig. 11 context table provisions in the largest
+/// configuration Table 3 evaluates (4 SAs + 4 VUs, 8 workloads). This is
+/// the default slot capacity for open-loop serving: a core can hold at most
+/// this many resident tenants, and arrivals beyond it are rejected or
+/// routed to another core.
+pub const FIG11_TABLE_ROWS: usize = 8;
+
 /// A context-table row in its architectural form.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PackedRowFields {
@@ -233,8 +240,8 @@ mod tests {
         let mut table = ContextTable::new(&[2.0, 1.0]).unwrap();
         let pool = FuPool::new(1).unwrap();
         let w0 = WorkloadId::new(0);
-        table.set_current_op(w0, 7, FuKind::Sa);
-        table.set_ready(w0, true);
+        table.set_current_op(w0, 7, FuKind::Sa).unwrap();
+        table.set_ready(w0, true).unwrap();
         table.add_active_cycles(w0, 500.0);
         let image = snapshot_table(&table, &pool, 1_000.0);
         let rows = parse_table_image(&image, pool.len(), 2);

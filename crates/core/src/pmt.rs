@@ -20,12 +20,14 @@
 //! whole-core occupancy slot.
 
 use v10_npu::{FuPool, NpuConfig};
-use v10_sim::{Frequency, SimRng, V10Result};
+use v10_sim::{Frequency, SimRng, V10Error, V10Result};
 
 use crate::engine::{RunOptions, WorkloadSpec};
 use crate::engine_core::{drive, EngineCore, ExecutorStrategy, Slot, StepOutcome, EPS};
+use crate::lifecycle::AdmissionSchedule;
 use crate::metrics::RunReport;
 use crate::observer::{NullObserver, SimEvent, SimObserver};
+use crate::packed::FIG11_TABLE_ROWS;
 
 /// PMT's context-switch cost range in microseconds (§5.1).
 const PMT_SWITCH_MIN_US: f64 = 20.0;
@@ -59,13 +61,62 @@ pub fn run_pmt_observed<O: SimObserver>(
     opts: &RunOptions,
     observer: &mut O,
 ) -> V10Result<RunReport> {
+    if specs.is_empty() {
+        return Err(V10Error::invalid("run_pmt", "need at least one workload"));
+    }
+    let schedule = AdmissionSchedule::closed_loop(specs, opts.requests_per_workload())?;
+    serve_pmt_with_capacity("run_pmt", &schedule, config, opts, specs.len(), observer)
+}
+
+/// Serves an open-loop [`AdmissionSchedule`] on the PMT baseline: tenants
+/// join the ownership rotation when they arrive (rejected if the context
+/// table is full) and leave it when their request quota completes.
+///
+/// The table holds `opts.table_capacity()` slots, defaulting to
+/// [`FIG11_TABLE_ROWS`].
+///
+/// # Errors
+///
+/// As [`run_pmt`].
+pub fn serve_pmt(
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+) -> V10Result<RunReport> {
+    serve_pmt_observed(schedule, config, opts, &mut NullObserver)
+}
+
+/// [`serve_pmt`] with an observer receiving the event stream, including the
+/// tenancy events.
+///
+/// # Errors
+///
+/// As [`run_pmt`].
+pub fn serve_pmt_observed<O: SimObserver>(
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    observer: &mut O,
+) -> V10Result<RunReport> {
+    let capacity = opts.table_capacity().unwrap_or(FIG11_TABLE_ROWS);
+    serve_pmt_with_capacity("serve_pmt", schedule, config, opts, capacity, observer)
+}
+
+fn serve_pmt_with_capacity<O: SimObserver>(
+    context: &'static str,
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    capacity: usize,
+    observer: &mut O,
+) -> V10Result<RunReport> {
     // One slot: PMT owns the whole core; the slot's kind tracks the owner's
     // current operator.
     let pool = FuPool::new(1).expect("static non-zero pool size");
     let fu = pool.iter().next().expect("pool of one pair");
     let slots = vec![Slot::new(fu, v10_isa::FuKind::Sa)];
-    let core = EngineCore::new("run_pmt", specs, opts, config, slots, observer)?;
-    let mut strategy = PmtStrategy::new(specs, config, opts);
+    let core = EngineCore::new(context, schedule, config, capacity, slots, observer)?;
+    let mut strategy = PmtStrategy::new(config, opts);
     drive(core, &mut strategy)
 }
 
@@ -89,42 +140,96 @@ pub fn run_single_tenant(
 
 /// PMT's task-granularity scheduling strategy: whole-core ownership
 /// rotating round-robin with priority-proportional slices.
+///
+/// The rotation state (per-tenant slices, single-tenant fast path) is
+/// derived from the live tenant set and recomputed whenever the core's
+/// tenancy epoch moves — an arrival joins the rotation, a departure leaves
+/// it without a context-switch charge (departing is not a preemption).
 struct PmtStrategy {
     rng: SimRng,
     clock: Frequency,
-    /// Ownership slice per workload, proportional to priority and averaging
-    /// the configured PMT slice.
+    /// The configured mean slice in cycles.
+    slice_cycles: f64,
+    /// Ownership slice per admitted tenant (by `wls` index), proportional
+    /// to priority and averaging the configured PMT slice over the live
+    /// set. Zero for retired tenants.
     slices: Vec<f64>,
     owner: usize,
     owner_until: f64,
     single: bool,
+    /// The tenancy epoch `slices`/`single` were derived from.
+    epoch: u64,
 }
 
 impl PmtStrategy {
-    fn new(specs: &[WorkloadSpec], config: &NpuConfig, opts: &RunOptions) -> Self {
-        let total_priority: f64 = specs.iter().map(WorkloadSpec::priority).sum();
-        let slices: Vec<f64> = (0..specs.len())
-            .map(|i| {
-                opts.pmt_slice_cycles() as f64 * specs.len() as f64 * specs[i].priority()
-                    / total_priority
-            })
-            .collect();
-        let owner_until = slices.first().copied().unwrap_or(0.0);
+    fn new(config: &NpuConfig, opts: &RunOptions) -> Self {
         PmtStrategy {
             rng: SimRng::seed_from(opts.seed() ^ 0x0093_4711),
             clock: config.frequency(),
-            slices,
+            slice_cycles: opts.pmt_slice_cycles() as f64,
+            slices: Vec::new(),
             owner: 0,
-            owner_until,
-            single: specs.len() == 1,
+            owner_until: 0.0,
+            single: true,
+            // Forces a resync on the first step, before any scheduling.
+            epoch: u64::MAX,
+        }
+    }
+
+    /// Recomputes slices and ownership after the tenant set changed.
+    fn resync<O: SimObserver>(&mut self, core: &EngineCore<'_, O>) {
+        self.epoch = core.tenancy_epoch;
+        let alive: Vec<usize> = (0..core.wls.len()).filter(|&i| core.wls[i].alive).collect();
+        self.slices = vec![0.0; core.wls.len()];
+        if alive.is_empty() {
+            return;
+        }
+        let total_priority: f64 = alive.iter().map(|&i| core.wls[i].priority).sum();
+        for &i in &alive {
+            self.slices[i] =
+                self.slice_cycles * alive.len() as f64 * core.wls[i].priority / total_priority;
+        }
+        let was_single = self.single;
+        self.single = alive.len() == 1;
+        if !core.wls.get(self.owner).is_some_and(|w| w.alive) {
+            // The owner departed: ownership passes on without a switch
+            // charge — a departure is not a preemption.
+            let n = core.wls.len();
+            let mut next = (self.owner + 1) % n;
+            while !core.wls[next].alive {
+                next = (next + 1) % n;
+            }
+            self.owner = next;
+            self.owner_until = core.now + self.slices[next];
+        } else if was_single && !self.single {
+            // The rotation starts (or restarts) now that there is someone
+            // to rotate to.
+            self.owner_until = core.now + self.slices[self.owner];
         }
     }
 }
 
 impl ExecutorStrategy for PmtStrategy {
     fn step<O: SimObserver>(&mut self, core: &mut EngineCore<'_, O>) -> V10Result<StepOutcome> {
+        core.admit_due()?;
+        if self.epoch != core.tenancy_epoch {
+            self.resync(core);
+        }
         if core.all_done() {
             return Ok(StepOutcome::Finished);
+        }
+
+        // No resident tenant: the core idles until the next arrival.
+        if core.table.is_empty() {
+            let Some(at) = core.next_arrival_at() else {
+                return Err(V10Error::Deadlock {
+                    cycle: core.now,
+                    message: "no live tenants and no pending arrivals".into(),
+                });
+            };
+            let dt = core.resolve_dt(at - core.now)?;
+            core.advance(dt, &[]);
+            return Ok(StepOutcome::Continue);
         }
 
         // Ownership expiry (multi-tenant only).
@@ -151,7 +256,12 @@ impl ExecutorStrategy for PmtStrategy {
             core.advance(cost, &[]); // whole core idle for the switch
             let at = core.now;
             core.emit(SimEvent::CtxSwitchEnded { fu: 0, at });
-            self.owner = (self.owner + 1) % core.wls.len();
+            let n = core.wls.len();
+            let mut next = (self.owner + 1) % n;
+            while !core.wls[next].alive {
+                next = (next + 1) % n;
+            }
+            self.owner = next;
             self.owner_until = core.now + self.slices[self.owner];
             return Ok(StepOutcome::Continue);
         }
@@ -161,6 +271,9 @@ impl ExecutorStrategy for PmtStrategy {
         } else {
             self.owner_until - core.now
         };
+        if let Some(at) = core.next_arrival_at() {
+            dt = dt.min(at - core.now);
+        }
         if core.wls[self.owner].fetch_ready_at > core.now + EPS {
             // Idle while waiting for the instruction DMA.
             dt = dt.min(core.wls[self.owner].fetch_ready_at - core.now);
@@ -188,7 +301,7 @@ impl ExecutorStrategy for PmtStrategy {
         if core.wls[self.owner].op_remaining <= EPS {
             // The next operator's prefetch starts now.
             core.wls[self.owner].last_issue_at = core.now;
-            core.finish_op(self.owner);
+            core.finish_op(self.owner)?;
         }
         Ok(StepOutcome::Continue)
     }

@@ -46,8 +46,8 @@ pub enum Policy {
 /// let mut table = ContextTable::new(&[1.0, 1.0]).expect("valid priorities");
 /// let (w0, w1) = (WorkloadId::new(0), WorkloadId::new(1));
 /// for w in [w0, w1] {
-///     table.set_current_op(w, 0, FuKind::Sa);
-///     table.set_ready(w, true);
+///     table.set_current_op(w, 0, FuKind::Sa).expect("live id");
+///     table.set_ready(w, true).expect("live id");
 /// }
 /// // w0 has hogged the core; Algorithm 1 picks the starved w1.
 /// table.add_active_cycles(w0, 900.0);
@@ -126,10 +126,14 @@ impl Scheduler {
     }
 
     fn pick_round_robin(&mut self, table: &ContextTable, fu_type: FuKind) -> Option<WorkloadId> {
-        let n = table.len();
+        // The cursor walks hardware slots (not live tenants), skipping empty
+        // rows, so a retirement does not renumber everyone after it.
+        let n = table.capacity();
         for off in 0..n {
             let idx = (self.rr_cursor + off) % n;
-            let id = WorkloadId::new(idx);
+            let Some(id) = table.id_at_slot(idx) else {
+                continue;
+            };
             if Self::qualifies(table, id, fu_type) {
                 self.rr_cursor = (idx + 1) % n;
                 return Some(id);
@@ -162,8 +166,8 @@ mod tests {
     fn ready_table(n: usize, kind: FuKind) -> ContextTable {
         let mut t = ContextTable::new(&vec![1.0; n]).unwrap();
         for id in t.ids().collect::<Vec<_>>() {
-            t.set_current_op(id, 0, kind);
-            t.set_ready(id, true);
+            t.set_current_op(id, 0, kind).unwrap();
+            t.set_ready(id, true).unwrap();
         }
         t
     }
@@ -181,11 +185,22 @@ mod tests {
     #[test]
     fn round_robin_skips_unready_and_active() {
         let mut t = ready_table(3, FuKind::Sa);
-        t.set_ready(WorkloadId::new(0), false);
+        t.set_ready(WorkloadId::new(0), false).unwrap();
         let fu = v10_npu::FuPool::new(1).unwrap().iter().next().unwrap();
-        t.mark_issued(WorkloadId::new(1), fu);
+        t.mark_issued(WorkloadId::new(1), fu).unwrap();
         let mut s = Scheduler::new(Policy::RoundRobin);
         assert_eq!(s.pick_next(&t, FuKind::Sa, 0.0), Some(WorkloadId::new(2)));
+    }
+
+    #[test]
+    fn round_robin_skips_retired_slots() {
+        let mut t = ready_table(3, FuKind::Sa);
+        t.retire(t.id_at_slot(1).unwrap()).unwrap();
+        let mut s = Scheduler::new(Policy::RoundRobin);
+        let picks: Vec<usize> = (0..4)
+            .map(|_| s.pick_next(&t, FuKind::Sa, 0.0).unwrap().index())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
     }
 
     #[test]
@@ -214,8 +229,8 @@ mod tests {
         // of w0's, so it is scheduled first.
         let mut t = ContextTable::new(&[1.0, 2.0]).unwrap();
         for id in [WorkloadId::new(0), WorkloadId::new(1)] {
-            t.set_current_op(id, 0, FuKind::Sa);
-            t.set_ready(id, true);
+            t.set_current_op(id, 0, FuKind::Sa).unwrap();
+            t.set_ready(id, true).unwrap();
             t.add_active_cycles(id, 500.0);
         }
         let mut s = Scheduler::new(Policy::Priority);
@@ -253,8 +268,8 @@ mod tests {
     #[test]
     fn all_blocked_yields_none() {
         let mut t = ready_table(2, FuKind::Sa);
-        t.set_ready(WorkloadId::new(0), false);
-        t.set_ready(WorkloadId::new(1), false);
+        t.set_ready(WorkloadId::new(0), false).unwrap();
+        t.set_ready(WorkloadId::new(1), false).unwrap();
         let mut s = Scheduler::new(Policy::Priority);
         assert_eq!(s.pick_next(&t, FuKind::Sa, 0.0), None);
     }
@@ -283,8 +298,8 @@ mod seeded_tests {
                 } else {
                     FuKind::Vu
                 };
-                t.set_current_op(id, i as u64, kind);
-                t.set_ready(id, ready_mask & (1 << i) != 0);
+                t.set_current_op(id, i as u64, kind).unwrap();
+                t.set_ready(id, ready_mask & (1 << i) != 0).unwrap();
                 t.add_active_cycles(id, rng.uniform(0.0, 1e6));
             }
             let mut s = Scheduler::new(if rr {

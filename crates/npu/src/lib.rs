@@ -14,6 +14,9 @@
 //!   accounting for the bandwidth-utilization figures.
 //! * [`dma`] — the instruction-prefetch DMA model ([`InstructionDma`]) that
 //!   drives the context table's Ready bit (§3.2).
+//! * [`cluster`] — multi-core occupancy bookkeeping ([`ClusterState`]):
+//!   which behavior class occupies which context-table slot on which core,
+//!   the hardware-side state behind online admission control.
 //!
 //! # Example
 //!
@@ -33,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod config;
 pub mod dma;
 pub mod fu;
 pub mod hbm;
 pub mod layout;
 
+pub use cluster::ClusterState;
 pub use config::{NpuConfig, NpuConfigBuilder};
 pub use dma::InstructionDma;
 pub use fu::{FuId, FuPool};

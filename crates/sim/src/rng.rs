@@ -161,6 +161,18 @@ impl SimRng {
         (mu + sigma * self.standard_normal()).exp()
     }
 
+    /// Exponential variate with the given mean — inter-arrival times of a
+    /// Poisson process with rate `1 / mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
+        // Inverse-CDF with u in (0, 1] to avoid ln(0).
+        -mean * (1.0 - self.unit_f64()).ln()
+    }
+
     /// Fisher–Yates shuffle in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
@@ -297,6 +309,26 @@ mod tests {
         let empty: [u8; 0] = [];
         assert_eq!(r.choose(&empty), None);
         assert!(r.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible_and_positive() {
+        let mut r = SimRng::seed_from(19);
+        let n = 40_000;
+        let target = 5_000.0;
+        let samples: Vec<f64> = (0..n).map(|_| r.exponential(target)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(
+            (mean - target).abs() / target < 0.05,
+            "sample mean {mean} vs target {target}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_nonpositive_mean() {
+        SimRng::seed_from(0).exponential(0.0);
     }
 
     #[test]

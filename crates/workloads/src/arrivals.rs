@@ -1,0 +1,417 @@
+//! Open-loop tenant arrival processes.
+//!
+//! The paper's evaluation replays fixed workload sets; a serving NPU
+//! instead sees an *open-loop* stream: tenants arrive over time (Poisson
+//! inter-arrivals at some offered load), submit a bounded request stream
+//! with think time between requests, and depart. [`OpenLoopProcess`]
+//! samples such a stream deterministically from a seed — the same process
+//! description always compiles to the same [`TimedArrival`] list, so
+//! serving experiments replay bit-for-bit.
+//!
+//! This crate knows nothing about executors; callers turn each
+//! [`TimedArrival`] into an admission for the serving engine (label +
+//! trace + arrival cycle + request quota map 1:1 onto
+//! `v10_core::Admission`). Think time is compiled into the trace itself:
+//! the first operator's dispatch gap — the host-side stall the engine
+//! already models before an operator issues — is extended by the session's
+//! think gap, so the tenant idles that long before every request without
+//! occupying a functional unit.
+
+use v10_isa::{OpDesc, RequestTrace};
+use v10_sim::{SimRng, V10Error, V10Result};
+
+use crate::model::Model;
+
+/// One sampled tenant arrival: who arrives, when, and how much work they
+/// bring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedArrival {
+    label: String,
+    model: Model,
+    trace: RequestTrace,
+    at_cycles: f64,
+    requests: usize,
+}
+
+impl TimedArrival {
+    /// A hand-built arrival (most arrivals come from
+    /// [`OpenLoopProcess::sample`]; this is for scripted scenarios like the
+    /// admission-control example).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `at_cycles` is negative or
+    /// not finite, or `requests` is zero.
+    pub fn new(
+        label: impl Into<String>,
+        model: Model,
+        trace: RequestTrace,
+        at_cycles: f64,
+        requests: usize,
+    ) -> V10Result<Self> {
+        if !(at_cycles.is_finite() && at_cycles >= 0.0) {
+            return Err(V10Error::invalid(
+                "TimedArrival::new",
+                format!("arrival time must be finite and non-negative, got {at_cycles}"),
+            ));
+        }
+        if requests == 0 {
+            return Err(V10Error::invalid(
+                "TimedArrival::new",
+                "a tenant must submit at least one request",
+            ));
+        }
+        Ok(TimedArrival {
+            label: label.into(),
+            model,
+            trace,
+            at_cycles,
+            requests,
+        })
+    }
+
+    /// A unique label for the tenancy, e.g. `"BERT#3"`.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The arriving model.
+    #[must_use]
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// The tenant's per-request trace (think time folded into the first
+    /// operator's dispatch gap).
+    #[must_use]
+    pub fn trace(&self) -> &RequestTrace {
+        &self.trace
+    }
+
+    /// Arrival time in cycles.
+    #[must_use]
+    pub fn at_cycles(&self) -> f64 {
+        self.at_cycles
+    }
+
+    /// Requests the tenant submits before departing.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+}
+
+/// A deterministic open-loop arrival process over a set of models.
+///
+/// Arrivals are Poisson (exponential inter-arrival times with the
+/// configured mean); each arrival picks a model uniformly at random,
+/// synthesizes its calibrated trace with a per-arrival seed, and submits a
+/// fixed number of requests separated by an exponentially distributed
+/// think gap sampled once per session.
+///
+/// # Example
+///
+/// ```
+/// use v10_workloads::{Model, OpenLoopProcess};
+///
+/// let process = OpenLoopProcess::new(&[Model::Bert, Model::Ncf], 2.0e6, 7)
+///     .expect("positive rate");
+/// let a = process.sample(10).expect("non-empty sample");
+/// let b = process.sample(10).expect("non-empty sample");
+/// assert_eq!(a, b, "same seed, same stream");
+/// assert!(a.windows(2).all(|w| w[0].at_cycles() <= w[1].at_cycles()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopProcess {
+    models: Vec<Model>,
+    mean_interarrival_cycles: f64,
+    mean_think_cycles: f64,
+    requests_per_session: usize,
+    seed: u64,
+}
+
+impl OpenLoopProcess {
+    /// A process over `models` with the given mean inter-arrival time in
+    /// cycles (the offered load is its reciprocal) and RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `models` is empty or
+    /// `mean_interarrival_cycles` is not finite and positive (a zero mean
+    /// would be an infinite arrival rate).
+    pub fn new(models: &[Model], mean_interarrival_cycles: f64, seed: u64) -> V10Result<Self> {
+        if models.is_empty() {
+            return Err(V10Error::invalid(
+                "OpenLoopProcess::new",
+                "need at least one model to draw arrivals from",
+            ));
+        }
+        if !(mean_interarrival_cycles.is_finite() && mean_interarrival_cycles > 0.0) {
+            return Err(V10Error::invalid(
+                "OpenLoopProcess::new",
+                format!(
+                    "mean inter-arrival time must be finite and positive, got \
+                     {mean_interarrival_cycles}"
+                ),
+            ));
+        }
+        Ok(OpenLoopProcess {
+            models: models.to_vec(),
+            mean_interarrival_cycles,
+            mean_think_cycles: 0.0,
+            requests_per_session: 4,
+            seed,
+        })
+    }
+
+    /// Sets the mean think time in cycles between a tenant's requests
+    /// (default 0: back-to-back requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `cycles` is negative or not
+    /// finite.
+    pub fn with_think_cycles(mut self, cycles: f64) -> V10Result<Self> {
+        if !(cycles.is_finite() && cycles >= 0.0) {
+            return Err(V10Error::invalid(
+                "OpenLoopProcess::with_think_cycles",
+                format!("think time must be finite and non-negative, got {cycles}"),
+            ));
+        }
+        self.mean_think_cycles = cycles;
+        Ok(self)
+    }
+
+    /// Sets how many requests each tenant submits before departing
+    /// (default 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `requests` is zero.
+    pub fn with_requests_per_session(mut self, requests: usize) -> V10Result<Self> {
+        if requests == 0 {
+            return Err(V10Error::invalid(
+                "OpenLoopProcess::with_requests_per_session",
+                "need at least one request per session",
+            ));
+        }
+        self.requests_per_session = requests;
+        Ok(self)
+    }
+
+    /// The mean inter-arrival time in cycles.
+    #[must_use]
+    pub fn mean_interarrival_cycles(&self) -> f64 {
+        self.mean_interarrival_cycles
+    }
+
+    /// The mean think time between requests in cycles.
+    #[must_use]
+    pub fn mean_think_cycles(&self) -> f64 {
+        self.mean_think_cycles
+    }
+
+    /// Requests per tenant session.
+    #[must_use]
+    pub fn requests_per_session(&self) -> usize {
+        self.requests_per_session
+    }
+
+    /// Samples the first `count` arrivals of the process, in arrival order.
+    /// Deterministic: the same process samples the same stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `count` is zero.
+    pub fn sample(&self, count: usize) -> V10Result<Vec<TimedArrival>> {
+        if count == 0 {
+            return Err(V10Error::invalid(
+                "OpenLoopProcess::sample",
+                "need at least one arrival",
+            ));
+        }
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut now = 0.0;
+        let mut arrivals = Vec::with_capacity(count);
+        for i in 0..count {
+            now += rng.exponential(self.mean_interarrival_cycles);
+            let model = self.models[rng.index(self.models.len())];
+            // Each session draws its trace and think gap from its own
+            // stream, so changing the think-time configuration never
+            // perturbs the arrival times, model picks, or traces.
+            let mut session = SimRng::seed_from(rng.next_u64());
+            let trace_seed = session.next_u64();
+            let think = if self.mean_think_cycles > 0.0 {
+                session.exponential(self.mean_think_cycles) as u64
+            } else {
+                0
+            };
+            let trace = with_think_gap(&model.default_profile().synthesize(trace_seed), think);
+            arrivals.push(TimedArrival {
+                label: format!("{}#{i}", model.abbrev()),
+                model,
+                trace,
+                at_cycles: now,
+                requests: self.requests_per_session,
+            });
+        }
+        Ok(arrivals)
+    }
+}
+
+/// Extends the first operator's dispatch gap by `gap` cycles — the
+/// compiled form of per-request think time.
+fn with_think_gap(trace: &RequestTrace, gap: u64) -> RequestTrace {
+    if gap == 0 {
+        return trace.clone();
+    }
+    let mut ops = trace.ops().to_vec();
+    let first = ops[0];
+    ops[0] = OpDesc::builder(first.kind())
+        .compute_cycles(first.compute_cycles())
+        .hbm_bytes(first.hbm_bytes())
+        .vmem_bytes(first.vmem_bytes())
+        .flops(first.flops())
+        .instr_count(first.instr_count())
+        .dispatch_gap_cycles(first.dispatch_gap_cycles() + gap)
+        .build();
+    RequestTrace::new(ops).expect("rebuilt trace keeps its operators")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process() -> OpenLoopProcess {
+        OpenLoopProcess::new(&[Model::Bert, Model::Ncf, Model::ResNet], 1.0e6, 42).unwrap()
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = process().sample(20).unwrap();
+        let b = process().sample(20).unwrap();
+        assert_eq!(a, b);
+        // A different seed gives a different stream.
+        let c = OpenLoopProcess::new(&[Model::Bert, Model::Ncf, Model::ResNet], 1.0e6, 43)
+            .unwrap()
+            .sample(20)
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_ordered_with_plausible_spacing() {
+        let arrivals = process().sample(200).unwrap();
+        assert_eq!(arrivals.len(), 200);
+        let mut prev = 0.0;
+        for a in &arrivals {
+            assert!(a.at_cycles() > prev, "arrival times strictly increase");
+            prev = a.at_cycles();
+        }
+        // Mean spacing within 20% of the configured mean over 200 draws.
+        let mean = prev / 200.0;
+        assert!(
+            (mean - 1.0e6).abs() / 1.0e6 < 0.2,
+            "mean inter-arrival {mean}"
+        );
+    }
+
+    #[test]
+    fn arrivals_draw_from_the_model_set() {
+        let models = [Model::Bert, Model::Ncf];
+        let arrivals = OpenLoopProcess::new(&models, 1.0e6, 5)
+            .unwrap()
+            .sample(50)
+            .unwrap();
+        assert!(arrivals.iter().all(|a| models.contains(&a.model())));
+        // Both models appear over 50 draws.
+        for m in models {
+            assert!(arrivals.iter().any(|a| a.model() == m), "{m:?} never drawn");
+        }
+        // Labels are unique per arrival.
+        let labels: std::collections::BTreeSet<&str> =
+            arrivals.iter().map(TimedArrival::label).collect();
+        assert_eq!(labels.len(), arrivals.len());
+    }
+
+    #[test]
+    fn think_time_extends_first_op_dispatch_gap() {
+        let without = process().sample(10).unwrap();
+        let with = process()
+            .with_think_cycles(500_000.0)
+            .unwrap()
+            .sample(10)
+            .unwrap();
+        let mut extended = 0;
+        for (a, b) in without.iter().zip(&with) {
+            let base = a.trace().ops()[0].dispatch_gap_cycles();
+            let thought = b.trace().ops()[0].dispatch_gap_cycles();
+            assert!(thought >= base);
+            if thought > base {
+                extended += 1;
+            }
+            // Only the first operator changes.
+            assert_eq!(a.trace().ops().len(), b.trace().ops().len());
+        }
+        assert!(extended > 5, "think gaps should usually be non-zero");
+    }
+
+    #[test]
+    fn session_quota_is_carried() {
+        let arrivals = process()
+            .with_requests_per_session(9)
+            .unwrap()
+            .sample(3)
+            .unwrap();
+        assert!(arrivals.iter().all(|a| a.requests() == 9));
+    }
+
+    #[test]
+    fn hand_built_arrival_validates_inputs() {
+        let trace = Model::Bert.default_profile().synthesize(1);
+        let a = TimedArrival::new("BERT#x", Model::Bert, trace.clone(), 5.0e6, 2).unwrap();
+        assert_eq!(a.label(), "BERT#x");
+        assert_eq!(a.requests(), 2);
+        for bad_at in [-1.0, f64::NAN, f64::INFINITY] {
+            let err = TimedArrival::new("b", Model::Bert, trace.clone(), bad_at, 2).unwrap_err();
+            assert!(err.to_string().contains("finite and non-negative"), "{err}");
+        }
+        let err = TimedArrival::new("b", Model::Bert, trace, 0.0, 0).unwrap_err();
+        assert!(err.to_string().contains("at least one request"), "{err}");
+    }
+
+    #[test]
+    fn zero_rate_process_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = OpenLoopProcess::new(&[Model::Bert], bad, 0).unwrap_err();
+            assert!(err.to_string().contains("finite and positive"), "{err}");
+        }
+    }
+
+    #[test]
+    fn empty_model_set_rejected() {
+        let err = OpenLoopProcess::new(&[], 1.0e6, 0).unwrap_err();
+        assert!(err.to_string().contains("at least one model"), "{err}");
+    }
+
+    #[test]
+    fn bad_think_time_rejected() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let err = process().with_think_cycles(bad).unwrap_err();
+            assert!(err.to_string().contains("non-negative"), "{err}");
+        }
+    }
+
+    #[test]
+    fn zero_session_requests_rejected() {
+        let err = process().with_requests_per_session(0).unwrap_err();
+        assert!(err.to_string().contains("at least one request"), "{err}");
+    }
+
+    #[test]
+    fn zero_sample_count_rejected() {
+        let err = process().sample(0).unwrap_err();
+        assert!(err.to_string().contains("at least one arrival"), "{err}");
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod features;
 pub mod model;
 pub mod pairs;
@@ -42,6 +43,7 @@ pub mod profile;
 pub mod synth;
 pub mod zoo;
 
+pub use arrivals::{OpenLoopProcess, TimedArrival};
 pub use features::{FeatureVector, FEATURE_NAMES};
 pub use model::Model;
 pub use pairs::{PAIRS_EVAL, PAIRS_FIG9};
