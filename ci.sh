@@ -9,6 +9,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> v10-lint (determinism & panic-freedom, ratchet baseline)"
+cargo run -q -p v10-lint -- --check
+
+echo "==> v10-lint baseline ratchet (must not grow)"
+cargo run -q -p v10-lint -- --fix-baseline
+git diff --exit-code lint-baseline.toml \
+    || { echo "lint-baseline.toml is out of date: commit the regenerated file"; exit 1; }
+
 echo "==> cargo test"
 cargo test --workspace -q
 

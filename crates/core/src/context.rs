@@ -185,9 +185,24 @@ impl ContextTable {
                 ),
             ));
         };
-        let gen = self.next_gen[slot];
-        self.next_gen[slot] += 1;
-        self.slots[slot] = Some(Row {
+        let gen = match self.next_gen.get_mut(slot) {
+            Some(g) => {
+                let gen = *g;
+                *g += 1;
+                gen
+            }
+            None => {
+                return Err(V10Error::invalid(
+                    "ContextTable::admit",
+                    "generation table out of sync with slots",
+                ))
+            }
+        };
+        let entry = self
+            .slots
+            .get_mut(slot)
+            .ok_or_else(|| V10Error::invalid("ContextTable::admit", "slot index out of range"))?;
+        *entry = Some(Row {
             gen,
             op_id: 0,
             op_kind: None,
@@ -215,7 +230,9 @@ impl ContextTable {
         if self.row(id).is_none() {
             return Err(stale("ContextTable::retire", id));
         }
-        self.slots[id.index()] = None;
+        if let Some(entry) = self.slots.get_mut(id.index()) {
+            *entry = None;
+        }
         self.live -= 1;
         Ok(())
     }

@@ -285,7 +285,7 @@ impl V10Engine {
         observer: &mut O,
     ) -> V10Result<RunReport> {
         let cfg = &self.config;
-        let pool = FuPool::new(cfg.fu_count() as usize).expect("validated configuration");
+        let pool = FuPool::new(cfg.fu_count() as usize)?;
         let slots = pool.iter().map(|id| Slot::new(id, pool.kind(id))).collect();
         let core = EngineCore::new(context, schedule, cfg, capacity, slots, observer)?;
         let mut strategy = V10Strategy::new(cfg, self.policy, self.preemption);
@@ -324,16 +324,18 @@ impl ExecutorStrategy for V10Strategy {
 
         // -------- Phase 1: promote fetches, issue ready operators.
         for i in 0..core.wls.len() {
-            if !core.wls[i].alive {
+            let (alive, id, fetch_ready_at, op_id) = {
+                let wl = core.wl(i)?;
+                (wl.alive, wl.id, wl.fetch_ready_at, wl.next_op_id)
+            };
+            if !alive {
                 continue;
             }
-            let id = core.wls[i].id;
             if !core.table.is_active(id)
                 && !core.table.is_ready(id)
-                && core.wls[i].fetch_ready_at <= core.now + EPS
+                && fetch_ready_at <= core.now + EPS
             {
                 core.table.set_ready(id, true)?;
-                let op_id = core.wls[i].next_op_id;
                 let at = core.now;
                 core.emit(SimEvent::DmaReady {
                     workload: i,
@@ -343,33 +345,44 @@ impl ExecutorStrategy for V10Strategy {
             }
         }
         for s in 0..core.slots.len() {
-            if core.slots[s].occupant.is_some() {
+            let (occupied, switch_until, kind, fu) = {
+                let slot = core.slot(s)?;
+                (
+                    slot.occupant.is_some(),
+                    slot.switch_until,
+                    slot.kind,
+                    slot.fu,
+                )
+            };
+            if occupied {
                 continue;
             }
             // A pending switch window that has elapsed closes here. (The
             // sentinel reset to 0.0 is unobservable to the schedule: the
             // clock only grows, so an elapsed deadline and 0.0 compare
             // identically ever after.)
-            if core.slots[s].switch_until > 0.0 && core.slots[s].switch_until <= core.now + EPS {
-                core.slots[s].switch_until = 0.0;
+            let mut switch_until = switch_until;
+            if switch_until > 0.0 && switch_until <= core.now + EPS {
+                core.slot_mut(s)?.switch_until = 0.0;
+                switch_until = 0.0;
                 let at = core.now;
                 core.emit(SimEvent::CtxSwitchEnded { fu: s, at });
             }
-            if core.slots[s].switch_until <= core.now + EPS {
-                if let Some(id) =
-                    self.scheduler
-                        .pick_next(&core.table, core.slots[s].kind, core.now)
-                {
-                    let w = core.owner_of(id);
-                    core.table.mark_issued(id, core.slots[s].fu)?;
-                    core.slots[s].occupant = Some(w);
-                    core.wls[w].last_issue_at = core.now;
+            if switch_until <= core.now + EPS {
+                if let Some(id) = self.scheduler.pick_next(&core.table, kind, core.now) {
+                    let w = core.owner_of(id)?;
+                    core.table.mark_issued(id, fu)?;
+                    core.slot_mut(s)?.occupant = Some(w);
+                    let now = core.now;
+                    let wl = core.wl_mut(w)?;
+                    wl.last_issue_at = now;
+                    let op_id = wl.next_op_id;
                     let ev = SimEvent::OpIssued {
                         workload: w,
                         fu: s,
-                        kind: core.slots[s].kind,
-                        op_id: core.wls[w].next_op_id,
-                        at: core.now,
+                        kind,
+                        op_id,
+                        at: now,
                     };
                     core.emit(ev);
                 }
@@ -387,8 +400,9 @@ impl ExecutorStrategy for V10Strategy {
             .slots
             .iter()
             .filter_map(|slot| {
-                slot.occupant
-                    .map(|w| (w, core.wls[w].current_op().hbm_demand_bytes_per_cycle()))
+                let w = slot.occupant?;
+                let wl = core.wls.get(w)?;
+                Some((w, wl.current_op().hbm_demand_bytes_per_cycle()))
             })
             .collect();
         let rates = core.hbm.progress_rates(&flows);
@@ -396,10 +410,10 @@ impl ExecutorStrategy for V10Strategy {
         // -------- Phase 3: time to the next event.
         let mut dt = f64::INFINITY;
         for slot in &core.slots {
-            if let Some(w) = slot.occupant {
-                let r = rate_of(&rates, w);
+            if let Some(wl) = slot.occupant.and_then(|w| core.wls.get(w)) {
+                let r = slot.occupant.map_or(1.0, |w| rate_of(&rates, w));
                 if r > EPS {
-                    dt = dt.min(core.wls[w].op_remaining / r);
+                    dt = dt.min(wl.op_remaining / r);
                 }
             }
             if slot.switch_until > core.now + EPS {
@@ -427,22 +441,29 @@ impl ExecutorStrategy for V10Strategy {
 
         // -------- Phase 5a: operator completions (and departures).
         for s in 0..core.slots.len() {
-            let Some(w) = core.slots[s].occupant else {
+            let Some(w) = core.slot(s)?.occupant else {
                 continue;
             };
-            if core.wls[w].op_remaining > EPS {
+            let (op_remaining, id) = {
+                let wl = core.wl(w)?;
+                (wl.op_remaining, wl.id)
+            };
+            if op_remaining > EPS {
                 continue;
             }
-            core.slots[s].occupant = None;
-            let id = core.wls[w].id;
+            core.slot_mut(s)?.occupant = None;
             core.table.mark_released(id, false)?;
             core.finish_op(w)?;
-            if core.wls[w].alive {
-                core.table.set_current_op(
-                    id,
-                    core.wls[w].next_op_id,
-                    core.wls[w].current_op().kind(),
-                )?;
+            let (alive, next_op_id, kind) = {
+                let wl = core.wl(w)?;
+                (
+                    wl.alive,
+                    wl.next_op_id,
+                    wl.alive.then(|| wl.current_op().kind()),
+                )
+            };
+            if let (true, Some(kind)) = (alive, kind) {
+                core.table.set_current_op(id, next_op_id, kind)?;
             }
         }
 
@@ -454,29 +475,35 @@ impl ExecutorStrategy for V10Strategy {
             let at = core.now;
             core.emit(SimEvent::TimerTick { at });
             for s in 0..core.slots.len() {
-                let Some(w) = core.slots[s].occupant else {
+                let (occupant, kind) = {
+                    let slot = core.slot(s)?;
+                    (slot.occupant, slot.kind)
+                };
+                let Some(w) = occupant else {
                     continue;
                 };
-                let running = core.wls[w].id;
-                let Some(candidate) =
-                    self.scheduler
-                        .pick_next(&core.table, core.slots[s].kind, core.now)
-                else {
+                let running = core.wl(w)?.id;
+                let Some(candidate) = self.scheduler.pick_next(&core.table, kind, core.now) else {
                     continue;
                 };
                 if self
                     .scheduler
                     .prefers_preemption(&core.table, running, candidate, core.now)
                 {
-                    let cost = match core.slots[s].kind {
+                    let cost = match kind {
                         FuKind::Sa => self.sa_switch_cycles,
                         FuKind::Vu => self.vu_switch_cycles,
                     } as f64;
                     core.table.mark_released(running, true)?;
-                    core.slots[s].occupant = None;
-                    core.slots[s].switch_until = core.now + cost;
-                    core.wls[w].preemptions += 1;
-                    core.wls[w].switch_overhead += cost;
+                    let until = core.now + cost;
+                    {
+                        let slot = core.slot_mut(s)?;
+                        slot.occupant = None;
+                        slot.switch_until = until;
+                    }
+                    let wl = core.wl_mut(w)?;
+                    wl.preemptions += 1;
+                    wl.switch_overhead += cost;
                     let at = core.now;
                     core.emit(SimEvent::OpPreempted {
                         workload: w,

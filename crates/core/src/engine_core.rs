@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 
 use v10_isa::{FuKind, OpDesc, RequestTrace};
 use v10_npu::{FuId, HbmArbiter, InstructionDma, NpuConfig};
+use v10_sim::convert::{u64_to_f64, usize_to_f64};
 use v10_sim::{V10Error, V10Result};
 
 use crate::context::{ContextTable, WorkloadId};
@@ -79,6 +80,7 @@ pub(crate) struct WlState {
 
 impl WlState {
     pub(crate) fn current_op(&self) -> &OpDesc {
+        // v10-lint: allow(P1) op_idx wraps to 0 in finish_op before it can reach ops().len(), and traces are validated non-empty
         &self.trace.ops()[self.op_idx]
     }
 }
@@ -215,8 +217,8 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             ));
         }
         let hbm_peak = config.hbm_bytes_per_cycle();
-        let hbm = HbmArbiter::new(hbm_peak).expect("validated configuration");
-        let dma = InstructionDma::new(hbm_peak).expect("validated configuration");
+        let hbm = HbmArbiter::new(hbm_peak)?;
+        let dma = InstructionDma::new(hbm_peak)?;
         let table = ContextTable::with_capacity(capacity)?;
 
         Ok(EngineCore {
@@ -279,8 +281,9 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             .front()
             .is_some_and(|a| a.at_cycles() <= self.now + EPS)
         {
-            let adm = self.pending.pop_front().expect("checked non-empty");
-            self.admit_tenant(&adm)?;
+            if let Some(adm) = self.pending.pop_front() {
+                self.admit_tenant(&adm)?;
+            }
         }
         Ok(())
     }
@@ -334,14 +337,16 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             preemptions: 0,
             switch_overhead: 0.0,
         };
-        wl.op_remaining = wl.current_op().compute_cycles() as f64;
+        wl.op_remaining = u64_to_f64(wl.current_op().compute_cycles());
         wl.fetch_ready_at = self
             .dma
             .ready_at(wl.current_op(), now, now)
-            .max(now + wl.current_op().dispatch_gap_cycles() as f64);
+            .max(now + u64_to_f64(wl.current_op().dispatch_gap_cycles()));
         let kind = wl.current_op().kind();
         let w = self.wls.len();
-        self.slot_owner[id.index()] = Some(w);
+        if let Some(owner) = self.slot_owner.get_mut(id.index()) {
+            *owner = Some(w);
+        }
         self.table.set_current_op(id, 0, kind)?;
         self.wls.push(wl);
         self.emit(SimEvent::TenantAdmitted {
@@ -358,9 +363,66 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
         self.pending.front().map(Admission::at_cycles)
     }
 
+    /// Checked access to workload `w`'s execution state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `w` is not an admitted
+    /// workload index.
+    pub(crate) fn wl(&self, w: usize) -> V10Result<&WlState> {
+        self.wls
+            .get(w)
+            .ok_or_else(|| V10Error::invalid("EngineCore::wl", "unknown workload index"))
+    }
+
+    /// Mutable counterpart of [`EngineCore::wl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `w` is not an admitted
+    /// workload index.
+    pub(crate) fn wl_mut(&mut self, w: usize) -> V10Result<&mut WlState> {
+        self.wls
+            .get_mut(w)
+            .ok_or_else(|| V10Error::invalid("EngineCore::wl_mut", "unknown workload index"))
+    }
+
+    /// Checked access to occupancy slot `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `s` is not a slot index.
+    pub(crate) fn slot(&self, s: usize) -> V10Result<&Slot> {
+        self.slots
+            .get(s)
+            .ok_or_else(|| V10Error::invalid("EngineCore::slot", "unknown slot index"))
+    }
+
+    /// Mutable counterpart of [`EngineCore::slot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `s` is not a slot index.
+    pub(crate) fn slot_mut(&mut self, s: usize) -> V10Result<&mut Slot> {
+        self.slots
+            .get_mut(s)
+            .ok_or_else(|| V10Error::invalid("EngineCore::slot_mut", "unknown slot index"))
+    }
+
     /// Maps a live tenancy id back to its `wls` index.
-    pub(crate) fn owner_of(&self, id: WorkloadId) -> usize {
-        self.slot_owner[id.index()].expect("scheduler picked a live tenant")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if the id's slot has no live
+    /// owner — a scheduler picked a stale or retired tenant.
+    pub(crate) fn owner_of(&self, id: WorkloadId) -> V10Result<usize> {
+        self.slot_owner
+            .get(id.index())
+            .copied()
+            .flatten()
+            .ok_or_else(|| {
+                V10Error::invalid("EngineCore::owner_of", "scheduler picked a stale tenant id")
+            })
     }
 
     /// Has every arrival been served and every tenant met its quota?
@@ -403,8 +465,10 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     pub(crate) fn advance(&mut self, dt: f64, rates: &[(usize, f64)]) {
         let mut sa_active = 0usize;
         let mut vu_active = 0usize;
-        for s in 0..self.slots.len() {
-            let slot = &self.slots[s];
+        // Take the slot vector so the loop can hold `&slot` while mutating
+        // the per-workload state — the two never alias.
+        let slots = std::mem::take(&mut self.slots);
+        for slot in &slots {
             if let Some(w) = slot.occupant {
                 match slot.kind {
                     FuKind::Sa => sa_active += 1,
@@ -412,7 +476,9 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                 }
                 let kind = slot.kind;
                 let r = rate_of(rates, w);
-                let wl = &mut self.wls[w];
+                let Some(wl) = self.wls.get_mut(w) else {
+                    continue;
+                };
                 let id = wl.id;
                 wl.op_remaining -= r * dt;
                 let bytes = wl.current_op().hbm_demand_bytes_per_cycle() * r * dt;
@@ -427,8 +493,9 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                 self.switch_overhead_total += dt.min(slot.switch_until - self.now);
             }
         }
-        self.sa_busy += sa_active as f64 * dt;
-        self.vu_busy += vu_active as f64 * dt;
+        self.slots = slots;
+        self.sa_busy += usize_to_f64(sa_active) * dt;
+        self.vu_busy += usize_to_f64(vu_active) * dt;
         self.overlap.accumulate(sa_active > 0, vu_active > 0, dt);
         self.now += dt;
     }
@@ -451,8 +518,13 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     /// stale (an engine invariant violation).
     pub(crate) fn finish_op(&mut self, w: usize) -> V10Result<()> {
         let now = self.now;
-        let (done_op_id, finished_request, departs) = {
-            let wl = &mut self.wls[w];
+        let (id, done_op_id, finished_request, departs) = {
+            let Some(wl) = self.wls.get_mut(w) else {
+                return Err(V10Error::invalid(
+                    "EngineCore::finish_op",
+                    "unknown workload index",
+                ));
+            };
             let done_op_id = wl.next_op_id;
             let mut finished_request = None;
             wl.op_idx += 1;
@@ -471,21 +543,22 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                 wl.alive = false;
                 wl.retired_at = Some(now);
             } else {
-                wl.op_remaining = wl.current_op().compute_cycles() as f64;
+                wl.op_remaining = u64_to_f64(wl.current_op().compute_cycles());
                 // The next operator's instructions were prefetched from the
                 // moment the finished operator issued; its dispatch gap
                 // (host-side stalls) starts now.
                 wl.fetch_ready_at = self
                     .dma
                     .ready_at(wl.current_op(), wl.last_issue_at, now)
-                    .max(now + wl.current_op().dispatch_gap_cycles() as f64);
+                    .max(now + u64_to_f64(wl.current_op().dispatch_gap_cycles()));
             }
-            (done_op_id, finished_request, departs)
+            (wl.id, done_op_id, finished_request, departs)
         };
         if departs {
-            let id = self.wls[w].id;
             self.table.retire(id)?;
-            self.slot_owner[id.index()] = None;
+            if let Some(owner) = self.slot_owner.get_mut(id.index()) {
+                *owner = None;
+            }
         }
         self.emit(SimEvent::OpCompleted {
             workload: w,

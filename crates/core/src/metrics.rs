@@ -13,6 +13,7 @@
 //! * **Preemption accounting** (Fig. 21): context-switch overhead and
 //!   preemptions per request.
 
+use v10_sim::convert::{u64_to_f64, usize_to_f64};
 use v10_sim::Percentiles;
 
 /// Wall-clock partition of a run by which FU kinds were busy (Fig. 17).
@@ -221,7 +222,7 @@ impl WorkloadReport {
         if self.completed_requests == 0 {
             0.0
         } else {
-            self.preemptions as f64 / self.completed_requests as f64
+            u64_to_f64(self.preemptions) / usize_to_f64(self.completed_requests)
         }
     }
 
@@ -309,13 +310,13 @@ impl RunReport {
     /// SA temporal utilization in `[0, 1]` (Fig. 16a).
     #[must_use]
     pub fn sa_util(&self) -> f64 {
-        self.sa_busy / (self.fu_pairs as f64 * self.elapsed.max(1e-12))
+        self.sa_busy / (f64::from(self.fu_pairs) * self.elapsed.max(1e-12))
     }
 
     /// VU temporal utilization in `[0, 1]` (Fig. 16b).
     #[must_use]
     pub fn vu_util(&self) -> f64 {
-        self.vu_busy / (self.fu_pairs as f64 * self.elapsed.max(1e-12))
+        self.vu_busy / (f64::from(self.fu_pairs) * self.elapsed.max(1e-12))
     }
 
     /// Mean of SA and VU utilization — the "aggregated utilization of all
@@ -383,17 +384,21 @@ impl RunReport {
     /// One workload's normalized progress vs its dedicated-core run
     /// (Fig. 22a's "Perf vs Ideal").
     ///
+    /// An out-of-range `index` yields `0.0`.
+    ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range or `single_tenant_avg_latency` is
-    /// non-positive.
+    /// Panics if `single_tenant_avg_latency` is non-positive.
     #[must_use]
     pub fn normalized_progress(&self, index: usize, single_tenant_avg_latency: f64) -> f64 {
         assert!(
             single_tenant_avg_latency > 0.0,
             "reference latency must be positive"
         );
-        let multi = self.workloads[index].avg_latency_cycles();
+        let multi = self
+            .workloads
+            .get(index)
+            .map_or(0.0, WorkloadReport::avg_latency_cycles);
         if multi <= 0.0 {
             0.0
         } else {

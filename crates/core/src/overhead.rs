@@ -17,6 +17,7 @@
 use std::fmt;
 
 use crate::context::{fu_id_bits, ContextTable};
+use v10_sim::convert::{f64_to_u64_round, u64_to_f64, usize_to_f64};
 
 /// Hardware cost of one scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,21 +123,25 @@ pub fn estimate_overhead(
     }
 
     let num_fus = num_sas + num_vus;
+    #[allow(clippy::expect_used)]
+    // v10-lint: allow(P1) unreachable: priorities are the constant 1.0 and num_workloads was asserted positive above
     let table = ContextTable::new(&vec![1.0; num_workloads]).expect("positive priorities");
     let context_table_bytes = table.storage_bytes(num_fus);
 
     // Latency fit: a per-workload scan plus a quadratic FU term (the issue
     // crossbar and per-FU arbitration). Calibrated on Table 3's four points:
     // 22 @(2 FUs, 2 wl), 24 @(2, 4), 82 @(4, 4), 284 @(8, 8).
-    let fus = num_fus as f64;
-    let wls = num_workloads as f64;
-    let latency_cycles = (16.0 + wls + 4.1 * fus * fus / 4.0 * (wls / 4.0).max(0.5)).round() as u64;
+    let fus = usize_to_f64(num_fus);
+    let wls = usize_to_f64(num_workloads);
+    let latency_cycles =
+        f64_to_u64_round(16.0 + wls + 4.1 * fus * fus / 4.0 * (wls / 4.0).max(0.5));
 
     // Area grows with table storage; power with arbitration activity. Both
     // stay fractions of a percent across the sane design space (§3.6:
     // "negligible area and power overhead").
-    let area_percent = 0.0005 + 0.000015 * context_table_bytes as f64 + 0.0001 * fus;
-    let power_percent = 0.29 + 0.005 * wls + 0.002 * fus + 0.0000012 * fu_id_bits(num_fus) as f64;
+    let area_percent = 0.0005 + 0.000015 * u64_to_f64(context_table_bytes) + 0.0001 * fus;
+    let power_percent =
+        0.29 + 0.005 * wls + 0.002 * fus + 0.0000012 * u64_to_f64(fu_id_bits(num_fus));
 
     SchedulerOverhead {
         num_sas,

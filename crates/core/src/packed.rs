@@ -155,8 +155,11 @@ impl BitWriter {
                 self.bytes.push(0);
             }
             let b = (value >> i) & 1;
-            let idx = (self.bit / 8) as usize;
-            self.bytes[idx] |= (b as u8) << (self.bit % 8);
+            // The byte at bit / 8 is always the one just pushed (or the one
+            // the previous iterations were filling): it is the last byte.
+            if let Some(byte) = self.bytes.last_mut() {
+                *byte |= (b as u8) << (self.bit % 8);
+            }
             self.bit += 1;
         }
     }
@@ -180,8 +183,9 @@ impl<'a> BitReader<'a> {
         let mut out = 0u64;
         for i in 0..width {
             let idx = (self.bit / 8) as usize;
-            assert!(idx < self.bytes.len(), "row image too short");
-            let b = (self.bytes[idx] >> (self.bit % 8)) & 1;
+            let byte = self.bytes.get(idx).copied();
+            assert!(byte.is_some(), "row image too short");
+            let b = (byte.unwrap_or(0) >> (self.bit % 8)) & 1;
             out |= (b as u64) << i;
             self.bit += 1;
         }

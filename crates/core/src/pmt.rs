@@ -112,8 +112,11 @@ fn serve_pmt_with_capacity<O: SimObserver>(
 ) -> V10Result<RunReport> {
     // One slot: PMT owns the whole core; the slot's kind tracks the owner's
     // current operator.
-    let pool = FuPool::new(1).expect("static non-zero pool size");
-    let fu = pool.iter().next().expect("pool of one pair");
+    let pool = FuPool::new(1)?;
+    let fu = pool
+        .iter()
+        .next()
+        .ok_or_else(|| V10Error::invalid(context, "FU pool of one pair is empty"))?;
     let slots = vec![Slot::new(fu, v10_isa::FuKind::Sa)];
     let core = EngineCore::new(context, schedule, config, capacity, slots, observer)?;
     let mut strategy = PmtStrategy::new(config, opts);
@@ -179,34 +182,52 @@ impl PmtStrategy {
     /// Recomputes slices and ownership after the tenant set changed.
     fn resync<O: SimObserver>(&mut self, core: &EngineCore<'_, O>) {
         self.epoch = core.tenancy_epoch;
-        let alive: Vec<usize> = (0..core.wls.len()).filter(|&i| core.wls[i].alive).collect();
+        let alive: Vec<(usize, f64)> = core
+            .wls
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive)
+            .map(|(i, w)| (i, w.priority))
+            .collect();
         self.slices = vec![0.0; core.wls.len()];
         if alive.is_empty() {
             return;
         }
-        let total_priority: f64 = alive.iter().map(|&i| core.wls[i].priority).sum();
-        for &i in &alive {
-            self.slices[i] =
-                self.slice_cycles * alive.len() as f64 * core.wls[i].priority / total_priority;
+        let total_priority: f64 = alive.iter().map(|&(_, p)| p).sum();
+        for &(i, priority) in &alive {
+            if let Some(slice) = self.slices.get_mut(i) {
+                *slice = self.slice_cycles * alive.len() as f64 * priority / total_priority;
+            }
         }
         let was_single = self.single;
         self.single = alive.len() == 1;
         if !core.wls.get(self.owner).is_some_and(|w| w.alive) {
             // The owner departed: ownership passes on without a switch
             // charge — a departure is not a preemption.
-            let n = core.wls.len();
-            let mut next = (self.owner + 1) % n;
-            while !core.wls[next].alive {
-                next = (next + 1) % n;
-            }
+            let next = next_alive(core, self.owner);
             self.owner = next;
-            self.owner_until = core.now + self.slices[next];
+            self.owner_until = core.now + self.slice_of(next);
         } else if was_single && !self.single {
             // The rotation starts (or restarts) now that there is someone
             // to rotate to.
-            self.owner_until = core.now + self.slices[self.owner];
+            self.owner_until = core.now + self.slice_of(self.owner);
         }
     }
+
+    fn slice_of(&self, index: usize) -> f64 {
+        self.slices.get(index).copied().unwrap_or(0.0)
+    }
+}
+
+/// The next alive tenant after `start` in round-robin order. Only called
+/// when at least one tenant is alive, so the scan terminates.
+fn next_alive<O: SimObserver>(core: &EngineCore<'_, O>, start: usize) -> usize {
+    let n = core.wls.len();
+    let mut next = (start + 1) % n;
+    while !core.wls.get(next).is_some_and(|w| w.alive) {
+        next = (next + 1) % n;
+    }
+    next
 }
 
 impl ExecutorStrategy for PmtStrategy {
@@ -238,8 +259,11 @@ impl ExecutorStrategy for PmtStrategy {
                 .clock
                 .cycles_from_micros(self.rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US))
                 .as_u64() as f64;
-            core.wls[self.owner].preemptions += 1;
-            core.wls[self.owner].switch_overhead += cost;
+            {
+                let wl = core.wl_mut(self.owner)?;
+                wl.preemptions += 1;
+                wl.switch_overhead += cost;
+            }
             core.switch_overhead_total += cost;
             let at = core.now;
             core.emit(SimEvent::OpPreempted {
@@ -256,13 +280,9 @@ impl ExecutorStrategy for PmtStrategy {
             core.advance(cost, &[]); // whole core idle for the switch
             let at = core.now;
             core.emit(SimEvent::CtxSwitchEnded { fu: 0, at });
-            let n = core.wls.len();
-            let mut next = (self.owner + 1) % n;
-            while !core.wls[next].alive {
-                next = (next + 1) % n;
-            }
+            let next = next_alive(core, self.owner);
             self.owner = next;
-            self.owner_until = core.now + self.slices[self.owner];
+            self.owner_until = core.now + self.slice_of(next);
             return Ok(StepOutcome::Continue);
         }
 
@@ -274,33 +294,42 @@ impl ExecutorStrategy for PmtStrategy {
         if let Some(at) = core.next_arrival_at() {
             dt = dt.min(at - core.now);
         }
-        if core.wls[self.owner].fetch_ready_at > core.now + EPS {
+        let fetch_ready_at = core.wl(self.owner)?.fetch_ready_at;
+        if fetch_ready_at > core.now + EPS {
             // Idle while waiting for the instruction DMA.
-            dt = dt.min(core.wls[self.owner].fetch_ready_at - core.now);
+            dt = dt.min(fetch_ready_at - core.now);
             let dt = core.resolve_dt(dt)?;
             core.advance(dt, &[]);
             return Ok(StepOutcome::Continue);
         }
 
         // The owner's current operator runs alone on the core.
-        let kind = core.wls[self.owner].current_op().kind();
-        let demand = core.wls[self.owner]
-            .current_op()
-            .hbm_demand_bytes_per_cycle();
-        let rate = core.hbm.progress_rates(&[(self.owner, demand)])[0].1;
+        let (kind, demand, op_remaining) = {
+            let wl = core.wl(self.owner)?;
+            let op = wl.current_op();
+            (op.kind(), op.hbm_demand_bytes_per_cycle(), wl.op_remaining)
+        };
+        let rate = core
+            .hbm
+            .progress_rates(&[(self.owner, demand)])
+            .first()
+            .map_or(0.0, |&(_, r)| r);
         assert!(rate > EPS, "operator starved of bandwidth");
-        dt = dt.min(core.wls[self.owner].op_remaining / rate);
+        dt = dt.min(op_remaining / rate);
         let dt = core.resolve_dt(dt)?;
 
-        core.slots[0].kind = kind;
-        core.slots[0].occupant = Some(self.owner);
+        {
+            let slot = core.slot_mut(0)?;
+            slot.kind = kind;
+            slot.occupant = Some(self.owner);
+        }
         core.advance(dt, &[(self.owner, rate)]);
-        core.slots[0].occupant = None;
+        core.slot_mut(0)?.occupant = None;
 
         // Operator completion.
-        if core.wls[self.owner].op_remaining <= EPS {
+        if core.wl(self.owner)?.op_remaining <= EPS {
             // The next operator's prefetch starts now.
-            core.wls[self.owner].last_issue_at = core.now;
+            core.wl_mut(self.owner)?.last_issue_at = core.now;
             core.finish_op(self.owner)?;
         }
         Ok(StepOutcome::Continue)

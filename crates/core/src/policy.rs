@@ -149,8 +149,7 @@ impl Scheduler {
         order.sort_by(|&a, &b| {
             table
                 .active_rate_p(a, now)
-                .partial_cmp(&table.active_rate_p(b, now))
-                .expect("active rates are finite")
+                .total_cmp(&table.active_rate_p(b, now))
                 .then(a.index().cmp(&b.index()))
         });
         order

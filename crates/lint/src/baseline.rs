@@ -1,0 +1,167 @@
+//! The `lint-baseline.toml` ratchet.
+//!
+//! The baseline freezes violations that predate the lint pass as
+//! per-`(file, rule)` allowed counts. `--check` fails when a count *grows*
+//! (a new violation) **and** when it *shrinks* (the baseline is stale:
+//! regenerate with `--fix-baseline` so the ratchet clicks down and the fix
+//! can never regress). `--fix-baseline` refuses to write a baseline whose
+//! total exceeds the committed one, so the file can only shrink over time.
+//!
+//! The format is a deliberately tiny TOML subset — an array of tables —
+//! read and written by hand because the workspace has no TOML dependency:
+//!
+//! ```toml
+//! [[entry]]
+//! file = "crates/npu/src/hbm.rs"
+//! rule = "D3"
+//! allowed = 4
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Allowed violation counts keyed by `(repo-relative file, rule id)`.
+/// `BTreeMap` so serialization order is deterministic.
+pub type Baseline = BTreeMap<(String, String), u32>;
+
+/// Parses the baseline format. Returns `Err` with a human-readable message
+/// on any structural problem — a corrupt ratchet must fail loudly, not
+/// silently admit violations.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline::new();
+    let mut file: Option<String> = None;
+    let mut rule: Option<String> = None;
+    let mut allowed: Option<u32> = None;
+    let mut in_entry = false;
+
+    let flush = |file: &mut Option<String>,
+                 rule: &mut Option<String>,
+                 allowed: &mut Option<u32>,
+                 baseline: &mut Baseline|
+     -> Result<(), String> {
+        match (file.take(), rule.take(), allowed.take()) {
+            (None, None, None) => Ok(()),
+            (Some(f), Some(r), Some(a)) => {
+                if baseline.insert((f.clone(), r.clone()), a).is_some() {
+                    return Err(format!("duplicate baseline entry for {f} / {r}"));
+                }
+                Ok(())
+            }
+            _ => Err("incomplete [[entry]]: need file, rule, and allowed".to_string()),
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[entry]]" {
+            flush(&mut file, &mut rule, &mut allowed, &mut baseline)?;
+            in_entry = true;
+            continue;
+        }
+        if !in_entry {
+            return Err(format!("line {lineno}: content before first [[entry]]"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "file" => {
+                let v = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: file must be a quoted string"))?;
+                file = Some(v.to_string());
+            }
+            "rule" => {
+                let v = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: rule must be a quoted string"))?;
+                rule = Some(v.to_string());
+            }
+            "allowed" => {
+                let v: u32 = value.parse().map_err(|_| {
+                    format!("line {lineno}: allowed must be a non-negative integer")
+                })?;
+                allowed = Some(v);
+            }
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    flush(&mut file, &mut rule, &mut allowed, &mut baseline)?;
+    Ok(baseline)
+}
+
+/// Serializes a baseline in the exact shape [`parse`] reads.
+#[must_use]
+pub fn render(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# v10-lint ratchet baseline. Regenerate with:\n\
+         #   cargo run -p v10-lint -- --fix-baseline\n\
+         # Counts may only shrink; --check fails if a count grows (new\n\
+         # violation) or shrinks without regenerating (stale baseline).\n",
+    );
+    for ((file, rule), allowed) in baseline {
+        if *allowed == 0 {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\nallowed = {allowed}\n"
+        );
+    }
+    out
+}
+
+/// Total allowed violations across all entries.
+#[must_use]
+pub fn total(baseline: &Baseline) -> u64 {
+    baseline.values().map(|&v| u64::from(v)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::new();
+        b.insert(("crates/a/src/x.rs".into(), "P1".into()), 3);
+        b.insert(("crates/b/src/y.rs".into(), "D3".into()), 1);
+        let text = render(&b);
+        assert_eq!(parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn zero_entries_are_dropped_on_render() {
+        let mut b = Baseline::new();
+        b.insert(("f.rs".into(), "P1".into()), 0);
+        assert!(!render(&b).contains("[[entry]]"));
+    }
+
+    #[test]
+    fn rejects_incomplete_entries() {
+        let text = "[[entry]]\nfile = \"x.rs\"\nrule = \"P1\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_garbage() {
+        let dup = "[[entry]]\nfile = \"x\"\nrule = \"P1\"\nallowed = 1\n\
+                   [[entry]]\nfile = \"x\"\nrule = \"P1\"\nallowed = 2\n";
+        assert!(parse(dup).is_err());
+        assert!(parse("file = \"x\"\n").is_err());
+        assert!(parse("[[entry]]\nwat = 3\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_parse() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("# nothing yet\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,383 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The workspace is offline (no `syn`), so the lint pass tokenizes source
+//! text itself. The rules in [`crate::rules`] are all expressible over a
+//! flat token stream — identifier/punctuation adjacency plus comment
+//! directives — which a hand-rolled lexer covers exactly, provided it gets
+//! the hard parts right: nested block comments, raw strings, byte strings,
+//! char literals vs. lifetimes, and line/column tracking for diagnostics.
+//!
+//! Comments are kept in the stream (the `// v10-lint: allow(...)` escape
+//! hatch lives in them); string/char literals are collapsed to opaque
+//! [`TokKind::Literal`] tokens so their contents can never trip a rule.
+
+/// What a token is; the categories the rules dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `unwrap`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `!`, ...).
+    Punct,
+    /// A string/char/byte/numeric literal, collapsed to one token.
+    Literal,
+    /// A `//` comment (doc or plain), text without the trailing newline.
+    LineComment,
+    /// A `/* ... */` comment (doc or plain), possibly spanning lines.
+    BlockComment,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never a char).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token category.
+    pub kind: TokKind,
+    /// The token's text (for comments: including the `//` / `/*` sigils).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// Tokenizes `src`, never failing: unterminated constructs are closed at
+/// end of input (the lint runs on code `rustc` already accepted, so this
+/// only matters for robustness on fixtures).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => self.string(line, col, '"'),
+                'r' if matches!(self.peek(1), Some('"' | '#')) && self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, col, '"');
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal(line, col);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                '\'' => self.lifetime_or_char(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Is `r`/`br` at offset `from` the start of a raw string (`r"`, `r#"`)?
+    fn raw_string_ahead(&self, from: usize) -> bool {
+        let mut k = from;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line, col);
+    }
+
+    fn string(&mut self, line: u32, col: u32, quote: char) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == quote {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line, col);
+    }
+
+    /// Consumes `#*"..."#*` after the leading `r`/`br` has been eaten.
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line, col);
+    }
+
+    fn char_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line, col);
+    }
+
+    /// `'a` (lifetime) vs `'x'` (char literal): a lifetime is a quote
+    /// followed by an identifier start *not* closed by another quote.
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            next.is_some_and(|c| c.is_alphabetic() || c == '_') && after != Some('\'');
+        if is_lifetime {
+            self.bump(); // quote
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            self.char_literal(line, col);
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    /// Numeric literal: digits, `_`, type suffixes, one `.` (but not `..`),
+    /// and exponent signs. Precision past "one opaque token" is not needed.
+    fn number(&mut self, line: u32, col: u32) {
+        let mut seen_dot = false;
+        let mut prev_exp = false;
+        while let Some(c) = self.peek(0) {
+            let take = if c.is_alphanumeric() || c == '_' {
+                true
+            } else if c == '.' && !seen_dot {
+                if self.peek(1) == Some('.') {
+                    false // range operator, not a fractional part
+                } else {
+                    seen_dot = true;
+                    true
+                }
+            } else {
+                (c == '+' || c == '-') && prev_exp
+            };
+            if !take {
+                break;
+            }
+            prev_exp = c == 'e' || c == 'E';
+            self.bump();
+        }
+        self.push(TokKind::Literal, String::new(), line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.b[0];");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "["));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        // An unwrap inside a string must not produce an Ident token.
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = kinds("let s = r#\"a \" b\"#; let t = \"\\\"HashMap\\\"\";");
+        assert!(!toks.iter().any(|(_, t)| t == "HashMap"));
+        // Both closes consumed: the trailing semicolons survive as puncts.
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Punct).count(),
+            4 // = = ; ;
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn comments_keep_text_and_positions() {
+        let toks = lex("a\n// v10-lint: allow(D1) because\nb");
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert!(toks[1].text.contains("allow(D1)"));
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { a[i]; }");
+        // `..` survives as two puncts between the literals.
+        assert!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Punct && t == ".")
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn float_and_exponent_literals() {
+        let toks = kinds("let x = 1.5e-3 + 2.0f64;");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            2
+        );
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "+"));
+    }
+
+    #[test]
+    fn byte_strings_opaque() {
+        let toks = kinds(r##"let b = b"unwrap"; let c = br#"HashSet"#;"##);
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap" || t == "HashSet"));
+    }
+}

@@ -1,0 +1,180 @@
+//! `v10-lint`: the workspace determinism & panic-freedom static-analysis
+//! pass.
+//!
+//! See [`rules`] for the rule families (D1–D3, P1), [`workspace`] for the
+//! scope policy, and [`baseline`] for the ratchet. The binary front-end
+//! lives in `main.rs`; this library exposes the scanning and comparison
+//! machinery so the fixture self-tests in `tests/` can drive each rule
+//! directly.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use baseline::Baseline;
+use rules::{Finding, RuleId};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Everything one scan of the workspace produced.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Every finding, ordered by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Baselinable violation counts by `(file, rule)`. `META` findings are
+    /// excluded: directive hygiene problems can never be baselined.
+    pub counts: Baseline,
+}
+
+/// Scans every in-scope file under `root`.
+pub fn scan_workspace(root: &Path) -> Result<Outcome, String> {
+    let files = workspace::enumerate(root)?;
+    let mut outcome = Outcome::default();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.abs)
+            .map_err(|e| format!("reading {}: {e}", f.abs.display()))?;
+        let findings = rules::scan_source(&f.rel, &src, f.scope);
+        for finding in &findings {
+            if finding.rule != RuleId::Meta {
+                *outcome
+                    .counts
+                    .entry((finding.file.clone(), finding.rule.as_str().to_string()))
+                    .or_insert(0) += 1;
+            }
+        }
+        outcome.findings.extend(findings);
+    }
+    Ok(outcome)
+}
+
+/// The verdict of comparing a scan against the committed baseline.
+#[derive(Debug, Default)]
+pub struct CheckResult {
+    /// Findings in `(file, rule)` groups whose count exceeds the baseline,
+    /// plus every `META` finding (never suppressible).
+    pub violations: Vec<Finding>,
+    /// Groups that exceeded: `(file, rule, allowed, actual)`.
+    pub exceeded: Vec<(String, String, u32, u32)>,
+    /// Stale groups where the baseline allows more than exists:
+    /// `(file, rule, allowed, actual)` — the ratchet must click down.
+    pub stale: Vec<(String, String, u32, u32)>,
+}
+
+impl CheckResult {
+    /// Did the check pass?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.exceeded.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares a scan outcome against the baseline with ratchet semantics.
+#[must_use]
+pub fn check(outcome: &Outcome, baseline: &Baseline) -> CheckResult {
+    let mut result = CheckResult::default();
+    let mut over: BTreeMap<(String, String), (u32, u32)> = BTreeMap::new();
+
+    for (key, &actual) in &outcome.counts {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        if actual > allowed {
+            over.insert(key.clone(), (allowed, actual));
+            result
+                .exceeded
+                .push((key.0.clone(), key.1.clone(), allowed, actual));
+        } else if actual < allowed {
+            result
+                .stale
+                .push((key.0.clone(), key.1.clone(), allowed, actual));
+        }
+    }
+    // Baseline entries for files/rules with no findings at all are stale too.
+    for (key, &allowed) in baseline {
+        if allowed > 0 && !outcome.counts.contains_key(key) {
+            result
+                .stale
+                .push((key.0.clone(), key.1.clone(), allowed, 0));
+        }
+    }
+
+    for f in &outcome.findings {
+        // META findings are never baselinable; others surface only when
+        // their (file, rule) count exceeds its allowance.
+        if f.rule == RuleId::Meta
+            || over.contains_key(&(f.file.clone(), f.rule.as_str().to_string()))
+        {
+            result.violations.push(f.clone());
+        }
+    }
+    result
+}
+
+/// Per-rule totals over an outcome's counts — the `--census` summary.
+#[must_use]
+pub fn census(outcome: &Outcome) -> BTreeMap<String, u32> {
+    let mut by_rule: BTreeMap<String, u32> = BTreeMap::new();
+    for ((_, rule), &n) in &outcome.counts {
+        *by_rule.entry(rule.clone()).or_insert(0) += n;
+    }
+    by_rule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::Scope;
+
+    fn outcome_from(src: &str, scope: Scope) -> Outcome {
+        let findings = rules::scan_source("f.rs", src, scope);
+        let mut counts = Baseline::new();
+        for f in &findings {
+            if f.rule != RuleId::Meta {
+                *counts
+                    .entry((f.file.clone(), f.rule.as_str().to_string()))
+                    .or_insert(0) += 1;
+            }
+        }
+        Outcome { findings, counts }
+    }
+
+    #[test]
+    fn baseline_suppresses_exact_count() {
+        let out = outcome_from("use std::collections::HashMap;", Scope::all());
+        let mut b = Baseline::new();
+        b.insert(("f.rs".into(), "D1".into()), 1);
+        assert!(check(&out, &b).is_clean());
+    }
+
+    #[test]
+    fn growth_fails() {
+        let out = outcome_from(
+            "use std::collections::HashMap;\ntype T = HashMap<u8, u8>;",
+            Scope::all(),
+        );
+        let mut b = Baseline::new();
+        b.insert(("f.rs".into(), "D1".into()), 1);
+        let r = check(&out, &b);
+        assert!(!r.is_clean());
+        assert_eq!(r.exceeded, vec![("f.rs".into(), "D1".into(), 1, 2)]);
+        assert_eq!(r.violations.len(), 2);
+    }
+
+    #[test]
+    fn shrink_is_stale() {
+        let out = outcome_from("fn f() {}", Scope::all());
+        let mut b = Baseline::new();
+        b.insert(("f.rs".into(), "D1".into()), 1);
+        let r = check(&out, &b);
+        assert!(!r.is_clean());
+        assert_eq!(r.stale, vec![("f.rs".into(), "D1".into(), 1, 0)]);
+    }
+
+    #[test]
+    fn meta_findings_cannot_be_baselined() {
+        let out = outcome_from("// v10-lint: allow(D1)\nfn f() {}", Scope::all());
+        let r = check(&out, &Baseline::new());
+        assert!(!r.is_clean());
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, RuleId::Meta);
+    }
+}

@@ -1,0 +1,157 @@
+//! CLI front-end for `v10-lint`.
+//!
+//! Modes:
+//! * `--check` (default): scan the workspace, compare against
+//!   `lint-baseline.toml`, exit 1 on any new violation, stale baseline
+//!   entry, or directive-hygiene problem.
+//! * `--fix-baseline`: regenerate `lint-baseline.toml` from the current
+//!   scan; exits 1 if the new total would exceed the committed one (the
+//!   ratchet only turns one way).
+//! * `--census`: print per-rule violation totals (and per-file detail)
+//!   without consulting the baseline.
+//!
+//! Flags: `--json` emits findings as JSON lines on stdout (one object per
+//! finding) instead of human diagnostics; `--root <dir>` overrides the
+//! workspace root (default: this crate's grandparent directory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use v10_lint::baseline::{self, Baseline};
+use v10_lint::{census, check, scan_workspace};
+
+const BASELINE_FILE: &str = "lint-baseline.toml";
+
+enum Mode {
+    Check,
+    FixBaseline,
+    Census,
+}
+
+fn usage() -> String {
+    "usage: v10-lint [--check | --fix-baseline | --census] [--json] [--root <dir>]".to_string()
+}
+
+fn run() -> Result<bool, String> {
+    let mut mode = Mode::Check;
+    let mut json = false;
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .ok_or_else(|| "cannot locate workspace root".to_string())?;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--fix-baseline" => mode = Mode::FixBaseline,
+            "--census" => mode = Mode::Census,
+            "--json" => json = true,
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or_else(usage)?);
+            }
+            _ => return Err(usage()),
+        }
+    }
+
+    let outcome = scan_workspace(&root)?;
+    let baseline_path = root.join(BASELINE_FILE);
+    let committed: Baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::new(),
+        Err(e) => return Err(format!("{}: {e}", baseline_path.display())),
+    };
+
+    match mode {
+        Mode::Census => {
+            if json {
+                for f in &outcome.findings {
+                    println!("{}", f.render_json());
+                }
+            } else {
+                for ((file, rule), n) in &outcome.counts {
+                    println!("{n:5}  {rule:4} {file}");
+                }
+                println!("---");
+                for (rule, n) in census(&outcome) {
+                    println!("{n:5}  {rule} total");
+                }
+            }
+            Ok(true)
+        }
+        Mode::FixBaseline => {
+            let old_total = baseline::total(&committed);
+            let new_total = baseline::total(&outcome.counts);
+            std::fs::write(&baseline_path, baseline::render(&outcome.counts))
+                .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+            eprintln!(
+                "v10-lint: baseline rewritten: {} -> {} allowed violations",
+                old_total, new_total
+            );
+            if new_total > old_total {
+                eprintln!(
+                    "v10-lint: FAIL: baseline grew by {} — fix the new violations \
+                     instead of baselining them",
+                    new_total - old_total
+                );
+                return Ok(false);
+            }
+            Ok(true)
+        }
+        Mode::Check => {
+            let result = check(&outcome, &committed);
+            if json {
+                for f in &result.violations {
+                    println!("{}", f.render_json());
+                }
+            } else {
+                for f in &result.violations {
+                    println!("{}", f.render());
+                }
+            }
+            for (file, rule, allowed, actual) in &result.exceeded {
+                eprintln!("v10-lint: {file}: {rule} count {actual} exceeds baseline {allowed}");
+            }
+            for (file, rule, allowed, actual) in &result.stale {
+                eprintln!(
+                    "v10-lint: {file}: stale baseline: {rule} allows {allowed} but only \
+                     {actual} remain — run `cargo run -p v10-lint -- --fix-baseline` to \
+                     ratchet down"
+                );
+            }
+            if result.is_clean() {
+                eprintln!(
+                    "v10-lint: clean ({} files in scope, {} baselined violations)",
+                    count_scanned(&root)?,
+                    baseline::total(&committed)
+                );
+                Ok(true)
+            } else {
+                eprintln!(
+                    "v10-lint: FAIL: {} violation(s); see rules in crates/lint/src/rules.rs, \
+                     escape hatch: `// v10-lint: allow(<rule>) <reason>`",
+                    result.violations.len()
+                );
+                Ok(false)
+            }
+        }
+    }
+}
+
+fn count_scanned(root: &std::path::Path) -> Result<usize, String> {
+    Ok(v10_lint::workspace::enumerate(root)?.len())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("v10-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The four project-specific rule families and the scanner that applies
+//! them to one file's token stream.
+//!
+//! The workspace's verification spine is bit-for-bit determinism: golden
+//! runs must be byte-identical across executors, observer builds, and sweep
+//! thread counts. Each rule bans a construct that silently breaks that
+//! property (D1–D3) or undercuts the typed-`V10Error` story (P1):
+//!
+//! * **D1** — `std::collections::HashMap`/`HashSet` in sim-path code:
+//!   iteration order is randomized per process, so any scheduling or
+//!   serialization decision that touches it diverges between runs. Use
+//!   `BTreeMap`/`BTreeSet` or a sorted `Vec`.
+//! * **D2** — wall-clock or ambient randomness (`std::time::Instant`,
+//!   `SystemTime`, `rand::thread_rng`) outside `v10-bench` timing code:
+//!   simulated time must come from the simulated clock and all randomness
+//!   from the seeded [`SimRng`](../../sim/src/rng.rs).
+//! * **D3** — bare `as` numeric casts in cycle/byte accounting modules:
+//!   silent truncation/precision loss drifts the figures. Use `try_from`,
+//!   `f64::from`, or the checked helpers in `v10_sim::convert`.
+//! * **P1** — `unwrap()`/`expect()`/panicking macros/slice indexing in
+//!   non-test library code of `v10-core` and `v10-sim`: public entry
+//!   points promise typed `V10Error`s, not process teardown.
+//!
+//! Suppression: `// v10-lint: allow(<rule>) <reason>` on the offending
+//! line or the line above (reason mandatory), or the committed
+//! `lint-baseline.toml` ratchet (see [`crate::baseline`]).
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// A rule family identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Hash containers with nondeterministic iteration order.
+    D1,
+    /// Wall-clock time or ambient randomness.
+    D2,
+    /// Bare `as` numeric casts in accounting code.
+    D3,
+    /// Panic paths (unwrap/expect/panicking macros/indexing) in library code.
+    P1,
+    /// Malformed `v10-lint:` directives (e.g. a missing reason).
+    Meta,
+}
+
+impl RuleId {
+    /// Stable textual id used in diagnostics, directives, and the baseline.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::P1 => "P1",
+            RuleId::Meta => "META",
+        }
+    }
+
+    /// Parses a directive/baseline rule id.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "P1" => Some(RuleId::P1),
+            "META" => Some(RuleId::Meta),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which rule families apply to one file. Derived from the file's path by
+/// [`crate::workspace`]; constructed directly by the fixture self-tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// Check hash containers (all sim-path crates).
+    pub d1: bool,
+    /// Check wall-clock/randomness (all sim-path crates).
+    pub d2: bool,
+    /// Check bare `as` casts (accounting modules only).
+    pub d3: bool,
+    /// Check panic paths (`v10-core`/`v10-sim` library code only).
+    pub p1: bool,
+}
+
+impl Scope {
+    /// A scope with every rule family enabled.
+    #[must_use]
+    pub fn all() -> Self {
+        Scope {
+            d1: true,
+            d2: true,
+            d3: true,
+            p1: true,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule family that fired.
+    pub rule: RuleId,
+    /// Repo-relative path (unix separators) of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line:col: RULE: message` — the human diagnostic format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// One JSON-lines record (machine-readable diagnostics).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"file":"{}","line":{},"col":{},"rule":"{}","message":"{}"}}"#,
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An `// v10-lint: allow(<rule>) <reason>` directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: RuleId,
+    line: u32,
+    used: bool,
+}
+
+const DIRECTIVE: &str = "v10-lint:";
+
+/// Numeric types whose `as` casts D3 rejects.
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Identifiers D2 bans: ambient wall-clock time and ambient randomness.
+const D2_BANNED: [(&str, &str); 3] = [
+    (
+        "Instant",
+        "wall-clock time in sim-path code; simulated time must come from the engine clock",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time in sim-path code; simulated time must come from the engine clock",
+    ),
+    (
+        "thread_rng",
+        "ambient randomness in sim-path code; use the seeded v10_sim::SimRng",
+    ),
+];
+
+/// Panicking macros P1 rejects in library code.
+const P1_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that, immediately before `[`, mean "pattern or type position",
+/// not a slice-indexing expression.
+const NON_INDEX_KEYWORDS: [&str; 20] = [
+    "let", "in", "return", "match", "if", "else", "while", "for", "move", "ref", "mut", "box",
+    "break", "continue", "yield", "where", "as", "const", "static", "dyn",
+];
+
+/// Scans one file's source text under `scope`, returning its findings
+/// (already filtered through inline `allow` directives; a used directive
+/// suppresses, an unused or malformed one is itself a `META` finding).
+#[must_use]
+pub fn scan_source(file: &str, src: &str, scope: Scope) -> Vec<Finding> {
+    let tokens = lex(src);
+    let test_lines = test_region_lines(&tokens);
+    let (mut allows, mut findings) = collect_allows(file, &tokens);
+
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+                && !test_lines.contains(&t.line)
+        })
+        .collect();
+
+    let mut in_use_decl = false;
+    for (i, tok) in code.iter().enumerate() {
+        // Track `use ...;` declarations so D3 skips `use x as y` renames.
+        if tok.kind == TokKind::Ident && tok.text == "use" {
+            in_use_decl = true;
+        } else if tok.kind == TokKind::Punct && tok.text == ";" {
+            in_use_decl = false;
+        }
+
+        if scope.d1 && tok.kind == TokKind::Ident {
+            if let Some(alt) = match tok.text.as_str() {
+                "HashMap" => Some("BTreeMap"),
+                "HashSet" => Some("BTreeSet (or a sorted Vec)"),
+                _ => None,
+            } {
+                findings.push(Finding {
+                    rule: RuleId::D1,
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "{} iteration order is nondeterministic; use {alt} so \
+                         golden runs stay byte-identical",
+                        tok.text
+                    ),
+                });
+            }
+        }
+
+        if scope.d2 && tok.kind == TokKind::Ident {
+            if let Some((_, why)) = D2_BANNED.iter().find(|(name, _)| *name == tok.text) {
+                findings.push(Finding {
+                    rule: RuleId::D2,
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!("{}: {why}", tok.text),
+                });
+            }
+        }
+
+        if scope.d3
+            && !in_use_decl
+            && tok.kind == TokKind::Ident
+            && tok.text == "as"
+            && i > 0
+            && code.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && NUMERIC_TYPES.contains(&t.text.as_str())
+            })
+        {
+            let target = &code[i + 1].text;
+            findings.push(Finding {
+                rule: RuleId::D3,
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "bare `as {target}` cast in accounting code; use try_from, \
+                     f64::from, or a v10_sim::convert helper"
+                ),
+            });
+        }
+
+        if scope.p1 {
+            p1_check(file, &code, i, &mut findings);
+        }
+    }
+
+    // Apply inline allow directives, then report the unused ones.
+    findings.retain(|f| {
+        !allows.iter_mut().any(|a| {
+            let hit = a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line);
+            if hit {
+                a.used = true;
+            }
+            hit
+        })
+    });
+    for a in &allows {
+        if !a.used {
+            findings.push(Finding {
+                rule: RuleId::Meta,
+                file: file.to_string(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "unused `v10-lint: allow({})` directive; delete it or move it to the \
+                     offending line",
+                    a.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|a| (a.line, a.col));
+    findings
+}
+
+/// P1 sub-checks at code token `i`: `.unwrap()`, `.expect(`, panicking
+/// macros, and slice-indexing expressions.
+fn p1_check(file: &str, code: &[&Token], i: usize, findings: &mut Vec<Finding>) {
+    let tok = code[i];
+    let prev = i.checked_sub(1).map(|p| code[p]);
+    let next = code.get(i + 1).copied();
+
+    if tok.kind == TokKind::Ident && (tok.text == "unwrap" || tok.text == "expect") {
+        let dotted = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+        let called = next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+        if dotted && called {
+            findings.push(Finding {
+                rule: RuleId::P1,
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    ".{}() in library code; return a V10Error (ok_or_else, map_err, `?`) \
+                     instead of panicking",
+                    tok.text
+                ),
+            });
+        }
+    }
+
+    if tok.kind == TokKind::Ident
+        && P1_MACROS.contains(&tok.text.as_str())
+        && next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "!")
+    {
+        findings.push(Finding {
+            rule: RuleId::P1,
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "{}! in library code; return a V10Error instead of panicking",
+                tok.text
+            ),
+        });
+    }
+
+    // Slice indexing: `expr[...]` — a `[` directly after an expression
+    // tail (identifier, `)`, `]`, or `?`). Patterns/types (`let [a, b]`,
+    // `[u64; 4]`, `#[attr]`, `vec![..]`) are preceded by other tokens.
+    if tok.kind == TokKind::Punct && tok.text == "[" {
+        let indexes = match prev {
+            Some(p) if p.kind == TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+            Some(p) if p.kind == TokKind::Punct => matches!(p.text.as_str(), ")" | "]" | "?"),
+            _ => false,
+        };
+        if indexes {
+            findings.push(Finding {
+                rule: RuleId::P1,
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: "slice indexing in library code panics on out-of-bounds; use .get() \
+                          or an iterator, or justify with an allow directive"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Lines covered by `#[cfg(test)]` / `#[test]` items (the attribute through
+/// the item's closing brace). P1 exempts test code; the other rules do too —
+/// tests don't feed golden output.
+fn test_region_lines(tokens: &[Token]) -> std::collections::BTreeSet<u32> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut lines = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].kind == TokKind::Punct
+            && code[i].text == "#"
+            && code.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            // Collect the attribute's tokens up to its matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr: Vec<&str> = Vec::new();
+            while j < code.len() && depth > 0 {
+                match (code[j].kind, code[j].text.as_str()) {
+                    (TokKind::Punct, "[") => depth += 1,
+                    (TokKind::Punct, "]") => depth -= 1,
+                    (TokKind::Ident, name) => attr.push(name),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_test_attr = (attr.contains(&"cfg") && attr.contains(&"test")
+                || attr.first() == Some(&"test"))
+                && !attr.contains(&"not");
+            if is_test_attr {
+                let start_line = code[i].line;
+                // Find the item's body: the first `{` before any `;`.
+                let mut k = j;
+                let mut open = None;
+                while k < code.len() {
+                    match (code[k].kind, code[k].text.as_str()) {
+                        (TokKind::Punct, "{") => {
+                            open = Some(k);
+                            break;
+                        }
+                        (TokKind::Punct, ";") => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if let Some(open) = open {
+                    let mut depth = 0usize;
+                    let mut end = open;
+                    for (kk, t) in code.iter().enumerate().skip(open) {
+                        if t.kind == TokKind::Punct {
+                            if t.text == "{" {
+                                depth += 1;
+                            } else if t.text == "}" {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = kk;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    for line in start_line..=code[end].line {
+                        lines.insert(line);
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// Parses `v10-lint:` directives out of the comment tokens. Well-formed
+/// directives become suppression candidates; a directive with an unknown
+/// rule or a missing reason is itself reported as a `META` finding.
+fn collect_allows(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let Some(pos) = t.text.find(DIRECTIVE) else {
+            continue;
+        };
+        let rest = t.text[pos + DIRECTIVE.len()..].trim_start();
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .and_then(|(rule, reason)| {
+                RuleId::parse(rule.trim()).map(|rule| (rule, reason.trim().to_string()))
+            });
+        match parsed {
+            Some((rule, reason)) if !reason.is_empty() => allows.push(Allow {
+                rule,
+                line: t.line,
+                used: false,
+            }),
+            Some((_, _)) => findings.push(Finding {
+                rule: RuleId::Meta,
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "v10-lint allow directive is missing its reason; write \
+                          `// v10-lint: allow(<rule>) <why this site is safe>`"
+                    .to_string(),
+            }),
+            None => findings.push(Finding {
+                rule: RuleId::Meta,
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "malformed v10-lint directive; expected \
+                          `// v10-lint: allow(D1|D2|D3|P1) <reason>`"
+                    .to_string(),
+            }),
+        }
+    }
+    (allows, findings)
+}

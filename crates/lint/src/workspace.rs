@@ -1,0 +1,167 @@
+//! Workspace enumeration: which files are scanned, and with which rules.
+//!
+//! Scope policy (mirrors the rule docs in [`crate::rules`]):
+//!
+//! * **D1/D2** apply to the library sources (`crates/<c>/src/**`) of every
+//!   simulator-path crate. `v10-bench` is exempt — its `timing.rs`
+//!   wall-clock use is the measurement harness, and harness ordering never
+//!   feeds simulated results. The root `v10` facade is scanned too (it
+//!   re-exports sim-path API and must not grow nondeterministic helpers).
+//! * **D3** applies only to the cycle/byte *accounting modules* listed in
+//!   [`ACCOUNTING_MODULES`] — the files whose arithmetic lands in golden
+//!   figures.
+//! * **P1** applies to the library sources of `v10-core` and `v10-sim`,
+//!   the crates whose public API promises typed `V10Error`s.
+//!
+//! Test code (`#[cfg(test)]` / `#[test]` regions, and `tests/` trees) is
+//! exempt from every rule: tests may panic, and they never feed golden
+//! output.
+
+use crate::rules::Scope;
+use std::path::{Path, PathBuf};
+
+/// Crates whose code executes on the simulated path.
+pub const SIM_CRATES: [&str; 7] = [
+    "sim",
+    "isa",
+    "npu",
+    "systolic",
+    "core",
+    "workloads",
+    "collocate",
+];
+
+/// Crates under the P1 panic-freedom rule.
+pub const P1_CRATES: [&str; 2] = ["core", "sim"];
+
+/// Cycle/byte accounting modules under the D3 cast rule (repo-relative,
+/// unix separators).
+pub const ACCOUNTING_MODULES: [&str; 14] = [
+    "crates/npu/src/hbm.rs",
+    "crates/npu/src/dma.rs",
+    "crates/systolic/src/array.rs",
+    "crates/systolic/src/compile.rs",
+    "crates/systolic/src/fifo.rs",
+    "crates/systolic/src/matrix.rs",
+    "crates/systolic/src/vector_unit.rs",
+    "crates/systolic/src/vmem.rs",
+    "crates/sim/src/time.rs",
+    "crates/sim/src/bandwidth.rs",
+    "crates/sim/src/stats.rs",
+    "crates/core/src/overhead.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/engine_core.rs",
+];
+
+/// One file to scan: its repo-relative path (unix separators, the stable
+/// key used in diagnostics and the baseline) and the rules that apply.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub rel: String,
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Rule families to run on this file.
+    pub scope: Scope,
+}
+
+/// The scope for a repo-relative path, or `None` if the file is not
+/// scanned at all.
+#[must_use]
+pub fn scope_for(rel: &str) -> Option<Scope> {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next());
+    let in_src = |c: &str| rel.starts_with(&format!("crates/{c}/src/"));
+
+    let sim_path = crate_name
+        .map(|c| SIM_CRATES.contains(&c) && in_src(c))
+        .unwrap_or(false)
+        || rel == "src/lib.rs";
+    let p1 = crate_name
+        .map(|c| P1_CRATES.contains(&c) && in_src(c))
+        .unwrap_or(false);
+    let d3 = ACCOUNTING_MODULES.contains(&rel);
+
+    if !sim_path && !p1 && !d3 {
+        return None;
+    }
+    Some(Scope {
+        d1: sim_path,
+        d2: sim_path,
+        d3,
+        p1,
+    })
+}
+
+/// Enumerates every scanned file under `root`, sorted by relative path so
+/// diagnostics and the baseline are deterministic.
+pub fn enumerate(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    let mut dirs = vec![root.join("src")];
+    for c in SIM_CRATES {
+        dirs.push(root.join("crates").join(c).join("src"));
+    }
+    for dir in dirs {
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            let entries = match std::fs::read_dir(&d) {
+                Ok(e) => e,
+                Err(err) => return Err(format!("reading {}: {err}", d.display())),
+            };
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("reading {}: {e}", d.display()))?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    let rel = path
+                        .strip_prefix(root)
+                        .map_err(|_| format!("{} escapes the root", path.display()))?
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    if let Some(scope) = scope_for(&rel) {
+                        out.push(SourceFile {
+                            rel,
+                            abs: path,
+                            scope,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_match_policy() {
+        let s = scope_for("crates/core/src/engine.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.p1 && !s.d3);
+
+        let s = scope_for("crates/npu/src/hbm.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.d3 && !s.p1);
+
+        let s = scope_for("crates/sim/src/time.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.d3 && s.p1);
+
+        let s = scope_for("crates/workloads/src/zoo.rs").unwrap();
+        assert!(s.d1 && s.d2 && !s.d3 && !s.p1);
+
+        // Bench harness and test trees are out of scope entirely.
+        assert!(scope_for("crates/bench/src/timing.rs").is_none());
+        assert!(scope_for("crates/core/tests/context.rs").is_none());
+        assert!(scope_for("tests/golden_run.rs").is_none());
+
+        // The facade is sim-path for D1/D2.
+        let s = scope_for("src/lib.rs").unwrap();
+        assert!(s.d1 && s.d2 && !s.d3 && !s.p1);
+    }
+}

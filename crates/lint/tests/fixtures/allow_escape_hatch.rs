@@ -1,0 +1,12 @@
+//! Fixture: a P1 site justified by an inline allow directive, plus one
+//! directive with no finding under it (reported as META: unused).
+
+pub fn first(xs: &[u64]) -> u64 {
+    // v10-lint: allow(P1) fixture: caller guarantees xs is non-empty
+    xs.first().copied().unwrap()
+}
+
+pub fn second() -> u64 {
+    // v10-lint: allow(D1) fixture: nothing here actually violates D1
+    42
+}

@@ -1,0 +1,7 @@
+//! Fixture: seeds exactly one D1 violation (line 4).
+
+pub fn build_index() {
+    let mut index: std::collections::HashMap<u32, u32> = Default::default();
+    index.insert(1, 2);
+    let _ = index;
+}

@@ -1,0 +1,6 @@
+//! Fixture: seeds exactly one D2 violation (line 4).
+
+pub fn stamp() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

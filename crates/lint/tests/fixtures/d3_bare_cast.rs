@@ -1,0 +1,5 @@
+//! Fixture: seeds exactly one D3 violation (line 4).
+
+pub fn cycles(n: usize) -> u64 {
+    n as u64
+}

@@ -1,0 +1,5 @@
+//! Fixture: seeds exactly one P1 violation (line 4).
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}

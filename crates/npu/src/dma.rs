@@ -59,7 +59,7 @@ impl InstructionDma {
     /// Cycles to DMA `op`'s instruction stream into instruction memory.
     #[must_use]
     pub fn fetch_cycles(&self, op: &OpDesc) -> f64 {
-        op.instr_bytes() as f64 / self.bytes_per_cycle
+        v10_sim::convert::u64_to_f64(op.instr_bytes()) / self.bytes_per_cycle
     }
 
     /// When `op` becomes Ready, given that its prefetch started at

@@ -97,45 +97,60 @@ impl WaterFilling {
                 d.id
             );
         }
-        let mut grants: Vec<(usize, f64)> = demands.iter().map(|d| (d.id, 0.0)).collect();
-        let mut remaining_capacity = self.capacity;
-        // Indices of flows that are not yet fully satisfied.
-        let mut unsatisfied: Vec<usize> = (0..demands.len())
-            .filter(|&i| demands[i].rate > 0.0)
+        struct Flow {
+            id: usize,
+            rate: f64,
+            grant: f64,
+            unsatisfied: bool,
+        }
+        let mut flows: Vec<Flow> = demands
+            .iter()
+            .map(|d| Flow {
+                id: d.id,
+                rate: d.rate,
+                grant: 0.0,
+                unsatisfied: d.rate > 0.0,
+            })
             .collect();
+        let mut remaining_capacity = self.capacity;
 
         // Each round either satisfies at least one flow completely or
         // exhausts the capacity, so this terminates in <= n rounds.
-        while !unsatisfied.is_empty() && remaining_capacity > 0.0 {
-            let fair_share = remaining_capacity / unsatisfied.len() as f64;
-            let min_deficit = unsatisfied
+        loop {
+            let unsatisfied = flows.iter().filter(|f| f.unsatisfied).count();
+            if unsatisfied == 0 || remaining_capacity <= 0.0 {
+                break;
+            }
+            let fair_share = remaining_capacity / crate::convert::usize_to_f64(unsatisfied);
+            let min_deficit = flows
                 .iter()
-                .map(|&i| demands[i].rate - grants[i].1)
+                .filter(|f| f.unsatisfied)
+                .map(|f| f.rate - f.grant)
                 .fold(f64::INFINITY, f64::min);
 
             if min_deficit >= fair_share {
                 // Nobody is capped below the fair share: hand it out and stop.
-                for &i in &unsatisfied {
-                    grants[i].1 += fair_share;
+                for f in flows.iter_mut().filter(|f| f.unsatisfied) {
+                    f.grant += fair_share;
                 }
                 remaining_capacity = 0.0;
             } else {
                 // Satisfy every flow whose remaining deficit fits in the fair
                 // share, then redistribute.
-                for &i in &unsatisfied {
-                    let deficit = demands[i].rate - grants[i].1;
+                for f in flows.iter_mut().filter(|f| f.unsatisfied) {
+                    let deficit = f.rate - f.grant;
                     if deficit <= min_deficit + f64::EPSILON {
-                        grants[i].1 = demands[i].rate;
+                        f.grant = f.rate;
                         remaining_capacity -= deficit;
                     } else {
-                        grants[i].1 += min_deficit;
+                        f.grant += min_deficit;
                         remaining_capacity -= min_deficit;
                     }
+                    f.unsatisfied = f.rate - f.grant > 1e-12;
                 }
-                unsatisfied.retain(|&i| demands[i].rate - grants[i].1 > 1e-12);
             }
         }
-        grants
+        flows.into_iter().map(|f| (f.id, f.grant)).collect()
     }
 
     /// Fraction of each flow's demand that was granted, i.e. the factor by

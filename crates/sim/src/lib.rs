@@ -15,6 +15,9 @@
 //! * [`rng`] — deterministic random sampling helpers (normal / lognormal via
 //!   Box–Muller, bounded uniforms) on top of a seedable PRNG, so that every
 //!   experiment in the workspace is reproducible from a seed.
+//! * [`convert`] — checked numeric conversions for cycle/byte accounting
+//!   (exact integer→`f64`, saturating `f64`→integer), required by the
+//!   `v10-lint` D3 rule in place of bare `as` casts.
 //! * [`error`] — the workspace-wide [`V10Error`] type returned by every
 //!   fallible public constructor and runner in the higher-level crates.
 //!
@@ -35,8 +38,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bandwidth;
+pub mod convert;
 pub mod error;
 pub mod events;
 pub mod rng;

@@ -186,7 +186,7 @@ impl SimRng {
         if slice.is_empty() {
             None
         } else {
-            Some(&slice[self.index(slice.len())])
+            slice.get(self.index(slice.len()))
         }
     }
 }

@@ -6,6 +6,8 @@
 //! for quantile queries, and [`Histogram`] buckets values for distribution
 //! summaries.
 
+use crate::convert::{f64_to_usize, u64_to_f64, usize_to_f64};
+
 /// One-pass mean / variance accumulator (Welford's algorithm).
 ///
 /// # Example
@@ -52,7 +54,7 @@ impl OnlineStats {
         assert!(!x.is_nan(), "NaN sample pushed into OnlineStats");
         self.count += 1;
         let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
+        self.mean += delta / u64_to_f64(self.count);
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
@@ -80,7 +82,7 @@ impl OnlineStats {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / self.count as f64
+            self.m2 / u64_to_f64(self.count)
         }
     }
 
@@ -111,8 +113,8 @@ impl OnlineStats {
             *self = *other;
             return;
         }
-        let n1 = self.count as f64;
-        let n2 = other.count as f64;
+        let n1 = u64_to_f64(self.count);
+        let n2 = u64_to_f64(other.count);
         let delta = other.mean - self.mean;
         let total = n1 + n2;
         self.mean += delta * n2 / total;
@@ -193,8 +195,9 @@ impl Percentiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+            // No NaN by construction (push rejects them); total_cmp agrees
+            // with partial_cmp on everything else and cannot panic.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -216,13 +219,15 @@ impl Percentiles {
         self.ensure_sorted();
         let n = self.samples.len();
         if n == 1 {
-            return Some(self.samples[0]);
+            return self.samples.first().copied();
         }
-        let pos = q * (n - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        let frac = pos - lo as f64;
-        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+        let pos = q * usize_to_f64(n - 1);
+        let lo = f64_to_usize(pos.floor());
+        let hi = f64_to_usize(pos.ceil());
+        let frac = pos - usize_to_f64(lo);
+        let a = self.samples.get(lo).copied()?;
+        let b = self.samples.get(hi).copied().unwrap_or(a);
+        Some(a * (1.0 - frac) + b * frac)
     }
 
     /// The median (0.5 quantile).
@@ -241,7 +246,7 @@ impl Percentiles {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+            self.samples.iter().sum::<f64>() / usize_to_f64(self.samples.len())
         }
     }
 
@@ -322,9 +327,11 @@ impl Histogram {
             n - 1
         } else {
             let f = (x - self.lo) / (self.hi - self.lo);
-            ((f * n as f64) as usize).min(n - 1)
+            f64_to_usize(f * usize_to_f64(n)).min(n - 1)
         };
-        self.counts[idx] += 1;
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
     }
 
     /// Bucket counts, lowest bucket first.
@@ -347,8 +354,11 @@ impl Histogram {
     #[must_use]
     pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
         assert!(i < self.counts.len(), "bucket index {i} out of range");
-        let w = (self.hi - self.lo) / self.counts.len() as f64;
-        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+        let w = (self.hi - self.lo) / usize_to_f64(self.counts.len());
+        (
+            self.lo + w * usize_to_f64(i),
+            self.lo + w * usize_to_f64(i + 1),
+        )
     }
 }
 

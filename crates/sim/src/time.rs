@@ -111,7 +111,7 @@ impl CycleCount {
     /// Returns the duration as a floating-point cycle count (for rate math).
     #[must_use]
     pub fn as_f64(self) -> f64 {
-        self.0 as f64
+        crate::convert::u64_to_f64(self.0)
     }
 
     /// Saturating subtraction of two durations.
@@ -202,19 +202,21 @@ impl Frequency {
     /// Converts a duration in microseconds to cycles (rounded to nearest).
     #[must_use]
     pub fn cycles_from_micros(self, micros: f64) -> CycleCount {
-        CycleCount::new((micros * self.hz as f64 / 1e6).round() as u64)
+        CycleCount::new(crate::convert::f64_to_u64_round(
+            micros * crate::convert::u64_to_f64(self.hz) / 1e6,
+        ))
     }
 
     /// Converts a cycle count to microseconds.
     #[must_use]
     pub fn micros_from_cycles(self, cycles: u64) -> f64 {
-        cycles as f64 * 1e6 / self.hz as f64
+        crate::convert::u64_to_f64(cycles) * 1e6 / crate::convert::u64_to_f64(self.hz)
     }
 
     /// Converts a cycle count to seconds.
     #[must_use]
     pub fn seconds_from_cycles(self, cycles: u64) -> f64 {
-        cycles as f64 / self.hz as f64
+        crate::convert::u64_to_f64(cycles) / crate::convert::u64_to_f64(self.hz)
     }
 
     /// Bytes per cycle for a link of `bytes_per_second` at this clock.
@@ -223,7 +225,7 @@ impl Frequency {
     /// simulator's native bytes/cycle unit.
     #[must_use]
     pub fn bytes_per_cycle(self, bytes_per_second: f64) -> f64 {
-        bytes_per_second / self.hz as f64
+        bytes_per_second / crate::convert::u64_to_f64(self.hz)
     }
 }
 

@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use crate::matrix::Matrix;
+use v10_sim::convert::u64_from_usize;
 
 /// Error type for systolic-array operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,7 +185,7 @@ impl SaExecutor {
             return Err(SaError::Busy);
         }
         self.check_dims(&input, &weights)?;
-        self.cycle += self.n as u64; // weight load: one row per cycle
+        self.cycle += u64_from_usize(self.n); // weight load: one row per cycle
         let rows = input.rows();
         self.running = Some(Running {
             outputs: Matrix::zeros(rows, self.n),
@@ -247,7 +248,7 @@ impl SaExecutor {
                 }
             }
             r.inflight
-                .push_back((cycle + 2 * n as u64 - 1, r.next_push, out));
+                .push_back((cycle + 2 * u64_from_usize(n) - 1, r.next_push, out));
             r.next_push += 1;
         }
         self.cycle += 1;
@@ -304,7 +305,7 @@ impl SaExecutor {
         }
         // Step 4-5: stream the preempted operator's weights out while the
         // next operator's weights stream in — N cycles, charged here.
-        self.cycle += self.n as u64;
+        self.cycle += u64_from_usize(self.n);
         let r = self.running.take().expect("busy");
         let ctx = SaContext {
             next_push: r.popped,
@@ -339,7 +340,7 @@ impl SaExecutor {
         }
         let start = self.cycle;
         // Stream out partial sums (2N) and swap weights (N).
-        self.cycle += 3 * self.n as u64;
+        self.cycle += 3 * u64_from_usize(self.n);
         let r = self.running.take().expect("busy");
         let cycle = start; // state frozen at the preemption instant
         let ctx = SaContext {
@@ -372,7 +373,7 @@ impl SaExecutor {
         // A naive context must stream its partial sums back into the PEs:
         // 2N extra cycles before execution can continue.
         if ctx.is_naive() {
-            self.cycle += 2 * self.n as u64;
+            self.cycle += 2 * u64_from_usize(self.n);
         }
         let base = self.cycle;
         self.running = Some(Running {

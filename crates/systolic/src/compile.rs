@@ -23,6 +23,7 @@ use v10_isa::{Inst, Reg, VmemAddr};
 
 use crate::matrix::Matrix;
 use crate::vmem::{VectorMemory, VmemError, TILE_WORDS};
+use v10_sim::convert::{u32_from_usize, u64_from_usize, usize_from_u32};
 
 /// Error type for compiled-kernel execution.
 #[derive(Debug)]
@@ -92,17 +93,17 @@ pub fn compile_matmul(m: usize, n: usize, a_addr: u32, w_addr: u32, c_addr: u32)
         "row length {n} must fit a register tile"
     );
     assert!(m > 0, "input must have rows");
-    let tile = TILE_WORDS as u32;
+    let tile = u32_from_usize(TILE_WORDS);
     let (v0, v1) = (Reg::new(0), Reg::new(1));
     let mut prog = Vec::with_capacity(2 * n + 3 * m + 1);
-    for row in 0..n as u32 {
+    for row in 0..u32_from_usize(n) {
         prog.push(Inst::Ld {
             dst: v0,
             addr: VmemAddr::new(w_addr + row * tile),
         });
         prog.push(Inst::PushW { src: v0 });
     }
-    for row in 0..m as u32 {
+    for row in 0..u32_from_usize(m) {
         prog.push(Inst::Ld {
             dst: v0,
             addr: VmemAddr::new(a_addr + row * tile),
@@ -189,7 +190,7 @@ impl FunctionalCore {
         addr: u32,
     ) -> Result<(), VmemError> {
         for i in 0..m.rows() {
-            vmem.write(addr as usize + i * TILE_WORDS, m.row(i))?;
+            vmem.write(usize_from_u32(addr) + i * TILE_WORDS, m.row(i))?;
         }
         Ok(())
     }
@@ -208,7 +209,7 @@ impl FunctionalCore {
     ) -> Result<Matrix, VmemError> {
         let mut out = Matrix::zeros(rows, cols);
         for i in 0..rows {
-            let row = vmem.read(addr as usize + i * TILE_WORDS, cols)?;
+            let row = vmem.read(usize_from_u32(addr) + i * TILE_WORDS, cols)?;
             out.set_row(i, row);
         }
         Ok(out)
@@ -227,25 +228,27 @@ impl FunctionalCore {
             match inst {
                 Inst::Halt => break,
                 Inst::Ld { dst, addr } => {
-                    let data = vmem.read(addr.as_u32() as usize, TILE_WORDS)?.to_vec();
-                    self.regs[dst.index() as usize].copy_from_slice(&data);
+                    let data = vmem
+                        .read(usize_from_u32(addr.as_u32()), TILE_WORDS)?
+                        .to_vec();
+                    self.regs[usize::from(dst.index())].copy_from_slice(&data);
                 }
                 Inst::St { src, addr } => {
-                    let data = self.regs[src.index() as usize].clone();
-                    vmem.write(addr.as_u32() as usize, &data)?;
+                    let data = self.regs[usize::from(src.index())].clone();
+                    vmem.write(usize_from_u32(addr.as_u32()), &data)?;
                 }
                 Inst::PushW { src } => {
                     if self.weights.len() == self.n {
                         return Err(CoreError::WeightOverflow { pc });
                     }
                     self.weights
-                        .push(self.regs[src.index() as usize][..self.n].to_vec());
+                        .push(self.regs[usize::from(src.index())][..self.n].to_vec());
                 }
                 Inst::Push { src } => {
                     if self.weights.len() != self.n {
                         return Err(CoreError::PushBeforeWeights { pc });
                     }
-                    let row = &self.regs[src.index() as usize][..self.n];
+                    let row = &self.regs[usize::from(src.index())][..self.n];
                     // out[j] = sum_k row[k] * W[k][j]
                     let mut out = vec![0.0f32; self.n];
                     for (k, &a) in row.iter().enumerate() {
@@ -256,7 +259,7 @@ impl FunctionalCore {
                         }
                     }
                     self.inflight
-                        .push_back((self.cycle + 2 * self.n as u64 - 1, out));
+                        .push_back((self.cycle + 2 * u64_from_usize(self.n) - 1, out));
                 }
                 Inst::Pop { dst } => {
                     let (ready, row) = self
@@ -265,7 +268,7 @@ impl FunctionalCore {
                         .ok_or(CoreError::PopUnderflow { pc })?;
                     // Stall until the wavefront delivers the row.
                     self.cycle = self.cycle.max(ready);
-                    let reg = &mut self.regs[dst.index() as usize];
+                    let reg = &mut self.regs[usize::from(dst.index())];
                     reg[..self.n].copy_from_slice(&row);
                     for lane in reg[self.n..].iter_mut() {
                         *lane = 0.0;

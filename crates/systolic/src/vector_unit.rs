@@ -15,13 +15,14 @@ use std::fmt;
 use v10_isa::{Inst, VAluOp};
 
 use crate::vmem::{VectorMemory, VmemError, TILE_WORDS};
+use v10_sim::convert::{u64_from_usize, usize_from_u32};
 
 /// Number of architectural vector registers.
 pub const NUM_REGS: usize = 32;
 
 /// Cycles charged for a VU context save or restore: the register file
 /// streams one register per cycle through the vector-memory port.
-pub const VU_SWITCH_CYCLES: u64 = NUM_REGS as u64;
+pub const VU_SWITCH_CYCLES: u64 = NUM_REGS as u64; // v10-lint: allow(D3) const context: u64_from_usize is not const fn; NUM_REGS = 32 is exact
 
 /// Error type for vector-unit execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,7 +84,7 @@ impl VuContext {
     /// Bytes of on-chip storage this context occupies (PC is negligible).
     #[must_use]
     pub fn context_bytes(&self) -> u64 {
-        (NUM_REGS * TILE_WORDS * 4) as u64
+        u64_from_usize(NUM_REGS * TILE_WORDS * 4)
     }
 }
 
@@ -190,12 +191,14 @@ impl VectorUnit {
                 return Ok(true);
             }
             Inst::Ld { dst, addr } => {
-                let data = vmem.read(addr.as_u32() as usize, TILE_WORDS)?.to_vec();
-                self.regs[dst.index() as usize].copy_from_slice(&data);
+                let data = vmem
+                    .read(usize_from_u32(addr.as_u32()), TILE_WORDS)?
+                    .to_vec();
+                self.regs[usize::from(dst.index())].copy_from_slice(&data);
             }
             Inst::St { src, addr } => {
-                let data = self.regs[src.index() as usize].clone();
-                vmem.write(addr.as_u32() as usize, &data)?;
+                let data = self.regs[usize::from(src.index())].clone();
+                vmem.write(usize_from_u32(addr.as_u32()), &data)?;
             }
             Inst::VAlu {
                 op,
@@ -203,9 +206,9 @@ impl VectorUnit {
                 src1,
                 src2,
             } => {
-                let a = self.regs[src1.index() as usize].clone();
-                let b = self.regs[src2.index() as usize].clone();
-                let out = &mut self.regs[dst.index() as usize];
+                let a = self.regs[usize::from(src1.index())].clone();
+                let b = self.regs[usize::from(src2.index())].clone();
+                let out = &mut self.regs[usize::from(dst.index())];
                 for i in 0..TILE_WORDS {
                     out[i] = match op {
                         VAluOp::Add => a[i] + b[i],

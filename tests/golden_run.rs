@@ -7,9 +7,12 @@
 //! to scheduling order, accounting order, or RNG consumption shows up as a
 //! failure here rather than as a silent drift in the figures.
 
-use v10::core::{run_design, run_single_tenant, Design, RunOptions, RunReport, WorkloadSpec};
+use v10::core::{
+    run_design, run_single_tenant, serve_design, Admission, AdmissionSchedule, Design, RunOptions,
+    RunReport, WorkloadSpec,
+};
 use v10::npu::NpuConfig;
-use v10::workloads::Model;
+use v10::workloads::{Model, OpenLoopProcess};
 
 fn digest(r: &RunReport) -> Vec<u64> {
     let mut d = vec![
@@ -322,5 +325,83 @@ fn bert_dlrm_runs_are_bit_identical_to_golden() {
             f64::from_bits(*got),
             f64::from_bits(*want)
         );
+    }
+}
+
+/// One open-loop serving schedule: a seeded Poisson tenant stream over four
+/// light models, mirroring the `serving_openloop` bench at a single load
+/// point.
+fn openloop_schedule() -> AdmissionSchedule {
+    const MODELS: [Model; 4] = [Model::Mnist, Model::Dlrm, Model::Ncf, Model::EfficientNet];
+    let process = OpenLoopProcess::new(&MODELS, 5.0e6, 0xC0FFEE)
+        .unwrap()
+        .with_requests_per_session(3)
+        .unwrap()
+        .with_think_cycles(2.5e5)
+        .unwrap();
+    let admissions: Vec<Admission> = process
+        .sample(12)
+        .unwrap()
+        .iter()
+        .map(|a| {
+            Admission::new(
+                WorkloadSpec::new(a.label(), a.trace().clone()),
+                a.at_cycles(),
+                a.requests(),
+            )
+            .unwrap()
+        })
+        .collect();
+    AdmissionSchedule::new(admissions).unwrap()
+}
+
+fn serve_digest(design: Design) -> Vec<u64> {
+    let schedule = openloop_schedule();
+    let opts = RunOptions::new(3).unwrap().with_seed(7);
+    digest(&serve_design(design, &schedule, &NpuConfig::table5(), &opts).unwrap())
+}
+
+/// The open-loop serving path must be byte-identical no matter how many
+/// threads the work is spread across — the property the bench harness's
+/// `V10_BENCH_THREADS` knob relies on. Runs every design sequentially,
+/// then fans the same runs out over 2- and 4-thread pools, and compares
+/// every digest bit for bit.
+#[test]
+fn openloop_serving_is_bit_identical_across_thread_counts() {
+    let sequential: Vec<Vec<u64>> = Design::ALL.iter().map(|&d| serve_digest(d)).collect();
+    assert!(
+        sequential.iter().any(|d| d.iter().any(|&b| b != 0)),
+        "serving produced an all-zero digest; the schedule did nothing"
+    );
+
+    for threads in [2usize, 4] {
+        let mut parallel: Vec<Option<Vec<u64>>> = vec![None; Design::ALL.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk_start in (0..Design::ALL.len()).step_by(threads.max(1)) {
+                let chunk: Vec<usize> =
+                    (chunk_start..(chunk_start + threads).min(Design::ALL.len())).collect();
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|i| (i, serve_digest(Design::ALL[i])))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (i, d) in h.join().expect("serving thread panicked") {
+                    parallel[i] = Some(d);
+                }
+            }
+        });
+        for (i, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+            let par = par.as_ref().expect("every design served");
+            assert_eq!(
+                seq,
+                par,
+                "{:?} digest diverged between sequential and {threads}-thread runs",
+                Design::ALL[i]
+            );
+        }
     }
 }
