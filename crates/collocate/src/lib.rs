@@ -48,6 +48,7 @@ pub mod kmeans;
 pub mod pca;
 pub mod pipeline;
 pub mod placer;
+pub mod recovery;
 pub mod schemes;
 pub mod standardize;
 
@@ -60,5 +61,6 @@ pub use kmeans::KMeans;
 pub use pca::Pca;
 pub use pipeline::ClusteringPipeline;
 pub use placer::{AdmissionDecision, MultiCoreAdmission, OnlinePlacer, Placement};
+pub use recovery::{ClusterServeReport, RecoveryPolicy, RequeueRecord, ShedRecord};
 pub use schemes::{Scheme, SchemeKind};
 pub use standardize::Standardizer;

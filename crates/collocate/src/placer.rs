@@ -209,10 +209,10 @@ pub struct AdmissionDecision {
 /// tenant's quota completes).
 #[derive(Debug)]
 pub struct MultiCoreAdmission<'a> {
-    placer: OnlinePlacer<'a>,
-    state: ClusterState,
-    per_core: Vec<Vec<Admission>>,
-    decisions: Vec<AdmissionDecision>,
+    pub(crate) placer: OnlinePlacer<'a>,
+    pub(crate) state: ClusterState,
+    pub(crate) per_core: Vec<Vec<Admission>>,
+    pub(crate) decisions: Vec<AdmissionDecision>,
     rejected: usize,
 }
 

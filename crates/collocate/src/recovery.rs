@@ -1,0 +1,866 @@
+//! SLO-aware serving under faults: checkpoint-replay recovery inside each
+//! core, bounded re-admission with exponential backoff across cores, and
+//! load shedding when fault-reduced capacity makes a deadline unmeetable.
+//!
+//! [`MultiCoreAdmission::serve_faulted`] plays a planned multi-core
+//! deployment forward under per-core [`FaultPlan`]s. Transient faults are
+//! absorbed inside the affected core by the engine's input-checkpoint
+//! replay (the slot-level V10 recovery of `v10_core::serve_design_faulted`)
+//! and never reach this layer. A *permanent* core fault does: the core
+//! drains, its [`ClusterState`] slots retire, and every tenant whose
+//! request quota was still open is handed back to admission. The
+//! controller then retries placement with exponential backoff in simulated
+//! time — attempt `k` fires at `fail + base·(2^k − 1)` — releasing slots
+//! whose tenants have departed in the meantime, and sheds the tenant
+//! outright once even an ideally-served remainder could not finish by its
+//! deadline.
+//!
+//! Everything here is planning-time and deterministic: the same admissions,
+//! fault plans, and policy produce byte-identical reports and event
+//! streams, regardless of how the caller parallelizes the surrounding
+//! sweep.
+
+use v10_core::{
+    serve_design_faulted, Admission, AdmissionSchedule, Design, RunOptions, RunReport, SimEvent,
+    SimObserver,
+};
+use v10_npu::NpuConfig;
+use v10_sim::convert::{u64_to_f64, usize_to_f64};
+use v10_sim::{FaultPlan, V10Error, V10Result};
+
+use crate::placer::{MultiCoreAdmission, Placement};
+
+/// Knobs for the re-admission/shedding policy of
+/// [`MultiCoreAdmission::serve_faulted`].
+///
+/// The deadline of a tenant admitted at `t` with quota `q` over a trace of
+/// `w` compute cycles per request is `t + deadline_factor · q · w`: a
+/// multiple of its ideal single-tenant service time. Re-admission attempt
+/// `k` (0-based) fires at `fail + backoff_base_cycles · (2^k − 1)`; after
+/// `max_retries + 1` failed attempts — or as soon as no attempt can meet
+/// the deadline — the tenant is shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    deadline_factor: f64,
+    backoff_base_cycles: f64,
+    max_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            deadline_factor: 8.0,
+            backoff_base_cycles: 1.0e6,
+            max_retries: 4,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The default policy (deadline 8× ideal service, 1M-cycle backoff
+    /// base, 5 attempts).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the deadline as a multiple of the tenant's ideal single-tenant
+    /// service time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] unless `factor` is finite and
+    /// at least 1 (a sub-ideal deadline is unmeetable by construction).
+    pub fn with_deadline_factor(mut self, factor: f64) -> V10Result<Self> {
+        if !(factor.is_finite() && factor >= 1.0) {
+            return Err(V10Error::invalid(
+                "RecoveryPolicy::with_deadline_factor",
+                format!("deadline factor must be finite and >= 1, got {factor}"),
+            ));
+        }
+        self.deadline_factor = factor;
+        Ok(self)
+    }
+
+    /// Sets the exponential-backoff base in cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] unless `cycles` is finite and
+    /// positive.
+    pub fn with_backoff_base_cycles(mut self, cycles: f64) -> V10Result<Self> {
+        if !(cycles.is_finite() && cycles > 0.0) {
+            return Err(V10Error::invalid(
+                "RecoveryPolicy::with_backoff_base_cycles",
+                format!("backoff base must be finite and positive, got {cycles}"),
+            ));
+        }
+        self.backoff_base_cycles = cycles;
+        Ok(self)
+    }
+
+    /// Sets the number of re-admission retries after the immediate first
+    /// attempt (so `max_retries + 1` attempts total).
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// The deadline multiple over ideal service time.
+    #[must_use]
+    pub fn deadline_factor(&self) -> f64 {
+        self.deadline_factor
+    }
+
+    /// The backoff base in cycles.
+    #[must_use]
+    pub fn backoff_base_cycles(&self) -> f64 {
+        self.backoff_base_cycles
+    }
+
+    /// Retries after the first attempt.
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+}
+
+/// One displaced tenant successfully re-admitted onto another core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequeueRecord {
+    /// The tenant's label.
+    pub label: String,
+    /// The core the permanent fault evicted it from.
+    pub from_core: usize,
+    /// The core that took it.
+    pub to_core: usize,
+    /// When the successful attempt fired, in cycles.
+    pub at_cycles: f64,
+    /// 0-based index of the successful attempt (0 = immediate).
+    pub attempt: u32,
+    /// Requests still open when displaced (the re-admission quota).
+    pub remaining_requests: usize,
+}
+
+/// One displaced tenant the controller gave up on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedRecord {
+    /// The tenant's label.
+    pub label: String,
+    /// The core the permanent fault evicted it from.
+    pub from_core: usize,
+    /// When shedding was decided, in cycles.
+    pub at_cycles: f64,
+    /// Requests left unserved.
+    pub lost_requests: usize,
+    /// True when shed because no attempt could meet the deadline (as
+    /// opposed to exhausting `max_retries` against a full cluster).
+    pub deadline_unmeetable: bool,
+}
+
+/// The outcome of a faulted multi-core serve: final per-core reports plus
+/// the controller's recovery ledger.
+#[derive(Debug, Clone)]
+pub struct ClusterServeReport {
+    per_core: Vec<Option<RunReport>>,
+    requeued: Vec<RequeueRecord>,
+    shed: Vec<ShedRecord>,
+    retired_cores: Vec<(usize, f64)>,
+}
+
+impl ClusterServeReport {
+    /// Final run report per core (`None` for cores that never hosted a
+    /// tenant).
+    #[must_use]
+    pub fn per_core(&self) -> &[Option<RunReport>] {
+        &self.per_core
+    }
+
+    /// Tenants re-admitted onto another core, in recovery order.
+    #[must_use]
+    pub fn requeued(&self) -> &[RequeueRecord] {
+        &self.requeued
+    }
+
+    /// Tenants shed, in recovery order.
+    #[must_use]
+    pub fn shed(&self) -> &[ShedRecord] {
+        &self.shed
+    }
+
+    /// Cores retired by permanent faults, with retirement times, ascending
+    /// by core index.
+    #[must_use]
+    pub fn retired_cores(&self) -> &[(usize, f64)] {
+        &self.retired_cores
+    }
+
+    /// Requests served across the cluster — goodput's numerator. Work a
+    /// failed core completed *before* retiring counts (those responses were
+    /// delivered); requeued tenants serve only their remaining quota, so
+    /// nothing is double-counted.
+    #[must_use]
+    pub fn completed_requests(&self) -> usize {
+        self.reports()
+            .flat_map(RunReport::workloads)
+            .map(|w| w.completed_requests())
+            .sum()
+    }
+
+    /// Requests lost to shedding.
+    #[must_use]
+    pub fn shed_requests(&self) -> usize {
+        self.shed.iter().map(|s| s.lost_requests).sum()
+    }
+
+    /// Fraction of requests that reached a serving decision but were shed:
+    /// `shed / (completed + shed)`. Zero when nothing was offered.
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        let done = usize_to_f64(self.completed_requests());
+        let lost = usize_to_f64(self.shed_requests());
+        if done + lost == 0.0 {
+            return 0.0;
+        }
+        lost / (done + lost)
+    }
+
+    /// Total checkpoint-replay overhead across the cluster, in cycles.
+    #[must_use]
+    pub fn replay_overhead_cycles(&self) -> f64 {
+        self.reports().map(RunReport::replay_overhead_cycles).sum()
+    }
+
+    /// Total faults injected across the cluster.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.reports().map(RunReport::faults_injected).sum()
+    }
+
+    /// Every request latency across the cluster, sorted ascending (total
+    /// order over the raw bit patterns, so the result is deterministic).
+    #[must_use]
+    pub fn latencies_cycles(&self) -> Vec<f64> {
+        let mut all: Vec<f64> = self
+            .reports()
+            .flat_map(RunReport::workloads)
+            .flat_map(|w| w.latencies_cycles())
+            .copied()
+            .collect();
+        all.sort_by(|a, b| a.total_cmp(b));
+        all
+    }
+
+    /// The p99 request latency across the cluster, in cycles. Zero with no
+    /// completions.
+    #[must_use]
+    pub fn p99_latency_cycles(&self) -> f64 {
+        let all = self.latencies_cycles();
+        if all.is_empty() {
+            return 0.0;
+        }
+        let rank = (usize_to_f64(all.len()) * 0.99).ceil();
+        let idx = (v10_sim::convert::f64_to_usize(rank)).saturating_sub(1);
+        all.get(idx).copied().unwrap_or(0.0)
+    }
+
+    fn reports(&self) -> impl Iterator<Item = &RunReport> {
+        self.per_core.iter().flatten()
+    }
+}
+
+/// A tenant the planning loop tracks: where it sits, what it still owes,
+/// and when it must be done.
+#[derive(Debug, Clone)]
+struct Tenant {
+    admission: Admission,
+    class: usize,
+    core: usize,
+    /// The original arrival: deadlines anchor here even after requeues.
+    arrived_at: f64,
+    /// Full original quota (deadline sizing).
+    quota: usize,
+    /// Set once the tenant's slot no longer counts against its core
+    /// (departed, shed, or the core failed).
+    slot_released: bool,
+    decision_index: usize,
+}
+
+impl MultiCoreAdmission<'_> {
+    /// Serves the planned deployment under per-core [`FaultPlan`]s with
+    /// checkpoint-replay recovery and SLO-aware overload control (see the
+    /// module docs for the mechanism). `fault_plans` must have one entry
+    /// per core; with all-empty plans the result is bit-identical to
+    /// serving each of [`schedules`](Self::schedules) directly.
+    ///
+    /// The controller's occupancy state reflects the post-recovery cluster
+    /// afterwards, so later [`offer`](Self::offer)s see failed cores as
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `fault_plans` does not have
+    /// exactly one plan per core, and propagates engine errors from the
+    /// underlying runs.
+    pub fn serve_faulted(
+        &mut self,
+        design: Design,
+        config: &NpuConfig,
+        opts: &RunOptions,
+        fault_plans: &[FaultPlan],
+        policy: &RecoveryPolicy,
+    ) -> V10Result<ClusterServeReport> {
+        self.serve_faulted_observed(
+            design,
+            config,
+            opts,
+            fault_plans,
+            policy,
+            &mut v10_core::NullObserver,
+        )
+    }
+
+    /// [`serve_faulted`](Self::serve_faulted) emitting the controller's
+    /// recovery decisions — [`SimEvent::RequestRequeued`] and
+    /// [`SimEvent::RequestShed`], with `arrival` indexing into
+    /// [`decisions`](Self::decisions) — to `observer` in decision order.
+    /// Per-core engine streams stay internal; replay a single core through
+    /// `v10_core::serve_design_faulted_observed` for an operator-level
+    /// timeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`serve_faulted`](Self::serve_faulted).
+    pub fn serve_faulted_observed<O: SimObserver>(
+        &mut self,
+        design: Design,
+        config: &NpuConfig,
+        opts: &RunOptions,
+        fault_plans: &[FaultPlan],
+        policy: &RecoveryPolicy,
+        observer: &mut O,
+    ) -> V10Result<ClusterServeReport> {
+        let cores = self.state.cores();
+        if fault_plans.len() != cores {
+            return Err(V10Error::invalid(
+                "MultiCoreAdmission::serve_faulted",
+                format!(
+                    "{} fault plans for a {cores}-core cluster (need one per core)",
+                    fault_plans.len()
+                ),
+            ));
+        }
+
+        let mut tenants = self.initial_tenants()?;
+        // Admissions the recovery loop appends, per core.
+        let mut extra: Vec<Vec<Admission>> = vec![Vec::new(); cores];
+        let mut reports: Vec<Option<RunReport>> = vec![None; cores];
+        let mut dirty = vec![true; cores];
+        let mut processed = vec![false; cores];
+        let mut requeued = Vec::new();
+        let mut shed = Vec::new();
+        let mut retired_cores = Vec::new();
+
+        loop {
+            for core in 0..cores {
+                if !dirty[core] {
+                    continue;
+                }
+                dirty[core] = false;
+                let mut entries = self.per_core[core].clone();
+                entries.extend(extra[core].iter().cloned());
+                reports[core] = if entries.is_empty() {
+                    None
+                } else {
+                    let schedule = AdmissionSchedule::new(entries)?;
+                    Some(serve_design_faulted(
+                        design,
+                        &schedule,
+                        config,
+                        opts,
+                        fault_plans.get(core).unwrap_or(&FaultPlan::none()),
+                    )?)
+                };
+            }
+
+            // The earliest unprocessed permanent fault drives the next
+            // recovery round; ties break on core index for determinism.
+            let next = reports
+                .iter()
+                .enumerate()
+                .filter(|&(core, _)| !processed[core])
+                .filter_map(|(core, r)| {
+                    r.as_ref()
+                        .and_then(RunReport::core_retired_at)
+                        .map(|t| (core, t))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let Some((failed_core, fail_at)) = next else {
+                break;
+            };
+            processed[failed_core] = true;
+            retired_cores.push((failed_core, fail_at));
+            self.state.fail(failed_core)?;
+            for t in tenants.iter_mut().filter(|t| t.core == failed_core) {
+                t.slot_released = true;
+            }
+
+            // Displaced tenants, in admission order: open quota when the
+            // core died, or turned away at the retirement instant.
+            let displaced = self.displaced(&tenants, &reports, failed_core, fail_at);
+            for (tenant_idx, remaining) in displaced {
+                self.replace_tenant(
+                    tenant_idx,
+                    remaining,
+                    fail_at,
+                    policy,
+                    &mut tenants,
+                    &reports,
+                    &mut extra,
+                    &mut dirty,
+                    &mut requeued,
+                    &mut shed,
+                    observer,
+                )?;
+            }
+        }
+
+        retired_cores.sort_by_key(|r| r.0);
+        Ok(ClusterServeReport {
+            per_core: reports,
+            requeued,
+            shed,
+            retired_cores,
+        })
+    }
+
+    /// The initially placed tenants, in decision order, with their behavior
+    /// classes recovered from the admission ledger.
+    fn initial_tenants(&self) -> V10Result<Vec<Tenant>> {
+        let mut tenants = Vec::new();
+        // Walk decisions and per-core admission lists in lockstep: offers
+        // append to both in order, so the i-th accepted decision for a core
+        // pairs with that core's i-th admission.
+        let mut cursor = vec![0usize; self.per_core.len()];
+        for (decision_index, d) in self.decisions.iter().enumerate() {
+            let Placement::Core(core) = d.placement else {
+                continue;
+            };
+            let slot = cursor
+                .get_mut(core)
+                .ok_or_else(|| V10Error::invalid("serve_faulted", "decision core out of range"))?;
+            let admission = self
+                .per_core
+                .get(core)
+                .and_then(|list| list.get(*slot))
+                .ok_or_else(|| {
+                    V10Error::invalid(
+                        "serve_faulted",
+                        "admission ledger out of sync with decisions",
+                    )
+                })?
+                .clone();
+            *slot += 1;
+            tenants.push(Tenant {
+                arrived_at: admission.at_cycles(),
+                quota: admission.requests(),
+                class: self.placer.class_of_model(d.model),
+                core,
+                slot_released: false,
+                decision_index,
+                admission,
+            });
+        }
+        Ok(tenants)
+    }
+
+    /// Tenants on `failed_core` with open quota at `fail_at`, as
+    /// `(tenant index, remaining requests)` in admission order.
+    fn displaced(
+        &self,
+        tenants: &[Tenant],
+        reports: &[Option<RunReport>],
+        failed_core: usize,
+        fail_at: f64,
+    ) -> Vec<(usize, usize)> {
+        let report = reports.get(failed_core).and_then(Option::as_ref);
+        let mut out = Vec::new();
+        for (i, t) in tenants.iter().enumerate() {
+            if t.core != failed_core {
+                continue;
+            }
+            let served = report
+                .and_then(|r| {
+                    r.workloads()
+                        .iter()
+                        .find(|w| w.label() == t.admission.spec().label())
+                })
+                .map(|w| w.completed_requests());
+            let remaining = match served {
+                Some(done) => t.admission.requests().saturating_sub(done),
+                // Never boarded: displaced only if the retirement (not a
+                // full table) turned it away.
+                None if t.admission.at_cycles() >= fail_at => t.admission.requests(),
+                None => 0,
+            };
+            if remaining > 0 {
+                out.push((i, remaining));
+            }
+        }
+        out
+    }
+
+    /// Runs the backoff/shedding ladder for one displaced tenant.
+    #[allow(clippy::too_many_arguments)]
+    fn replace_tenant<O: SimObserver>(
+        &mut self,
+        tenant_idx: usize,
+        remaining: usize,
+        fail_at: f64,
+        policy: &RecoveryPolicy,
+        tenants: &mut Vec<Tenant>,
+        reports: &[Option<RunReport>],
+        extra: &mut [Vec<Admission>],
+        dirty: &mut [bool],
+        requeued: &mut Vec<RequeueRecord>,
+        shed: &mut Vec<ShedRecord>,
+        observer: &mut O,
+    ) -> V10Result<()> {
+        let (label, class, from_core, deadline, decision_index, spec) = {
+            let t = &tenants[tenant_idx];
+            let per_request = u64_to_f64(t.admission.spec().trace().total_compute_cycles());
+            let deadline =
+                t.arrived_at + policy.deadline_factor * usize_to_f64(t.quota) * per_request;
+            (
+                t.admission.spec().label().to_string(),
+                t.class,
+                t.core,
+                deadline,
+                t.decision_index,
+                t.admission.spec().clone(),
+            )
+        };
+        let ideal_remaining =
+            usize_to_f64(remaining) * u64_to_f64(spec.trace().total_compute_cycles());
+        // A displaced arrival can only restart from when it existed.
+        let start = fail_at.max(tenants[tenant_idx].arrived_at);
+
+        let mut last_attempt_at = start;
+        for attempt in 0..=policy.max_retries {
+            let exp = f64::from(2u32.saturating_pow(attempt)) - 1.0;
+            let at = start + policy.backoff_base_cycles * exp;
+            last_attempt_at = at;
+            if at + ideal_remaining > deadline {
+                // Even perfect service from here misses the deadline:
+                // shedding now beats queueing doomed work.
+                shed.push(ShedRecord {
+                    label,
+                    from_core,
+                    at_cycles: at,
+                    lost_requests: remaining,
+                    deadline_unmeetable: true,
+                });
+                observer.on_event(SimEvent::RequestShed {
+                    arrival: decision_index,
+                    at,
+                });
+                return Ok(());
+            }
+            self.release_departed(tenants, reports, at)?;
+            match self.placer.place_class(class, &self.state)? {
+                Placement::Core(to_core) => {
+                    self.state.admit(to_core, class)?;
+                    let admission = Admission::new(spec, at, remaining)?;
+                    extra[to_core].push(admission.clone());
+                    dirty[to_core] = true;
+                    requeued.push(RequeueRecord {
+                        label,
+                        from_core,
+                        to_core,
+                        at_cycles: at,
+                        attempt,
+                        remaining_requests: remaining,
+                    });
+                    observer.on_event(SimEvent::RequestRequeued {
+                        arrival: decision_index,
+                        from_core,
+                        to_core,
+                        at,
+                    });
+                    tenants.push(Tenant {
+                        arrived_at: tenants[tenant_idx].arrived_at,
+                        quota: tenants[tenant_idx].quota,
+                        admission,
+                        class,
+                        core: to_core,
+                        slot_released: false,
+                        decision_index,
+                    });
+                    return Ok(());
+                }
+                Placement::Reject => {} // back off and try again
+            }
+        }
+        shed.push(ShedRecord {
+            label,
+            from_core,
+            at_cycles: last_attempt_at,
+            lost_requests: remaining,
+            deadline_unmeetable: false,
+        });
+        observer.on_event(SimEvent::RequestShed {
+            arrival: decision_index,
+            at: last_attempt_at,
+        });
+        Ok(())
+    }
+
+    /// Frees the slots of tenants whose latest report shows them departed
+    /// by `now` — planning-time release so a backoff retry sees the
+    /// capacity that exists at its fire time.
+    fn release_departed(
+        &mut self,
+        tenants: &mut [Tenant],
+        reports: &[Option<RunReport>],
+        now: f64,
+    ) -> V10Result<()> {
+        for t in tenants.iter_mut().filter(|t| !t.slot_released) {
+            let departed = reports
+                .get(t.core)
+                .and_then(Option::as_ref)
+                .and_then(|r| {
+                    r.workloads()
+                        .iter()
+                        .find(|w| w.label() == t.admission.spec().label())
+                })
+                .and_then(|w| w.retired_at_cycles())
+                .is_some_and(|retired| retired <= now);
+            if departed {
+                t.slot_released = true;
+                self.state.release(t.core, t.class)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::build_dataset;
+    use crate::eval::PairPerfCache;
+    use crate::pipeline::ClusteringPipeline;
+    use crate::placer::OnlinePlacer;
+    use v10_core::{serve_design, Design};
+    use v10_workloads::{Model, TimedArrival};
+
+    fn pipeline() -> ClusteringPipeline {
+        let models = [
+            Model::Bert,
+            Model::Ncf,
+            Model::Dlrm,
+            Model::ResNet,
+            Model::Mnist,
+            Model::RetinaNet,
+        ];
+        let points = build_dataset(&models, &[], 3);
+        let mut cache = PairPerfCache::new(2, 3);
+        ClusteringPipeline::fit(&points, 3, 3, &mut cache, 3)
+    }
+
+    fn arrival(label: &str, model: Model, at: f64, requests: usize) -> TimedArrival {
+        TimedArrival::new(
+            label,
+            model,
+            model.default_profile().synthesize(7),
+            at,
+            requests,
+        )
+        .unwrap()
+    }
+
+    /// Offers four small tenants to a 2x2 cluster with a permissive
+    /// threshold (everything collocates).
+    fn controller(p: &ClusteringPipeline) -> MultiCoreAdmission<'_> {
+        let placer = OnlinePlacer::new(p).with_threshold(0.01).unwrap();
+        let mut ctl = MultiCoreAdmission::new(placer, 2, 2).unwrap();
+        for (i, at) in [0.0, 20_000.0, 40_000.0, 60_000.0].iter().enumerate() {
+            let a = arrival(&format!("t{i}"), Model::Mnist, *at, 2);
+            ctl.offer(&a).unwrap();
+        }
+        ctl
+    }
+
+    fn no_faults() -> Vec<FaultPlan> {
+        vec![FaultPlan::none(), FaultPlan::none()]
+    }
+
+    #[test]
+    fn plan_count_is_validated() {
+        let p = pipeline();
+        let mut ctl = controller(&p);
+        let err = ctl
+            .serve_faulted(
+                Design::V10Full,
+                &NpuConfig::table5(),
+                &RunOptions::new(2).unwrap(),
+                &[FaultPlan::none()],
+                &RecoveryPolicy::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("one per core"), "{err}");
+    }
+
+    #[test]
+    fn empty_plans_match_unfaulted_serving() {
+        let p = pipeline();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let mut ctl = controller(&p);
+        let schedules = ctl.schedules().unwrap();
+        let report = ctl
+            .serve_faulted(
+                Design::V10Full,
+                &cfg,
+                &opts,
+                &no_faults(),
+                &RecoveryPolicy::new(),
+            )
+            .unwrap();
+        assert!(report.requeued().is_empty());
+        assert!(report.shed().is_empty());
+        assert!(report.retired_cores().is_empty());
+        assert_eq!(report.shed_fraction(), 0.0);
+        for (core, schedule) in schedules.iter().enumerate() {
+            let direct = schedule
+                .as_ref()
+                .map(|s| serve_design(Design::V10Full, s, &cfg, &opts).unwrap());
+            let faulted = report.per_core()[core].as_ref();
+            match (direct, faulted) {
+                (None, None) => {}
+                (Some(d), Some(f)) => {
+                    assert_eq!(d.elapsed_cycles().to_bits(), f.elapsed_cycles().to_bits());
+                    for (dw, fw) in d.workloads().iter().zip(f.workloads()) {
+                        assert_eq!(dw.completed_requests(), fw.completed_requests());
+                        for (a, b) in dw.latencies_cycles().iter().zip(fw.latencies_cycles()) {
+                            assert_eq!(a.to_bits(), b.to_bits());
+                        }
+                    }
+                }
+                (d, f) => panic!("core {core}: direct {d:?} vs faulted {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn core_failure_conserves_requests_between_goodput_and_shed() {
+        let p = pipeline();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let mut ctl = controller(&p);
+        let offered: usize = ctl
+            .decisions()
+            .iter()
+            .filter(|d| matches!(d.placement, Placement::Core(_)))
+            .count()
+            * 2;
+        let plans = vec![
+            FaultPlan::none()
+                .with_fault(30_000.0, v10_sim::FaultKind::CoreRetire)
+                .unwrap(),
+            FaultPlan::none(),
+        ];
+        let policy = RecoveryPolicy::new()
+            .with_backoff_base_cycles(50_000.0)
+            .unwrap()
+            .with_max_retries(8)
+            .with_deadline_factor(400.0)
+            .unwrap();
+        let report = ctl
+            .serve_faulted(Design::V10Full, &cfg, &opts, &plans, &policy)
+            .unwrap();
+        assert_eq!(report.retired_cores().len(), 1);
+        assert_eq!(report.retired_cores()[0], (0, 30_000.0));
+        assert!(ctl.state().is_failed(0).unwrap());
+        assert!(
+            !report.requeued().is_empty() || !report.shed().is_empty(),
+            "an early core failure must displace someone"
+        );
+        // Pre-fault completions on the dead core plus post-requeue service
+        // plus shed losses account for every admitted request.
+        assert_eq!(
+            report.completed_requests() + report.shed_requests(),
+            offered,
+            "requeued={:?} shed={:?}",
+            report.requeued(),
+            report.shed()
+        );
+        for r in report.requeued() {
+            assert_eq!(r.from_core, 0);
+            assert_eq!(r.to_core, 1, "only core 1 survives");
+            assert!(r.at_cycles >= 30_000.0);
+        }
+    }
+
+    #[test]
+    fn tight_deadline_sheds_instead_of_queueing() {
+        let p = pipeline();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let mut ctl = controller(&p);
+        let plans = vec![
+            FaultPlan::none()
+                .with_fault(30_000.0, v10_sim::FaultKind::CoreRetire)
+                .unwrap(),
+            FaultPlan::none(),
+        ];
+        // Deadline of 1x ideal service: any displacement is unmeetable.
+        let policy = RecoveryPolicy::new().with_deadline_factor(1.0).unwrap();
+        let report = ctl
+            .serve_faulted(Design::V10Full, &cfg, &opts, &plans, &policy)
+            .unwrap();
+        assert!(!report.shed().is_empty());
+        assert!(report.shed().iter().all(|s| s.deadline_unmeetable));
+        assert!(report.requeued().is_empty());
+        assert!(report.shed_fraction() > 0.0);
+    }
+
+    #[test]
+    fn faulted_cluster_serving_is_deterministic() {
+        let p = pipeline();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let plans = vec![
+            FaultPlan::none()
+                .with_poisson_transients(0x7E57, 200_000.0, 5_000_000.0)
+                .unwrap()
+                .with_fault(80_000.0, v10_sim::FaultKind::CoreRetire)
+                .unwrap(),
+            FaultPlan::none()
+                .with_poisson_transients(0x7E58, 300_000.0, 5_000_000.0)
+                .unwrap(),
+        ];
+        let policy = RecoveryPolicy::new()
+            .with_backoff_base_cycles(50_000.0)
+            .unwrap()
+            .with_deadline_factor(400.0)
+            .unwrap();
+        let run = |p: &ClusteringPipeline| {
+            let mut ctl = controller(p);
+            ctl.serve_faulted(Design::V10Full, &cfg, &opts, &plans, &policy)
+                .unwrap()
+        };
+        let a = run(&p);
+        let b = run(&p);
+        assert_eq!(a.requeued(), b.requeued());
+        assert_eq!(a.shed(), b.shed());
+        assert_eq!(a.retired_cores(), b.retired_cores());
+        assert_eq!(a.completed_requests(), b.completed_requests());
+        let (la, lb) = (a.latencies_cycles(), b.latencies_cycles());
+        assert_eq!(la.len(), lb.len());
+        for (x, y) in la.iter().zip(&lb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

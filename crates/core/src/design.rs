@@ -3,12 +3,13 @@
 use std::fmt;
 
 use v10_npu::NpuConfig;
-use v10_sim::V10Result;
+use v10_sim::{FaultPlan, V10Result};
 
 use crate::engine::{RunOptions, V10Engine, WorkloadSpec};
 use crate::lifecycle::AdmissionSchedule;
 use crate::metrics::RunReport;
-use crate::pmt::{run_pmt, serve_pmt};
+use crate::observer::SimObserver;
+use crate::pmt::{run_pmt, serve_pmt, serve_pmt_faulted_observed};
 use crate::policy::Policy;
 
 /// One of the paper's compared designs.
@@ -93,6 +94,58 @@ pub fn serve_design(
         Design::V10Base => V10Engine::new(*config, Policy::RoundRobin, false).serve(schedule, opts),
         Design::V10Fair => V10Engine::new(*config, Policy::Priority, false).serve(schedule, opts),
         Design::V10Full => V10Engine::new(*config, Policy::Priority, true).serve(schedule, opts),
+    }
+}
+
+/// [`serve_design`] under a [`FaultPlan`]: faults are compiled into a
+/// deterministic schedule and injected as the run plays out, with each
+/// design paying its own recovery cost (V10's per-FU checkpoint restore vs
+/// PMT's whole-core 20–40 µs restore). An empty plan is bit-identical to
+/// [`serve_design`].
+///
+/// # Errors
+///
+/// As [`run_design`], plus [`v10_sim::V10Error::InvalidArgument`] if the
+/// plan's stochastic streams expand past the compile-time cap.
+pub fn serve_design_faulted(
+    design: Design,
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    plan: &FaultPlan,
+) -> V10Result<RunReport> {
+    serve_design_faulted_observed(
+        design,
+        schedule,
+        config,
+        opts,
+        plan,
+        &mut crate::observer::NullObserver,
+    )
+}
+
+/// [`serve_design_faulted`] with an observer receiving the event stream,
+/// including the fault and recovery events.
+///
+/// # Errors
+///
+/// As [`serve_design_faulted`].
+pub fn serve_design_faulted_observed<O: SimObserver>(
+    design: Design,
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    plan: &FaultPlan,
+    observer: &mut O,
+) -> V10Result<RunReport> {
+    match design {
+        Design::Pmt => serve_pmt_faulted_observed(schedule, config, opts, plan, observer),
+        Design::V10Base => V10Engine::new(*config, Policy::RoundRobin, false)
+            .serve_faulted_observed(schedule, opts, plan, observer),
+        Design::V10Fair => V10Engine::new(*config, Policy::Priority, false)
+            .serve_faulted_observed(schedule, opts, plan, observer),
+        Design::V10Full => V10Engine::new(*config, Policy::Priority, true)
+            .serve_faulted_observed(schedule, opts, plan, observer),
     }
 }
 

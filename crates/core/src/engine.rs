@@ -23,7 +23,8 @@
 
 use v10_isa::{FuKind, RequestTrace};
 use v10_npu::{FuPool, NpuConfig};
-use v10_sim::{V10Error, V10Result};
+use v10_sim::fault::pick_victim;
+use v10_sim::{FaultInjector, FaultKind, FaultPlan, V10Error, V10Result};
 
 use crate::engine_core::{drive, rate_of, EngineCore, ExecutorStrategy, Slot, StepOutcome, EPS};
 use crate::lifecycle::AdmissionSchedule;
@@ -243,7 +244,13 @@ impl V10Engine {
         let schedule = AdmissionSchedule::closed_loop(specs, opts.requests_per_workload())?;
         // The table is sized to the workload set, so slot indices match the
         // historical dense workload numbering.
-        self.serve_with_capacity("V10Engine::run", &schedule, specs.len(), observer)
+        self.serve_with_capacity(
+            "V10Engine::run",
+            &schedule,
+            specs.len(),
+            FaultInjector::disarmed(),
+            observer,
+        )
     }
 
     /// Serves an open-loop [`AdmissionSchedule`]: tenants are admitted when
@@ -274,7 +281,59 @@ impl V10Engine {
         observer: &mut O,
     ) -> V10Result<RunReport> {
         let capacity = opts.table_capacity().unwrap_or(FIG11_TABLE_ROWS);
-        self.serve_with_capacity("V10Engine::serve", schedule, capacity, observer)
+        self.serve_with_capacity(
+            "V10Engine::serve",
+            schedule,
+            capacity,
+            FaultInjector::disarmed(),
+            observer,
+        )
+    }
+
+    /// [`serve`](Self::serve) under a [`FaultPlan`]: the plan is compiled
+    /// into a deterministic fault schedule and injected as the run plays
+    /// out. Transient operator faults replay the victim from its input
+    /// checkpoint at the design's context-switch cost; a core stall freezes
+    /// every FU for its duration; a permanent core fault retires the core
+    /// ([`RunReport::core_retired_at`] records when). An empty plan is
+    /// bit-identical to [`serve`](Self::serve).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`V10Error::InvalidArgument`] if the
+    /// plan's stochastic streams expand past the compile-time cap.
+    pub fn serve_faulted(
+        &self,
+        schedule: &AdmissionSchedule,
+        opts: &RunOptions,
+        plan: &FaultPlan,
+    ) -> V10Result<RunReport> {
+        self.serve_faulted_observed(schedule, opts, plan, &mut NullObserver)
+    }
+
+    /// [`serve_faulted`](Self::serve_faulted) with an observer receiving
+    /// the event stream, including [`SimEvent::FaultInjected`],
+    /// [`SimEvent::OpReplayed`], and [`SimEvent::CoreRetired`].
+    ///
+    /// # Errors
+    ///
+    /// As [`serve_faulted`](Self::serve_faulted).
+    pub fn serve_faulted_observed<O: SimObserver>(
+        &self,
+        schedule: &AdmissionSchedule,
+        opts: &RunOptions,
+        plan: &FaultPlan,
+        observer: &mut O,
+    ) -> V10Result<RunReport> {
+        let capacity = opts.table_capacity().unwrap_or(FIG11_TABLE_ROWS);
+        let faults = FaultInjector::compile(plan)?;
+        self.serve_with_capacity(
+            "V10Engine::serve_faulted",
+            schedule,
+            capacity,
+            faults,
+            observer,
+        )
     }
 
     fn serve_with_capacity<O: SimObserver>(
@@ -282,12 +341,13 @@ impl V10Engine {
         context: &'static str,
         schedule: &AdmissionSchedule,
         capacity: usize,
+        faults: FaultInjector,
         observer: &mut O,
     ) -> V10Result<RunReport> {
         let cfg = &self.config;
         let pool = FuPool::new(cfg.fu_count() as usize)?;
         let slots = pool.iter().map(|id| Slot::new(id, pool.kind(id))).collect();
-        let core = EngineCore::new(context, schedule, cfg, capacity, slots, observer)?;
+        let core = EngineCore::new(context, schedule, cfg, capacity, slots, faults, observer)?;
         let mut strategy = V10Strategy::new(cfg, self.policy, self.preemption);
         drive(core, &mut strategy)
     }
@@ -314,6 +374,109 @@ impl V10Strategy {
             sa_switch_cycles: config.sa_switch_cycles(),
             vu_switch_cycles: config.vu_switch_cycles(),
         }
+    }
+
+    /// Applies every fault due at the current instant. Returns `true` when a
+    /// permanent fault retired the core and the run must finish.
+    ///
+    /// A transient operator fault evicts one occupied FU, opens a
+    /// context-switch window at the design's per-FU switch cost (the V10
+    /// input-checkpoint restore, §3.3), and rewinds the victim's in-flight
+    /// operator to its checkpoint so it re-executes in full. A core stall
+    /// evicts every occupant back to the ready queue and blocks all FUs for
+    /// the stall duration. A disarmed injector makes this a single empty
+    /// queue probe.
+    fn apply_due_faults<O: SimObserver>(
+        &mut self,
+        core: &mut EngineCore<'_, O>,
+    ) -> V10Result<bool> {
+        while let Some(fault) = core.next_due_fault() {
+            match fault.kind() {
+                FaultKind::TransientOp { victim_salt } => {
+                    let occupied: Vec<usize> = core
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(s, slot)| slot.occupant.map(|_| s))
+                        .collect();
+                    let Some(&s) = occupied.get(pick_victim(victim_salt, occupied.len())) else {
+                        // No operator in flight: the bit flip lands on an
+                        // idle FU and is harmless, but still on the record.
+                        core.emit_fault(fault.kind(), None);
+                        continue;
+                    };
+                    let (occupant, kind) = {
+                        let slot = core.slot(s)?;
+                        (slot.occupant, slot.kind)
+                    };
+                    let Some(w) = occupant else {
+                        continue;
+                    };
+                    let id = core.wl(w)?.id;
+                    let cost = match kind {
+                        FuKind::Sa => self.sa_switch_cycles,
+                        FuKind::Vu => self.vu_switch_cycles,
+                    } as f64;
+                    core.emit_fault(fault.kind(), Some(w));
+                    core.table.mark_released(id, true)?;
+                    let until = core.now + cost;
+                    {
+                        let slot = core.slot_mut(s)?;
+                        slot.occupant = None;
+                        slot.switch_until = until;
+                    }
+                    let at = core.now;
+                    core.emit(SimEvent::CtxSwitchStarted {
+                        fu: s,
+                        cost_cycles: cost,
+                        at,
+                    });
+                    core.replay_current_op(w, cost)?;
+                }
+                FaultKind::CoreStall { stall_cycles } => {
+                    core.emit_fault(fault.kind(), None);
+                    let until = core.now + stall_cycles;
+                    for s in 0..core.slots.len() {
+                        let (occupant, switch_until) = {
+                            let slot = core.slot(s)?;
+                            (slot.occupant, slot.switch_until)
+                        };
+                        if let Some(w) = occupant {
+                            // Stalled work is not lost: the occupant goes
+                            // back to the ready queue and resumes when the
+                            // stall window elapses.
+                            let id = core.wl(w)?.id;
+                            core.table.mark_released(id, true)?;
+                        }
+                        if until > switch_until {
+                            // An idle FU already mid-switch keeps its open
+                            // window (its CtxSwitchEnded just moves out);
+                            // otherwise a fresh window opens here.
+                            let window_open = occupant.is_none() && switch_until > core.now + EPS;
+                            {
+                                let slot = core.slot_mut(s)?;
+                                slot.occupant = None;
+                                slot.switch_until = until;
+                            }
+                            if !window_open {
+                                let at = core.now;
+                                core.emit(SimEvent::CtxSwitchStarted {
+                                    fu: s,
+                                    cost_cycles: stall_cycles,
+                                    at,
+                                });
+                            }
+                        }
+                    }
+                }
+                FaultKind::CoreRetire => {
+                    core.emit_fault(fault.kind(), None);
+                    core.retire_core()?;
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -434,10 +597,18 @@ impl ExecutorStrategy for V10Strategy {
         if self.preemption {
             dt = dt.min(self.tick_next - core.now);
         }
+        if let Some(at) = core.next_fault_at() {
+            dt = dt.min(at - core.now);
+        }
         let dt = core.resolve_dt(dt)?;
 
         // -------- Phase 4: advance, accounting as we go.
         core.advance(dt, &rates);
+
+        // -------- Phase 4.5: inject faults that are due at this instant.
+        if self.apply_due_faults(core)? {
+            return Ok(StepOutcome::Finished);
+        }
 
         // -------- Phase 5a: operator completions (and departures).
         for s in 0..core.slots.len() {
@@ -987,5 +1158,180 @@ mod seeded_tests {
                 .unwrap();
             assert!(big.elapsed_cycles() <= small.elapsed_cycles() * 1.01 + 1.0);
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::lifecycle::Admission;
+    use crate::observer::CounterObserver;
+    use v10_isa::OpDesc;
+    use v10_sim::FaultPlan;
+
+    fn sa(cycles: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Sa).compute_cycles(cycles).build()
+    }
+    fn vu(cycles: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Vu).compute_cycles(cycles).build()
+    }
+    fn spec(label: &str, ops: Vec<OpDesc>) -> WorkloadSpec {
+        WorkloadSpec::new(label, RequestTrace::new(ops).unwrap())
+    }
+    fn engine() -> V10Engine {
+        V10Engine::new(NpuConfig::table5(), Policy::Priority, true)
+    }
+
+    fn schedule() -> AdmissionSchedule {
+        AdmissionSchedule::new(vec![
+            Admission::new(spec("a", vec![sa(1_000_000), vu(20_000)]), 0.0, 3).unwrap(),
+            Admission::new(spec("b", vec![sa(10_000), vu(300_000)]), 50_000.0, 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn digest(r: &RunReport) -> Vec<u64> {
+        let mut d = vec![
+            r.elapsed_cycles().to_bits(),
+            r.switch_overhead_cycles().to_bits(),
+            r.replay_overhead_cycles().to_bits(),
+            r.faults_injected(),
+        ];
+        for w in r.workloads() {
+            d.push(w.completed_requests() as u64);
+            d.push(w.replays());
+            d.push(w.replay_overhead_cycles().to_bits());
+            for l in w.latencies_cycles() {
+                d.push(l.to_bits());
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_serve() {
+        let e = engine();
+        let opts = RunOptions::new(3).unwrap();
+        let plain = e.serve(&schedule(), &opts).unwrap();
+        let mut counters = CounterObserver::new();
+        let faulted = e
+            .serve_faulted_observed(&schedule(), &opts, &FaultPlan::none(), &mut counters)
+            .unwrap();
+        assert_eq!(digest(&plain), digest(&faulted));
+        assert_eq!(counters.fault_injected(), 0);
+        assert_eq!(counters.op_replayed(), 0);
+        assert_eq!(counters.core_retired(), 0);
+        assert_eq!(faulted.faults_injected(), 0);
+        assert_eq!(faulted.core_retired_at(), None);
+    }
+
+    #[test]
+    fn transient_fault_replays_the_in_flight_operator() {
+        let e = engine();
+        let opts = RunOptions::new(3).unwrap();
+        let plain = e.serve(&schedule(), &opts).unwrap();
+        // Workload "a"'s first 1M-cycle SA op is in flight at t=200k.
+        let plan = FaultPlan::none()
+            .with_fault(200_000.0, FaultKind::TransientOp { victim_salt: 0 })
+            .unwrap();
+        let mut counters = CounterObserver::new();
+        let faulted = e
+            .serve_faulted_observed(&schedule(), &opts, &plan, &mut counters)
+            .unwrap();
+        assert_eq!(counters.fault_injected(), 1);
+        assert_eq!(counters.op_replayed(), 1);
+        assert_eq!(faulted.faults_injected(), 1);
+        let replays: u64 = faulted.workloads().iter().map(|w| w.replays()).sum();
+        assert_eq!(replays, 1);
+        assert!(faulted.replay_overhead_cycles() > 0.0);
+        // Replayed work re-executes: the run takes strictly longer.
+        assert!(faulted.elapsed_cycles() > plain.elapsed_cycles());
+        // Every request still completes: transient faults lose no work.
+        let done: usize = faulted
+            .workloads()
+            .iter()
+            .map(|w| w.completed_requests())
+            .sum();
+        assert_eq!(done, 6);
+        // Eviction windows stay balanced.
+        assert_eq!(counters.ctx_switch_started(), counters.ctx_switch_ended());
+    }
+
+    #[test]
+    fn core_stall_delays_without_losing_work() {
+        let e = engine();
+        let opts = RunOptions::new(3).unwrap();
+        let plain = e.serve(&schedule(), &opts).unwrap();
+        let stall = 250_000.0;
+        let plan = FaultPlan::none()
+            .with_fault(
+                100_000.0,
+                FaultKind::CoreStall {
+                    stall_cycles: stall,
+                },
+            )
+            .unwrap();
+        let mut counters = CounterObserver::new();
+        let faulted = e
+            .serve_faulted_observed(&schedule(), &opts, &plan, &mut counters)
+            .unwrap();
+        assert_eq!(counters.fault_injected(), 1);
+        assert_eq!(counters.op_replayed(), 0, "a stall corrupts nothing");
+        let done: usize = faulted
+            .workloads()
+            .iter()
+            .map(|w| w.completed_requests())
+            .sum();
+        assert_eq!(done, 6);
+        // The whole core freezes for the stall: elapsed grows by ~stall.
+        assert!(faulted.elapsed_cycles() >= plain.elapsed_cycles() + 0.9 * stall);
+        assert_eq!(counters.ctx_switch_started(), counters.ctx_switch_ended());
+    }
+
+    #[test]
+    fn core_retire_drains_and_rejects_the_rest() {
+        let e = engine();
+        let opts = RunOptions::new(3).unwrap();
+        // Retire before workload "b" even arrives.
+        let plan = FaultPlan::none()
+            .with_fault(20_000.0, FaultKind::CoreRetire)
+            .unwrap();
+        let mut counters = CounterObserver::new();
+        let faulted = e
+            .serve_faulted_observed(&schedule(), &opts, &plan, &mut counters)
+            .unwrap();
+        assert_eq!(counters.core_retired(), 1);
+        assert_eq!(faulted.core_retired_at(), Some(20_000.0));
+        // The pending arrival was turned away at the retirement instant.
+        assert!(counters.admission_rejected() >= 1);
+        // Nothing completes after retirement: the long first op never fits
+        // in 20k cycles.
+        let done: usize = faulted
+            .workloads()
+            .iter()
+            .map(|w| w.completed_requests())
+            .sum();
+        assert_eq!(done, 0);
+        assert!(faulted.elapsed_cycles() <= 20_000.0 + 1.0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let e = engine();
+        let opts = RunOptions::new(3).unwrap();
+        let plan = FaultPlan::none()
+            .with_poisson_transients(0xFA17, 150_000.0, 2_000_000.0)
+            .unwrap()
+            .with_fault(
+                400_000.0,
+                FaultKind::CoreStall {
+                    stall_cycles: 50_000.0,
+                },
+            )
+            .unwrap();
+        let a = e.serve_faulted(&schedule(), &opts, &plan).unwrap();
+        let b = e.serve_faulted(&schedule(), &opts, &plan).unwrap();
+        assert_eq!(digest(&a), digest(&b));
+        assert!(a.faults_injected() > 0, "the plan should actually fire");
     }
 }

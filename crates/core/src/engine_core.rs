@@ -23,8 +23,8 @@ use std::collections::VecDeque;
 
 use v10_isa::{FuKind, OpDesc, RequestTrace};
 use v10_npu::{FuId, HbmArbiter, InstructionDma, NpuConfig};
-use v10_sim::convert::{u64_to_f64, usize_to_f64};
-use v10_sim::{V10Error, V10Result};
+use v10_sim::convert::{u64_from_usize, u64_to_f64, usize_to_f64};
+use v10_sim::{FaultEvent, FaultInjector, FaultKind, V10Error, V10Result};
 
 use crate::context::{ContextTable, WorkloadId};
 use crate::lifecycle::{Admission, AdmissionSchedule};
@@ -76,6 +76,11 @@ pub(crate) struct WlState {
     pub(crate) hbm_bytes: f64,
     pub(crate) preemptions: u64,
     pub(crate) switch_overhead: f64,
+    /// Operators re-issued from their input checkpoint after a transient
+    /// fault corrupted them in flight.
+    pub(crate) replays: u64,
+    /// Cycles spent restoring checkpoints for those replays.
+    pub(crate) replay_overhead: f64,
 }
 
 impl WlState {
@@ -177,12 +182,18 @@ pub(crate) struct EngineCore<'a, O: SimObserver> {
     /// Bumped on every admission and retirement; strategies that cache
     /// derived tenant state (PMT's rotation slices) resync when it moves.
     pub(crate) tenancy_epoch: u64,
+    /// Compiled fault schedule; disarmed (empty) on unfaulted entry points,
+    /// in which case no branch below ever observes it.
+    pub(crate) faults: FaultInjector,
     /// Arrivals not yet due, in arrival order.
     pending: VecDeque<Admission>,
     /// Context-table slot index -> `wls` index of its live occupant.
     slot_owner: Vec<Option<usize>>,
     rejected: u64,
     arrival_seq: usize,
+    fault_seq: usize,
+    replay_overhead_total: f64,
+    core_retired_at: Option<f64>,
     overlap: OverlapBreakdown,
     sa_busy: f64,
     vu_busy: f64,
@@ -208,6 +219,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
         config: &NpuConfig,
         capacity: usize,
         slots: Vec<Slot>,
+        faults: FaultInjector,
         observer: &'a mut O,
     ) -> V10Result<Self> {
         if capacity == 0 {
@@ -230,10 +242,14 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             now: 0.0,
             switch_overhead_total: 0.0,
             tenancy_epoch: 0,
+            faults,
             pending: schedule.entries().iter().cloned().collect(),
             slot_owner: vec![None; capacity],
             rejected: 0,
             arrival_seq: 0,
+            fault_seq: 0,
+            replay_overhead_total: 0.0,
+            core_retired_at: None,
             overlap: OverlapBreakdown::default(),
             sa_busy: 0.0,
             vu_busy: 0.0,
@@ -336,6 +352,8 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             hbm_bytes: 0.0,
             preemptions: 0,
             switch_overhead: 0.0,
+            replays: 0,
+            replay_overhead: 0.0,
         };
         wl.op_remaining = u64_to_f64(wl.current_op().compute_cycles());
         wl.fetch_ready_at = self
@@ -361,6 +379,119 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     /// horizon every strategy must respect.
     pub(crate) fn next_arrival_at(&self) -> Option<f64> {
         self.pending.front().map(Admission::at_cycles)
+    }
+
+    /// Fire time of the next scheduled fault, if any — an event horizon
+    /// every strategy must respect when the injector is armed. A disarmed
+    /// injector returns `None` and never bounds a step.
+    pub(crate) fn next_fault_at(&self) -> Option<f64> {
+        self.faults.next_at()
+    }
+
+    /// Pops the next fault due at the current instant, if any.
+    pub(crate) fn next_due_fault(&mut self) -> Option<FaultEvent> {
+        self.faults.pop_due(self.now, EPS)
+    }
+
+    /// Emits [`SimEvent::FaultInjected`] with the next fault sequence
+    /// number. `victim` names the workload a transient operator fault
+    /// singled out, when there was one in flight.
+    pub(crate) fn emit_fault(&mut self, kind: FaultKind, victim: Option<usize>) {
+        let fault = self.fault_seq;
+        self.fault_seq += 1;
+        let at = self.now;
+        self.emit(SimEvent::FaultInjected {
+            fault,
+            kind,
+            workload: victim,
+            at,
+        });
+    }
+
+    /// Recovers workload `w` from a transient operator fault: discards the
+    /// corrupted operator's progress and re-issues it from its input
+    /// checkpoint (V10 §3.3's SA input checkpoint / VU register file save),
+    /// charging `cost` cycles of restore overhead — the same Fig. 21
+    /// context-switch cost the design pays on preemption.
+    ///
+    /// The caller decides where the restore window lives (the V10 strategy
+    /// blocks the victim's FU for `cost` cycles; PMT idles the whole core).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `w` is not an admitted
+    /// workload index.
+    pub(crate) fn replay_current_op(&mut self, w: usize, cost: f64) -> V10Result<()> {
+        let now = self.now;
+        let op_id = {
+            let Some(wl) = self.wls.get_mut(w) else {
+                return Err(V10Error::invalid(
+                    "EngineCore::replay_current_op",
+                    "unknown workload index",
+                ));
+            };
+            wl.op_remaining = u64_to_f64(wl.current_op().compute_cycles());
+            wl.replays += 1;
+            wl.replay_overhead += cost;
+            wl.next_op_id
+        };
+        self.replay_overhead_total += cost;
+        self.emit(SimEvent::OpReplayed {
+            workload: w,
+            op_id,
+            cost_cycles: cost,
+            at: now,
+        });
+        Ok(())
+    }
+
+    /// Applies a permanent core fault: clears every occupancy slot, force-
+    /// retires every live tenant (freeing its context-table row), bounces
+    /// every still-pending arrival as a rejection, and marks the core dead.
+    /// Strategies finish the run immediately afterwards; the serving layer
+    /// reads [`RunReport::core_retired_at`](crate::RunReport) to hand the
+    /// displaced tenants back to admission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if a live tenant's id has gone
+    /// stale (an engine invariant violation).
+    pub(crate) fn retire_core(&mut self) -> V10Result<()> {
+        let now = self.now;
+        self.core_retired_at = Some(now);
+        for slot in &mut self.slots {
+            slot.occupant = None;
+            slot.switch_until = 0.0;
+        }
+        let live: Vec<(usize, WorkloadId)> = self
+            .wls
+            .iter()
+            .enumerate()
+            .filter(|(_, wl)| wl.alive)
+            .map(|(w, wl)| (w, wl.id))
+            .collect();
+        for (w, id) in live {
+            if let Some(wl) = self.wls.get_mut(w) {
+                wl.alive = false;
+                wl.retired_at = Some(now);
+            }
+            self.table.retire(id)?;
+            if let Some(owner) = self.slot_owner.get_mut(id.index()) {
+                *owner = None;
+            }
+        }
+        while self.pending.pop_front().is_some() {
+            let seq = self.arrival_seq;
+            self.arrival_seq += 1;
+            self.rejected += 1;
+            self.emit(SimEvent::AdmissionRejected {
+                arrival: seq,
+                at: now,
+            });
+        }
+        self.tenancy_epoch += 1;
+        self.emit(SimEvent::CoreRetired { at: now });
+        Ok(())
     }
 
     /// Checked access to workload `w`'s execution state.
@@ -599,6 +730,8 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                     wl.hbm_bytes,
                     wl.preemptions,
                     wl.switch_overhead,
+                    wl.replays,
+                    wl.replay_overhead,
                     wl.admitted_at,
                     wl.retired_at,
                 )
@@ -609,6 +742,9 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             self.sa_busy,
             self.vu_busy,
             self.switch_overhead_total,
+            self.replay_overhead_total,
+            u64_from_usize(self.faults.injected()),
+            self.core_retired_at,
             self.overlap,
             self.hbm.bytes_moved(),
             self.hbm_peak,

@@ -20,7 +20,9 @@
 //!   and single-tenant execution ([`run_single_tenant`]).
 //! * [`design`] — the four evaluated designs ([`Design`]): `PMT`,
 //!   `V10-Base`, `V10-Fair`, `V10-Full` (§5.1), behind one entry point
-//!   ([`run_design`]; [`serve_design`] for open-loop schedules).
+//!   ([`run_design`]; [`serve_design`] for open-loop schedules;
+//!   [`serve_design_faulted`] for runs under a deterministic
+//!   [`FaultPlan`] with checkpoint-replay recovery).
 //! * [`lifecycle`] — dynamic tenancy ([`Admission`],
 //!   [`AdmissionSchedule`]): open-loop tenant arrival/departure serving,
 //!   with the classic fixed-set runs as an admit-all-at-cycle-0 wrapper.
@@ -90,7 +92,9 @@ pub mod pmt;
 pub mod policy;
 
 pub use context::{ContextTable, WorkloadId};
-pub use design::{run_design, serve_design, Design};
+pub use design::{
+    run_design, serve_design, serve_design_faulted, serve_design_faulted_observed, Design,
+};
 pub use engine::{RunOptions, V10Engine, WorkloadSpec};
 pub use lifecycle::{Admission, AdmissionSchedule};
 pub use metrics::{OverlapBreakdown, RunReport, WorkloadReport};
@@ -99,6 +103,9 @@ pub use overhead::{estimate_overhead, SchedulerOverhead, TABLE3_PUBLISHED};
 pub use packed::{
     pack_row, parse_table_image, snapshot_table, unpack_row, PackedRowFields, FIG11_TABLE_ROWS,
 };
-pub use pmt::{run_pmt, run_pmt_observed, run_single_tenant, serve_pmt, serve_pmt_observed};
+pub use pmt::{
+    run_pmt, run_pmt_observed, run_single_tenant, serve_pmt, serve_pmt_faulted,
+    serve_pmt_faulted_observed, serve_pmt_observed,
+};
 pub use policy::{Policy, Scheduler};
-pub use v10_sim::{V10Error, V10Result};
+pub use v10_sim::{FaultEvent, FaultInjector, FaultKind, FaultPlan, V10Error, V10Result};

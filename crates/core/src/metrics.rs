@@ -80,6 +80,8 @@ pub struct WorkloadReport {
     hbm_bytes: f64,
     preemptions: u64,
     switch_overhead: f64,
+    replays: u64,
+    replay_overhead: f64,
     admitted_at: f64,
     retired_at: Option<f64>,
 }
@@ -98,6 +100,8 @@ impl WorkloadReport {
         hbm_bytes: f64,
         preemptions: u64,
         switch_overhead: f64,
+        replays: u64,
+        replay_overhead: f64,
         admitted_at: f64,
         retired_at: Option<f64>,
     ) -> Self {
@@ -120,6 +124,8 @@ impl WorkloadReport {
             hbm_bytes,
             preemptions,
             switch_overhead,
+            replays,
+            replay_overhead,
             admitted_at,
             retired_at,
         }
@@ -216,6 +222,19 @@ impl WorkloadReport {
         self.switch_overhead
     }
 
+    /// Operators this workload re-issued from their input checkpoint after
+    /// a transient fault.
+    #[must_use]
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+
+    /// Checkpoint-restore cycles charged to this workload's replays.
+    #[must_use]
+    pub fn replay_overhead_cycles(&self) -> f64 {
+        self.replay_overhead
+    }
+
     /// Preemptions per completed request (Fig. 21, right axis).
     #[must_use]
     pub fn preemptions_per_request(&self) -> f64 {
@@ -246,6 +265,9 @@ pub struct RunReport {
     sa_busy: f64,
     vu_busy: f64,
     switch_overhead: f64,
+    replay_overhead: f64,
+    faults_injected: u64,
+    core_retired_at: Option<f64>,
     overlap: OverlapBreakdown,
     hbm_bytes: f64,
     hbm_peak_bytes_per_cycle: f64,
@@ -262,6 +284,9 @@ impl RunReport {
         sa_busy: f64,
         vu_busy: f64,
         switch_overhead: f64,
+        replay_overhead: f64,
+        faults_injected: u64,
+        core_retired_at: Option<f64>,
         overlap: OverlapBreakdown,
         hbm_bytes: f64,
         hbm_peak_bytes_per_cycle: f64,
@@ -274,6 +299,9 @@ impl RunReport {
             sa_busy,
             vu_busy,
             switch_overhead,
+            replay_overhead,
+            faults_injected,
+            core_retired_at,
             overlap,
             hbm_bytes,
             hbm_peak_bytes_per_cycle,
@@ -305,6 +333,26 @@ impl RunReport {
     #[must_use]
     pub fn switch_overhead_cycles(&self) -> f64 {
         self.switch_overhead
+    }
+
+    /// Aggregate checkpoint-restore cycles charged to fault replays.
+    #[must_use]
+    pub fn replay_overhead_cycles(&self) -> f64 {
+        self.replay_overhead
+    }
+
+    /// Scheduled faults the injector fired during the run.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Cycle at which a permanent core fault retired this core, if one
+    /// fired. The serving layer uses this to hand the core's unfinished
+    /// tenants back to admission.
+    #[must_use]
+    pub fn core_retired_at(&self) -> Option<f64> {
+        self.core_retired_at
     }
 
     /// SA temporal utilization in `[0, 1]` (Fig. 16a).
@@ -422,6 +470,8 @@ mod tests {
             0.0,
             3,
             100.0,
+            0,
+            0.0,
             0.0,
             None,
         )
@@ -433,6 +483,9 @@ mod tests {
             600.0,
             300.0,
             50.0,
+            0.0,
+            0,
+            None,
             OverlapBreakdown {
                 both: 250.0,
                 sa_only: 350.0,
@@ -479,7 +532,21 @@ mod tests {
 
     #[test]
     fn empty_latency_workload_is_zeroed() {
-        let w = WorkloadReport::new("x".into(), 1.0, 0, vec![], 0.0, 0.0, 0.0, 0, 0.0, 0.0, None);
+        let w = WorkloadReport::new(
+            "x".into(),
+            1.0,
+            0,
+            vec![],
+            0.0,
+            0.0,
+            0.0,
+            0,
+            0.0,
+            0,
+            0.0,
+            0.0,
+            None,
+        );
         assert_eq!(w.avg_latency_cycles(), 0.0);
         assert_eq!(w.p50_latency_cycles(), 0.0);
         assert_eq!(w.p95_latency_cycles(), 0.0);
@@ -500,13 +567,20 @@ mod tests {
             0.0,
             0,
             0.0,
+            2,
+            768.0,
             123.0,
             Some(456.0),
         );
         assert_eq!(w.admitted_at_cycles(), 123.0);
         assert_eq!(w.retired_at_cycles(), Some(456.0));
+        assert_eq!(w.replays(), 2);
+        assert_eq!(w.replay_overhead_cycles(), 768.0);
         let r = report(vec![w]);
         assert_eq!(r.rejected_admissions(), 0);
+        assert_eq!(r.replay_overhead_cycles(), 0.0);
+        assert_eq!(r.faults_injected(), 0);
+        assert_eq!(r.core_retired_at(), None);
     }
 
     #[test]

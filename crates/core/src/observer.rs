@@ -12,6 +12,7 @@
 use std::io::Write;
 
 use v10_isa::FuKind;
+use v10_sim::FaultKind;
 
 /// One engine event, stamped with the simulated cycle at which it occurred.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,6 +109,54 @@ pub enum SimEvent {
         /// Simulated cycle.
         at: f64,
     },
+    /// The fault injector fired a scheduled fault on this core.
+    FaultInjected {
+        /// Monotonic sequence number of the fault within the run.
+        fault: usize,
+        /// What the fault does.
+        kind: FaultKind,
+        /// The victim workload, when the fault singled one out (a transient
+        /// operator fault with at least one operator in flight).
+        workload: Option<usize>,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A corrupted operator was re-issued from its input checkpoint.
+    OpReplayed {
+        /// Index of the replaying workload.
+        workload: usize,
+        /// The operator being replayed.
+        op_id: u64,
+        /// The replay's restore cost in cycles (the design's context-switch
+        /// cost, per Fig. 21).
+        cost_cycles: f64,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// The core retired permanently: residents evicted, arrivals bounced.
+    CoreRetired {
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// The serving layer re-admitted a displaced tenant onto another core.
+    RequestRequeued {
+        /// Sequence number of the original arrival (offer order).
+        arrival: usize,
+        /// The core the tenant was displaced from.
+        from_core: usize,
+        /// The core the tenant landed on.
+        to_core: usize,
+        /// Simulated cycle of the re-admission decision.
+        at: f64,
+    },
+    /// The serving layer shed a displaced tenant: fault-reduced capacity
+    /// made its deadline unmeetable, so it was rejected rather than queued.
+    RequestShed {
+        /// Sequence number of the original arrival (offer order).
+        arrival: usize,
+        /// Simulated cycle of the shedding decision.
+        at: f64,
+    },
 }
 
 impl SimEvent {
@@ -127,6 +176,11 @@ impl SimEvent {
             SimEvent::TenantAdmitted { .. } => "tenant_admitted",
             SimEvent::TenantRetired { .. } => "tenant_retired",
             SimEvent::AdmissionRejected { .. } => "admission_rejected",
+            SimEvent::FaultInjected { .. } => "fault_injected",
+            SimEvent::OpReplayed { .. } => "op_replayed",
+            SimEvent::CoreRetired { .. } => "core_retired",
+            SimEvent::RequestRequeued { .. } => "request_requeued",
+            SimEvent::RequestShed { .. } => "request_shed",
         }
     }
 
@@ -144,7 +198,12 @@ impl SimEvent {
             | SimEvent::TimerTick { at }
             | SimEvent::TenantAdmitted { at, .. }
             | SimEvent::TenantRetired { at, .. }
-            | SimEvent::AdmissionRejected { at, .. } => at,
+            | SimEvent::AdmissionRejected { at, .. }
+            | SimEvent::FaultInjected { at, .. }
+            | SimEvent::OpReplayed { at, .. }
+            | SimEvent::CoreRetired { at }
+            | SimEvent::RequestRequeued { at, .. }
+            | SimEvent::RequestShed { at, .. } => at,
         }
     }
 }
@@ -186,6 +245,11 @@ pub struct CounterObserver {
     tenant_admitted: u64,
     tenant_retired: u64,
     admission_rejected: u64,
+    fault_injected: u64,
+    op_replayed: u64,
+    core_retired: u64,
+    request_requeued: u64,
+    request_shed: u64,
 }
 
 impl CounterObserver {
@@ -261,6 +325,36 @@ impl CounterObserver {
         self.admission_rejected
     }
 
+    /// Scheduled faults fired by the injector.
+    #[must_use]
+    pub fn fault_injected(&self) -> u64 {
+        self.fault_injected
+    }
+
+    /// Operators re-issued from their input checkpoint.
+    #[must_use]
+    pub fn op_replayed(&self) -> u64 {
+        self.op_replayed
+    }
+
+    /// Permanent core retirements.
+    #[must_use]
+    pub fn core_retired(&self) -> u64 {
+        self.core_retired
+    }
+
+    /// Displaced tenants re-admitted onto another core.
+    #[must_use]
+    pub fn request_requeued(&self) -> u64 {
+        self.request_requeued
+    }
+
+    /// Displaced tenants shed for an unmeetable deadline.
+    #[must_use]
+    pub fn request_shed(&self) -> u64 {
+        self.request_shed
+    }
+
     /// Sum over all event kinds.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -275,6 +369,11 @@ impl CounterObserver {
             + self.tenant_admitted
             + self.tenant_retired
             + self.admission_rejected
+            + self.fault_injected
+            + self.op_replayed
+            + self.core_retired
+            + self.request_requeued
+            + self.request_shed
     }
 }
 
@@ -293,6 +392,11 @@ impl SimObserver for CounterObserver {
             SimEvent::TenantAdmitted { .. } => &mut self.tenant_admitted,
             SimEvent::TenantRetired { .. } => &mut self.tenant_retired,
             SimEvent::AdmissionRejected { .. } => &mut self.admission_rejected,
+            SimEvent::FaultInjected { .. } => &mut self.fault_injected,
+            SimEvent::OpReplayed { .. } => &mut self.op_replayed,
+            SimEvent::CoreRetired { .. } => &mut self.core_retired,
+            SimEvent::RequestRequeued { .. } => &mut self.request_requeued,
+            SimEvent::RequestShed { .. } => &mut self.request_shed,
         };
         *slot += 1;
     }
@@ -390,9 +494,25 @@ impl<W: Write> SimObserver for JsonLinesObserver<W> {
             | SimEvent::TenantRetired { workload, .. } => {
                 format!("{{\"event\":\"{name}\",\"workload\":{workload},\"at\":{at}}}")
             }
-            SimEvent::AdmissionRejected { arrival, .. } => {
+            SimEvent::AdmissionRejected { arrival, .. }
+            | SimEvent::RequestShed { arrival, .. } => {
                 format!("{{\"event\":\"{name}\",\"arrival\":{arrival},\"at\":{at}}}")
             }
+            SimEvent::FaultInjected { fault, kind, workload, .. } => {
+                let victim = workload.map_or("null".to_string(), |w| w.to_string());
+                format!(
+                    "{{\"event\":\"{name}\",\"fault\":{fault},\"kind\":\"{}\",\"workload\":{victim},\"at\":{at}}}",
+                    kind.label()
+                )
+            }
+            SimEvent::OpReplayed { workload, op_id, cost_cycles, .. } => format!(
+                "{{\"event\":\"{name}\",\"workload\":{workload},\"op_id\":{op_id},\"cost_cycles\":{},\"at\":{at}}}",
+                fmt_cycles(cost_cycles)
+            ),
+            SimEvent::CoreRetired { .. } => format!("{{\"event\":\"{name}\",\"at\":{at}}}"),
+            SimEvent::RequestRequeued { arrival, from_core, to_core, .. } => format!(
+                "{{\"event\":\"{name}\",\"arrival\":{arrival},\"from_core\":{from_core},\"to_core\":{to_core},\"at\":{at}}}"
+            ),
         };
         if writeln!(self.sink, "{line}").is_err() {
             self.write_errors += 1;
@@ -525,6 +645,81 @@ mod tests {
             }
             .name(),
             "tenant_retired"
+        );
+    }
+
+    #[test]
+    fn fault_events_count_name_and_encode() {
+        let mut c = CounterObserver::new();
+        let mut buf = Vec::new();
+        {
+            let mut obs = JsonLinesObserver::new(&mut buf);
+            let events = [
+                SimEvent::FaultInjected {
+                    fault: 0,
+                    kind: FaultKind::TransientOp { victim_salt: 9 },
+                    workload: Some(1),
+                    at: 3.0,
+                },
+                SimEvent::FaultInjected {
+                    fault: 1,
+                    kind: FaultKind::CoreStall { stall_cycles: 64.0 },
+                    workload: None,
+                    at: 4.0,
+                },
+                SimEvent::OpReplayed {
+                    workload: 1,
+                    op_id: 5,
+                    cost_cycles: 384.0,
+                    at: 3.0,
+                },
+                SimEvent::CoreRetired { at: 9.0 },
+                SimEvent::RequestRequeued {
+                    arrival: 2,
+                    from_core: 0,
+                    to_core: 1,
+                    at: 10.0,
+                },
+                SimEvent::RequestShed {
+                    arrival: 3,
+                    at: 11.0,
+                },
+            ];
+            for e in events {
+                c.on_event(e);
+                obs.on_event(e);
+            }
+            assert_eq!(obs.write_errors(), 0);
+        }
+        assert_eq!(c.fault_injected(), 2);
+        assert_eq!(c.op_replayed(), 1);
+        assert_eq!(c.core_retired(), 1);
+        assert_eq!(c.request_requeued(), 1);
+        assert_eq!(c.request_shed(), 1);
+        assert_eq!(c.total(), 6);
+
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"fault_injected\",\"fault\":0,\"kind\":\"transient_op\",\"workload\":1,\"at\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"fault_injected\",\"fault\":1,\"kind\":\"core_stall\",\"workload\":null,\"at\":4}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"event\":\"op_replayed\",\"workload\":1,\"op_id\":5,\"cost_cycles\":384,\"at\":3}"
+        );
+        assert_eq!(lines[3], "{\"event\":\"core_retired\",\"at\":9}");
+        assert_eq!(
+            lines[4],
+            "{\"event\":\"request_requeued\",\"arrival\":2,\"from_core\":0,\"to_core\":1,\"at\":10}"
+        );
+        assert_eq!(
+            lines[5],
+            "{\"event\":\"request_shed\",\"arrival\":3,\"at\":11}"
         );
     }
 

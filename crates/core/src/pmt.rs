@@ -20,7 +20,7 @@
 //! whole-core occupancy slot.
 
 use v10_npu::{FuPool, NpuConfig};
-use v10_sim::{Frequency, SimRng, V10Error, V10Result};
+use v10_sim::{FaultInjector, FaultKind, FaultPlan, Frequency, SimRng, V10Error, V10Result};
 
 use crate::engine::{RunOptions, WorkloadSpec};
 use crate::engine_core::{drive, EngineCore, ExecutorStrategy, Slot, StepOutcome, EPS};
@@ -65,7 +65,15 @@ pub fn run_pmt_observed<O: SimObserver>(
         return Err(V10Error::invalid("run_pmt", "need at least one workload"));
     }
     let schedule = AdmissionSchedule::closed_loop(specs, opts.requests_per_workload())?;
-    serve_pmt_with_capacity("run_pmt", &schedule, config, opts, specs.len(), observer)
+    serve_pmt_with_capacity(
+        "run_pmt",
+        &schedule,
+        config,
+        opts,
+        specs.len(),
+        FaultInjector::disarmed(),
+        observer,
+    )
 }
 
 /// Serves an open-loop [`AdmissionSchedule`] on the PMT baseline: tenants
@@ -99,7 +107,60 @@ pub fn serve_pmt_observed<O: SimObserver>(
     observer: &mut O,
 ) -> V10Result<RunReport> {
     let capacity = opts.table_capacity().unwrap_or(FIG11_TABLE_ROWS);
-    serve_pmt_with_capacity("serve_pmt", schedule, config, opts, capacity, observer)
+    serve_pmt_with_capacity(
+        "serve_pmt",
+        schedule,
+        config,
+        opts,
+        capacity,
+        FaultInjector::disarmed(),
+        observer,
+    )
+}
+
+/// [`serve_pmt`] under a [`FaultPlan`]. A transient operator fault rewinds
+/// the owner's in-flight operator to its checkpoint and charges a full
+/// 20–40 µs PMT context restore (the whole-core context lives in HBM,
+/// §5.1); a core stall freezes the core for its duration; a permanent fault
+/// retires the core. An empty plan is bit-identical to [`serve_pmt`].
+///
+/// # Errors
+///
+/// As [`run_pmt`], plus [`v10_sim::V10Error::InvalidArgument`] if the plan's
+/// stochastic streams expand past the compile-time cap.
+pub fn serve_pmt_faulted(
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    plan: &FaultPlan,
+) -> V10Result<RunReport> {
+    serve_pmt_faulted_observed(schedule, config, opts, plan, &mut NullObserver)
+}
+
+/// [`serve_pmt_faulted`] with an observer receiving the event stream,
+/// including the fault and recovery events.
+///
+/// # Errors
+///
+/// As [`serve_pmt_faulted`].
+pub fn serve_pmt_faulted_observed<O: SimObserver>(
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    plan: &FaultPlan,
+    observer: &mut O,
+) -> V10Result<RunReport> {
+    let capacity = opts.table_capacity().unwrap_or(FIG11_TABLE_ROWS);
+    let faults = FaultInjector::compile(plan)?;
+    serve_pmt_with_capacity(
+        "serve_pmt_faulted",
+        schedule,
+        config,
+        opts,
+        capacity,
+        faults,
+        observer,
+    )
 }
 
 fn serve_pmt_with_capacity<O: SimObserver>(
@@ -108,6 +169,7 @@ fn serve_pmt_with_capacity<O: SimObserver>(
     config: &NpuConfig,
     opts: &RunOptions,
     capacity: usize,
+    faults: FaultInjector,
     observer: &mut O,
 ) -> V10Result<RunReport> {
     // One slot: PMT owns the whole core; the slot's kind tracks the owner's
@@ -118,7 +180,7 @@ fn serve_pmt_with_capacity<O: SimObserver>(
         .next()
         .ok_or_else(|| V10Error::invalid(context, "FU pool of one pair is empty"))?;
     let slots = vec![Slot::new(fu, v10_isa::FuKind::Sa)];
-    let core = EngineCore::new(context, schedule, config, capacity, slots, observer)?;
+    let core = EngineCore::new(context, schedule, config, capacity, slots, faults, observer)?;
     let mut strategy = PmtStrategy::new(config, opts);
     drive(core, &mut strategy)
 }
@@ -217,6 +279,67 @@ impl PmtStrategy {
     fn slice_of(&self, index: usize) -> f64 {
         self.slices.get(index).copied().unwrap_or(0.0)
     }
+
+    /// Applies every fault due at the current instant, advancing simulated
+    /// time for replay/stall costs. Returns `Some(Finished)` when a
+    /// permanent fault retired the core, `Some(Continue)` when any fault
+    /// was applied (the step restarts so admissions catch up with the
+    /// advanced clock), and `None` when nothing was due.
+    ///
+    /// PMT checkpoints whole-task context in off-chip HBM, so a corrupted
+    /// operator pays a full 20–40 µs context restore (§5.1) before
+    /// re-executing from its checkpoint. The restore cost is drawn from the
+    /// strategy RNG only when a fault actually fires, so a disarmed
+    /// injector leaves the RNG stream — and every downstream draw —
+    /// untouched.
+    fn apply_due_faults<O: SimObserver>(
+        &mut self,
+        core: &mut EngineCore<'_, O>,
+    ) -> V10Result<Option<StepOutcome>> {
+        let mut applied = false;
+        while let Some(fault) = core.next_due_fault() {
+            applied = true;
+            match fault.kind() {
+                FaultKind::TransientOp { .. } => {
+                    if core.table.is_empty() {
+                        // No resident tenant: the bit flip lands on an idle
+                        // core and is harmless, but still on the record.
+                        core.emit_fault(fault.kind(), None);
+                        continue;
+                    }
+                    let owner = self.owner;
+                    let cost = self
+                        .clock
+                        .cycles_from_micros(self.rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US))
+                        .as_u64() as f64;
+                    core.emit_fault(fault.kind(), Some(owner));
+                    core.switch_overhead_total += cost;
+                    let at = core.now;
+                    core.emit(SimEvent::CtxSwitchStarted {
+                        fu: 0,
+                        cost_cycles: cost,
+                        at,
+                    });
+                    core.replay_current_op(owner, cost)?;
+                    let cost = core.resolve_dt(cost)?;
+                    core.advance(cost, &[]); // whole core idle for the restore
+                    let at = core.now;
+                    core.emit(SimEvent::CtxSwitchEnded { fu: 0, at });
+                }
+                FaultKind::CoreStall { stall_cycles } => {
+                    core.emit_fault(fault.kind(), None);
+                    let dt = core.resolve_dt(stall_cycles)?;
+                    core.advance(dt, &[]); // whole core frozen for the stall
+                }
+                FaultKind::CoreRetire => {
+                    core.emit_fault(fault.kind(), None);
+                    core.retire_core()?;
+                    return Ok(Some(StepOutcome::Finished));
+                }
+            }
+        }
+        Ok(applied.then_some(StepOutcome::Continue))
+    }
 }
 
 /// The next alive tenant after `start` in round-robin order. Only called
@@ -240,7 +363,13 @@ impl ExecutorStrategy for PmtStrategy {
             return Ok(StepOutcome::Finished);
         }
 
-        // No resident tenant: the core idles until the next arrival.
+        // Faults due at this instant fire before any scheduling decision.
+        if let Some(outcome) = self.apply_due_faults(core)? {
+            return Ok(outcome);
+        }
+
+        // No resident tenant: the core idles until the next arrival or
+        // scheduled fault.
         if core.table.is_empty() {
             let Some(at) = core.next_arrival_at() else {
                 return Err(V10Error::Deadlock {
@@ -248,7 +377,11 @@ impl ExecutorStrategy for PmtStrategy {
                     message: "no live tenants and no pending arrivals".into(),
                 });
             };
-            let dt = core.resolve_dt(at - core.now)?;
+            let mut dt = at - core.now;
+            if let Some(fault_at) = core.next_fault_at() {
+                dt = dt.min(fault_at - core.now);
+            }
+            let dt = core.resolve_dt(dt)?;
             core.advance(dt, &[]);
             return Ok(StepOutcome::Continue);
         }
@@ -292,6 +425,9 @@ impl ExecutorStrategy for PmtStrategy {
             self.owner_until - core.now
         };
         if let Some(at) = core.next_arrival_at() {
+            dt = dt.min(at - core.now);
+        }
+        if let Some(at) = core.next_fault_at() {
             dt = dt.min(at - core.now);
         }
         let fetch_ready_at = core.wl(self.owner)?.fetch_ready_at;
@@ -590,5 +726,105 @@ mod seeded_tests {
             assert_eq!(pmt.switch_overhead_cycles(), 0.0);
             assert_eq!(pmt.overlap().both, 0.0, "one core, sequential ops");
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::lifecycle::Admission;
+    use crate::observer::CounterObserver;
+    use v10_isa::{FuKind, OpDesc, RequestTrace};
+    use v10_sim::{FaultKind, FaultPlan};
+
+    fn sa(cycles: u64) -> OpDesc {
+        OpDesc::builder(FuKind::Sa).compute_cycles(cycles).build()
+    }
+    fn spec(label: &str, ops: Vec<OpDesc>) -> WorkloadSpec {
+        WorkloadSpec::new(label, RequestTrace::new(ops).unwrap())
+    }
+    fn schedule() -> AdmissionSchedule {
+        AdmissionSchedule::new(vec![
+            Admission::new(spec("a", vec![sa(500_000)]), 0.0, 3).unwrap(),
+            Admission::new(spec("b", vec![sa(500_000)]), 100_000.0, 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_serve_pmt() {
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(3).unwrap();
+        let plain = serve_pmt(&schedule(), &cfg, &opts).unwrap();
+        let faulted = serve_pmt_faulted(&schedule(), &cfg, &opts, &FaultPlan::none()).unwrap();
+        assert_eq!(
+            plain.elapsed_cycles().to_bits(),
+            faulted.elapsed_cycles().to_bits()
+        );
+        assert_eq!(
+            plain.switch_overhead_cycles().to_bits(),
+            faulted.switch_overhead_cycles().to_bits()
+        );
+        for (p, f) in plain.workloads().iter().zip(faulted.workloads()) {
+            assert_eq!(p.completed_requests(), f.completed_requests());
+            for (a, b) in p.latencies_cycles().iter().zip(f.latencies_cycles()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(faulted.faults_injected(), 0);
+    }
+
+    #[test]
+    fn transient_fault_charges_a_whole_core_restore() {
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(3).unwrap();
+        let plain = serve_pmt(&schedule(), &cfg, &opts).unwrap();
+        let plan = FaultPlan::none()
+            .with_fault(50_000.0, FaultKind::TransientOp { victim_salt: 0 })
+            .unwrap();
+        let mut counters = CounterObserver::new();
+        let faulted =
+            serve_pmt_faulted_observed(&schedule(), &cfg, &opts, &plan, &mut counters).unwrap();
+        assert_eq!(counters.fault_injected(), 1);
+        assert_eq!(counters.op_replayed(), 1);
+        let replays: u64 = faulted.workloads().iter().map(|w| w.replays()).sum();
+        assert_eq!(replays, 1);
+        // PMT restores the whole-core context from HBM: 20-40 us at
+        // 700 MHz is 14k-28k cycles.
+        let restore = faulted.replay_overhead_cycles();
+        assert!(
+            (14_000.0..=28_000.0).contains(&restore),
+            "restore cost {restore}"
+        );
+        assert!(faulted.elapsed_cycles() > plain.elapsed_cycles());
+        // No work is lost.
+        let done: usize = faulted
+            .workloads()
+            .iter()
+            .map(|w| w.completed_requests())
+            .sum();
+        assert_eq!(done, 6);
+        assert_eq!(counters.ctx_switch_started(), counters.ctx_switch_ended());
+    }
+
+    #[test]
+    fn core_retire_stops_the_rotation() {
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(3).unwrap();
+        let plan = FaultPlan::none()
+            .with_fault(30_000.0, FaultKind::CoreRetire)
+            .unwrap();
+        let mut counters = CounterObserver::new();
+        let faulted =
+            serve_pmt_faulted_observed(&schedule(), &cfg, &opts, &plan, &mut counters).unwrap();
+        assert_eq!(counters.core_retired(), 1);
+        assert_eq!(faulted.core_retired_at(), Some(30_000.0));
+        assert!(counters.admission_rejected() >= 1, "b never got to board");
+        let done: usize = faulted
+            .workloads()
+            .iter()
+            .map(|w| w.completed_requests())
+            .sum();
+        assert_eq!(done, 0);
     }
 }

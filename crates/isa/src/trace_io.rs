@@ -54,30 +54,53 @@ pub fn write_trace_csv<W: Write>(mut w: W, trace: &RequestTrace) -> V10Result<()
 
 /// Reads a trace from CSV. A `&mut` reader may be passed (C-RW-VALUE).
 ///
+/// Every line — the header included — must end in a newline; a file that
+/// stops mid-line was truncated in transit, and silently accepting the
+/// fragment would drop trailing operators (or misparse the last one), so
+/// truncation is a hard [`V10Error::Parse`].
+///
 /// # Errors
 ///
 /// Returns [`V10Error::Io`] on I/O failure, [`V10Error::Parse`] on a
-/// missing/incorrect header or a malformed line, and
+/// missing/incorrect header, a malformed line, or a truncated file, and
 /// [`V10Error::InvalidArgument`] for an operator-free file. Blank lines are
 /// skipped.
-pub fn read_trace_csv<R: BufRead>(r: R) -> V10Result<RequestTrace> {
-    let mut lines = r.lines();
-    let header = lines
-        .next()
-        .transpose()?
-        .ok_or_else(|| V10Error::parse(1, format!("expected header `{CSV_HEADER}`, found ``")))?;
-    if header.trim() != CSV_HEADER {
+pub fn read_trace_csv<R: BufRead>(mut r: R) -> V10Result<RequestTrace> {
+    let mut buf = String::new();
+    if r.read_line(&mut buf)? == 0 {
         return Err(V10Error::parse(
             1,
-            format!("expected header `{CSV_HEADER}`, found `{}`", header.trim()),
+            format!("expected header `{CSV_HEADER}`, found ``"),
+        ));
+    }
+    if !buf.ends_with('\n') {
+        return Err(V10Error::parse(
+            1,
+            "file truncated: header line is missing its trailing newline",
+        ));
+    }
+    if buf.trim() != CSV_HEADER {
+        return Err(V10Error::parse(
+            1,
+            format!("expected header `{CSV_HEADER}`, found `{}`", buf.trim()),
         ));
     }
 
     let mut ops = Vec::new();
-    for (i, line) in lines.enumerate() {
-        let line_no = i + 2; // 1-based, after the header
-        let line = line?;
-        let line = line.trim();
+    let mut line_no = 1usize;
+    loop {
+        buf.clear();
+        line_no += 1;
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        if !buf.ends_with('\n') {
+            return Err(V10Error::parse(
+                line_no,
+                "file truncated: last line is missing its trailing newline",
+            ));
+        }
+        let line = buf.trim();
         if line.is_empty() {
             continue;
         }
@@ -110,7 +133,13 @@ pub fn read_trace_csv<R: BufRead>(r: R) -> V10Result<RequestTrace> {
         if compute == 0 {
             return Err(V10Error::parse(line_no, "compute_cycles must be positive"));
         }
-        let instr_count = num(5, "instr_count")?.max(1);
+        let instr_count = num(5, "instr_count")?;
+        if instr_count == 0 {
+            return Err(V10Error::parse(
+                line_no,
+                "instr_count must be positive (an operator issues at least one instruction)",
+            ));
+        }
         let instr_count = u32::try_from(instr_count)
             .map_err(|_| V10Error::parse(line_no, "instr_count exceeds u32"))?;
         ops.push(
@@ -214,6 +243,52 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("positive"));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        // The file was cut off inside the header line itself.
+        let err = read_trace_csv(CSV_HEADER.as_bytes()).unwrap_err();
+        match err {
+            V10Error::Parse { line, ref message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("truncated"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_last_line_rejected() {
+        // A complete header and first operator, then a cut mid-file: the
+        // final line has no trailing newline and must not be silently
+        // accepted as a whole operator.
+        let text = format!("{CSV_HEADER}\nSA,100,0,0,0,16,0\nVU,50,0,0,0,16,0");
+        let err = read_trace_csv(text.as_bytes()).unwrap_err();
+        match err {
+            V10Error::Parse { line, ref message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("truncated"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_instr_count_rejected() {
+        // Formerly clamped to 1 silently; a zero-instruction operator is
+        // corrupt input and must be reported, not repaired.
+        let text = format!("{CSV_HEADER}\nSA,100,0,0,0,0,0\n");
+        let err = read_trace_csv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, V10Error::Parse { line: 2, .. }));
+        assert!(err.to_string().contains("instr_count must be positive"));
+    }
+
+    #[test]
+    fn oversized_instr_count_rejected() {
+        let text = format!("{CSV_HEADER}\nSA,100,0,0,0,4294967296,0\n");
+        let err = read_trace_csv(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds u32"), "{err}");
     }
 
     #[test]

@@ -11,11 +11,13 @@
 use v10_sim::{V10Error, V10Result};
 
 /// Occupancy of one NPU core: resident tenant class tags bounded by the
-/// core's context-table capacity.
+/// core's context-table capacity, plus a health flag — a permanently
+/// faulted core keeps its slots retired until the cluster is rebuilt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct CoreOccupancy {
     residents: Vec<usize>,
     capacity: usize,
+    failed: bool,
 }
 
 /// The admission controller's view of a multi-core NPU cluster.
@@ -63,6 +65,7 @@ impl ClusterState {
                 CoreOccupancy {
                     residents: Vec::new(),
                     capacity: slots_per_core,
+                    failed: false,
                 };
                 cores
             ],
@@ -93,14 +96,60 @@ impl ClusterState {
         Ok(&self.core(core, "ClusterState::residents")?.residents)
     }
 
-    /// Free context-table slots on `core`.
+    /// Free context-table slots on `core`. A failed core reports zero: its
+    /// slots are permanently retired, so placement scoring skips it with no
+    /// special casing.
     ///
     /// # Errors
     ///
     /// Returns [`V10Error::InvalidArgument`] if `core` is out of range.
     pub fn free_slots(&self, core: usize) -> V10Result<usize> {
         let c = self.core(core, "ClusterState::free_slots")?;
+        if c.failed {
+            return Ok(0);
+        }
         Ok(c.capacity - c.residents.len())
+    }
+
+    /// Whether `core` has been retired by a permanent fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `core` is out of range.
+    pub fn is_failed(&self, core: usize) -> V10Result<bool> {
+        Ok(self.core(core, "ClusterState::is_failed")?.failed)
+    }
+
+    /// Indices of the cores retired by permanent faults, ascending.
+    #[must_use]
+    pub fn failed_cores(&self) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.failed.then_some(i))
+            .collect()
+    }
+
+    /// Retires `core` after a permanent fault: every resident is evicted
+    /// and the core's slots are withdrawn from the cluster. Returns the
+    /// evicted residents' class tags in admission order, so the caller can
+    /// re-place them elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `core` is out of range or
+    /// already failed — retiring the same core twice indicates a
+    /// double-counted fault upstream.
+    pub fn fail(&mut self, core: usize) -> V10Result<Vec<usize>> {
+        if self.core(core, "ClusterState::fail")?.failed {
+            return Err(V10Error::invalid(
+                "ClusterState::fail",
+                format!("core {core} already failed"),
+            ));
+        }
+        let c = &mut self.cores[core];
+        c.failed = true;
+        Ok(std::mem::take(&mut c.residents))
     }
 
     /// Total residents across all cores.
@@ -124,6 +173,12 @@ impl ClusterState {
     /// [`V10Error::CapacityExceeded`]-style invalid if the core's table is
     /// full.
     pub fn admit(&mut self, core: usize, class: usize) -> V10Result<()> {
+        if self.core(core, "ClusterState::admit")?.failed {
+            return Err(V10Error::invalid(
+                "ClusterState::admit",
+                format!("core {core} has failed and cannot host tenants"),
+            ));
+        }
         let slot = {
             let c = self.core(core, "ClusterState::admit")?;
             c.residents.len() < c.capacity
@@ -238,6 +293,30 @@ mod tests {
         cluster.admit(0, 3).unwrap();
         let err = cluster.release(0, 4).unwrap_err();
         assert!(err.to_string().contains("no class-4 tenant"), "{err}");
+    }
+
+    #[test]
+    fn failed_core_retires_slots_and_evicts_residents() {
+        let mut cluster = ClusterState::new(2, 4).unwrap();
+        cluster.admit(0, 3).unwrap();
+        cluster.admit(0, 5).unwrap();
+        cluster.admit(1, 7).unwrap();
+        let evicted = cluster.fail(0).unwrap();
+        assert_eq!(evicted, vec![3, 5]);
+        assert!(cluster.is_failed(0).unwrap());
+        assert!(!cluster.is_failed(1).unwrap());
+        assert_eq!(cluster.failed_cores(), vec![0]);
+        // The failed core offers no capacity and rejects admissions.
+        assert_eq!(cluster.free_slots(0).unwrap(), 0);
+        let err = cluster.admit(0, 1).unwrap_err();
+        assert!(err.to_string().contains("has failed"), "{err}");
+        // The healthy core is untouched.
+        assert_eq!(cluster.free_slots(1).unwrap(), 3);
+        assert_eq!(cluster.total_residents(), 1);
+        // Double-fail is a bug upstream.
+        let err = cluster.fail(0).unwrap_err();
+        assert!(err.to_string().contains("already failed"), "{err}");
+        assert!(cluster.fail(2).is_err(), "out of range");
     }
 
     #[test]

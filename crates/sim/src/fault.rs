@@ -1,0 +1,554 @@
+//! Deterministic fault injection: declarative plans compiled to event streams.
+//!
+//! V10's operator-granularity preemption hardware (input checkpoint + replay
+//! on the SA, PC/register save on the VU, §3.3 of the paper) doubles as a
+//! recovery primitive: an operator corrupted in flight can be re-issued from
+//! its checkpoint at exactly the preemption-overhead cost of Fig. 21. This
+//! module supplies the *fault side* of that story — a seeded, deterministic
+//! source of scheduled fault events that the engine crates consume:
+//!
+//! * [`FaultPlan`] — a declarative description of the faults one core will
+//!   experience: individually scripted events plus optional Poisson streams
+//!   of transient faults.
+//! * [`FaultInjector`] — the compiled form: every stochastic event is
+//!   pre-sampled at compile time from a [`SimRng`] seeded by the plan, then
+//!   merged and sorted, so injection during a run consumes **no** randomness
+//!   and a run under a given plan replays bit-for-bit from its seed
+//!   (lint rule D2 clean by construction).
+//!
+//! A disarmed injector (compiled from [`FaultPlan::none`]) holds no events:
+//! it offers no time horizon and no fault ever fires, so the recovery
+//! machinery in the engines is behavior-neutral when fault injection is off.
+//!
+//! # Example
+//!
+//! ```
+//! use v10_sim::{FaultInjector, FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::none()
+//!     .with_fault(5.0e6, FaultKind::TransientOp { victim_salt: 1 })
+//!     .unwrap()
+//!     .with_fault(9.0e6, FaultKind::CoreRetire)
+//!     .unwrap();
+//! let mut inj = FaultInjector::compile(&plan).unwrap();
+//! assert_eq!(inj.next_at(), Some(5.0e6));
+//! let first = inj.pop_due(5.0e6, 1e-6).unwrap();
+//! assert!(matches!(first.kind(), FaultKind::TransientOp { .. }));
+//! assert_eq!(inj.remaining(), 1);
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::convert::{u64_from_usize, usize_from_u64};
+use crate::error::{V10Error, V10Result};
+use crate::rng::SimRng;
+
+/// Compiled-plan size cap: a plan whose Poisson streams would expand past
+/// this many events is rejected at compile time instead of exhausting
+/// memory (e.g. a microsecond-scale mean against a multi-hour horizon).
+pub const MAX_COMPILED_EVENTS: usize = 65_536;
+
+/// What a scheduled fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Transient corruption of one in-flight operator: the engine picks the
+    /// victim among currently-issued operators, discards its progress, and
+    /// re-issues it from the input checkpoint at the design's context-switch
+    /// cost (V10: Fig. 21 per-FU cycle costs; PMT: a whole-core 20–40 µs
+    /// restore).
+    TransientOp {
+        /// Deterministic victim-selection salt. The engine maps it onto the
+        /// set of occupied functional units with [`pick_victim`], keeping
+        /// the injection path free of run-time RNG draws.
+        victim_salt: u64,
+    },
+    /// Transient whole-core stall: every functional unit freezes for the
+    /// given duration, then execution resumes with no work lost.
+    CoreStall {
+        /// How long the core is frozen, in cycles. Finite and positive.
+        stall_cycles: f64,
+    },
+    /// Permanent core retirement: the core drains, every resident tenant is
+    /// force-retired, and pending arrivals bounce back to admission.
+    CoreRetire,
+}
+
+impl FaultKind {
+    /// Stable snake_case label used by the JSON-lines observer encoding.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TransientOp { .. } => "transient_op",
+            FaultKind::CoreStall { .. } => "core_stall",
+            FaultKind::CoreRetire => "core_retire",
+        }
+    }
+}
+
+/// Maps a victim salt uniformly onto `[0, candidates)`.
+///
+/// Returns 0 when `candidates` is 0 so callers can guard on emptiness
+/// separately without a panic path.
+#[must_use]
+pub fn pick_victim(salt: u64, candidates: usize) -> usize {
+    if candidates == 0 {
+        return 0;
+    }
+    usize_from_u64(salt % u64_from_usize(candidates))
+}
+
+/// A single scheduled fault: a timestamp plus a [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    at_cycles: f64,
+    kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Builds a validated fault event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] when `at_cycles` is not finite
+    /// and non-negative, or when a [`FaultKind::CoreStall`] duration is not
+    /// finite and positive.
+    pub fn new(at_cycles: f64, kind: FaultKind) -> V10Result<Self> {
+        if !at_cycles.is_finite() || at_cycles < 0.0 {
+            return Err(V10Error::invalid(
+                "FaultEvent::new",
+                format!("fault time must be finite and non-negative, got {at_cycles}"),
+            ));
+        }
+        if let FaultKind::CoreStall { stall_cycles } = kind {
+            if !stall_cycles.is_finite() || stall_cycles <= 0.0 {
+                return Err(V10Error::invalid(
+                    "FaultEvent::new",
+                    format!("stall duration must be finite and positive, got {stall_cycles}"),
+                ));
+            }
+        }
+        Ok(FaultEvent { at_cycles, kind })
+    }
+
+    /// When the fault fires, in simulated cycles.
+    #[must_use]
+    pub fn at_cycles(&self) -> f64 {
+        self.at_cycles
+    }
+
+    /// What the fault does.
+    #[must_use]
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+}
+
+/// Parameters of one seeded Poisson stream of transient faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PoissonSpec {
+    seed: u64,
+    mean_interarrival_cycles: f64,
+    horizon_cycles: f64,
+}
+
+impl PoissonSpec {
+    fn validated(
+        context: &'static str,
+        seed: u64,
+        mean_interarrival_cycles: f64,
+        horizon_cycles: f64,
+    ) -> V10Result<Self> {
+        if !mean_interarrival_cycles.is_finite() || mean_interarrival_cycles <= 0.0 {
+            return Err(V10Error::invalid(
+                context,
+                format!(
+                    "mean interarrival must be finite and positive, got {mean_interarrival_cycles}"
+                ),
+            ));
+        }
+        if !horizon_cycles.is_finite() || horizon_cycles < 0.0 {
+            return Err(V10Error::invalid(
+                context,
+                format!("horizon must be finite and non-negative, got {horizon_cycles}"),
+            ));
+        }
+        Ok(PoissonSpec {
+            seed,
+            mean_interarrival_cycles,
+            horizon_cycles,
+        })
+    }
+}
+
+/// Declarative description of the faults one engine run will experience.
+///
+/// A plan combines individually scripted events ([`FaultPlan::with_fault`])
+/// with optional Poisson streams of transient operator faults and transient
+/// core stalls. The default plan ([`FaultPlan::none`]) carries no faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    scripted: Vec<FaultEvent>,
+    transients: Option<PoissonSpec>,
+    stalls: Option<(PoissonSpec, f64)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, ever. Compiling it yields a disarmed
+    /// injector, under which every engine run is bit-identical to a run
+    /// without fault support at all.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan carries no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scripted.is_empty() && self.transients.is_none() && self.stalls.is_none()
+    }
+
+    /// Adds one scripted fault at an absolute simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultEvent::new`] validation failures.
+    pub fn with_fault(mut self, at_cycles: f64, kind: FaultKind) -> V10Result<Self> {
+        self.scripted.push(FaultEvent::new(at_cycles, kind)?);
+        Ok(self)
+    }
+
+    /// Adds a seeded Poisson stream of transient operator faults with the
+    /// given mean interarrival, truncated at `horizon_cycles`. Victim salts
+    /// are drawn from the same stream, so the whole schedule is a pure
+    /// function of `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] for a non-positive mean or a
+    /// non-finite/negative horizon, or when the plan already has a
+    /// transient stream.
+    pub fn with_poisson_transients(
+        mut self,
+        seed: u64,
+        mean_interarrival_cycles: f64,
+        horizon_cycles: f64,
+    ) -> V10Result<Self> {
+        if self.transients.is_some() {
+            return Err(V10Error::invalid(
+                "FaultPlan::with_poisson_transients",
+                "plan already has a transient-fault stream",
+            ));
+        }
+        self.transients = Some(PoissonSpec::validated(
+            "FaultPlan::with_poisson_transients",
+            seed,
+            mean_interarrival_cycles,
+            horizon_cycles,
+        )?);
+        Ok(self)
+    }
+
+    /// Adds a seeded Poisson stream of whole-core stalls of fixed duration
+    /// `stall_cycles`, truncated at `horizon_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] for a non-positive mean or
+    /// stall duration, a non-finite/negative horizon, or when the plan
+    /// already has a stall stream.
+    pub fn with_poisson_stalls(
+        mut self,
+        seed: u64,
+        mean_interarrival_cycles: f64,
+        stall_cycles: f64,
+        horizon_cycles: f64,
+    ) -> V10Result<Self> {
+        if self.stalls.is_some() {
+            return Err(V10Error::invalid(
+                "FaultPlan::with_poisson_stalls",
+                "plan already has a stall stream",
+            ));
+        }
+        if !stall_cycles.is_finite() || stall_cycles <= 0.0 {
+            return Err(V10Error::invalid(
+                "FaultPlan::with_poisson_stalls",
+                format!("stall duration must be finite and positive, got {stall_cycles}"),
+            ));
+        }
+        let spec = PoissonSpec::validated(
+            "FaultPlan::with_poisson_stalls",
+            seed,
+            mean_interarrival_cycles,
+            horizon_cycles,
+        )?;
+        self.stalls = Some((spec, stall_cycles));
+        Ok(self)
+    }
+
+    /// The individually scripted events, in insertion order.
+    #[must_use]
+    pub fn scripted(&self) -> &[FaultEvent] {
+        &self.scripted
+    }
+}
+
+/// A [`FaultPlan`] compiled into a time-ordered queue of concrete events.
+///
+/// Compilation pre-samples every stochastic event, so injection during a
+/// run is a deterministic queue pop: no RNG state lives in the injector and
+/// two runs under the same plan see byte-identical fault schedules
+/// regardless of thread count or host.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    queue: VecDeque<FaultEvent>,
+    injected: usize,
+}
+
+impl FaultInjector {
+    /// An injector with no events: never fires, never bounds a time step.
+    #[must_use]
+    pub fn disarmed() -> Self {
+        FaultInjector {
+            queue: VecDeque::new(),
+            injected: 0,
+        }
+    }
+
+    /// Compiles a plan: expands its Poisson streams from their seeds,
+    /// merges them with the scripted events, and sorts by fire time
+    /// (`total_cmp`; ties keep scripted-before-generated insertion order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] when the expansion exceeds
+    /// [`MAX_COMPILED_EVENTS`].
+    pub fn compile(plan: &FaultPlan) -> V10Result<Self> {
+        let mut events: Vec<FaultEvent> = plan.scripted.clone();
+        if let Some(spec) = plan.transients {
+            let mut rng = SimRng::seed_from(spec.seed);
+            let mut t = 0.0;
+            loop {
+                t += rng.exponential(spec.mean_interarrival_cycles);
+                if t > spec.horizon_cycles {
+                    break;
+                }
+                let victim_salt = rng.next_u64();
+                events.push(FaultEvent {
+                    at_cycles: t,
+                    kind: FaultKind::TransientOp { victim_salt },
+                });
+                if events.len() > MAX_COMPILED_EVENTS {
+                    return Err(compile_overflow());
+                }
+            }
+        }
+        if let Some((spec, stall_cycles)) = plan.stalls {
+            let mut rng = SimRng::seed_from(spec.seed);
+            let mut t = 0.0;
+            loop {
+                t += rng.exponential(spec.mean_interarrival_cycles);
+                if t > spec.horizon_cycles {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at_cycles: t,
+                    kind: FaultKind::CoreStall { stall_cycles },
+                });
+                if events.len() > MAX_COMPILED_EVENTS {
+                    return Err(compile_overflow());
+                }
+            }
+        }
+        events.sort_by(|a, b| a.at_cycles.total_cmp(&b.at_cycles));
+        Ok(FaultInjector {
+            queue: events.into(),
+            injected: 0,
+        })
+    }
+
+    /// Fire time of the next pending fault, if any. Engines fold this into
+    /// their time-step horizon so no fault fires mid-step.
+    #[must_use]
+    pub fn next_at(&self) -> Option<f64> {
+        self.queue.front().map(FaultEvent::at_cycles)
+    }
+
+    /// Pops the next fault if it is due at `now` (within `slack` cycles of
+    /// simultaneity, the engines' `EPS`).
+    pub fn pop_due(&mut self, now: f64, slack: f64) -> Option<FaultEvent> {
+        let due = self
+            .queue
+            .front()
+            .is_some_and(|e| e.at_cycles <= now + slack);
+        if !due {
+            return None;
+        }
+        let event = self.queue.pop_front();
+        if event.is_some() {
+            self.injected += 1;
+        }
+        event
+    }
+
+    /// Number of faults not yet fired.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of faults fired so far.
+    #[must_use]
+    pub fn injected(&self) -> usize {
+        self.injected
+    }
+
+    /// Whether the injector never held any event (a [`FaultPlan::none`]
+    /// compilation): the engine's fault machinery is provably inert.
+    #[must_use]
+    pub fn is_disarmed(&self) -> bool {
+        self.queue.is_empty() && self.injected == 0
+    }
+}
+
+fn compile_overflow() -> V10Error {
+    V10Error::invalid(
+        "FaultInjector::compile",
+        format!("plan expands past {MAX_COMPILED_EVENTS} events; raise the mean interarrival or shorten the horizon"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_compiles_to_disarmed_injector() {
+        let inj = FaultInjector::compile(&FaultPlan::none()).unwrap();
+        assert!(inj.is_disarmed());
+        assert_eq!(inj.next_at(), None);
+        assert_eq!(inj.remaining(), 0);
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn scripted_events_pop_in_time_order() {
+        let plan = FaultPlan::none()
+            .with_fault(9.0, FaultKind::CoreRetire)
+            .unwrap()
+            .with_fault(2.0, FaultKind::TransientOp { victim_salt: 7 })
+            .unwrap()
+            .with_fault(5.0, FaultKind::CoreStall { stall_cycles: 10.0 })
+            .unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.scripted().len(), 3);
+        let mut inj = FaultInjector::compile(&plan).unwrap();
+        assert!(!inj.is_disarmed());
+        assert_eq!(inj.next_at(), Some(2.0));
+        assert!(inj.pop_due(1.0, 1e-6).is_none(), "not yet due");
+        let a = inj.pop_due(2.0, 1e-6).unwrap();
+        assert!(matches!(
+            a.kind(),
+            FaultKind::TransientOp { victim_salt: 7 }
+        ));
+        let b = inj.pop_due(100.0, 1e-6).unwrap();
+        assert!(matches!(b.kind(), FaultKind::CoreStall { .. }));
+        let c = inj.pop_due(100.0, 1e-6).unwrap();
+        assert_eq!(c.kind(), FaultKind::CoreRetire);
+        assert_eq!(c.at_cycles(), 9.0);
+        assert_eq!(inj.injected(), 3);
+        assert_eq!(inj.remaining(), 0);
+        assert!(
+            !inj.is_disarmed(),
+            "a drained armed injector is not disarmed"
+        );
+    }
+
+    #[test]
+    fn poisson_streams_are_deterministic_and_bounded_by_horizon() {
+        let plan = FaultPlan::none()
+            .with_poisson_transients(0xFA_17, 1_000.0, 50_000.0)
+            .unwrap()
+            .with_poisson_stalls(0x57A11, 10_000.0, 64.0, 50_000.0)
+            .unwrap();
+        let a = FaultInjector::compile(&plan).unwrap();
+        let b = FaultInjector::compile(&plan).unwrap();
+        let times = |inj: &FaultInjector| -> Vec<(u64, &'static str)> {
+            inj.queue
+                .iter()
+                .map(|e| (e.at_cycles().to_bits(), e.kind().label()))
+                .collect()
+        };
+        assert_eq!(times(&a), times(&b), "same plan, same compiled stream");
+        assert!(
+            a.remaining() > 10,
+            "expected tens of events, got {}",
+            a.remaining()
+        );
+        let mut prev = 0.0;
+        for e in &a.queue {
+            assert!(e.at_cycles() >= prev, "events must be time-sorted");
+            assert!(e.at_cycles() <= 50_000.0, "event past the horizon");
+            prev = e.at_cycles();
+        }
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_arguments() {
+        assert!(FaultPlan::none()
+            .with_fault(-1.0, FaultKind::CoreRetire)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_fault(f64::NAN, FaultKind::CoreRetire)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_fault(1.0, FaultKind::CoreStall { stall_cycles: 0.0 })
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_poisson_transients(1, 0.0, 100.0)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_poisson_transients(1, 10.0, f64::INFINITY)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_poisson_stalls(1, 10.0, -5.0, 100.0)
+            .is_err());
+        let doubled = FaultPlan::none()
+            .with_poisson_transients(1, 10.0, 100.0)
+            .unwrap()
+            .with_poisson_transients(2, 10.0, 100.0);
+        assert!(doubled.is_err(), "second transient stream must be rejected");
+    }
+
+    #[test]
+    fn oversized_expansion_is_rejected() {
+        let plan = FaultPlan::none()
+            .with_poisson_transients(3, 1.0, 1.0e9)
+            .unwrap();
+        let err = FaultInjector::compile(&plan).unwrap_err();
+        assert!(err.to_string().contains("expands past"));
+    }
+
+    #[test]
+    fn pick_victim_is_in_range_and_total() {
+        assert_eq!(pick_victim(0, 0), 0, "empty candidate set must not panic");
+        for salt in [0u64, 1, 41, u64::MAX] {
+            for n in 1..=8usize {
+                assert!(pick_victim(salt, n) < n);
+            }
+        }
+        assert_eq!(pick_victim(5, 4), 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            FaultKind::TransientOp { victim_salt: 0 }.label(),
+            "transient_op"
+        );
+        assert_eq!(
+            FaultKind::CoreStall { stall_cycles: 1.0 }.label(),
+            "core_stall"
+        );
+        assert_eq!(FaultKind::CoreRetire.label(), "core_retire");
+    }
+}

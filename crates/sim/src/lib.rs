@@ -18,6 +18,9 @@
 //! * [`convert`] — checked numeric conversions for cycle/byte accounting
 //!   (exact integer→`f64`, saturating `f64`→integer), required by the
 //!   `v10-lint` D3 rule in place of bare `as` casts.
+//! * [`fault`] — deterministic fault injection: declarative [`FaultPlan`]s
+//!   compiled into seeded, pre-sampled [`FaultInjector`] event streams that
+//!   the engine crates replay bit-for-bit.
 //! * [`error`] — the workspace-wide [`V10Error`] type returned by every
 //!   fallible public constructor and runner in the higher-level crates.
 //!
@@ -45,6 +48,7 @@ pub mod bandwidth;
 pub mod convert;
 pub mod error;
 pub mod events;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -52,6 +56,7 @@ pub mod time;
 pub use bandwidth::{Demand, WaterFilling};
 pub use error::{V10Error, V10Result};
 pub use events::EventQueue;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Percentiles};
 pub use time::{Cycle, CycleCount, Frequency};

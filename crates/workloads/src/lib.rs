@@ -40,6 +40,7 @@ pub mod features;
 pub mod model;
 pub mod pairs;
 pub mod profile;
+pub mod scenario;
 pub mod synth;
 pub mod zoo;
 
@@ -48,4 +49,5 @@ pub use features::{FeatureVector, FEATURE_NAMES};
 pub use model::Model;
 pub use pairs::{PAIRS_EVAL, PAIRS_FIG9};
 pub use profile::{BatchError, ModelProfile};
+pub use scenario::ServingScenario;
 pub use synth::refit_vmem;

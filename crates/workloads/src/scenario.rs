@@ -1,0 +1,261 @@
+//! Declarative serving scenarios: an arrival process bundled with per-core
+//! fault plans.
+//!
+//! A [`ServingScenario`] is the unit a robustness experiment sweeps: the
+//! same open-loop traffic description replayed against different fault
+//! regimes, or the same fault regime under different offered loads.
+//! Everything in it is a value — models, rates, seeds, and
+//! [`FaultPlan`]s — so a scenario can be built once and sampled
+//! deterministically from any thread.
+
+use v10_sim::{FaultPlan, V10Error, V10Result};
+
+use crate::arrivals::{OpenLoopProcess, TimedArrival};
+use crate::model::Model;
+
+/// An open-loop serving scenario with scheduled faults.
+///
+/// # Example
+///
+/// ```
+/// use v10_workloads::{Model, ServingScenario};
+/// use v10_sim::{FaultKind, FaultPlan};
+///
+/// let scenario = ServingScenario::new(&[Model::Mnist, Model::Ncf], 5.0e6, 7)
+///     .expect("positive interarrival")
+///     .with_requests_per_session(3)
+///     .expect("positive quota")
+///     .with_fault_plans(vec![
+///         FaultPlan::none().with_fault(1.0e6, FaultKind::CoreRetire).expect("valid fault"),
+///         FaultPlan::none(),
+///     ]);
+/// let arrivals = scenario.sample_arrivals(10).expect("sampling succeeds");
+/// assert_eq!(arrivals.len(), 10);
+/// assert_eq!(scenario.fault_plans().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingScenario {
+    models: Vec<Model>,
+    mean_interarrival_cycles: f64,
+    mean_think_cycles: f64,
+    requests_per_session: usize,
+    seed: u64,
+    fault_plans: Vec<FaultPlan>,
+}
+
+impl ServingScenario {
+    /// A scenario cycling through `models` with exponentially distributed
+    /// interarrival gaps of the given mean, no think time, one request per
+    /// session, and no faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `models` is empty or the
+    /// mean interarrival is not finite and positive.
+    pub fn new(models: &[Model], mean_interarrival_cycles: f64, seed: u64) -> V10Result<Self> {
+        if models.is_empty() {
+            return Err(V10Error::invalid(
+                "ServingScenario::new",
+                "need at least one model",
+            ));
+        }
+        if !(mean_interarrival_cycles.is_finite() && mean_interarrival_cycles > 0.0) {
+            return Err(V10Error::invalid(
+                "ServingScenario::new",
+                format!(
+                    "mean interarrival must be finite and positive, \
+                     got {mean_interarrival_cycles}"
+                ),
+            ));
+        }
+        Ok(ServingScenario {
+            models: models.to_vec(),
+            mean_interarrival_cycles,
+            mean_think_cycles: 0.0,
+            requests_per_session: 1,
+            seed,
+            fault_plans: Vec::new(),
+        })
+    }
+
+    /// Sets the mean think time between a session's requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `cycles` is negative or
+    /// non-finite.
+    pub fn with_think_cycles(mut self, cycles: f64) -> V10Result<Self> {
+        if !(cycles.is_finite() && cycles >= 0.0) {
+            return Err(V10Error::invalid(
+                "ServingScenario::with_think_cycles",
+                format!("think time must be finite and non-negative, got {cycles}"),
+            ));
+        }
+        self.mean_think_cycles = cycles;
+        Ok(self)
+    }
+
+    /// Sets the request quota per arriving session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `requests` is zero.
+    pub fn with_requests_per_session(mut self, requests: usize) -> V10Result<Self> {
+        if requests == 0 {
+            return Err(V10Error::invalid(
+                "ServingScenario::with_requests_per_session",
+                "each session needs at least one request",
+            ));
+        }
+        self.requests_per_session = requests;
+        Ok(self)
+    }
+
+    /// Attaches one [`FaultPlan`] per serving core. An empty list (the
+    /// default) means fault-free serving; length validation against the
+    /// cluster happens where the scenario is played.
+    #[must_use]
+    pub fn with_fault_plans(mut self, plans: Vec<FaultPlan>) -> Self {
+        self.fault_plans = plans;
+        self
+    }
+
+    /// The models cycled through by the arrival process.
+    #[must_use]
+    pub fn models(&self) -> &[Model] {
+        &self.models
+    }
+
+    /// Mean interarrival gap in cycles (offered load is its inverse).
+    #[must_use]
+    pub fn mean_interarrival_cycles(&self) -> f64 {
+        self.mean_interarrival_cycles
+    }
+
+    /// Mean think time between a session's requests, in cycles.
+    #[must_use]
+    pub fn mean_think_cycles(&self) -> f64 {
+        self.mean_think_cycles
+    }
+
+    /// Request quota per session.
+    #[must_use]
+    pub fn requests_per_session(&self) -> usize {
+        self.requests_per_session
+    }
+
+    /// The arrival-process seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-core fault plans (empty for fault-free serving).
+    #[must_use]
+    pub fn fault_plans(&self) -> &[FaultPlan] {
+        &self.fault_plans
+    }
+
+    /// Whether every attached plan is empty (or none are attached).
+    #[must_use]
+    pub fn is_fault_free(&self) -> bool {
+        self.fault_plans.iter().all(FaultPlan::is_empty)
+    }
+
+    /// A scenario identical but for the offered load: the mean interarrival
+    /// is divided by `factor`, so `factor` 2 doubles the arrival rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] unless `factor` is finite and
+    /// positive.
+    pub fn scaled_load(&self, factor: f64) -> V10Result<Self> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(V10Error::invalid(
+                "ServingScenario::scaled_load",
+                format!("load factor must be finite and positive, got {factor}"),
+            ));
+        }
+        let mut scaled = self.clone();
+        scaled.mean_interarrival_cycles = self.mean_interarrival_cycles / factor;
+        Ok(scaled)
+    }
+
+    /// Samples `count` timed arrivals from the scenario's seeded process —
+    /// the same scenario always yields the same arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `count` is zero.
+    pub fn sample_arrivals(&self, count: usize) -> V10Result<Vec<TimedArrival>> {
+        let mut process =
+            OpenLoopProcess::new(&self.models, self.mean_interarrival_cycles, self.seed)?
+                .with_requests_per_session(self.requests_per_session)?;
+        if self.mean_think_cycles > 0.0 {
+            process = process.with_think_cycles(self.mean_think_cycles)?;
+        }
+        process.sample(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v10_sim::FaultKind;
+
+    #[test]
+    fn degenerate_scenarios_rejected() {
+        assert!(ServingScenario::new(&[], 1.0e6, 1).is_err());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(ServingScenario::new(&[Model::Mnist], bad, 1).is_err());
+        }
+        let s = ServingScenario::new(&[Model::Mnist], 1.0e6, 1).unwrap();
+        assert!(s.clone().with_requests_per_session(0).is_err());
+        assert!(s.clone().with_think_cycles(-1.0).is_err());
+        assert!(s.scaled_load(0.0).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = ServingScenario::new(&[Model::Mnist, Model::Ncf], 2.0e6, 0xFEED)
+            .unwrap()
+            .with_requests_per_session(3)
+            .unwrap()
+            .with_think_cycles(1.0e5)
+            .unwrap();
+        let a = s.sample_arrivals(8).unwrap();
+        let b = s.sample_arrivals(8).unwrap();
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label(), y.label());
+            assert_eq!(x.at_cycles().to_bits(), y.at_cycles().to_bits());
+            assert_eq!(x.requests(), y.requests());
+        }
+    }
+
+    #[test]
+    fn scaled_load_divides_the_interarrival_mean() {
+        let s = ServingScenario::new(&[Model::Mnist], 4.0e6, 5).unwrap();
+        let fast = s.scaled_load(2.0).unwrap();
+        assert_eq!(fast.mean_interarrival_cycles(), 2.0e6);
+        // Double the rate compresses the arrival timeline.
+        let slow_last = s.sample_arrivals(6).unwrap().last().unwrap().at_cycles();
+        let fast_last = fast.sample_arrivals(6).unwrap().last().unwrap().at_cycles();
+        assert!(fast_last < slow_last);
+    }
+
+    #[test]
+    fn fault_plans_ride_along() {
+        let s = ServingScenario::new(&[Model::Mnist], 1.0e6, 1).unwrap();
+        assert!(s.is_fault_free());
+        let s = s.with_fault_plans(vec![
+            FaultPlan::none(),
+            FaultPlan::none()
+                .with_fault(5.0e5, FaultKind::CoreRetire)
+                .unwrap(),
+        ]);
+        assert!(!s.is_fault_free());
+        assert_eq!(s.fault_plans().len(), 2);
+        assert!(s.fault_plans()[0].is_empty());
+    }
+}

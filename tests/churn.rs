@@ -1,0 +1,200 @@
+//! Property-style churn tests for the two slot allocators that fault
+//! recovery leans on: the per-core [`ContextTable`] (generational workload
+//! ids) and the cluster-level [`ClusterState`] (per-core occupancy with
+//! permanent core retirement).
+//!
+//! Both tests drive a long seeded sequence of random admit / retire /
+//! fail operations against a plain mirror model and check the safety
+//! invariants the recovery paths assume after every step:
+//!
+//! * a live slot is never handed out twice,
+//! * a retired (stale) id can never touch the slot's next occupant,
+//! * slot counts are conserved — live + free always equals capacity, and
+//!   a failed core's slots stay withdrawn forever.
+//!
+//! The seeds are fixed, so a failure is a deterministic reproduction, not
+//! a flake.
+
+use v10::core::{ContextTable, WorkloadId};
+use v10::npu::ClusterState;
+use v10::sim::SimRng;
+
+#[test]
+fn context_table_random_churn_preserves_slot_invariants() {
+    const CAPACITY: usize = 8;
+    const STEPS: usize = 4_000;
+
+    let mut rng = SimRng::seed_from(0xC0DE_CAFE);
+    let mut table = ContextTable::with_capacity(CAPACITY).expect("positive capacity");
+    let mut live: Vec<WorkloadId> = Vec::new();
+    let mut stale: Vec<WorkloadId> = Vec::new();
+    let mut admitted = 0usize;
+    let mut retired = 0usize;
+
+    for step in 0..STEPS {
+        let now = step as f64;
+        match rng.index(3) {
+            0 => {
+                // Admit into the lowest free slot (or bounce off a full
+                // table).
+                let result = table.admit(1.0 + rng.unit_f64(), now);
+                if live.len() == CAPACITY {
+                    assert!(result.is_err(), "admit into a full table must fail");
+                } else {
+                    let id = result.expect("free slot available");
+                    // Never reuse a slot that is still live.
+                    assert!(
+                        live.iter().all(|l| l.index() != id.index()),
+                        "slot {} handed out while occupied",
+                        id.index()
+                    );
+                    // Generations per slot move strictly forward, so no
+                    // stale id can collide with the new tenancy.
+                    for old in stale.iter().filter(|o| o.index() == id.index()) {
+                        assert!(
+                            id.generation() > old.generation(),
+                            "generation reused on slot {}",
+                            id.index()
+                        );
+                    }
+                    live.push(id);
+                    admitted += 1;
+                }
+            }
+            1 => {
+                // Retire a random live tenant; its id goes stale at once.
+                if let Some(pick) = (!live.is_empty()).then(|| rng.index(live.len())) {
+                    let id = live.swap_remove(pick);
+                    table.retire(id).expect("live id retires cleanly");
+                    assert!(!table.contains(id), "retired id still live");
+                    assert!(table.retire(id).is_err(), "double retire must fail");
+                    stale.push(id);
+                    retired += 1;
+                }
+            }
+            _ => {
+                // Poke a random stale id: every operation through it must
+                // error instead of resurrecting (or touching a successor).
+                if let Some(pick) = (!stale.is_empty()).then(|| rng.index(stale.len())) {
+                    let ghost = stale[pick];
+                    assert!(!table.contains(ghost));
+                    assert!(table.set_ready(ghost, true).is_err());
+                    assert!(table.retire(ghost).is_err());
+                }
+            }
+        }
+
+        // Conservation: the table's live view matches the mirror exactly.
+        assert_eq!(table.len(), live.len());
+        assert_eq!(table.is_full(), live.len() == CAPACITY);
+        let mut actual: Vec<(usize, u32)> = table
+            .ids()
+            .map(|id| (id.index(), id.generation()))
+            .collect();
+        let mut expected: Vec<(usize, u32)> = live
+            .iter()
+            .map(|id| (id.index(), id.generation()))
+            .collect();
+        actual.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(actual, expected);
+    }
+
+    // The walk actually exercised both transitions, not just one branch.
+    assert!(admitted > STEPS / 10, "{admitted} admissions is too few");
+    assert!(retired > STEPS / 10, "{retired} retirements is too few");
+}
+
+#[test]
+fn cluster_state_random_churn_conserves_slots_across_core_failures() {
+    const CORES: usize = 4;
+    const SLOTS: usize = 4;
+    const CLASSES: usize = 5;
+    const STEPS: usize = 4_000;
+    /// Cap on permanently failed cores, so healthy churn keeps running
+    /// after the fault-retirement branch has fired.
+    const MAX_FAILED: usize = 2;
+
+    let mut rng = SimRng::seed_from(0xFA11_0C0D);
+    let mut cluster = ClusterState::new(CORES, SLOTS).expect("non-degenerate cluster");
+    let mut residents: Vec<Vec<usize>> = vec![Vec::new(); CORES];
+    let mut failed = [false; CORES];
+    let mut evicted_by_failure = 0usize;
+
+    for _ in 0..STEPS {
+        let core = rng.index(CORES);
+        match rng.index(4) {
+            0 | 1 => {
+                // Admit a random class onto the chosen core.
+                let class = rng.index(CLASSES);
+                let result = cluster.admit(core, class);
+                if failed[core] || residents[core].len() == SLOTS {
+                    assert!(result.is_err(), "failed/full core {core} accepted a tenant");
+                } else {
+                    result.expect("healthy core with a free slot");
+                    residents[core].push(class);
+                }
+            }
+            2 => {
+                // Release the earliest resident of a random present class.
+                if residents[core].is_empty() {
+                    assert!(cluster.release(core, 0).is_err(), "nothing to release");
+                } else {
+                    let class = residents[core][rng.index(residents[core].len())];
+                    cluster.release(core, class).expect("class is resident");
+                    let earliest = residents[core]
+                        .iter()
+                        .position(|&c| c == class)
+                        .expect("mirror tracks the same residents");
+                    residents[core].remove(earliest);
+                }
+            }
+            _ => {
+                // Rarely, a permanent fault retires the core; double-fail
+                // must always be rejected.
+                if failed[core] {
+                    assert!(cluster.fail(core).is_err(), "double fail must be rejected");
+                } else if failed.iter().filter(|&&f| f).count() < MAX_FAILED && rng.index(16) == 0 {
+                    let evicted = cluster.fail(core).expect("first failure of a live core");
+                    assert_eq!(
+                        evicted, residents[core],
+                        "eviction order is admission order"
+                    );
+                    evicted_by_failure += evicted.len();
+                    residents[core].clear();
+                    failed[core] = true;
+                }
+            }
+        }
+
+        // Conservation after every step: per-core free + live == capacity
+        // for healthy cores, zero capacity forever for failed ones.
+        for c in 0..CORES {
+            assert_eq!(cluster.is_failed(c).expect("in range"), failed[c]);
+            assert_eq!(
+                cluster.residents(c).expect("in range"),
+                residents[c].as_slice()
+            );
+            let free = cluster.free_slots(c).expect("in range");
+            if failed[c] {
+                assert_eq!(free, 0, "failed core {c} still offers slots");
+                assert!(residents[c].is_empty());
+            } else {
+                assert_eq!(free, SLOTS - residents[c].len());
+            }
+        }
+        assert_eq!(
+            cluster.total_residents(),
+            residents.iter().map(Vec::len).sum::<usize>()
+        );
+        let expected_failed: Vec<usize> = (0..CORES).filter(|&c| failed[c]).collect();
+        assert_eq!(cluster.failed_cores(), expected_failed);
+    }
+
+    assert_eq!(
+        failed.iter().filter(|&&f| f).count(),
+        MAX_FAILED,
+        "the fixed seed is expected to retire {MAX_FAILED} cores"
+    );
+    assert!(evicted_by_failure > 0, "failures should displace residents");
+}

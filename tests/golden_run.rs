@@ -8,10 +8,11 @@
 //! failure here rather than as a silent drift in the figures.
 
 use v10::core::{
-    run_design, run_single_tenant, serve_design, Admission, AdmissionSchedule, Design, RunOptions,
-    RunReport, WorkloadSpec,
+    run_design, run_single_tenant, serve_design, serve_design_faulted, Admission,
+    AdmissionSchedule, Design, RunOptions, RunReport, WorkloadSpec,
 };
 use v10::npu::NpuConfig;
+use v10::sim::{FaultKind, FaultPlan};
 use v10::workloads::{Model, OpenLoopProcess};
 
 fn digest(r: &RunReport) -> Vec<u64> {
@@ -400,6 +401,111 @@ fn openloop_serving_is_bit_identical_across_thread_counts() {
                 seq,
                 par,
                 "{:?} digest diverged between sequential and {threads}-thread runs",
+                Design::ALL[i]
+            );
+        }
+    }
+}
+
+/// A fixed fault drill for the open-loop schedule: a seeded Poisson stream
+/// of transient operator corruptions, one scripted whole-core stall early
+/// on, and a permanent core retirement late enough that most tenants have
+/// boarded first.
+fn drill_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_poisson_transients(0xBAD_F00D, 6.0e6, 2.0e8)
+        .unwrap()
+        .with_fault(
+            4.0e6,
+            FaultKind::CoreStall {
+                stall_cycles: 50_000.0,
+            },
+        )
+        .unwrap()
+        .with_fault(3.0e7, FaultKind::CoreRetire)
+        .unwrap()
+}
+
+/// Digest of a faulted serving run: the plain report digest plus the
+/// fault-specific accounting, so recovery bookkeeping is pinned bit for
+/// bit too.
+fn faulted_digest(design: Design, plan: &FaultPlan) -> Vec<u64> {
+    let schedule = openloop_schedule();
+    let opts = RunOptions::new(3).unwrap().with_seed(7);
+    let report =
+        serve_design_faulted(design, &schedule, &NpuConfig::table5(), &opts, plan).unwrap();
+    let mut d = digest(&report);
+    d.push(report.replay_overhead_cycles().to_bits());
+    d.push(report.faults_injected());
+    d.push(report.core_retired_at().unwrap_or(-1.0).to_bits());
+    for wl in report.workloads() {
+        d.push(wl.replays());
+        d.push(wl.replay_overhead_cycles().to_bits());
+    }
+    d
+}
+
+/// Fault injection must be (a) inert when the plan is empty — bit-identical
+/// to the plain serving path — and (b) deterministic when armed, with the
+/// same digests no matter how many threads the designs are spread across.
+#[test]
+fn faulted_openloop_serving_is_bit_identical_across_thread_counts() {
+    // (a) A zero-fault plan changes nothing, for every design.
+    for &design in &Design::ALL {
+        let faulted = faulted_digest(design, &FaultPlan::none());
+        let plain = serve_digest(design);
+        assert_eq!(
+            faulted[..plain.len()],
+            plain,
+            "{design:?}: a disarmed injector perturbed the run"
+        );
+        assert_eq!(faulted[plain.len()], 0.0_f64.to_bits(), "replay overhead");
+        assert_eq!(faulted[plain.len() + 1], 0, "faults injected");
+    }
+
+    // (b) The armed drill actually perturbs the runs...
+    let plan = drill_plan();
+    let sequential: Vec<Vec<u64>> = Design::ALL
+        .iter()
+        .map(|&d| faulted_digest(d, &plan))
+        .collect();
+    for (i, d) in sequential.iter().enumerate() {
+        assert_ne!(
+            d[..serve_digest(Design::ALL[i]).len()],
+            serve_digest(Design::ALL[i]),
+            "{:?}: the fault drill left the run untouched",
+            Design::ALL[i]
+        );
+    }
+
+    // ...and replays deterministically across thread counts.
+    for threads in [2usize, 4] {
+        let mut parallel: Vec<Option<Vec<u64>>> = vec![None; Design::ALL.len()];
+        std::thread::scope(|scope| {
+            let plan = &plan;
+            let mut handles = Vec::new();
+            for chunk_start in (0..Design::ALL.len()).step_by(threads.max(1)) {
+                let chunk: Vec<usize> =
+                    (chunk_start..(chunk_start + threads).min(Design::ALL.len())).collect();
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|i| (i, faulted_digest(Design::ALL[i], plan)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (i, d) in h.join().expect("faulted serving thread panicked") {
+                    parallel[i] = Some(d);
+                }
+            }
+        });
+        for (i, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+            let par = par.as_ref().expect("every design served");
+            assert_eq!(
+                seq,
+                par,
+                "{:?} faulted digest diverged between sequential and {threads}-thread runs",
                 Design::ALL[i]
             );
         }
