@@ -23,6 +23,9 @@ cargo test --workspace -q
 echo "==> cargo bench --no-run (bench targets must keep building)"
 cargo bench --workspace --no-run -q
 
+echo "==> serving_overload bench (smoke run, fixed thread pool)"
+V10_BENCH_THREADS=2 cargo bench -q -p v10-bench --bench serving_overload > /dev/null
+
 echo "==> examples (smoke tests)"
 for ex in examples/*.rs; do
     name="$(basename "$ex" .rs)"

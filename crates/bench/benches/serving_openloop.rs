@@ -17,7 +17,7 @@ use v10_bench::sweep::parallel_map;
 use v10_bench::{fmt_pct, print_table, seed};
 use v10_core::{serve_design, Admission, AdmissionSchedule, Design, RunOptions, WorkloadSpec};
 use v10_npu::NpuConfig;
-use v10_sim::Percentiles;
+use v10_sim::LatencySummary;
 use v10_workloads::{Model, OpenLoopProcess};
 
 /// Tenant mix: four light-footprint models spanning SA- and VU-heavy
@@ -95,7 +95,7 @@ fn run_point(design: Design, mean_interarrival: f64) -> ServingPoint {
             .expect("report labels come from the arrival stream");
         factor * a.model().default_profile().request_cycles() as f64
     };
-    let mut latencies = Percentiles::new();
+    let mut latencies = Vec::new();
     let mut completed = 0usize;
     let mut within_slo = 0usize;
     for wl in report.workloads() {
@@ -108,11 +108,12 @@ fn run_point(design: Design, mean_interarrival: f64) -> ServingPoint {
             }
         }
     }
+    let summary = LatencySummary::from_samples(&latencies);
     ServingPoint {
         goodput_per_mcycle: completed as f64 * 1.0e6 / report.elapsed_cycles(),
-        p50: latencies.median().unwrap_or(0.0),
-        p95: latencies.p95().unwrap_or(0.0),
-        p99: latencies.quantile(0.99).unwrap_or(0.0),
+        p50: summary.map_or(0.0, |s| s.p50()),
+        p95: summary.map_or(0.0, |s| s.p95()),
+        p99: summary.map_or(0.0, |s| s.p99()),
         slo_attainment: if completed == 0 {
             0.0
         } else {

@@ -1,0 +1,516 @@
+//! Per-core circuit breakers for the serving cluster.
+//!
+//! A core that keeps blowing its tail-latency budget — or that spends its
+//! time replaying checkpoints under a fault storm — is a bad place to put
+//! the next tenant, even though its slots are technically free. Each core
+//! gets a [`CircuitBreaker`] with the classic three-state protocol:
+//!
+//! * **Closed** — admissions flow normally. `trip_after` *consecutive*
+//!   breached observations (cluster-level p99 above `p99_limit_cycles`, or
+//!   more than `replay_storm_limit` checkpoint replays in one report) trip
+//!   the breaker.
+//! * **Open** — the core is skipped by placement for `cooldown_cycles` of
+//!   simulated time.
+//! * **Half-open** — after the cooldown the core may take probe tenants
+//!   again; `probe_successes_to_close` clean observations re-close the
+//!   breaker, while a single breached one re-opens it.
+//!
+//! The [`BreakerBoard`] holds one breaker per core and is consulted by
+//! [`MultiCoreAdmission`](crate::MultiCoreAdmission) when it carries one
+//! (see [`with_breakers`](crate::MultiCoreAdmission::with_breakers)); a
+//! controller without a board behaves bit-identically to one that never
+//! trips.
+
+use v10_core::RunReport;
+use v10_sim::{LatencySummary, V10Error, V10Result};
+
+/// The admission state of one core's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: admissions flow, consecutive breaches are counted.
+    Closed,
+    /// Tripped: the core takes no tenant until its cooldown elapses.
+    Open,
+    /// Probing: the core may take tenants again; the next observations
+    /// decide between re-closing and re-opening.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Trip/cooldown/probe knobs shared by every breaker on a
+/// [`BreakerBoard`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    p99_limit_cycles: f64,
+    replay_storm_limit: u64,
+    trip_after: u32,
+    cooldown_cycles: f64,
+    probe_successes_to_close: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            p99_limit_cycles: 1.0e8,
+            replay_storm_limit: 8,
+            trip_after: 2,
+            cooldown_cycles: 5.0e6,
+            probe_successes_to_close: 2,
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// The default policy: trip after 2 consecutive breaches of a 100M-cycle
+    /// p99 (or > 8 replays per report), cool down for 5M cycles, close
+    /// again after 2 clean probes.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the p99 latency ceiling (cycles) above which an observation
+    /// counts as breached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] unless `cycles` is finite and
+    /// positive.
+    pub fn with_p99_limit_cycles(mut self, cycles: f64) -> V10Result<Self> {
+        if !(cycles.is_finite() && cycles > 0.0) {
+            return Err(V10Error::invalid(
+                "BreakerPolicy::with_p99_limit_cycles",
+                format!("p99 limit must be finite and positive, got {cycles}"),
+            ));
+        }
+        self.p99_limit_cycles = cycles;
+        Ok(self)
+    }
+
+    /// Sets the checkpoint-replay count above which one report counts as a
+    /// replay storm (and therefore a breach).
+    #[must_use]
+    pub fn with_replay_storm_limit(mut self, replays: u64) -> Self {
+        self.replay_storm_limit = replays;
+        self
+    }
+
+    /// Sets how many *consecutive* breached observations trip a closed
+    /// breaker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `observations` is zero.
+    pub fn with_trip_after(mut self, observations: u32) -> V10Result<Self> {
+        if observations == 0 {
+            return Err(V10Error::invalid(
+                "BreakerPolicy::with_trip_after",
+                "a breaker that trips after 0 breaches never admits anything",
+            ));
+        }
+        self.trip_after = observations;
+        Ok(self)
+    }
+
+    /// Sets the open-state cooldown in simulated cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] unless `cycles` is finite and
+    /// positive.
+    pub fn with_cooldown_cycles(mut self, cycles: f64) -> V10Result<Self> {
+        if !(cycles.is_finite() && cycles > 0.0) {
+            return Err(V10Error::invalid(
+                "BreakerPolicy::with_cooldown_cycles",
+                format!("cooldown must be finite and positive, got {cycles}"),
+            ));
+        }
+        self.cooldown_cycles = cycles;
+        Ok(self)
+    }
+
+    /// Sets how many clean half-open observations re-close the breaker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `successes` is zero.
+    pub fn with_probe_successes_to_close(mut self, successes: u32) -> V10Result<Self> {
+        if successes == 0 {
+            return Err(V10Error::invalid(
+                "BreakerPolicy::with_probe_successes_to_close",
+                "closing after 0 probes would skip the half-open state",
+            ));
+        }
+        self.probe_successes_to_close = successes;
+        Ok(self)
+    }
+
+    /// The p99 latency ceiling in cycles.
+    #[must_use]
+    pub fn p99_limit_cycles(&self) -> f64 {
+        self.p99_limit_cycles
+    }
+
+    /// The replay-storm threshold per report.
+    #[must_use]
+    pub fn replay_storm_limit(&self) -> u64 {
+        self.replay_storm_limit
+    }
+
+    /// Consecutive breaches that trip a closed breaker.
+    #[must_use]
+    pub fn trip_after(&self) -> u32 {
+        self.trip_after
+    }
+
+    /// The open-state cooldown in cycles.
+    #[must_use]
+    pub fn cooldown_cycles(&self) -> f64 {
+        self.cooldown_cycles
+    }
+
+    /// Clean probes needed to re-close.
+    #[must_use]
+    pub fn probe_successes_to_close(&self) -> u32 {
+        self.probe_successes_to_close
+    }
+
+    /// Whether one per-core run report counts as a breached observation
+    /// under this policy: cluster p99 above the ceiling, or a replay storm.
+    #[must_use]
+    pub fn breaches(&self, report: &RunReport) -> bool {
+        let replays: u64 = report.workloads().iter().map(|w| w.replays()).sum();
+        if replays > self.replay_storm_limit {
+            return true;
+        }
+        let latencies: Vec<f64> = report
+            .workloads()
+            .iter()
+            .flat_map(|w| w.latencies_cycles())
+            .copied()
+            .collect();
+        LatencySummary::from_samples(&latencies).is_some_and(|s| s.p99() > self.p99_limit_cycles)
+    }
+}
+
+/// One core's breaker: the three-state machine over breached/clean
+/// observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_breaches: u32,
+    opened_at: f64,
+    probe_successes: u32,
+    trips: u64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CircuitBreaker {
+    /// A fresh, closed breaker.
+    #[must_use]
+    pub fn new() -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_breaches: 0,
+            opened_at: 0.0,
+            probe_successes: 0,
+            trips: 0,
+        }
+    }
+
+    /// The current state (without applying cooldown expiry — see
+    /// [`allows`](Self::allows)).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times this breaker has tripped.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether the core may take a tenant at `now`. An open breaker whose
+    /// cooldown has elapsed transitions to half-open here (the query *is*
+    /// the re-admission point).
+    pub fn allows(&mut self, policy: &BreakerPolicy, now: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.opened_at + policy.cooldown_cycles {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Feeds one observation taken at `now`: `breach` marks it as over the
+    /// policy's limits.
+    pub fn record(&mut self, policy: &BreakerPolicy, breach: bool, now: f64) {
+        if breach {
+            self.consecutive_breaches = self.consecutive_breaches.saturating_add(1);
+        } else {
+            self.consecutive_breaches = 0;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                if breach && self.consecutive_breaches >= policy.trip_after {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                if breach {
+                    self.trip(now);
+                } else {
+                    self.probe_successes = self.probe_successes.saturating_add(1);
+                    if self.probe_successes >= policy.probe_successes_to_close {
+                        self.state = BreakerState::Closed;
+                    }
+                }
+            }
+            BreakerState::Open => {
+                // A breach observed while already open (e.g. a re-run of the
+                // core's schedule) restarts the cooldown.
+                if breach {
+                    self.opened_at = now;
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, now: f64) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.probe_successes = 0;
+        self.trips = self.trips.saturating_add(1);
+    }
+}
+
+/// One [`CircuitBreaker`] per core, sharing a [`BreakerPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerBoard {
+    policy: BreakerPolicy,
+    breakers: Vec<CircuitBreaker>,
+}
+
+impl BreakerBoard {
+    /// A board of `cores` fresh breakers under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `cores` is zero.
+    pub fn new(policy: BreakerPolicy, cores: usize) -> V10Result<Self> {
+        if cores == 0 {
+            return Err(V10Error::invalid(
+                "BreakerBoard::new",
+                "a breaker board needs at least one core",
+            ));
+        }
+        Ok(BreakerBoard {
+            policy,
+            breakers: vec![CircuitBreaker::new(); cores],
+        })
+    }
+
+    /// The shared policy.
+    #[must_use]
+    pub fn policy(&self) -> &BreakerPolicy {
+        &self.policy
+    }
+
+    /// The breaker for `core`, if in range.
+    #[must_use]
+    pub fn breaker(&self, core: usize) -> Option<&CircuitBreaker> {
+        self.breakers.get(core)
+    }
+
+    /// Current state per core.
+    #[must_use]
+    pub fn states(&self) -> Vec<BreakerState> {
+        self.breakers.iter().map(CircuitBreaker::state).collect()
+    }
+
+    /// Total trips across the board.
+    #[must_use]
+    pub fn total_trips(&self) -> u64 {
+        self.breakers.iter().map(CircuitBreaker::trips).sum()
+    }
+
+    /// Whether `core` may take a tenant at `now` (out-of-range cores may
+    /// not). Applies cooldown expiry, so an open breaker past its cooldown
+    /// answers `true` and moves to half-open.
+    pub fn allows(&mut self, core: usize, now: f64) -> bool {
+        let policy = self.policy;
+        self.breakers
+            .get_mut(core)
+            .is_some_and(|b| b.allows(&policy, now))
+    }
+
+    /// Feeds one explicit observation for `core` at `now`; out-of-range
+    /// cores are ignored.
+    pub fn record(&mut self, core: usize, breach: bool, now: f64) {
+        let policy = self.policy;
+        if let Some(b) = self.breakers.get_mut(core) {
+            b.record(&policy, breach, now);
+        }
+    }
+
+    /// Classifies `report` under the policy and feeds the verdict to
+    /// `core`'s breaker, stamped at the report's end time.
+    pub fn observe_report(&mut self, core: usize, report: &RunReport) {
+        let breach = self.policy.breaches(report);
+        self.record(core, breach, report.elapsed_cycles());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BreakerPolicy {
+        BreakerPolicy::new()
+            .with_trip_after(2)
+            .unwrap()
+            .with_cooldown_cycles(1_000.0)
+            .unwrap()
+            .with_probe_successes_to_close(2)
+            .unwrap()
+    }
+
+    #[test]
+    fn policy_builders_validate() {
+        assert!(BreakerPolicy::new().with_p99_limit_cycles(0.0).is_err());
+        assert!(BreakerPolicy::new()
+            .with_p99_limit_cycles(f64::NAN)
+            .is_err());
+        assert!(BreakerPolicy::new().with_trip_after(0).is_err());
+        assert!(BreakerPolicy::new().with_cooldown_cycles(-1.0).is_err());
+        assert!(BreakerPolicy::new()
+            .with_probe_successes_to_close(0)
+            .is_err());
+        let p = BreakerPolicy::new()
+            .with_p99_limit_cycles(5.0e7)
+            .unwrap()
+            .with_replay_storm_limit(3)
+            .with_trip_after(1)
+            .unwrap()
+            .with_cooldown_cycles(2.0e6)
+            .unwrap()
+            .with_probe_successes_to_close(1)
+            .unwrap();
+        assert_eq!(p.p99_limit_cycles(), 5.0e7);
+        assert_eq!(p.replay_storm_limit(), 3);
+        assert_eq!(p.trip_after(), 1);
+        assert_eq!(p.cooldown_cycles(), 2.0e6);
+        assert_eq!(p.probe_successes_to_close(), 1);
+    }
+
+    #[test]
+    fn trips_only_on_consecutive_breaches() {
+        let p = policy();
+        let mut b = CircuitBreaker::new();
+        b.record(&p, true, 10.0);
+        assert_eq!(b.state(), BreakerState::Closed, "one breach is tolerated");
+        b.record(&p, false, 20.0);
+        b.record(&p, true, 30.0);
+        assert_eq!(b.state(), BreakerState::Closed, "clean report resets");
+        b.record(&p, true, 40.0);
+        assert_eq!(b.state(), BreakerState::Open, "second consecutive trips");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_gates_readmission_then_half_opens() {
+        let p = policy();
+        let mut b = CircuitBreaker::new();
+        b.record(&p, true, 0.0);
+        b.record(&p, true, 0.0);
+        assert!(!b.allows(&p, 500.0), "still cooling down");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allows(&p, 1_000.0), "cooldown elapsed");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn clean_probes_close_and_a_breach_reopens() {
+        let p = policy();
+        let mut b = CircuitBreaker::new();
+        b.record(&p, true, 0.0);
+        b.record(&p, true, 0.0);
+        assert!(b.allows(&p, 2_000.0));
+        b.record(&p, false, 2_100.0);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe of two");
+        b.record(&p, false, 2_200.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Trip again, half-open, then a breached probe re-opens at once.
+        b.record(&p, true, 3_000.0);
+        b.record(&p, true, 3_100.0);
+        assert!(b.allows(&p, 5_000.0));
+        b.record(&p, true, 5_100.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 3);
+        assert!(!b.allows(&p, 5_200.0));
+    }
+
+    #[test]
+    fn breach_while_open_restarts_the_cooldown() {
+        let p = policy();
+        let mut b = CircuitBreaker::new();
+        b.record(&p, true, 0.0);
+        b.record(&p, true, 0.0);
+        b.record(&p, true, 900.0);
+        assert!(
+            !b.allows(&p, 1_500.0),
+            "cooldown restarted at the last breach"
+        );
+        assert!(b.allows(&p, 1_900.0));
+    }
+
+    #[test]
+    fn board_tracks_cores_independently() {
+        let mut board = BreakerBoard::new(policy(), 2).unwrap();
+        board.record(0, true, 0.0);
+        board.record(0, true, 0.0);
+        assert!(!board.allows(0, 100.0));
+        assert!(board.allows(1, 100.0));
+        assert_eq!(
+            board.states(),
+            vec![BreakerState::Open, BreakerState::Closed]
+        );
+        assert_eq!(board.total_trips(), 1);
+        assert_eq!(board.breaker(0).unwrap().trips(), 1);
+        assert!(board.breaker(7).is_none());
+        assert!(!board.allows(7, 100.0), "out-of-range cores admit nothing");
+        board.record(7, true, 0.0); // ignored, no panic
+        assert!(BreakerBoard::new(policy(), 0).is_err());
+    }
+
+    #[test]
+    fn state_labels_are_stable() {
+        assert_eq!(BreakerState::Closed.label(), "closed");
+        assert_eq!(BreakerState::Open.label(), "open");
+        assert_eq!(BreakerState::HalfOpen.label(), "half-open");
+    }
+}

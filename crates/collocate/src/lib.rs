@@ -24,6 +24,10 @@
 //!   ([`OnlinePlacer`]) plus the multi-core admission controller
 //!   ([`MultiCoreAdmission`]) that compiles accepted arrivals into per-core
 //!   admission schedules for the serving engine.
+//! * [`breaker`] — per-core circuit breakers ([`BreakerBoard`]): cores
+//!   that sustain p99 breaches or checkpoint-replay storms trip open, cool
+//!   down, and re-admit through a half-open probe phase; placement steers
+//!   around tripped cores.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod dataset;
 pub mod deploy;
 pub mod eval;
@@ -52,6 +57,7 @@ pub mod recovery;
 pub mod schemes;
 pub mod standardize;
 
+pub use breaker::{BreakerBoard, BreakerPolicy, BreakerState, CircuitBreaker};
 pub use dataset::{build_dataset, build_default_dataset, WorkloadPoint};
 pub use deploy::{plan_deployment, simulate_deployment, CoreAssignment, DeploymentPlan};
 pub use eval::{

@@ -21,6 +21,7 @@ use v10_npu::ClusterState;
 use v10_sim::{V10Error, V10Result};
 use v10_workloads::{Model, TimedArrival};
 
+use crate::breaker::{BreakerBoard, BreakerPolicy};
 use crate::eval::BENEFIT_THRESHOLD;
 use crate::pipeline::ClusteringPipeline;
 
@@ -138,6 +139,33 @@ impl<'a> OnlinePlacer<'a> {
     /// Returns [`V10Error::InvalidArgument`] if `class` — or any resident
     /// tag in `cluster_state` — is outside the pipeline's cluster range.
     pub fn place_class(&self, class: usize, cluster_state: &ClusterState) -> V10Result<Placement> {
+        self.place_class_inner(class, cluster_state, None)
+    }
+
+    /// [`place_class`](Self::place_class) restricted to cores whose entry
+    /// in `allowed` is `true` — the hook the per-core circuit breakers
+    /// ([`BreakerBoard`]) use to take tripped cores out of rotation. Cores
+    /// past the end of `allowed` are treated as disallowed; an all-`true`
+    /// mask behaves exactly like [`place_class`](Self::place_class).
+    ///
+    /// # Errors
+    ///
+    /// As [`place_class`](Self::place_class).
+    pub fn place_class_filtered(
+        &self,
+        class: usize,
+        cluster_state: &ClusterState,
+        allowed: &[bool],
+    ) -> V10Result<Placement> {
+        self.place_class_inner(class, cluster_state, Some(allowed))
+    }
+
+    fn place_class_inner(
+        &self,
+        class: usize,
+        cluster_state: &ClusterState,
+        allowed: Option<&[bool]>,
+    ) -> V10Result<Placement> {
         let k = self.pipeline.clusters();
         if class >= k {
             return Err(V10Error::invalid(
@@ -149,6 +177,9 @@ impl<'a> OnlinePlacer<'a> {
         let mut best: Option<(usize, f64)> = None;
         let mut empty: Option<usize> = None;
         for core in 0..cluster_state.cores() {
+            if allowed.is_some_and(|mask| !mask.get(core).copied().unwrap_or(false)) {
+                continue;
+            }
             if cluster_state.free_slots(core)? == 0 {
                 continue;
             }
@@ -213,6 +244,7 @@ pub struct MultiCoreAdmission<'a> {
     pub(crate) state: ClusterState,
     pub(crate) per_core: Vec<Vec<Admission>>,
     pub(crate) decisions: Vec<AdmissionDecision>,
+    pub(crate) breakers: Option<BreakerBoard>,
     rejected: usize,
 }
 
@@ -230,8 +262,51 @@ impl<'a> MultiCoreAdmission<'a> {
             state: ClusterState::new(cores, slots_per_core)?,
             per_core: vec![Vec::new(); cores],
             decisions: Vec::new(),
+            breakers: None,
             rejected: 0,
         })
+    }
+
+    /// Arms one [`CircuitBreaker`](crate::CircuitBreaker) per core under
+    /// `policy`. Tripped cores are skipped by [`offer`](Self::offer) and by
+    /// the faulted-serving re-admission loop until their cooldown elapses;
+    /// a controller without breakers (the default) behaves bit-identically
+    /// to one whose breakers never trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BreakerBoard::new`] validation (unreachable for a
+    /// constructed controller, which always has at least one core).
+    pub fn with_breakers(mut self, policy: BreakerPolicy) -> V10Result<Self> {
+        self.breakers = Some(BreakerBoard::new(policy, self.state.cores())?);
+        Ok(self)
+    }
+
+    /// The circuit-breaker board, if armed.
+    #[must_use]
+    pub fn breakers(&self) -> Option<&BreakerBoard> {
+        self.breakers.as_ref()
+    }
+
+    /// Mutable access to the breaker board — the hook for feeding
+    /// observations from externally run reports.
+    pub fn breakers_mut(&mut self) -> Option<&mut BreakerBoard> {
+        self.breakers.as_mut()
+    }
+
+    /// Places `class` at time `at`, steering around tripped breakers when
+    /// a board is armed. Querying the board applies cooldown expiry, so an
+    /// open core past its cooldown half-opens here.
+    pub(crate) fn place_with_breakers(&mut self, class: usize, at: f64) -> V10Result<Placement> {
+        let cores = self.state.cores();
+        let allowed: Option<Vec<bool>> = self
+            .breakers
+            .as_mut()
+            .map(|board| (0..cores).map(|core| board.allows(core, at)).collect());
+        match allowed {
+            None => self.placer.place_class(class, &self.state),
+            Some(mask) => self.placer.place_class_filtered(class, &self.state, &mask),
+        }
     }
 
     /// Offers one arriving tenant to the cluster. Returns the core it was
@@ -243,7 +318,7 @@ impl<'a> MultiCoreAdmission<'a> {
     /// error.
     pub fn offer(&mut self, arrival: &TimedArrival) -> V10Result<Option<usize>> {
         let class = self.placer.class_of_model(arrival.model());
-        let placement = self.placer.place_class(class, &self.state)?;
+        let placement = self.place_with_breakers(class, arrival.at_cycles())?;
         self.decisions.push(AdmissionDecision {
             label: arrival.label().to_string(),
             model: arrival.model(),
@@ -508,6 +583,56 @@ mod tests {
         assert_eq!(ctl.offer(&arrivals[2]).unwrap(), Some(0));
         assert_eq!(ctl.rejected(), 1);
         assert_eq!(ctl.admitted(), 2);
+    }
+
+    #[test]
+    fn breakers_steer_offers_away_from_tripped_cores() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
+        let policy = crate::breaker::BreakerPolicy::new()
+            .with_trip_after(1)
+            .unwrap()
+            .with_cooldown_cycles(1.0e12)
+            .unwrap();
+        let mut ctl = MultiCoreAdmission::new(placer, 2, 2)
+            .unwrap()
+            .with_breakers(policy)
+            .unwrap();
+        let arrivals = OpenLoopProcess::new(&[Model::Mnist], 1.0e6, 3)
+            .unwrap()
+            .sample(2)
+            .unwrap();
+        assert_eq!(ctl.offer(&arrivals[0]).unwrap(), Some(0));
+        // Trip core 0's breaker by hand (as an external report feed would).
+        ctl.breakers_mut().unwrap().record(0, true, 0.0);
+        assert_eq!(
+            ctl.breakers().unwrap().states()[0],
+            crate::breaker::BreakerState::Open
+        );
+        // Core 0 has a free slot and a beneficial pairing, but the open
+        // breaker steers the arrival to core 1.
+        assert_eq!(ctl.offer(&arrivals[1]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn unarmed_breakers_leave_placement_unchanged() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
+        let arrivals = OpenLoopProcess::new(&[Model::Mnist, Model::Ncf, Model::Dlrm], 1.0e6, 5)
+            .unwrap()
+            .sample(4)
+            .unwrap();
+        let mut plain = MultiCoreAdmission::new(placer, 2, 2).unwrap();
+        // A board with default (loose) limits never trips without feeds.
+        let mut armed = MultiCoreAdmission::new(placer, 2, 2)
+            .unwrap()
+            .with_breakers(crate::breaker::BreakerPolicy::new())
+            .unwrap();
+        for a in &arrivals {
+            assert_eq!(plain.offer(a).unwrap(), armed.offer(a).unwrap());
+        }
+        assert_eq!(plain.decisions(), armed.decisions());
+        assert_eq!(armed.breakers().unwrap().total_trips(), 0);
     }
 
     #[test]

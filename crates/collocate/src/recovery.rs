@@ -26,7 +26,7 @@ use v10_core::{
 };
 use v10_npu::NpuConfig;
 use v10_sim::convert::{u64_to_f64, usize_to_f64};
-use v10_sim::{FaultPlan, V10Error, V10Result};
+use v10_sim::{FaultPlan, LatencySummary, V10Error, V10Result};
 
 use crate::placer::{MultiCoreAdmission, Placement};
 
@@ -252,17 +252,20 @@ impl ClusterServeReport {
         all
     }
 
-    /// The p99 request latency across the cluster, in cycles. Zero with no
-    /// completions.
+    /// Summary statistics over every request latency across the cluster,
+    /// or `None` with no completions. Uses the workspace-wide
+    /// [`LatencySummary`] convention, so cluster tails aggregate exactly
+    /// like the serving benches'.
+    #[must_use]
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_samples(&self.latencies_cycles())
+    }
+
+    /// The p99 request latency across the cluster, in cycles (interpolated
+    /// [`LatencySummary`] convention). Zero with no completions.
     #[must_use]
     pub fn p99_latency_cycles(&self) -> f64 {
-        let all = self.latencies_cycles();
-        if all.is_empty() {
-            return 0.0;
-        }
-        let rank = (usize_to_f64(all.len()) * 0.99).ceil();
-        let idx = (v10_sim::convert::f64_to_usize(rank)).saturating_sub(1);
-        all.get(idx).copied().unwrap_or(0.0)
+        self.latency_summary().map_or(0.0, |s| s.p99())
     }
 
     fn reports(&self) -> impl Iterator<Item = &RunReport> {
@@ -382,6 +385,14 @@ impl MultiCoreAdmission<'_> {
                         fault_plans.get(core).unwrap_or(&FaultPlan::none()),
                     )?)
                 };
+                // Each recomputed report is one breaker observation: a
+                // breached core (p99 over limit or a replay storm) walks
+                // toward tripping, a clean one resets the count.
+                if let (Some(board), Some(report)) =
+                    (self.breakers.as_mut(), reports[core].as_ref())
+                {
+                    board.observe_report(core, report);
+                }
             }
 
             // The earliest unprocessed permanent fault drives the next
@@ -568,7 +579,7 @@ impl MultiCoreAdmission<'_> {
                 return Ok(());
             }
             self.release_departed(tenants, reports, at)?;
-            match self.placer.place_class(class, &self.state)? {
+            match self.place_with_breakers(class, at)? {
                 Placement::Core(to_core) => {
                     self.state.admit(to_core, class)?;
                     let admission = Admission::new(spec, at, remaining)?;
@@ -824,6 +835,107 @@ mod tests {
         assert!(report.shed().iter().all(|s| s.deadline_unmeetable));
         assert!(report.requeued().is_empty());
         assert!(report.shed_fraction() > 0.0);
+    }
+
+    #[test]
+    fn replay_storms_trip_the_core_breaker() {
+        let p = pipeline();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
+        // Any replay is a storm, one breach trips: the transient-riddled
+        // core 0 must end the serve with its breaker open.
+        let breaker_policy = crate::breaker::BreakerPolicy::new()
+            .with_replay_storm_limit(0)
+            .with_trip_after(1)
+            .unwrap();
+        let mut ctl = MultiCoreAdmission::new(placer, 2, 2)
+            .unwrap()
+            .with_breakers(breaker_policy)
+            .unwrap();
+        for (i, at) in [0.0, 20_000.0].iter().enumerate() {
+            ctl.offer(&arrival(&format!("t{i}"), Model::Mnist, *at, 20))
+                .unwrap();
+        }
+        let plans = vec![
+            FaultPlan::none()
+                .with_poisson_transients(0xB0B, 50_000.0, 5_000_000.0)
+                .unwrap(),
+            FaultPlan::none(),
+        ];
+        let report = ctl
+            .serve_faulted(Design::V10Full, &cfg, &opts, &plans, &RecoveryPolicy::new())
+            .unwrap();
+        assert!(report.faults_injected() > 0);
+        let core0 = report.per_core()[0].as_ref().unwrap();
+        let replays: u64 = core0.workloads().iter().map(|w| w.replays()).sum();
+        assert!(replays > 0, "the storm must force at least one replay");
+        let board = ctl.breakers().unwrap();
+        assert_eq!(board.total_trips(), 1);
+        assert_eq!(board.states()[0], crate::breaker::BreakerState::Open);
+        assert_eq!(board.states()[1], crate::breaker::BreakerState::Closed);
+    }
+
+    #[test]
+    fn breakers_with_loose_limits_do_not_disturb_recovery() {
+        let p = pipeline();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let plans = vec![
+            FaultPlan::none()
+                .with_fault(30_000.0, v10_sim::FaultKind::CoreRetire)
+                .unwrap(),
+            FaultPlan::none(),
+        ];
+        let policy = RecoveryPolicy::new()
+            .with_backoff_base_cycles(50_000.0)
+            .unwrap()
+            .with_max_retries(8)
+            .with_deadline_factor(400.0)
+            .unwrap();
+        let run = |breakers: bool| {
+            let mut ctl = controller(&p);
+            if breakers {
+                ctl = ctl
+                    .with_breakers(crate::breaker::BreakerPolicy::new())
+                    .unwrap();
+            }
+            ctl.serve_faulted(Design::V10Full, &cfg, &opts, &plans, &policy)
+                .unwrap()
+        };
+        let plain = run(false);
+        let armed = run(true);
+        assert_eq!(plain.requeued(), armed.requeued());
+        assert_eq!(plain.shed(), armed.shed());
+        assert_eq!(plain.completed_requests(), armed.completed_requests());
+        assert_eq!(
+            plain.p99_latency_cycles().to_bits(),
+            armed.p99_latency_cycles().to_bits()
+        );
+    }
+
+    #[test]
+    fn latency_summary_matches_the_sorted_samples() {
+        let p = pipeline();
+        let mut ctl = controller(&p);
+        let report = ctl
+            .serve_faulted(
+                Design::V10Full,
+                &NpuConfig::table5(),
+                &RunOptions::new(2).unwrap(),
+                &no_faults(),
+                &RecoveryPolicy::new(),
+            )
+            .unwrap();
+        let summary = report.latency_summary().unwrap();
+        assert_eq!(summary.count(), report.completed_requests());
+        let direct = LatencySummary::from_samples(&report.latencies_cycles()).unwrap();
+        assert_eq!(summary.p99().to_bits(), direct.p99().to_bits());
+        assert_eq!(
+            report.p99_latency_cycles().to_bits(),
+            summary.p99().to_bits()
+        );
+        assert!(summary.p50() <= summary.p95() && summary.p95() <= summary.p99());
     }
 
     #[test]

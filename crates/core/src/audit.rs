@@ -1,0 +1,478 @@
+//! Online runtime invariant auditing.
+//!
+//! [`RuntimeAuditor`] is a [`SimObserver`] that cross-checks the engine's
+//! event stream *while the run executes*: the simulated clock must never go
+//! backwards, tenancy events must respect the admit → serve → retire
+//! lifecycle, per-workload operator completions can never outrun issues,
+//! and context-switch windows must close no more often than they open.
+//! After the run, [`RuntimeAuditor::reconcile`] checks conservation against
+//! the final [`RunReport`]: every admission is accounted for as a
+//! completion, a rejection, or a shed, and the event counts match the
+//! report's counters exactly.
+//!
+//! Install one in any observed run and assert
+//! [`is_clean`](RuntimeAuditor::is_clean) — the integration suites do this
+//! for the serving, fault, and overload paths, so an accounting regression
+//! surfaces as a named violation rather than a silently wrong metric.
+
+use crate::metrics::RunReport;
+use crate::observer::{SimEvent, SimObserver};
+
+/// Timestamp slack mirroring the engine's event-simultaneity tolerance.
+const AT_EPS: f64 = 1e-6;
+
+/// Violations kept verbatim before the auditor starts counting instead —
+/// enough to diagnose, bounded so a hot loop cannot balloon memory.
+const MAX_RECORDED: usize = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Admitted,
+    Retired,
+}
+
+/// Per-workload event tallies.
+#[derive(Debug, Clone, Copy, Default)]
+struct WlTally {
+    issued: u64,
+    completed_ops: u64,
+    completed_requests: u64,
+}
+
+/// An observer that enforces engine invariants online and reconciles the
+/// event stream against the final report. See the module docs.
+#[derive(Debug, Default)]
+pub struct RuntimeAuditor {
+    last_at: f64,
+    phases: Vec<Phase>,
+    tallies: Vec<WlTally>,
+    rejected: u64,
+    shed: u64,
+    requeued: u64,
+    faults: u64,
+    /// Whether the executor emits operator-issue events at all: the V10
+    /// engine does, the task-granularity PMT baseline does not, and the
+    /// issue/completion ordering invariant only applies when it does.
+    issues_seen: bool,
+    switch_started: u64,
+    switch_ended: u64,
+    events: u64,
+    violations: Vec<String>,
+    suppressed: u64,
+}
+
+impl RuntimeAuditor {
+    /// A fresh auditor with no events seen and no violations.
+    #[must_use]
+    pub fn new() -> Self {
+        RuntimeAuditor::default()
+    }
+
+    /// Every recorded violation, in detection order (capped; see
+    /// [`suppressed_violations`](Self::suppressed_violations)).
+    #[must_use]
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Violations detected past the recording cap.
+    #[must_use]
+    pub fn suppressed_violations(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Did every check pass so far?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Events observed so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn flag(&mut self, message: String) {
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(message);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// Requires `workload` to be an admitted, not-yet-retired tenancy.
+    fn expect_live(&mut self, event: &'static str, workload: usize) {
+        match self.phases.get(workload) {
+            Some(Phase::Admitted) => {}
+            Some(Phase::Retired) => {
+                self.flag(format!("{event} for retired workload {workload}"));
+            }
+            None => {
+                self.flag(format!("{event} for never-admitted workload {workload}"));
+            }
+        }
+    }
+
+    fn tally_mut(&mut self, workload: usize) -> &mut WlTally {
+        if workload >= self.tallies.len() {
+            self.tallies.resize_with(workload + 1, WlTally::default);
+        }
+        // v10-lint: allow(P1) the line above guarantees the index exists
+        &mut self.tallies[workload]
+    }
+
+    /// Cross-checks the event stream against the run's final report:
+    /// tenancy counts, per-workload completions, rejections, sheds, faults,
+    /// and issue/completion ordering must all agree. Call once, after the
+    /// run; mismatches are recorded as violations.
+    pub fn reconcile(&mut self, report: &RunReport) {
+        let admitted = self.phases.len();
+        if report.workloads().len() != admitted {
+            self.flag(format!(
+                "report covers {} tenancies but {} were admitted",
+                report.workloads().len(),
+                admitted
+            ));
+        }
+        for (w, wl) in report.workloads().iter().enumerate() {
+            let tally = self.tallies.get(w).copied().unwrap_or_default();
+            let completed = v10_sim::convert::u64_from_usize(wl.completed_requests());
+            if tally.completed_requests != completed {
+                self.flag(format!(
+                    "workload {w} ({}) reported {completed} completed requests \
+                     but {} request_completed events were seen",
+                    wl.label(),
+                    tally.completed_requests
+                ));
+            }
+            if self.issues_seen && tally.completed_ops > tally.issued {
+                self.flag(format!(
+                    "workload {w} ({}) completed {} operators but only {} were issued",
+                    wl.label(),
+                    tally.completed_ops,
+                    tally.issued
+                ));
+            }
+        }
+        if self.rejected != report.rejected_admissions() {
+            self.flag(format!(
+                "report counts {} rejections but {} admission_rejected events were seen",
+                report.rejected_admissions(),
+                self.rejected
+            ));
+        }
+        if self.faults != report.faults_injected() {
+            self.flag(format!(
+                "report counts {} faults but {} fault_injected events were seen",
+                report.faults_injected(),
+                self.faults
+            ));
+        }
+        if self.shed != report.overload_stats().shed_requests() {
+            self.flag(format!(
+                "report counts {} shed requests but {} request_shed events were seen",
+                report.overload_stats().shed_requests(),
+                self.shed
+            ));
+        }
+        if self.switch_ended > self.switch_started {
+            self.flag(format!(
+                "{} context-switch windows closed but only {} opened",
+                self.switch_ended, self.switch_started
+            ));
+        }
+    }
+}
+
+impl SimObserver for RuntimeAuditor {
+    fn on_event(&mut self, event: SimEvent) {
+        self.events += 1;
+        let at = event.at();
+        if !at.is_finite() {
+            self.flag(format!("non-finite timestamp on {}", event.name()));
+        } else if at + AT_EPS < self.last_at {
+            self.flag(format!(
+                "clock went backwards: {} at {at} after {}",
+                event.name(),
+                self.last_at
+            ));
+        } else {
+            self.last_at = self.last_at.max(at);
+        }
+        match event {
+            SimEvent::TenantAdmitted { workload, .. } => {
+                // Tenancy indices are assigned densely in admission order,
+                // so a valid admission always extends the roster by one.
+                if workload != self.phases.len() {
+                    self.flag(format!(
+                        "tenant_admitted out of order: workload {workload} with {} admitted",
+                        self.phases.len()
+                    ));
+                    if workload < self.phases.len() {
+                        return; // duplicate; keep the original phase
+                    }
+                    while self.phases.len() < workload {
+                        self.phases.push(Phase::Retired);
+                    }
+                }
+                self.phases.push(Phase::Admitted);
+            }
+            SimEvent::TenantRetired { workload, .. } => {
+                self.expect_live("tenant_retired", workload);
+                if let Some(phase) = self.phases.get_mut(workload) {
+                    *phase = Phase::Retired;
+                }
+            }
+            SimEvent::OpIssued { workload, .. } => {
+                self.expect_live("op_issued", workload);
+                self.issues_seen = true;
+                self.tally_mut(workload).issued += 1;
+            }
+            SimEvent::OpCompleted { workload, .. } => {
+                self.expect_live("op_completed", workload);
+                let issues_seen = self.issues_seen;
+                let tally = self.tally_mut(workload);
+                tally.completed_ops += 1;
+                if issues_seen && tally.completed_ops > tally.issued {
+                    let (done, issued) = (tally.completed_ops, tally.issued);
+                    self.flag(format!(
+                        "workload {workload} completed operator {done} with only {issued} issued"
+                    ));
+                }
+            }
+            SimEvent::RequestCompleted {
+                workload,
+                latency_cycles,
+                ..
+            } => {
+                self.expect_live("request_completed", workload);
+                self.tally_mut(workload).completed_requests += 1;
+                if !(latency_cycles.is_finite() && latency_cycles >= 0.0) {
+                    self.flag(format!(
+                        "workload {workload} reported request latency {latency_cycles}"
+                    ));
+                }
+            }
+            SimEvent::OpPreempted { workload, .. } => {
+                self.expect_live("op_preempted", workload);
+            }
+            SimEvent::DmaReady { workload, .. } => {
+                self.expect_live("dma_ready", workload);
+            }
+            SimEvent::OpReplayed { workload, .. } => {
+                self.expect_live("op_replayed", workload);
+            }
+            SimEvent::TenantStarved { workload, .. } => {
+                self.expect_live("tenant_starved", workload);
+            }
+            SimEvent::WatchdogBoost { workload, .. } => {
+                self.expect_live("watchdog_boost", workload);
+            }
+            SimEvent::DegradationApplied { workload, .. } => {
+                if let Some(w) = workload {
+                    self.expect_live("degradation_applied", w);
+                }
+            }
+            SimEvent::FaultInjected { workload, .. } => {
+                self.faults += 1;
+                if let Some(w) = workload {
+                    self.expect_live("fault_injected", w);
+                }
+            }
+            SimEvent::AdmissionRejected { .. } => self.rejected += 1,
+            SimEvent::RequestShed { .. } => self.shed += 1,
+            SimEvent::RequestRequeued { .. } => self.requeued += 1,
+            SimEvent::CtxSwitchStarted { .. } => self.switch_started += 1,
+            SimEvent::CtxSwitchEnded { .. } => {
+                self.switch_ended += 1;
+                if self.switch_ended > self.switch_started {
+                    self.flag("a context-switch window closed that never opened".to_string());
+                }
+            }
+            SimEvent::TimerTick { .. }
+            | SimEvent::CoreRetired { .. }
+            | SimEvent::OverloadEntered { .. }
+            | SimEvent::OverloadCleared { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{RunOptions, V10Engine, WorkloadSpec};
+    use crate::policy::Policy;
+    use v10_isa::{FuKind, OpDesc, RequestTrace};
+    use v10_npu::NpuConfig;
+
+    fn spec(label: &str) -> WorkloadSpec {
+        let ops = vec![
+            OpDesc::builder(FuKind::Sa).compute_cycles(5_000).build(),
+            OpDesc::builder(FuKind::Vu).compute_cycles(1_000).build(),
+        ];
+        WorkloadSpec::new(label, RequestTrace::new(ops).unwrap())
+    }
+
+    #[test]
+    fn clean_run_audits_clean_and_reconciles() {
+        let engine = V10Engine::new(NpuConfig::table5(), Policy::Priority, true);
+        let mut auditor = RuntimeAuditor::new();
+        let report = engine
+            .run_observed(
+                &[spec("a"), spec("b")],
+                &RunOptions::new(4).unwrap(),
+                &mut auditor,
+            )
+            .unwrap();
+        assert!(auditor.events() > 0);
+        auditor.reconcile(&report);
+        assert!(auditor.is_clean(), "violations: {:?}", auditor.violations());
+        assert_eq!(auditor.suppressed_violations(), 0);
+    }
+
+    #[test]
+    fn backwards_clock_is_flagged() {
+        let mut a = RuntimeAuditor::new();
+        a.on_event(SimEvent::TimerTick { at: 100.0 });
+        a.on_event(SimEvent::TimerTick { at: 50.0 });
+        assert!(!a.is_clean());
+        assert!(a.violations()[0].contains("clock went backwards"));
+    }
+
+    #[test]
+    fn non_finite_timestamp_is_flagged() {
+        let mut a = RuntimeAuditor::new();
+        a.on_event(SimEvent::TimerTick { at: f64::NAN });
+        assert!(!a.is_clean());
+        assert!(a.violations()[0].contains("non-finite"));
+    }
+
+    #[test]
+    fn lifecycle_violations_are_flagged() {
+        // Serving a never-admitted workload.
+        let mut a = RuntimeAuditor::new();
+        a.on_event(SimEvent::OpCompleted {
+            workload: 0,
+            op_id: 0,
+            at: 0.0,
+        });
+        assert!(a.violations()[0].contains("never-admitted"));
+
+        // Serving a retired workload.
+        let mut a = RuntimeAuditor::new();
+        a.on_event(SimEvent::TenantAdmitted {
+            workload: 0,
+            at: 0.0,
+        });
+        a.on_event(SimEvent::TenantRetired {
+            workload: 0,
+            at: 1.0,
+        });
+        a.on_event(SimEvent::DmaReady {
+            workload: 0,
+            op_id: 1,
+            at: 2.0,
+        });
+        assert!(!a.is_clean());
+        assert!(a.violations()[0].contains("retired workload 0"));
+
+        // Duplicate admission of the same index.
+        let mut a = RuntimeAuditor::new();
+        a.on_event(SimEvent::TenantAdmitted {
+            workload: 0,
+            at: 0.0,
+        });
+        a.on_event(SimEvent::TenantAdmitted {
+            workload: 0,
+            at: 1.0,
+        });
+        assert!(!a.is_clean());
+        assert!(a.violations()[0].contains("out of order"));
+    }
+
+    #[test]
+    fn completion_outrunning_issues_is_flagged() {
+        let mut a = RuntimeAuditor::new();
+        a.on_event(SimEvent::TenantAdmitted {
+            workload: 0,
+            at: 0.0,
+        });
+        a.on_event(SimEvent::OpIssued {
+            workload: 0,
+            fu: 0,
+            kind: FuKind::Sa,
+            op_id: 0,
+            at: 0.0,
+        });
+        a.on_event(SimEvent::OpCompleted {
+            workload: 0,
+            op_id: 0,
+            at: 1.0,
+        });
+        assert!(a.is_clean());
+        a.on_event(SimEvent::OpCompleted {
+            workload: 0,
+            op_id: 1,
+            at: 2.0,
+        });
+        assert!(!a.is_clean());
+        assert!(a.violations().iter().any(|v| v.contains("only 1 issued")));
+    }
+
+    #[test]
+    fn issueless_streams_skip_the_issue_ordering_check() {
+        // The PMT baseline emits completions but no per-operator issues;
+        // the ordering invariant must not fire there.
+        let mut a = RuntimeAuditor::new();
+        a.on_event(SimEvent::TenantAdmitted {
+            workload: 0,
+            at: 0.0,
+        });
+        a.on_event(SimEvent::OpCompleted {
+            workload: 0,
+            op_id: 0,
+            at: 1.0,
+        });
+        assert!(a.is_clean(), "violations: {:?}", a.violations());
+    }
+
+    #[test]
+    fn unbalanced_switch_window_is_flagged() {
+        let mut a = RuntimeAuditor::new();
+        a.on_event(SimEvent::CtxSwitchEnded { fu: 0, at: 0.0 });
+        assert!(!a.is_clean());
+        assert!(a.violations()[0].contains("never opened"));
+    }
+
+    #[test]
+    fn reconcile_catches_report_mismatches() {
+        let engine = V10Engine::new(NpuConfig::table5(), Policy::Priority, false);
+        let mut auditor = RuntimeAuditor::new();
+        let report = engine
+            .run_observed(&[spec("a")], &RunOptions::new(2).unwrap(), &mut auditor)
+            .unwrap();
+        // Forge an extra completion the report knows nothing about.
+        auditor.on_event(SimEvent::RequestCompleted {
+            workload: 0,
+            latency_cycles: 10.0,
+            at: 1.0e9,
+        });
+        auditor.reconcile(&report);
+        assert!(!auditor.is_clean());
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.contains("request_completed events")));
+    }
+
+    #[test]
+    fn violation_recording_is_bounded() {
+        let mut a = RuntimeAuditor::new();
+        for _ in 0..(MAX_RECORDED + 10) {
+            a.on_event(SimEvent::CtxSwitchEnded { fu: 0, at: 0.0 });
+        }
+        assert_eq!(a.violations().len(), MAX_RECORDED);
+        assert!(a.suppressed_violations() >= 10);
+    }
+}

@@ -407,6 +407,28 @@ impl ContextTable {
         self.row(id).map_or(0.0, |row| row.priority)
     }
 
+    /// Re-weights a live tenant's priority in place — the overload control
+    /// plane's demotion/boost knob. The fairness counters are untouched:
+    /// only the `active_rate_p` divisor changes, exactly as if the tenant
+    /// had been admitted at the new weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `priority` is not finite and
+    /// positive, or if `id` is stale or unknown.
+    pub fn set_priority(&mut self, id: WorkloadId, priority: f64) -> V10Result<()> {
+        if !(priority.is_finite() && priority > 0.0) {
+            return Err(V10Error::invalid(
+                "ContextTable::set_priority",
+                format!("priorities must be positive, got {priority}"),
+            ));
+        }
+        self.row_mut(id)
+            .ok_or_else(|| stale("ContextTable::set_priority", id))?
+            .priority = priority;
+        Ok(())
+    }
+
     /// The cycle at which this tenancy was admitted; 0.0 for a stale id.
     #[must_use]
     pub fn arrival(&self, id: WorkloadId) -> f64 {
@@ -713,6 +735,34 @@ mod tests {
                 .unwrap_err();
             assert!(err.to_string().contains("positive"), "{err}");
         }
+    }
+
+    #[test]
+    fn set_priority_rescales_active_rate_p_only() {
+        let mut t = ContextTable::new(&[2.0]).unwrap();
+        let w = WorkloadId::new(0);
+        t.add_active_cycles(w, 500.0);
+        assert!((t.active_rate_p(w, 1_000.0) - 0.25).abs() < 1e-12);
+        t.set_priority(w, 1.0).unwrap();
+        assert_eq!(t.priority(w), 1.0);
+        // Same counters, new divisor: demotion doubles arp.
+        assert!((t.active_rate_p(w, 1_000.0) - 0.5).abs() < 1e-12);
+        assert!((t.active_rate(w, 1_000.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_priority_validates_and_rejects_stale_ids() {
+        let mut t = ContextTable::with_capacity(1).unwrap();
+        let w = t.admit(1.0, 0.0).unwrap();
+        for bad in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let err = t.set_priority(w, bad).unwrap_err();
+            assert!(err.to_string().contains("positive"), "{err}");
+        }
+        t.retire(w).unwrap();
+        let fresh = t.admit(3.0, 1.0).unwrap();
+        let err = t.set_priority(w, 1.0).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+        assert_eq!(t.priority(fresh), 3.0, "stale write must not leak through");
     }
 
     #[test]

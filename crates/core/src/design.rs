@@ -3,12 +3,13 @@
 use std::fmt;
 
 use v10_npu::NpuConfig;
-use v10_sim::{FaultPlan, V10Result};
+use v10_sim::{FaultPlan, V10Error, V10Result};
 
 use crate::engine::{RunOptions, V10Engine, WorkloadSpec};
 use crate::lifecycle::AdmissionSchedule;
 use crate::metrics::RunReport;
 use crate::observer::SimObserver;
+use crate::overload::OverloadController;
 use crate::pmt::{run_pmt, serve_pmt, serve_pmt_faulted_observed};
 use crate::policy::Policy;
 
@@ -149,6 +150,71 @@ pub fn serve_design_faulted_observed<O: SimObserver>(
     }
 }
 
+/// [`serve_design`] under an [`OverloadController`]: the armed controller
+/// parks full-table arrivals in an admission queue and walks the
+/// graceful-degradation ladder instead of hard-rejecting load (see
+/// [`V10Engine::serve_overloaded`]). A disarmed controller is bit-identical
+/// to [`serve_design`].
+///
+/// The PMT baseline has no priority mechanism for the ladder or the
+/// watchdog to act on, so `Design::Pmt` with an *armed* controller is
+/// rejected; a disarmed controller degrades to plain [`serve_design`].
+///
+/// # Errors
+///
+/// As [`run_design`], plus [`v10_sim::V10Error::InvalidArgument`] for
+/// `Design::Pmt` with an armed controller.
+pub fn serve_design_overloaded(
+    design: Design,
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    controller: OverloadController,
+) -> V10Result<RunReport> {
+    serve_design_overloaded_observed(
+        design,
+        schedule,
+        config,
+        opts,
+        controller,
+        &mut crate::observer::NullObserver,
+    )
+}
+
+/// [`serve_design_overloaded`] with an observer receiving the event stream,
+/// including the overload control-plane events.
+///
+/// # Errors
+///
+/// As [`serve_design_overloaded`].
+pub fn serve_design_overloaded_observed<O: SimObserver>(
+    design: Design,
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    controller: OverloadController,
+    observer: &mut O,
+) -> V10Result<RunReport> {
+    match design {
+        Design::Pmt => {
+            if controller.is_armed() {
+                return Err(V10Error::invalid(
+                    "serve_design_overloaded",
+                    "PMT has no priority mechanism for the degradation ladder; \
+                     arm the controller on a V10 design",
+                ));
+            }
+            serve_pmt_faulted_observed(schedule, config, opts, &FaultPlan::none(), observer)
+        }
+        Design::V10Base => V10Engine::new(*config, Policy::RoundRobin, false)
+            .serve_overloaded_observed(schedule, opts, controller, observer),
+        Design::V10Fair => V10Engine::new(*config, Policy::Priority, false)
+            .serve_overloaded_observed(schedule, opts, controller, observer),
+        Design::V10Full => V10Engine::new(*config, Policy::Priority, true)
+            .serve_overloaded_observed(schedule, opts, controller, observer),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +279,33 @@ mod tests {
         assert_eq!(Design::Pmt.to_string(), "PMT");
         assert_eq!(Design::V10Full.to_string(), "V10-Full");
         assert_eq!(Design::ALL.len(), 4);
+    }
+
+    #[test]
+    fn pmt_rejects_an_armed_overload_controller() {
+        let schedule = AdmissionSchedule::closed_loop(&mismatched_pair(), 2).unwrap();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let err = serve_design_overloaded(
+            Design::Pmt,
+            &schedule,
+            &cfg,
+            &opts,
+            OverloadController::armed(crate::overload::OverloadPolicy::default()),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("PMT"), "{err}");
+        // A disarmed controller degrades to plain serving.
+        let plain = serve_design(Design::Pmt, &schedule, &cfg, &opts).unwrap();
+        let disarmed = serve_design_overloaded(
+            Design::Pmt,
+            &schedule,
+            &cfg,
+            &opts,
+            OverloadController::disarmed(),
+        )
+        .unwrap();
+        assert_eq!(plain.elapsed_cycles(), disarmed.elapsed_cycles());
     }
 
     #[test]

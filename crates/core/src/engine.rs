@@ -23,6 +23,7 @@
 
 use v10_isa::{FuKind, RequestTrace};
 use v10_npu::{FuPool, NpuConfig};
+use v10_sim::convert::u64_to_f64;
 use v10_sim::fault::pick_victim;
 use v10_sim::{FaultInjector, FaultKind, FaultPlan, V10Error, V10Result};
 
@@ -30,6 +31,7 @@ use crate::engine_core::{drive, rate_of, EngineCore, ExecutorStrategy, Slot, Ste
 use crate::lifecycle::AdmissionSchedule;
 use crate::metrics::RunReport;
 use crate::observer::{NullObserver, SimEvent, SimObserver};
+use crate::overload::{LadderStep, OverloadController, OverloadPressure};
 use crate::packed::FIG11_TABLE_ROWS;
 use crate::policy::{Policy, Scheduler};
 
@@ -249,6 +251,7 @@ impl V10Engine {
             &schedule,
             specs.len(),
             FaultInjector::disarmed(),
+            OverloadController::disarmed(),
             observer,
         )
     }
@@ -286,6 +289,55 @@ impl V10Engine {
             schedule,
             capacity,
             FaultInjector::disarmed(),
+            OverloadController::disarmed(),
+            observer,
+        )
+    }
+
+    /// [`serve`](Self::serve) under an [`OverloadController`]: when the
+    /// controller is armed, arrivals that find the context table full wait
+    /// in an admission queue instead of being rejected, and the controller
+    /// senses pressure on its cadence, walking the graceful-degradation
+    /// ladder (priority demotion, slice shrink, quota trim, deadline shed)
+    /// while its starvation watchdog boosts tenants pinned below the
+    /// `active_rate_p` bound. A disarmed controller is bit-identical to
+    /// [`serve`](Self::serve).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn serve_overloaded(
+        &self,
+        schedule: &AdmissionSchedule,
+        opts: &RunOptions,
+        controller: OverloadController,
+    ) -> V10Result<RunReport> {
+        self.serve_overloaded_observed(schedule, opts, controller, &mut NullObserver)
+    }
+
+    /// [`serve_overloaded`](Self::serve_overloaded) with an observer
+    /// receiving the event stream, including the control-plane events
+    /// [`SimEvent::OverloadEntered`], [`SimEvent::DegradationApplied`],
+    /// [`SimEvent::OverloadCleared`], [`SimEvent::RequestShed`],
+    /// [`SimEvent::TenantStarved`], and [`SimEvent::WatchdogBoost`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn serve_overloaded_observed<O: SimObserver>(
+        &self,
+        schedule: &AdmissionSchedule,
+        opts: &RunOptions,
+        controller: OverloadController,
+        observer: &mut O,
+    ) -> V10Result<RunReport> {
+        let capacity = opts.table_capacity().unwrap_or(FIG11_TABLE_ROWS);
+        self.serve_with_capacity(
+            "V10Engine::serve_overloaded",
+            schedule,
+            capacity,
+            FaultInjector::disarmed(),
+            controller,
             observer,
         )
     }
@@ -332,6 +384,7 @@ impl V10Engine {
             schedule,
             capacity,
             faults,
+            OverloadController::disarmed(),
             observer,
         )
     }
@@ -342,14 +395,20 @@ impl V10Engine {
         schedule: &AdmissionSchedule,
         capacity: usize,
         faults: FaultInjector,
+        controller: OverloadController,
         observer: &mut O,
     ) -> V10Result<RunReport> {
         let cfg = &self.config;
         let pool = FuPool::new(cfg.fu_count() as usize)?;
         let slots = pool.iter().map(|id| Slot::new(id, pool.kind(id))).collect();
-        let core = EngineCore::new(context, schedule, cfg, capacity, slots, faults, observer)?;
-        let mut strategy = V10Strategy::new(cfg, self.policy, self.preemption);
-        drive(core, &mut strategy)
+        let mut core = EngineCore::new(context, schedule, cfg, capacity, slots, faults, observer)?;
+        if controller.is_armed() {
+            core.enable_overload_queueing();
+        }
+        let mut strategy = V10Strategy::new(cfg, self.policy, self.preemption, controller);
+        let mut report = drive(core, &mut strategy)?;
+        report.set_overload_stats(strategy.controller.stats());
+        Ok(report)
     }
 }
 
@@ -358,21 +417,31 @@ struct V10Strategy {
     scheduler: Scheduler,
     preemption: bool,
     slice: f64,
+    /// The configured slice, restored when an overload episode clears.
+    base_slice: f64,
     tick_next: f64,
     sa_switch_cycles: u64,
     vu_switch_cycles: u64,
+    controller: OverloadController,
 }
 
 impl V10Strategy {
-    fn new(config: &NpuConfig, policy: Policy, preemption: bool) -> Self {
+    fn new(
+        config: &NpuConfig,
+        policy: Policy,
+        preemption: bool,
+        controller: OverloadController,
+    ) -> Self {
         let slice = config.time_slice_cycles() as f64;
         V10Strategy {
             scheduler: Scheduler::new(policy),
             preemption,
             slice,
+            base_slice: slice,
             tick_next: slice,
             sa_switch_cycles: config.sa_switch_cycles(),
             vu_switch_cycles: config.vu_switch_cycles(),
+            controller,
         }
     }
 
@@ -478,11 +547,169 @@ impl V10Strategy {
         }
         Ok(false)
     }
+
+    /// One overload-control sense tick: samples pressure, advances the
+    /// hysteresis state machine, applies every active degradation rung, and
+    /// runs the starvation watchdog. Only called when the armed controller's
+    /// cadence is due — the disarmed path never reaches it.
+    fn overload_tick<O: SimObserver>(&mut self, core: &mut EngineCore<'_, O>) -> V10Result<()> {
+        let at = core.now;
+
+        // ---- Sense: admission-queue depth plus worst in-flight slowdown.
+        let queue_depth = core.parked_len();
+        let mut worst_slowdown = 0.0f64;
+        for wl in core.wls.iter().filter(|wl| wl.alive) {
+            let ideal = u64_to_f64(wl.trace.total_compute_cycles());
+            if ideal > 0.0 {
+                worst_slowdown = worst_slowdown.max((at - wl.request_start) / ideal);
+            }
+        }
+        let pressure = OverloadPressure {
+            queue_depth,
+            worst_slowdown,
+        };
+
+        // ---- Hysteresis: enter, escalate, hold, or clear.
+        match self.controller.observe(pressure, at) {
+            LadderStep::Enter => core.emit(SimEvent::OverloadEntered { queue_depth, at }),
+            LadderStep::Clear => {
+                // Demotions and quota trims are deliberately not rolled
+                // back (the ladder is monotone within an episode and the
+                // watchdog repairs unfairness), but the preemption cadence
+                // returns to its configured slice.
+                self.slice = self.base_slice;
+                core.emit(SimEvent::OverloadCleared { at });
+            }
+            LadderStep::Escalate | LadderStep::Hold => {}
+        }
+
+        // ---- Apply every rung at or below the ladder position, while the
+        // episode is still breaching (a calm hold applies nothing).
+        if self.controller.is_overloaded() && self.controller.policy().breaching(pressure) {
+            let rung = self.controller.rung();
+            if rung >= 1 {
+                // Demote the tenant drawing the most FU time (ties resolve
+                // to the earliest admission for determinism).
+                let mut victim: Option<(usize, f64)> = None;
+                for (w, wl) in core.wls.iter().enumerate() {
+                    if !wl.alive {
+                        continue;
+                    }
+                    let rate = core.table.active_rate(wl.id, at);
+                    if victim.is_none_or(|(_, best)| rate > best + EPS) {
+                        victim = Some((w, rate));
+                    }
+                }
+                if let Some((w, _)) = victim {
+                    let (id, old) = {
+                        let wl = core.wl(w)?;
+                        (wl.id, wl.priority)
+                    };
+                    let new = self.controller.policy().demoted_priority(old);
+                    if new < old {
+                        core.table.set_priority(id, new)?;
+                        core.wl_mut(w)?.priority = new;
+                        self.controller.stats_mut().demotions += 1;
+                        core.emit(SimEvent::DegradationApplied {
+                            rung: 1,
+                            workload: Some(w),
+                            at,
+                        });
+                    }
+                }
+            }
+            if rung >= 2 && self.preemption {
+                let new = self.controller.policy().shrunk_slice(self.slice);
+                if new < self.slice {
+                    self.slice = new;
+                    self.controller.stats_mut().slice_shrinks += 1;
+                    core.emit(SimEvent::DegradationApplied {
+                        rung: 2,
+                        workload: None,
+                        at,
+                    });
+                }
+            }
+            if rung >= 3 {
+                for w in 0..core.wls.len() {
+                    let (alive, quota, completed) = {
+                        let wl = core.wl(w)?;
+                        (wl.alive, wl.quota, wl.completed)
+                    };
+                    if !alive {
+                        continue;
+                    }
+                    let trimmed = self.controller.policy().trimmed_quota(quota, completed);
+                    if trimmed < quota {
+                        core.wl_mut(w)?.quota = trimmed;
+                        self.controller.stats_mut().quota_trims += 1;
+                        core.emit(SimEvent::DegradationApplied {
+                            rung: 3,
+                            workload: Some(w),
+                            at,
+                        });
+                    }
+                }
+            }
+            if rung >= 4 {
+                let shed = core.shed_stale_parked(self.controller.policy().shed_wait_cycles());
+                if shed > 0 {
+                    self.controller.stats_mut().shed_requests += shed;
+                    core.emit(SimEvent::DegradationApplied {
+                        rung: 4,
+                        workload: None,
+                        at,
+                    });
+                }
+            }
+        }
+
+        // ---- Starvation watchdog, every sense tick, overloaded or not.
+        let live: Vec<usize> = core
+            .wls
+            .iter()
+            .enumerate()
+            .filter(|(_, wl)| wl.alive)
+            .map(|(w, _)| w)
+            .collect();
+        self.controller.watchdog_retain(&live);
+        for w in live {
+            let (id, arp) = {
+                let wl = core.wl(w)?;
+                (wl.id, core.table.active_rate_p(wl.id, at))
+            };
+            if self.controller.watchdog_starved(w, arp, at) {
+                self.controller.stats_mut().starvations += 1;
+                core.emit(SimEvent::TenantStarved {
+                    workload: w,
+                    active_rate_p: arp,
+                    at,
+                });
+                let old = core.wl(w)?.priority;
+                let new = self.controller.policy().boosted_priority(old);
+                if new > old {
+                    core.table.set_priority(id, new)?;
+                    core.wl_mut(w)?.priority = new;
+                    self.controller.stats_mut().boosts += 1;
+                    core.emit(SimEvent::WatchdogBoost {
+                        workload: w,
+                        priority: new,
+                        at,
+                    });
+                }
+            }
+        }
+
+        self.controller.advance_sense(at);
+        Ok(())
+    }
 }
 
 impl ExecutorStrategy for V10Strategy {
     fn step<O: SimObserver>(&mut self, core: &mut EngineCore<'_, O>) -> V10Result<StepOutcome> {
-        // -------- Phase 0: seat arrivals that are due.
+        // -------- Phase 0: seat arrivals that are due — parked arrivals
+        // first (they are older), then the pending schedule.
+        core.admit_parked()?;
         core.admit_due()?;
 
         // -------- Phase 1: promote fetches, issue ready operators.
@@ -600,6 +827,9 @@ impl ExecutorStrategy for V10Strategy {
         if let Some(at) = core.next_fault_at() {
             dt = dt.min(at - core.now);
         }
+        if let Some(at) = self.controller.next_at() {
+            dt = dt.min(at - core.now);
+        }
         let dt = core.resolve_dt(dt)?;
 
         // -------- Phase 4: advance, accounting as we go.
@@ -688,6 +918,11 @@ impl ExecutorStrategy for V10Strategy {
                     });
                 }
             }
+        }
+
+        // -------- Phase 5c: overload control plane (armed runs only).
+        if self.controller.due(core.now) {
+            self.overload_tick(core)?;
         }
         Ok(StepOutcome::Continue)
     }

@@ -187,6 +187,14 @@ pub(crate) struct EngineCore<'a, O: SimObserver> {
     pub(crate) faults: FaultInjector,
     /// Arrivals not yet due, in arrival order.
     pending: VecDeque<Admission>,
+    /// Due arrivals waiting out a full context table (armed overload path
+    /// only), oldest first, each with its original arrival sequence number.
+    parked: VecDeque<(usize, Admission)>,
+    /// When set (by the armed overload path), a full table parks due
+    /// arrivals instead of rejecting them. Off by default, in which case
+    /// `parked` is never touched and the event loop is bit-identical to the
+    /// pre-overload engine.
+    queue_on_full: bool,
     /// Context-table slot index -> `wls` index of its live occupant.
     slot_owner: Vec<Option<usize>>,
     rejected: u64,
@@ -244,6 +252,8 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             tenancy_epoch: 0,
             faults,
             pending: schedule.entries().iter().cloned().collect(),
+            parked: VecDeque::new(),
+            queue_on_full: false,
             slot_owner: vec![None; capacity],
             rejected: 0,
             arrival_seq: 0,
@@ -304,22 +314,92 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
         Ok(())
     }
 
-    /// Seats one arrival: claims a context-table slot, initializes its
-    /// execution state (first operator fetching, counters zeroed), and
-    /// emits [`SimEvent::TenantAdmitted`]. A full table rejects the arrival
-    /// instead — [`SimEvent::AdmissionRejected`] — and the run goes on.
+    /// Assigns the next arrival sequence number and seats one arrival.
     fn admit_tenant(&mut self, adm: &Admission) -> V10Result<()> {
         let seq = self.arrival_seq;
         self.arrival_seq += 1;
+        self.seat_tenant(seq, adm)
+    }
+
+    /// Enables queue-on-full admission: due arrivals that find the context
+    /// table full wait in the parked queue (keeping their arrival sequence
+    /// numbers) instead of being rejected. Armed overload entry points call
+    /// this once before driving; nothing else ever sets it, which keeps the
+    /// default path bit-identical to the pre-overload engine.
+    pub(crate) fn enable_overload_queueing(&mut self) {
+        self.queue_on_full = true;
+    }
+
+    /// Arrivals currently waiting out a full table — the overload
+    /// controller's queue-depth pressure signal.
+    pub(crate) fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Re-seats parked arrivals, oldest first, while the table has room.
+    /// Strategies on the armed path call this before
+    /// [`admit_due`](Self::admit_due) so waiting arrivals board ahead of
+    /// newer ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineCore::admit_tenant`]'s (unreachable) validation
+    /// error.
+    #[inline(always)]
+    pub(crate) fn admit_parked(&mut self) -> V10Result<()> {
+        while !self.parked.is_empty() && !self.table.is_full() {
+            if let Some((seq, adm)) = self.parked.pop_front() {
+                self.seat_tenant(seq, &adm)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sheds every parked arrival that has waited more than
+    /// `max_wait_cycles`, emitting [`SimEvent::RequestShed`] with its
+    /// original arrival sequence number; younger arrivals keep their place
+    /// in line. Returns the number shed. The overload ladder's final rung
+    /// calls this, which is what guarantees the armed path terminates: a
+    /// stuck queue holds the controller at the shed rung until the queue
+    /// drains.
+    pub(crate) fn shed_stale_parked(&mut self, max_wait_cycles: f64) -> u64 {
+        let now = self.now;
+        let mut shed = 0u64;
+        let mut kept = VecDeque::with_capacity(self.parked.len());
+        while let Some((seq, adm)) = self.parked.pop_front() {
+            if now - adm.at_cycles() > max_wait_cycles + EPS {
+                shed += 1;
+                self.emit(SimEvent::RequestShed {
+                    arrival: seq,
+                    at: now,
+                });
+            } else {
+                kept.push_back((seq, adm));
+            }
+        }
+        self.parked = kept;
+        shed
+    }
+
+    /// Seats one arrival: claims a context-table slot, initializes its
+    /// execution state (first operator fetching, counters zeroed), and
+    /// emits [`SimEvent::TenantAdmitted`]. A full table parks the arrival
+    /// when overload queueing is on, and rejects it otherwise —
+    /// [`SimEvent::AdmissionRejected`] — and the run goes on.
+    fn seat_tenant(&mut self, seq: usize, adm: &Admission) -> V10Result<()> {
         let now = self.now;
         let id = match self.table.admit(adm.spec().priority(), now) {
             Ok(id) => id,
             Err(err) => {
                 // Spec priorities were validated at construction, so the
-                // only reachable failure is a full table: count it as a
-                // rejection. Anything else is a real error.
+                // only reachable failure is a full table: park or count it
+                // as a rejection. Anything else is a real error.
                 if !self.table.is_full() {
                     return Err(err);
+                }
+                if self.queue_on_full {
+                    self.parked.push_back((seq, adm.clone()));
+                    return Ok(());
                 }
                 self.rejected += 1;
                 self.emit(SimEvent::AdmissionRejected {
@@ -480,6 +560,13 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                 *owner = None;
             }
         }
+        while let Some((seq, _)) = self.parked.pop_front() {
+            self.rejected += 1;
+            self.emit(SimEvent::AdmissionRejected {
+                arrival: seq,
+                at: now,
+            });
+        }
         while self.pending.pop_front().is_some() {
             let seq = self.arrival_seq;
             self.arrival_seq += 1;
@@ -556,9 +643,12 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             })
     }
 
-    /// Has every arrival been served and every tenant met its quota?
+    /// Has every arrival been served (none pending, none parked) and every
+    /// tenant met its quota?
     pub(crate) fn all_done(&self) -> bool {
-        self.pending.is_empty() && self.wls.iter().all(|w| w.completed >= w.quota)
+        self.pending.is_empty()
+            && self.parked.is_empty()
+            && self.wls.iter().all(|w| w.completed >= w.quota)
     }
 
     /// Validates a proposed time step: rejects a horizon with no pending

@@ -32,6 +32,15 @@
 //! * [`observer`] — zero-cost-when-disabled instrumentation: the engine
 //!   event stream ([`SimEvent`]) behind the [`SimObserver`] trait, with
 //!   built-in [`CounterObserver`] and [`JsonLinesObserver`] sinks.
+//! * [`overload`] — the SLO-aware overload control plane
+//!   ([`OverloadController`]): queue-on-full admission, a hysteresis-guarded
+//!   graceful-degradation ladder (priority demotion → slice shrink → quota
+//!   trim → deadline shed), and a starvation watchdog, all bit-identical to
+//!   plain serving when disarmed ([`serve_design_overloaded`]).
+//! * [`audit`] — online invariant auditing ([`RuntimeAuditor`]): a
+//!   [`SimObserver`] that checks clock monotonicity, tenancy lifecycle, and
+//!   conservation (admitted = completed + rejected + shed) during the run
+//!   and reconciles against the final [`RunReport`].
 //! * [`overhead`] — the hardware-cost model of Table 3.
 //!
 //! Both executors drive the same event-loop core (the crate-private
@@ -79,6 +88,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod audit;
 pub mod context;
 pub mod design;
 pub mod engine;
@@ -87,19 +97,25 @@ pub mod lifecycle;
 pub mod metrics;
 pub mod observer;
 pub mod overhead;
+pub mod overload;
 pub mod packed;
 pub mod pmt;
 pub mod policy;
 
+pub use audit::RuntimeAuditor;
 pub use context::{ContextTable, WorkloadId};
 pub use design::{
-    run_design, serve_design, serve_design_faulted, serve_design_faulted_observed, Design,
+    run_design, serve_design, serve_design_faulted, serve_design_faulted_observed,
+    serve_design_overloaded, serve_design_overloaded_observed, Design,
 };
 pub use engine::{RunOptions, V10Engine, WorkloadSpec};
 pub use lifecycle::{Admission, AdmissionSchedule};
 pub use metrics::{OverlapBreakdown, RunReport, WorkloadReport};
 pub use observer::{CounterObserver, JsonLinesObserver, NullObserver, SimEvent, SimObserver};
 pub use overhead::{estimate_overhead, SchedulerOverhead, TABLE3_PUBLISHED};
+pub use overload::{
+    DegradationRung, OverloadController, OverloadPolicy, OverloadPressure, OverloadStats,
+};
 pub use packed::{
     pack_row, parse_table_image, snapshot_table, unpack_row, PackedRowFields, FIG11_TABLE_ROWS,
 };

@@ -16,6 +16,8 @@
 use v10_sim::convert::{u64_to_f64, usize_to_f64};
 use v10_sim::Percentiles;
 
+use crate::overload::OverloadStats;
+
 /// Wall-clock partition of a run by which FU kinds were busy (Fig. 17).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OverlapBreakdown {
@@ -273,6 +275,7 @@ pub struct RunReport {
     hbm_peak_bytes_per_cycle: f64,
     fu_pairs: u32,
     rejected_admissions: u64,
+    overload: OverloadStats,
     workloads: Vec<WorkloadReport>,
 }
 
@@ -307,8 +310,23 @@ impl RunReport {
             hbm_peak_bytes_per_cycle,
             fu_pairs,
             rejected_admissions,
+            overload: OverloadStats::default(),
             workloads,
         }
+    }
+
+    /// Installs the overload-control counters (armed serving entry points
+    /// only; every other run keeps the all-zero default).
+    pub(crate) fn set_overload_stats(&mut self, stats: OverloadStats) {
+        self.overload = stats;
+    }
+
+    /// The overload control plane's action counters for this run. All zero
+    /// unless the run went through an armed
+    /// [`serve_overloaded`](crate::V10Engine::serve_overloaded).
+    #[must_use]
+    pub fn overload_stats(&self) -> &OverloadStats {
+        &self.overload
     }
 
     /// Simulated cycles until every workload reached its request target.

@@ -157,6 +157,47 @@ pub enum SimEvent {
         /// Simulated cycle of the shedding decision.
         at: f64,
     },
+    /// The overload controller crossed its entry threshold and armed the
+    /// graceful-degradation ladder.
+    OverloadEntered {
+        /// Arrivals waiting in the pending queue at detection time.
+        queue_depth: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// The controller applied (or escalated to) a degradation rung.
+    DegradationApplied {
+        /// Ladder rung index (1 = priority demotion .. 4 = deadline shed).
+        rung: usize,
+        /// The tenant the rung acted on, when it singled one out.
+        workload: Option<usize>,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// The controller observed sustained calm and stood the ladder down.
+    OverloadCleared {
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// The starvation watchdog saw a tenant's priority-weighted active rate
+    /// pinned below its bound for a full observation window.
+    TenantStarved {
+        /// Index of the starved workload.
+        workload: usize,
+        /// The tenant's priority-weighted active rate at detection.
+        active_rate_p: f64,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// The watchdog raised a starved tenant's priority.
+    WatchdogBoost {
+        /// Index of the boosted workload.
+        workload: usize,
+        /// The tenant's priority after the boost.
+        priority: f64,
+        /// Simulated cycle.
+        at: f64,
+    },
 }
 
 impl SimEvent {
@@ -181,6 +222,11 @@ impl SimEvent {
             SimEvent::CoreRetired { .. } => "core_retired",
             SimEvent::RequestRequeued { .. } => "request_requeued",
             SimEvent::RequestShed { .. } => "request_shed",
+            SimEvent::OverloadEntered { .. } => "overload_entered",
+            SimEvent::DegradationApplied { .. } => "degradation_applied",
+            SimEvent::OverloadCleared { .. } => "overload_cleared",
+            SimEvent::TenantStarved { .. } => "tenant_starved",
+            SimEvent::WatchdogBoost { .. } => "watchdog_boost",
         }
     }
 
@@ -203,7 +249,12 @@ impl SimEvent {
             | SimEvent::OpReplayed { at, .. }
             | SimEvent::CoreRetired { at }
             | SimEvent::RequestRequeued { at, .. }
-            | SimEvent::RequestShed { at, .. } => at,
+            | SimEvent::RequestShed { at, .. }
+            | SimEvent::OverloadEntered { at, .. }
+            | SimEvent::DegradationApplied { at, .. }
+            | SimEvent::OverloadCleared { at }
+            | SimEvent::TenantStarved { at, .. }
+            | SimEvent::WatchdogBoost { at, .. } => at,
         }
     }
 }
@@ -250,6 +301,11 @@ pub struct CounterObserver {
     core_retired: u64,
     request_requeued: u64,
     request_shed: u64,
+    overload_entered: u64,
+    degradation_applied: u64,
+    overload_cleared: u64,
+    tenant_starved: u64,
+    watchdog_boost: u64,
 }
 
 impl CounterObserver {
@@ -355,6 +411,36 @@ impl CounterObserver {
         self.request_shed
     }
 
+    /// Overload-entry detections by the controller.
+    #[must_use]
+    pub fn overload_entered(&self) -> u64 {
+        self.overload_entered
+    }
+
+    /// Degradation-ladder rung applications.
+    #[must_use]
+    pub fn degradation_applied(&self) -> u64 {
+        self.degradation_applied
+    }
+
+    /// Overload-clear (stand-down) detections by the controller.
+    #[must_use]
+    pub fn overload_cleared(&self) -> u64 {
+        self.overload_cleared
+    }
+
+    /// Starvation detections by the watchdog.
+    #[must_use]
+    pub fn tenant_starved(&self) -> u64 {
+        self.tenant_starved
+    }
+
+    /// Priority boosts issued by the watchdog.
+    #[must_use]
+    pub fn watchdog_boost(&self) -> u64 {
+        self.watchdog_boost
+    }
+
     /// Sum over all event kinds.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -374,6 +460,11 @@ impl CounterObserver {
             + self.core_retired
             + self.request_requeued
             + self.request_shed
+            + self.overload_entered
+            + self.degradation_applied
+            + self.overload_cleared
+            + self.tenant_starved
+            + self.watchdog_boost
     }
 }
 
@@ -397,6 +488,11 @@ impl SimObserver for CounterObserver {
             SimEvent::CoreRetired { .. } => &mut self.core_retired,
             SimEvent::RequestRequeued { .. } => &mut self.request_requeued,
             SimEvent::RequestShed { .. } => &mut self.request_shed,
+            SimEvent::OverloadEntered { .. } => &mut self.overload_entered,
+            SimEvent::DegradationApplied { .. } => &mut self.degradation_applied,
+            SimEvent::OverloadCleared { .. } => &mut self.overload_cleared,
+            SimEvent::TenantStarved { .. } => &mut self.tenant_starved,
+            SimEvent::WatchdogBoost { .. } => &mut self.watchdog_boost,
         };
         *slot += 1;
     }
@@ -512,6 +608,24 @@ impl<W: Write> SimObserver for JsonLinesObserver<W> {
             SimEvent::CoreRetired { .. } => format!("{{\"event\":\"{name}\",\"at\":{at}}}"),
             SimEvent::RequestRequeued { arrival, from_core, to_core, .. } => format!(
                 "{{\"event\":\"{name}\",\"arrival\":{arrival},\"from_core\":{from_core},\"to_core\":{to_core},\"at\":{at}}}"
+            ),
+            SimEvent::OverloadEntered { queue_depth, .. } => format!(
+                "{{\"event\":\"{name}\",\"queue_depth\":{queue_depth},\"at\":{at}}}"
+            ),
+            SimEvent::DegradationApplied { rung, workload, .. } => {
+                let victim = workload.map_or("null".to_string(), |w| w.to_string());
+                format!(
+                    "{{\"event\":\"{name}\",\"rung\":{rung},\"workload\":{victim},\"at\":{at}}}"
+                )
+            }
+            SimEvent::OverloadCleared { .. } => format!("{{\"event\":\"{name}\",\"at\":{at}}}"),
+            SimEvent::TenantStarved { workload, active_rate_p, .. } => format!(
+                "{{\"event\":\"{name}\",\"workload\":{workload},\"active_rate_p\":{},\"at\":{at}}}",
+                fmt_cycles(active_rate_p)
+            ),
+            SimEvent::WatchdogBoost { workload, priority, .. } => format!(
+                "{{\"event\":\"{name}\",\"workload\":{workload},\"priority\":{},\"at\":{at}}}",
+                fmt_cycles(priority)
             ),
         };
         if writeln!(self.sink, "{line}").is_err() {
@@ -720,6 +834,216 @@ mod tests {
         assert_eq!(
             lines[5],
             "{\"event\":\"request_shed\",\"arrival\":3,\"at\":11}"
+        );
+    }
+
+    #[test]
+    fn overload_events_count_name_and_encode() {
+        let mut c = CounterObserver::new();
+        let mut buf = Vec::new();
+        {
+            let mut obs = JsonLinesObserver::new(&mut buf);
+            let events = [
+                SimEvent::OverloadEntered {
+                    queue_depth: 5,
+                    at: 3.0,
+                },
+                SimEvent::DegradationApplied {
+                    rung: 1,
+                    workload: Some(2),
+                    at: 4.0,
+                },
+                SimEvent::DegradationApplied {
+                    rung: 4,
+                    workload: None,
+                    at: 5.0,
+                },
+                SimEvent::OverloadCleared { at: 9.0 },
+                SimEvent::TenantStarved {
+                    workload: 1,
+                    active_rate_p: 0.125,
+                    at: 10.0,
+                },
+                SimEvent::WatchdogBoost {
+                    workload: 1,
+                    priority: 2.0,
+                    at: 10.0,
+                },
+            ];
+            for e in events {
+                c.on_event(e);
+                obs.on_event(e);
+            }
+            assert_eq!(obs.write_errors(), 0);
+        }
+        assert_eq!(c.overload_entered(), 1);
+        assert_eq!(c.degradation_applied(), 2);
+        assert_eq!(c.overload_cleared(), 1);
+        assert_eq!(c.tenant_starved(), 1);
+        assert_eq!(c.watchdog_boost(), 1);
+        assert_eq!(c.total(), 6);
+
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"overload_entered\",\"queue_depth\":5,\"at\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"degradation_applied\",\"rung\":1,\"workload\":2,\"at\":4}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"event\":\"degradation_applied\",\"rung\":4,\"workload\":null,\"at\":5}"
+        );
+        assert_eq!(lines[3], "{\"event\":\"overload_cleared\",\"at\":9}");
+        assert_eq!(
+            lines[4],
+            "{\"event\":\"tenant_starved\",\"workload\":1,\"active_rate_p\":0.125,\"at\":10}"
+        );
+        assert_eq!(
+            lines[5],
+            "{\"event\":\"watchdog_boost\",\"workload\":1,\"priority\":2,\"at\":10}"
+        );
+    }
+
+    /// One event per variant. The `match` below carries no wildcard arm, so
+    /// adding a `SimEvent` variant without extending this list is a compile
+    /// error — and the counter assertions then force the new variant into
+    /// `CounterObserver::total()` before the test goes green again.
+    #[test]
+    fn every_event_variant_is_counted_in_total() {
+        let one_of_each = [
+            SimEvent::OpIssued {
+                workload: 0,
+                fu: 0,
+                kind: FuKind::Sa,
+                op_id: 0,
+                at: 0.0,
+            },
+            SimEvent::OpCompleted {
+                workload: 0,
+                op_id: 0,
+                at: 1.0,
+            },
+            SimEvent::RequestCompleted {
+                workload: 0,
+                latency_cycles: 1.0,
+                at: 2.0,
+            },
+            SimEvent::OpPreempted {
+                workload: 0,
+                fu: 0,
+                at: 3.0,
+            },
+            SimEvent::CtxSwitchStarted {
+                fu: 0,
+                cost_cycles: 1.0,
+                at: 4.0,
+            },
+            SimEvent::CtxSwitchEnded { fu: 0, at: 5.0 },
+            SimEvent::DmaReady {
+                workload: 0,
+                op_id: 1,
+                at: 6.0,
+            },
+            SimEvent::TimerTick { at: 7.0 },
+            SimEvent::TenantAdmitted {
+                workload: 0,
+                at: 8.0,
+            },
+            SimEvent::TenantRetired {
+                workload: 0,
+                at: 9.0,
+            },
+            SimEvent::AdmissionRejected {
+                arrival: 0,
+                at: 10.0,
+            },
+            SimEvent::FaultInjected {
+                fault: 0,
+                kind: FaultKind::CoreRetire,
+                workload: None,
+                at: 11.0,
+            },
+            SimEvent::OpReplayed {
+                workload: 0,
+                op_id: 2,
+                cost_cycles: 1.0,
+                at: 12.0,
+            },
+            SimEvent::CoreRetired { at: 13.0 },
+            SimEvent::RequestRequeued {
+                arrival: 0,
+                from_core: 0,
+                to_core: 1,
+                at: 14.0,
+            },
+            SimEvent::RequestShed {
+                arrival: 1,
+                at: 15.0,
+            },
+            SimEvent::OverloadEntered {
+                queue_depth: 1,
+                at: 16.0,
+            },
+            SimEvent::DegradationApplied {
+                rung: 1,
+                workload: None,
+                at: 17.0,
+            },
+            SimEvent::OverloadCleared { at: 18.0 },
+            SimEvent::TenantStarved {
+                workload: 0,
+                active_rate_p: 0.5,
+                at: 19.0,
+            },
+            SimEvent::WatchdogBoost {
+                workload: 0,
+                priority: 2.0,
+                at: 20.0,
+            },
+        ];
+
+        // Exhaustiveness guard: within the defining crate, a wildcard-free
+        // match over a #[non_exhaustive] enum must still cover every variant.
+        let is_listed = |e: &SimEvent| match e {
+            SimEvent::OpIssued { .. }
+            | SimEvent::OpCompleted { .. }
+            | SimEvent::RequestCompleted { .. }
+            | SimEvent::OpPreempted { .. }
+            | SimEvent::CtxSwitchStarted { .. }
+            | SimEvent::CtxSwitchEnded { .. }
+            | SimEvent::DmaReady { .. }
+            | SimEvent::TimerTick { .. }
+            | SimEvent::TenantAdmitted { .. }
+            | SimEvent::TenantRetired { .. }
+            | SimEvent::AdmissionRejected { .. }
+            | SimEvent::FaultInjected { .. }
+            | SimEvent::OpReplayed { .. }
+            | SimEvent::CoreRetired { .. }
+            | SimEvent::RequestRequeued { .. }
+            | SimEvent::RequestShed { .. }
+            | SimEvent::OverloadEntered { .. }
+            | SimEvent::DegradationApplied { .. }
+            | SimEvent::OverloadCleared { .. }
+            | SimEvent::TenantStarved { .. }
+            | SimEvent::WatchdogBoost { .. } => true,
+        };
+
+        let mut c = CounterObserver::new();
+        let mut names = std::collections::BTreeSet::new();
+        for e in one_of_each {
+            assert!(is_listed(&e));
+            c.on_event(e);
+            assert!(names.insert(e.name()), "duplicate event name {}", e.name());
+        }
+        // Every variant appeared exactly once, so a variant missing from
+        // total()'s sum makes the count come up short.
+        assert_eq!(
+            c.total(),
+            v10_sim::convert::u64_from_usize(one_of_each.len())
         );
     }
 

@@ -505,6 +505,23 @@ mod tests {
     }
 
     #[test]
+    fn pmt_event_stream_passes_the_runtime_auditor() {
+        let mut auditor = crate::audit::RuntimeAuditor::new();
+        let report = run_pmt_observed(
+            &[
+                spec("a", vec![sa(50_000), vu(5_000)]),
+                spec("b", vec![sa(5_000), vu(50_000)]),
+            ],
+            &NpuConfig::table5(),
+            &RunOptions::new(4).unwrap(),
+            &mut auditor,
+        )
+        .unwrap();
+        auditor.reconcile(&report);
+        assert!(auditor.is_clean(), "violations: {:?}", auditor.violations());
+    }
+
+    #[test]
     fn pmt_never_overlaps_sa_and_vu() {
         let r = run_pmt(
             &[

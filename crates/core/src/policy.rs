@@ -203,6 +203,23 @@ mod tests {
     }
 
     #[test]
+    fn demotion_reorders_priority_picks() {
+        // The overload ladder's rung 1 acts purely through Algorithm 1:
+        // cutting a tenant's priority inflates its active_rate_p, so the
+        // scheduler stops favoring it on the very next pick.
+        let mut t = ready_table(2, FuKind::Sa);
+        let (a, b) = (WorkloadId::new(0), WorkloadId::new(1));
+        t.add_active_cycles(a, 400.0);
+        t.add_active_cycles(b, 600.0);
+        let mut s = Scheduler::new(Policy::Priority);
+        // At equal priority, `a` is the more starved (lower active rate).
+        assert_eq!(s.pick_next(&t, FuKind::Sa, 1_000.0), Some(a));
+        // Demote `a` 4x: its arp quadruples past `b`'s and the pick flips.
+        t.set_priority(a, 0.25).unwrap();
+        assert_eq!(s.pick_next(&t, FuKind::Sa, 1_000.0), Some(b));
+    }
+
+    #[test]
     fn kind_mismatch_yields_none() {
         let t = ready_table(2, FuKind::Sa);
         let mut s = Scheduler::new(Policy::Priority);

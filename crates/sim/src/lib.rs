@@ -58,5 +58,5 @@ pub use error::{V10Error, V10Result};
 pub use events::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use rng::SimRng;
-pub use stats::{Histogram, OnlineStats, Percentiles};
+pub use stats::{Histogram, LatencySummary, OnlineStats, Percentiles};
 pub use time::{Cycle, CycleCount, Frequency};

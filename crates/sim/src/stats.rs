@@ -362,6 +362,94 @@ impl Histogram {
     }
 }
 
+/// One-shot summary of a latency sample set: count, mean, and the p50 /
+/// p95 / p99 order statistics every serving experiment reports.
+///
+/// All quantiles use the [`Percentiles`] convention (linear interpolation
+/// between order statistics), so every consumer — the serving benches and
+/// the cluster recovery ledger — aggregates tails identically instead of
+/// each rolling its own rank arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use v10_sim::LatencySummary;
+/// let s = LatencySummary::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.p50(), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// assert!(LatencySummary::from_samples(&[]).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    count: usize,
+    mean: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set, or `None` when it is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN (the [`Percentiles`] contract).
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut p: Percentiles = samples.iter().copied().collect();
+        Some(LatencySummary {
+            count: samples.len(),
+            mean: p.mean(),
+            p50: p.median()?,
+            p95: p.p95()?,
+            p99: p.quantile(0.99)?,
+            max: p.quantile(1.0)?,
+        })
+    }
+
+    /// Number of samples summarized (always non-zero).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Median (interpolated 0.5 quantile).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.p50
+    }
+
+    /// Interpolated 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.p95
+    }
+
+    /// Interpolated 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.p99
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +558,28 @@ mod tests {
     fn histogram_rejects_empty_range() {
         let _ = Histogram::new(1.0, 1.0, 4);
     }
+
+    #[test]
+    fn latency_summary_empty_is_none() {
+        assert!(LatencySummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn latency_summary_single_sample_is_degenerate() {
+        let s = LatencySummary::from_samples(&[9.0]).unwrap();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 9.0);
+        assert_eq!(s.p50(), 9.0);
+        assert_eq!(s.p95(), 9.0);
+        assert_eq!(s.p99(), 9.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn latency_summary_rejects_nan() {
+        let _ = LatencySummary::from_samples(&[1.0, f64::NAN]);
+    }
 }
 
 #[cfg(test)]
@@ -510,6 +620,24 @@ mod seeded_tests {
             let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
             let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             assert!(vlo >= min - 1e-9 && vhi <= max + 1e-9, "case {case}");
+        }
+    }
+
+    /// The summary's quantiles agree with a [`Percentiles`] built from the
+    /// same samples, whatever the sample order.
+    #[test]
+    fn latency_summary_matches_percentiles() {
+        let mut rng = SimRng::seed_from(0x1A7E);
+        for case in 0..64 {
+            let n = 1 + rng.index(120);
+            let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 1e7)).collect();
+            let s = LatencySummary::from_samples(&xs).unwrap();
+            let mut p: Percentiles = xs.iter().copied().collect();
+            assert_eq!(s.count(), xs.len(), "case {case}");
+            assert_eq!(s.p50().to_bits(), p.median().unwrap().to_bits());
+            assert_eq!(s.p95().to_bits(), p.p95().unwrap().to_bits());
+            assert_eq!(s.p99().to_bits(), p.quantile(0.99).unwrap().to_bits());
+            assert!(s.p50() <= s.p95() && s.p95() <= s.p99() && s.p99() <= s.max());
         }
     }
 

@@ -44,7 +44,7 @@ pub mod scenario;
 pub mod synth;
 pub mod zoo;
 
-pub use arrivals::{OpenLoopProcess, TimedArrival};
+pub use arrivals::{MmppProcess, MmppState, OpenLoopProcess, TimedArrival};
 pub use features::{FeatureVector, FEATURE_NAMES};
 pub use model::Model;
 pub use pairs::{PAIRS_EVAL, PAIRS_FIG9};

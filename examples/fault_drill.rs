@@ -44,6 +44,20 @@ fn op(kind: FuKind, cycles: u64) -> OpDesc {
     OpDesc::builder(kind).compute_cycles(cycles).build()
 }
 
+/// Drains the observer's sink, refusing to present a lossy timeline: any
+/// dropped event line aborts the drill with a nonzero exit.
+fn drain_checked(observer: JsonLinesObserver<Vec<u8>>) -> Vec<u8> {
+    if observer.write_errors() > 0 {
+        eprintln!(
+            "fault_drill: JSON-lines sink dropped {} event line(s); \
+             refusing to print a lossy timeline",
+            observer.write_errors()
+        );
+        std::process::exit(1);
+    }
+    observer.into_inner()
+}
+
 fn print_timeline(json_lines: &[u8]) {
     let text = String::from_utf8_lossy(json_lines);
     for line in text.lines() {
@@ -110,7 +124,7 @@ fn single_core_drill() {
     .expect("faulted drill run");
 
     println!("Recovery timeline (from the JSON-lines observer):");
-    print_timeline(&observer.into_inner());
+    print_timeline(&drain_checked(observer));
 
     println!("\nOutcome:");
     for wl in report.workloads() {
@@ -192,7 +206,7 @@ fn cluster_requeue_drill() {
         .expect("faulted cluster serve");
 
     println!("\nController decisions during recovery (JSON-lines stream):");
-    let drained = observer.into_inner();
+    let drained = drain_checked(observer);
     let text = String::from_utf8_lossy(&drained);
     let mut any = false;
     for line in text.lines() {

@@ -1,0 +1,377 @@
+//! Overload control-plane integration tests: bursty MMPP arrival streams
+//! against the graceful-degradation ladder, the starvation watchdog, and
+//! the runtime invariant auditor.
+//!
+//! Pins the three contracts the control plane ships with:
+//!
+//! * **Disarmed = plain.** A disarmed [`OverloadController`] is a strict
+//!   no-op: bit-identical digests against `serve_design`, for every design,
+//!   no matter how many threads the runs are spread across.
+//! * **Armed beats hard rejection.** Under a 2× flash crowd on a small
+//!   context table, parking the overflow and browning out beats bouncing
+//!   arrivals: strictly more requests complete with zero hard rejections.
+//! * **Nobody starves past the watchdog bound.** Every admitted tenant
+//!   completes at least one request, and a tenant pinned below the
+//!   active-rate bound gets boosted within its window.
+//!
+//! Every armed run replays through a [`RuntimeAuditor`] and must come out
+//! clean, including the [`RunReport`] reconciliation.
+
+use v10::core::{
+    serve_design, serve_design_overloaded, serve_design_overloaded_observed, Admission,
+    AdmissionSchedule, Design, OverloadController, OverloadPolicy, RunOptions, RunReport,
+    RuntimeAuditor, WorkloadSpec,
+};
+use v10::npu::NpuConfig;
+use v10::workloads::{MmppProcess, Model, OpenLoopProcess};
+
+/// Context-table slots: small on purpose, so the flash crowd overflows it.
+const TABLE_SLOTS: usize = 4;
+
+fn digest(r: &RunReport) -> Vec<u64> {
+    let mut d = vec![
+        r.elapsed_cycles().to_bits(),
+        r.sa_busy_cycles().to_bits(),
+        r.vu_busy_cycles().to_bits(),
+        r.switch_overhead_cycles().to_bits(),
+        r.overlap().both.to_bits(),
+        r.overlap().idle.to_bits(),
+        r.hbm_util().to_bits(),
+        r.rejected_admissions(),
+        r.overload_stats().degradations(),
+        r.overload_stats().shed_requests(),
+        r.overload_stats().boosts(),
+        r.overload_stats().overload_cycles().to_bits(),
+    ];
+    for wl in r.workloads() {
+        d.push(wl.completed_requests() as u64);
+        d.push(wl.preemptions());
+        d.push(wl.busy_sa_cycles().to_bits());
+        d.push(wl.priority().to_bits());
+        for &lat in wl.latencies_cycles() {
+            d.push(lat.to_bits());
+        }
+    }
+    d
+}
+
+/// A seeded flash-crowd schedule over three light models.
+fn flash_schedule(burst_factor: f64) -> AdmissionSchedule {
+    const MODELS: [Model; 3] = [Model::Mnist, Model::Dlrm, Model::Ncf];
+    let arrivals = MmppProcess::flash_crowd(&MODELS, 6.0e6, burst_factor, 2.0e7, 0xC0FFEE ^ 0x6)
+        .unwrap()
+        .with_requests_per_session(3)
+        .unwrap()
+        .with_think_cycles(2.5e5)
+        .unwrap()
+        .sample(24)
+        .unwrap();
+    let admissions: Vec<Admission> = arrivals
+        .iter()
+        .map(|a| {
+            Admission::new(
+                WorkloadSpec::new(a.label(), a.trace().clone()),
+                a.at_cycles(),
+                a.requests(),
+            )
+            .unwrap()
+        })
+        .collect();
+    AdmissionSchedule::new(admissions).unwrap()
+}
+
+fn serve_opts() -> RunOptions {
+    RunOptions::new(3)
+        .unwrap()
+        .with_seed(7)
+        .with_table_capacity(TABLE_SLOTS)
+        .unwrap()
+}
+
+/// Serves under the controller with the auditor attached, asserting the
+/// stream and the report reconcile cleanly.
+fn serve_audited(
+    design: Design,
+    schedule: &AdmissionSchedule,
+    opts: &RunOptions,
+    controller: OverloadController,
+) -> RunReport {
+    let mut auditor = RuntimeAuditor::new();
+    let report = serve_design_overloaded_observed(
+        design,
+        schedule,
+        &NpuConfig::table5(),
+        opts,
+        controller,
+        &mut auditor,
+    )
+    .unwrap();
+    auditor.reconcile(&report);
+    assert!(
+        auditor.is_clean(),
+        "{design:?}: auditor flagged {:?} (+{} suppressed)",
+        auditor.violations(),
+        auditor.suppressed_violations()
+    );
+    report
+}
+
+fn completed(r: &RunReport) -> usize {
+    r.workloads().iter().map(|w| w.completed_requests()).sum()
+}
+
+/// A single-state MMPP is exactly the Poisson stream the plain open-loop
+/// process emits, so serving either schedule is the same run, bit for bit.
+#[test]
+fn single_state_mmpp_serves_identically_to_poisson() {
+    const MODELS: [Model; 3] = [Model::Mnist, Model::Dlrm, Model::Ncf];
+    let schedule_of = |arrivals: Vec<v10::workloads::TimedArrival>| {
+        AdmissionSchedule::new(
+            arrivals
+                .iter()
+                .map(|a| {
+                    Admission::new(
+                        WorkloadSpec::new(a.label(), a.trace().clone()),
+                        a.at_cycles(),
+                        a.requests(),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    };
+    let mmpp = schedule_of(
+        MmppProcess::single_state(&MODELS, 5.0e6, 0xFEED)
+            .unwrap()
+            .with_think_cycles(2.5e5)
+            .unwrap()
+            .sample(10)
+            .unwrap(),
+    );
+    let poisson = schedule_of(
+        OpenLoopProcess::new(&MODELS, 5.0e6, 0xFEED)
+            .unwrap()
+            .with_requests_per_session(4)
+            .unwrap()
+            .with_think_cycles(2.5e5)
+            .unwrap()
+            .sample(10)
+            .unwrap(),
+    );
+    let opts = serve_opts();
+    let cfg = NpuConfig::table5();
+    let a = serve_design(Design::V10Full, &mmpp, &cfg, &opts).unwrap();
+    let b = serve_design(Design::V10Full, &poisson, &cfg, &opts).unwrap();
+    assert_eq!(digest(&a), digest(&b));
+}
+
+/// The disarmed control plane must be a strict no-op against plain serving
+/// — for every design, bit for bit, across 1/2/4-thread fan-outs. The
+/// armed V10 digests must also replay identically across thread counts.
+#[test]
+fn disarmed_overload_serving_is_bit_identical_to_plain_across_threads() {
+    let serve_plain = |design: Design| {
+        let schedule = flash_schedule(2.0);
+        digest(&serve_design(design, &schedule, &NpuConfig::table5(), &serve_opts()).unwrap())
+    };
+    let serve_controlled = |design: Design, armed: bool| {
+        let schedule = flash_schedule(2.0);
+        let controller = if armed {
+            OverloadController::armed(OverloadPolicy::default())
+        } else {
+            OverloadController::disarmed()
+        };
+        digest(
+            &serve_design_overloaded(
+                design,
+                &schedule,
+                &NpuConfig::table5(),
+                &serve_opts(),
+                controller,
+            )
+            .unwrap(),
+        )
+    };
+
+    // (a) Disarmed == plain, every design (PMT's disarmed path included).
+    for &design in &Design::ALL {
+        assert_eq!(
+            serve_plain(design),
+            serve_controlled(design, false),
+            "{design:?}: a disarmed controller perturbed the run"
+        );
+    }
+
+    // (b) Armed runs on the V10 designs actually differ from plain (the
+    // crowd overflows the 4-slot table, so the control plane must act)...
+    let armed_designs = [Design::V10Base, Design::V10Fair, Design::V10Full];
+    let sequential: Vec<Vec<u64>> = armed_designs
+        .iter()
+        .map(|&d| serve_controlled(d, true))
+        .collect();
+    for (i, d) in sequential.iter().enumerate() {
+        assert_ne!(
+            *d,
+            serve_plain(armed_designs[i]),
+            "{:?}: the armed controller never acted",
+            armed_designs[i]
+        );
+    }
+
+    // ...and replay bit-identically across thread counts.
+    for threads in [2usize, 4] {
+        let mut parallel: Vec<Option<Vec<u64>>> = vec![None; armed_designs.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk_start in (0..armed_designs.len()).step_by(threads.max(1)) {
+                let chunk: Vec<usize> =
+                    (chunk_start..(chunk_start + threads).min(armed_designs.len())).collect();
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|i| (i, serve_controlled(armed_designs[i], true)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (i, d) in h.join().expect("overloaded serving thread panicked") {
+                    parallel[i] = Some(d);
+                }
+            }
+        });
+        for (i, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+            let par = par.as_ref().expect("every design served");
+            assert_eq!(
+                seq, par,
+                "{:?} armed digest diverged between sequential and {threads}-thread runs",
+                armed_designs[i]
+            );
+        }
+    }
+}
+
+/// Under a 2× flash crowd on the small table, the armed controller parks
+/// the overflow instead of bouncing it: strictly more requests complete,
+/// nothing is hard-rejected, and the ladder visibly acted. Both runs audit
+/// clean.
+#[test]
+fn armed_controller_beats_hard_rejection_under_a_2x_flash_crowd() {
+    let schedule = flash_schedule(2.0);
+    let opts = serve_opts();
+    let plain = serve_audited(
+        Design::V10Full,
+        &schedule,
+        &opts,
+        OverloadController::disarmed(),
+    );
+    let armed = serve_audited(
+        Design::V10Full,
+        &schedule,
+        &opts,
+        OverloadController::armed(OverloadPolicy::default()),
+    );
+
+    assert!(
+        plain.rejected_admissions() > 0,
+        "the crowd must overflow the table for the comparison to mean anything"
+    );
+    assert_eq!(
+        armed.rejected_admissions(),
+        0,
+        "queue-on-full admission must absorb the overflow"
+    );
+    assert!(
+        completed(&armed) > completed(&plain),
+        "armed goodput {} must strictly beat uncontrolled {}",
+        completed(&armed),
+        completed(&plain)
+    );
+    let stats = armed.overload_stats();
+    assert!(
+        stats.overload_entries() > 0,
+        "the controller never sensed the burst"
+    );
+    assert!(stats.degradations() > 0, "the ladder never acted");
+    assert_eq!(
+        stats.overload_entries(),
+        stats.overload_clears(),
+        "every overload episode must clear by the end of the run"
+    );
+    assert!(stats.overload_cycles() > 0.0);
+
+    // Conservation: every offered session is accounted for — served some
+    // requests, was hard-rejected, or had parked work shed.
+    assert_eq!(
+        armed.workloads().len() + stats.shed_requests() as usize,
+        schedule.len(),
+        "armed run lost track of a tenant"
+    );
+}
+
+/// Under the priority-blind round-robin baseline, a high-priority tenant
+/// only ever gets a 1-in-N share, so its priority-normalized active rate
+/// (`active_rate_p`) sits far below the watchdog bound — the scheduler
+/// will never repair that, so the watchdog must: starvation detections
+/// fire, boosts follow (never exceeding detections), the boost is visible
+/// in the tenant's final priority, and every admitted tenant still
+/// completes requests. The whole stream audits clean.
+#[test]
+fn watchdog_boosts_starving_tenants_and_nobody_is_left_behind() {
+    // One 16×-priority tenant against three peers the round-robin policy
+    // treats identically, all resident from cycle 0 with equal quotas.
+    let starved = WorkloadSpec::new("starved", Model::Dlrm.default_profile().synthesize(5))
+        .with_priority(16.0)
+        .unwrap();
+    let mut admissions = vec![Admission::new(starved, 0.0, 8).unwrap()];
+    for (i, seed) in [6u64, 7, 8].iter().enumerate() {
+        let spec = WorkloadSpec::new(
+            format!("peer-{i}"),
+            Model::Dlrm.default_profile().synthesize(*seed),
+        );
+        admissions.push(Admission::new(spec, 0.0, 8).unwrap());
+    }
+    let schedule = AdmissionSchedule::new(admissions).unwrap();
+    let opts = RunOptions::new(8).unwrap().with_seed(7);
+    let policy = OverloadPolicy::default()
+        .with_sense_interval_cycles(2.0e5)
+        .unwrap()
+        .with_watchdog(1.0e6, 0.1, 4.0, 256.0)
+        .unwrap();
+    let report = serve_audited(
+        Design::V10Base,
+        &schedule,
+        &opts,
+        OverloadController::armed(policy),
+    );
+
+    let stats = report.overload_stats();
+    assert!(
+        stats.starvations() > 0,
+        "the under-served high-priority tenant must trip the watchdog"
+    );
+    assert!(
+        stats.boosts() > 0,
+        "a starved tenant below the priority cap must be boosted"
+    );
+    assert!(
+        stats.boosts() <= stats.starvations(),
+        "boosts only happen on starvation detections"
+    );
+    let starved_report = report
+        .workloads()
+        .iter()
+        .find(|w| w.label() == "starved")
+        .expect("the starved tenant was admitted at cycle 0");
+    assert!(
+        starved_report.priority() > 16.0,
+        "the boost must be visible in the final priority"
+    );
+    for wl in report.workloads() {
+        assert!(
+            wl.completed_requests() >= 1,
+            "{} was admitted but never served a request",
+            wl.label()
+        );
+    }
+}
