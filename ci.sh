@@ -26,6 +26,12 @@ cargo bench --workspace --no-run -q
 echo "==> serving_overload bench (smoke run, fixed thread pool)"
 V10_BENCH_THREADS=2 cargo bench -q -p v10-bench --bench serving_overload > /dev/null
 
+echo "==> sim_throughput bench (smoke run: schema + 0.9x throughput gate vs checked-in baseline)"
+V10_BENCH_SMOKE=1 \
+    V10_BENCH_JSON_OUT="$(mktemp -t sim_throughput.XXXXXX.json)" \
+    V10_BENCH_BASELINE="$PWD/BENCH_sim_throughput.json" \
+    cargo bench -q -p v10-bench --bench sim_throughput > /dev/null
+
 echo "==> examples (smoke tests)"
 for ex in examples/*.rs; do
     name="$(basename "$ex" .rs)"

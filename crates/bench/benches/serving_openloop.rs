@@ -5,20 +5,24 @@
 //! bounded request stream with think time, and depart. The sweep varies
 //! offered load (reciprocal mean inter-arrival time) and prints, per
 //! executor: goodput, p50/p95/p99 request latency, SLO attainment, and the
-//! admission rejection rate. Everything is deterministic — the output is
-//! byte-identical across runs and `V10_BENCH_THREADS` settings — and the
-//! sweep spans light load through saturation, where goodput plateaus and
-//! tail latency climbs.
+//! admission rejection rate. Every simulated quantity is deterministic —
+//! those tables are byte-identical across runs and `V10_BENCH_THREADS`
+//! settings — and the sweep spans light load through saturation, where
+//! goodput plateaus and tail latency climbs. The final table wall-times
+//! the heaviest load point through `v10_bench::timing` (comparable with
+//! sim_throughput and serving_overload) and is the one machine-dependent
+//! piece of output; it never feeds the simulation.
 //!
 //! Knobs: `V10_BENCH_SEED` (arrival stream seed), `V10_BENCH_SLO_FACTOR`
 //! (SLO = factor × the model's isolated request service demand, default 4).
 
 use v10_bench::sweep::parallel_map;
+use v10_bench::timing::{cycles_per_sec, fmt_cycles_per_sec, median_wall};
 use v10_bench::{fmt_pct, print_table, seed};
 use v10_core::{serve_design, Admission, AdmissionSchedule, Design, RunOptions, WorkloadSpec};
 use v10_npu::NpuConfig;
 use v10_sim::LatencySummary;
-use v10_workloads::{Model, OpenLoopProcess};
+use v10_workloads::{Model, OpenLoopProcess, TimedArrival};
 
 /// Tenant mix: four light-footprint models spanning SA- and VU-heavy
 /// behavior, so sessions stay short and the sweep stays fast.
@@ -61,14 +65,18 @@ struct ServingPoint {
     rejection_rate: f64,
 }
 
-fn run_point(design: Design, mean_interarrival: f64) -> ServingPoint {
-    let process = OpenLoopProcess::new(&MODELS, mean_interarrival, seed() ^ SEED_SALT)
+fn arrivals_for(mean_interarrival: f64) -> Vec<TimedArrival> {
+    OpenLoopProcess::new(&MODELS, mean_interarrival, seed() ^ SEED_SALT)
         .expect("positive mean inter-arrival time")
         .with_requests_per_session(REQUESTS_PER_SESSION)
         .expect("positive session quota")
         .with_think_cycles(MEAN_THINK_CYCLES)
-        .expect("non-negative think time");
-    let arrivals = process.sample(ARRIVALS).expect("non-zero arrival count");
+        .expect("non-negative think time")
+        .sample(ARRIVALS)
+        .expect("non-zero arrival count")
+}
+
+fn schedule_of(arrivals: &[TimedArrival]) -> AdmissionSchedule {
     let admissions: Vec<Admission> = arrivals
         .iter()
         .map(|a| {
@@ -80,7 +88,21 @@ fn run_point(design: Design, mean_interarrival: f64) -> ServingPoint {
             .expect("sampled arrivals are valid admissions")
         })
         .collect();
-    let schedule = AdmissionSchedule::new(admissions).expect("non-empty schedule");
+    AdmissionSchedule::new(admissions).expect("non-empty schedule")
+}
+
+fn serve_once(design: Design, schedule: &AdmissionSchedule) -> f64 {
+    let opts = RunOptions::new(REQUESTS_PER_SESSION)
+        .expect("positive request count")
+        .with_seed(seed());
+    serve_design(design, schedule, &NpuConfig::table5(), &opts)
+        .expect("valid serving run")
+        .elapsed_cycles()
+}
+
+fn run_point(design: Design, mean_interarrival: f64) -> ServingPoint {
+    let arrivals = arrivals_for(mean_interarrival);
+    let schedule = schedule_of(&arrivals);
     let opts = RunOptions::new(REQUESTS_PER_SESSION)
         .expect("positive request count")
         .with_seed(seed());
@@ -189,6 +211,27 @@ fn main() {
         &header,
         &table(&|p| fmt_pct(p.rejection_rate)),
     );
+
+    // Measured simulator throughput at the heaviest load point, wall-timed
+    // through the shared harness (`v10_bench::timing`) so this column is
+    // directly comparable with sim_throughput and serving_overload.
+    // Machine-dependent by nature; it never feeds the simulation, and
+    // every other table above stays byte-identical across machines.
+    let heaviest = MEAN_INTERARRIVAL_CYCLES[MEAN_INTERARRIVAL_CYCLES.len() - 1];
+    let schedule = schedule_of(&arrivals_for(heaviest));
+    let throughput_row: Vec<String> = std::iter::once(row_label(heaviest))
+        .chain(Design::ALL.iter().map(|&design| {
+            let cycles = serve_once(design, &schedule); // warm, untimed
+            let wall = median_wall(3, || serve_once(design, &schedule));
+            fmt_cycles_per_sec(cycles_per_sec(cycles, wall))
+        }))
+        .collect();
+    print_table(
+        "Serving (open loop) — simulator throughput (simulated cycles / wall-second; machine-dependent)",
+        &header,
+        &[throughput_row],
+    );
+
     println!(
         "{ARRIVALS} tenants per run, {REQUESTS_PER_SESSION} requests per session, \
          mean think {MEAN_THINK_CYCLES:.0} cycles; saturation shows as a goodput \

@@ -7,14 +7,19 @@
 //! intensity with the controller switch and prints goodput, p99 request
 //! latency, SLO attainment, turned-away arrivals (hard rejections when
 //! disarmed, deadline sheds when armed), ladder degradations, and watchdog
-//! boosts. Everything is deterministic — byte-identical across runs and
-//! `V10_BENCH_THREADS` settings — and the disarmed column is bit-identical
-//! to plain `serve_design` (checked every run).
+//! boosts. Every simulated quantity is deterministic — those tables are
+//! byte-identical across runs and `V10_BENCH_THREADS` settings — and the
+//! disarmed column is bit-identical to plain `serve_design` (checked every
+//! run). The final table wall-times the heaviest burst through
+//! `v10_bench::timing` (comparable with sim_throughput and
+//! serving_openloop) and is the one machine-dependent piece of output; it
+//! never feeds the simulation.
 //!
 //! Knobs: `V10_BENCH_SEED` (arrival stream seed), `V10_BENCH_SLO_FACTOR`
 //! (SLO = factor × the model's isolated request service demand, default 4).
 
 use v10_bench::sweep::parallel_map;
+use v10_bench::timing::{cycles_per_sec, fmt_cycles_per_sec, median_wall};
 use v10_bench::{fmt_pct, print_table, seed};
 use v10_core::{
     serve_design, serve_design_overloaded, Admission, AdmissionSchedule, Design,
@@ -223,6 +228,41 @@ fn main() {
         &header,
         &table(&|p| fmt_pct(p.overload_fraction)),
     );
+
+    // Measured simulator throughput at the heaviest burst, wall-timed
+    // through the shared harness (`v10_bench::timing`) so this column is
+    // directly comparable with sim_throughput and serving_openloop.
+    // Machine-dependent by nature; it never feeds the simulation, and
+    // every other table above stays byte-identical across machines.
+    let heaviest = BURST_FACTORS[BURST_FACTORS.len() - 1];
+    let schedule = schedule_of(&arrivals_for(heaviest));
+    let opts = RunOptions::new(REQUESTS_PER_SESSION)
+        .expect("positive request count")
+        .with_seed(seed())
+        .with_table_capacity(TABLE_SLOTS)
+        .expect("positive table capacity");
+    let cfg = NpuConfig::table5();
+    let timed = |armed: bool| -> String {
+        let run = || {
+            let controller = if armed {
+                OverloadController::armed(OverloadPolicy::default())
+            } else {
+                OverloadController::disarmed()
+            };
+            serve_design_overloaded(Design::V10Full, &schedule, &cfg, &opts, controller)
+                .expect("valid overloaded serving run")
+                .elapsed_cycles()
+        };
+        let cycles = run(); // warm, untimed
+        let wall = median_wall(3, run);
+        fmt_cycles_per_sec(cycles_per_sec(cycles, wall))
+    };
+    print_table(
+        "Serving under overload — simulator throughput (simulated cycles / wall-second; machine-dependent)",
+        &header,
+        &[vec![format!("x{heaviest:.0}"), timed(false), timed(true)]],
+    );
+
     println!(
         "{ARRIVALS} tenants per run on one V10-Full core with {TABLE_SLOTS} context-table \
          slots, {REQUESTS_PER_SESSION} requests per session, flash-crowd dwell \

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jsonio;
 pub mod pairs;
 pub mod sweep;
 pub mod timing;

@@ -363,6 +363,7 @@ mod tests {
         let mut a = RuntimeAuditor::new();
         a.on_event(SimEvent::TenantAdmitted {
             workload: 0,
+            label: 0,
             at: 0.0,
         });
         a.on_event(SimEvent::TenantRetired {
@@ -381,10 +382,12 @@ mod tests {
         let mut a = RuntimeAuditor::new();
         a.on_event(SimEvent::TenantAdmitted {
             workload: 0,
+            label: 0,
             at: 0.0,
         });
         a.on_event(SimEvent::TenantAdmitted {
             workload: 0,
+            label: 0,
             at: 1.0,
         });
         assert!(!a.is_clean());
@@ -396,6 +399,7 @@ mod tests {
         let mut a = RuntimeAuditor::new();
         a.on_event(SimEvent::TenantAdmitted {
             workload: 0,
+            label: 0,
             at: 0.0,
         });
         a.on_event(SimEvent::OpIssued {
@@ -427,6 +431,7 @@ mod tests {
         let mut a = RuntimeAuditor::new();
         a.on_event(SimEvent::TenantAdmitted {
             workload: 0,
+            label: 0,
             at: 0.0,
         });
         a.on_event(SimEvent::OpCompleted {

@@ -473,6 +473,45 @@ impl ContextTable {
         self.active_rate(id, now) / row.priority
     }
 
+    /// Algorithm 1's inner scan, fused into one row pass: among the live
+    /// rows that are not Active, are Ready, and whose current operator
+    /// matches `fu_type`, returns the id with the minimum
+    /// `(active_rate_p, slot)` — numerically identical to calling
+    /// [`is_active`](Self::is_active)/[`is_ready`](Self::is_ready)/
+    /// [`op_kind`](Self::op_kind)/[`active_rate_p`](Self::active_rate_p)
+    /// per candidate (same float operations in the same order; ties on the
+    /// rate break toward the lowest slot), but with a single generation
+    /// check per row. This sits on the scheduler's per-free-FU hot path.
+    #[must_use]
+    pub fn pick_min_arp(&self, fu_type: FuKind, now: f64) -> Option<WorkloadId> {
+        let mut best: Option<(f64, WorkloadId)> = None;
+        for (slot, entry) in self.slots.iter().enumerate() {
+            let Some(row) = entry.as_ref() else {
+                continue;
+            };
+            if row.active || !row.ready || row.op_kind != Some(fu_type) {
+                continue;
+            }
+            let total = now - row.arrival;
+            let rate = if total <= 0.0 {
+                0.0
+            } else {
+                row.active_cycles / total
+            };
+            let arp = rate / row.priority;
+            if best.is_none_or(|(best_arp, _)| arp.total_cmp(&best_arp).is_lt()) {
+                best = Some((
+                    arp,
+                    WorkloadId {
+                        slot: slot as u32,
+                        gen: row.gen,
+                    },
+                ));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
     /// On-chip storage the table occupies, per Fig. 11's field widths:
     /// 32-bit op id, 1+1 Ready/Active bits, `max(1, ceil(log2(num_fus)))`
     /// FU-id bits, two 64-bit counters, 7-bit priority. The hardware

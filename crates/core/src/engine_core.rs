@@ -24,7 +24,10 @@ use std::collections::VecDeque;
 use v10_isa::{FuKind, OpDesc, RequestTrace};
 use v10_npu::{FuId, HbmArbiter, InstructionDma, NpuConfig};
 use v10_sim::convert::{u64_from_usize, u64_to_f64, usize_to_f64};
-use v10_sim::{FaultEvent, FaultInjector, FaultKind, V10Error, V10Result};
+use v10_sim::{
+    FaultEvent, FaultInjector, FaultKind, HorizonCalendar, LabelId, LabelInterner, V10Error,
+    V10Result,
+};
 
 use crate::context::{ContextTable, WorkloadId};
 use crate::lifecycle::{Admission, AdmissionSchedule};
@@ -38,12 +41,18 @@ pub(crate) const EPS: f64 = 1e-6;
 /// is a livelock.
 const LIVELOCK_STREAK: u32 = 10_000;
 
+/// Bucket width of the fetch-horizon calendar, in cycles. Instruction-DMA
+/// horizons land within a few thousand cycles of the clock, so this keeps
+/// the ring walk short; correctness never depends on the value.
+const FETCH_CAL_WIDTH: f64 = 4096.0;
+
 /// Per-tenant mutable execution state. One entry per *admitted* tenant, in
 /// admission order; retired tenants keep their entry (with `alive` false)
 /// so the final report covers every tenancy the run served.
 #[derive(Debug)]
 pub(crate) struct WlState {
-    pub(crate) label: String,
+    /// Interned label (resolved back to a string only at report assembly).
+    pub(crate) label: LabelId,
     pub(crate) priority: f64,
     /// The tenancy's context-table id (slot + generation).
     pub(crate) id: WorkloadId,
@@ -157,8 +166,15 @@ pub(crate) fn drive<S: ExecutorStrategy, O: SimObserver>(
     strategy: &mut S,
 ) -> V10Result<RunReport> {
     loop {
-        if strategy.step(&mut core)? == StepOutcome::Finished {
-            return Ok(core.into_report());
+        match strategy.step(&mut core) {
+            Ok(StepOutcome::Finished) => return Ok(core.into_report()),
+            Ok(StepOutcome::Continue) => {}
+            Err(err) => {
+                // Deliver whatever was emitted before the failure so event
+                // streams (JSON lines, auditors) still cover the full run.
+                core.flush_events();
+                return Err(err);
+            }
         }
     }
 }
@@ -197,6 +213,23 @@ pub(crate) struct EngineCore<'a, O: SimObserver> {
     queue_on_full: bool,
     /// Context-table slot index -> `wls` index of its live occupant.
     slot_owner: Vec<Option<usize>>,
+    /// Indices into `wls` of the live tenancies, ascending. Maintained by
+    /// seat/finish/retire so the hot paths never rediscover liveness by
+    /// scanning every tenancy ever admitted.
+    live: Vec<usize>,
+    /// Tenancies with `completed < quota` — makes `all_done` O(1).
+    unmet: usize,
+    /// Fetch-horizon calendar: one entry per live tenancy whose current
+    /// operator is neither Ready nor Active, keyed by `wls` index at its
+    /// `fetch_ready_at`. Replaces the per-step fetch min-scan.
+    fetch_cal: HorizonCalendar,
+    /// Reusable buffer for `promote_due_fetches`.
+    fetch_scratch: Vec<usize>,
+    /// Label symbol table; `WlState` and tenancy events carry `LabelId`s.
+    interner: LabelInterner,
+    /// Events awaiting a flush (at each clock advance and at report
+    /// assembly), so observer dispatch stays out of the bookkeeping paths.
+    event_buf: Vec<SimEvent>,
     rejected: u64,
     arrival_seq: usize,
     fault_seq: usize,
@@ -255,6 +288,12 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             parked: VecDeque::new(),
             queue_on_full: false,
             slot_owner: vec![None; capacity],
+            live: Vec::new(),
+            unmet: 0,
+            fetch_cal: HorizonCalendar::new(FETCH_CAL_WIDTH)?,
+            fetch_scratch: Vec::new(),
+            interner: LabelInterner::new(),
+            event_buf: Vec::new(),
             rejected: 0,
             arrival_seq: 0,
             fault_seq: 0,
@@ -270,10 +309,28 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
         })
     }
 
-    /// Forwards one event to the observer.
+    /// Queues one event for the observer. Events are delivered in emission
+    /// order by [`flush_events`](Self::flush_events), which the strategies
+    /// reach at every clock advance and at report assembly — batching keeps
+    /// observer dispatch out of the bookkeeping inner loops, and a disabled
+    /// observer ([`SimObserver::ENABLED`] = false) makes this a no-op the
+    /// optimizer erases entirely.
     #[inline(always)]
     pub(crate) fn emit(&mut self, event: SimEvent) {
-        self.observer.on_event(event);
+        if O::ENABLED {
+            self.event_buf.push(event);
+        }
+    }
+
+    /// Delivers every buffered event to the observer, in emission order.
+    pub(crate) fn flush_events(&mut self) {
+        if O::ENABLED && !self.event_buf.is_empty() {
+            let mut buf = std::mem::take(&mut self.event_buf);
+            for event in buf.drain(..) {
+                self.observer.on_event(event);
+            }
+            self.event_buf = buf;
+        }
     }
 
     /// Admits every pending arrival due at or before the current instant.
@@ -365,8 +422,12 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     pub(crate) fn shed_stale_parked(&mut self, max_wait_cycles: f64) -> u64 {
         let now = self.now;
         let mut shed = 0u64;
-        let mut kept = VecDeque::with_capacity(self.parked.len());
-        while let Some((seq, adm)) = self.parked.pop_front() {
+        // Rotate in place: pop each entry once and push the keepers back,
+        // preserving their relative order without a second queue.
+        for _ in 0..self.parked.len() {
+            let Some((seq, adm)) = self.parked.pop_front() else {
+                break;
+            };
             if now - adm.at_cycles() > max_wait_cycles + EPS {
                 shed += 1;
                 self.emit(SimEvent::RequestShed {
@@ -374,10 +435,9 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                     at: now,
                 });
             } else {
-                kept.push_back((seq, adm));
+                self.parked.push_back((seq, adm));
             }
         }
-        self.parked = kept;
         shed
     }
 
@@ -409,8 +469,9 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                 return Ok(());
             }
         };
+        let label = self.interner.intern(adm.spec().label());
         let mut wl = WlState {
-            label: adm.spec().label().to_string(),
+            label,
             priority: adm.spec().priority(),
             id,
             quota: adm.requests(),
@@ -426,7 +487,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             request_start: now,
             completed: 0,
             next_op_id: 0,
-            latencies: Vec::new(),
+            latencies: Vec::with_capacity(adm.requests()),
             busy_sa: 0.0,
             busy_vu: 0.0,
             hbm_bytes: 0.0,
@@ -441,14 +502,24 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             .ready_at(wl.current_op(), now, now)
             .max(now + u64_to_f64(wl.current_op().dispatch_gap_cycles()));
         let kind = wl.current_op().kind();
+        let fetch_at = wl.fetch_ready_at;
+        let has_quota = wl.quota > 0;
         let w = self.wls.len();
         if let Some(owner) = self.slot_owner.get_mut(id.index()) {
             *owner = Some(w);
         }
         self.table.set_current_op(id, 0, kind)?;
         self.wls.push(wl);
+        // `wls` indices are assigned in admission order, so pushing keeps
+        // the live list sorted ascending.
+        self.live.push(w);
+        if has_quota {
+            self.unmet += 1;
+        }
+        self.fetch_cal.set(w, fetch_at)?;
         self.emit(SimEvent::TenantAdmitted {
             workload: w,
+            label,
             at: now,
         });
         self.tenancy_epoch += 1;
@@ -543,23 +614,20 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             slot.occupant = None;
             slot.switch_until = 0.0;
         }
-        let live: Vec<(usize, WorkloadId)> = self
-            .wls
-            .iter()
-            .enumerate()
-            .filter(|(_, wl)| wl.alive)
-            .map(|(w, wl)| (w, wl.id))
-            .collect();
-        for (w, id) in live {
-            if let Some(wl) = self.wls.get_mut(w) {
-                wl.alive = false;
-                wl.retired_at = Some(now);
-            }
+        let live = std::mem::take(&mut self.live);
+        for w in live {
+            let Some(wl) = self.wls.get_mut(w) else {
+                continue;
+            };
+            wl.alive = false;
+            wl.retired_at = Some(now);
+            let id = wl.id;
             self.table.retire(id)?;
             if let Some(owner) = self.slot_owner.get_mut(id.index()) {
                 *owner = None;
             }
         }
+        self.fetch_cal.reset();
         while let Some((seq, _)) = self.parked.pop_front() {
             self.rejected += 1;
             self.emit(SimEvent::AdmissionRejected {
@@ -644,11 +712,137 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     }
 
     /// Has every arrival been served (none pending, none parked) and every
-    /// tenant met its quota?
+    /// tenant met its quota? O(1): the unmet-quota counter is maintained at
+    /// seat / completion / quota-rewrite time.
     pub(crate) fn all_done(&self) -> bool {
-        self.pending.is_empty()
-            && self.parked.is_empty()
-            && self.wls.iter().all(|w| w.completed >= w.quota)
+        self.pending.is_empty() && self.parked.is_empty() && self.unmet == 0
+    }
+
+    /// Indices into `wls` of the live tenancies, ascending — the set the
+    /// historical code recomputed per step by filtering every tenancy ever
+    /// admitted on `alive`.
+    pub(crate) fn live(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Rewrites workload `w`'s request quota, keeping the O(1) done-count
+    /// in sync (the overload ladder's quota-trim rung is the only caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `w` is not an admitted
+    /// workload index.
+    pub(crate) fn set_quota(&mut self, w: usize, quota: usize) -> V10Result<()> {
+        let Some(wl) = self.wls.get_mut(w) else {
+            return Err(V10Error::invalid(
+                "EngineCore::set_quota",
+                "unknown workload index",
+            ));
+        };
+        let was_unmet = wl.completed < wl.quota;
+        wl.quota = quota;
+        let is_unmet = wl.completed < wl.quota;
+        match (was_unmet, is_unmet) {
+            (true, false) => self.unmet = self.unmet.saturating_sub(1),
+            (false, true) => self.unmet += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Promotes every tenancy whose instruction fetch has completed
+    /// (`fetch_ready_at <= now + EPS`): sets its context-table Ready bit
+    /// and emits [`SimEvent::DmaReady`], in ascending workload order —
+    /// exactly the index-order promotion scan the V10 step loop ran before
+    /// the calendar existed, but touching only the due entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if a calendar entry points at
+    /// a stale tenancy (an engine invariant violation).
+    pub(crate) fn promote_due_fetches(&mut self) -> V10Result<()> {
+        let now = self.now;
+        match self.fetch_cal.peek_min() {
+            Some((_, d)) if d <= now + EPS => {}
+            _ => return Ok(()),
+        }
+        let mut due = std::mem::take(&mut self.fetch_scratch);
+        due.clear();
+        self.fetch_cal.pop_due(now + EPS, &mut due);
+        for &w in &due {
+            let Some(wl) = self.wls.get(w) else {
+                continue;
+            };
+            debug_assert!(wl.alive, "calendar held a dead tenancy");
+            let id = wl.id;
+            let op_id = wl.next_op_id;
+            debug_assert!(
+                !self.table.is_active(id) && !self.table.is_ready(id),
+                "calendar held a tenancy that was already promoted"
+            );
+            self.table.set_ready(id, true)?;
+            self.emit(SimEvent::DmaReady {
+                workload: w,
+                op_id,
+                at: now,
+            });
+        }
+        self.fetch_scratch = due;
+        Ok(())
+    }
+
+    /// The earliest pending instruction-fetch horizon, if any. After
+    /// [`promote_due_fetches`](Self::promote_due_fetches) every remaining
+    /// entry is strictly in the future; callers keep the historical
+    /// `> now + EPS` guard when folding this into the step horizon.
+    pub(crate) fn next_fetch_at(&mut self) -> Option<f64> {
+        self.fetch_cal.peek_min().map(|(_, d)| d)
+    }
+
+    /// Differential cross-check of the event-spine indexes against the
+    /// naive scans they replaced: the fetch calendar must hold exactly the
+    /// live not-Ready/not-Active tenancies at their `fetch_ready_at`, the
+    /// live list exactly the `alive` indices ascending, and the unmet
+    /// counter the number of under-quota tenancies. Debug builds run this
+    /// every step (the calendar differential test drives it across random
+    /// schedules); release builds compile it out.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index diverges from its naive recomputation.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_validate_spine(&self) {
+        let mut live_iter = self.live.iter().copied();
+        let mut unmet_naive = 0usize;
+        for (w, wl) in self.wls.iter().enumerate() {
+            if wl.alive {
+                assert_eq!(live_iter.next(), Some(w), "live index diverged");
+            }
+            if wl.completed < wl.quota {
+                unmet_naive += 1;
+            }
+            let awaits_fetch =
+                wl.alive && !self.table.is_active(wl.id) && !self.table.is_ready(wl.id);
+            match self.fetch_cal.deadline_of(w) {
+                Some(d) => {
+                    assert!(
+                        awaits_fetch,
+                        "calendar entry for workload {w} without a pending fetch"
+                    );
+                    assert_eq!(
+                        d.to_bits(),
+                        wl.fetch_ready_at.to_bits(),
+                        "calendar deadline for workload {w} diverged from fetch_ready_at"
+                    );
+                }
+                None => assert!(
+                    !awaits_fetch,
+                    "workload {w} awaits a fetch but has no calendar entry"
+                ),
+            }
+        }
+        assert_eq!(live_iter.next(), None, "live index has stale entries");
+        assert_eq!(self.unmet, unmet_naive, "unmet counter diverged");
     }
 
     /// Validates a proposed time step: rejects a horizon with no pending
@@ -684,6 +878,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     /// unoccupied slots mid-switch accrue switch overhead; the overlap
     /// buckets and the clock move.
     pub(crate) fn advance(&mut self, dt: f64, rates: &[(usize, f64)]) {
+        self.flush_events();
         let mut sa_active = 0usize;
         let mut vu_active = 0usize;
         // Take the slot vector so the loop can hold `&slot` while mutating
@@ -739,7 +934,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     /// stale (an engine invariant violation).
     pub(crate) fn finish_op(&mut self, w: usize) -> V10Result<()> {
         let now = self.now;
-        let (id, done_op_id, finished_request, departs) = {
+        let (id, done_op_id, finished_request, departs, met_quota_now, fetch_at) = {
             let Some(wl) = self.wls.get_mut(w) else {
                 return Err(V10Error::invalid(
                     "EngineCore::finish_op",
@@ -758,6 +953,10 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                 finished_request = Some(latency);
             }
             wl.next_op_id += 1;
+            // The quota crossing happens exactly once: `completed` only
+            // moves here, and the overload ladder's trims go through
+            // `set_quota`, which re-balances the counter itself.
+            let met_quota_now = finished_request.is_some() && wl.completed == wl.quota;
             let departs =
                 finished_request.is_some() && !wl.resident && wl.completed >= wl.quota && wl.alive;
             if departs {
@@ -773,13 +972,31 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                     .ready_at(wl.current_op(), wl.last_issue_at, now)
                     .max(now + u64_to_f64(wl.current_op().dispatch_gap_cycles()));
             }
-            (wl.id, done_op_id, finished_request, departs)
+            (
+                wl.id,
+                done_op_id,
+                finished_request,
+                departs,
+                met_quota_now,
+                wl.fetch_ready_at,
+            )
         };
+        if met_quota_now {
+            self.unmet = self.unmet.saturating_sub(1);
+        }
         if departs {
             self.table.retire(id)?;
             if let Some(owner) = self.slot_owner.get_mut(id.index()) {
                 *owner = None;
             }
+            if let Ok(pos) = self.live.binary_search(&w) {
+                self.live.remove(pos);
+            }
+            self.fetch_cal.clear(w);
+        } else {
+            // The caller released the tenancy's Active bit before completing
+            // the operator, so it is back to awaiting its next fetch.
+            self.fetch_cal.set(w, fetch_at)?;
         }
         self.emit(SimEvent::OpCompleted {
             workload: w,
@@ -804,17 +1021,20 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     }
 
     /// Consumes the core into the run's final report, one workload entry
-    /// per admitted tenancy in admission order.
-    pub(crate) fn into_report(self) -> RunReport {
-        let workloads = self
-            .wls
-            .iter()
+    /// per admitted tenancy in admission order. Latency vectors are moved,
+    /// not copied, and interned labels are resolved back to strings here —
+    /// the only point where label strings materialize after admission.
+    pub(crate) fn into_report(mut self) -> RunReport {
+        self.flush_events();
+        let interner = std::mem::take(&mut self.interner);
+        let workloads = std::mem::take(&mut self.wls)
+            .into_iter()
             .map(|wl| {
                 WorkloadReport::new(
-                    wl.label.clone(),
+                    interner.resolve(wl.label).unwrap_or_default().to_string(),
                     wl.priority,
                     wl.completed,
-                    wl.latencies.clone(),
+                    wl.latencies,
                     wl.busy_sa,
                     wl.busy_vu,
                     wl.hbm_bytes,

@@ -14,7 +14,7 @@
 //!   preemptions per request.
 
 use v10_sim::convert::{u64_to_f64, usize_to_f64};
-use v10_sim::Percentiles;
+use v10_sim::LatencySummary;
 
 use crate::overload::OverloadStats;
 
@@ -107,11 +107,11 @@ impl WorkloadReport {
         admitted_at: f64,
         retired_at: Option<f64>,
     ) -> Self {
-        let mut p: Percentiles = latencies.iter().copied().collect();
-        let avg = p.mean();
-        let p50 = p.median().unwrap_or(0.0);
-        let p95 = p.p95().unwrap_or(0.0);
-        let p99 = p.quantile(0.99).unwrap_or(0.0);
+        let summary = LatencySummary::from_samples(&latencies);
+        let avg = summary.as_ref().map_or(0.0, LatencySummary::mean);
+        let p50 = summary.as_ref().map_or(0.0, LatencySummary::p50);
+        let p95 = summary.as_ref().map_or(0.0, LatencySummary::p95);
+        let p99 = summary.as_ref().map_or(0.0, LatencySummary::p99);
         WorkloadReport {
             label,
             priority,

@@ -92,6 +92,11 @@ pub enum SimEvent {
     TenantAdmitted {
         /// Index of the workload (admission order within the run).
         workload: usize,
+        /// Interned id of the tenant's label (dense, first-intern order;
+        /// resolvable through the run's final [`WorkloadReport`] labels).
+        ///
+        /// [`WorkloadReport`]: crate::metrics::WorkloadReport
+        label: v10_sim::LabelId,
         /// Simulated cycle.
         at: f64,
     },
@@ -266,6 +271,12 @@ impl SimEvent {
 /// so a no-op implementation ([`NullObserver`]) costs nothing after
 /// monomorphization.
 pub trait SimObserver {
+    /// Whether this observer consumes events at all. The engines buffer
+    /// emitted events and flush the batch at each clock advance; when this
+    /// is `false` (the [`NullObserver`]) the buffering itself compiles out
+    /// and emission sites cost nothing.
+    const ENABLED: bool = true;
+
     /// Called for every engine event, in simulated-time order.
     ///
     /// Events are small `Copy` values and are passed by value so emission
@@ -278,6 +289,8 @@ pub trait SimObserver {
 pub struct NullObserver;
 
 impl SimObserver for NullObserver {
+    const ENABLED: bool = false;
+
     #[inline(always)]
     fn on_event(&mut self, _event: SimEvent) {}
 }
@@ -586,8 +599,10 @@ impl<W: Write> SimObserver for JsonLinesObserver<W> {
                 format!("{{\"event\":\"{name}\",\"fu\":{fu},\"at\":{at}}}")
             }
             SimEvent::TimerTick { .. } => format!("{{\"event\":\"{name}\",\"at\":{at}}}"),
-            SimEvent::TenantAdmitted { workload, .. }
-            | SimEvent::TenantRetired { workload, .. } => {
+            SimEvent::TenantAdmitted { workload, label, .. } => format!(
+                "{{\"event\":\"{name}\",\"workload\":{workload},\"label\":{label},\"at\":{at}}}"
+            ),
+            SimEvent::TenantRetired { workload, .. } => {
                 format!("{{\"event\":\"{name}\",\"workload\":{workload},\"at\":{at}}}")
             }
             SimEvent::AdmissionRejected { arrival, .. }
@@ -715,6 +730,7 @@ mod tests {
         let mut c = CounterObserver::new();
         c.on_event(SimEvent::TenantAdmitted {
             workload: 0,
+            label: 0,
             at: 0.0,
         });
         c.on_event(SimEvent::TenantRetired {
@@ -735,6 +751,7 @@ mod tests {
             let mut obs = JsonLinesObserver::new(&mut buf);
             obs.on_event(SimEvent::TenantAdmitted {
                 workload: 2,
+                label: 1,
                 at: 10.0,
             });
             obs.on_event(SimEvent::AdmissionRejected {
@@ -746,7 +763,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(
             lines[0],
-            "{\"event\":\"tenant_admitted\",\"workload\":2,\"at\":10}"
+            "{\"event\":\"tenant_admitted\",\"workload\":2,\"label\":1,\"at\":10}"
         );
         assert_eq!(
             lines[1],
@@ -951,6 +968,7 @@ mod tests {
             SimEvent::TimerTick { at: 7.0 },
             SimEvent::TenantAdmitted {
                 workload: 0,
+                label: 0,
                 at: 8.0,
             },
             SimEvent::TenantRetired {

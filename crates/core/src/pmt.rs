@@ -224,6 +224,9 @@ struct PmtStrategy {
     single: bool,
     /// The tenancy epoch `slices`/`single` were derived from.
     epoch: u64,
+    /// Reusable buffer for the per-step HBM arbitration query, so the
+    /// steady-state step loop performs no heap allocation.
+    rates_scratch: Vec<(usize, f64)>,
 }
 
 impl PmtStrategy {
@@ -238,31 +241,37 @@ impl PmtStrategy {
             single: true,
             // Forces a resync on the first step, before any scheduling.
             epoch: u64::MAX,
+            rates_scratch: Vec::new(),
         }
     }
 
-    /// Recomputes slices and ownership after the tenant set changed.
+    /// Recomputes slices and ownership after the tenant set changed. The
+    /// core's live index supplies the rotation set directly (ascending, the
+    /// same order the historical filter scan produced, so the priority sum
+    /// keeps its float-operation order), and the slice table is reused
+    /// across resyncs instead of reallocated.
     fn resync<O: SimObserver>(&mut self, core: &EngineCore<'_, O>) {
         self.epoch = core.tenancy_epoch;
-        let alive: Vec<(usize, f64)> = core
-            .wls
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.alive)
-            .map(|(i, w)| (i, w.priority))
-            .collect();
-        self.slices = vec![0.0; core.wls.len()];
-        if alive.is_empty() {
+        let live = core.live();
+        self.slices.clear();
+        self.slices.resize(core.wls.len(), 0.0);
+        if live.is_empty() {
             return;
         }
-        let total_priority: f64 = alive.iter().map(|&(_, p)| p).sum();
-        for &(i, priority) in &alive {
-            if let Some(slice) = self.slices.get_mut(i) {
-                *slice = self.slice_cycles * alive.len() as f64 * priority / total_priority;
+        let mut total_priority = 0.0f64;
+        for &w in live {
+            total_priority += core.wls.get(w).map_or(0.0, |wl| wl.priority);
+        }
+        for &w in live {
+            let Some(wl) = core.wls.get(w) else {
+                continue;
+            };
+            if let Some(slice) = self.slices.get_mut(w) {
+                *slice = self.slice_cycles * live.len() as f64 * wl.priority / total_priority;
             }
         }
         let was_single = self.single;
-        self.single = alive.len() == 1;
+        self.single = live.len() == 1;
         if !core.wls.get(self.owner).is_some_and(|w| w.alive) {
             // The owner departed: ownership passes on without a switch
             // charge — a departure is not a preemption.
@@ -342,15 +351,18 @@ impl PmtStrategy {
     }
 }
 
-/// The next alive tenant after `start` in round-robin order. Only called
-/// when at least one tenant is alive, so the scan terminates.
+/// The next alive tenant after `start` in round-robin order: the first
+/// live index greater than `start`, wrapping to the smallest live index —
+/// a binary search over the core's sorted live list, replacing the
+/// historical wrap scan over every tenancy ever admitted. Only called when
+/// at least one tenant is alive.
 fn next_alive<O: SimObserver>(core: &EngineCore<'_, O>, start: usize) -> usize {
-    let n = core.wls.len();
-    let mut next = (start + 1) % n;
-    while !core.wls.get(next).is_some_and(|w| w.alive) {
-        next = (next + 1) % n;
-    }
-    next
+    let live = core.live();
+    let pos = live.partition_point(|&w| w <= start);
+    live.get(pos)
+        .or_else(|| live.first())
+        .copied()
+        .unwrap_or(start)
 }
 
 impl ExecutorStrategy for PmtStrategy {
@@ -359,6 +371,8 @@ impl ExecutorStrategy for PmtStrategy {
         if self.epoch != core.tenancy_epoch {
             self.resync(core);
         }
+        #[cfg(debug_assertions)]
+        core.debug_validate_spine();
         if core.all_done() {
             return Ok(StepOutcome::Finished);
         }
@@ -445,11 +459,9 @@ impl ExecutorStrategy for PmtStrategy {
             let op = wl.current_op();
             (op.kind(), op.hbm_demand_bytes_per_cycle(), wl.op_remaining)
         };
-        let rate = core
-            .hbm
-            .progress_rates(&[(self.owner, demand)])
-            .first()
-            .map_or(0.0, |&(_, r)| r);
+        core.hbm
+            .progress_rates_into(&[(self.owner, demand)], &mut self.rates_scratch);
+        let rate = self.rates_scratch.first().map_or(0.0, |&(_, r)| r);
         assert!(rate > EPS, "operator starved of bandwidth");
         dt = dt.min(op_remaining / rate);
         let dt = core.resolve_dt(dt)?;

@@ -142,19 +142,16 @@ impl Scheduler {
         None
     }
 
-    /// Algorithm 1: walk workloads in ascending `active_rate_p` order and
-    /// return the first that qualifies.
+    /// Algorithm 1: the qualifying workload with the minimum
+    /// `(active_rate_p, index)` — identical to sorting every workload by
+    /// that key and taking the first qualifier (the historical
+    /// implementation, which allocated and sorted a scratch vector on every
+    /// pick), but as a single allocation-free row pass fused into the
+    /// context table ([`ContextTable::pick_min_arp`]). The pass walks slots
+    /// in ascending index order, so keeping the first strict minimum breaks
+    /// `active_rate_p` ties toward the lowest index.
     fn pick_priority(table: &ContextTable, fu_type: FuKind, now: f64) -> Option<WorkloadId> {
-        let mut order: Vec<WorkloadId> = table.ids().collect();
-        order.sort_by(|&a, &b| {
-            table
-                .active_rate_p(a, now)
-                .total_cmp(&table.active_rate_p(b, now))
-                .then(a.index().cmp(&b.index()))
-        });
-        order
-            .into_iter()
-            .find(|&id| Self::qualifies(table, id, fu_type))
+        table.pick_min_arp(fu_type, now)
     }
 }
 

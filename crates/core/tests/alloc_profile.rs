@@ -1,0 +1,132 @@
+//! Heap-allocation census of the serving hot path.
+//!
+//! The container has no dhat/heaptrack, so this test is the in-repo
+//! equivalent: a counting global allocator wraps `System`, a
+//! representative multi-tenant serving run executes, and the test reports
+//! (and bounds) how many heap allocations the run performed. The bounds
+//! are regression ratchets for the event-spine refactor — per-step
+//! allocations in `step()` loops (temporary collects, label clones,
+//! per-admission trace clones) multiply by the hundreds of thousands of
+//! steps in a serving run, so a ceiling per completed request keeps them
+//! from creeping back.
+//!
+//! Run with `--nocapture` to see the census.
+
+// A counting global allocator is unavoidably `unsafe`; this test crate is
+// the one sanctioned exception to the workspace-wide `unsafe_code = "deny"`
+// (the allocator only forwards to `System` and bumps atomics).
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use v10_core::{serve_design, Admission, AdmissionSchedule, Design, RunOptions, WorkloadSpec};
+use v10_npu::NpuConfig;
+use v10_workloads::{Model, OpenLoopProcess};
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// The serving schedule mirrored from the sim_throughput bench: open-loop
+/// Poisson arrivals over the four light models at near-saturation load.
+fn schedule(tenants: usize) -> AdmissionSchedule {
+    let models = [Model::Mnist, Model::Dlrm, Model::Ncf, Model::EfficientNet];
+    let process = OpenLoopProcess::new(&models, 3.5e6, 2023 ^ 0x7)
+        .expect("positive mean inter-arrival time")
+        .with_requests_per_session(3)
+        .expect("positive session quota")
+        .with_think_cycles(2.5e5)
+        .expect("non-negative think time");
+    let arrivals = process.sample(tenants).expect("non-zero arrival count");
+    let admissions: Vec<Admission> = arrivals
+        .iter()
+        .map(|a| {
+            Admission::new(
+                WorkloadSpec::new(a.label(), a.trace().clone()),
+                a.at_cycles(),
+                a.requests(),
+            )
+            .expect("sampled arrivals are valid admissions")
+        })
+        .collect();
+    AdmissionSchedule::new(admissions).expect("non-empty schedule")
+}
+
+/// Allocation census of one serving run under `design`; returns
+/// (allocations, bytes, completed requests).
+fn census(design: Design, tenants: usize) -> (u64, u64, usize) {
+    let schedule = schedule(tenants);
+    let opts = RunOptions::new(3)
+        .expect("positive request count")
+        .with_seed(2023);
+    let cfg = NpuConfig::table5();
+    // Warm-up run outside the census so one-time lazy setup is excluded.
+    let _ = serve_design(design, &schedule, &cfg, &opts).expect("valid serving run");
+    let (a0, b0) = snapshot();
+    let report = serve_design(design, &schedule, &cfg, &opts).expect("valid serving run");
+    let (a1, b1) = snapshot();
+    let completed = report
+        .workloads()
+        .iter()
+        .map(|w| w.completed_requests())
+        .sum();
+    (a1 - a0, b1 - b0, completed)
+}
+
+#[test]
+fn serving_run_allocation_census() {
+    for design in Design::ALL {
+        let tenants = 48;
+        let (allocs, bytes, completed) = census(design, tenants);
+        assert!(completed > 0, "{design}: no requests completed");
+        let per_request = allocs as f64 / completed as f64;
+        println!(
+            "{design}: {allocs} allocations / {bytes} bytes over {completed} completed \
+             requests ({per_request:.1} allocations per request)"
+        );
+        // Post-refactor ratchet: the event spine must not allocate per
+        // step. Seat-time costs (one latency buffer growth chain, interner
+        // misses, report assembly) leave a small per-request budget; the
+        // pre-refactor spine sat at ~1000-4000 allocations per request
+        // (see OPTIMIZATION_LOG.md). `V10_ALLOC_CENSUS_ONLY=1` prints the
+        // census without enforcing the ratchet — used to capture the
+        // before/after numbers in OPTIMIZATION_LOG.md.
+        if std::env::var("V10_ALLOC_CENSUS_ONLY").is_err() {
+            assert!(
+                per_request < 60.0,
+                "{design}: {per_request:.1} allocations per completed request — the \
+                 step loop is allocating again"
+            );
+        }
+    }
+}

@@ -13,6 +13,11 @@ use crate::op::{FuKind, OpDesc};
 
 /// The operator stream of one inference request.
 ///
+/// The operator sequence is stored behind an [`Arc`], so cloning a trace —
+/// which the serving executors do once per admitted tenancy — is a
+/// reference-count bump rather than a deep copy of the operator vector.
+/// Traces are immutable after construction, so the sharing is invisible.
+///
 /// # Example
 ///
 /// ```
@@ -26,9 +31,11 @@ use crate::op::{FuKind, OpDesc};
 /// assert_eq!(trace.total_compute_cycles(), 770);
 /// assert_eq!(trace.busy_cycles(FuKind::Sa), 700);
 /// ```
+///
+/// [`Arc`]: std::sync::Arc
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestTrace {
-    ops: Vec<OpDesc>,
+    ops: std::sync::Arc<[OpDesc]>,
 }
 
 impl RequestTrace {
@@ -46,7 +53,7 @@ impl RequestTrace {
                 "a request trace must contain at least one operator",
             ));
         }
-        Ok(RequestTrace { ops })
+        Ok(RequestTrace { ops: ops.into() })
     }
 
     /// The operators, in program order.

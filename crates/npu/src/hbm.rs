@@ -8,7 +8,7 @@
 //! `DLRM+RsNt` priority anomaly in §5.6) — and the moved-bytes counter feeds
 //! the bandwidth-utilization results (Figs. 7, 16c, 24).
 
-use v10_sim::{Demand, V10Error, V10Result, WaterFilling};
+use v10_sim::{AllocationScratch, Demand, V10Error, V10Result, WaterFilling};
 
 /// Bandwidth arbiter + bytes-moved accounting for one core's HBM interface.
 ///
@@ -29,6 +29,10 @@ use v10_sim::{Demand, V10Error, V10Result, WaterFilling};
 pub struct HbmArbiter {
     allocator: WaterFilling,
     bytes_moved: f64,
+    /// Reusable buffers for the per-step arbitration query, so the engine
+    /// hot loop performs no heap allocation.
+    demand_scratch: Vec<Demand>,
+    alloc_scratch: AllocationScratch,
 }
 
 impl HbmArbiter {
@@ -50,6 +54,8 @@ impl HbmArbiter {
         Ok(HbmArbiter {
             allocator: WaterFilling::new(peak_bytes_per_cycle),
             bytes_moved: 0.0,
+            demand_scratch: Vec::new(),
+            alloc_scratch: AllocationScratch::default(),
         })
     }
 
@@ -66,6 +72,18 @@ impl HbmArbiter {
     pub fn progress_rates(&self, flows: &[(usize, f64)]) -> Vec<(usize, f64)> {
         let demands: Vec<Demand> = flows.iter().map(|&(id, d)| Demand::new(id, d)).collect();
         self.allocator.slowdown_factors(&demands)
+    }
+
+    /// [`progress_rates`](HbmArbiter::progress_rates) without heap
+    /// allocation: working memory lives in the arbiter and the rates are
+    /// written to `out` (cleared first). Numerically identical to
+    /// `progress_rates` — the engines' step loops call this every step.
+    pub fn progress_rates_into(&mut self, flows: &[(usize, f64)], out: &mut Vec<(usize, f64)>) {
+        self.demand_scratch.clear();
+        self.demand_scratch
+            .extend(flows.iter().map(|&(id, d)| Demand::new(id, d)));
+        self.allocator
+            .slowdown_factors_into(&self.demand_scratch, &mut self.alloc_scratch, out);
     }
 
     /// Records `bytes` as moved (called by the engine as operators make

@@ -28,6 +28,25 @@ impl Demand {
     }
 }
 
+/// One flow's working state during a water-filling round.
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    id: usize,
+    rate: f64,
+    grant: f64,
+    unsatisfied: bool,
+}
+
+/// Reusable working memory for the allocation-free `*_into` queries.
+///
+/// The engines call the allocator every simulation step; routing those
+/// calls through one scratch instance means the steady state performs no
+/// heap allocation at all (the internal vector is cleared, not dropped).
+#[derive(Debug, Clone, Default)]
+pub struct AllocationScratch {
+    flows: Vec<Flow>,
+}
+
 /// Water-filling allocator over a fixed capacity.
 ///
 /// # Example
@@ -89,6 +108,26 @@ impl WaterFilling {
     /// Panics if any demand is negative, NaN, or infinite.
     #[must_use]
     pub fn allocate(&self, demands: &[Demand]) -> Vec<(usize, f64)> {
+        let mut scratch = AllocationScratch::default();
+        let mut out = Vec::with_capacity(demands.len());
+        self.allocate_into(demands, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`allocate`](WaterFilling::allocate) without heap allocation:
+    /// working state lives in `scratch` and the `(id, granted)` pairs are
+    /// written to `out` (cleared first). The numerical result is identical
+    /// to `allocate` — same operations in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any demand is negative, NaN, or infinite.
+    pub fn allocate_into(
+        &self,
+        demands: &[Demand],
+        scratch: &mut AllocationScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) {
         for d in demands {
             assert!(
                 d.rate.is_finite() && d.rate >= 0.0,
@@ -97,36 +136,32 @@ impl WaterFilling {
                 d.id
             );
         }
-        struct Flow {
-            id: usize,
-            rate: f64,
-            grant: f64,
-            unsatisfied: bool,
-        }
-        let mut flows: Vec<Flow> = demands
-            .iter()
-            .map(|d| Flow {
-                id: d.id,
-                rate: d.rate,
-                grant: 0.0,
-                unsatisfied: d.rate > 0.0,
-            })
-            .collect();
+        let flows = &mut scratch.flows;
+        flows.clear();
+        flows.extend(demands.iter().map(|d| Flow {
+            id: d.id,
+            rate: d.rate,
+            grant: 0.0,
+            unsatisfied: d.rate > 0.0,
+        }));
         let mut remaining_capacity = self.capacity;
 
         // Each round either satisfies at least one flow completely or
         // exhausts the capacity, so this terminates in <= n rounds.
         loop {
-            let unsatisfied = flows.iter().filter(|f| f.unsatisfied).count();
+            // One fused pass per round: the unsatisfied count and the
+            // minimum remaining deficit (the same `f64::min` fold over the
+            // same filtered sequence the two-pass version ran).
+            let mut unsatisfied = 0usize;
+            let mut min_deficit = f64::INFINITY;
+            for f in flows.iter().filter(|f| f.unsatisfied) {
+                unsatisfied += 1;
+                min_deficit = f64::min(min_deficit, f.rate - f.grant);
+            }
             if unsatisfied == 0 || remaining_capacity <= 0.0 {
                 break;
             }
             let fair_share = remaining_capacity / crate::convert::usize_to_f64(unsatisfied);
-            let min_deficit = flows
-                .iter()
-                .filter(|f| f.unsatisfied)
-                .map(|f| f.rate - f.grant)
-                .fold(f64::INFINITY, f64::min);
 
             if min_deficit >= fair_share {
                 // Nobody is capped below the fair share: hand it out and stop.
@@ -150,7 +185,8 @@ impl WaterFilling {
                 }
             }
         }
-        flows.into_iter().map(|f| (f.id, f.grant)).collect()
+        out.clear();
+        out.extend(flows.iter().map(|f| (f.id, f.grant)));
     }
 
     /// Fraction of each flow's demand that was granted, i.e. the factor by
@@ -159,14 +195,32 @@ impl WaterFilling {
     /// Flows with zero demand get factor `1.0` (they are not memory-limited).
     #[must_use]
     pub fn slowdown_factors(&self, demands: &[Demand]) -> Vec<(usize, f64)> {
-        self.allocate(demands)
-            .into_iter()
-            .zip(demands)
-            .map(|((id, granted), d)| {
-                let f = if d.rate <= 0.0 { 1.0 } else { granted / d.rate };
-                (id, f)
-            })
-            .collect()
+        let mut scratch = AllocationScratch::default();
+        let mut out = Vec::with_capacity(demands.len());
+        self.slowdown_factors_into(demands, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`slowdown_factors`](WaterFilling::slowdown_factors) without heap
+    /// allocation; results are written to `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any demand is negative, NaN, or infinite.
+    pub fn slowdown_factors_into(
+        &self,
+        demands: &[Demand],
+        scratch: &mut AllocationScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        self.allocate_into(demands, scratch, out);
+        for (granted, d) in out.iter_mut().zip(demands) {
+            granted.1 = if d.rate <= 0.0 {
+                1.0
+            } else {
+                granted.1 / d.rate
+            };
+        }
     }
 }
 

@@ -7,6 +7,12 @@
 //!   and clock-frequency conversions ([`Frequency`]).
 //! * [`events`] — a deterministic discrete-event queue ([`EventQueue`]) with
 //!   stable FIFO ordering for simultaneous events.
+//! * [`calendar`] — an indexed next-event calendar ([`HorizonCalendar`]):
+//!   a bucketed calendar queue over absolute f64 deadlines that replaces
+//!   the engines' per-step min-scans, differentially tested against the
+//!   naive scan.
+//! * [`intern`] — tenant-label interning ([`LabelInterner`]) so engine
+//!   bookkeeping and events carry dense `u32` ids instead of `String`s.
 //! * [`bandwidth`] — a water-filling (max-min fair) bandwidth allocator
 //!   ([`WaterFilling`]) used to model HBM bandwidth sharing between
 //!   concurrently executing operators and DMA prefetch flows.
@@ -45,18 +51,22 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bandwidth;
+pub mod calendar;
 pub mod convert;
 pub mod error;
 pub mod events;
 pub mod fault;
+pub mod intern;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use bandwidth::{Demand, WaterFilling};
+pub use bandwidth::{AllocationScratch, Demand, WaterFilling};
+pub use calendar::HorizonCalendar;
 pub use error::{V10Error, V10Result};
 pub use events::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use intern::{LabelId, LabelInterner};
 pub use rng::SimRng;
 pub use stats::{Histogram, LatencySummary, OnlineStats, Percentiles};
 pub use time::{Cycle, CycleCount, Frequency};
