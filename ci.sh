@@ -32,6 +32,13 @@ V10_BENCH_SMOKE=1 \
     V10_BENCH_BASELINE="$PWD/BENCH_sim_throughput.json" \
     cargo bench -q -p v10-bench --bench sim_throughput > /dev/null
 
+echo "==> serving_fleet bench (smoke run: schema + 0.9x scan-reduction gate vs checked-in baseline)"
+V10_BENCH_SMOKE=1 \
+    V10_BENCH_THREADS=2 \
+    V10_BENCH_JSON_OUT="$(mktemp -t serving_fleet.XXXXXX.json)" \
+    V10_BENCH_BASELINE="$PWD/BENCH_serving_fleet.json" \
+    cargo bench -q -p v10-bench --bench serving_fleet > /dev/null
+
 echo "==> examples (smoke tests)"
 for ex in examples/*.rs; do
     name="$(basename "$ex" .rs)"

@@ -16,10 +16,11 @@
 //! Knobs: `V10_BENCH_SEED` (arrival stream seed), `V10_BENCH_SLO_FACTOR`
 //! (SLO = factor × the model's isolated request service demand, default 4).
 
+use v10_bench::serving::{schedule_of, slo_factor};
 use v10_bench::sweep::parallel_map;
 use v10_bench::timing::{cycles_per_sec, fmt_cycles_per_sec, median_wall};
 use v10_bench::{fmt_pct, print_table, seed};
-use v10_core::{serve_design, Admission, AdmissionSchedule, Design, RunOptions, WorkloadSpec};
+use v10_core::{serve_design, AdmissionSchedule, Design, RunOptions};
 use v10_npu::NpuConfig;
 use v10_sim::LatencySummary;
 use v10_workloads::{Model, OpenLoopProcess, TimedArrival};
@@ -45,16 +46,6 @@ const MEAN_THINK_CYCLES: f64 = 2.5e5;
 /// experiment seed.
 const SEED_SALT: u64 = 0x4;
 
-/// SLO multiple of the model's isolated request service demand
-/// (env `V10_BENCH_SLO_FACTOR`, default 4).
-fn slo_factor() -> f64 {
-    std::env::var("V10_BENCH_SLO_FACTOR")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&f: &f64| f.is_finite() && f > 0.0)
-        .unwrap_or(4.0)
-}
-
 /// One (executor, offered load) measurement.
 struct ServingPoint {
     goodput_per_mcycle: f64,
@@ -74,21 +65,6 @@ fn arrivals_for(mean_interarrival: f64) -> Vec<TimedArrival> {
         .expect("non-negative think time")
         .sample(ARRIVALS)
         .expect("non-zero arrival count")
-}
-
-fn schedule_of(arrivals: &[TimedArrival]) -> AdmissionSchedule {
-    let admissions: Vec<Admission> = arrivals
-        .iter()
-        .map(|a| {
-            Admission::new(
-                WorkloadSpec::new(a.label(), a.trace().clone()),
-                a.at_cycles(),
-                a.requests(),
-            )
-            .expect("sampled arrivals are valid admissions")
-        })
-        .collect();
-    AdmissionSchedule::new(admissions).expect("non-empty schedule")
 }
 
 fn serve_once(design: Design, schedule: &AdmissionSchedule) -> f64 {

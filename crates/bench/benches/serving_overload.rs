@@ -18,12 +18,12 @@
 //! Knobs: `V10_BENCH_SEED` (arrival stream seed), `V10_BENCH_SLO_FACTOR`
 //! (SLO = factor × the model's isolated request service demand, default 4).
 
+use v10_bench::serving::{schedule_of, slo_factor};
 use v10_bench::sweep::parallel_map;
 use v10_bench::timing::{cycles_per_sec, fmt_cycles_per_sec, median_wall};
 use v10_bench::{fmt_pct, print_table, seed};
 use v10_core::{
-    serve_design, serve_design_overloaded, Admission, AdmissionSchedule, Design,
-    OverloadController, OverloadPolicy, RunOptions, WorkloadSpec,
+    serve_design, serve_design_overloaded, Design, OverloadController, OverloadPolicy, RunOptions,
 };
 use v10_npu::NpuConfig;
 use v10_sim::LatencySummary;
@@ -55,16 +55,6 @@ const TABLE_SLOTS: usize = 4;
 /// Decorrelates this bench's seeded streams from other benches.
 const SEED_SALT: u64 = 0x6;
 
-/// SLO multiple of the model's isolated request service demand
-/// (env `V10_BENCH_SLO_FACTOR`, default 4).
-fn slo_factor() -> f64 {
-    std::env::var("V10_BENCH_SLO_FACTOR")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&f: &f64| f.is_finite() && f > 0.0)
-        .unwrap_or(4.0)
-}
-
 /// One (burst factor, controller switch) measurement.
 struct OverloadPoint {
     goodput_per_mcycle: f64,
@@ -91,21 +81,6 @@ fn arrivals_for(burst_factor: f64) -> Vec<TimedArrival> {
     .expect("non-negative think time")
     .sample(ARRIVALS)
     .expect("non-zero arrival count")
-}
-
-fn schedule_of(arrivals: &[TimedArrival]) -> AdmissionSchedule {
-    let admissions: Vec<Admission> = arrivals
-        .iter()
-        .map(|a| {
-            Admission::new(
-                WorkloadSpec::new(a.label(), a.trace().clone()),
-                a.at_cycles(),
-                a.requests(),
-            )
-            .expect("sampled arrivals are valid admissions")
-        })
-        .collect();
-    AdmissionSchedule::new(admissions).expect("non-empty schedule")
 }
 
 fn run_point(burst_factor: f64, armed: bool) -> OverloadPoint {

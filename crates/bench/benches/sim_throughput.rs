@@ -22,6 +22,7 @@
 use std::time::Duration;
 
 use v10_bench::jsonio::{self, Json};
+use v10_bench::serving::smoke;
 use v10_bench::timing::{cycles_per_sec, fmt_cycles_per_sec, measure, median_wall};
 use v10_bench::{fmt_x, print_table, seed};
 use v10_core::{
@@ -64,10 +65,6 @@ const SCHEMA_VERSION: f64 = 1.0;
 /// refactor landed; see OPTIMIZATION_LOG.md for the measurement. The
 /// checked-in artifact reports its speedup against this anchor.
 const PRE_REFACTOR_CYCLES_PER_SEC: f64 = 9.92e9;
-
-fn smoke() -> bool {
-    std::env::var("V10_BENCH_SMOKE").is_ok_and(|v| v == "1")
-}
 
 /// One (design, tenant count) measurement.
 struct ThroughputPoint {

@@ -19,6 +19,7 @@
 
 pub mod jsonio;
 pub mod pairs;
+pub mod serving;
 pub mod sweep;
 pub mod timing;
 

@@ -1,0 +1,712 @@
+//! The sharded fleet serving plane: topology-aware admission over a
+//! ≥1000-core fleet, partitioned into per-shard admission workers that
+//! exchange state deterministically at epoch boundaries.
+//!
+//! # Why sharding helps even on one thread
+//!
+//! The flat [`OnlinePlacer`] ranking is an argmax over every core: each
+//! arrival rescans the fleet. The fleet plane decomposes that argmax.
+//! Cores are partitioned into fixed contiguous shards
+//! ([`ShardMap`](v10_sim::ShardMap)); each shard's admission worker keeps a
+//! summary table of its best candidate core per (behavior class, home HBM
+//! group) pair. An admit or release touches exactly one core, so it
+//! invalidates exactly one worker's table; the next placement query rebuilds
+//! only the dirty tables — a rescan of `cores / shards` cores instead of
+//! `cores` — and takes the argmax over the `shards` table entries. Because a
+//! core's score is a pure function of its own occupancy (plus static
+//! topology), and every scan keeps the incumbent on ties, the decomposed
+//! argmax picks the *identical* core the flat scan would: finer sharding
+//! changes the work done, never the answer. The per-arrival placement cost
+//! drops by roughly the shard count, which is where the fleet bench's
+//! wall-clock speedup comes from — no threads required.
+//!
+//! # Determinism across shard and thread counts
+//!
+//! Shards exchange state only at epoch boundaries
+//! ([`EpochClock`](v10_sim::EpochClock)): tenant departures observed in the
+//! cached per-core engine reports are released in simulated-time order
+//! ([`merge_messages`](v10_sim::merge_messages), tie-broken by core index
+//! and interned label), and only departures at or before the boundary are
+//! applied. An arrival strictly after the boundary cannot change engine
+//! events before it, so a departure once applied can never be retracted by
+//! later admissions — the plane's slot bookkeeping is conservative with
+//! respect to the engine's own context table and the engine never rejects
+//! an admission the plane made ([`FleetOutcome::engine_rejections`] stays
+//! zero). Dirty cores are re-simulated through the workspace's
+//! input-order scatter-back parallel map, so the [`ClusterServeReport`] is
+//! byte-identical across 1/2/4/8 shards and any worker-thread count; only
+//! the [`FleetOutcome`] scan counters depend on the shard layout.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use v10_core::{
+    serve_design, Admission, AdmissionSchedule, Design, RunOptions, RunReport, WorkloadSpec,
+};
+use v10_npu::{ClusterState, FleetTopology, NpuConfig};
+use v10_sim::convert::u64_from_usize;
+use v10_sim::{
+    merge_messages, DepartureMsg, EpochClock, LabelId, LabelInterner, ShardMap, V10Error, V10Result,
+};
+use v10_workloads::TimedArrival;
+
+use crate::placer::{AdmissionDecision, OnlinePlacer, Placement, TopoScore, TopologyWeights};
+use crate::recovery::ClusterServeReport;
+
+/// One shard's admission worker: the per-(class, home-group) best-candidate
+/// summary over the cores the shard owns, plus a dirty bit set whenever any
+/// owned core's occupancy changes.
+#[derive(Debug, Clone)]
+struct ShardWorker {
+    /// `best[class * groups + group]` = the shard's best admissible core
+    /// for that (class, home group), lowest core index on ties.
+    best: Vec<Option<(TopoScore, usize)>>,
+    dirty: bool,
+}
+
+/// Deterministic, shard-layout-dependent work counters from one
+/// [`FleetPlane::serve`] run.
+///
+/// Everything observable about the *serving outcome* lives in the
+/// byte-identical [`ClusterServeReport`]; this struct carries the
+/// telemetry that legitimately varies with the shard layout (how many
+/// cores the table rebuilds scanned) alongside shard-independent
+/// conservation counters the fleet auditor checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    shards: usize,
+    epochs: u64,
+    offered: usize,
+    placed: usize,
+    rejected: usize,
+    rebuild_core_scans: u64,
+    engine_rejections: u64,
+    departures: Vec<DepartureMsg>,
+    decisions: Vec<AdmissionDecision>,
+}
+
+impl FleetOutcome {
+    /// Shard count the plane ran with.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Epochs the serve loop processed (epochs with no arrivals are
+    /// coalesced into their successor).
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Arrivals offered to the plane.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Arrivals placed onto a core.
+    #[must_use]
+    pub fn placed(&self) -> usize {
+        self.placed
+    }
+
+    /// Arrivals rejected (no admissible core).
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Cores scanned by summary-table rebuilds — the plane's dominant
+    /// placement cost. This counter is the *only* shard-layout-dependent
+    /// observable: at one shard every admission triggers a full-fleet
+    /// rescan, at `S` shards a `cores / S` rescan, which is the measured
+    /// scaling mechanism of the fleet bench.
+    #[must_use]
+    pub fn rebuild_core_scans(&self) -> u64 {
+        self.rebuild_core_scans
+    }
+
+    /// Admissions the *engine* rejected across all cores. Always zero: the
+    /// plane's slot bookkeeping is conservative with respect to the
+    /// engine's context table (departures are released only past their
+    /// epoch boundary). A non-zero value means the epoch exchange broke
+    /// causality.
+    #[must_use]
+    pub fn engine_rejections(&self) -> u64 {
+        self.engine_rejections
+    }
+
+    /// Every admission decision in offer order — identical across shard
+    /// layouts and thread counts.
+    #[must_use]
+    pub fn decisions(&self) -> &[AdmissionDecision] {
+        &self.decisions
+    }
+
+    /// Every tenant departure the plane released, in release order:
+    /// epoch by epoch, simulated-time-ordered within each epoch by the
+    /// deterministic cross-shard merge. Identical across shard layouts.
+    #[must_use]
+    pub fn departures(&self) -> &[DepartureMsg] {
+        &self.departures
+    }
+}
+
+/// One placed tenant's plane-side bookkeeping.
+#[derive(Debug, Clone)]
+struct FleetTenant {
+    core: usize,
+    /// Position in the core's admission list == position in the core's
+    /// report workload list (arrivals are offered in time order and never
+    /// requeued, so the schedule's stable sort preserves it).
+    idx: usize,
+    class: usize,
+    label: LabelId,
+    released: bool,
+}
+
+/// A topology-aware, sharded admission plane over a multi-core fleet.
+///
+/// Construction fixes the fleet geometry ([`FleetTopology`]), the shard
+/// partition, the epoch length, and the topology scoring weights; then
+/// [`serve`](Self::serve) plays an arrival stream forward and returns the
+/// same [`ClusterServeReport`] shape as the single-coordinator recovery
+/// path, plus a [`FleetOutcome`] with the plane's work counters.
+#[derive(Debug)]
+pub struct FleetPlane<'a> {
+    placer: OnlinePlacer<'a>,
+    state: ClusterState,
+    shard_map: ShardMap,
+    clock: EpochClock,
+    weights: TopologyWeights,
+    workers: Vec<ShardWorker>,
+    threads: usize,
+    groups: usize,
+    classes: usize,
+    slots_per_core: usize,
+}
+
+impl<'a> FleetPlane<'a> {
+    /// A fleet plane over `topology` with `slots_per_core` context-table
+    /// slots per core, partitioned into `shards` admission workers that
+    /// exchange departures every `epoch_cycles` of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `slots_per_core` is zero,
+    /// the shard partition is degenerate (zero shards, or more shards than
+    /// cores), or the epoch length is not positive and finite.
+    pub fn new(
+        placer: OnlinePlacer<'a>,
+        topology: FleetTopology,
+        slots_per_core: usize,
+        shards: usize,
+        epoch_cycles: f64,
+        weights: TopologyWeights,
+    ) -> V10Result<Self> {
+        let shard_map = ShardMap::new(topology.cores(), shards)?;
+        let clock = EpochClock::new(epoch_cycles)?;
+        let groups = topology.groups();
+        let state = ClusterState::with_topology(topology, slots_per_core)?;
+        let classes = placer.pipeline().clusters();
+        let workers = vec![
+            ShardWorker {
+                best: vec![None; classes * groups],
+                dirty: true,
+            };
+            shards
+        ];
+        Ok(FleetPlane {
+            placer,
+            state,
+            shard_map,
+            clock,
+            weights,
+            workers,
+            threads: 1,
+            groups,
+            classes,
+            slots_per_core,
+        })
+    }
+
+    /// Sets the worker-thread count for the dirty-core re-simulation step
+    /// (default 1). The report is byte-identical at any thread count; the
+    /// threads only shorten wall-clock on multi-core hosts.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Current fleet occupancy (reflects the post-serve cluster after
+    /// [`serve`](Self::serve) returns).
+    #[must_use]
+    pub fn state(&self) -> &ClusterState {
+        &self.state
+    }
+
+    /// The fixed core → shard partition.
+    #[must_use]
+    pub fn shard_map(&self) -> ShardMap {
+        self.shard_map
+    }
+
+    /// The epoch clock governing cross-shard exchange.
+    #[must_use]
+    pub fn clock(&self) -> EpochClock {
+        self.clock
+    }
+
+    /// The topology scoring weights in use.
+    #[must_use]
+    pub fn weights(&self) -> TopologyWeights {
+        self.weights
+    }
+
+    /// Rebuilds every dirty worker's summary table and returns the cores
+    /// scanned doing so.
+    fn rebuild_dirty(&mut self) -> V10Result<u64> {
+        let mut scanned = 0u64;
+        for shard in 0..self.workers.len() {
+            if !self.workers[shard].dirty {
+                continue;
+            }
+            let range = self.shard_map.range(shard);
+            scanned += u64_from_usize(range.len());
+            let mut best: Vec<Option<(TopoScore, usize)>> = vec![None; self.classes * self.groups];
+            for core in range {
+                for class in 0..self.classes {
+                    for group in 0..self.groups {
+                        let Some(score) = self.placer.topo_score(
+                            class,
+                            core,
+                            &self.state,
+                            group,
+                            &self.weights,
+                        )?
+                        else {
+                            continue;
+                        };
+                        let slot = &mut best[class * self.groups + group];
+                        if slot.is_none_or(|(incumbent, _)| score.beats(&incumbent)) {
+                            *slot = Some((score, core));
+                        }
+                    }
+                }
+            }
+            let worker = &mut self.workers[shard];
+            worker.best = best;
+            worker.dirty = false;
+        }
+        Ok(scanned)
+    }
+
+    /// The decomposed argmax: best summary entry across shards in shard
+    /// order, incumbent kept on ties. Shards own ascending core ranges, so
+    /// this picks exactly the core a flat lowest-index-tie-break scan
+    /// ([`OnlinePlacer::place_class_topo`]) would.
+    fn query(&self, class: usize, group: usize) -> Placement {
+        let mut best: Option<(TopoScore, usize)> = None;
+        for worker in &self.workers {
+            let Some((score, core)) = worker.best[class * self.groups + group] else {
+                continue;
+            };
+            if best.is_none_or(|(incumbent, _)| score.beats(&incumbent)) {
+                best = Some((score, core));
+            }
+        }
+        best.map_or(Placement::Reject, |(_, core)| Placement::Core(core))
+    }
+
+    /// Marks the worker owning `core` dirty.
+    fn invalidate(&mut self, core: usize) -> V10Result<()> {
+        let owner = self.shard_map.owner(core)?;
+        self.workers[owner].dirty = true;
+        Ok(())
+    }
+
+    /// Releases every unapplied departure at or before `boundary`:
+    /// collects one message stream per owning shard from the cached
+    /// per-core reports, merges them into simulated-time order, and frees
+    /// the departed tenants' slots. Returns the merged messages.
+    fn apply_departures(
+        &mut self,
+        boundary: f64,
+        tenants: &mut [FleetTenant],
+        reports: &[Option<RunReport>],
+    ) -> V10Result<Vec<DepartureMsg>> {
+        let mut streams: Vec<Vec<DepartureMsg>> = vec![Vec::new(); self.workers.len()];
+        for t in tenants.iter_mut().filter(|t| !t.released) {
+            let Some(retired_at) = reports
+                .get(t.core)
+                .and_then(Option::as_ref)
+                .and_then(|r| r.workloads().get(t.idx))
+                .and_then(|w| w.retired_at_cycles())
+            else {
+                continue;
+            };
+            if retired_at > boundary {
+                continue;
+            }
+            t.released = true;
+            self.state.release(t.core, t.class)?;
+            let owner = self.shard_map.owner(t.core)?;
+            self.workers[owner].dirty = true;
+            streams[owner].push(DepartureMsg {
+                at_cycles: retired_at,
+                core: t.core,
+                label: t.label,
+            });
+        }
+        Ok(merge_messages(streams))
+    }
+
+    /// Serves `arrivals` (non-decreasing in time) on the fleet under
+    /// `design`, re-simulating each core's admission history with
+    /// [`serve_design`] whenever the plane admits a tenant to it. The
+    /// engine's context table is sized to the plane's `slots_per_core`, so
+    /// plane bookkeeping and hardware state agree.
+    ///
+    /// The returned report is byte-identical across shard counts and
+    /// worker-thread counts; the outcome carries the layout-dependent work
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `arrivals` is not sorted by
+    /// arrival time, and propagates engine errors from the per-core runs.
+    pub fn serve(
+        &mut self,
+        arrivals: &[TimedArrival],
+        design: Design,
+        config: &NpuConfig,
+        opts: &RunOptions,
+    ) -> V10Result<(ClusterServeReport, FleetOutcome)> {
+        if let Some(w) = arrivals
+            .windows(2)
+            .find(|w| w[1].at_cycles() < w[0].at_cycles())
+        {
+            return Err(V10Error::invalid(
+                "FleetPlane::serve",
+                format!(
+                    "arrivals must be sorted by time ({} after {})",
+                    w[1].at_cycles(),
+                    w[0].at_cycles()
+                ),
+            ));
+        }
+        let opts = opts.with_table_capacity(self.slots_per_core)?;
+        let cores = self.state.cores();
+        let mut interner = LabelInterner::new();
+        let mut tenants: Vec<FleetTenant> = Vec::new();
+        let mut per_core: Vec<Vec<Admission>> = vec![Vec::new(); cores];
+        let mut reports: Vec<Option<RunReport>> = vec![None; cores];
+        let mut dirty_core = vec![false; cores];
+        let mut outcome = FleetOutcome {
+            shards: self.shard_map.shards(),
+            epochs: 0,
+            offered: arrivals.len(),
+            placed: 0,
+            rejected: 0,
+            rebuild_core_scans: 0,
+            engine_rejections: 0,
+            departures: Vec::new(),
+            decisions: Vec::new(),
+        };
+
+        let mut i = 0;
+        while i < arrivals.len() {
+            let epoch = self.clock.epoch_of(arrivals[i].at_cycles());
+            let boundary = self.clock.start_of(epoch);
+            outcome.epochs += 1;
+
+            // Epoch boundary: exchange departures across shards and free
+            // the retired tenants' slots.
+            let merged = self.apply_departures(boundary, &mut tenants, &reports)?;
+            outcome.departures.extend(merged);
+
+            // Place this epoch's arrivals in time order.
+            while i < arrivals.len() && self.clock.epoch_of(arrivals[i].at_cycles()) == epoch {
+                let arrival = &arrivals[i];
+                let class = self.placer.class_of_model(arrival.model());
+                // Weight residence is striped round-robin across HBM
+                // groups in arrival order — deterministic and independent
+                // of the shard layout.
+                let group = i % self.groups;
+                outcome.rebuild_core_scans += self.rebuild_dirty()?;
+                let placement = self.query(class, group);
+                outcome.decisions.push(AdmissionDecision {
+                    label: arrival.label().to_string(),
+                    model: arrival.model(),
+                    at_cycles: arrival.at_cycles(),
+                    placement,
+                });
+                match placement {
+                    Placement::Core(core) => {
+                        self.state.admit(core, class)?;
+                        self.invalidate(core)?;
+                        dirty_core[core] = true;
+                        let spec = WorkloadSpec::new(arrival.label(), arrival.trace().clone());
+                        per_core[core].push(Admission::new(
+                            spec,
+                            arrival.at_cycles(),
+                            arrival.requests(),
+                        )?);
+                        tenants.push(FleetTenant {
+                            core,
+                            idx: per_core[core].len() - 1,
+                            class,
+                            label: interner.intern(arrival.label()),
+                            released: false,
+                        });
+                        outcome.placed += 1;
+                    }
+                    Placement::Reject => outcome.rejected += 1,
+                }
+                i += 1;
+            }
+
+            // Re-simulate the cores whose admission history changed, in
+            // parallel with input-order scatter-back.
+            let jobs: Vec<usize> = (0..cores).filter(|&c| dirty_core[c]).collect();
+            let results = run_cores(self.threads, &jobs, |core| {
+                let schedule = AdmissionSchedule::new(per_core[core].clone())?;
+                serve_design(design, &schedule, config, &opts)
+            });
+            for (&core, result) in jobs.iter().zip(results) {
+                reports[core] = Some(result?);
+                dirty_core[core] = false;
+            }
+        }
+
+        for report in reports.iter().flatten() {
+            outcome.engine_rejections += report.rejected_admissions();
+        }
+        if outcome.engine_rejections != 0 {
+            return Err(V10Error::invalid(
+                "FleetPlane::serve",
+                format!(
+                    "engine rejected {} admissions the plane made: the epoch \
+                     exchange released a slot before its tenant retired",
+                    outcome.engine_rejections
+                ),
+            ));
+        }
+        let report = ClusterServeReport::from_parts(reports, Vec::new(), Vec::new(), Vec::new());
+        Ok((report, outcome))
+    }
+}
+
+/// Runs `f` over `jobs` on `threads` scoped worker threads, returning
+/// results in input order (atomic-cursor claim, private result buffers,
+/// scatter-back after join) — the same byte-identical recipe as the bench
+/// sweep driver, inlined here because the plane sits below the bench crate.
+fn run_cores<R, F>(threads: usize, jobs: &[usize], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 {
+        return jobs.iter().map(|&j| f(j)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            return mine;
+                        }
+                        mine.push((i, f(jobs[i])));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("fleet worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::build_dataset;
+    use crate::eval::PairPerfCache;
+    use crate::pipeline::ClusteringPipeline;
+    use v10_workloads::Model;
+
+    fn pipeline() -> ClusteringPipeline {
+        let models = [
+            Model::Bert,
+            Model::Ncf,
+            Model::Dlrm,
+            Model::ResNet,
+            Model::Mnist,
+            Model::RetinaNet,
+        ];
+        let points = build_dataset(&models, &[], 3);
+        let mut cache = PairPerfCache::new(2, 3);
+        ClusteringPipeline::fit(&points, 3, 3, &mut cache, 3)
+    }
+
+    fn arrival(label: &str, model: Model, at: f64, requests: usize) -> TimedArrival {
+        TimedArrival::new(
+            label,
+            model,
+            model.default_profile().synthesize(7),
+            at,
+            requests,
+        )
+        .unwrap()
+    }
+
+    fn arrivals() -> Vec<TimedArrival> {
+        let models = [Model::Mnist, Model::Ncf, Model::Dlrm];
+        (0..9)
+            .map(|i| {
+                let model = models[i % models.len()];
+                #[allow(clippy::cast_precision_loss)]
+                let at = 2_000_000.0 * i as f64;
+                arrival(&format!("t{i}"), model, at, 1)
+            })
+            .collect()
+    }
+
+    fn plane(p: &ClusteringPipeline, shards: usize, threads: usize) -> FleetPlane<'_> {
+        let placer = OnlinePlacer::new(p).with_threshold(0.01).unwrap();
+        let topo = FleetTopology::mesh(4, 2, 2, 64.0).unwrap();
+        let weights = TopologyWeights::new(0.02, 0.01).unwrap();
+        FleetPlane::new(placer, topo, 2, shards, 4_000_000.0, weights)
+            .unwrap()
+            .with_threads(threads)
+    }
+
+    #[test]
+    fn serve_places_everything_on_an_uncontended_fleet() {
+        let p = pipeline();
+        let mut plane = plane(&p, 2, 1);
+        let arrivals = arrivals();
+        let opts = RunOptions::new(1).unwrap();
+        let (report, outcome) = plane
+            .serve(&arrivals, Design::V10Full, &NpuConfig::table5(), &opts)
+            .unwrap();
+        assert_eq!(outcome.offered(), 9);
+        assert_eq!(outcome.placed() + outcome.rejected(), 9);
+        assert_eq!(outcome.rejected(), 0, "16 slots for 9 small tenants");
+        assert_eq!(outcome.engine_rejections(), 0);
+        assert_eq!(outcome.decisions().len(), 9);
+        assert!(outcome.epochs() >= 2, "arrivals span multiple epochs");
+        assert!(
+            !outcome.departures().is_empty(),
+            "later epochs should observe earlier tenants retiring"
+        );
+        assert_eq!(report.completed_requests(), 9);
+        let hosted = report.per_core().iter().flatten().count();
+        assert!(hosted >= 1);
+    }
+
+    #[test]
+    fn departures_free_slots_for_later_arrivals() {
+        let p = pipeline();
+        // One core, one slot: only departure releases make room for the
+        // second and third tenants, which arrive epochs later.
+        let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
+        let topo = FleetTopology::flat(1).unwrap();
+        let mut plane =
+            FleetPlane::new(placer, topo, 1, 1, 1.0e7, TopologyWeights::zero()).unwrap();
+        let stream = vec![
+            arrival("a", Model::Mnist, 0.0, 1),
+            arrival("b", Model::Mnist, 2.0e7, 1),
+        ];
+        let opts = RunOptions::new(1).unwrap();
+        let (report, outcome) = plane
+            .serve(&stream, Design::V10Full, &NpuConfig::table5(), &opts)
+            .unwrap();
+        assert_eq!(outcome.placed(), 2, "slot recycled across the epoch gap");
+        assert_eq!(outcome.departures().len(), 1);
+        assert_eq!(report.completed_requests(), 2);
+    }
+
+    #[test]
+    fn reports_identical_across_shard_and_thread_counts() {
+        let p = pipeline();
+        let arrivals = arrivals();
+        let opts = RunOptions::new(1).unwrap();
+        let cfg = NpuConfig::table5();
+        let (base_report, base_outcome) = plane(&p, 1, 1)
+            .serve(&arrivals, Design::V10Full, &cfg, &opts)
+            .unwrap();
+        for (shards, threads) in [(2, 1), (4, 2), (8, 3)] {
+            let (report, outcome) = plane(&p, shards, threads)
+                .serve(&arrivals, Design::V10Full, &cfg, &opts)
+                .unwrap();
+            assert_eq!(report, base_report, "{shards} shards, {threads} threads");
+            assert_eq!(outcome.decisions(), base_outcome.decisions());
+            assert_eq!(outcome.departures(), base_outcome.departures());
+            assert_eq!(outcome.placed(), base_outcome.placed());
+            assert_eq!(outcome.epochs(), base_outcome.epochs());
+        }
+    }
+
+    #[test]
+    fn finer_sharding_scans_fewer_cores() {
+        let p = pipeline();
+        let arrivals = arrivals();
+        let opts = RunOptions::new(1).unwrap();
+        let cfg = NpuConfig::table5();
+        let scans = |shards: usize| {
+            let (_, o) = plane(&p, shards, 1)
+                .serve(&arrivals, Design::V10Full, &cfg, &opts)
+                .unwrap();
+            o.rebuild_core_scans()
+        };
+        let one = scans(1);
+        let four = scans(4);
+        assert!(
+            four < one,
+            "4-shard rebuilds ({four}) must scan fewer cores than 1-shard ({one})"
+        );
+    }
+
+    #[test]
+    fn unsorted_arrivals_rejected() {
+        let p = pipeline();
+        let mut plane = plane(&p, 1, 1);
+        let stream = vec![
+            arrival("a", Model::Mnist, 1000.0, 1),
+            arrival("b", Model::Mnist, 0.0, 1),
+        ];
+        let opts = RunOptions::new(1).unwrap();
+        let err = plane
+            .serve(&stream, Design::V10Full, &NpuConfig::table5(), &opts)
+            .unwrap_err();
+        assert!(err.to_string().contains("sorted"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_planes_rejected() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p);
+        let topo = || FleetTopology::flat(4).unwrap();
+        assert!(FleetPlane::new(placer, topo(), 0, 1, 1.0, TopologyWeights::zero()).is_err());
+        assert!(FleetPlane::new(placer, topo(), 1, 0, 1.0, TopologyWeights::zero()).is_err());
+        assert!(FleetPlane::new(placer, topo(), 1, 5, 1.0, TopologyWeights::zero()).is_err());
+        assert!(FleetPlane::new(placer, topo(), 1, 1, 0.0, TopologyWeights::zero()).is_err());
+    }
+}

@@ -24,6 +24,11 @@
 //!   ([`OnlinePlacer`]) plus the multi-core admission controller
 //!   ([`MultiCoreAdmission`]) that compiles accepted arrivals into per-core
 //!   admission schedules for the serving engine.
+//! * [`fleet`] — the sharded fleet serving plane ([`FleetPlane`]):
+//!   topology-aware admission over a ≥1000-core fleet decomposed into
+//!   per-shard workers with per-(class, HBM-group) candidate tables,
+//!   exchanging departures deterministically at epoch boundaries —
+//!   byte-identical reports at any shard or thread count.
 //! * [`breaker`] — per-core circuit breakers ([`BreakerBoard`]): cores
 //!   that sustain p99 breaches or checkpoint-replay storms trip open, cool
 //!   down, and re-admit through a half-open probe phase; placement steers
@@ -49,6 +54,7 @@ pub mod breaker;
 pub mod dataset;
 pub mod deploy;
 pub mod eval;
+pub mod fleet;
 pub mod kmeans;
 pub mod pca;
 pub mod pipeline;
@@ -63,10 +69,13 @@ pub use deploy::{plan_deployment, simulate_deployment, CoreAssignment, Deploymen
 pub use eval::{
     cross_validate_table2, measure_pair_stp, PairPerfCache, Table2Row, BENEFIT_THRESHOLD,
 };
+pub use fleet::{FleetOutcome, FleetPlane};
 pub use kmeans::KMeans;
 pub use pca::Pca;
 pub use pipeline::ClusteringPipeline;
-pub use placer::{AdmissionDecision, MultiCoreAdmission, OnlinePlacer, Placement};
+pub use placer::{
+    AdmissionDecision, MultiCoreAdmission, OnlinePlacer, Placement, TopoScore, TopologyWeights,
+};
 pub use recovery::{ClusterServeReport, RecoveryPolicy, RequeueRecord, ShedRecord};
 pub use schemes::{Scheme, SchemeKind};
 pub use standardize::Standardizer;

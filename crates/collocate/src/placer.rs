@@ -18,6 +18,7 @@
 
 use v10_core::{Admission, AdmissionSchedule, WorkloadSpec};
 use v10_npu::ClusterState;
+use v10_sim::convert::usize_to_f64;
 use v10_sim::{V10Error, V10Result};
 use v10_workloads::{Model, TimedArrival};
 
@@ -215,6 +216,212 @@ impl<'a> OnlinePlacer<'a> {
             (None, None) => Placement::Reject,
         })
     }
+
+    /// Scores one candidate core for an arrival of behavior class `class`
+    /// whose weights are resident in HBM group `home_group`, or `None`
+    /// when the core is not admissible (no free slot, or a resident
+    /// pairing below the benefit threshold — the same skip rules as
+    /// [`place_class`](Self::place_class)).
+    ///
+    /// The score is a two-tier key (see [`TopoScore`]): collocating with
+    /// beneficial residents always outranks opening an empty core, and
+    /// within a tier the value is the conservative cluster-compatibility
+    /// STP minus the topology penalties — `hop_penalty` per interconnect
+    /// hop between the core and the tenant's weight-resident HBM group,
+    /// and `spread_penalty` per already-resident tenant of the *same*
+    /// class (antagonist spreading: same-class tenants stress the same
+    /// functional units, so piling them on one core is the worst-case
+    /// contention pattern).
+    ///
+    /// Under zero weights — or the flat compatibility topology, where
+    /// every hop cost is zero and a zero spread weight — the ranking
+    /// degenerates exactly to [`place_class`](Self::place_class).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `class`, `core`,
+    /// `home_group`, or any resident tag is out of range.
+    pub fn topo_score(
+        &self,
+        class: usize,
+        core: usize,
+        cluster_state: &ClusterState,
+        home_group: usize,
+        weights: &TopologyWeights,
+    ) -> V10Result<Option<TopoScore>> {
+        let k = self.pipeline.clusters();
+        if class >= k {
+            return Err(V10Error::invalid(
+                "OnlinePlacer::topo_score",
+                format!("class {class} out of range for a {k}-cluster pipeline"),
+            ));
+        }
+        if cluster_state.free_slots(core)? == 0 {
+            return Ok(None);
+        }
+        let hops = cluster_state.topology().hop_cost(core, home_group)?;
+        let residents = cluster_state.residents(core)?;
+        let same_class = residents.iter().filter(|&&r| r == class).count();
+        let penalty = weights.hop_penalty * f64::from(hops)
+            + weights.spread_penalty * usize_to_f64(same_class);
+        if residents.is_empty() {
+            return Ok(Some(TopoScore {
+                collocated: false,
+                value: -penalty,
+            }));
+        }
+        let perf = self.pipeline.cluster_perf_table();
+        let mut predicted = f64::INFINITY;
+        for &r in residents {
+            if r >= k {
+                return Err(V10Error::invalid(
+                    "OnlinePlacer::topo_score",
+                    format!(
+                        "resident class {r} on core {core} out of range \
+                         for a {k}-cluster pipeline"
+                    ),
+                ));
+            }
+            predicted = predicted.min(perf[class][r]);
+        }
+        if predicted < self.threshold {
+            return Ok(None);
+        }
+        Ok(Some(TopoScore {
+            collocated: true,
+            value: predicted - penalty,
+        }))
+    }
+
+    /// Topology-aware placement: the admissible core with the highest
+    /// [`TopoScore`] wins, ties broken by the lowest core index. The
+    /// reference (single-scan) implementation of the ranking the sharded
+    /// fleet plane decomposes across per-shard admission workers — both
+    /// must pick identical cores on identical state.
+    ///
+    /// # Errors
+    ///
+    /// As [`topo_score`](Self::topo_score).
+    pub fn place_class_topo(
+        &self,
+        class: usize,
+        cluster_state: &ClusterState,
+        home_group: usize,
+        weights: &TopologyWeights,
+    ) -> V10Result<Placement> {
+        let mut best: Option<(TopoScore, usize)> = None;
+        for core in 0..cluster_state.cores() {
+            if let Some(score) = self.topo_score(class, core, cluster_state, home_group, weights)? {
+                if best.is_none_or(|(b, _)| score.beats(&b)) {
+                    best = Some((score, core));
+                }
+            }
+        }
+        Ok(best.map_or(Placement::Reject, |(_, core)| Placement::Core(core)))
+    }
+}
+
+/// Weights of the topology terms in [`OnlinePlacer::topo_score`]:
+/// `hop_penalty` is STP-units lost per interconnect hop between a core
+/// and the tenant's weight-resident HBM group, `spread_penalty` is
+/// STP-units lost per same-class resident already on the core. Zero
+/// weights reduce topology-aware placement to the topology-blind rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyWeights {
+    hop_penalty: f64,
+    spread_penalty: f64,
+}
+
+impl TopologyWeights {
+    /// Weights of `hop_penalty` per hop and `spread_penalty` per
+    /// same-class resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] unless both weights are
+    /// finite and non-negative.
+    pub fn new(hop_penalty: f64, spread_penalty: f64) -> V10Result<Self> {
+        for (name, w) in [
+            ("hop_penalty", hop_penalty),
+            ("spread_penalty", spread_penalty),
+        ] {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(V10Error::invalid(
+                    "TopologyWeights::new",
+                    format!("{name} must be finite and non-negative, got {w}"),
+                ));
+            }
+        }
+        Ok(TopologyWeights {
+            hop_penalty,
+            spread_penalty,
+        })
+    }
+
+    /// Zero weights: topology-aware scoring collapses to the historical
+    /// topology-blind ranking.
+    #[must_use]
+    pub fn zero() -> Self {
+        TopologyWeights {
+            hop_penalty: 0.0,
+            spread_penalty: 0.0,
+        }
+    }
+
+    /// STP-units lost per interconnect hop.
+    #[must_use]
+    pub fn hop_penalty(&self) -> f64 {
+        self.hop_penalty
+    }
+
+    /// STP-units lost per same-class resident.
+    #[must_use]
+    pub fn spread_penalty(&self) -> f64 {
+        self.spread_penalty
+    }
+}
+
+/// A candidate score from [`OnlinePlacer::topo_score`], ordered as a
+/// two-level key: collocating with beneficial residents always outranks
+/// opening an empty core (the paper's collocation-first philosophy), and
+/// within a tier a larger penalized STP value wins. Kept as a composite
+/// key — never collapsed into one float — so tier jumps can't be eroded
+/// by penalty arithmetic or rounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopoScore {
+    collocated: bool,
+    value: f64,
+}
+
+impl TopoScore {
+    /// True when the score is for collocating with existing residents
+    /// (the higher tier), false for opening an empty core.
+    #[must_use]
+    pub fn is_collocated(&self) -> bool {
+        self.collocated
+    }
+
+    /// The within-tier value: conservative pair STP (or zero for an
+    /// empty core) minus the topology penalties.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Total order: tier first, then `f64::total_cmp` on the value.
+    #[must_use]
+    pub fn cmp_key(&self, other: &TopoScore) -> std::cmp::Ordering {
+        self.collocated
+            .cmp(&other.collocated)
+            .then(self.value.total_cmp(&other.value))
+    }
+
+    /// Strictly better than `other` — equal scores do *not* beat, so a
+    /// scan that keeps the incumbent on ties picks the lowest core index.
+    #[must_use]
+    pub fn beats(&self, other: &TopoScore) -> bool {
+        self.cmp_key(other) == std::cmp::Ordering::Greater
+    }
 }
 
 /// One admission decision recorded by [`MultiCoreAdmission`].
@@ -410,6 +617,7 @@ mod tests {
     use super::*;
     use crate::dataset::build_dataset;
     use crate::eval::PairPerfCache;
+    use v10_npu::FleetTopology;
     use v10_workloads::OpenLoopProcess;
 
     fn pipeline() -> ClusteringPipeline {
@@ -641,5 +849,149 @@ mod tests {
         let placer = OnlinePlacer::new(&p);
         assert!(MultiCoreAdmission::new(placer, 0, 4).is_err());
         assert!(MultiCoreAdmission::new(placer, 2, 0).is_err());
+    }
+
+    #[test]
+    fn bad_topology_weights_rejected() {
+        for (h, s) in [
+            (-1.0, 0.0),
+            (0.0, -0.5),
+            (f64::NAN, 0.0),
+            (0.0, f64::INFINITY),
+        ] {
+            let err = TopologyWeights::new(h, s).unwrap_err();
+            assert!(err.to_string().contains("finite and non-negative"), "{err}");
+        }
+        let w = TopologyWeights::new(0.25, 0.1).unwrap();
+        assert_eq!(w.hop_penalty(), 0.25);
+        assert_eq!(w.spread_penalty(), 0.1);
+        assert_eq!(
+            TopologyWeights::zero(),
+            TopologyWeights::new(0.0, 0.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn topo_score_ordering_is_tiered() {
+        // Collocation at any penalized value beats an empty core at any.
+        let occupied = TopoScore {
+            collocated: true,
+            value: -3.0,
+        };
+        let empty = TopoScore {
+            collocated: false,
+            value: 0.0,
+        };
+        assert!(occupied.beats(&empty));
+        assert!(!empty.beats(&occupied));
+        // Equal scores beat nothing, so an incumbent-keeping scan takes the
+        // lowest core index on ties.
+        assert!(!occupied.beats(&occupied));
+        let better = TopoScore {
+            collocated: true,
+            value: -2.0,
+        };
+        assert!(better.beats(&occupied));
+    }
+
+    #[test]
+    fn near_hbm_group_beats_far_at_equal_cluster_fit() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
+        // 4×1 mesh, two HBM column bands: {0, 1} and {2, 3}.
+        let topo = FleetTopology::mesh(4, 1, 2, 64.0).unwrap();
+        let weights = TopologyWeights::new(0.05, 0.0).unwrap();
+        // Equal fit among empty cores: the zero-hop band wins over index.
+        let mut state = ClusterState::with_topology(topo, 2).unwrap();
+        assert_eq!(
+            placer.place_class_topo(0, &state, 1, &weights).unwrap(),
+            Placement::Core(2),
+            "empty core nearest to home group 1 wins over lower-index core 0"
+        );
+        assert_eq!(
+            placer.place_class_topo(0, &state, 0, &weights).unwrap(),
+            Placement::Core(0)
+        );
+        // Equal fit among occupied cores: same resident class on cores 0 and
+        // 3 gives identical predicted STP; only hop distance differs.
+        state.admit(0, 1).unwrap();
+        state.admit(3, 1).unwrap();
+        assert_eq!(
+            placer.place_class_topo(0, &state, 1, &weights).unwrap(),
+            Placement::Core(3),
+            "equal cluster fit, nearer HBM group wins"
+        );
+        assert_eq!(
+            placer.place_class_topo(0, &state, 0, &weights).unwrap(),
+            Placement::Core(0)
+        );
+    }
+
+    #[test]
+    fn spread_penalty_steers_away_from_same_class_pileups() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
+        let mut state = ClusterState::new(2, 4).unwrap();
+        // Core 0 already hosts two class-1 tenants, core 1 hosts one; the
+        // min-pair STP for a class-1 arrival is identical on both, so only
+        // the antagonist-spreading term separates them.
+        state.admit(0, 1).unwrap();
+        state.admit(0, 1).unwrap();
+        state.admit(1, 1).unwrap();
+        let spread = TopologyWeights::new(0.0, 0.01).unwrap();
+        assert_eq!(
+            placer.place_class_topo(1, &state, 0, &spread).unwrap(),
+            Placement::Core(1),
+            "lighter same-class load wins at equal predicted STP"
+        );
+        // Without the weight the tie falls back to the lowest core index.
+        assert_eq!(
+            placer
+                .place_class_topo(1, &state, 0, &TopologyWeights::zero())
+                .unwrap(),
+            Placement::Core(0)
+        );
+    }
+
+    #[test]
+    fn zero_weights_on_flat_topology_match_place_class() {
+        let p = pipeline();
+        for threshold in [0.01, BENEFIT_THRESHOLD, 1.0e9] {
+            let placer = OnlinePlacer::new(&p).with_threshold(threshold).unwrap();
+            let mut state = ClusterState::new(5, 2).unwrap();
+            // A mixed occupancy: duplicates, pairs, one full core, one empty.
+            for (core, class) in [(0, 0), (0, 1), (1, 2), (2, 2), (2, 2), (3, 1)] {
+                state.admit(core, class).unwrap();
+            }
+            for class in 0..p.clusters() {
+                assert_eq!(
+                    placer
+                        .place_class_topo(class, &state, 0, &TopologyWeights::zero())
+                        .unwrap(),
+                    placer.place_class(class, &state).unwrap(),
+                    "class {class} at threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topo_score_rejects_out_of_range_arguments() {
+        let p = pipeline();
+        let placer = OnlinePlacer::new(&p);
+        let state = ClusterState::new(2, 2).unwrap();
+        let w = TopologyWeights::zero();
+        let err = placer
+            .topo_score(p.clusters(), 0, &state, 0, &w)
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let err = placer.topo_score(0, 9, &state, 0, &w).unwrap_err();
+        assert!(err.to_string().contains("core"), "{err}");
+        let err = placer.topo_score(0, 0, &state, 7, &w).unwrap_err();
+        assert!(err.to_string().contains("group"), "{err}");
+        let mut state = ClusterState::new(1, 2).unwrap();
+        state.admit(0, p.clusters() + 1).unwrap();
+        let err = placer.place_class_topo(0, &state, 0, &w).unwrap_err();
+        assert!(err.to_string().contains("resident class"), "{err}");
     }
 }

@@ -161,7 +161,7 @@ pub struct ShedRecord {
 
 /// The outcome of a faulted multi-core serve: final per-core reports plus
 /// the controller's recovery ledger.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterServeReport {
     per_core: Vec<Option<RunReport>>,
     requeued: Vec<RequeueRecord>,
@@ -170,6 +170,22 @@ pub struct ClusterServeReport {
 }
 
 impl ClusterServeReport {
+    /// Assembles a report from the serving plane's parts (the sharded fleet
+    /// plane produces the same report shape with an empty recovery ledger).
+    pub(crate) fn from_parts(
+        per_core: Vec<Option<RunReport>>,
+        requeued: Vec<RequeueRecord>,
+        shed: Vec<ShedRecord>,
+        retired_cores: Vec<(usize, f64)>,
+    ) -> Self {
+        ClusterServeReport {
+            per_core,
+            requeued,
+            shed,
+            retired_cores,
+        }
+    }
+
     /// Final run report per core (`None` for cores that never hosted a
     /// tenant).
     #[must_use]

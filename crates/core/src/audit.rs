@@ -185,6 +185,144 @@ impl RuntimeAuditor {
     }
 }
 
+/// Conservation auditing across shard boundaries of a sharded serving
+/// plane.
+///
+/// [`RuntimeAuditor`] checks one engine's event stream against one report.
+/// A sharded fleet adds cross-cutting invariants no single core can see:
+/// every offered arrival must be accounted for as a placement or a
+/// rejection, every placed tenant must appear in exactly one core's final
+/// report, the engine must never reject an admission the plane made (the
+/// plane's slot bookkeeping is conservative), and the departure stream the
+/// shards exchanged must be a valid simulated-time order — nondecreasing
+/// across epochs, every message naming an in-range core, no tenant
+/// departing twice. Feed the plane's outputs in with the `record_*`
+/// methods, then call [`reconcile`](Self::reconcile) and assert
+/// [`is_clean`](Self::is_clean).
+#[derive(Debug, Default)]
+pub struct FleetConservation {
+    placed: u64,
+    hosted: u64,
+    completed_requests: u64,
+    violations: Vec<String>,
+    suppressed: u64,
+}
+
+impl FleetConservation {
+    /// A fresh fleet auditor with nothing recorded.
+    #[must_use]
+    pub fn new() -> Self {
+        FleetConservation::default()
+    }
+
+    fn flag(&mut self, message: String) {
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(message);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// Records the plane's admission flow: every offered arrival must be
+    /// either placed or rejected, nothing may vanish in between.
+    pub fn record_flow(&mut self, offered: usize, placed: usize, rejected: usize) {
+        if placed + rejected != offered {
+            self.flag(format!(
+                "admission flow leaks: {offered} offered but {placed} placed + {rejected} rejected"
+            ));
+        }
+        self.placed += v10_sim::convert::u64_from_usize(placed);
+    }
+
+    /// Records one core's final report. The engine rejecting an admission
+    /// the plane made means the epoch exchange released a slot before its
+    /// tenant retired — the central cross-shard safety property.
+    pub fn record_core(&mut self, core: usize, report: &RunReport) {
+        if report.rejected_admissions() != 0 {
+            self.flag(format!(
+                "core {core} engine rejected {} plane-made admissions",
+                report.rejected_admissions()
+            ));
+        }
+        self.hosted += v10_sim::convert::u64_from_usize(report.workloads().len());
+        for wl in report.workloads() {
+            self.completed_requests += v10_sim::convert::u64_from_usize(wl.completed_requests());
+        }
+    }
+
+    /// Records the merged cross-shard departure stream: release times must
+    /// be nondecreasing (a departure applied at a later epoch boundary can
+    /// never predate an earlier one — otherwise it would already have been
+    /// released there), every message must name an in-range core, and no
+    /// tenant may depart twice.
+    pub fn record_departures(&mut self, cores: usize, departures: &[v10_sim::DepartureMsg]) {
+        let mut seen: Vec<(usize, u32)> = Vec::with_capacity(departures.len());
+        let mut last = f64::NEG_INFINITY;
+        for (i, d) in departures.iter().enumerate() {
+            if !d.at_cycles.is_finite() || d.at_cycles < last {
+                self.flag(format!(
+                    "departure {i} at {} after one at {last}: the epoch \
+                     exchange replayed out of simulated-time order",
+                    d.at_cycles
+                ));
+            }
+            last = last.max(d.at_cycles);
+            if d.core >= cores {
+                self.flag(format!(
+                    "departure {i} names core {} of a {cores}-core fleet",
+                    d.core
+                ));
+            }
+            seen.push((d.core, d.label));
+        }
+        seen.sort_unstable();
+        if let Some((&(core, label), _)) =
+            seen.iter().zip(seen.iter().skip(1)).find(|(a, b)| a == b)
+        {
+            self.flag(format!(
+                "tenant with label {label} departed core {core} twice"
+            ));
+        }
+        let departed = v10_sim::convert::u64_from_usize(departures.len());
+        if departed > self.placed {
+            self.flag(format!(
+                "{departed} departures for only {} placements",
+                self.placed
+            ));
+        }
+    }
+
+    /// Final cross-shard reconciliation: every placed tenant must be hosted
+    /// by exactly one core's report. Call after every `record_*` feed.
+    pub fn reconcile(&mut self) {
+        if self.hosted != self.placed {
+            self.flag(format!(
+                "{} placements but {} tenancies across the per-core reports",
+                self.placed, self.hosted
+            ));
+        }
+    }
+
+    /// Requests completed across every recorded core.
+    #[must_use]
+    pub fn completed_requests(&self) -> u64 {
+        self.completed_requests
+    }
+
+    /// Every recorded violation, in detection order (capped like
+    /// [`RuntimeAuditor`]).
+    #[must_use]
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Did every cross-shard check pass?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+}
+
 impl SimObserver for RuntimeAuditor {
     fn on_event(&mut self, event: SimEvent) {
         self.events += 1;
@@ -469,6 +607,97 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.contains("request_completed events")));
+    }
+
+    #[test]
+    fn fleet_conservation_accepts_a_clean_plane() {
+        let engine = V10Engine::new(NpuConfig::table5(), Policy::Priority, true);
+        let report = engine
+            .run(&[spec("a"), spec("b")], &RunOptions::new(2).unwrap())
+            .unwrap();
+        let mut fleet = FleetConservation::new();
+        fleet.record_flow(3, 2, 1);
+        fleet.record_core(0, &report);
+        fleet.record_departures(
+            4,
+            &[
+                v10_sim::DepartureMsg {
+                    at_cycles: 10.0,
+                    core: 0,
+                    label: 0,
+                },
+                v10_sim::DepartureMsg {
+                    at_cycles: 25.0,
+                    core: 0,
+                    label: 1,
+                },
+            ],
+        );
+        fleet.reconcile();
+        assert!(fleet.is_clean(), "violations: {:?}", fleet.violations());
+        assert_eq!(fleet.completed_requests(), 4);
+    }
+
+    #[test]
+    fn fleet_conservation_flags_leaks_and_disorder() {
+        let mut fleet = FleetConservation::new();
+        fleet.record_flow(5, 3, 1); // one arrival vanished
+        assert!(fleet.violations()[0].contains("leaks"));
+
+        let mut fleet = FleetConservation::new();
+        fleet.record_flow(2, 2, 0);
+        fleet.record_departures(
+            4,
+            &[
+                v10_sim::DepartureMsg {
+                    at_cycles: 30.0,
+                    core: 0,
+                    label: 0,
+                },
+                v10_sim::DepartureMsg {
+                    at_cycles: 10.0,
+                    core: 1,
+                    label: 1,
+                },
+            ],
+        );
+        assert!(fleet
+            .violations()
+            .iter()
+            .any(|v| v.contains("out of simulated-time order")));
+
+        let mut fleet = FleetConservation::new();
+        fleet.record_flow(2, 2, 0);
+        fleet.record_departures(
+            2,
+            &[
+                v10_sim::DepartureMsg {
+                    at_cycles: 10.0,
+                    core: 5,
+                    label: 0,
+                },
+                v10_sim::DepartureMsg {
+                    at_cycles: 10.0,
+                    core: 5,
+                    label: 0,
+                },
+            ],
+        );
+        assert!(fleet
+            .violations()
+            .iter()
+            .any(|v| v.contains("names core 5")));
+        assert!(fleet.violations().iter().any(|v| v.contains("twice")));
+
+        // Hosted/placed mismatch surfaces at reconcile.
+        let mut fleet = FleetConservation::new();
+        fleet.record_flow(1, 1, 0);
+        fleet.reconcile();
+        assert!(!fleet.is_clean());
+        assert!(fleet
+            .violations()
+            .iter()
+            .any(|v| v.contains("1 placements but 0 tenancies")));
     }
 
     #[test]

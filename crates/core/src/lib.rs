@@ -40,7 +40,9 @@
 //! * [`audit`] — online invariant auditing ([`RuntimeAuditor`]): a
 //!   [`SimObserver`] that checks clock monotonicity, tenancy lifecycle, and
 //!   conservation (admitted = completed + rejected + shed) during the run
-//!   and reconciles against the final [`RunReport`].
+//!   and reconciles against the final [`RunReport`]; plus the cross-shard
+//!   fleet checker ([`FleetConservation`]) extending the conservation
+//!   invariants over a sharded serving plane's shard boundaries.
 //! * [`overhead`] — the hardware-cost model of Table 3.
 //!
 //! Both executors drive the same event-loop core (the crate-private
@@ -102,7 +104,7 @@ pub mod packed;
 pub mod pmt;
 pub mod policy;
 
-pub use audit::RuntimeAuditor;
+pub use audit::{FleetConservation, RuntimeAuditor};
 pub use context::{ContextTable, WorkloadId};
 pub use design::{
     run_design, serve_design, serve_design_faulted, serve_design_faulted_observed,

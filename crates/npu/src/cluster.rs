@@ -10,6 +10,8 @@
 
 use v10_sim::{V10Error, V10Result};
 
+use crate::topology::FleetTopology;
+
 /// Occupancy of one NPU core: resident tenant class tags bounded by the
 /// core's context-table capacity, plus a health flag — a permanently
 /// faulted core keeps its slots retired until the cluster is rebuilt.
@@ -34,14 +36,17 @@ struct CoreOccupancy {
 /// cluster.release(0, 3).expect("a class-3 tenant is resident");
 /// assert!(cluster.is_empty());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterState {
     cores: Vec<CoreOccupancy>,
+    topology: FleetTopology,
 }
 
 impl ClusterState {
     /// A cluster of `cores` empty cores, each with `slots_per_core`
-    /// context-table slots.
+    /// context-table slots, on the flat zero-hop compatibility topology
+    /// ([`FleetTopology::flat`]) — the historical constructor, bit-identical
+    /// in behavior to the pre-topology flat cluster.
     ///
     /// # Errors
     ///
@@ -54,9 +59,19 @@ impl ClusterState {
                 "a cluster needs at least one core",
             ));
         }
+        Self::with_topology(FleetTopology::flat(cores)?, slots_per_core)
+    }
+
+    /// A cluster whose cores sit on `topology` (one occupancy record per
+    /// topology core), each with `slots_per_core` context-table slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `slots_per_core` is zero.
+    pub fn with_topology(topology: FleetTopology, slots_per_core: usize) -> V10Result<Self> {
         if slots_per_core == 0 {
             return Err(V10Error::invalid(
-                "ClusterState::new",
+                "ClusterState::with_topology",
                 "each core needs at least one context-table slot",
             ));
         }
@@ -67,9 +82,17 @@ impl ClusterState {
                     capacity: slots_per_core,
                     failed: false,
                 };
-                cores
+                topology.cores()
             ],
+            topology,
         })
+    }
+
+    /// The interconnect/HBM-affinity topology the cores sit on. The flat
+    /// compatibility view for clusters built with [`ClusterState::new`].
+    #[must_use]
+    pub fn topology(&self) -> &FleetTopology {
+        &self.topology
     }
 
     /// Number of cores in the cluster.
@@ -317,6 +340,22 @@ mod tests {
         let err = cluster.fail(0).unwrap_err();
         assert!(err.to_string().contains("already failed"), "{err}");
         assert!(cluster.fail(2).is_err(), "out of range");
+    }
+
+    #[test]
+    fn topology_rides_along_with_occupancy() {
+        use crate::topology::FleetTopology;
+        let flat = ClusterState::new(4, 2).unwrap();
+        assert!(flat.topology().is_flat());
+        assert_eq!(flat.topology().cores(), 4);
+
+        let topo = FleetTopology::mesh(2, 2, 2, 64.0).unwrap();
+        let mut cluster = ClusterState::with_topology(topo, 2).unwrap();
+        assert_eq!(cluster.cores(), 4);
+        assert!(!cluster.topology().is_flat());
+        cluster.admit(3, 1).unwrap();
+        assert_eq!(cluster.residents(3).unwrap(), &[1]);
+        assert!(ClusterState::with_topology(FleetTopology::flat(2).unwrap(), 0).is_err());
     }
 
     #[test]

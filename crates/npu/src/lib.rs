@@ -17,6 +17,11 @@
 //! * [`cluster`] — multi-core occupancy bookkeeping ([`ClusterState`]):
 //!   which behavior class occupies which context-table slot on which core,
 //!   the hardware-side state behind online admission control.
+//! * [`topology`] — fleet interconnect geometry ([`FleetTopology`]):
+//!   mesh/ring wiring, per-link bandwidth, HBM-affinity groups, and the
+//!   precomputed core × group hop-cost table consumed by topology-aware
+//!   placement. [`FleetTopology::flat`] is the zero-hop compatibility view
+//!   every pre-topology call site gets implicitly.
 //!
 //! # Example
 //!
@@ -42,6 +47,7 @@ pub mod dma;
 pub mod fu;
 pub mod hbm;
 pub mod layout;
+pub mod topology;
 
 pub use cluster::ClusterState;
 pub use config::{NpuConfig, NpuConfigBuilder};
@@ -49,4 +55,5 @@ pub use dma::InstructionDma;
 pub use fu::{FuId, FuPool};
 pub use hbm::HbmArbiter;
 pub use layout::{HbmLayout, HbmLayoutError, RegionId};
+pub use topology::{FleetTopology, Interconnect};
 pub use v10_sim::{V10Error, V10Result};

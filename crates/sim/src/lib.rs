@@ -21,6 +21,11 @@
 //! * [`rng`] — deterministic random sampling helpers (normal / lognormal via
 //!   Box–Muller, bounded uniforms) on top of a seedable PRNG, so that every
 //!   experiment in the workspace is reproducible from a seed.
+//! * [`shard`] — deterministic cross-shard merge primitives for sharded
+//!   fleet simulation ([`ShardMap`], [`EpochClock`], [`merge_messages`]):
+//!   fixed core ownership plus a simulated-time total order on boundary
+//!   messages, so an N-shard run replays the 1-shard event sequence
+//!   bit for bit.
 //! * [`convert`] — checked numeric conversions for cycle/byte accounting
 //!   (exact integer→`f64`, saturating `f64`→integer), required by the
 //!   `v10-lint` D3 rule in place of bare `as` casts.
@@ -58,6 +63,7 @@ pub mod events;
 pub mod fault;
 pub mod intern;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -68,5 +74,6 @@ pub use events::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use intern::{LabelId, LabelInterner};
 pub use rng::SimRng;
+pub use shard::{merge_messages, DepartureMsg, EpochClock, ShardMap};
 pub use stats::{Histogram, LatencySummary, OnlineStats, Percentiles};
 pub use time::{Cycle, CycleCount, Frequency};

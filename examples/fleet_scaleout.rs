@@ -1,0 +1,151 @@
+//! Fleet scale-out: one flash crowd, 1000 cores, 1 vs 4 admission shards.
+//!
+//! A Markov-modulated flash-crowd stream lands on a 40×25 mesh fleet
+//! (1000 cores, 5 HBM-affinity column bands) served through the sharded
+//! [`FleetPlane`]. The same stream is played twice — once with a single
+//! admission worker that rescans the whole fleet on every placement, and
+//! once with four shard workers whose per-(class, HBM-group) candidate
+//! tables confine each rescan to a quarter of the fleet. The two runs must
+//! produce byte-identical cluster reports, decisions, and departure logs
+//! (asserted below); only the wall clock and the rescan counters differ,
+//! which is the whole point: sharding is a work decomposition, not a
+//! semantic knob.
+//!
+//! ```sh
+//! cargo run --release --example fleet_scaleout
+//! ```
+
+use std::time::Instant;
+
+use v10::collocate::{
+    build_dataset, ClusterServeReport, ClusteringPipeline, FleetOutcome, FleetPlane, OnlinePlacer,
+    PairPerfCache, TopologyWeights,
+};
+use v10::core::{Design, RunOptions};
+use v10::npu::{FleetTopology, NpuConfig};
+use v10::workloads::{MmppProcess, Model, TimedArrival};
+
+/// Fleet geometry: 40×25 = 1000 cores, 5 HBM column bands, 64 B/cyc links.
+const MESH_WIDTH: usize = 40;
+const MESH_HEIGHT: usize = 25;
+const HBM_GROUPS: usize = 5;
+
+const SLOTS_PER_CORE: usize = 4;
+const EPOCH_CYCLES: f64 = 8.0e6;
+const ARRIVALS: usize = 256;
+
+fn fit_pipeline() -> ClusteringPipeline {
+    let models = [
+        Model::Bert,
+        Model::Ncf,
+        Model::Dlrm,
+        Model::ResNet,
+        Model::Mnist,
+        Model::RetinaNet,
+    ];
+    let points = build_dataset(&models, &[], 7);
+    let mut cache = PairPerfCache::new(2, 7);
+    ClusteringPipeline::fit(&points, 3, 3, &mut cache, 7)
+}
+
+fn flash_crowd() -> Vec<TimedArrival> {
+    MmppProcess::flash_crowd(
+        &[Model::Mnist, Model::Dlrm, Model::Ncf],
+        3.0e5,
+        4.0,
+        2.0e7,
+        0x5CA1E,
+    )
+    .expect("valid flash-crowd process")
+    .with_requests_per_session(1)
+    .expect("positive session quota")
+    .sample(ARRIVALS)
+    .expect("non-zero arrival count")
+}
+
+fn serve(
+    pipeline: &ClusteringPipeline,
+    stream: &[TimedArrival],
+    shards: usize,
+) -> (ClusterServeReport, FleetOutcome, f64) {
+    let placer = OnlinePlacer::new(pipeline)
+        .with_threshold(0.01)
+        .expect("valid threshold");
+    let topology = FleetTopology::mesh(MESH_WIDTH, MESH_HEIGHT, HBM_GROUPS, 64.0)
+        .expect("valid mesh geometry");
+    let weights = TopologyWeights::new(0.02, 0.01).expect("valid weights");
+    let mut plane = FleetPlane::new(
+        placer,
+        topology,
+        SLOTS_PER_CORE,
+        shards,
+        EPOCH_CYCLES,
+        weights,
+    )
+    .expect("valid fleet plane");
+    let opts = RunOptions::new(1).expect("positive request count");
+    let start = Instant::now();
+    let (report, outcome) = plane
+        .serve(stream, Design::V10Full, &NpuConfig::table5(), &opts)
+        .expect("valid fleet serving run");
+    (report, outcome, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let pipeline = fit_pipeline();
+    let stream = flash_crowd();
+    println!(
+        "Flash crowd: {} tenants on a {}x{} mesh fleet ({} cores, {} HBM groups).\n",
+        stream.len(),
+        MESH_WIDTH,
+        MESH_HEIGHT,
+        MESH_WIDTH * MESH_HEIGHT,
+        HBM_GROUPS
+    );
+
+    let (one_report, one_outcome, one_wall) = serve(&pipeline, &stream, 1);
+    let (four_report, four_outcome, four_wall) = serve(&pipeline, &stream, 4);
+
+    // The shard partition is invisible in every simulated quantity.
+    assert_eq!(four_report, one_report, "reports diverged across shardings");
+    assert_eq!(four_outcome.decisions(), one_outcome.decisions());
+    assert_eq!(four_outcome.departures(), one_outcome.departures());
+    println!(
+        "Byte-identical serving outcome at both shardings: {} placed, {} rejected, \
+         {} requests completed, {} departures over {} epochs, p99 latency {:.2} Mcycles.",
+        one_outcome.placed(),
+        one_outcome.rejected(),
+        one_report.completed_requests(),
+        one_outcome.departures().len(),
+        one_outcome.epochs(),
+        one_report.p99_latency_cycles() / 1.0e6,
+    );
+
+    let speedup = if four_wall > 0.0 {
+        one_wall / four_wall
+    } else {
+        0.0
+    };
+    println!(
+        "\n  1 shard : {:>9} cores rescanned, {:.3} s wall",
+        one_outcome.rebuild_core_scans(),
+        one_wall
+    );
+    println!(
+        "  4 shards: {:>9} cores rescanned, {:.3} s wall",
+        four_outcome.rebuild_core_scans(),
+        four_wall
+    );
+    println!(
+        "\nScaling efficiency at 4 shards: {:.2}x speedup = {:.0}% of ideal \
+         ({:.1}x fewer cores rescanned per placement).",
+        speedup,
+        100.0 * speedup / 4.0,
+        one_outcome.rebuild_core_scans() as f64 / four_outcome.rebuild_core_scans().max(1) as f64,
+    );
+    println!(
+        "Sharding confines each admission's candidate-table rebuild to the one \
+         shard the admission dirtied; the decomposed argmax still picks the very \
+         same cores, so the report above is the proof of equivalence."
+    );
+}
