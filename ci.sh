@@ -9,13 +9,29 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> v10-lint (determinism & panic-freedom, ratchet baseline)"
+echo "==> v10-lint (determinism & panic-freedom, expanded scan surface)"
 cargo run -q -p v10-lint -- --check
+
+echo "==> v10-lint --check --json (machine-readable diagnostics smoke)"
+cargo run -q -p v10-lint -- --check --json
+
+echo "==> lint-baseline.toml must be empty at HEAD (the ratchet has fully closed)"
+if grep -q '^\[\[entry\]\]' lint-baseline.toml; then
+    echo "lint-baseline.toml carries baselined violations: fix them at the source"
+    exit 1
+fi
 
 echo "==> v10-lint baseline ratchet (must not grow)"
 cargo run -q -p v10-lint -- --fix-baseline
 git diff --exit-code lint-baseline.toml \
     || { echo "lint-baseline.toml is out of date: commit the regenerated file"; exit 1; }
+
+echo "==> v10-lint census artifact (schema v10-lint-census/1, archived next to BENCH files)"
+cargo run -q -p v10-lint -- --census --json > LINT_census.json
+grep -q '"schema":"v10-lint-census/1"' LINT_census.json \
+    || { echo "LINT_census.json missing census schema marker"; exit 1; }
+git diff --exit-code LINT_census.json \
+    || { echo "LINT_census.json is out of date: commit the regenerated artifact"; exit 1; }
 
 echo "==> cargo test"
 cargo test --workspace -q

@@ -12,7 +12,7 @@ use v10_core::{
 };
 use v10_isa::{FuKind, OpDesc, RequestTrace};
 use v10_npu::NpuConfig;
-use v10_sim::{Demand, WaterFilling};
+use v10_sim::{Cycles, Demand, WaterFilling};
 use v10_systolic::{Matrix, SaExecutor};
 
 fn bench_pick_next() {
@@ -30,10 +30,10 @@ fn bench_pick_next() {
             table.add_active_cycles(id, (i * 137) as f64);
         }
         let mut sched = Scheduler::new(Policy::Priority);
-        let t = bench(|| black_box(sched.pick_next(&table, FuKind::Sa, 1e6)));
+        let t = bench(|| black_box(sched.pick_next(&table, FuKind::Sa, Cycles::new(1e6))));
         println!("pick_next/priority/{n}: {}", fmt_duration(t));
         let mut sched = Scheduler::new(Policy::RoundRobin);
-        let t = bench(|| black_box(sched.pick_next(&table, FuKind::Sa, 1e6)));
+        let t = bench(|| black_box(sched.pick_next(&table, FuKind::Sa, Cycles::new(1e6))));
         println!("pick_next/round_robin/{n}: {}", fmt_duration(t));
     }
 }

@@ -39,6 +39,7 @@ use v10_collocate::{
 };
 use v10_core::{Design, FleetConservation, RunOptions};
 use v10_npu::{FleetTopology, NpuConfig};
+use v10_sim::Cycles;
 use v10_workloads::{MmppProcess, Model, TimedArrival};
 
 /// Tenant mix: three light-footprint models so sessions retire within an
@@ -152,7 +153,7 @@ fn make_plane(pipeline: &ClusteringPipeline, shards: usize, threads: usize) -> F
         topology,
         SLOTS_PER_CORE,
         shards,
-        EPOCH_CYCLES,
+        Cycles::new(EPOCH_CYCLES),
         weights,
     )
     .expect("valid fleet plane")

@@ -199,7 +199,7 @@ fn main() {
         .chain(Design::ALL.iter().map(|&design| {
             let cycles = serve_once(design, &schedule); // warm, untimed
             let wall = median_wall(3, || serve_once(design, &schedule));
-            fmt_cycles_per_sec(cycles_per_sec(cycles, wall))
+            fmt_cycles_per_sec(cycles_per_sec(v10_sim::Cycles::new(cycles), wall))
         }))
         .collect();
     print_table(

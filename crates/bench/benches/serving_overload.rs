@@ -230,7 +230,7 @@ fn main() {
         };
         let cycles = run(); // warm, untimed
         let wall = median_wall(3, run);
-        fmt_cycles_per_sec(cycles_per_sec(cycles, wall))
+        fmt_cycles_per_sec(cycles_per_sec(v10_sim::Cycles::new(cycles), wall))
     };
     print_table(
         "Serving under overload — simulator throughput (simulated cycles / wall-second; machine-dependent)",

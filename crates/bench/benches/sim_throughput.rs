@@ -77,7 +77,10 @@ struct ThroughputPoint {
 
 impl ThroughputPoint {
     fn rate(&self) -> f64 {
-        cycles_per_sec(self.simulated_cycles, self.wall_median)
+        cycles_per_sec(
+            v10_sim::Cycles::new(self.simulated_cycles),
+            self.wall_median,
+        )
     }
 }
 

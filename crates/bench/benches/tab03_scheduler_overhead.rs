@@ -14,8 +14,8 @@ fn main() {
             o.num_sas.to_string(),
             o.num_vus.to_string(),
             o.num_workloads.to_string(),
-            format!("{} B", est.context_table_bytes),
-            format!("{} cycles", est.latency_cycles),
+            format!("{}", est.context_table_bytes),
+            format!("{}", est.latency_cycles),
             format!("{:.3}%", est.area_percent),
             format!("{:.3}%", est.power_percent),
         ]);
@@ -27,8 +27,8 @@ fn main() {
             format!("{sas}*"),
             format!("{vus}*"),
             format!("{wls}*"),
-            format!("{} B", est.context_table_bytes),
-            format!("{} cycles", est.latency_cycles),
+            format!("{}", est.context_table_bytes),
+            format!("{}", est.latency_cycles),
             format!("{:.3}%", est.area_percent),
             format!("{:.3}%", est.power_percent),
         ]);

@@ -9,6 +9,8 @@
 
 use std::time::{Duration, Instant};
 
+use v10_sim::Cycles;
+
 /// Target wall time for one calibrated batch.
 const BATCH_TARGET: Duration = Duration::from_millis(5);
 /// Number of batches sampled; odd so the median is a single sample.
@@ -67,13 +69,15 @@ pub fn median_wall<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
 
 /// Simulated-cycles-per-wall-second throughput of a run that simulated
 /// `simulated_cycles` in `wall` time. Returns 0 for a zero wall time.
+///
+/// unit: returns cycles per wall-clock second.
 #[must_use]
-pub fn cycles_per_sec(simulated_cycles: f64, wall: Duration) -> f64 {
+pub fn cycles_per_sec(simulated_cycles: Cycles, wall: Duration) -> f64 {
     let secs = wall.as_secs_f64();
     if secs <= 0.0 {
         0.0
     } else {
-        simulated_cycles / secs
+        simulated_cycles.as_f64() / secs
     }
 }
 
@@ -140,8 +144,11 @@ mod tests {
 
     #[test]
     fn cycles_per_sec_math() {
-        assert_eq!(cycles_per_sec(1.0e6, Duration::from_secs(2)), 5.0e5);
-        assert_eq!(cycles_per_sec(1.0e6, Duration::ZERO), 0.0);
+        assert_eq!(
+            cycles_per_sec(Cycles::new(1.0e6), Duration::from_secs(2)),
+            5.0e5
+        );
+        assert_eq!(cycles_per_sec(Cycles::new(1.0e6), Duration::ZERO), 0.0);
     }
 
     #[test]

@@ -45,7 +45,8 @@ use v10_core::{
 use v10_npu::{ClusterState, FleetTopology, NpuConfig};
 use v10_sim::convert::u64_from_usize;
 use v10_sim::{
-    merge_messages, DepartureMsg, EpochClock, LabelId, LabelInterner, ShardMap, V10Error, V10Result,
+    merge_messages, Cycles, DepartureMsg, EpochClock, LabelId, LabelInterner, ShardMap, V10Error,
+    V10Result,
 };
 use v10_workloads::TimedArrival;
 
@@ -201,7 +202,7 @@ impl<'a> FleetPlane<'a> {
         topology: FleetTopology,
         slots_per_core: usize,
         shards: usize,
-        epoch_cycles: f64,
+        epoch_cycles: Cycles,
         weights: TopologyWeights,
     ) -> V10Result<Self> {
         let shard_map = ShardMap::new(topology.cores(), shards)?;
@@ -332,7 +333,7 @@ impl<'a> FleetPlane<'a> {
     /// the departed tenants' slots. Returns the merged messages.
     fn apply_departures(
         &mut self,
-        boundary: f64,
+        boundary: Cycles,
         tenants: &mut [FleetTenant],
         reports: &[Option<RunReport>],
     ) -> V10Result<Vec<DepartureMsg>> {
@@ -346,7 +347,7 @@ impl<'a> FleetPlane<'a> {
             else {
                 continue;
             };
-            if retired_at > boundary {
+            if retired_at > boundary.as_f64() {
                 continue;
             }
             t.released = true;
@@ -354,7 +355,7 @@ impl<'a> FleetPlane<'a> {
             let owner = self.shard_map.owner(t.core)?;
             self.workers[owner].dirty = true;
             streams[owner].push(DepartureMsg {
-                at_cycles: retired_at,
+                at_cycles: Cycles::new(retired_at),
                 core: t.core,
                 label: t.label,
             });
@@ -417,7 +418,7 @@ impl<'a> FleetPlane<'a> {
 
         let mut i = 0;
         while i < arrivals.len() {
-            let epoch = self.clock.epoch_of(arrivals[i].at_cycles());
+            let epoch = self.clock.epoch_of(Cycles::new(arrivals[i].at_cycles()));
             let boundary = self.clock.start_of(epoch);
             outcome.epochs += 1;
 
@@ -427,7 +428,9 @@ impl<'a> FleetPlane<'a> {
             outcome.departures.extend(merged);
 
             // Place this epoch's arrivals in time order.
-            while i < arrivals.len() && self.clock.epoch_of(arrivals[i].at_cycles()) == epoch {
+            while i < arrivals.len()
+                && self.clock.epoch_of(Cycles::new(arrivals[i].at_cycles())) == epoch
+            {
                 let arrival = &arrivals[i];
                 let class = self.placer.class_of_model(arrival.model());
                 // Weight residence is striped round-robin across HBM
@@ -592,7 +595,7 @@ mod tests {
         let placer = OnlinePlacer::new(p).with_threshold(0.01).unwrap();
         let topo = FleetTopology::mesh(4, 2, 2, 64.0).unwrap();
         let weights = TopologyWeights::new(0.02, 0.01).unwrap();
-        FleetPlane::new(placer, topo, 2, shards, 4_000_000.0, weights)
+        FleetPlane::new(placer, topo, 2, shards, Cycles::new(4_000_000.0), weights)
             .unwrap()
             .with_threads(threads)
     }
@@ -628,8 +631,15 @@ mod tests {
         // second and third tenants, which arrive epochs later.
         let placer = OnlinePlacer::new(&p).with_threshold(0.01).unwrap();
         let topo = FleetTopology::flat(1).unwrap();
-        let mut plane =
-            FleetPlane::new(placer, topo, 1, 1, 1.0e7, TopologyWeights::zero()).unwrap();
+        let mut plane = FleetPlane::new(
+            placer,
+            topo,
+            1,
+            1,
+            Cycles::new(1.0e7),
+            TopologyWeights::zero(),
+        )
+        .unwrap();
         let stream = vec![
             arrival("a", Model::Mnist, 0.0, 1),
             arrival("b", Model::Mnist, 2.0e7, 1),
@@ -704,9 +714,41 @@ mod tests {
         let p = pipeline();
         let placer = OnlinePlacer::new(&p);
         let topo = || FleetTopology::flat(4).unwrap();
-        assert!(FleetPlane::new(placer, topo(), 0, 1, 1.0, TopologyWeights::zero()).is_err());
-        assert!(FleetPlane::new(placer, topo(), 1, 0, 1.0, TopologyWeights::zero()).is_err());
-        assert!(FleetPlane::new(placer, topo(), 1, 5, 1.0, TopologyWeights::zero()).is_err());
-        assert!(FleetPlane::new(placer, topo(), 1, 1, 0.0, TopologyWeights::zero()).is_err());
+        assert!(FleetPlane::new(
+            placer,
+            topo(),
+            0,
+            1,
+            Cycles::new(1.0),
+            TopologyWeights::zero()
+        )
+        .is_err());
+        assert!(FleetPlane::new(
+            placer,
+            topo(),
+            1,
+            0,
+            Cycles::new(1.0),
+            TopologyWeights::zero()
+        )
+        .is_err());
+        assert!(FleetPlane::new(
+            placer,
+            topo(),
+            1,
+            5,
+            Cycles::new(1.0),
+            TopologyWeights::zero()
+        )
+        .is_err());
+        assert!(FleetPlane::new(
+            placer,
+            topo(),
+            1,
+            1,
+            Cycles::new(0.0),
+            TopologyWeights::zero()
+        )
+        .is_err());
     }
 }

@@ -76,11 +76,7 @@ impl Pca {
 
         // Sort by descending eigenvalue and keep the top k.
         let mut order: Vec<usize> = (0..dim).collect();
-        order.sort_by(|&a, &b| {
-            eigenvalues_all[b]
-                .partial_cmp(&eigenvalues_all[a])
-                .expect("eigenvalues are finite")
-        });
+        order.sort_by(|&a, &b| eigenvalues_all[b].total_cmp(&eigenvalues_all[a]));
         let components: Vec<Vec<f64>> = order[..k]
             .iter()
             .map(|&c| (0..dim).map(|r| vectors[r][c]).collect())

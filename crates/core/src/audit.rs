@@ -259,14 +259,15 @@ impl FleetConservation {
         let mut seen: Vec<(usize, u32)> = Vec::with_capacity(departures.len());
         let mut last = f64::NEG_INFINITY;
         for (i, d) in departures.iter().enumerate() {
-            if !d.at_cycles.is_finite() || d.at_cycles < last {
+            let at = d.at_cycles.as_f64();
+            if !at.is_finite() || at < last {
                 self.flag(format!(
                     "departure {i} at {} after one at {last}: the epoch \
                      exchange replayed out of simulated-time order",
                     d.at_cycles
                 ));
             }
-            last = last.max(d.at_cycles);
+            last = last.max(at);
             if d.core >= cores {
                 self.flag(format!(
                     "departure {i} names core {} of a {cores}-core fleet",
@@ -622,12 +623,12 @@ mod tests {
             4,
             &[
                 v10_sim::DepartureMsg {
-                    at_cycles: 10.0,
+                    at_cycles: v10_sim::Cycles::new(10.0),
                     core: 0,
                     label: 0,
                 },
                 v10_sim::DepartureMsg {
-                    at_cycles: 25.0,
+                    at_cycles: v10_sim::Cycles::new(25.0),
                     core: 0,
                     label: 1,
                 },
@@ -650,12 +651,12 @@ mod tests {
             4,
             &[
                 v10_sim::DepartureMsg {
-                    at_cycles: 30.0,
+                    at_cycles: v10_sim::Cycles::new(30.0),
                     core: 0,
                     label: 0,
                 },
                 v10_sim::DepartureMsg {
-                    at_cycles: 10.0,
+                    at_cycles: v10_sim::Cycles::new(10.0),
                     core: 1,
                     label: 1,
                 },
@@ -672,12 +673,12 @@ mod tests {
             2,
             &[
                 v10_sim::DepartureMsg {
-                    at_cycles: 10.0,
+                    at_cycles: v10_sim::Cycles::new(10.0),
                     core: 5,
                     label: 0,
                 },
                 v10_sim::DepartureMsg {
-                    at_cycles: 10.0,
+                    at_cycles: v10_sim::Cycles::new(10.0),
                     core: 5,
                     label: 0,
                 },

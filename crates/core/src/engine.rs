@@ -25,7 +25,7 @@ use v10_isa::{FuKind, RequestTrace};
 use v10_npu::{FuPool, NpuConfig};
 use v10_sim::convert::u64_to_f64;
 use v10_sim::fault::pick_victim;
-use v10_sim::{FaultInjector, FaultKind, FaultPlan, V10Error, V10Result};
+use v10_sim::{Cycles, FaultInjector, FaultKind, FaultPlan, V10Error, V10Result};
 
 use crate::engine_core::{drive, rate_of, EngineCore, ExecutorStrategy, Slot, StepOutcome, EPS};
 use crate::lifecycle::AdmissionSchedule;
@@ -759,7 +759,10 @@ impl ExecutorStrategy for V10Strategy {
                 core.emit(SimEvent::CtxSwitchEnded { fu: s, at });
             }
             if switch_until <= core.now + EPS {
-                if let Some(id) = self.scheduler.pick_next(&core.table, kind, core.now) {
+                if let Some(id) = self
+                    .scheduler
+                    .pick_next(&core.table, kind, Cycles::new(core.now))
+                {
                     let w = core.owner_of(id)?;
                     core.table.mark_issued(id, fu)?;
                     core.slot_mut(s)?.occupant = Some(w);
@@ -905,13 +908,18 @@ impl ExecutorStrategy for V10Strategy {
                     continue;
                 };
                 let running = core.wl(w)?.id;
-                let Some(candidate) = self.scheduler.pick_next(&core.table, kind, core.now) else {
+                let Some(candidate) =
+                    self.scheduler
+                        .pick_next(&core.table, kind, Cycles::new(core.now))
+                else {
                     continue;
                 };
-                if self
-                    .scheduler
-                    .prefers_preemption(&core.table, running, candidate, core.now)
-                {
+                if self.scheduler.prefers_preemption(
+                    &core.table,
+                    running,
+                    candidate,
+                    Cycles::new(core.now),
+                ) {
                     let cost = match kind {
                         FuKind::Sa => self.sa_switch_cycles,
                         FuKind::Vu => self.vu_switch_cycles,

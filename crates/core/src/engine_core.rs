@@ -25,8 +25,8 @@ use v10_isa::{FuKind, OpDesc, RequestTrace};
 use v10_npu::{FuId, HbmArbiter, InstructionDma, NpuConfig};
 use v10_sim::convert::{u64_from_usize, u64_to_f64, usize_to_f64};
 use v10_sim::{
-    FaultEvent, FaultInjector, FaultKind, HorizonCalendar, LabelId, LabelInterner, V10Error,
-    V10Result,
+    Cycles, FaultEvent, FaultInjector, FaultKind, HorizonCalendar, LabelId, LabelInterner,
+    V10Error, V10Result,
 };
 
 use crate::context::{ContextTable, WorkloadId};
@@ -35,6 +35,8 @@ use crate::metrics::{OverlapBreakdown, RunReport, WorkloadReport};
 use crate::observer::{SimEvent, SimObserver};
 
 /// Time-comparison slack: two instants closer than this are simultaneous.
+///
+/// unit: cycles.
 pub(crate) const EPS: f64 = 1e-6;
 
 /// Advancing the clock by less than `EPS` this many consecutive iterations
@@ -53,6 +55,7 @@ const FETCH_CAL_WIDTH: f64 = 4096.0;
 pub(crate) struct WlState {
     /// Interned label (resolved back to a string only at report assembly).
     pub(crate) label: LabelId,
+    /// unit: dimensionless share weight (the paper's pVM priority).
     pub(crate) priority: f64,
     /// The tenancy's context-table id (slot + generation).
     pub(crate) id: WorkloadId,
@@ -63,32 +66,49 @@ pub(crate) struct WlState {
     /// retire at their quota, freeing their slot.
     pub(crate) resident: bool,
     pub(crate) alive: bool,
+    /// unit: absolute cycles at admission.
     pub(crate) admitted_at: f64,
     pub(crate) retired_at: Option<f64>,
     pub(crate) trace: RequestTrace,
     pub(crate) op_idx: usize,
+    /// unit: cycles of work left in the current operator.
     pub(crate) op_remaining: f64,
     /// Absolute time at which the current operator's instruction DMA
     /// completes (drives the Ready bit while the operator is neither ready
     /// nor active).
+    ///
+    /// unit: absolute cycles.
     pub(crate) fetch_ready_at: f64,
     /// When the current operator was (first) issued — the prefetch start of
     /// its successor.
+    ///
+    /// unit: absolute cycles.
     pub(crate) last_issue_at: f64,
+    /// unit: absolute cycles when the in-flight request started.
     pub(crate) request_start: f64,
     pub(crate) completed: usize,
+    /// unit: dimensionless operator ordinal (wraps onto 32 bits in hardware).
     pub(crate) next_op_id: u64,
     // accounting
     pub(crate) latencies: Vec<f64>,
+    /// unit: cycles of systolic-array occupancy.
     pub(crate) busy_sa: f64,
+    /// unit: cycles of vector-unit occupancy.
     pub(crate) busy_vu: f64,
+    /// unit: HBM bytes moved (fractional during partial progress).
     pub(crate) hbm_bytes: f64,
+    /// unit: dimensionless event count.
     pub(crate) preemptions: u64,
+    /// unit: cycles lost to context switches.
     pub(crate) switch_overhead: f64,
     /// Operators re-issued from their input checkpoint after a transient
     /// fault corrupted them in flight.
+    ///
+    /// unit: dimensionless event count.
     pub(crate) replays: u64,
     /// Cycles spent restoring checkpoints for those replays.
+    ///
+    /// unit: cycles.
     pub(crate) replay_overhead: f64,
 }
 
@@ -109,6 +129,7 @@ pub(crate) struct Slot {
     pub(crate) fu: FuId,
     pub(crate) kind: FuKind,
     pub(crate) occupant: Option<usize>,
+    /// unit: absolute cycles until which the slot is mid-switch.
     pub(crate) switch_until: f64,
 }
 
@@ -193,10 +214,14 @@ pub(crate) struct EngineCore<'a, O: SimObserver> {
     pub(crate) dma: InstructionDma,
     pub(crate) wls: Vec<WlState>,
     pub(crate) slots: Vec<Slot>,
+    /// unit: absolute cycles (the engine clock).
     pub(crate) now: f64,
+    /// unit: cycles lost to context switches, summed over tenants.
     pub(crate) switch_overhead_total: f64,
     /// Bumped on every admission and retirement; strategies that cache
     /// derived tenant state (PMT's rotation slices) resync when it moves.
+    ///
+    /// unit: dimensionless generation counter.
     pub(crate) tenancy_epoch: u64,
     /// Compiled fault schedule; disarmed (empty) on unfaulted entry points,
     /// in which case no branch below ever observes it.
@@ -290,7 +315,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
             slot_owner: vec![None; capacity],
             live: Vec::new(),
             unmet: 0,
-            fetch_cal: HorizonCalendar::new(FETCH_CAL_WIDTH)?,
+            fetch_cal: HorizonCalendar::new(Cycles::new(FETCH_CAL_WIDTH))?,
             fetch_scratch: Vec::new(),
             interner: LabelInterner::new(),
             event_buf: Vec::new(),
@@ -419,7 +444,12 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     /// calls this, which is what guarantees the armed path terminates: a
     /// stuck queue holds the controller at the shed rung until the queue
     /// drains.
+    /// unit: `max_wait_cycles` is a cycle-count age threshold.
     pub(crate) fn shed_stale_parked(&mut self, max_wait_cycles: f64) -> u64 {
+        debug_assert!(
+            max_wait_cycles.is_finite() && max_wait_cycles >= 0.0,
+            "max_wait_cycles is a non-negative cycle count"
+        );
         let now = self.now;
         let mut shed = 0u64;
         // Rotate in place: pop each entry once and push the keepers back,
@@ -516,7 +546,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
         if has_quota {
             self.unmet += 1;
         }
-        self.fetch_cal.set(w, fetch_at)?;
+        self.fetch_cal.set(w, Cycles::new(fetch_at))?;
         self.emit(SimEvent::TenantAdmitted {
             workload: w,
             label,
@@ -572,7 +602,12 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     ///
     /// Returns [`V10Error::InvalidArgument`] if `w` is not an admitted
     /// workload index.
+    /// unit: `cost` is cycles of checkpoint-restore overhead.
     pub(crate) fn replay_current_op(&mut self, w: usize, cost: f64) -> V10Result<()> {
+        debug_assert!(
+            cost.is_finite() && cost >= 0.0,
+            "replay cost is a non-negative cycle count"
+        );
         let now = self.now;
         let op_id = {
             let Some(wl) = self.wls.get_mut(w) else {
@@ -763,12 +798,12 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     pub(crate) fn promote_due_fetches(&mut self) -> V10Result<()> {
         let now = self.now;
         match self.fetch_cal.peek_min() {
-            Some((_, d)) if d <= now + EPS => {}
+            Some((_, d)) if d.as_f64() <= now + EPS => {}
             _ => return Ok(()),
         }
         let mut due = std::mem::take(&mut self.fetch_scratch);
         due.clear();
-        self.fetch_cal.pop_due(now + EPS, &mut due);
+        self.fetch_cal.pop_due(Cycles::new(now + EPS), &mut due);
         for &w in &due {
             let Some(wl) = self.wls.get(w) else {
                 continue;
@@ -796,7 +831,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     /// entry is strictly in the future; callers keep the historical
     /// `> now + EPS` guard when folding this into the step horizon.
     pub(crate) fn next_fetch_at(&mut self) -> Option<f64> {
-        self.fetch_cal.peek_min().map(|(_, d)| d)
+        self.fetch_cal.peek_min().map(|(_, d)| d.as_f64())
     }
 
     /// Differential cross-check of the event-spine indexes against the
@@ -830,7 +865,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
                         "calendar entry for workload {w} without a pending fetch"
                     );
                     assert_eq!(
-                        d.to_bits(),
+                        d.as_f64().to_bits(),
                         wl.fetch_ready_at.to_bits(),
                         "calendar deadline for workload {w} diverged from fetch_ready_at"
                     );
@@ -853,6 +888,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     ///
     /// [`V10Error::Deadlock`] if `dt` is not finite; [`V10Error::Livelock`]
     /// after [`LIVELOCK_STREAK`] consecutive sub-`EPS` steps.
+    /// unit: `dt` is a cycle delta; returns a clamped cycle delta.
     pub(crate) fn resolve_dt(&mut self, dt: f64) -> V10Result<f64> {
         if !dt.is_finite() {
             return Err(V10Error::Deadlock {
@@ -877,6 +913,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
     /// `rates`, full rate if absent) and accrues busy time and HBM bytes;
     /// unoccupied slots mid-switch accrue switch overhead; the overlap
     /// buckets and the clock move.
+    /// unit: `dt` is a cycle delta; `rates` are dimensionless slowdown factors.
     pub(crate) fn advance(&mut self, dt: f64, rates: &[(usize, f64)]) {
         self.flush_events();
         let mut sa_active = 0usize;
@@ -996,7 +1033,7 @@ impl<'a, O: SimObserver> EngineCore<'a, O> {
         } else {
             // The caller released the tenancy's Active bit before completing
             // the operator, so it is back to awaiting its next fetch.
-            self.fetch_cal.set(w, fetch_at)?;
+            self.fetch_cal.set(w, Cycles::new(fetch_at))?;
         }
         self.emit(SimEvent::OpCompleted {
             workload: w,

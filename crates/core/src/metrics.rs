@@ -21,18 +21,20 @@ use crate::overload::OverloadStats;
 /// Wall-clock partition of a run by which FU kinds were busy (Fig. 17).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OverlapBreakdown {
-    /// Cycles with at least one SA *and* one VU busy.
+    /// unit: cycles with at least one SA *and* one VU busy.
     pub both: f64,
-    /// Cycles with only SA(s) busy.
+    /// unit: cycles with only SA(s) busy.
     pub sa_only: f64,
-    /// Cycles with only VU(s) busy.
+    /// unit: cycles with only VU(s) busy.
     pub vu_only: f64,
-    /// Cycles with no FU busy.
+    /// unit: cycles with no FU busy.
     pub idle: f64,
 }
 
 impl OverlapBreakdown {
     /// Adds `dt` cycles to the bucket matching the busy pattern.
+    ///
+    /// unit: `dt` is a cycle delta.
     pub fn accumulate(&mut self, sa_busy: bool, vu_busy: bool, dt: f64) {
         debug_assert!(dt >= 0.0);
         match (sa_busy, vu_busy) {
@@ -90,6 +92,11 @@ pub struct WorkloadReport {
 
 impl WorkloadReport {
     /// Assembles a report; latency summaries are precomputed here.
+    ///
+    /// unit: `priority` is a dimensionless share weight; `busy_sa`,
+    /// `busy_vu`, `switch_overhead`, `replay_overhead`, and `admitted_at`
+    /// are cycles; `hbm_bytes` is bytes; `preemptions` and `replays` are
+    /// event counts.
     #[allow(clippy::too_many_arguments)] // internal constructor, called by the executors
     #[must_use]
     pub(crate) fn new(
@@ -280,6 +287,12 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Assembles the run-level report.
+    ///
+    /// unit: `elapsed`, `sa_busy`, `vu_busy`, `switch_overhead`, and
+    /// `replay_overhead` are cycles; `hbm_bytes` is bytes;
+    /// `hbm_peak_bytes_per_cycle` is bytes per cycle; `faults_injected`
+    /// and `rejected_admissions` are event counts.
     #[allow(clippy::too_many_arguments)] // internal constructor, called by the executors
     #[must_use]
     pub(crate) fn new(
@@ -451,6 +464,9 @@ impl RunReport {
     /// (Fig. 22a's "Perf vs Ideal").
     ///
     /// An out-of-range `index` yields `0.0`.
+    ///
+    /// unit: `single_tenant_avg_latency` is cycles; returns a
+    /// dimensionless ratio.
     ///
     /// # Panics
     ///

@@ -18,6 +18,7 @@ use std::fmt;
 
 use crate::context::{fu_id_bits, ContextTable};
 use v10_sim::convert::{f64_to_u64_round, u64_to_f64, usize_to_f64};
+use v10_sim::{Bytes, CycleCount};
 
 /// Hardware cost of one scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,13 +29,13 @@ pub struct SchedulerOverhead {
     pub num_vus: usize,
     /// Collocated workloads tracked by the context table.
     pub num_workloads: usize,
-    /// Context-table storage in bytes (Fig. 11 field widths).
-    pub context_table_bytes: u64,
-    /// Scheduling-decision latency in cycles.
-    pub latency_cycles: u64,
-    /// Die-area overhead normalized to a TPUv3 core, in percent.
+    /// Context-table storage (Fig. 11 field widths).
+    pub context_table_bytes: Bytes,
+    /// Scheduling-decision latency.
+    pub latency_cycles: CycleCount,
+    /// unit: die-area overhead normalized to a TPUv3 core, in percent.
     pub area_percent: f64,
-    /// Power overhead normalized to a TPUv3 core, in percent.
+    /// unit: power overhead normalized to a TPUv3 core, in percent.
     pub power_percent: f64,
 }
 
@@ -42,7 +43,7 @@ impl fmt::Display for SchedulerOverhead {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} SA + {} VU, {} workloads: {} B table, {} cycles, {:.3}% area, {:.3}% power",
+            "{} SA + {} VU, {} workloads: {} table, {}, {:.3}% area, {:.3}% power",
             self.num_sas,
             self.num_vus,
             self.num_workloads,
@@ -61,8 +62,8 @@ pub const TABLE3_PUBLISHED: [SchedulerOverhead; 4] = [
         num_sas: 1,
         num_vus: 1,
         num_workloads: 2,
-        context_table_bytes: 43,
-        latency_cycles: 22,
+        context_table_bytes: Bytes::new(43),
+        latency_cycles: CycleCount::new(22),
         area_percent: 0.001,
         power_percent: 0.303,
     },
@@ -70,8 +71,8 @@ pub const TABLE3_PUBLISHED: [SchedulerOverhead; 4] = [
         num_sas: 1,
         num_vus: 1,
         num_workloads: 4,
-        context_table_bytes: 86,
-        latency_cycles: 24,
+        context_table_bytes: Bytes::new(86),
+        latency_cycles: CycleCount::new(24),
         area_percent: 0.002,
         power_percent: 0.324,
     },
@@ -79,8 +80,8 @@ pub const TABLE3_PUBLISHED: [SchedulerOverhead; 4] = [
         num_sas: 2,
         num_vus: 2,
         num_workloads: 4,
-        context_table_bytes: 86,
-        latency_cycles: 82,
+        context_table_bytes: Bytes::new(86),
+        latency_cycles: CycleCount::new(82),
         area_percent: 0.002,
         power_percent: 0.325,
     },
@@ -88,8 +89,8 @@ pub const TABLE3_PUBLISHED: [SchedulerOverhead; 4] = [
         num_sas: 4,
         num_vus: 4,
         num_workloads: 8,
-        context_table_bytes: 173,
-        latency_cycles: 284,
+        context_table_bytes: Bytes::new(173),
+        latency_cycles: CycleCount::new(284),
         area_percent: 0.003,
         power_percent: 0.346,
     },
@@ -126,20 +127,21 @@ pub fn estimate_overhead(
     #[allow(clippy::expect_used)]
     // v10-lint: allow(P1) unreachable: priorities are the constant 1.0 and num_workloads was asserted positive above
     let table = ContextTable::new(&vec![1.0; num_workloads]).expect("positive priorities");
-    let context_table_bytes = table.storage_bytes(num_fus);
+    let context_table_bytes = Bytes::new(table.storage_bytes(num_fus));
 
     // Latency fit: a per-workload scan plus a quadratic FU term (the issue
     // crossbar and per-FU arbitration). Calibrated on Table 3's four points:
     // 22 @(2 FUs, 2 wl), 24 @(2, 4), 82 @(4, 4), 284 @(8, 8).
     let fus = usize_to_f64(num_fus);
     let wls = usize_to_f64(num_workloads);
-    let latency_cycles =
-        f64_to_u64_round(16.0 + wls + 4.1 * fus * fus / 4.0 * (wls / 4.0).max(0.5));
+    let latency_cycles = CycleCount::new(f64_to_u64_round(
+        16.0 + wls + 4.1 * fus * fus / 4.0 * (wls / 4.0).max(0.5),
+    ));
 
     // Area grows with table storage; power with arbitration activity. Both
     // stay fractions of a percent across the sane design space (§3.6:
     // "negligible area and power overhead").
-    let area_percent = 0.0005 + 0.000015 * u64_to_f64(context_table_bytes) + 0.0001 * fus;
+    let area_percent = 0.0005 + 0.000015 * context_table_bytes.as_f64() + 0.0001 * fus;
     let power_percent =
         0.29 + 0.005 * wls + 0.002 * fus + 0.0000012 * u64_to_f64(fu_id_bits(num_fus));
 
@@ -172,7 +174,7 @@ mod tests {
             let table = ContextTable::new(&vec![1.0; row.num_workloads]).unwrap();
             let bytes = table.storage_bytes(row.num_sas + row.num_vus);
             assert!(
-                (bytes as i64 - row.context_table_bytes as i64).abs() <= 1,
+                (bytes as i64 - row.context_table_bytes.as_u64() as i64).abs() <= 1,
                 "({},{},{}): computed {bytes} vs published {}",
                 row.num_sas,
                 row.num_vus,
@@ -186,8 +188,12 @@ mod tests {
     fn estimates_interpolate_sanely() {
         // An unpublished configuration between Table 3 rows.
         let est = estimate_overhead(2, 2, 8);
-        assert!(est.context_table_bytes > 86 && est.context_table_bytes < 260);
-        assert!(est.latency_cycles > 24 && est.latency_cycles < 284);
+        assert!(
+            est.context_table_bytes > Bytes::new(86) && est.context_table_bytes < Bytes::new(260)
+        );
+        assert!(
+            est.latency_cycles > CycleCount::new(24) && est.latency_cycles < CycleCount::new(284)
+        );
         assert!(est.area_percent < 0.01, "area stays negligible");
         assert!(est.power_percent < 0.5, "power stays negligible");
     }
@@ -207,7 +213,7 @@ mod tests {
         // §3.6: "The scheduler latency is also negligible compared to the
         // operator lengths (most are >= 10 us)": 10 us = 7000 cycles.
         for row in TABLE3_PUBLISHED {
-            assert!(row.latency_cycles < 700, "{row}");
+            assert!(row.latency_cycles < CycleCount::new(700), "{row}");
         }
     }
 

@@ -9,6 +9,8 @@
 
 use v10_isa::FuKind;
 use v10_npu::FuPool;
+use v10_sim::convert::{f64_to_u64, u32_from_usize, usize_from_u64};
+use v10_sim::Cycles;
 
 use crate::context::{fu_id_bits, ContextTable};
 
@@ -32,9 +34,9 @@ pub struct PackedRowFields {
     pub ready: bool,
     /// FU id, meaningful while Active.
     pub fu_index: u32,
-    /// 64-bit saturating active-cycles counter.
+    /// unit: cycles — 64-bit saturating active-cycles counter.
     pub active_cycles: u64,
-    /// 64-bit saturating total-cycles counter.
+    /// unit: cycles — 64-bit saturating total-cycles counter.
     pub total_cycles: u64,
     /// 7-bit priority (the paper's field width).
     pub priority_7bit: u8,
@@ -51,7 +53,7 @@ pub struct PackedRowFields {
 #[must_use]
 pub fn pack_row(fields: &PackedRowFields, num_fus: usize) -> Vec<u8> {
     assert!(fields.priority_7bit < 128, "priority field is 7 bits");
-    let fu_bits = fu_id_bits(num_fus) as u32;
+    let fu_bits = width_u32(fu_id_bits(num_fus));
     assert!(
         u64::from(fields.fu_index) < (1u64 << fu_bits),
         "FU index {} does not fit {} bits",
@@ -59,13 +61,13 @@ pub fn pack_row(fields: &PackedRowFields, num_fus: usize) -> Vec<u8> {
         fu_bits
     );
     let mut bits = BitWriter::new();
-    bits.push(fields.op_id as u64, 32);
-    bits.push(fields.active as u64, 1);
-    bits.push(fields.ready as u64, 1);
-    bits.push(fields.fu_index as u64, fu_bits);
+    bits.push(u64::from(fields.op_id), 32);
+    bits.push(u64::from(fields.active), 1);
+    bits.push(u64::from(fields.ready), 1);
+    bits.push(u64::from(fields.fu_index), fu_bits);
     bits.push(fields.active_cycles, 64);
     bits.push(fields.total_cycles, 64);
-    bits.push(fields.priority_7bit as u64, 7);
+    bits.push(u64::from(fields.priority_7bit), 7);
     bits.into_bytes()
 }
 
@@ -76,38 +78,55 @@ pub fn pack_row(fields: &PackedRowFields, num_fus: usize) -> Vec<u8> {
 /// Panics if `bytes` is shorter than the row layout requires.
 #[must_use]
 pub fn unpack_row(bytes: &[u8], num_fus: usize) -> PackedRowFields {
-    let fu_bits = fu_id_bits(num_fus) as u32;
+    let fu_bits = width_u32(fu_id_bits(num_fus));
     let mut bits = BitReader::new(bytes);
     PackedRowFields {
-        op_id: bits.pull(32) as u32,
+        op_id: low_u32(bits.pull(32)),
         active: bits.pull(1) == 1,
         ready: bits.pull(1) == 1,
-        fu_index: bits.pull(fu_bits) as u32,
+        fu_index: low_u32(bits.pull(fu_bits)),
         active_cycles: bits.pull(64),
         total_cycles: bits.pull(64),
-        priority_7bit: bits.pull(7) as u8,
+        priority_7bit: low_u8(bits.pull(7)),
         op_kind: None, // kind is implied by the FU pool layout, not stored
     }
 }
 
+/// A bit-field width as the `u32` shift type; widths here are ≤ 64.
+fn width_u32(bits: u64) -> u32 {
+    u32::try_from(bits).unwrap_or(u32::MAX)
+}
+
+/// Low 32 bits of a pulled field — exact for fields pulled with width ≤ 32.
+fn low_u32(v: u64) -> u32 {
+    u32::try_from(v & 0xFFFF_FFFF).unwrap_or(u32::MAX)
+}
+
+/// Low 8 bits of a pulled field — exact for fields pulled with width ≤ 8.
+fn low_u8(v: u64) -> u8 {
+    u8::try_from(v & 0xFF).unwrap_or(u8::MAX)
+}
+
 /// Snapshots a live [`ContextTable`] into its on-chip image: one packed row
-/// per workload, concatenated. `now` fixes the total-cycles counters.
+/// per workload, concatenated. `now` fixes the total-cycles counters
+/// (fractional engine time truncates onto the 64-bit hardware counters, as
+/// the Fig. 11 row stores integer cycles).
 ///
 /// The image length matches [`ContextTable::storage_bytes`] within the
 /// per-row byte rounding.
 #[must_use]
-pub fn snapshot_table(table: &ContextTable, pool: &FuPool, now: f64) -> Vec<u8> {
+pub fn snapshot_table(table: &ContextTable, pool: &FuPool, now: Cycles) -> Vec<u8> {
     let mut image = Vec::new();
     for id in table.ids() {
         let fields = PackedRowFields {
-            op_id: table.op_id(id) as u32,
+            op_id: low_u32(table.op_id(id)),
             op_kind: table.op_kind(id),
             active: table.is_active(id),
             ready: table.is_ready(id),
-            fu_index: table.fu(id).map(|f| f.index() as u32).unwrap_or(0),
-            active_cycles: (table.active_rate(id, now) * now) as u64,
-            total_cycles: now as u64,
-            priority_7bit: (table.priority(id).clamp(0.0, 127.0)) as u8,
+            fu_index: table.fu(id).map(|f| u32_from_usize(f.index())).unwrap_or(0),
+            active_cycles: f64_to_u64(table.active_rate(id, now.as_f64()) * now.as_f64()),
+            total_cycles: now.as_u64(),
+            priority_7bit: low_u8(f64_to_u64(table.priority(id).clamp(0.0, 127.0))),
         };
         image.extend(pack_row(&fields, pool.len()));
     }
@@ -122,7 +141,7 @@ pub fn snapshot_table(table: &ContextTable, pool: &FuPool, now: f64) -> Vec<u8> 
 #[must_use]
 pub fn parse_table_image(image: &[u8], num_fus: usize, workloads: usize) -> Vec<PackedRowFields> {
     let row_bits = 32 + 1 + 1 + fu_id_bits(num_fus) + 64 + 64 + 7;
-    let row_bytes = row_bits.div_ceil(8) as usize;
+    let row_bytes = usize_from_u64(row_bits.div_ceil(8));
     assert_eq!(
         image.len(),
         row_bytes * workloads,
@@ -154,11 +173,11 @@ impl BitWriter {
             if self.bit.is_multiple_of(8) {
                 self.bytes.push(0);
             }
-            let b = (value >> i) & 1;
+            let b = low_u8((value >> i) & 1);
             // The byte at bit / 8 is always the one just pushed (or the one
             // the previous iterations were filling): it is the last byte.
             if let Some(byte) = self.bytes.last_mut() {
-                *byte |= (b as u8) << (self.bit % 8);
+                *byte |= b << (self.bit % 8);
             }
             self.bit += 1;
         }
@@ -182,11 +201,11 @@ impl<'a> BitReader<'a> {
     fn pull(&mut self, width: u32) -> u64 {
         let mut out = 0u64;
         for i in 0..width {
-            let idx = (self.bit / 8) as usize;
+            let idx = usize_from_u64(u64::from(self.bit / 8));
             let byte = self.bytes.get(idx).copied();
             assert!(byte.is_some(), "row image too short");
             let b = (byte.unwrap_or(0) >> (self.bit % 8)) & 1;
-            out |= (b as u64) << i;
+            out |= u64::from(b) << i;
             self.bit += 1;
         }
         out
@@ -247,7 +266,7 @@ mod tests {
         table.set_current_op(w0, 7, FuKind::Sa).unwrap();
         table.set_ready(w0, true).unwrap();
         table.add_active_cycles(w0, 500.0);
-        let image = snapshot_table(&table, &pool, 1_000.0);
+        let image = snapshot_table(&table, &pool, Cycles::new(1_000.0));
         let rows = parse_table_image(&image, pool.len(), 2);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].op_id, 7);

@@ -20,7 +20,9 @@
 //! whole-core occupancy slot.
 
 use v10_npu::{FuPool, NpuConfig};
-use v10_sim::{FaultInjector, FaultKind, FaultPlan, Frequency, SimRng, V10Error, V10Result};
+use v10_sim::{
+    FaultInjector, FaultKind, FaultPlan, Frequency, Micros, SimRng, V10Error, V10Result,
+};
 
 use crate::engine::{RunOptions, WorkloadSpec};
 use crate::engine_core::{drive, EngineCore, ExecutorStrategy, Slot, StepOutcome, EPS};
@@ -319,7 +321,9 @@ impl PmtStrategy {
                     let owner = self.owner;
                     let cost = self
                         .clock
-                        .cycles_from_micros(self.rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US))
+                        .cycles_from_micros(Micros::new(
+                            self.rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US),
+                        ))
                         .as_u64() as f64;
                     core.emit_fault(fault.kind(), Some(owner));
                     core.switch_overhead_total += cost;
@@ -404,7 +408,9 @@ impl ExecutorStrategy for PmtStrategy {
         if !self.single && core.now + EPS >= self.owner_until {
             let cost = self
                 .clock
-                .cycles_from_micros(self.rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US))
+                .cycles_from_micros(Micros::new(
+                    self.rng.uniform(PMT_SWITCH_MIN_US, PMT_SWITCH_MAX_US),
+                ))
                 .as_u64() as f64;
             {
                 let wl = core.wl_mut(self.owner)?;

@@ -13,6 +13,7 @@
 //!   priority.
 
 use v10_isa::FuKind;
+use v10_sim::Cycles;
 
 use crate::context::{ContextTable, WorkloadId};
 
@@ -24,6 +25,9 @@ use crate::context::{ContextTable, WorkloadId};
 /// give the preempted workload natural catch-up windows — the verbatim
 /// policy measures strictly better, so it is the default. See
 /// [`Scheduler::prefers_preemption`].
+///
+/// unit: dimensionless ratio of two `active_rate_p` values (cycles/cycle),
+/// in `(0, 1]`.
 pub const PREEMPT_HYSTERESIS: f64 = 1.0;
 
 /// Which scheduling policy the operator scheduler enforces.
@@ -53,7 +57,8 @@ pub enum Policy {
 /// table.add_active_cycles(w0, 900.0);
 /// table.add_active_cycles(w1, 100.0);
 /// let mut sched = Scheduler::new(Policy::Priority);
-/// assert_eq!(sched.pick_next(&table, FuKind::Sa, 1_000.0), Some(w1));
+/// let now = v10_sim::Cycles::new(1_000.0);
+/// assert_eq!(sched.pick_next(&table, FuKind::Sa, now), Some(w1));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scheduler {
@@ -88,7 +93,7 @@ impl Scheduler {
         &mut self,
         table: &ContextTable,
         fu_type: FuKind,
-        now: f64,
+        now: Cycles,
     ) -> Option<WorkloadId> {
         match self.policy {
             Policy::RoundRobin => self.pick_round_robin(table, fu_type),
@@ -110,13 +115,13 @@ impl Scheduler {
         table: &ContextTable,
         running: WorkloadId,
         candidate: WorkloadId,
-        now: f64,
+        now: Cycles,
     ) -> bool {
         match self.policy {
             Policy::RoundRobin => false,
             Policy::Priority => {
-                table.active_rate_p(candidate, now)
-                    < PREEMPT_HYSTERESIS * table.active_rate_p(running, now)
+                table.active_rate_p(candidate, now.as_f64())
+                    < PREEMPT_HYSTERESIS * table.active_rate_p(running, now.as_f64())
             }
         }
     }
@@ -150,8 +155,8 @@ impl Scheduler {
     /// context table ([`ContextTable::pick_min_arp`]). The pass walks slots
     /// in ascending index order, so keeping the first strict minimum breaks
     /// `active_rate_p` ties toward the lowest index.
-    fn pick_priority(table: &ContextTable, fu_type: FuKind, now: f64) -> Option<WorkloadId> {
-        table.pick_min_arp(fu_type, now)
+    fn pick_priority(table: &ContextTable, fu_type: FuKind, now: Cycles) -> Option<WorkloadId> {
+        table.pick_min_arp(fu_type, now.as_f64())
     }
 }
 
@@ -173,7 +178,11 @@ mod tests {
         let t = ready_table(3, FuKind::Sa);
         let mut s = Scheduler::new(Policy::RoundRobin);
         let picks: Vec<usize> = (0..6)
-            .map(|_| s.pick_next(&t, FuKind::Sa, 0.0).unwrap().index())
+            .map(|_| {
+                s.pick_next(&t, FuKind::Sa, Cycles::new(0.0))
+                    .unwrap()
+                    .index()
+            })
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
@@ -185,7 +194,10 @@ mod tests {
         let fu = v10_npu::FuPool::new(1).unwrap().iter().next().unwrap();
         t.mark_issued(WorkloadId::new(1), fu).unwrap();
         let mut s = Scheduler::new(Policy::RoundRobin);
-        assert_eq!(s.pick_next(&t, FuKind::Sa, 0.0), Some(WorkloadId::new(2)));
+        assert_eq!(
+            s.pick_next(&t, FuKind::Sa, Cycles::new(0.0)),
+            Some(WorkloadId::new(2))
+        );
     }
 
     #[test]
@@ -194,7 +206,11 @@ mod tests {
         t.retire(t.id_at_slot(1).unwrap()).unwrap();
         let mut s = Scheduler::new(Policy::RoundRobin);
         let picks: Vec<usize> = (0..4)
-            .map(|_| s.pick_next(&t, FuKind::Sa, 0.0).unwrap().index())
+            .map(|_| {
+                s.pick_next(&t, FuKind::Sa, Cycles::new(0.0))
+                    .unwrap()
+                    .index()
+            })
             .collect();
         assert_eq!(picks, vec![0, 2, 0, 2]);
     }
@@ -210,17 +226,17 @@ mod tests {
         t.add_active_cycles(b, 600.0);
         let mut s = Scheduler::new(Policy::Priority);
         // At equal priority, `a` is the more starved (lower active rate).
-        assert_eq!(s.pick_next(&t, FuKind::Sa, 1_000.0), Some(a));
+        assert_eq!(s.pick_next(&t, FuKind::Sa, Cycles::new(1_000.0)), Some(a));
         // Demote `a` 4x: its arp quadruples past `b`'s and the pick flips.
         t.set_priority(a, 0.25).unwrap();
-        assert_eq!(s.pick_next(&t, FuKind::Sa, 1_000.0), Some(b));
+        assert_eq!(s.pick_next(&t, FuKind::Sa, Cycles::new(1_000.0)), Some(b));
     }
 
     #[test]
     fn kind_mismatch_yields_none() {
         let t = ready_table(2, FuKind::Sa);
         let mut s = Scheduler::new(Policy::Priority);
-        assert_eq!(s.pick_next(&t, FuKind::Vu, 0.0), None);
+        assert_eq!(s.pick_next(&t, FuKind::Vu, Cycles::new(0.0)), None);
     }
 
     #[test]
@@ -231,7 +247,7 @@ mod tests {
         t.add_active_cycles(WorkloadId::new(2), 200.0);
         let mut s = Scheduler::new(Policy::Priority);
         assert_eq!(
-            s.pick_next(&t, FuKind::Vu, 1_000.0),
+            s.pick_next(&t, FuKind::Vu, Cycles::new(1_000.0)),
             Some(WorkloadId::new(1))
         );
     }
@@ -248,7 +264,7 @@ mod tests {
         }
         let mut s = Scheduler::new(Policy::Priority);
         assert_eq!(
-            s.pick_next(&t, FuKind::Sa, 1_000.0),
+            s.pick_next(&t, FuKind::Sa, Cycles::new(1_000.0)),
             Some(WorkloadId::new(1))
         );
     }
@@ -257,7 +273,10 @@ mod tests {
     fn priority_ties_break_by_index() {
         let t = ready_table(2, FuKind::Sa);
         let mut s = Scheduler::new(Policy::Priority);
-        assert_eq!(s.pick_next(&t, FuKind::Sa, 0.0), Some(WorkloadId::new(0)));
+        assert_eq!(
+            s.pick_next(&t, FuKind::Sa, Cycles::new(0.0)),
+            Some(WorkloadId::new(0))
+        );
     }
 
     #[test]
@@ -266,8 +285,18 @@ mod tests {
         t.add_active_cycles(WorkloadId::new(0), 900.0);
         t.add_active_cycles(WorkloadId::new(1), 100.0);
         let s = Scheduler::new(Policy::Priority);
-        assert!(s.prefers_preemption(&t, WorkloadId::new(0), WorkloadId::new(1), 1_000.0));
-        assert!(!s.prefers_preemption(&t, WorkloadId::new(1), WorkloadId::new(0), 1_000.0));
+        assert!(s.prefers_preemption(
+            &t,
+            WorkloadId::new(0),
+            WorkloadId::new(1),
+            Cycles::new(1_000.0)
+        ));
+        assert!(!s.prefers_preemption(
+            &t,
+            WorkloadId::new(1),
+            WorkloadId::new(0),
+            Cycles::new(1_000.0)
+        ));
     }
 
     #[test]
@@ -275,7 +304,12 @@ mod tests {
         let mut t = ready_table(2, FuKind::Sa);
         t.add_active_cycles(WorkloadId::new(0), 900.0);
         let s = Scheduler::new(Policy::RoundRobin);
-        assert!(!s.prefers_preemption(&t, WorkloadId::new(0), WorkloadId::new(1), 1_000.0));
+        assert!(!s.prefers_preemption(
+            &t,
+            WorkloadId::new(0),
+            WorkloadId::new(1),
+            Cycles::new(1_000.0)
+        ));
     }
 
     #[test]
@@ -284,7 +318,7 @@ mod tests {
         t.set_ready(WorkloadId::new(0), false).unwrap();
         t.set_ready(WorkloadId::new(1), false).unwrap();
         let mut s = Scheduler::new(Policy::Priority);
-        assert_eq!(s.pick_next(&t, FuKind::Sa, 0.0), None);
+        assert_eq!(s.pick_next(&t, FuKind::Sa, Cycles::new(0.0)), None);
     }
 }
 
@@ -321,7 +355,7 @@ mod seeded_tests {
                 Policy::Priority
             });
             for fu_type in [FuKind::Sa, FuKind::Vu] {
-                if let Some(picked) = s.pick_next(&t, fu_type, 2e6) {
+                if let Some(picked) = s.pick_next(&t, fu_type, Cycles::new(2e6)) {
                     assert!(t.is_ready(picked));
                     assert!(!t.is_active(picked));
                     assert_eq!(t.op_kind(picked), Some(fu_type));

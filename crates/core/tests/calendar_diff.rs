@@ -106,7 +106,7 @@ fn digest(r: &RunReport) -> Vec<u64> {
 /// — the calendar pops due fetches in the same order the historical scan
 /// promoted them.
 fn assert_dma_ready_monotone(events: &[SimEvent]) {
-    let mut last: std::collections::HashMap<usize, (f64, u64)> = std::collections::HashMap::new();
+    let mut last: std::collections::BTreeMap<usize, (f64, u64)> = std::collections::BTreeMap::new();
     for e in events {
         if let SimEvent::DmaReady {
             workload,

@@ -28,7 +28,7 @@ pub enum TokKind {
     Lifetime,
 }
 
-/// One lexed token with its 1-based source position.
+/// One lexed token with its 1-based source position and byte span.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Token category.
@@ -39,6 +39,11 @@ pub struct Token {
     pub line: u32,
     /// 1-based column (in characters) of the token's first character.
     pub col: u32,
+    /// Byte offset of the token's first character in the source.
+    pub offset: usize,
+    /// Byte length of the source span the token consumed (for collapsed
+    /// literals this covers the whole literal, not the empty `text`).
+    pub len: usize,
 }
 
 /// Tokenizes `src`, never failing: unterminated constructs are closed at
@@ -51,21 +56,34 @@ pub fn lex(src: &str) -> Vec<Token> {
 
 struct Lexer {
     chars: Vec<char>,
+    /// Byte offset of each char in the original source, plus a final
+    /// sentinel holding the source's total byte length.
+    byte_of: Vec<usize>,
     i: usize,
     line: u32,
     col: u32,
+    /// Byte offset where the token currently being lexed started.
+    start: usize,
     out: Vec<Token>,
 }
 
 impl Lexer {
     fn new(src: &str) -> Self {
+        let mut byte_of: Vec<usize> = src.char_indices().map(|(b, _)| b).collect();
+        byte_of.push(src.len());
         Lexer {
             chars: src.chars().collect(),
+            byte_of,
             i: 0,
             line: 1,
             col: 1,
+            start: 0,
             out: Vec::new(),
         }
+    }
+
+    fn byte_at(&self, i: usize) -> usize {
+        self.byte_of.get(i).copied().unwrap_or(0)
     }
 
     fn peek(&self, ahead: usize) -> Option<char> {
@@ -85,17 +103,22 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        let offset = self.start;
+        let len = self.byte_at(self.i).saturating_sub(offset);
         self.out.push(Token {
             kind,
             text,
             line,
             col,
+            offset,
+            len,
         });
     }
 
     fn run(mut self) -> Vec<Token> {
         while let Some(c) = self.peek(0) {
             let (line, col) = (self.line, self.col);
+            self.start = self.byte_at(self.i);
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
@@ -373,6 +396,23 @@ mod tests {
             2
         );
         assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "+"));
+    }
+
+    #[test]
+    fn byte_spans_roundtrip() {
+        let src = "let s = \"héllo\"; // ünïcode comment\nfn f(x: u64) -> f64 { x as f64 }\n";
+        for t in lex(src) {
+            let span = &src[t.offset..t.offset + t.len];
+            match t.kind {
+                TokKind::Ident | TokKind::Punct | TokKind::Lifetime => {
+                    assert_eq!(span, t.text, "{t:?}");
+                }
+                TokKind::LineComment | TokKind::BlockComment => {
+                    assert_eq!(span, t.text, "{t:?}");
+                }
+                TokKind::Literal => assert!(!span.is_empty(), "{t:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! `v10-lint`: the workspace determinism & panic-freedom static-analysis
 //! pass.
 //!
-//! See [`rules`] for the rule families (D1–D3, P1), [`workspace`] for the
-//! scope policy, and [`baseline`] for the ratchet. The binary front-end
-//! lives in `main.rs`; this library exposes the scanning and comparison
-//! machinery so the fixture self-tests in `tests/` can drive each rule
-//! directly.
+//! See [`rules`] for the rule families (D1–D3, P1, and the semantic
+//! families U1/F1/O1/E1), [`parser`] for the expression-level analysis
+//! they run on, [`workspace`] for the scope policy, and [`baseline`] for
+//! the ratchet. The binary front-end lives in `main.rs`; this library
+//! exposes the scanning and comparison machinery so the fixture
+//! self-tests in `tests/` can drive each rule directly.
 
 pub mod baseline;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod workspace;
 
@@ -27,14 +29,35 @@ pub struct Outcome {
     pub counts: Baseline,
 }
 
-/// Scans every in-scope file under `root`.
+/// Scans every in-scope file under `root`. Two passes: the E1
+/// event-exhaustiveness findings are computed first (they need the event
+/// definition *and* the audit module together), then injected into the
+/// event-definition file's per-file scan so its inline allow directives
+/// and META hygiene apply to them like any local finding.
 pub fn scan_workspace(root: &Path) -> Result<Outcome, String> {
     let files = workspace::enumerate(root)?;
+
+    let e1_extras = {
+        let observer_abs = root.join(workspace::EVENT_DEFINITION);
+        let audit_abs = root.join(workspace::AUDIT_MODULE);
+        match (
+            std::fs::read_to_string(&observer_abs),
+            std::fs::read_to_string(&audit_abs),
+        ) {
+            (Ok(observer_src), Ok(audit_src)) => {
+                rules::e1_findings(workspace::EVENT_DEFINITION, &observer_src, &audit_src)
+            }
+            // Fixture trees without the real sources simply have no E1.
+            _ => Vec::new(),
+        }
+    };
+
     let mut outcome = Outcome::default();
     for f in &files {
         let src = std::fs::read_to_string(&f.abs)
             .map_err(|e| format!("reading {}: {e}", f.abs.display()))?;
-        let findings = rules::scan_source(&f.rel, &src, f.scope);
+        let extra: &[Finding] = if f.scope.e1 { &e1_extras } else { &[] };
+        let findings = rules::scan_source_with(&f.rel, &src, f.scope, extra);
         for finding in &findings {
             if finding.rule != RuleId::Meta {
                 *outcome
@@ -119,6 +142,52 @@ pub fn census(outcome: &Outcome) -> BTreeMap<String, u32> {
     by_rule
 }
 
+/// Renders the `--census --json` artifact: a single machine-readable JSON
+/// object summarizing the scan (schema `v10-lint-census/1`). CI archives
+/// this next to the BENCH files so the violation surface is diffable
+/// across commits:
+///
+/// ```json
+/// {"schema":"v10-lint-census/1","files_scanned":87,"total":0,
+///  "rules":{"D1":0},"files":[{"file":"crates/...","rule":"D1","count":1}]}
+/// ```
+///
+/// `rules` maps every rule id to its workspace-wide total (rules with zero
+/// findings are omitted); `files` lists each `(file, rule)` group with a
+/// non-zero count, in the stable `(file, rule)` order of the baseline.
+/// META findings are excluded, matching what `--fix-baseline` would write.
+#[must_use]
+pub fn render_census_json(outcome: &Outcome, files_scanned: usize) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let total: u32 = outcome.counts.values().sum();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"v10-lint-census/1\",\"files_scanned\":{files_scanned},\"total\":{total},\"rules\":{{"
+    );
+    for (i, (rule, n)) in census(outcome).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{n}", rules::json_escape(rule));
+    }
+    out.push_str("},\"files\":[");
+    for (i, ((file, rule), n)) in outcome.counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":\"{}\",\"rule\":\"{}\",\"count\":{n}}}",
+            rules::json_escape(file),
+            rules::json_escape(rule)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +245,32 @@ mod tests {
         assert!(!r.is_clean());
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].rule, RuleId::Meta);
+    }
+
+    #[test]
+    fn census_json_is_stable_and_complete() {
+        let out = outcome_from(
+            "use std::collections::HashMap;\nlet t = std::time::Instant::now();",
+            Scope::all(),
+        );
+        let json = render_census_json(&out, 2);
+        assert_eq!(
+            json,
+            "{\"schema\":\"v10-lint-census/1\",\"files_scanned\":2,\"total\":2,\
+             \"rules\":{\"D1\":1,\"D2\":1},\"files\":[\
+             {\"file\":\"f.rs\",\"rule\":\"D1\",\"count\":1},\
+             {\"file\":\"f.rs\",\"rule\":\"D2\",\"count\":1}]}"
+        );
+    }
+
+    #[test]
+    fn census_json_empty_outcome() {
+        let out = outcome_from("fn f() {}", Scope::all());
+        let json = render_census_json(&out, 87);
+        assert_eq!(
+            json,
+            "{\"schema\":\"v10-lint-census/1\",\"files_scanned\":87,\"total\":0,\
+             \"rules\":{},\"files\":[]}"
+        );
     }
 }

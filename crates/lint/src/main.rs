@@ -10,9 +10,11 @@
 //! * `--census`: print per-rule violation totals (and per-file detail)
 //!   without consulting the baseline.
 //!
-//! Flags: `--json` emits findings as JSON lines on stdout (one object per
-//! finding) instead of human diagnostics; `--root <dir>` overrides the
-//! workspace root (default: this crate's grandparent directory).
+//! Flags: `--json` switches stdout to machine-readable output — for
+//! `--check` one JSON-lines object per finding (schema `v10-lint/2`), for
+//! `--census` a single summary object (schema `v10-lint-census/1`) that CI
+//! archives as an artifact; `--root <dir>` overrides the workspace root
+//! (default: this crate's grandparent directory).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -68,9 +70,10 @@ fn run() -> Result<bool, String> {
     match mode {
         Mode::Census => {
             if json {
-                for f in &outcome.findings {
-                    println!("{}", f.render_json());
-                }
+                println!(
+                    "{}",
+                    v10_lint::render_census_json(&outcome, count_scanned(&root)?)
+                );
             } else {
                 for ((file, rule), n) in &outcome.counts {
                     println!("{n:5}  {rule:4} {file}");

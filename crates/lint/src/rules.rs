@@ -38,6 +38,14 @@ pub enum RuleId {
     D3,
     /// Panic paths (unwrap/expect/panicking macros/indexing) in library code.
     P1,
+    /// Undocumented raw-unit (`f64`/`u64`) public surface in accounting code.
+    U1,
+    /// Float comparisons/reductions whose order is not provably deterministic.
+    F1,
+    /// Ambient I/O, wall-clock, or OS randomness inside `SimObserver` impls.
+    O1,
+    /// `SimEvent` variants not counted and audited by the runtime checkers.
+    E1,
     /// Malformed `v10-lint:` directives (e.g. a missing reason).
     Meta,
 }
@@ -51,7 +59,27 @@ impl RuleId {
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
             RuleId::P1 => "P1",
+            RuleId::U1 => "U1",
+            RuleId::F1 => "F1",
+            RuleId::O1 => "O1",
+            RuleId::E1 => "E1",
             RuleId::Meta => "META",
+        }
+    }
+
+    /// Stable rule-family label carried in the JSON diagnostic schema.
+    #[must_use]
+    pub fn family(self) -> &'static str {
+        match self {
+            RuleId::D1 => "hash-order",
+            RuleId::D2 => "ambient-time-randomness",
+            RuleId::D3 => "numeric-cast",
+            RuleId::P1 => "panic-path",
+            RuleId::U1 => "unit-safety",
+            RuleId::F1 => "float-determinism",
+            RuleId::O1 => "observer-purity",
+            RuleId::E1 => "event-exhaustiveness",
+            RuleId::Meta => "directive-hygiene",
         }
     }
 
@@ -63,6 +91,10 @@ impl RuleId {
             "D2" => Some(RuleId::D2),
             "D3" => Some(RuleId::D3),
             "P1" => Some(RuleId::P1),
+            "U1" => Some(RuleId::U1),
+            "F1" => Some(RuleId::F1),
+            "O1" => Some(RuleId::O1),
+            "E1" => Some(RuleId::E1),
             "META" => Some(RuleId::Meta),
             _ => None,
         }
@@ -87,6 +119,15 @@ pub struct Scope {
     pub d3: bool,
     /// Check panic paths (`v10-core`/`v10-sim` library code only).
     pub p1: bool,
+    /// Check raw-unit public surface (accounting modules only).
+    pub u1: bool,
+    /// Check float comparison/reduction order (all sim-path crates).
+    pub f1: bool,
+    /// Check `SimObserver` impl purity (all sim-path crates).
+    pub o1: bool,
+    /// Check `SimEvent` exhaustiveness (the event-definition file only;
+    /// its findings are precomputed cross-file and passed as extras).
+    pub e1: bool,
 }
 
 impl Scope {
@@ -98,6 +139,10 @@ impl Scope {
             d2: true,
             d3: true,
             p1: true,
+            u1: true,
+            f1: true,
+            o1: true,
+            e1: true,
         }
     }
 }
@@ -127,21 +172,31 @@ impl Finding {
         )
     }
 
-    /// One JSON-lines record (machine-readable diagnostics).
+    /// One JSON-lines record (machine-readable diagnostics, schema
+    /// `v10-lint/2`): stable keys, the rule-family label, and a ready-made
+    /// allow-directive suggestion. META findings carry no suggestion —
+    /// directive-hygiene errors are never suppressible.
     #[must_use]
     pub fn render_json(&self) -> String {
+        let allow = if self.rule == RuleId::Meta {
+            String::new()
+        } else {
+            format!("// v10-lint: allow({}) <reason>", self.rule)
+        };
         format!(
-            r#"{{"file":"{}","line":{},"col":{},"rule":"{}","message":"{}"}}"#,
+            r#"{{"schema":"v10-lint/2","file":"{}","line":{},"col":{},"rule":"{}","family":"{}","message":"{}","allow":"{}"}}"#,
             json_escape(&self.file),
             self.line,
             self.col,
             self.rule,
-            json_escape(&self.message)
+            self.rule.family(),
+            json_escape(&self.message),
+            json_escape(&allow)
         )
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -203,9 +258,21 @@ const NON_INDEX_KEYWORDS: [&str; 20] = [
 /// suppresses, an unused or malformed one is itself a `META` finding).
 #[must_use]
 pub fn scan_source(file: &str, src: &str, scope: Scope) -> Vec<Finding> {
-    let tokens = lex(src);
-    let test_lines = test_region_lines(&tokens);
-    let (mut allows, mut findings) = collect_allows(file, &tokens);
+    scan_source_with(file, src, scope, &[])
+}
+
+/// [`scan_source`] with precomputed cross-file findings (`extra`) merged in
+/// *before* the allow-directive pass, so inline `allow` directives and the
+/// unused-directive META check apply to them exactly as to local findings.
+/// E1's event-exhaustiveness findings (computed against the counter and
+/// audit sources by [`e1_findings`]) arrive this way.
+#[must_use]
+pub fn scan_source_with(file: &str, src: &str, scope: Scope, extra: &[Finding]) -> Vec<Finding> {
+    let parsed = crate::parser::ParsedFile::parse(src);
+    let tokens = &parsed.tokens;
+    let test_lines = test_region_lines(tokens);
+    let (mut allows, mut findings) = collect_allows(file, tokens);
+    findings.extend(extra.iter().cloned());
 
     let code: Vec<&Token> = tokens
         .iter()
@@ -281,6 +348,20 @@ pub fn scan_source(file: &str, src: &str, scope: Scope) -> Vec<Finding> {
         if scope.p1 {
             p1_check(file, &code, i, &mut findings);
         }
+
+        if scope.f1 {
+            f1a_check(file, &code, i, &mut findings);
+        }
+    }
+
+    if scope.u1 {
+        u1_scan(file, &parsed, &test_lines, &mut findings);
+    }
+    if scope.f1 {
+        f1_expr_scan(file, src, &parsed, &test_lines, &mut findings);
+    }
+    if scope.o1 {
+        o1_scan(file, &parsed, &test_lines, &mut findings);
     }
 
     // Apply inline allow directives, then report the unused ones.
@@ -376,6 +457,453 @@ fn p1_check(file: &str, code: &[&Token], i: usize, findings: &mut Vec<Finding>) 
     }
 }
 
+/// Raw-unit types U1 requires a typed quantity or a `/// unit:` doc for.
+const U1_RAW_UNITS: [&str; 2] = ["f64", "u64"];
+
+/// U1 — unit safety. In accounting modules, a `pub fn` parameter, `pub
+/// const`, or `pub` struct field whose type is a *bare* `f64`/`u64` is a
+/// unit bug waiting to happen (cycles? microseconds? bytes? a ratio?).
+/// Either migrate it to a typed quantity (`Cycles`, `Micros`, `Bytes`,
+/// `CycleCount`) or state the unit in the item's doc comment with the
+/// `/// unit: ...` convention, which this rule recognizes.
+fn u1_scan(
+    file: &str,
+    parsed: &crate::parser::ParsedFile,
+    test_lines: &std::collections::BTreeSet<u32>,
+    findings: &mut Vec<Finding>,
+) {
+    let documented = |doc: &str| doc.contains("unit:");
+    for f in &parsed.fns {
+        if !f.is_pub || test_lines.contains(&f.line) || documented(&f.doc) {
+            continue;
+        }
+        for p in &f.params {
+            if U1_RAW_UNITS.contains(&p.ty.as_str()) {
+                findings.push(Finding {
+                    rule: RuleId::U1,
+                    file: file.to_string(),
+                    line: p.line,
+                    col: p.col,
+                    message: format!(
+                        "pub fn {}: parameter `{}: {}` is a raw unit in accounting code; \
+                         use a typed quantity (Cycles, Micros, Bytes, CycleCount) or state \
+                         the unit in the doc comment (`/// unit: ...`)",
+                        f.name, p.name, p.ty
+                    ),
+                });
+            }
+        }
+    }
+    for c in &parsed.consts {
+        if test_lines.contains(&c.line) || documented(&c.doc) {
+            continue;
+        }
+        if U1_RAW_UNITS.contains(&c.ty.as_str()) {
+            findings.push(Finding {
+                rule: RuleId::U1,
+                file: file.to_string(),
+                line: c.line,
+                col: c.col,
+                message: format!(
+                    "pub const {}: {} is a raw unit in accounting code; use a typed \
+                     quantity or state the unit in the doc comment (`/// unit: ...`)",
+                    c.name, c.ty
+                ),
+            });
+        }
+    }
+    for fd in &parsed.fields {
+        if test_lines.contains(&fd.line) || documented(&fd.doc) {
+            continue;
+        }
+        if U1_RAW_UNITS.contains(&fd.ty.as_str()) {
+            findings.push(Finding {
+                rule: RuleId::U1,
+                file: file.to_string(),
+                line: fd.line,
+                col: fd.col,
+                message: format!(
+                    "pub field {}.{}: {} is a raw unit in accounting code; use a typed \
+                     quantity or state the unit in the doc comment (`/// unit: ...`)",
+                    fd.owner, fd.name, fd.ty
+                ),
+            });
+        }
+    }
+}
+
+/// F1a — `.partial_cmp(` on floats yields `Option<Ordering>` and every
+/// caller either unwraps (a P1) or silently reorders on NaN. Flag the token
+/// triple `.` `partial_cmp` `(`; the fix is `total_cmp`, which is total and
+/// deterministic.
+fn f1a_check(file: &str, code: &[&Token], i: usize, findings: &mut Vec<Finding>) {
+    let tok = code[i];
+    if tok.kind != TokKind::Ident || tok.text != "partial_cmp" {
+        return;
+    }
+    let dotted = i
+        .checked_sub(1)
+        .is_some_and(|p| code[p].kind == TokKind::Punct && code[p].text == ".");
+    let called = code
+        .get(i + 1)
+        .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+    if dotted && called {
+        findings.push(Finding {
+            rule: RuleId::F1,
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: ".partial_cmp() is not total over floats (NaN breaks the order); \
+                      use f64::total_cmp for a deterministic comparator"
+                .to_string(),
+        });
+    }
+}
+
+/// Comparator-taking methods whose closure F1b inspects.
+const F1_COMPARATORS: [&str; 5] = [
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+/// F1b + F1c — expression-level float-order checks.
+///
+/// * **F1b**: inside a comparator closure passed to `sort_by`-family
+///   methods, a raw `<`/`>`/`<=`/`>=` whose operand is provably floaty
+///   (float literal, `as f64`/`as f32` cast, `.as_f64()`/`.to_f64()` call,
+///   or an identifier the file's `let` symbol table types as `f64`) is a
+///   NaN-unstable order. Use `total_cmp`.
+/// * **F1c**: a `.sum::<f64>()` reduction whose postfix chain roots in a
+///   binding initialized from a `HashMap`/`HashSet` sums in hash-iteration
+///   order; float addition is non-associative, so the total drifts between
+///   processes.
+fn f1_expr_scan(
+    file: &str,
+    src: &str,
+    parsed: &crate::parser::ParsedFile,
+    test_lines: &std::collections::BTreeSet<u32>,
+    findings: &mut Vec<Finding>,
+) {
+    use crate::parser::{Expr, ExprParser};
+
+    let code: Vec<&Token> = parsed
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+
+    // The per-file symbol table: which names are provably f64, and which
+    // root in a hash container.
+    let f64_names: std::collections::BTreeSet<&str> = parsed
+        .lets
+        .iter()
+        .filter(|l| l.ty.as_deref() == Some("f64") || l.init_float)
+        .map(|l| l.name.as_str())
+        .collect();
+    let hash_names: std::collections::BTreeSet<&str> = parsed
+        .lets
+        .iter()
+        .filter(|l| {
+            let ty_hash =
+                l.ty.as_deref()
+                    .is_some_and(|t| t.starts_with("HashMap") || t.starts_with("HashSet"));
+            let init_hash = l
+                .init_root
+                .as_deref()
+                .is_some_and(|r| r == "HashMap" || r == "HashSet");
+            ty_hash || init_hash
+        })
+        .map(|l| l.name.as_str())
+        .collect();
+
+    let floaty = |e: &Expr| -> bool {
+        match e {
+            Expr::Literal { is_float } => *is_float,
+            Expr::Cast { ty, .. } => ty == "f64" || ty == "f32",
+            Expr::MethodCall { name, .. } => name == "as_f64" || name == "to_f64",
+            Expr::Path(segs) => segs.first().is_some_and(|s| f64_names.contains(s.as_str())),
+            Expr::Field { recv, .. } => {
+                // `a.1` / `a.rate` where `a` is a known-f64 tuple is out of
+                // reach; only the root-ident case is provable.
+                matches!(&**recv, Expr::Path(segs)
+                    if segs.first().is_some_and(|s| f64_names.contains(s.as_str())))
+            }
+            _ => false,
+        }
+    };
+
+    for (i, tok) in code.iter().enumerate() {
+        if test_lines.contains(&tok.line) {
+            continue;
+        }
+        // F1b: comparator method followed by `(` — parse the argument list.
+        if tok.kind == TokKind::Ident
+            && F1_COMPARATORS.contains(&tok.text.as_str())
+            && i > 0
+            && code[i - 1].kind == TokKind::Punct
+            && code[i - 1].text == "."
+            && code.get(i + 1).is_some_and(|t| t.text == "(")
+        {
+            let close = matching_code(&code, i + 1, "(", ")");
+            let arg_toks: Vec<&Token> = code[i + 2..close].to_vec();
+            let mut p = ExprParser::new(src, arg_toks);
+            // Comparator bodies often open with `if`/`match`, which the
+            // expression grammar does not model; parse_all still reaches
+            // every comparison nested past them.
+            for expr in p.parse_all() {
+                expr.walk(&mut |n| {
+                    if let Expr::Binary {
+                        op,
+                        lhs,
+                        rhs,
+                        line,
+                        col,
+                    } = n
+                    {
+                        let is_cmp = matches!(op.as_str(), "<" | ">" | "<=" | ">=");
+                        if is_cmp && (floaty(lhs) || floaty(rhs)) {
+                            findings.push(Finding {
+                                rule: RuleId::F1,
+                                file: file.to_string(),
+                                line: *line,
+                                col: *col,
+                                message: format!(
+                                    "raw `{op}` on a float inside a comparator closure is not \
+                                     a total order (NaN); use f64::total_cmp"
+                                ),
+                            });
+                        }
+                    }
+                });
+            }
+        }
+
+        // F1c: `.sum::<f64>()` whose chain roots in a hash container.
+        if tok.kind == TokKind::Ident
+            && tok.text == "sum"
+            && i > 0
+            && code[i - 1].kind == TokKind::Punct
+            && code[i - 1].text == "."
+        {
+            let turbofish_f64 = code.get(i + 1).is_some_and(|t| t.text == ":")
+                && code.get(i + 2).is_some_and(|t| t.text == ":")
+                && code.get(i + 3).is_some_and(|t| t.text == "<")
+                && code.get(i + 4).is_some_and(|t| t.text == "f64")
+                && code.get(i + 5).is_some_and(|t| t.text == ">");
+            if turbofish_f64 {
+                if let Some(root) = chain_root_ident(&code, i - 1) {
+                    if hash_names.contains(root) {
+                        findings.push(Finding {
+                            rule: RuleId::F1,
+                            file: file.to_string(),
+                            line: tok.line,
+                            col: tok.col,
+                            message: format!(
+                                ".sum::<f64>() over `{root}` iterates a hash container; \
+                                 float addition is non-associative, so the total depends on \
+                                 hash order — collect into a BTreeMap/sorted Vec first"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Walks a postfix chain *backwards* from the code index of a `.` to find
+/// the chain's root identifier: skips balanced `(...)`/`[...]` groups and
+/// `.name`/`::` links. Returns `None` when the chain roots in a literal or
+/// an unmodeled shape.
+fn chain_root_ident<'a>(code: &[&'a Token], dot: usize) -> Option<&'a str> {
+    let mut i = dot; // points at the `.`
+    let mut root: Option<&str> = None;
+    while i > 0 {
+        i -= 1;
+        let t = code[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, ")") => {
+                let mut depth = 1usize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match code[i].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            (TokKind::Punct, "]") => {
+                let mut depth = 1usize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match code[i].text.as_str() {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            (TokKind::Ident, name) => {
+                root = Some(name);
+                // Continue only through `.` or `::` immediately before.
+                let prev = i.checked_sub(1).map(|p| code[p]);
+                let link = prev
+                    .is_some_and(|p| p.kind == TokKind::Punct && (p.text == "." || p.text == ":"));
+                if !link {
+                    return root;
+                }
+            }
+            (TokKind::Punct, "." | ":") => {}
+            _ => return root,
+        }
+    }
+    root
+}
+
+/// Finds the matching close for the opener at code index `open`.
+fn matching_code(code: &[&Token], open: usize, op: &str, cl: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Punct {
+            if t.text == op {
+                depth += 1;
+            } else if t.text == cl {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Identifiers O1 bans inside a `SimObserver` impl body: wall-clock, OS
+/// randomness, and ambient I/O. `writeln` is deliberately absent — the
+/// JsonLines observer writes through its injected sink, which is the one
+/// sanctioned output channel.
+const O1_BANNED: [&str; 14] = [
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "File",
+    "OpenOptions",
+    "stdin",
+    "stdout",
+    "stderr",
+    "env",
+    "println",
+    "eprintln",
+    "print",
+    "eprint",
+    "dbg",
+];
+
+/// O1 — observer purity. Observers run inside the deterministic event loop;
+/// any wall-clock read, OS randomness, or ambient I/O in an observer callback
+/// perturbs timing-sensitive comparisons and can differ between runs. The
+/// only sanctioned side channel is the sink the observer was constructed
+/// with (e.g. the JsonLines writer).
+fn o1_scan(
+    file: &str,
+    parsed: &crate::parser::ParsedFile,
+    test_lines: &std::collections::BTreeSet<u32>,
+    findings: &mut Vec<Finding>,
+) {
+    for region in &parsed.impls {
+        if region.trait_name.as_deref() != Some("SimObserver") {
+            continue;
+        }
+        for t in &parsed.tokens[region.body_start..=region.body_end.min(parsed.tokens.len() - 1)] {
+            if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+                || test_lines.contains(&t.line)
+            {
+                continue;
+            }
+            if t.kind == TokKind::Ident && O1_BANNED.contains(&t.text.as_str()) {
+                findings.push(Finding {
+                    rule: RuleId::O1,
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{}` inside `impl SimObserver for {}`: observers must be pure \
+                         over the event stream; route output through the observer's \
+                         injected sink",
+                        t.text, region.type_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// E1 — event exhaustiveness. Every variant of the `pub enum SimEvent` in
+/// `observer_src` must (a) be referenced inside the
+/// `impl SimObserver for CounterObserver` body of the same file, and (b) be
+/// referenced somewhere in `audit_src` (the runtime auditor / conservation
+/// checkers). A variant missing either is an event the test spine silently
+/// ignores. Findings anchor at the variant's definition line so an inline
+/// `// v10-lint: allow(E1) <reason>` there can acknowledge intentionally
+/// unaudited variants.
+#[must_use]
+pub fn e1_findings(observer_rel: &str, observer_src: &str, audit_src: &str) -> Vec<Finding> {
+    let parsed = crate::parser::ParsedFile::parse(observer_src);
+    let Some(events) = parsed.enums.iter().find(|e| e.name == "SimEvent") else {
+        return Vec::new();
+    };
+
+    let counter_idents: std::collections::BTreeSet<&str> = parsed
+        .impls
+        .iter()
+        .filter(|r| {
+            r.trait_name.as_deref() == Some("SimObserver") && r.type_name == "CounterObserver"
+        })
+        .flat_map(|r| parsed.tokens[r.body_start..=r.body_end].iter())
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+
+    let audit_idents: std::collections::BTreeSet<String> = lex(audit_src)
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect();
+
+    let mut findings = Vec::new();
+    for (variant, line, col) in &events.variants {
+        let counted = counter_idents.contains(variant.as_str());
+        let audited = audit_idents.contains(variant);
+        if counted && audited {
+            continue;
+        }
+        let missing = match (counted, audited) {
+            (false, false) => "neither counted by CounterObserver nor validated in audit.rs",
+            (false, true) => "not counted by CounterObserver",
+            (true, false) => "not validated by the runtime auditors (audit.rs)",
+            (true, true) => unreachable!(),
+        };
+        findings.push(Finding {
+            rule: RuleId::E1,
+            file: observer_rel.to_string(),
+            line: *line,
+            col: *col,
+            message: format!(
+                "SimEvent::{variant} is {missing}; wire it into the spine or acknowledge \
+                 it with an allow directive"
+            ),
+        });
+    }
+    findings
+}
+
 /// Lines covered by `#[cfg(test)]` / `#[test]` items (the attribute through
 /// the item's closing brace). P1 exempts test code; the other rules do too —
 /// tests don't feed golden output.
@@ -467,6 +995,10 @@ fn collect_allows(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Finding>) {
         let Some(pos) = t.text.find(DIRECTIVE) else {
             continue;
         };
+        // A multi-line block-comment directive applies where the comment
+        // *ends* (the directive governs the line it sits against, not the
+        // line the `/*` opened on).
+        let end_line = t.line + u32::try_from(t.text.matches('\n').count()).unwrap_or(u32::MAX);
         let rest = t.text[pos + DIRECTIVE.len()..].trim_start();
         let parsed = rest
             .strip_prefix("allow(")
@@ -474,16 +1006,24 @@ fn collect_allows(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Finding>) {
             .and_then(|(rule, reason)| {
                 RuleId::parse(rule.trim()).map(|rule| (rule, reason.trim().to_string()))
             });
-        match parsed {
+        // A block comment's reason may carry the closing `*/`; strip it.
+        let clean = |reason: String| {
+            reason
+                .trim_end_matches("*/")
+                .trim_end_matches('*')
+                .trim()
+                .to_string()
+        };
+        match parsed.map(|(rule, reason)| (rule, clean(reason))) {
             Some((rule, reason)) if !reason.is_empty() => allows.push(Allow {
                 rule,
-                line: t.line,
+                line: end_line,
                 used: false,
             }),
             Some((_, _)) => findings.push(Finding {
                 rule: RuleId::Meta,
                 file: file.to_string(),
-                line: t.line,
+                line: end_line,
                 col: t.col,
                 message: "v10-lint allow directive is missing its reason; write \
                           `// v10-lint: allow(<rule>) <why this site is safe>`"
@@ -492,10 +1032,10 @@ fn collect_allows(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Finding>) {
             None => findings.push(Finding {
                 rule: RuleId::Meta,
                 file: file.to_string(),
-                line: t.line,
+                line: end_line,
                 col: t.col,
                 message: "malformed v10-lint directive; expected \
-                          `// v10-lint: allow(D1|D2|D3|P1) <reason>`"
+                          `// v10-lint: allow(D1|D2|D3|P1|U1|F1|O1|E1) <reason>`"
                     .to_string(),
             }),
         }

@@ -12,10 +12,23 @@
 //!   figures.
 //! * **P1** applies to the library sources of `v10-core` and `v10-sim`,
 //!   the crates whose public API promises typed `V10Error`s.
+//! * **U1** (unit safety) applies to the same accounting modules as D3:
+//!   the files where a unitless `f64`/`u64` on the public surface is a
+//!   latent unit bug.
+//! * **F1** (float-order) and **O1** (observer purity) apply wherever
+//!   D1/D2 do, *plus* the integration surface: root `examples/`, root
+//!   `tests/`, and the `tests/` trees of sim-path crates. Example and
+//!   test drivers feed golden comparisons, so a NaN-unstable sort or an
+//!   impure observer there corrupts the spine just as surely.
+//! * **E1** (event exhaustiveness) is a cross-file check anchored at the
+//!   `SimEvent` definition (`crates/core/src/observer.rs`); it is computed
+//!   once per workspace scan against the counter and audit sources.
 //!
-//! Test code (`#[cfg(test)]` / `#[test]` regions, and `tests/` trees) is
-//! exempt from every rule: tests may panic, and they never feed golden
-//! output.
+//! Inline test code (`#[cfg(test)]` / `#[test]` regions) is exempt from
+//! every rule: tests may panic, and they never feed golden output.
+//! Integration-test *files* are scanned, but only for the determinism
+//! families (D1/D2/F1/O1) — they drive golden runs but make no
+//! error-contract or unit-surface promises.
 
 use crate::rules::Scope;
 use std::path::{Path, PathBuf};
@@ -36,7 +49,7 @@ pub const P1_CRATES: [&str; 2] = ["core", "sim"];
 
 /// Cycle/byte accounting modules under the D3 cast rule (repo-relative,
 /// unix separators).
-pub const ACCOUNTING_MODULES: [&str; 14] = [
+pub const ACCOUNTING_MODULES: [&str; 18] = [
     "crates/npu/src/hbm.rs",
     "crates/npu/src/dma.rs",
     "crates/systolic/src/array.rs",
@@ -51,6 +64,10 @@ pub const ACCOUNTING_MODULES: [&str; 14] = [
     "crates/core/src/overhead.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/engine_core.rs",
+    "crates/core/src/packed.rs",
+    "crates/core/src/policy.rs",
+    "crates/sim/src/shard.rs",
+    "crates/sim/src/calendar.rs",
 ];
 
 /// One file to scan: its repo-relative path (unix separators, the stable
@@ -65,6 +82,14 @@ pub struct SourceFile {
     pub scope: Scope,
 }
 
+/// The file that defines `pub enum SimEvent` and `CounterObserver` — the
+/// anchor for E1's cross-file exhaustiveness findings.
+pub const EVENT_DEFINITION: &str = "crates/core/src/observer.rs";
+
+/// The file holding the runtime auditors (`RuntimeAuditor`,
+/// `FleetConservation`) that E1 checks variant coverage against.
+pub const AUDIT_MODULE: &str = "crates/core/src/audit.rs";
+
 /// The scope for a repo-relative path, or `None` if the file is not
 /// scanned at all.
 #[must_use]
@@ -73,24 +98,36 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
         .strip_prefix("crates/")
         .and_then(|r| r.split('/').next());
     let in_src = |c: &str| rel.starts_with(&format!("crates/{c}/src/"));
+    let in_tests = |c: &str| rel.starts_with(&format!("crates/{c}/tests/"));
 
     let sim_path = crate_name
         .map(|c| SIM_CRATES.contains(&c) && in_src(c))
         .unwrap_or(false)
         || rel == "src/lib.rs";
+    // The integration surface: example drivers and test harnesses whose
+    // output feeds golden comparisons.
+    let integration = rel.starts_with("examples/")
+        || rel.starts_with("tests/")
+        || crate_name
+            .map(|c| SIM_CRATES.contains(&c) && in_tests(c))
+            .unwrap_or(false);
     let p1 = crate_name
         .map(|c| P1_CRATES.contains(&c) && in_src(c))
         .unwrap_or(false);
     let d3 = ACCOUNTING_MODULES.contains(&rel);
 
-    if !sim_path && !p1 && !d3 {
+    if !sim_path && !integration && !p1 && !d3 {
         return None;
     }
     Some(Scope {
-        d1: sim_path,
-        d2: sim_path,
+        d1: sim_path || integration,
+        d2: sim_path || integration,
         d3,
         p1,
+        u1: d3,
+        f1: sim_path || integration,
+        o1: sim_path || integration,
+        e1: rel == EVENT_DEFINITION,
     })
 }
 
@@ -98,11 +135,15 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
 /// diagnostics and the baseline are deterministic.
 pub fn enumerate(root: &Path) -> Result<Vec<SourceFile>, String> {
     let mut out = Vec::new();
-    let mut dirs = vec![root.join("src")];
+    let mut dirs = vec![root.join("src"), root.join("examples"), root.join("tests")];
     for c in SIM_CRATES {
         dirs.push(root.join("crates").join(c).join("src"));
+        dirs.push(root.join("crates").join(c).join("tests"));
     }
     for dir in dirs {
+        if !dir.is_dir() {
+            continue; // not every sim-path crate has a tests/ tree
+        }
         let mut stack = vec![dir];
         while let Some(d) = stack.pop() {
             let entries = match std::fs::read_dir(&d) {
@@ -145,20 +186,42 @@ mod tests {
     fn scopes_match_policy() {
         let s = scope_for("crates/core/src/engine.rs").unwrap();
         assert!(s.d1 && s.d2 && s.p1 && !s.d3);
+        assert!(s.f1 && s.o1 && !s.u1 && !s.e1);
 
         let s = scope_for("crates/npu/src/hbm.rs").unwrap();
         assert!(s.d1 && s.d2 && s.d3 && !s.p1);
+        assert!(s.u1);
 
         let s = scope_for("crates/sim/src/time.rs").unwrap();
-        assert!(s.d1 && s.d2 && s.d3 && s.p1);
+        assert!(s.d1 && s.d2 && s.d3 && s.p1 && s.u1);
 
         let s = scope_for("crates/workloads/src/zoo.rs").unwrap();
         assert!(s.d1 && s.d2 && !s.d3 && !s.p1);
 
-        // Bench harness and test trees are out of scope entirely.
+        // The bench harness is out of scope entirely (wall-clock timing
+        // is its job), as is the lint crate itself (fixtures must stay
+        // unscanned).
         assert!(scope_for("crates/bench/src/timing.rs").is_none());
-        assert!(scope_for("crates/core/tests/context.rs").is_none());
-        assert!(scope_for("tests/golden_run.rs").is_none());
+        assert!(scope_for("crates/bench/tests/golden_run.rs").is_none());
+        assert!(scope_for("crates/lint/tests/fixtures/d1_hash_container.rs").is_none());
+
+        // Integration surface: determinism families only.
+        let s = scope_for("crates/core/tests/context.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.f1 && s.o1 && !s.d3 && !s.p1 && !s.u1 && !s.e1);
+        let s = scope_for("tests/golden_run.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.f1 && s.o1 && !s.p1 && !s.u1);
+        let s = scope_for("examples/quickstart.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.f1 && s.o1 && !s.p1 && !s.u1);
+
+        // New accounting modules carry D3 + U1.
+        let s = scope_for("crates/core/src/packed.rs").unwrap();
+        assert!(s.d3 && s.u1);
+        let s = scope_for("crates/sim/src/calendar.rs").unwrap();
+        assert!(s.d3 && s.u1);
+
+        // E1 anchors at the event definition only.
+        assert!(scope_for(EVENT_DEFINITION).unwrap().e1);
+        assert!(!scope_for("crates/core/src/engine.rs").unwrap().e1);
 
         // The facade is sim-path for D1/D2.
         let s = scope_for("src/lib.rs").unwrap();

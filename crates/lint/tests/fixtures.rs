@@ -69,6 +69,139 @@ fn p1_fixture_fires_and_respects_scope() {
     assert_rule_fires("p1_panic_path.rs", RuleId::P1, 4, 25, disabled);
 }
 
+#[test]
+fn u1_fixture_fires_and_respects_scope() {
+    let mut disabled = Scope::all();
+    disabled.u1 = false;
+    assert_rule_fires("u1_raw_unit.rs", RuleId::U1, 11, 30, disabled);
+}
+
+#[test]
+fn f1_fixture_fires_and_respects_scope() {
+    let mut disabled = Scope::all();
+    disabled.f1 = false;
+    assert_rule_fires("f1_float_order.rs", RuleId::F1, 7, 36, disabled);
+}
+
+#[test]
+fn o1_fixture_fires_and_respects_scope() {
+    let mut disabled = Scope::all();
+    disabled.o1 = false;
+    assert_rule_fires("o1_observer_io.rs", RuleId::O1, 14, 13, disabled);
+}
+
+/// F1a: `.partial_cmp(` is flagged regardless of operand provenance, and
+/// `total_cmp` never is.
+#[test]
+fn f1a_partial_cmp_fires() {
+    let src = "pub fn order(xs: &mut Vec<f64>) {\n    \
+               xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let scope = Scope {
+        f1: true,
+        ..Scope::default()
+    };
+    let findings = scan_source("pc.rs", src, scope);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, RuleId::F1);
+    assert!(findings[0].message.contains("partial_cmp"));
+}
+
+/// F1c: a float sum over a hash container's iteration order.
+#[test]
+fn f1c_hash_sum_fires() {
+    let src = "pub fn total() -> f64 {\n    \
+               let m: HashMap<u32, f64> = HashMap::new();\n    \
+               m.values().copied().sum::<f64>()\n}\n";
+    let scope = Scope {
+        f1: true,
+        ..Scope::default()
+    };
+    let findings = scan_source("hs.rs", src, scope);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, RuleId::F1);
+    assert!(findings[0].message.contains("hash"), "{findings:#?}");
+
+    // The same reduction over a BTreeMap is deterministic: clean.
+    let ok = "pub fn total() -> f64 {\n    \
+              let m: BTreeMap<u32, f64> = BTreeMap::new();\n    \
+              m.values().copied().sum::<f64>()\n}\n";
+    assert!(scan_source("bs.rs", ok, scope).is_empty());
+}
+
+/// A multi-line block-comment directive applies at the comment's *end*;
+/// the fixture's D2 site on the following line is suppressed and the
+/// directive counts as used (no META).
+#[test]
+fn block_directive_suppresses_across_lines() {
+    let findings = scan("block_directive.rs", Scope::all());
+    assert!(
+        findings.is_empty(),
+        "block directive failed to suppress: {findings:#?}"
+    );
+}
+
+/// E1 drives on synthetic sources: a variant absent from the counter impl
+/// or the audit module is flagged at its definition line; full coverage is
+/// clean; an allow directive on the variant line acknowledges it.
+#[test]
+fn e1_flags_uncounted_and_unaudited_variants() {
+    let observer = "pub enum SimEvent {\n    OpIssued,\n    OpCompleted,\n    GhostEvent,\n}\n\
+                    pub struct CounterObserver;\n\
+                    impl SimObserver for CounterObserver {\n    \
+                    fn on_event(&mut self, e: &SimEvent) {\n        \
+                    match e {\n            \
+                    SimEvent::OpIssued => {}\n            \
+                    SimEvent::OpCompleted => {}\n            \
+                    _ => {}\n        }\n    }\n}\n";
+    let audit = "fn check() { let _ = (SimEvent::OpIssued, SimEvent::OpCompleted); }\n";
+
+    let findings = v10_lint::rules::e1_findings("obs.rs", observer, audit);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, RuleId::E1);
+    assert_eq!(findings[0].line, 4, "GhostEvent's definition line");
+    assert!(findings[0].message.contains("GhostEvent"));
+    assert!(findings[0].message.contains("neither"), "{findings:#?}");
+
+    // Counted but unaudited: message names the missing side.
+    let audit_missing = "fn check() { let _ = SimEvent::OpIssued; }\n";
+    let observer_counted = observer.replace("GhostEvent,\n", "");
+    let findings = v10_lint::rules::e1_findings("obs.rs", &observer_counted, audit_missing);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("audit"), "{findings:#?}");
+
+    // Full coverage is clean.
+    let findings = v10_lint::rules::e1_findings("obs.rs", &observer_counted, audit);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+/// E1 extras flow through the allow machinery: a directive on the variant
+/// definition line suppresses the finding, and an unused E1 directive is a
+/// META error.
+#[test]
+fn e1_findings_respect_allow_directives() {
+    let observer = "pub enum SimEvent {\n    \
+                    // v10-lint: allow(E1) fixture: diagnostic-only event, deliberately unaudited\n    \
+                    GhostEvent,\n}\n";
+    let audit = "fn check() {}\n";
+    let extras = v10_lint::rules::e1_findings("obs.rs", observer, audit);
+    assert_eq!(extras.len(), 1);
+
+    let scope = Scope {
+        e1: true,
+        ..Scope::default()
+    };
+    let findings = v10_lint::rules::scan_source_with("obs.rs", observer, scope, &extras);
+    assert!(
+        findings.is_empty(),
+        "allow(E1) on the variant line must suppress: {findings:#?}"
+    );
+
+    // Without the extra, the directive is unused — a META error.
+    let findings = v10_lint::rules::scan_source_with("obs.rs", observer, scope, &[]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, RuleId::Meta);
+}
+
 /// The allow escape hatch suppresses the finding it covers; a directive
 /// covering nothing is itself reported (META), so stale hatches cannot
 /// accumulate.

@@ -1,0 +1,11 @@
+//! Fixture: a multi-line block-comment allow directive. The directive
+//! applies where the comment *ends* (its closing line or the line after),
+//! so the D2 site on the line following the block is suppressed.
+
+pub fn measure() -> u64 {
+    /* v10-lint: allow(D2) fixture: harness-side wall clock, never feeds
+    simulated results; kept as a block comment to exercise multi-line
+    directive spans */
+    let _t = std::time::Instant::now();
+    42
+}

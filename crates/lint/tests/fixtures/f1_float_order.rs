@@ -1,0 +1,12 @@
+//! Fixture: seeds exactly one F1 violation (line 7) — a comparator
+//! closure ordering floats with a raw `<`, which is not total over NaN.
+//! The `total_cmp` neighbor shows the sanctioned shape.
+
+pub fn order_rates(xs: &mut Vec<(usize, f64)>) {
+    let threshold = 2.5;
+    xs.sort_by(|a, b| if threshold < 3.0 { a.0.cmp(&b.0) } else { b.0.cmp(&a.0) });
+}
+
+pub fn order_rates_total(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,17 @@
+//! Fixture: seeds exactly one O1 violation (line 14) — ambient I/O
+//! (`println!`) inside a `SimObserver` impl. Observers must be pure over
+//! the event stream; the only sanctioned output is the injected sink.
+
+pub struct ChattyObserver {
+    /// unit: dimensionless event count.
+    pub seen: u64,
+}
+
+impl SimObserver for ChattyObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.seen += 1;
+        if self.seen == 1 {
+            println!("first event: {event:?}");
+        }
+    }
+}

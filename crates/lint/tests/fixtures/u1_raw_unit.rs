@@ -1,0 +1,13 @@
+//! Fixture: seeds exactly one U1 violation (line 11) — a pub fn taking a
+//! bare `f64` with no `/// unit:` doc. The documented neighbor and the
+//! typed-quantity neighbor show the two sanctioned shapes.
+
+/// unit: `dt` is a cycle delta.
+pub fn documented_advance(dt: f64) -> f64 {
+    dt
+}
+
+/// Accrues switch overhead.
+pub fn accrue_overhead(cost: f64) -> f64 {
+    cost
+}

@@ -1,0 +1,103 @@
+//! Differential test: the expression-level analyzer ([`parser`]) must be a
+//! strict superset of the v1 token lexer. For every file the workspace scan
+//! covers, parsing must not panic, the token stream [`ParsedFile`] carries
+//! must be identical to a direct [`lex`] of the same source, and every
+//! token's byte span must round-trip through the original source. This
+//! pins the analyzer to the lexer it grew out of: any divergence between
+//! the two front ends (dropped tokens, shifted spans) fails here before it
+//! can skew a rule.
+
+use std::path::Path;
+
+use v10_lint::lexer::{lex, TokKind};
+use v10_lint::parser::ParsedFile;
+use v10_lint::workspace;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+}
+
+#[test]
+fn parser_agrees_with_lexer_on_every_workspace_file() {
+    let files = workspace::enumerate(workspace_root()).expect("enumerating workspace");
+    assert!(
+        files.len() >= 80,
+        "scan surface shrank unexpectedly: {} files",
+        files.len()
+    );
+
+    for f in &files {
+        let src =
+            std::fs::read_to_string(&f.abs).unwrap_or_else(|e| panic!("reading {}: {e}", f.rel));
+
+        // Parsing is total: it must complete without panicking on any
+        // source the workspace contains (enforced by getting here at all).
+        let parsed = ParsedFile::parse(&src);
+        let direct = lex(&src);
+
+        assert_eq!(
+            parsed.tokens.len(),
+            direct.len(),
+            "{}: token count diverged between parser and lexer",
+            f.rel
+        );
+        for (i, (p, d)) in parsed.tokens.iter().zip(direct.iter()).enumerate() {
+            assert_eq!(
+                (p.kind, &p.text, p.line, p.col, p.offset, p.len),
+                (d.kind, &d.text, d.line, d.col, d.offset, d.len),
+                "{}: token #{i} diverged",
+                f.rel
+            );
+        }
+
+        // Byte spans round-trip: slicing the source at (offset, len) gives
+        // back the token text for every text-bearing kind; collapsed
+        // literals still cover a non-empty span.
+        for t in &parsed.tokens {
+            let span = src
+                .get(t.offset..t.offset + t.len)
+                .unwrap_or_else(|| panic!("{}: span out of bounds or split: {t:?}", f.rel));
+            match t.kind {
+                TokKind::Ident
+                | TokKind::Punct
+                | TokKind::Lifetime
+                | TokKind::LineComment
+                | TokKind::BlockComment => {
+                    assert_eq!(span, t.text, "{}: span mismatch: {t:?}", f.rel);
+                }
+                TokKind::Literal => {
+                    assert!(!span.is_empty(), "{}: empty literal span: {t:?}", f.rel);
+                }
+            }
+        }
+    }
+}
+
+/// The parser's tolerance guarantee also holds on deliberately broken
+/// input: junk that never parsed as Rust still lexes, parses, and keeps
+/// its token stream aligned with the raw lexer.
+#[test]
+fn parser_agrees_with_lexer_on_junk() {
+    let junk = [
+        "fn ( ( ( } } ) as as as . . :: < > 1.5e",
+        "impl for { pub pub const let = = =",
+        "/* unterminated",
+        "\"unterminated string",
+        "sort_by(|a, b| a < ",
+    ];
+    for src in junk {
+        let parsed = ParsedFile::parse(src);
+        let direct = lex(src);
+        assert_eq!(parsed.tokens.len(), direct.len(), "{src:?}");
+        for (p, d) in parsed.tokens.iter().zip(direct.iter()) {
+            assert_eq!(
+                (p.kind, &p.text, p.offset, p.len),
+                (d.kind, &d.text, d.offset, d.len),
+                "{src:?}"
+            );
+        }
+    }
+}

@@ -40,6 +40,8 @@ impl InstructionDma {
     /// Creates the model over a link of `peak_bytes_per_cycle` total HBM
     /// bandwidth.
     ///
+    /// unit: `peak_bytes_per_cycle` is in bytes per NPU clock cycle.
+    ///
     /// # Errors
     ///
     /// Returns [`V10Error::InvalidArgument`] if the peak is not finite and
@@ -66,8 +68,15 @@ impl InstructionDma {
     /// `fetch_start` (the predecessor's issue time) and its predecessor
     /// finishes at `predecessor_done`: the fetch hides behind the
     /// predecessor whenever possible.
+    ///
+    /// unit: `fetch_start` and `predecessor_done` are simulated-clock
+    /// instants in cycles; the result is an instant in cycles.
     #[must_use]
     pub fn ready_at(&self, op: &OpDesc, fetch_start: f64, predecessor_done: f64) -> f64 {
+        debug_assert!(
+            fetch_start.is_finite() && predecessor_done.is_finite(),
+            "ready_at expects finite cycle instants, got {fetch_start} / {predecessor_done}"
+        );
         predecessor_done.max(fetch_start + self.fetch_cycles(op))
     }
 }

@@ -38,6 +38,8 @@ pub struct HbmArbiter {
 impl HbmArbiter {
     /// Creates an arbiter over `peak_bytes_per_cycle` of bandwidth.
     ///
+    /// unit: `peak_bytes_per_cycle` is in bytes per NPU clock cycle.
+    ///
     /// # Errors
     ///
     /// Returns [`V10Error::InvalidArgument`] if the peak is not finite and
@@ -88,6 +90,8 @@ impl HbmArbiter {
 
     /// Records `bytes` as moved (called by the engine as operators make
     /// progress).
+    ///
+    /// unit: `bytes` is a byte count (may be fractional mid-step).
     pub fn record_bytes(&mut self, bytes: f64) {
         debug_assert!(bytes >= 0.0);
         self.bytes_moved += bytes;
@@ -100,6 +104,9 @@ impl HbmArbiter {
     }
 
     /// Bandwidth utilization over an `elapsed_cycles` window.
+    ///
+    /// unit: `elapsed_cycles` is a duration in cycles; the result is a
+    /// dimensionless fraction of peak bandwidth.
     ///
     /// # Panics
     ///

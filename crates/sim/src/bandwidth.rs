@@ -16,11 +16,12 @@
 pub struct Demand {
     /// Caller-side flow identifier, echoed back in the allocation.
     pub id: usize,
-    /// Requested rate in bytes/cycle. Must be finite and non-negative.
+    /// unit: requested rate in bytes/cycle. Must be finite and non-negative.
     pub rate: f64,
 }
 
 impl Demand {
+    /// unit: `rate` is bytes per cycle.
     /// Convenience constructor.
     #[must_use]
     pub fn new(id: usize, rate: f64) -> Self {
@@ -77,6 +78,7 @@ impl WaterFilling {
     /// # Panics
     ///
     /// Panics if `capacity` is not finite or is negative.
+    /// unit: `capacity` is bytes per cycle.
     #[must_use]
     pub fn new(capacity: f64) -> Self {
         assert!(

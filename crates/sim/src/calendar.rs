@@ -37,23 +37,24 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::error::{V10Error, V10Result};
+use crate::time::Cycles;
 
-/// A next-event calendar over absolute `f64` deadlines with stable
+/// A next-event calendar over absolute [`Cycles`] deadlines with stable
 /// `usize` keys (at most one deadline per key).
 ///
 /// # Example
 ///
 /// ```
-/// use v10_sim::HorizonCalendar;
+/// use v10_sim::{Cycles, HorizonCalendar};
 ///
-/// let mut cal = HorizonCalendar::new(100.0).unwrap();
-/// cal.set(3, 250.0).unwrap();
-/// cal.set(1, 250.0).unwrap(); // same deadline: lowest key wins ties
-/// cal.set(7, 90.0).unwrap();
-/// assert_eq!(cal.peek_min(), Some((7, 90.0)));
+/// let mut cal = HorizonCalendar::new(Cycles::new(100.0)).unwrap();
+/// cal.set(3, Cycles::new(250.0)).unwrap();
+/// cal.set(1, Cycles::new(250.0)).unwrap(); // same deadline: lowest key wins ties
+/// cal.set(7, Cycles::new(90.0)).unwrap();
+/// assert_eq!(cal.peek_min(), Some((7, Cycles::new(90.0))));
 ///
 /// let mut due = Vec::new();
-/// cal.pop_due(260.0, &mut due);
+/// cal.pop_due(Cycles::new(260.0), &mut due);
 /// assert_eq!(due, vec![1, 3, 7]); // ascending key order
 /// assert!(cal.is_empty());
 /// ```
@@ -81,7 +82,8 @@ impl HorizonCalendar {
     /// # Errors
     ///
     /// `width` must be finite and strictly positive.
-    pub fn new(width: f64) -> V10Result<Self> {
+    pub fn new(width: Cycles) -> V10Result<Self> {
+        let width = width.as_f64();
         if !width.is_finite() || width <= 0.0 {
             return Err(V10Error::invalid(
                 "HorizonCalendar::new",
@@ -109,8 +111,12 @@ impl HorizonCalendar {
 
     /// The deadline stored for `key`, if any.
     #[must_use]
-    pub fn deadline_of(&self, key: usize) -> Option<f64> {
-        self.deadline.get(key).copied().filter(|d| d.is_finite())
+    pub fn deadline_of(&self, key: usize) -> Option<Cycles> {
+        self.deadline
+            .get(key)
+            .copied()
+            .filter(|d| d.is_finite())
+            .map(Cycles::new)
     }
 
     /// True when `key` has a pending deadline.
@@ -124,7 +130,8 @@ impl HorizonCalendar {
     /// # Errors
     ///
     /// `deadline` must be finite and non-negative.
-    pub fn set(&mut self, key: usize, deadline: f64) -> V10Result<()> {
+    pub fn set(&mut self, key: usize, deadline: Cycles) -> V10Result<()> {
+        let deadline = deadline.as_f64();
         if !deadline.is_finite() || deadline < 0.0 {
             return Err(V10Error::invalid(
                 "HorizonCalendar::set",
@@ -171,7 +178,7 @@ impl HorizonCalendar {
     /// Amortized O(log n): stale heap entries surfacing at the top are
     /// discarded here, each paid for once by the `set`/`clear` that
     /// staled it.
-    pub fn peek_min(&mut self) -> Option<(usize, f64)> {
+    pub fn peek_min(&mut self) -> Option<(usize, Cycles)> {
         if self.len == 0 {
             return None;
         }
@@ -181,7 +188,7 @@ impl HorizonCalendar {
                 .get(key)
                 .is_some_and(|d| d.to_bits() == bits && d.is_finite());
             if live {
-                return Some((key, f64::from_bits(bits)));
+                return Some((key, Cycles::new(f64::from_bits(bits))));
             }
             self.heap.pop();
         }
@@ -191,10 +198,10 @@ impl HorizonCalendar {
     /// Removes every entry with `deadline <= threshold` and appends the
     /// keys to `out` in ascending key order. Returns how many entries
     /// were popped.
-    pub fn pop_due(&mut self, threshold: f64, out: &mut Vec<usize>) -> usize {
+    pub fn pop_due(&mut self, threshold: Cycles, out: &mut Vec<usize>) -> usize {
         let start = out.len();
         while let Some((k, d)) = self.peek_min() {
-            if d > threshold {
+            if d.as_f64() > threshold.as_f64() {
                 break;
             }
             self.clear(k);
@@ -213,30 +220,29 @@ mod tests {
 
     #[test]
     fn rejects_bad_width_and_deadlines() {
-        assert!(HorizonCalendar::new(0.0).is_err());
-        assert!(HorizonCalendar::new(f64::NAN).is_err());
-        assert!(HorizonCalendar::new(-1.0).is_err());
-        let mut cal = HorizonCalendar::new(10.0).unwrap();
-        assert!(cal.set(0, f64::NAN).is_err());
-        assert!(cal.set(0, f64::INFINITY).is_err());
-        assert!(cal.set(0, -1.0).is_err());
+        // Non-finite values cannot be expressed as `Cycles` (its constructor
+        // debug-asserts finiteness); zero/negative still reach the error path.
+        assert!(HorizonCalendar::new(Cycles::new(0.0)).is_err());
+        assert!(HorizonCalendar::new(Cycles::new(-1.0)).is_err());
+        let mut cal = HorizonCalendar::new(Cycles::new(10.0)).unwrap();
+        assert!(cal.set(0, Cycles::new(-1.0)).is_err());
         assert!(cal.is_empty());
     }
 
     #[test]
     fn set_clear_peek_roundtrip() {
-        let mut cal = HorizonCalendar::new(100.0).unwrap();
+        let mut cal = HorizonCalendar::new(Cycles::new(100.0)).unwrap();
         assert_eq!(cal.peek_min(), None);
-        cal.set(5, 730.0).unwrap();
-        cal.set(2, 410.0).unwrap();
+        cal.set(5, Cycles::new(730.0)).unwrap();
+        cal.set(2, Cycles::new(410.0)).unwrap();
         assert_eq!(cal.len(), 2);
-        assert_eq!(cal.peek_min(), Some((2, 410.0)));
-        assert_eq!(cal.deadline_of(5), Some(730.0));
+        assert_eq!(cal.peek_min(), Some((2, Cycles::new(410.0))));
+        assert_eq!(cal.deadline_of(5), Some(Cycles::new(730.0)));
         assert!(cal.contains(5));
         assert!(!cal.contains(3));
         assert!(cal.clear(2));
         assert!(!cal.clear(2));
-        assert_eq!(cal.peek_min(), Some((5, 730.0)));
+        assert_eq!(cal.peek_min(), Some((5, Cycles::new(730.0))));
         cal.reset();
         assert!(cal.is_empty());
         assert_eq!(cal.peek_min(), None);
@@ -244,67 +250,67 @@ mod tests {
 
     #[test]
     fn reset_overwrites_a_pending_deadline() {
-        let mut cal = HorizonCalendar::new(50.0).unwrap();
-        cal.set(1, 500.0).unwrap();
-        cal.set(1, 40.0).unwrap(); // reschedule earlier; old entry goes stale
+        let mut cal = HorizonCalendar::new(Cycles::new(50.0)).unwrap();
+        cal.set(1, Cycles::new(500.0)).unwrap();
+        cal.set(1, Cycles::new(40.0)).unwrap(); // reschedule earlier; old entry goes stale
         assert_eq!(cal.len(), 1);
-        assert_eq!(cal.peek_min(), Some((1, 40.0)));
+        assert_eq!(cal.peek_min(), Some((1, Cycles::new(40.0))));
     }
 
     #[test]
     fn ties_break_toward_the_lowest_key() {
-        let mut cal = HorizonCalendar::new(100.0).unwrap();
-        cal.set(9, 300.0).unwrap();
-        cal.set(4, 300.0).unwrap();
-        cal.set(7, 300.0).unwrap();
-        assert_eq!(cal.peek_min(), Some((4, 300.0)));
+        let mut cal = HorizonCalendar::new(Cycles::new(100.0)).unwrap();
+        cal.set(9, Cycles::new(300.0)).unwrap();
+        cal.set(4, Cycles::new(300.0)).unwrap();
+        cal.set(7, Cycles::new(300.0)).unwrap();
+        assert_eq!(cal.peek_min(), Some((4, Cycles::new(300.0))));
     }
 
     #[test]
     fn far_future_horizons_are_exact() {
-        let mut cal = HorizonCalendar::new(1.0).unwrap();
-        cal.set(3, 1.0e9).unwrap();
-        cal.set(8, 2.0e9).unwrap();
-        assert_eq!(cal.peek_min(), Some((3, 1.0e9)));
+        let mut cal = HorizonCalendar::new(Cycles::new(1.0)).unwrap();
+        cal.set(3, Cycles::new(1.0e9)).unwrap();
+        cal.set(8, Cycles::new(2.0e9)).unwrap();
+        assert_eq!(cal.peek_min(), Some((3, Cycles::new(1.0e9))));
     }
 
     #[test]
     fn pop_due_returns_keys_in_ascending_key_order() {
-        let mut cal = HorizonCalendar::new(100.0).unwrap();
-        cal.set(6, 120.0).unwrap();
-        cal.set(1, 180.0).unwrap();
-        cal.set(4, 50.0).unwrap();
-        cal.set(9, 900.0).unwrap();
+        let mut cal = HorizonCalendar::new(Cycles::new(100.0)).unwrap();
+        cal.set(6, Cycles::new(120.0)).unwrap();
+        cal.set(1, Cycles::new(180.0)).unwrap();
+        cal.set(4, Cycles::new(50.0)).unwrap();
+        cal.set(9, Cycles::new(900.0)).unwrap();
         let mut due = Vec::new();
-        assert_eq!(cal.pop_due(200.0, &mut due), 3);
+        assert_eq!(cal.pop_due(Cycles::new(200.0), &mut due), 3);
         assert_eq!(due, vec![1, 4, 6]);
         assert_eq!(cal.len(), 1);
-        assert_eq!(cal.peek_min(), Some((9, 900.0)));
+        assert_eq!(cal.peek_min(), Some((9, Cycles::new(900.0))));
         // Threshold below everything: no-op.
-        assert_eq!(cal.pop_due(300.0, &mut due), 0);
+        assert_eq!(cal.pop_due(Cycles::new(300.0), &mut due), 0);
         assert_eq!(due.len(), 3);
     }
 
     #[test]
     fn late_inserts_below_popped_thresholds_are_still_found() {
-        let mut cal = HorizonCalendar::new(10.0).unwrap();
-        cal.set(0, 5_000.0).unwrap();
+        let mut cal = HorizonCalendar::new(Cycles::new(10.0)).unwrap();
+        cal.set(0, Cycles::new(5_000.0)).unwrap();
         let mut due = Vec::new();
-        cal.pop_due(4_999.0, &mut due);
+        cal.pop_due(Cycles::new(4_999.0), &mut due);
         assert!(due.is_empty());
         // Late insert below every threshold seen so far (engines never do
         // this, but the calendar must stay exact anyway).
-        cal.set(1, 100.0).unwrap();
-        assert_eq!(cal.peek_min(), Some((1, 100.0)));
+        cal.set(1, Cycles::new(100.0)).unwrap();
+        assert_eq!(cal.peek_min(), Some((1, Cycles::new(100.0))));
     }
 
     #[test]
     fn rescheduling_to_the_same_deadline_stays_consistent() {
-        let mut cal = HorizonCalendar::new(10.0).unwrap();
-        cal.set(2, 75.0).unwrap();
-        cal.set(2, 75.0).unwrap(); // duplicate heap entries, one live key
+        let mut cal = HorizonCalendar::new(Cycles::new(10.0)).unwrap();
+        cal.set(2, Cycles::new(75.0)).unwrap();
+        cal.set(2, Cycles::new(75.0)).unwrap(); // duplicate heap entries, one live key
         assert_eq!(cal.len(), 1);
-        assert_eq!(cal.peek_min(), Some((2, 75.0)));
+        assert_eq!(cal.peek_min(), Some((2, Cycles::new(75.0))));
         assert!(cal.clear(2));
         assert_eq!(cal.peek_min(), None);
         assert!(cal.is_empty());
@@ -359,7 +365,7 @@ mod differential_tests {
         for &width in &[0.5, 10.0, 1_000.0, 250_000.0] {
             let mut rng = SimRng::seed_from(0xCA1E ^ f64_to_u64(width * 8.0));
             for round in 0..60 {
-                let mut cal = HorizonCalendar::new(width).unwrap();
+                let mut cal = HorizonCalendar::new(Cycles::new(width)).unwrap();
                 let mut model = NaiveModel::default();
                 let mut now = 0.0_f64;
                 let keys = 1 + rng.index(40);
@@ -370,7 +376,7 @@ mod differential_tests {
                         0..=5 => {
                             let key = rng.index(keys);
                             let d = now + rng.uniform(0.0, width * 300.0);
-                            cal.set(key, d).unwrap();
+                            cal.set(key, Cycles::new(d)).unwrap();
                             model.set(key, d);
                         }
                         6 => {
@@ -385,7 +391,7 @@ mod differential_tests {
                             // Advance the clock and pop everything due.
                             now += rng.uniform(0.0, width * 40.0);
                             let mut due = Vec::new();
-                            cal.pop_due(now, &mut due);
+                            cal.pop_due(Cycles::new(now), &mut due);
                             assert_eq!(due, model.pop_due(now), "round {round}");
                         }
                         _ => {
@@ -395,7 +401,11 @@ mod differential_tests {
                                 (None, None) => {}
                                 (Some((gk, gd)), Some((wk, wd))) => {
                                     assert_eq!(gk, wk, "round {round}");
-                                    assert_eq!(gd.to_bits(), wd.to_bits(), "round {round}");
+                                    assert_eq!(
+                                        gd.as_f64().to_bits(),
+                                        wd.to_bits(),
+                                        "round {round}"
+                                    );
                                 }
                                 other => panic!("round {round}: {other:?}"),
                             }

@@ -38,11 +38,11 @@
 //! # Example
 //!
 //! ```
-//! use v10_sim::{Cycle, Frequency, EventQueue};
+//! use v10_sim::{Cycle, Frequency, EventQueue, Micros};
 //!
 //! // The paper's NPU runs at 700 MHz (Table 5).
 //! let clk = Frequency::mhz(700);
-//! assert_eq!(clk.cycles_from_micros(46.0).as_u64(), 32_200);
+//! assert_eq!(clk.cycles_from_micros(Micros::new(46.0)).as_u64(), 32_200);
 //!
 //! let mut q: EventQueue<&str> = EventQueue::new();
 //! q.push(Cycle::new(10), "timer");
@@ -76,4 +76,4 @@ pub use intern::{LabelId, LabelInterner};
 pub use rng::SimRng;
 pub use shard::{merge_messages, DepartureMsg, EpochClock, ShardMap};
 pub use stats::{Histogram, LatencySummary, OnlineStats, Percentiles};
-pub use time::{Cycle, CycleCount, Frequency};
+pub use time::{Bytes, Cycle, CycleCount, Cycles, Frequency, Micros};

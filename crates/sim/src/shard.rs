@@ -17,6 +17,7 @@
 use crate::convert::f64_to_u64;
 use crate::error::{V10Error, V10Result};
 use crate::intern::LabelId;
+use crate::time::Cycles;
 
 /// Fixed, balanced, contiguous assignment of `cores` cores to `shards`
 /// shards. The first `cores % shards` shards own one extra core, so
@@ -138,7 +139,8 @@ impl EpochClock {
     ///
     /// Returns [`V10Error::InvalidArgument`] unless `epoch_cycles` is
     /// positive and finite.
-    pub fn new(epoch_cycles: f64) -> V10Result<Self> {
+    pub fn new(epoch_cycles: Cycles) -> V10Result<Self> {
+        let epoch_cycles = epoch_cycles.as_f64();
         if !(epoch_cycles.is_finite() && epoch_cycles > 0.0) {
             return Err(V10Error::invalid(
                 "EpochClock::new",
@@ -148,23 +150,24 @@ impl EpochClock {
         Ok(EpochClock { epoch_cycles })
     }
 
-    /// Simulated cycles per epoch.
+    /// Simulated time per epoch.
     #[must_use]
-    pub fn epoch_cycles(&self) -> f64 {
-        self.epoch_cycles
+    pub fn epoch_cycles(&self) -> Cycles {
+        Cycles::new(self.epoch_cycles)
     }
 
     /// The epoch containing simulated time `at_cycles` (negative times
     /// clamp to epoch 0).
     #[must_use]
-    pub fn epoch_of(&self, at_cycles: f64) -> u64 {
-        f64_to_u64((at_cycles / self.epoch_cycles).floor())
+    pub fn epoch_of(&self, at_cycles: Cycles) -> u64 {
+        f64_to_u64((at_cycles.as_f64() / self.epoch_cycles).floor())
     }
 
-    /// Start of `epoch` in simulated cycles.
+    /// Start of `epoch` in simulated time.
+    /// unit: `epoch` is an epoch ordinal (dimensionless index).
     #[must_use]
-    pub fn start_of(&self, epoch: u64) -> f64 {
-        crate::convert::u64_to_f64(epoch) * self.epoch_cycles
+    pub fn start_of(&self, epoch: u64) -> Cycles {
+        Cycles::new(crate::convert::u64_to_f64(epoch) * self.epoch_cycles)
     }
 }
 
@@ -174,8 +177,8 @@ impl EpochClock {
 /// its context-table slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DepartureMsg {
-    /// Simulated retirement time in cycles.
-    pub at_cycles: f64,
+    /// Simulated retirement time.
+    pub at_cycles: Cycles,
     /// The core the tenant departed from.
     pub core: usize,
     /// The tenant's interned label — the deterministic tie-break for
@@ -246,46 +249,46 @@ mod tests {
 
     #[test]
     fn epoch_clock_boundaries() {
-        let clock = EpochClock::new(1000.0).unwrap();
-        assert_eq!(clock.epoch_cycles(), 1000.0);
-        assert_eq!(clock.epoch_of(0.0), 0);
-        assert_eq!(clock.epoch_of(999.9), 0);
-        assert_eq!(clock.epoch_of(1000.0), 1);
-        assert_eq!(clock.epoch_of(2500.0), 2);
-        assert_eq!(clock.start_of(3), 3000.0);
-        assert!(EpochClock::new(0.0).is_err());
-        assert!(EpochClock::new(-1.0).is_err());
-        assert!(EpochClock::new(f64::NAN).is_err());
-        assert!(EpochClock::new(f64::INFINITY).is_err());
+        let clock = EpochClock::new(Cycles::new(1000.0)).unwrap();
+        assert_eq!(clock.epoch_cycles(), Cycles::new(1000.0));
+        assert_eq!(clock.epoch_of(Cycles::new(0.0)), 0);
+        assert_eq!(clock.epoch_of(Cycles::new(999.9)), 0);
+        assert_eq!(clock.epoch_of(Cycles::new(1000.0)), 1);
+        assert_eq!(clock.epoch_of(Cycles::new(2500.0)), 2);
+        assert_eq!(clock.start_of(3), Cycles::new(3000.0));
+        // Non-finite lengths cannot be expressed as `Cycles`; zero and
+        // negative still reach the error path.
+        assert!(EpochClock::new(Cycles::new(0.0)).is_err());
+        assert!(EpochClock::new(Cycles::new(-1.0)).is_err());
     }
 
     #[test]
     fn merge_orders_by_time_then_core_then_label() {
         let a = vec![
             DepartureMsg {
-                at_cycles: 10.0,
+                at_cycles: Cycles::new(10.0),
                 core: 3,
                 label: 7,
             },
             DepartureMsg {
-                at_cycles: 5.0,
+                at_cycles: Cycles::new(5.0),
                 core: 1,
                 label: 2,
             },
         ];
         let b = vec![
             DepartureMsg {
-                at_cycles: 10.0,
+                at_cycles: Cycles::new(10.0),
                 core: 2,
                 label: 9,
             },
             DepartureMsg {
-                at_cycles: 10.0,
+                at_cycles: Cycles::new(10.0),
                 core: 3,
                 label: 1,
             },
             DepartureMsg {
-                at_cycles: 5.0,
+                at_cycles: Cycles::new(5.0),
                 core: 0,
                 label: 4,
             },
@@ -293,7 +296,7 @@ mod tests {
         let merged = merge_messages(vec![a, b]);
         let keys: Vec<(f64, usize, u32)> = merged
             .iter()
-            .map(|m| (m.at_cycles, m.core, m.label))
+            .map(|m| (m.at_cycles.as_f64(), m.core, m.label))
             .collect();
         assert_eq!(
             keys,
@@ -313,7 +316,7 @@ mod tests {
         // same sequence.
         let msgs: Vec<DepartureMsg> = (0..20usize)
             .map(|i| DepartureMsg {
-                at_cycles: f64::from(u32::try_from(i % 5).unwrap()),
+                at_cycles: Cycles::new(f64::from(u32::try_from(i % 5).unwrap())),
                 core: (17 * i + 3) % 8,
                 label: u32::try_from(i * 13 % 6).unwrap(),
             })

@@ -46,6 +46,9 @@ impl OnlineStats {
 
     /// Adds a sample.
     ///
+    /// unit: `x` carries whatever unit this accumulator tracks (cycles,
+    /// bytes, ratios) — the statistics are unit-preserving.
+    ///
     /// # Panics
     ///
     /// Panics if `x` is NaN — a NaN sample would silently poison every
@@ -172,6 +175,9 @@ impl Percentiles {
 
     /// Adds a sample.
     ///
+    /// unit: `x` carries whatever unit this reservoir tracks (cycles,
+    /// bytes, ratios) — quantiles are unit-preserving.
+    ///
     /// # Panics
     ///
     /// Panics if `x` is NaN.
@@ -204,6 +210,8 @@ impl Percentiles {
 
     /// The q-quantile (0 ≤ q ≤ 1) with linear interpolation between order
     /// statistics, or `None` when empty.
+    ///
+    /// unit: `q` is a dimensionless probability in `[0, 1]`.
     ///
     /// # Panics
     ///
@@ -299,6 +307,9 @@ pub struct Histogram {
 impl Histogram {
     /// Creates a histogram of `buckets` equal-width bins over `[lo, hi)`.
     ///
+    /// unit: `lo` and `hi` carry the unit of the samples the histogram
+    /// will bin (cycles, bytes, ratios).
+    ///
     /// # Panics
     ///
     /// Panics if `lo >= hi` or `buckets == 0`.
@@ -314,6 +325,8 @@ impl Histogram {
     }
 
     /// Adds a sample, clamping out-of-range values into the edge buckets.
+    ///
+    /// unit: `x` carries the histogram's sample unit (see [`Histogram::new`]).
     ///
     /// # Panics
     ///

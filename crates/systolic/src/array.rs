@@ -211,6 +211,7 @@ impl SaExecutor {
     }
 
     /// Advances the array by `cycles` (no-op while idle).
+    /// unit: `cycles` is a cycle count.
     pub fn run_cycles(&mut self, cycles: u64) {
         for _ in 0..cycles {
             if self.running.is_none() {

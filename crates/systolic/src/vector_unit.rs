@@ -22,6 +22,8 @@ pub const NUM_REGS: usize = 32;
 
 /// Cycles charged for a VU context save or restore: the register file
 /// streams one register per cycle through the vector-memory port.
+///
+/// unit: cycles.
 pub const VU_SWITCH_CYCLES: u64 = NUM_REGS as u64; // v10-lint: allow(D3) const context: u64_from_usize is not const fn; NUM_REGS = 32 is exact
 
 /// Error type for vector-unit execution.

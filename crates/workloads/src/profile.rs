@@ -22,7 +22,7 @@
 
 use std::fmt;
 
-use v10_sim::Frequency;
+use v10_sim::{Frequency, Micros};
 
 use crate::model::Model;
 use crate::zoo::anchor;
@@ -165,9 +165,15 @@ impl ModelProfile {
             request_us = (sa_busy_us + vu_busy_us) / 0.95;
         }
 
-        let request_cycles = clock.cycles_from_micros(request_us).as_u64();
-        let sa_len_cycles = clock.cycles_from_micros(sa_len_us).as_u64().max(1);
-        let vu_len_cycles = clock.cycles_from_micros(vu_len_us).as_u64().max(1);
+        let request_cycles = clock.cycles_from_micros(Micros::new(request_us)).as_u64();
+        let sa_len_cycles = clock
+            .cycles_from_micros(Micros::new(sa_len_us))
+            .as_u64()
+            .max(1);
+        let vu_len_cycles = clock
+            .cycles_from_micros(Micros::new(vu_len_us))
+            .as_u64()
+            .max(1);
         let sa_busy = n_sa_ops as u64 * sa_len_cycles;
         let vu_busy = n_vu_ops as u64 * vu_len_cycles;
 

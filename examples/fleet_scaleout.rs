@@ -15,14 +15,13 @@
 //! cargo run --release --example fleet_scaleout
 //! ```
 
-use std::time::Instant;
-
 use v10::collocate::{
     build_dataset, ClusterServeReport, ClusteringPipeline, FleetOutcome, FleetPlane, OnlinePlacer,
     PairPerfCache, TopologyWeights,
 };
 use v10::core::{Design, RunOptions};
 use v10::npu::{FleetTopology, NpuConfig};
+use v10::sim::Cycles;
 use v10::workloads::{MmppProcess, Model, TimedArrival};
 
 /// Fleet geometry: 40×25 = 1000 cores, 5 HBM column bands, 64 B/cyc links.
@@ -79,12 +78,13 @@ fn serve(
         topology,
         SLOTS_PER_CORE,
         shards,
-        EPOCH_CYCLES,
+        Cycles::new(EPOCH_CYCLES),
         weights,
     )
     .expect("valid fleet plane");
     let opts = RunOptions::new(1).expect("positive request count");
-    let start = Instant::now();
+    // v10-lint: allow(D2) harness wall-clock; reports sim-rate only and never feeds simulated results
+    let start = std::time::Instant::now();
     let (report, outcome) = plane
         .serve(stream, Design::V10Full, &NpuConfig::table5(), &opts)
         .expect("valid fleet serving run");

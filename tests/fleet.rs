@@ -17,6 +17,7 @@ use v10::collocate::{
 };
 use v10::core::{Design, FleetConservation, RunOptions};
 use v10::npu::{FleetTopology, NpuConfig};
+use v10::sim::Cycles;
 use v10::workloads::{MmppProcess, Model, TimedArrival};
 
 /// Mesh geometry shared by every run: 8×4 = 32 cores, 4 HBM column bands.
@@ -75,7 +76,7 @@ fn serve(
         topology,
         SLOTS_PER_CORE,
         shards,
-        EPOCH_CYCLES,
+        Cycles::new(EPOCH_CYCLES),
         weights,
     )
     .expect("valid fleet plane")
