@@ -55,6 +55,15 @@ V10_BENCH_SMOKE=1 \
     V10_BENCH_BASELINE="$PWD/BENCH_serving_fleet.json" \
     cargo bench -q -p v10-bench --bench serving_fleet > /dev/null
 
+echo "==> adversary_sweep bench (smoke run: every profile under the full oracle, fails on unshrunk violations)"
+V10_BENCH_SMOKE=1 \
+    V10_BENCH_JSON_OUT="$PWD/BENCH_adversary.json" \
+    cargo bench -q -p v10-bench --bench adversary_sweep > /dev/null
+grep -q '"schema": "v10-adversary/1"' BENCH_adversary.json \
+    || { echo "BENCH_adversary.json missing adversary schema marker"; exit 1; }
+git diff --exit-code BENCH_adversary.json \
+    || { echo "BENCH_adversary.json is out of date: commit the regenerated artifact"; exit 1; }
+
 echo "==> examples (smoke tests)"
 for ex in examples/*.rs; do
     name="$(basename "$ex" .rs)"

@@ -496,7 +496,13 @@ impl<'a> FleetPlane<'a> {
                 ),
             ));
         }
-        let report = ClusterServeReport::from_parts(reports, Vec::new(), Vec::new(), Vec::new());
+        let report = ClusterServeReport::from_parts(
+            outcome.placed,
+            reports,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
         Ok((report, outcome))
     }
 }

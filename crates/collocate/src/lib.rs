@@ -76,6 +76,8 @@ pub use pipeline::ClusteringPipeline;
 pub use placer::{
     AdmissionDecision, MultiCoreAdmission, OnlinePlacer, Placement, TopoScore, TopologyWeights,
 };
-pub use recovery::{ClusterServeReport, RecoveryPolicy, RequeueRecord, ShedRecord};
+pub use recovery::{
+    ClusterServeReport, ConservationLedger, RecoveryPolicy, RequeueRecord, ShedRecord,
+};
 pub use schemes::{Scheme, SchemeKind};
 pub use standardize::Standardizer;

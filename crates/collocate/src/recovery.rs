@@ -21,8 +21,8 @@
 //! sweep.
 
 use v10_core::{
-    serve_design_faulted, Admission, AdmissionSchedule, Design, RunOptions, RunReport, SimEvent,
-    SimObserver,
+    serve_design_stressed, Admission, AdmissionSchedule, Design, OverloadController, RunOptions,
+    RunReport, SimEvent, SimObserver,
 };
 use v10_npu::NpuConfig;
 use v10_sim::convert::{u64_to_f64, usize_to_f64};
@@ -159,10 +159,103 @@ pub struct ShedRecord {
     pub deadline_unmeetable: bool,
 }
 
+/// The cluster-wide session-conservation identity, computed over the final
+/// per-core reports of a serve. Every admission entry the cluster ever
+/// offered a core — the initially placed sessions plus each successful
+/// requeue — must end in exactly one of three per-core outcomes: boarded
+/// (it appears in that core's workload reports, possibly partially
+/// served), rejected by the engine, or shed by the overload controller's
+/// deadline-shed rung. [`holds`](Self::holds) asserts that identity; it is
+/// the fleet-level extension of the single-core `session-conservation`
+/// invariant and covers the combined overload×fault path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConservationLedger {
+    offered_sessions: u64,
+    requeued_sessions: u64,
+    boarded_tenancies: u64,
+    engine_rejections: u64,
+    overload_shed_sessions: u64,
+}
+
+impl ConservationLedger {
+    /// Sessions initially placed onto cores.
+    #[must_use]
+    pub fn offered_sessions(&self) -> u64 {
+        self.offered_sessions
+    }
+
+    /// Displaced sessions re-admitted onto another core (each adds one
+    /// admission entry on the receiving core).
+    #[must_use]
+    pub fn requeued_sessions(&self) -> u64 {
+        self.requeued_sessions
+    }
+
+    /// Tenancies that boarded a core, summed over final per-core reports.
+    #[must_use]
+    pub fn boarded_tenancies(&self) -> u64 {
+        self.boarded_tenancies
+    }
+
+    /// Admissions the engines turned away (full table at arrival, or an
+    /// arrival after the core retired).
+    #[must_use]
+    pub fn engine_rejections(&self) -> u64 {
+        self.engine_rejections
+    }
+
+    /// Queued sessions the overload controllers' deadline-shed rung
+    /// dropped.
+    #[must_use]
+    pub fn overload_shed_sessions(&self) -> u64 {
+        self.overload_shed_sessions
+    }
+
+    /// Left-hand side of the identity: every per-core outcome.
+    #[must_use]
+    pub fn accounted(&self) -> u64 {
+        self.boarded_tenancies + self.engine_rejections + self.overload_shed_sessions
+    }
+
+    /// Right-hand side of the identity: every admission entry offered.
+    #[must_use]
+    pub fn expected(&self) -> u64 {
+        self.offered_sessions + self.requeued_sessions
+    }
+
+    /// Does the conservation identity hold?
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.accounted() == self.expected()
+    }
+
+    /// `None` when the identity holds, otherwise one diagnostic line in
+    /// the invariant-violation format of `v10_core::check_serve_invariants`
+    /// (stable `cluster-conservation` prefix).
+    #[must_use]
+    pub fn violation(&self) -> Option<String> {
+        if self.holds() {
+            return None;
+        }
+        Some(format!(
+            "cluster-conservation: boarded {} + rejected {} + shed {} = {} != \
+             offered {} + requeued {} = {}",
+            self.boarded_tenancies,
+            self.engine_rejections,
+            self.overload_shed_sessions,
+            self.accounted(),
+            self.offered_sessions,
+            self.requeued_sessions,
+            self.expected()
+        ))
+    }
+}
+
 /// The outcome of a faulted multi-core serve: final per-core reports plus
 /// the controller's recovery ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterServeReport {
+    offered_sessions: usize,
     per_core: Vec<Option<RunReport>>,
     requeued: Vec<RequeueRecord>,
     shed: Vec<ShedRecord>,
@@ -173,16 +266,46 @@ impl ClusterServeReport {
     /// Assembles a report from the serving plane's parts (the sharded fleet
     /// plane produces the same report shape with an empty recovery ledger).
     pub(crate) fn from_parts(
+        offered_sessions: usize,
         per_core: Vec<Option<RunReport>>,
         requeued: Vec<RequeueRecord>,
         shed: Vec<ShedRecord>,
         retired_cores: Vec<(usize, f64)>,
     ) -> Self {
         ClusterServeReport {
+            offered_sessions,
             per_core,
             requeued,
             shed,
             retired_cores,
+        }
+    }
+
+    /// Sessions initially placed onto cores (requeues excluded).
+    #[must_use]
+    pub fn offered_sessions(&self) -> usize {
+        self.offered_sessions
+    }
+
+    /// Computes the cluster-wide session-conservation ledger over the
+    /// final per-core reports (see [`ConservationLedger`]).
+    #[must_use]
+    pub fn conservation(&self) -> ConservationLedger {
+        let boarded = self
+            .reports()
+            .map(|r| r.workloads().len() as u64)
+            .sum::<u64>();
+        let engine_rejections = self.reports().map(RunReport::rejected_admissions).sum();
+        let overload_shed = self
+            .reports()
+            .map(|r| r.overload_stats().shed_requests())
+            .sum();
+        ConservationLedger {
+            offered_sessions: self.offered_sessions as u64,
+            requeued_sessions: self.requeued.len() as u64,
+            boarded_tenancies: boarded,
+            engine_rejections,
+            overload_shed_sessions: overload_shed,
         }
     }
 
@@ -360,6 +483,98 @@ impl MultiCoreAdmission<'_> {
         policy: &RecoveryPolicy,
         observer: &mut O,
     ) -> V10Result<ClusterServeReport> {
+        self.serve_recovering(
+            design,
+            config,
+            opts,
+            fault_plans,
+            policy,
+            &OverloadController::disarmed(),
+            observer,
+        )
+    }
+
+    /// The combined path: [`serve_faulted`](Self::serve_faulted) with each
+    /// core additionally running under a clone of `controller` — faults are
+    /// injected and recovered while the overload controller senses, walks
+    /// the degradation ladder, and watches for starvation on every core.
+    /// With a disarmed controller this is bit-identical to
+    /// [`serve_faulted`](Self::serve_faulted); with empty plans it is the
+    /// cluster analogue of `v10_core::serve_design_overloaded`.
+    ///
+    /// [`ClusterServeReport::conservation`] reconciles the result: every
+    /// placed or requeued session ends boarded, engine-rejected, or
+    /// overload-shed.
+    ///
+    /// # Errors
+    ///
+    /// As [`serve_faulted`](Self::serve_faulted), plus
+    /// [`V10Error::InvalidArgument`] for `Design::Pmt` with an armed
+    /// controller (no priority mechanism to degrade).
+    pub fn serve_stressed(
+        &mut self,
+        design: Design,
+        config: &NpuConfig,
+        opts: &RunOptions,
+        fault_plans: &[FaultPlan],
+        policy: &RecoveryPolicy,
+        controller: &OverloadController,
+    ) -> V10Result<ClusterServeReport> {
+        self.serve_recovering(
+            design,
+            config,
+            opts,
+            fault_plans,
+            policy,
+            controller,
+            &mut v10_core::NullObserver,
+        )
+    }
+
+    /// [`serve_stressed`](Self::serve_stressed) emitting the controller's
+    /// recovery decisions to `observer`, exactly as
+    /// [`serve_faulted_observed`](Self::serve_faulted_observed) does.
+    ///
+    /// # Errors
+    ///
+    /// As [`serve_stressed`](Self::serve_stressed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_stressed_observed<O: SimObserver>(
+        &mut self,
+        design: Design,
+        config: &NpuConfig,
+        opts: &RunOptions,
+        fault_plans: &[FaultPlan],
+        policy: &RecoveryPolicy,
+        controller: &OverloadController,
+        observer: &mut O,
+    ) -> V10Result<ClusterServeReport> {
+        self.serve_recovering(
+            design,
+            config,
+            opts,
+            fault_plans,
+            policy,
+            controller,
+            observer,
+        )
+    }
+
+    /// The shared faulted/stressed serving loop: plays the deployment
+    /// forward, recomputing dirty cores through the combined
+    /// overload×fault engine path with a fresh clone of `controller` per
+    /// recompute (so hysteresis state never leaks between recomputes).
+    #[allow(clippy::too_many_arguments)]
+    fn serve_recovering<O: SimObserver>(
+        &mut self,
+        design: Design,
+        config: &NpuConfig,
+        opts: &RunOptions,
+        fault_plans: &[FaultPlan],
+        policy: &RecoveryPolicy,
+        controller: &OverloadController,
+        observer: &mut O,
+    ) -> V10Result<ClusterServeReport> {
         let cores = self.state.cores();
         if fault_plans.len() != cores {
             return Err(V10Error::invalid(
@@ -372,6 +587,7 @@ impl MultiCoreAdmission<'_> {
         }
 
         let mut tenants = self.initial_tenants()?;
+        let offered_sessions = tenants.len();
         // Admissions the recovery loop appends, per core.
         let mut extra: Vec<Vec<Admission>> = vec![Vec::new(); cores];
         let mut reports: Vec<Option<RunReport>> = vec![None; cores];
@@ -393,12 +609,13 @@ impl MultiCoreAdmission<'_> {
                     None
                 } else {
                     let schedule = AdmissionSchedule::new(entries)?;
-                    Some(serve_design_faulted(
+                    Some(serve_design_stressed(
                         design,
                         &schedule,
                         config,
                         opts,
                         fault_plans.get(core).unwrap_or(&FaultPlan::none()),
+                        controller.clone(),
                     )?)
                 };
                 // Each recomputed report is one breaker observation: a
@@ -455,6 +672,7 @@ impl MultiCoreAdmission<'_> {
 
         retired_cores.sort_by_key(|r| r.0);
         Ok(ClusterServeReport {
+            offered_sessions,
             per_core: reports,
             requeued,
             shed,
@@ -952,6 +1170,98 @@ mod tests {
             summary.p99().to_bits()
         );
         assert!(summary.p50() <= summary.p95() && summary.p95() <= summary.p99());
+    }
+
+    #[test]
+    fn conservation_ledger_reconciles_the_combined_path() {
+        use v10_core::{OverloadController, OverloadPolicy};
+        let p = pipeline();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let plans = vec![
+            FaultPlan::none()
+                .with_fault(30_000.0, v10_sim::FaultKind::CoreRetire)
+                .unwrap(),
+            FaultPlan::none()
+                .with_poisson_transients(0xC0DE, 300_000.0, 5_000_000.0)
+                .unwrap(),
+        ];
+        let policy = RecoveryPolicy::new()
+            .with_backoff_base_cycles(50_000.0)
+            .unwrap()
+            .with_max_retries(8)
+            .with_deadline_factor(400.0)
+            .unwrap();
+        let mut ctl = controller(&p);
+        let report = ctl
+            .serve_stressed(
+                Design::V10Full,
+                &cfg,
+                &opts,
+                &plans,
+                &policy,
+                &OverloadController::armed(OverloadPolicy::default()),
+            )
+            .unwrap();
+        let ledger = report.conservation();
+        assert!(ledger.holds(), "{:?}", ledger.violation());
+        assert_eq!(ledger.offered_sessions(), 4);
+        assert_eq!(
+            ledger.requeued_sessions(),
+            report.requeued().len() as u64,
+            "ledger must mirror the requeue records"
+        );
+        assert_eq!(
+            ledger.accounted(),
+            ledger.offered_sessions() + ledger.requeued_sessions()
+        );
+        // Breaking the identity by hand produces the diagnostic line.
+        let broken = ClusterServeReport::from_parts(
+            report.offered_sessions() + 1,
+            report.per_core().to_vec(),
+            report.requeued().to_vec(),
+            report.shed().to_vec(),
+            report.retired_cores().to_vec(),
+        );
+        let v = broken.conservation().violation().unwrap();
+        assert!(v.starts_with("cluster-conservation"), "{v}");
+    }
+
+    #[test]
+    fn disarmed_stressed_serving_matches_faulted_serving() {
+        let p = pipeline();
+        let cfg = NpuConfig::table5();
+        let opts = RunOptions::new(2).unwrap();
+        let plans = vec![
+            FaultPlan::none()
+                .with_fault(30_000.0, v10_sim::FaultKind::CoreRetire)
+                .unwrap(),
+            FaultPlan::none(),
+        ];
+        let policy = RecoveryPolicy::new()
+            .with_backoff_base_cycles(50_000.0)
+            .unwrap()
+            .with_deadline_factor(400.0)
+            .unwrap();
+        let faulted = {
+            let mut ctl = controller(&p);
+            ctl.serve_faulted(Design::V10Full, &cfg, &opts, &plans, &policy)
+                .unwrap()
+        };
+        let stressed = {
+            let mut ctl = controller(&p);
+            ctl.serve_stressed(
+                Design::V10Full,
+                &cfg,
+                &opts,
+                &plans,
+                &policy,
+                &v10_core::OverloadController::disarmed(),
+            )
+            .unwrap()
+        };
+        assert_eq!(faulted, stressed, "disarmed controller must be a no-op");
+        assert!(faulted.conservation().holds());
     }
 
     #[test]

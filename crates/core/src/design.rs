@@ -215,6 +215,74 @@ pub fn serve_design_overloaded_observed<O: SimObserver>(
     }
 }
 
+/// The combined robustness path: [`serve_design_faulted`] and
+/// [`serve_design_overloaded`] in one run — faults inject while the
+/// overload controller senses and degrades. With an empty plan this is
+/// bit-identical to [`serve_design_overloaded`]; with a disarmed
+/// controller, to [`serve_design_faulted`].
+///
+/// As with the overload path, `Design::Pmt` with an *armed* controller is
+/// rejected (no priority mechanism to act on); a disarmed controller
+/// degrades to [`serve_design_faulted`].
+///
+/// # Errors
+///
+/// As [`serve_design_faulted`], plus [`v10_sim::V10Error::InvalidArgument`]
+/// for `Design::Pmt` with an armed controller.
+pub fn serve_design_stressed(
+    design: Design,
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    plan: &FaultPlan,
+    controller: OverloadController,
+) -> V10Result<RunReport> {
+    serve_design_stressed_observed(
+        design,
+        schedule,
+        config,
+        opts,
+        plan,
+        controller,
+        &mut crate::observer::NullObserver,
+    )
+}
+
+/// [`serve_design_stressed`] with an observer receiving the merged event
+/// stream (fault, recovery, and overload control-plane events).
+///
+/// # Errors
+///
+/// As [`serve_design_stressed`].
+pub fn serve_design_stressed_observed<O: SimObserver>(
+    design: Design,
+    schedule: &AdmissionSchedule,
+    config: &NpuConfig,
+    opts: &RunOptions,
+    plan: &FaultPlan,
+    controller: OverloadController,
+    observer: &mut O,
+) -> V10Result<RunReport> {
+    match design {
+        Design::Pmt => {
+            if controller.is_armed() {
+                return Err(V10Error::invalid(
+                    "serve_design_stressed",
+                    "PMT has no priority mechanism for the degradation ladder; \
+                     arm the controller on a V10 design",
+                ));
+            }
+            serve_pmt_faulted_observed(schedule, config, opts, plan, observer)
+        }
+        Design::V10Base => V10Engine::new(*config, Policy::RoundRobin, false)
+            .serve_stressed_observed(schedule, opts, plan, controller, observer),
+        Design::V10Fair => V10Engine::new(*config, Policy::Priority, false)
+            .serve_stressed_observed(schedule, opts, plan, controller, observer),
+        Design::V10Full => V10Engine::new(*config, Policy::Priority, true)
+            .serve_stressed_observed(schedule, opts, plan, controller, observer),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

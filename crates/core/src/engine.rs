@@ -389,6 +389,52 @@ impl V10Engine {
         )
     }
 
+    /// The combined path: [`serve_faulted`](Self::serve_faulted) and
+    /// [`serve_overloaded`](Self::serve_overloaded) in one run — the fault
+    /// plan is compiled and injected while the overload controller senses,
+    /// degrades, and watches for starvation. With an empty plan this is
+    /// bit-identical to [`serve_overloaded`](Self::serve_overloaded); with
+    /// a disarmed controller, to [`serve_faulted`](Self::serve_faulted).
+    ///
+    /// # Errors
+    ///
+    /// As [`serve_faulted`](Self::serve_faulted).
+    pub fn serve_stressed(
+        &self,
+        schedule: &AdmissionSchedule,
+        opts: &RunOptions,
+        plan: &FaultPlan,
+        controller: OverloadController,
+    ) -> V10Result<RunReport> {
+        self.serve_stressed_observed(schedule, opts, plan, controller, &mut NullObserver)
+    }
+
+    /// [`serve_stressed`](Self::serve_stressed) with an observer receiving
+    /// the merged event stream (fault events and control-plane events).
+    ///
+    /// # Errors
+    ///
+    /// As [`serve_faulted`](Self::serve_faulted).
+    pub fn serve_stressed_observed<O: SimObserver>(
+        &self,
+        schedule: &AdmissionSchedule,
+        opts: &RunOptions,
+        plan: &FaultPlan,
+        controller: OverloadController,
+        observer: &mut O,
+    ) -> V10Result<RunReport> {
+        let capacity = opts.table_capacity().unwrap_or(FIG11_TABLE_ROWS);
+        let faults = FaultInjector::compile(plan)?;
+        self.serve_with_capacity(
+            "V10Engine::serve_stressed",
+            schedule,
+            capacity,
+            faults,
+            controller,
+            observer,
+        )
+    }
+
     fn serve_with_capacity<O: SimObserver>(
         &self,
         context: &'static str,
@@ -687,6 +733,28 @@ impl V10Strategy {
 
         // ---- Starvation watchdog, every sense tick, overloaded or not.
         self.controller.watchdog_retain(core.live());
+        // Retry boosts deferred at the priority cap: a rung-1 demotion this
+        // tick (or a policy with headroom restored) lets them land now.
+        // `watchdog_retain` just pruned retired tenancies, so every pending
+        // index is live.
+        for w in self.controller.pending_boosts() {
+            let (id, old) = {
+                let wl = core.wl(w)?;
+                (wl.id, wl.priority)
+            };
+            let new = self.controller.policy().boosted_priority(old);
+            if new > old {
+                core.table.set_priority(id, new)?;
+                core.wl_mut(w)?.priority = new;
+                self.controller.clear_pending_boost(w);
+                self.controller.stats_mut().boosts += 1;
+                core.emit(SimEvent::WatchdogBoost {
+                    workload: w,
+                    priority: new,
+                    at,
+                });
+            }
+        }
         for i in 0..core.live().len() {
             let Some(&w) = core.live().get(i) else {
                 break;
@@ -713,6 +781,12 @@ impl V10Strategy {
                         priority: new,
                         at,
                     });
+                } else {
+                    // The boost would silently no-op (the tenant is already
+                    // at the policy's priority cap). Keep it queued so it
+                    // lands as soon as headroom opens instead of being
+                    // dropped on the floor.
+                    self.controller.queue_boost(w);
                 }
             }
         }

@@ -43,6 +43,13 @@
 //!   and reconciles against the final [`RunReport`]; plus the cross-shard
 //!   fleet checker ([`FleetConservation`]) extending the conservation
 //!   invariants over a sharded serving plane's shard boundaries.
+//! * [`invariants`] — the named serving invariants ([`check_serve_invariants`],
+//!   [`run_digest`]) shared by the robustness tests and the adversarial
+//!   property harness, plus the audited combined-path driver
+//!   ([`audit_serve_stressed`]).
+//! * [`harness`] — the shrinking property harness ([`PropertyHarness`]):
+//!   knob-generic minimization of violating scenarios over tenants ×
+//!   horizon × fault-prefix, with deterministic, replayable shrink traces.
 //! * [`overhead`] — the hardware-cost model of Table 3.
 //!
 //! Both executors drive the same event-loop core (the crate-private
@@ -95,6 +102,8 @@ pub mod context;
 pub mod design;
 pub mod engine;
 mod engine_core;
+pub mod harness;
+pub mod invariants;
 pub mod lifecycle;
 pub mod metrics;
 pub mod observer;
@@ -108,9 +117,12 @@ pub use audit::{FleetConservation, RuntimeAuditor};
 pub use context::{ContextTable, WorkloadId};
 pub use design::{
     run_design, serve_design, serve_design_faulted, serve_design_faulted_observed,
-    serve_design_overloaded, serve_design_overloaded_observed, Design,
+    serve_design_overloaded, serve_design_overloaded_observed, serve_design_stressed,
+    serve_design_stressed_observed, Design,
 };
 pub use engine::{RunOptions, V10Engine, WorkloadSpec};
+pub use harness::{PropertyHarness, ShrinkKnobs, ShrinkReport, ShrinkStep};
+pub use invariants::{audit_serve_stressed, check_serve_invariants, run_digest};
 pub use lifecycle::{Admission, AdmissionSchedule};
 pub use metrics::{OverlapBreakdown, RunReport, WorkloadReport};
 pub use observer::{CounterObserver, JsonLinesObserver, NullObserver, SimEvent, SimObserver};

@@ -36,7 +36,7 @@
 //! [`SimEvent::TenantStarved`]: crate::SimEvent::TenantStarved
 //! [`SimEvent::WatchdogBoost`]: crate::SimEvent::WatchdogBoost
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use v10_sim::{V10Error, V10Result};
 
@@ -449,6 +449,7 @@ pub struct OverloadStats {
     pub(crate) shed_requests: u64,
     pub(crate) starvations: u64,
     pub(crate) boosts: u64,
+    pub(crate) boost_requeues: u64,
     pub(crate) overload_cycles: f64,
 }
 
@@ -501,6 +502,14 @@ impl OverloadStats {
         self.boosts
     }
 
+    /// Starvation detections whose boost could not raise the tenant's
+    /// priority immediately (already at the policy cap) and were re-queued
+    /// for retry instead of being dropped.
+    #[must_use]
+    pub fn boost_requeues(&self) -> u64 {
+        self.boost_requeues
+    }
+
     /// Total degradation actions across all rungs.
     #[must_use]
     pub fn degradations(&self) -> u64 {
@@ -533,6 +542,9 @@ pub struct OverloadController {
     /// First sense instant each tenancy (by admission index) was observed
     /// below the watchdog bound, cleared whenever it recovers.
     starve_since: BTreeMap<usize, f64>,
+    /// Starved tenancies whose boost no-opped at the priority cap, waiting
+    /// for headroom (e.g. a ladder demotion) to retry.
+    pending_boosts: BTreeSet<usize>,
     stats: OverloadStats,
 }
 
@@ -551,6 +563,7 @@ impl OverloadController {
             calm_ticks: 0,
             entered_at: 0.0,
             starve_since: BTreeMap::new(),
+            pending_boosts: BTreeSet::new(),
             stats: OverloadStats::default(),
         }
     }
@@ -570,6 +583,7 @@ impl OverloadController {
             calm_ticks: 0,
             entered_at: 0.0,
             starve_since: BTreeMap::new(),
+            pending_boosts: BTreeSet::new(),
             stats: OverloadStats::default(),
         }
     }
@@ -685,6 +699,26 @@ impl OverloadController {
     /// Drops watchdog tracking for tenancies no longer live.
     pub(crate) fn watchdog_retain(&mut self, live: &[usize]) {
         self.starve_since.retain(|w, _| live.contains(w));
+        self.pending_boosts.retain(|w| live.contains(w));
+    }
+
+    /// Queues a boost that no-opped at the priority cap for later retry.
+    /// Counts a re-queue only on first entry — a tenant waiting across
+    /// several ticks is one deferred boost, not many.
+    pub(crate) fn queue_boost(&mut self, w: usize) {
+        if self.pending_boosts.insert(w) {
+            self.stats.boost_requeues += 1;
+        }
+    }
+
+    /// The tenancies with a deferred boost, in index order.
+    pub(crate) fn pending_boosts(&self) -> Vec<usize> {
+        self.pending_boosts.iter().copied().collect()
+    }
+
+    /// Clears a deferred boost once it has been applied.
+    pub(crate) fn clear_pending_boost(&mut self, w: usize) {
+        self.pending_boosts.remove(&w);
     }
 }
 

@@ -226,5 +226,23 @@ mod tests {
         // The facade is sim-path for D1/D2.
         let s = scope_for("src/lib.rs").unwrap();
         assert!(s.d1 && s.d2 && !s.d3 && !s.p1);
+
+        // The adversarial scenario engine and the property harness land
+        // on the standard per-crate scopes: workloads modules carry
+        // D1/D2, core and sim modules additionally P1 (repro.rs does no
+        // cycle arithmetic, so D3/U1 stay off), and the root-level
+        // integration suite the determinism families.
+        let s = scope_for("crates/workloads/src/adversary.rs").unwrap();
+        assert!(s.d1 && s.d2 && !s.d3 && !s.p1);
+        let s = scope_for("crates/core/src/harness.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.p1 && !s.d3);
+        let s = scope_for("crates/core/src/invariants.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.p1 && !s.d3);
+        let s = scope_for("crates/sim/src/repro.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.p1 && !s.d3 && !s.u1);
+        let s = scope_for("tests/adversary.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.f1 && s.o1 && !s.p1 && !s.u1);
+        let s = scope_for("examples/adversary_hunt.rs").unwrap();
+        assert!(s.d1 && s.d2 && s.f1 && s.o1 && !s.p1 && !s.u1);
     }
 }

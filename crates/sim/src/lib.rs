@@ -32,6 +32,9 @@
 //! * [`fault`] — deterministic fault injection: declarative [`FaultPlan`]s
 //!   compiled into seeded, pre-sampled [`FaultInjector`] event streams that
 //!   the engine crates replay bit-for-bit.
+//! * [`repro`] — seed-replayable repro fixtures ([`ReproFixture`]) emitted
+//!   by the adversarial property harness when it shrinks a violating
+//!   scenario to a minimal coordinate tuple.
 //! * [`error`] — the workspace-wide [`V10Error`] type returned by every
 //!   fallible public constructor and runner in the higher-level crates.
 //!
@@ -62,6 +65,7 @@ pub mod error;
 pub mod events;
 pub mod fault;
 pub mod intern;
+pub mod repro;
 pub mod rng;
 pub mod shard;
 pub mod stats;
@@ -73,6 +77,7 @@ pub use error::{V10Error, V10Result};
 pub use events::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use intern::{LabelId, LabelInterner};
+pub use repro::{ReproFixture, REPRO_SCHEMA};
 pub use rng::SimRng;
 pub use shard::{merge_messages, DepartureMsg, EpochClock, ShardMap};
 pub use stats::{Histogram, LatencySummary, OnlineStats, Percentiles};

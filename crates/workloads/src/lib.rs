@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod arrivals;
 pub mod features;
 pub mod model;
@@ -44,6 +45,9 @@ pub mod scenario;
 pub mod synth;
 pub mod zoo;
 
+pub use adversary::{
+    AdversaryCase, AdversaryGen, AdversaryScenario, ScenarioKnobs, ScenarioProfile,
+};
 pub use arrivals::{MmppProcess, MmppState, OpenLoopProcess, TimedArrival};
 pub use features::{FeatureVector, FEATURE_NAMES};
 pub use model::Model;

@@ -18,11 +18,12 @@
 //! clean, including the [`RunReport`] reconciliation.
 
 use v10::core::{
-    serve_design, serve_design_overloaded, serve_design_overloaded_observed, Admission,
-    AdmissionSchedule, Design, OverloadController, OverloadPolicy, RunOptions, RunReport,
-    RuntimeAuditor, WorkloadSpec,
+    audit_serve_stressed, serve_design, serve_design_overloaded, serve_design_overloaded_observed,
+    Admission, AdmissionSchedule, Design, OverloadController, OverloadPolicy, RunOptions,
+    RunReport, RuntimeAuditor, WorkloadSpec,
 };
 use v10::npu::NpuConfig;
+use v10::sim::{FaultKind, FaultPlan};
 use v10::workloads::{MmppProcess, Model, OpenLoopProcess};
 
 /// Context-table slots: small on purpose, so the flash crowd overflows it.
@@ -367,6 +368,151 @@ fn watchdog_boosts_starving_tenants_and_nobody_is_left_behind() {
         starved_report.priority() > 16.0,
         "the boost must be visible in the final priority"
     );
+    for wl in report.workloads() {
+        assert!(
+            wl.completed_requests() >= 1,
+            "{} was admitted but never served a request",
+            wl.label()
+        );
+    }
+}
+
+/// Satellite of the adversarial-scenario PR: the MMPP `single_state` ≡
+/// Poisson identity is not a fair-weather property. With an armed fault
+/// plan injecting transient corruptions and whole-core stalls into both
+/// runs, the two schedules must still serve bit-identically, and both
+/// must audit clean.
+#[test]
+fn single_state_mmpp_equals_poisson_under_armed_fault_plans() {
+    const MODELS: [Model; 3] = [Model::Mnist, Model::Dlrm, Model::Ncf];
+    let schedule_of = |arrivals: Vec<v10::workloads::TimedArrival>| {
+        AdmissionSchedule::new(
+            arrivals
+                .iter()
+                .map(|a| {
+                    Admission::new(
+                        WorkloadSpec::new(a.label(), a.trace().clone()),
+                        a.at_cycles(),
+                        a.requests(),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    };
+    let mmpp = schedule_of(
+        MmppProcess::single_state(&MODELS, 5.0e6, 0xFEED)
+            .unwrap()
+            .with_think_cycles(2.5e5)
+            .unwrap()
+            .sample(10)
+            .unwrap(),
+    );
+    let poisson = schedule_of(
+        OpenLoopProcess::new(&MODELS, 5.0e6, 0xFEED)
+            .unwrap()
+            .with_requests_per_session(4)
+            .unwrap()
+            .with_think_cycles(2.5e5)
+            .unwrap()
+            .sample(10)
+            .unwrap(),
+    );
+    let plan = FaultPlan::none()
+        .with_fault(1.0e6, FaultKind::TransientOp { victim_salt: 0xA5 })
+        .unwrap()
+        .with_poisson_transients(0xDEAD, 4.0e6, 4.0e7)
+        .unwrap()
+        .with_poisson_stalls(0xBEEF, 9.0e6, 5.0e4, 4.0e7)
+        .unwrap();
+    let opts = serve_opts();
+    let cfg = NpuConfig::table5();
+    for design in [Design::V10Base, Design::V10Full] {
+        let (a, va) = audit_serve_stressed(
+            design,
+            &mmpp,
+            &cfg,
+            &opts,
+            &plan,
+            OverloadController::armed(OverloadPolicy::default()),
+        )
+        .unwrap();
+        let (b, vb) = audit_serve_stressed(
+            design,
+            &poisson,
+            &cfg,
+            &opts,
+            &plan,
+            OverloadController::armed(OverloadPolicy::default()),
+        )
+        .unwrap();
+        assert!(va.is_empty(), "{design:?} mmpp run: {va:?}");
+        assert!(vb.is_empty(), "{design:?} poisson run: {vb:?}");
+        assert!(
+            a.faults_injected() > 0,
+            "{design:?}: the fault plan must actually fire"
+        );
+        assert_eq!(digest(&a), digest(&b), "{design:?} diverged under faults");
+    }
+}
+
+/// Regression for the watchdog/capacity fix: a starved tenant already at
+/// the policy's priority ceiling used to have its boost silently no-op —
+/// detection fired, nothing changed, and the tenant stayed starved with no
+/// trace. The fix re-queues the capped boost and counts it. Pin the
+/// post-fix contract: detections fire, zero boosts land (the cap binds),
+/// at least one re-queue is recorded, the priority is unchanged, and the
+/// run still audits clean with nobody shut out.
+#[test]
+fn capped_watchdog_boost_is_requeued_not_dropped() {
+    // Same shape as the boost test above, but the watchdog's max priority
+    // equals the starved tenant's own priority, so every boost would no-op.
+    let starved = WorkloadSpec::new("capped", Model::Dlrm.default_profile().synthesize(5))
+        .with_priority(16.0)
+        .unwrap();
+    let mut admissions = vec![Admission::new(starved, 0.0, 8).unwrap()];
+    for (i, seed) in [6u64, 7, 8].iter().enumerate() {
+        let spec = WorkloadSpec::new(
+            format!("peer-{i}"),
+            Model::Dlrm.default_profile().synthesize(*seed),
+        );
+        admissions.push(Admission::new(spec, 0.0, 8).unwrap());
+    }
+    let schedule = AdmissionSchedule::new(admissions).unwrap();
+    let opts = RunOptions::new(8).unwrap().with_seed(7);
+    let policy = OverloadPolicy::default()
+        .with_sense_interval_cycles(2.0e5)
+        .unwrap()
+        .with_watchdog(1.0e6, 0.1, 4.0, 16.0)
+        .unwrap();
+    let report = serve_audited(
+        Design::V10Base,
+        &schedule,
+        &opts,
+        OverloadController::armed(policy),
+    );
+
+    let stats = report.overload_stats();
+    assert!(
+        stats.starvations() > 0,
+        "the capped tenant must still trip the watchdog"
+    );
+    assert_eq!(
+        stats.boosts(),
+        0,
+        "every boost hits the ceiling, so none may land"
+    );
+    assert!(
+        stats.boost_requeues() >= 1,
+        "a capped boost must be re-queued, not silently dropped"
+    );
+    let capped = report
+        .workloads()
+        .iter()
+        .find(|w| w.label() == "capped")
+        .expect("the capped tenant was admitted at cycle 0");
+    assert_eq!(capped.priority(), 16.0, "the ceiling holds");
     for wl in report.workloads() {
         assert!(
             wl.completed_requests() >= 1,
