@@ -55,6 +55,16 @@ V10_BENCH_SMOKE=1 \
     V10_BENCH_BASELINE="$PWD/BENCH_serving_fleet.json" \
     cargo bench -q -p v10-bench --bench serving_fleet > /dev/null
 
+echo "==> serving_fleet_faults bench (smoke run: disarmed bit-identity gate + schema + committed artifact)"
+V10_BENCH_SMOKE=1 \
+    V10_BENCH_THREADS=2 \
+    V10_BENCH_JSON_OUT="$PWD/BENCH_fleet_faults.json" \
+    cargo bench -q -p v10-bench --bench serving_fleet_faults > /dev/null
+grep -q '"bench": "serving_fleet_faults"' BENCH_fleet_faults.json \
+    || { echo "BENCH_fleet_faults.json missing schema marker"; exit 1; }
+git diff --exit-code BENCH_fleet_faults.json \
+    || { echo "BENCH_fleet_faults.json is out of date: commit the regenerated artifact"; exit 1; }
+
 echo "==> adversary_sweep bench (smoke run: every profile under the full oracle, fails on unshrunk violations)"
 V10_BENCH_SMOKE=1 \
     V10_BENCH_JSON_OUT="$PWD/BENCH_adversary.json" \

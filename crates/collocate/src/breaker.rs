@@ -489,6 +489,50 @@ mod tests {
     }
 
     #[test]
+    fn half_open_probes_converge_under_an_epoch_aligned_flap_cadence() {
+        // A fault storm whose cadence is phase-locked to the breaker's own
+        // cooldown (both equal to the fleet epoch here): every half-open
+        // probe during the storm lands on a breach and re-trips. The
+        // breaker must flap exactly once per epoch while the storm lasts,
+        // then converge to Closed within `probe_successes_to_close` clean
+        // probes — and never trip again.
+        let p = policy();
+        let mut b = CircuitBreaker::new();
+        let epoch = p.cooldown_cycles();
+        let storm_epochs = 10u64;
+        for e in 0..30u64 {
+            #[allow(clippy::cast_precision_loss)]
+            let boundary = e as f64 * epoch;
+            if b.allows(&p, boundary) {
+                b.record(&p, e < storm_epochs, boundary);
+            }
+            // Mid-epoch re-checks while open must stay gated: the flap can
+            // only happen at the next aligned boundary itself.
+            if b.state() == BreakerState::Open {
+                assert!(
+                    !b.allows(&p, boundary + 0.5 * epoch),
+                    "epoch {e}: mid-cooldown probe admitted"
+                );
+            }
+            if e == storm_epochs + 1 {
+                assert_eq!(
+                    b.state(),
+                    BreakerState::Closed,
+                    "two clean probes must close the breaker"
+                );
+            }
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Trips: the initial Closed->Open trip consumes two boundaries
+        // (trip_after = 2), then each storm epoch's probe re-trips once.
+        assert_eq!(
+            b.trips(),
+            storm_epochs - 1,
+            "one flap per aligned epoch, none after the storm"
+        );
+    }
+
+    #[test]
     fn board_tracks_cores_independently() {
         let mut board = BreakerBoard::new(policy(), 2).unwrap();
         board.record(0, true, 0.0);

@@ -199,11 +199,24 @@ impl RuntimeAuditor {
 /// departing twice. Feed the plane's outputs in with the `record_*`
 /// methods, then call [`reconcile`](Self::reconcile) and assert
 /// [`is_clean`](Self::is_clean).
+///
+/// The fault-domain extension keeps the same invariants valid *through*
+/// shard crashes, region failures, and evacuations: a shard may only
+/// restore from a snapshot after crashing (no resurrection from a stale
+/// snapshot), a core may only fail once, an evacuation must move a tenant
+/// off a failed core onto a surviving one, and at reconcile every hosting
+/// is either an original placement or a recorded evacuation
+/// (`hosted == placed + evacuated` — a tenant hosted by two shards at once
+/// shows up as an excess hosting).
 #[derive(Debug, Default)]
 pub struct FleetConservation {
     placed: u64,
     hosted: u64,
     completed_requests: u64,
+    evacuated: u64,
+    shed: u64,
+    crashed_shards: Vec<usize>,
+    failed_cores: Vec<usize>,
     violations: Vec<String>,
     suppressed: u64,
 }
@@ -293,15 +306,121 @@ impl FleetConservation {
         }
     }
 
-    /// Final cross-shard reconciliation: every placed tenant must be hosted
-    /// by exactly one core's report. Call after every `record_*` feed.
-    pub fn reconcile(&mut self) {
-        if self.hosted != self.placed {
+    /// Records a shard-worker crash at `at_cycles`. A shard still down from
+    /// an earlier crash cannot crash again — that is a double-counted fleet
+    /// fault upstream.
+    pub fn record_shard_crash(&mut self, shard: usize, at_cycles: f64) {
+        if !at_cycles.is_finite() || at_cycles < 0.0 {
             self.flag(format!(
-                "{} placements but {} tenancies across the per-core reports",
-                self.placed, self.hosted
+                "shard {shard} crashed at degenerate time {at_cycles}"
             ));
         }
+        if self.crashed_shards.contains(&shard) {
+            self.flag(format!("shard {shard} crashed twice without restoring"));
+            return;
+        }
+        self.crashed_shards.push(shard);
+    }
+
+    /// Records a shard restoring from its epoch snapshot. Restoring a shard
+    /// that never crashed means the plane resurrected state from a stale
+    /// snapshot — the central no-resurrection property.
+    pub fn record_shard_restore(&mut self, shard: usize, at_cycles: f64) {
+        if !at_cycles.is_finite() || at_cycles < 0.0 {
+            self.flag(format!(
+                "shard {shard} restored at degenerate time {at_cycles}"
+            ));
+        }
+        match self.crashed_shards.iter().position(|&s| s == shard) {
+            Some(i) => {
+                self.crashed_shards.swap_remove(i);
+            }
+            None => self.flag(format!(
+                "shard {shard} restored from a snapshot without a preceding crash"
+            )),
+        }
+    }
+
+    /// Records a region (HBM affinity group) failure taking down `cores`
+    /// together. A core may only fail once across all recorded regions.
+    pub fn record_region_fail(&mut self, group: usize, cores: &[usize], at_cycles: f64) {
+        if !at_cycles.is_finite() || at_cycles < 0.0 {
+            self.flag(format!(
+                "region {group} failed at degenerate time {at_cycles}"
+            ));
+        }
+        for &core in cores {
+            if self.failed_cores.contains(&core) {
+                self.flag(format!(
+                    "core {core} failed twice (region {group} re-failed it)"
+                ));
+                continue;
+            }
+            self.failed_cores.push(core);
+        }
+    }
+
+    /// Records one orphaned tenant evacuated from a failed core onto a
+    /// surviving one. The source must have failed (only dead cores orphan
+    /// tenants) and the destination must still be alive.
+    pub fn record_evacuation(&mut self, from_core: usize, to_core: usize, at_cycles: f64) {
+        if !at_cycles.is_finite() || at_cycles < 0.0 {
+            self.flag(format!(
+                "evacuation from core {from_core} at degenerate time {at_cycles}"
+            ));
+        }
+        if !self.failed_cores.contains(&from_core) {
+            self.flag(format!(
+                "evacuation from core {from_core}, which never failed"
+            ));
+        }
+        if self.failed_cores.contains(&to_core) {
+            self.flag(format!("evacuation onto failed core {to_core}"));
+        }
+        self.evacuated += 1;
+    }
+
+    /// Records one orphaned tenant shed instead of evacuated (deadline
+    /// unmeetable or retries exhausted). The source must have failed.
+    pub fn record_shed(&mut self, from_core: usize, at_cycles: f64) {
+        if !at_cycles.is_finite() || at_cycles < 0.0 {
+            self.flag(format!(
+                "shed from core {from_core} at degenerate time {at_cycles}"
+            ));
+        }
+        if !self.failed_cores.contains(&from_core) {
+            self.flag(format!("shed from core {from_core}, which never failed"));
+        }
+        self.shed += 1;
+    }
+
+    /// Final cross-shard reconciliation: every placed tenant must be hosted
+    /// by exactly one core's report, plus one extra hosting per recorded
+    /// evacuation (the evacuee boards its destination core as a second
+    /// tenancy record). Every crashed shard must also have restored by the
+    /// end of the run. Call after every `record_*` feed.
+    pub fn reconcile(&mut self) {
+        if self.hosted != self.placed + self.evacuated {
+            self.flag(format!(
+                "{} placements + {} evacuations but {} tenancies across the per-core reports",
+                self.placed, self.evacuated, self.hosted
+            ));
+        }
+        if let Some(&shard) = self.crashed_shards.first() {
+            self.flag(format!("shard {shard} never restored after its crash"));
+        }
+    }
+
+    /// Orphaned tenants evacuated onto surviving cores.
+    #[must_use]
+    pub fn evacuated(&self) -> u64 {
+        self.evacuated
+    }
+
+    /// Orphaned tenants shed instead of evacuated.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed
     }
 
     /// Requests completed across every recorded core.
@@ -432,7 +551,11 @@ impl SimObserver for RuntimeAuditor {
             SimEvent::TimerTick { .. }
             | SimEvent::CoreRetired { .. }
             | SimEvent::OverloadEntered { .. }
-            | SimEvent::OverloadCleared { .. } => {}
+            | SimEvent::OverloadCleared { .. }
+            | SimEvent::ShardCrashed { .. }
+            | SimEvent::ShardRestored { .. }
+            | SimEvent::TenantEvacuated { .. }
+            | SimEvent::RegionFailed { .. } => {}
         }
     }
 }
@@ -698,7 +821,89 @@ mod tests {
         assert!(fleet
             .violations()
             .iter()
-            .any(|v| v.contains("1 placements but 0 tenancies")));
+            .any(|v| v.contains("1 placements + 0 evacuations but 0 tenancies")));
+    }
+
+    #[test]
+    fn fleet_conservation_tracks_crash_restore_pairing() {
+        let mut fleet = FleetConservation::new();
+        fleet.record_shard_crash(1, 4.0e6);
+        fleet.record_shard_restore(1, 8.0e6);
+        fleet.reconcile();
+        assert!(fleet.is_clean(), "violations: {:?}", fleet.violations());
+
+        // Restore with no crash = resurrection from a stale snapshot.
+        let mut fleet = FleetConservation::new();
+        fleet.record_shard_restore(0, 4.0e6);
+        assert!(fleet
+            .violations()
+            .iter()
+            .any(|v| v.contains("without a preceding crash")));
+
+        // Crash twice without a restore in between.
+        let mut fleet = FleetConservation::new();
+        fleet.record_shard_crash(2, 4.0e6);
+        fleet.record_shard_crash(2, 8.0e6);
+        assert!(fleet
+            .violations()
+            .iter()
+            .any(|v| v.contains("crashed twice")));
+
+        // A crash never answered by a restore surfaces at reconcile.
+        let mut fleet = FleetConservation::new();
+        fleet.record_shard_crash(3, 4.0e6);
+        fleet.reconcile();
+        assert!(fleet
+            .violations()
+            .iter()
+            .any(|v| v.contains("never restored")));
+
+        // Degenerate timestamps are their own violation.
+        let mut fleet = FleetConservation::new();
+        fleet.record_shard_crash(0, f64::NAN);
+        assert!(fleet
+            .violations()
+            .iter()
+            .any(|v| v.contains("degenerate time")));
+    }
+
+    #[test]
+    fn fleet_conservation_tracks_region_and_evacuation_flow() {
+        let engine = V10Engine::new(NpuConfig::table5(), Policy::Priority, true);
+        let report = engine
+            .run(&[spec("a"), spec("b")], &RunOptions::new(2).unwrap())
+            .unwrap();
+        // Two placements; one of them evacuated to a surviving core hosts
+        // twice, so hosted = placed + evacuated reconciles.
+        let mut fleet = FleetConservation::new();
+        fleet.record_flow(2, 2, 0);
+        fleet.record_region_fail(0, &[0, 1], 6.0e6);
+        fleet.record_evacuation(0, 2, 6.5e6);
+        fleet.record_shed(1, 7.0e6);
+        fleet.record_core(0, &report); // the pre-fail hosting records
+        fleet.record_core(2, &{
+            let engine = V10Engine::new(NpuConfig::table5(), Policy::Priority, true);
+            engine
+                .run(&[spec("evac")], &RunOptions::new(2).unwrap())
+                .unwrap()
+        });
+        fleet.reconcile();
+        assert!(fleet.is_clean(), "violations: {:?}", fleet.violations());
+        assert_eq!(fleet.evacuated(), 1);
+        assert_eq!(fleet.shed(), 1);
+
+        // Evacuating from a healthy core, onto a dead one, double-failing a
+        // core, and shedding from a healthy core are each violations.
+        let mut fleet = FleetConservation::new();
+        fleet.record_region_fail(0, &[0], 1.0e6);
+        fleet.record_region_fail(1, &[0], 2.0e6);
+        fleet.record_evacuation(3, 0, 2.5e6);
+        fleet.record_shed(4, 3.0e6);
+        let v = fleet.violations();
+        assert!(v.iter().any(|m| m.contains("failed twice")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("which never failed")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("onto failed core 0")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("shed from core 4")), "{v:?}");
     }
 
     #[test]

@@ -203,6 +203,40 @@ pub enum SimEvent {
         /// Simulated cycle.
         at: f64,
     },
+    /// A fleet shard worker crashed: its candidate tables are lost until
+    /// the next epoch boundary restores them from the last snapshot.
+    ShardCrashed {
+        /// Index of the crashed shard.
+        shard: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// A crashed shard restored from its epoch snapshot and replayed the
+    /// delta back to consistency.
+    ShardRestored {
+        /// Index of the restored shard.
+        shard: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
+    /// The fleet plane evacuated an orphaned tenant from a failed core
+    /// onto a surviving one.
+    TenantEvacuated {
+        /// The failed core the tenant was orphaned on.
+        from_core: usize,
+        /// The surviving core the tenant landed on.
+        to_core: usize,
+        /// Simulated cycle of the successful re-admission.
+        at: f64,
+    },
+    /// A whole HBM affinity group failed together (correlated blast
+    /// radius): every core in the group retired at once.
+    RegionFailed {
+        /// The failed HBM-affinity group.
+        group: usize,
+        /// Simulated cycle.
+        at: f64,
+    },
 }
 
 impl SimEvent {
@@ -232,6 +266,10 @@ impl SimEvent {
             SimEvent::OverloadCleared { .. } => "overload_cleared",
             SimEvent::TenantStarved { .. } => "tenant_starved",
             SimEvent::WatchdogBoost { .. } => "watchdog_boost",
+            SimEvent::ShardCrashed { .. } => "shard_crashed",
+            SimEvent::ShardRestored { .. } => "shard_restored",
+            SimEvent::TenantEvacuated { .. } => "tenant_evacuated",
+            SimEvent::RegionFailed { .. } => "region_failed",
         }
     }
 
@@ -259,7 +297,11 @@ impl SimEvent {
             | SimEvent::DegradationApplied { at, .. }
             | SimEvent::OverloadCleared { at }
             | SimEvent::TenantStarved { at, .. }
-            | SimEvent::WatchdogBoost { at, .. } => at,
+            | SimEvent::WatchdogBoost { at, .. }
+            | SimEvent::ShardCrashed { at, .. }
+            | SimEvent::ShardRestored { at, .. }
+            | SimEvent::TenantEvacuated { at, .. }
+            | SimEvent::RegionFailed { at, .. } => at,
         }
     }
 }
@@ -319,6 +361,10 @@ pub struct CounterObserver {
     overload_cleared: u64,
     tenant_starved: u64,
     watchdog_boost: u64,
+    shard_crashed: u64,
+    shard_restored: u64,
+    tenant_evacuated: u64,
+    region_failed: u64,
 }
 
 impl CounterObserver {
@@ -454,6 +500,30 @@ impl CounterObserver {
         self.watchdog_boost
     }
 
+    /// Fleet shard-worker crashes.
+    #[must_use]
+    pub fn shard_crashed(&self) -> u64 {
+        self.shard_crashed
+    }
+
+    /// Fleet shard restores from an epoch snapshot.
+    #[must_use]
+    pub fn shard_restored(&self) -> u64 {
+        self.shard_restored
+    }
+
+    /// Orphaned tenants evacuated onto surviving cores.
+    #[must_use]
+    pub fn tenant_evacuated(&self) -> u64 {
+        self.tenant_evacuated
+    }
+
+    /// Whole-HBM-group (region) failures.
+    #[must_use]
+    pub fn region_failed(&self) -> u64 {
+        self.region_failed
+    }
+
     /// Sum over all event kinds.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -478,6 +548,10 @@ impl CounterObserver {
             + self.overload_cleared
             + self.tenant_starved
             + self.watchdog_boost
+            + self.shard_crashed
+            + self.shard_restored
+            + self.tenant_evacuated
+            + self.region_failed
     }
 }
 
@@ -506,6 +580,10 @@ impl SimObserver for CounterObserver {
             SimEvent::OverloadCleared { .. } => &mut self.overload_cleared,
             SimEvent::TenantStarved { .. } => &mut self.tenant_starved,
             SimEvent::WatchdogBoost { .. } => &mut self.watchdog_boost,
+            SimEvent::ShardCrashed { .. } => &mut self.shard_crashed,
+            SimEvent::ShardRestored { .. } => &mut self.shard_restored,
+            SimEvent::TenantEvacuated { .. } => &mut self.tenant_evacuated,
+            SimEvent::RegionFailed { .. } => &mut self.region_failed,
         };
         *slot += 1;
     }
@@ -642,6 +720,15 @@ impl<W: Write> SimObserver for JsonLinesObserver<W> {
                 "{{\"event\":\"{name}\",\"workload\":{workload},\"priority\":{},\"at\":{at}}}",
                 fmt_cycles(priority)
             ),
+            SimEvent::ShardCrashed { shard, .. } | SimEvent::ShardRestored { shard, .. } => {
+                format!("{{\"event\":\"{name}\",\"shard\":{shard},\"at\":{at}}}")
+            }
+            SimEvent::TenantEvacuated { from_core, to_core, .. } => format!(
+                "{{\"event\":\"{name}\",\"from_core\":{from_core},\"to_core\":{to_core},\"at\":{at}}}"
+            ),
+            SimEvent::RegionFailed { group, .. } => {
+                format!("{{\"event\":\"{name}\",\"group\":{group},\"at\":{at}}}")
+            }
         };
         if writeln!(self.sink, "{line}").is_err() {
             self.write_errors += 1;
@@ -1022,6 +1109,14 @@ mod tests {
                 priority: 2.0,
                 at: 20.0,
             },
+            SimEvent::ShardCrashed { shard: 0, at: 21.0 },
+            SimEvent::ShardRestored { shard: 0, at: 22.0 },
+            SimEvent::TenantEvacuated {
+                from_core: 0,
+                to_core: 1,
+                at: 23.0,
+            },
+            SimEvent::RegionFailed { group: 0, at: 24.0 },
         ];
 
         // Exhaustiveness guard: within the defining crate, a wildcard-free
@@ -1047,7 +1142,11 @@ mod tests {
             | SimEvent::DegradationApplied { .. }
             | SimEvent::OverloadCleared { .. }
             | SimEvent::TenantStarved { .. }
-            | SimEvent::WatchdogBoost { .. } => true,
+            | SimEvent::WatchdogBoost { .. }
+            | SimEvent::ShardCrashed { .. }
+            | SimEvent::ShardRestored { .. }
+            | SimEvent::TenantEvacuated { .. }
+            | SimEvent::RegionFailed { .. } => true,
         };
 
         let mut c = CounterObserver::new();
@@ -1062,6 +1161,54 @@ mod tests {
         assert_eq!(
             c.total(),
             v10_sim::convert::u64_from_usize(one_of_each.len())
+        );
+    }
+
+    #[test]
+    fn fleet_events_count_name_and_encode() {
+        let mut c = CounterObserver::new();
+        let mut buf = Vec::new();
+        {
+            let mut obs = JsonLinesObserver::new(&mut buf);
+            let events = [
+                SimEvent::ShardCrashed { shard: 2, at: 3.0 },
+                SimEvent::ShardRestored { shard: 2, at: 8.0 },
+                SimEvent::RegionFailed { group: 1, at: 9.0 },
+                SimEvent::TenantEvacuated {
+                    from_core: 5,
+                    to_core: 12,
+                    at: 10.0,
+                },
+            ];
+            for e in events {
+                c.on_event(e);
+                obs.on_event(e);
+            }
+            assert_eq!(obs.write_errors(), 0);
+        }
+        assert_eq!(c.shard_crashed(), 1);
+        assert_eq!(c.shard_restored(), 1);
+        assert_eq!(c.region_failed(), 1);
+        assert_eq!(c.tenant_evacuated(), 1);
+        assert_eq!(c.total(), 4);
+
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"shard_crashed\",\"shard\":2,\"at\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"shard_restored\",\"shard\":2,\"at\":8}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"event\":\"region_failed\",\"group\":1,\"at\":9}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"event\":\"tenant_evacuated\",\"from_core\":5,\"to_core\":12,\"at\":10}"
         );
     }
 

@@ -95,6 +95,14 @@ impl ClusterState {
         &self.topology
     }
 
+    /// Mutable access to the topology, for the fleet fault path to mark
+    /// links degraded, partitioned, or restored. Occupancy bookkeeping
+    /// never goes through here — only link-health state changes.
+    #[must_use]
+    pub fn topology_mut(&mut self) -> &mut FleetTopology {
+        &mut self.topology
+    }
+
     /// Number of cores in the cluster.
     #[must_use]
     pub fn cores(&self) -> usize {

@@ -75,6 +75,11 @@ pub struct FleetTopology {
     groups: usize,
     group_of: Vec<usize>,
     hop_table: Vec<u32>,
+    /// Per-group uplink health: a transfer-cycle multiplier (1.0 nominal,
+    /// above 1 degraded, `f64::INFINITY` partitioned). Mutated only by the
+    /// fleet fault path; every constructor starts all links nominal, so
+    /// topologies compare equal across construction sites.
+    link_factors: Vec<f64>,
 }
 
 /// Balanced contiguous partition: the first `len % parts` parts get one
@@ -124,6 +129,7 @@ impl FleetTopology {
             groups: 1,
             group_of: vec![0; cores],
             hop_table: vec![0; cores],
+            link_factors: vec![1.0],
         })
     }
 
@@ -170,6 +176,7 @@ impl FleetTopology {
             groups,
             group_of,
             hop_table,
+            link_factors: vec![1.0; groups],
         })
     }
 
@@ -219,6 +226,7 @@ impl FleetTopology {
             groups,
             group_of,
             hop_table,
+            link_factors: vec![1.0; groups],
         })
     }
 
@@ -344,6 +352,92 @@ impl FleetTopology {
         f64::from(hops) * (bytes / self.link_bytes_per_cycle)
     }
 
+    /// The current transfer-cycle multiplier of `group`'s uplink: 1.0
+    /// nominal, > 1 degraded, `f64::INFINITY` partitioned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `group` is out of range.
+    pub fn link_factor(&self, group: usize) -> V10Result<f64> {
+        self.link_factors.get(group).copied().ok_or_else(|| {
+            V10Error::invalid(
+                "FleetTopology::link_factor",
+                format!("group {group} out of range for {} HBM groups", self.groups),
+            )
+        })
+    }
+
+    /// Whether `group`'s uplink is fully partitioned (no transfer through
+    /// it completes until it is restored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `group` is out of range.
+    pub fn is_link_partitioned(&self, group: usize) -> V10Result<bool> {
+        Ok(self.link_factor(group)?.is_infinite())
+    }
+
+    /// Degrades `group`'s uplink: transfers through it cost `factor ×`
+    /// their nominal cycles until [`restore_link`](Self::restore_link).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `group` is out of range or
+    /// `factor` is not finite and ≥ 1.
+    pub fn degrade_link(&mut self, group: usize, factor: f64) -> V10Result<()> {
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(V10Error::invalid(
+                "FleetTopology::degrade_link",
+                format!("degrade factor must be finite and >= 1, got {factor}"),
+            ));
+        }
+        self.link_factor(group)?;
+        self.link_factors[group] = factor;
+        Ok(())
+    }
+
+    /// Partitions `group`'s uplink entirely: transfers through it never
+    /// complete until [`restore_link`](Self::restore_link).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `group` is out of range.
+    pub fn partition_link(&mut self, group: usize) -> V10Result<()> {
+        self.link_factor(group)?;
+        self.link_factors[group] = f64::INFINITY;
+        Ok(())
+    }
+
+    /// Restores `group`'s uplink to nominal latency, clearing any degrade
+    /// or partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `group` is out of range.
+    pub fn restore_link(&mut self, group: usize) -> V10Result<()> {
+        self.link_factor(group)?;
+        self.link_factors[group] = 1.0;
+        Ok(())
+    }
+
+    /// [`transfer_cycles`](Self::transfer_cycles) scaled by the current
+    /// link factor of the group whose uplink the transfer traverses —
+    /// infinite while the link is partitioned (the transfer cannot
+    /// complete), identical to the nominal cost while the link is healthy.
+    /// Zero-hop (affinity-local) transfers never touch the uplink and stay
+    /// free regardless of link health.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] if `group` is out of range.
+    pub fn faulted_transfer_cycles(&self, bytes: f64, hops: u32, group: usize) -> V10Result<f64> {
+        let factor = self.link_factor(group)?;
+        if hops == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.transfer_cycles(bytes, hops) * factor)
+    }
+
     /// Mean hop cost from every core to its own home group — zero when
     /// groups tile the fleet exactly, a diagnostic for skewed geometries.
     #[must_use]
@@ -453,6 +547,49 @@ mod tests {
         assert!(FleetTopology::mesh(4, 4, 2, f64::INFINITY).is_err());
         assert!(FleetTopology::ring(0, 1, 16.0).is_err());
         assert!(FleetTopology::ring(4, 8, 16.0).is_err());
+    }
+
+    #[test]
+    fn link_health_scales_transfers_and_round_trips() {
+        let mut t = FleetTopology::mesh(4, 1, 2, 64.0).unwrap();
+        let nominal = FleetTopology::mesh(4, 1, 2, 64.0).unwrap();
+        assert_eq!(t, nominal, "fresh topologies start with healthy links");
+        assert_eq!(t.link_factor(0).unwrap(), 1.0);
+        assert_eq!(t.faulted_transfer_cycles(128.0, 1, 0).unwrap(), 2.0);
+
+        t.degrade_link(0, 4.0).unwrap();
+        assert_eq!(t.link_factor(0).unwrap(), 4.0);
+        assert_eq!(t.faulted_transfer_cycles(128.0, 1, 0).unwrap(), 8.0);
+        assert_eq!(
+            t.faulted_transfer_cycles(128.0, 1, 1).unwrap(),
+            2.0,
+            "other links unaffected"
+        );
+        assert_eq!(
+            t.faulted_transfer_cycles(1.0e9, 0, 0).unwrap(),
+            0.0,
+            "local traffic never touches the uplink"
+        );
+
+        t.partition_link(1).unwrap();
+        assert!(t.is_link_partitioned(1).unwrap());
+        assert!(!t.is_link_partitioned(0).unwrap());
+        assert!(t
+            .faulted_transfer_cycles(128.0, 2, 1)
+            .unwrap()
+            .is_infinite());
+
+        t.restore_link(0).unwrap();
+        t.restore_link(1).unwrap();
+        assert_eq!(t, nominal, "restored links compare equal to nominal");
+
+        assert!(t.degrade_link(0, 0.5).is_err());
+        assert!(t.degrade_link(0, f64::NAN).is_err());
+        assert!(t.degrade_link(2, 2.0).is_err());
+        assert!(t.partition_link(2).is_err());
+        assert!(t.restore_link(2).is_err());
+        assert!(t.link_factor(2).is_err());
+        assert!(t.faulted_transfer_cycles(1.0, 1, 2).is_err());
     }
 
     #[test]

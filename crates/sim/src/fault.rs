@@ -410,6 +410,189 @@ impl FaultInjector {
     }
 }
 
+/// What a scheduled fleet-plane fault does when it fires. Where
+/// [`FaultKind`] describes a fault *inside* one core, these describe faults
+/// of the serving fleet's control and transport planes: a shard worker
+/// crashing, a whole HBM affinity group failing together (correlated blast
+/// radius), and interconnect links degrading or partitioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetFaultKind {
+    /// A shard worker crashes: its candidate tables and in-flight placement
+    /// state are lost, and at the next epoch boundary it restores from its
+    /// last epoch snapshot and deterministically replays the delta.
+    ShardCrash {
+        /// Which shard crashes (index into the fleet's `ShardMap`).
+        shard: usize,
+    },
+    /// Every core in one HBM affinity group fails together: residents are
+    /// orphaned and must be evacuated onto surviving groups.
+    RegionFail {
+        /// Which topology affinity group fails.
+        hbm_group: usize,
+    },
+    /// The uplink of one HBM group degrades: transfer latency through the
+    /// group is multiplied by `factor` until the link is restored by a
+    /// later [`FleetFaultKind::LinkRestore`].
+    LinkDegrade {
+        /// Which group's uplink degrades.
+        hbm_group: usize,
+        /// Transfer-cycle multiplier. Finite and ≥ 1.
+        factor: f64,
+    },
+    /// The uplink of one HBM group partitions entirely for a bounded
+    /// window: no transfer through the group completes until the window
+    /// elapses.
+    LinkPartition {
+        /// Which group's uplink partitions.
+        hbm_group: usize,
+        /// How long the partition lasts, in cycles. Finite and positive.
+        window_cycles: f64,
+    },
+    /// The uplink of one HBM group returns to its nominal latency,
+    /// clearing any earlier degrade.
+    LinkRestore {
+        /// Which group's uplink is restored.
+        hbm_group: usize,
+    },
+}
+
+impl FleetFaultKind {
+    /// Stable snake_case label used by observer encodings and bench rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetFaultKind::ShardCrash { .. } => "shard_crash",
+            FleetFaultKind::RegionFail { .. } => "region_fail",
+            FleetFaultKind::LinkDegrade { .. } => "link_degrade",
+            FleetFaultKind::LinkPartition { .. } => "link_partition",
+            FleetFaultKind::LinkRestore { .. } => "link_restore",
+        }
+    }
+}
+
+/// A single scheduled fleet-plane fault: a timestamp plus a
+/// [`FleetFaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFaultEvent {
+    at_cycles: f64,
+    kind: FleetFaultKind,
+}
+
+impl FleetFaultEvent {
+    /// Builds a validated fleet fault event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V10Error::InvalidArgument`] when `at_cycles` is not finite
+    /// and non-negative, when a [`FleetFaultKind::LinkDegrade`] factor is
+    /// not finite and ≥ 1, or when a [`FleetFaultKind::LinkPartition`]
+    /// window is not finite and positive.
+    pub fn new(at_cycles: f64, kind: FleetFaultKind) -> V10Result<Self> {
+        if !at_cycles.is_finite() || at_cycles < 0.0 {
+            return Err(V10Error::invalid(
+                "FleetFaultEvent::new",
+                format!("fault time must be finite and non-negative, got {at_cycles}"),
+            ));
+        }
+        match kind {
+            FleetFaultKind::LinkDegrade { factor, .. } => {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(V10Error::invalid(
+                        "FleetFaultEvent::new",
+                        format!("degrade factor must be finite and >= 1, got {factor}"),
+                    ));
+                }
+            }
+            FleetFaultKind::LinkPartition { window_cycles, .. } => {
+                if !window_cycles.is_finite() || window_cycles <= 0.0 {
+                    return Err(V10Error::invalid(
+                        "FleetFaultEvent::new",
+                        format!(
+                            "partition window must be finite and positive, got {window_cycles}"
+                        ),
+                    ));
+                }
+            }
+            FleetFaultKind::ShardCrash { .. }
+            | FleetFaultKind::RegionFail { .. }
+            | FleetFaultKind::LinkRestore { .. } => {}
+        }
+        Ok(FleetFaultEvent { at_cycles, kind })
+    }
+
+    /// When the fault fires, in simulated cycles.
+    #[must_use]
+    pub fn at_cycles(&self) -> f64 {
+        self.at_cycles
+    }
+
+    /// What the fault does.
+    #[must_use]
+    pub fn kind(&self) -> FleetFaultKind {
+        self.kind
+    }
+}
+
+/// Declarative description of the fleet-plane faults one serving run will
+/// experience. All events are scripted — fleet faults are rare, correlated
+/// incidents, not a stochastic background process — so the plan is its own
+/// compiled form: [`FleetFaultPlan::compiled`] returns the events sorted by
+/// fire time and the fleet plane consumes them with a cursor at epoch
+/// boundaries.
+///
+/// The default plan ([`FleetFaultPlan::none`]) carries no faults; a fleet
+/// run under it is bit-identical to a run on the plain fault-free path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetFaultPlan {
+    scripted: Vec<FleetFaultEvent>,
+}
+
+impl FleetFaultPlan {
+    /// The empty plan: no fleet faults, ever.
+    #[must_use]
+    pub fn none() -> Self {
+        FleetFaultPlan::default()
+    }
+
+    /// Whether the plan carries no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scripted.is_empty()
+    }
+
+    /// Adds one scripted fleet fault at an absolute simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FleetFaultEvent::new`] validation failures, and rejects
+    /// plans past [`MAX_COMPILED_EVENTS`].
+    pub fn with_fault(mut self, at_cycles: f64, kind: FleetFaultKind) -> V10Result<Self> {
+        if self.scripted.len() >= MAX_COMPILED_EVENTS {
+            return Err(V10Error::invalid(
+                "FleetFaultPlan::with_fault",
+                format!("plan already holds {MAX_COMPILED_EVENTS} events"),
+            ));
+        }
+        self.scripted.push(FleetFaultEvent::new(at_cycles, kind)?);
+        Ok(self)
+    }
+
+    /// The scripted events, in insertion order.
+    #[must_use]
+    pub fn scripted(&self) -> &[FleetFaultEvent] {
+        &self.scripted
+    }
+
+    /// The events sorted by fire time (`total_cmp`; ties keep insertion
+    /// order), ready for cursor-based consumption at epoch boundaries.
+    #[must_use]
+    pub fn compiled(&self) -> Vec<FleetFaultEvent> {
+        let mut events = self.scripted.clone();
+        events.sort_by(|a, b| a.at_cycles.total_cmp(&b.at_cycles));
+        events
+    }
+}
+
 fn compile_overflow() -> V10Error {
     V10Error::invalid(
         "FaultInjector::compile",
@@ -537,6 +720,94 @@ mod tests {
             }
         }
         assert_eq!(pick_victim(5, 4), 1);
+    }
+
+    #[test]
+    fn fleet_plan_sorts_events_and_validates_arguments() {
+        let plan = FleetFaultPlan::none()
+            .with_fault(9.0e6, FleetFaultKind::RegionFail { hbm_group: 2 })
+            .unwrap()
+            .with_fault(3.0e6, FleetFaultKind::ShardCrash { shard: 1 })
+            .unwrap()
+            .with_fault(
+                3.0e6,
+                FleetFaultKind::LinkDegrade {
+                    hbm_group: 0,
+                    factor: 4.0,
+                },
+            )
+            .unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.scripted().len(), 3);
+        let compiled = plan.compiled();
+        assert!(matches!(
+            compiled[0].kind(),
+            FleetFaultKind::ShardCrash { shard: 1 }
+        ));
+        assert!(
+            matches!(compiled[1].kind(), FleetFaultKind::LinkDegrade { .. }),
+            "ties keep insertion order"
+        );
+        assert_eq!(compiled[2].at_cycles(), 9.0e6);
+        assert!(FleetFaultPlan::none().is_empty());
+        assert!(FleetFaultPlan::none().compiled().is_empty());
+
+        assert!(FleetFaultPlan::none()
+            .with_fault(-1.0, FleetFaultKind::ShardCrash { shard: 0 })
+            .is_err());
+        assert!(FleetFaultPlan::none()
+            .with_fault(f64::NAN, FleetFaultKind::RegionFail { hbm_group: 0 })
+            .is_err());
+        assert!(FleetFaultPlan::none()
+            .with_fault(
+                1.0,
+                FleetFaultKind::LinkDegrade {
+                    hbm_group: 0,
+                    factor: 0.5,
+                },
+            )
+            .is_err());
+        assert!(FleetFaultPlan::none()
+            .with_fault(
+                1.0,
+                FleetFaultKind::LinkPartition {
+                    hbm_group: 0,
+                    window_cycles: 0.0,
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn fleet_labels_are_stable() {
+        assert_eq!(
+            FleetFaultKind::ShardCrash { shard: 0 }.label(),
+            "shard_crash"
+        );
+        assert_eq!(
+            FleetFaultKind::RegionFail { hbm_group: 0 }.label(),
+            "region_fail"
+        );
+        assert_eq!(
+            FleetFaultKind::LinkDegrade {
+                hbm_group: 0,
+                factor: 2.0
+            }
+            .label(),
+            "link_degrade"
+        );
+        assert_eq!(
+            FleetFaultKind::LinkPartition {
+                hbm_group: 0,
+                window_cycles: 1.0
+            }
+            .label(),
+            "link_partition"
+        );
+        assert_eq!(
+            FleetFaultKind::LinkRestore { hbm_group: 0 }.label(),
+            "link_restore"
+        );
     }
 
     #[test]

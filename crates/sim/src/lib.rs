@@ -31,7 +31,9 @@
 //!   `v10-lint` D3 rule in place of bare `as` casts.
 //! * [`fault`] — deterministic fault injection: declarative [`FaultPlan`]s
 //!   compiled into seeded, pre-sampled [`FaultInjector`] event streams that
-//!   the engine crates replay bit-for-bit.
+//!   the engine crates replay bit-for-bit, plus fleet-scoped
+//!   [`FleetFaultPlan`]s (shard crashes, region failures, link
+//!   degrades/partitions) consumed at epoch boundaries by the fleet plane.
 //! * [`repro`] — seed-replayable repro fixtures ([`ReproFixture`]) emitted
 //!   by the adversarial property harness when it shrinks a violating
 //!   scenario to a minimal coordinate tuple.
@@ -75,7 +77,10 @@ pub use bandwidth::{AllocationScratch, Demand, WaterFilling};
 pub use calendar::HorizonCalendar;
 pub use error::{V10Error, V10Result};
 pub use events::EventQueue;
-pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use fault::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, FleetFaultEvent, FleetFaultKind,
+    FleetFaultPlan,
+};
 pub use intern::{LabelId, LabelInterner};
 pub use repro::{ReproFixture, REPRO_SCHEMA};
 pub use rng::SimRng;

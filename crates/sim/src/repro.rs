@@ -170,6 +170,19 @@ impl ReproFixture {
         };
         let schema = str_field("schema")?;
         if schema != REPRO_SCHEMA {
+            // An unknown *version* of our own schema family is its own
+            // failure: the file is a repro fixture, just one this build
+            // cannot replay faithfully. Name it so nobody "fixes" the error
+            // by silently defaulting the fields.
+            let family = REPRO_SCHEMA
+                .rsplit_once('/')
+                .map_or(REPRO_SCHEMA, |(family, _)| family);
+            if schema.rsplit_once('/').map(|(f, _)| f) == Some(family) {
+                return Err(parse_err(format!(
+                    "unknown schema version \"{schema}\"; this build replays only \
+                     \"{REPRO_SCHEMA}\""
+                )));
+            }
             return Err(parse_err(format!(
                 "schema \"{schema}\" is not \"{REPRO_SCHEMA}\""
             )));
@@ -348,6 +361,32 @@ mod tests {
         assert!(ReproFixture::parse(missing).is_err(), "missing fields");
         let bad_value = "{\"schema\": \"v10-adversary-repro/1\", \"master_seed\": [1]}";
         assert!(ReproFixture::parse(bad_value).is_err());
+    }
+
+    #[test]
+    fn unknown_schema_version_is_a_typed_error_not_a_default() {
+        // Same family, future version: must be rejected with the dedicated
+        // version message, never parsed into a fixture with default knobs.
+        let future = fixture()
+            .to_json()
+            .replace("\"v10-adversary-repro/1\"", "\"v10-adversary-repro/2\"");
+        let err = ReproFixture::parse(&future).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown schema version"), "{msg}");
+        assert!(msg.contains("v10-adversary-repro/2"), "{msg}");
+        // A foreign schema keeps the generic mismatch message.
+        let foreign = fixture()
+            .to_json()
+            .replace("\"v10-adversary-repro/1\"", "\"someone-elses-schema/1\"");
+        let err = ReproFixture::parse(&foreign).unwrap_err();
+        let msg = err.to_string();
+        assert!(!msg.contains("unknown schema version"), "{msg}");
+        assert!(msg.contains("is not"), "{msg}");
+        // The current version still round-trips bit-exactly.
+        assert_eq!(
+            ReproFixture::parse(&fixture().to_json()).unwrap(),
+            fixture()
+        );
     }
 
     #[test]

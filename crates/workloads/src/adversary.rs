@@ -9,7 +9,10 @@
 //! * [`ScenarioProfile::Expected`] — well-behaved traffic the controllers
 //!   should sail through (steady Poisson mixes, slow diurnal drift).
 //! * [`ScenarioProfile::Stress`] — heavy but honest load (flash crowds,
-//!   fault storms) that exercises every ladder rung.
+//!   fault storms, fleet-plane fault domains: a shard crash timed to an
+//!   epoch boundary, a region blackout in the middle of a flash crowd)
+//!   that exercises every ladder rung and the partition-tolerant
+//!   recovery path.
 //! * [`ScenarioProfile::Adversarial`] — tenants that actively exploit
 //!   controller mechanics: bursts timed to the overload ladder's sensing
 //!   cadence, priority-inversion mixes that pin the watchdog against its
@@ -37,7 +40,7 @@
 //! ```
 
 use v10_isa::{FuKind, OpDesc, RequestTrace};
-use v10_sim::{FaultKind, FaultPlan, SimRng, V10Error, V10Result};
+use v10_sim::{FaultKind, FaultPlan, FleetFaultKind, FleetFaultPlan, SimRng, V10Error, V10Result};
 
 use crate::arrivals::{MmppProcess, OpenLoopProcess, TimedArrival};
 use crate::model::Model;
@@ -52,6 +55,12 @@ const SENSE_INTERVAL_CYCLES: f64 = 1.0e6;
 
 /// The Table-5 preemption slice the cliff case straddles.
 const TIME_SLICE_CYCLES: u64 = 32_768;
+
+/// The fleet-plane epoch the fleet-fault cases time themselves against:
+/// [`AdversaryCase::EpochCrash`] lands its shard crash exactly on a
+/// boundary of this epoch, the worst instant for snapshot/restore (the
+/// crash races the boundary snapshot the restore would replay from).
+const FLEET_EPOCH_CYCLES: f64 = 4.0e6;
 
 /// A scenario family: how hostile the generated tenant mix is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -114,7 +123,12 @@ impl ScenarioProfile {
     pub fn cases(self) -> &'static [AdversaryCase] {
         match self {
             ScenarioProfile::Expected => &[AdversaryCase::SteadyMix, AdversaryCase::DiurnalDrift],
-            ScenarioProfile::Stress => &[AdversaryCase::FlashCrowd, AdversaryCase::FaultStorm],
+            ScenarioProfile::Stress => &[
+                AdversaryCase::FlashCrowd,
+                AdversaryCase::FaultStorm,
+                AdversaryCase::EpochCrash,
+                AdversaryCase::RegionBlackout,
+            ],
             ScenarioProfile::Adversarial => &[
                 AdversaryCase::HysteresisBeat,
                 AdversaryCase::PriorityInversion,
@@ -138,6 +152,14 @@ pub enum AdversaryCase {
     /// Honest load under a pre-sampled storm of transient faults and
     /// core stalls.
     FaultStorm,
+    /// Steady load with a fleet-plane shard crash scripted *exactly* on an
+    /// epoch boundary — the crash races the boundary snapshot its own
+    /// restore replays from.
+    EpochCrash,
+    /// A flash crowd with an HBM-region blackout and uplink partition
+    /// scripted mid-crowd: orphaned tenants must ride out the partition
+    /// and evacuate onto survivors at peak demand.
+    RegionBlackout,
     /// Arrival bursts phase-locked to the overload ladder's sensing
     /// cadence, so demand peaks land between sense points.
     HysteresisBeat,
@@ -157,11 +179,13 @@ pub enum AdversaryCase {
 
 impl AdversaryCase {
     /// Every case, grouped by profile in severity order.
-    pub const ALL: [AdversaryCase; 9] = [
+    pub const ALL: [AdversaryCase; 11] = [
         AdversaryCase::SteadyMix,
         AdversaryCase::DiurnalDrift,
         AdversaryCase::FlashCrowd,
         AdversaryCase::FaultStorm,
+        AdversaryCase::EpochCrash,
+        AdversaryCase::RegionBlackout,
         AdversaryCase::HysteresisBeat,
         AdversaryCase::PriorityInversion,
         AdversaryCase::ArpGaming,
@@ -177,6 +201,8 @@ impl AdversaryCase {
             AdversaryCase::DiurnalDrift => "diurnal-drift",
             AdversaryCase::FlashCrowd => "flash-crowd",
             AdversaryCase::FaultStorm => "fault-storm",
+            AdversaryCase::EpochCrash => "epoch-crash",
+            AdversaryCase::RegionBlackout => "region-blackout",
             AdversaryCase::HysteresisBeat => "hysteresis-beat",
             AdversaryCase::PriorityInversion => "priority-inversion",
             AdversaryCase::ArpGaming => "arp-gaming",
@@ -207,7 +233,10 @@ impl AdversaryCase {
     pub fn profile(self) -> ScenarioProfile {
         match self {
             AdversaryCase::SteadyMix | AdversaryCase::DiurnalDrift => ScenarioProfile::Expected,
-            AdversaryCase::FlashCrowd | AdversaryCase::FaultStorm => ScenarioProfile::Stress,
+            AdversaryCase::FlashCrowd
+            | AdversaryCase::FaultStorm
+            | AdversaryCase::EpochCrash
+            | AdversaryCase::RegionBlackout => ScenarioProfile::Stress,
             AdversaryCase::HysteresisBeat
             | AdversaryCase::PriorityInversion
             | AdversaryCase::ArpGaming
@@ -224,6 +253,8 @@ impl AdversaryCase {
             AdversaryCase::DiurnalDrift => 0x02,
             AdversaryCase::FlashCrowd => 0x03,
             AdversaryCase::FaultStorm => 0x04,
+            AdversaryCase::EpochCrash => 0x0A,
+            AdversaryCase::RegionBlackout => 0x0B,
             AdversaryCase::HysteresisBeat => 0x05,
             AdversaryCase::PriorityInversion => 0x06,
             AdversaryCase::ArpGaming => 0x07,
@@ -288,6 +319,7 @@ pub struct AdversaryScenario {
     arrivals: Vec<TimedArrival>,
     priorities: Vec<f64>,
     fault_plans: Vec<FaultPlan>,
+    fleet_plan: FleetFaultPlan,
     table_slots: usize,
 }
 
@@ -343,14 +375,22 @@ impl AdversaryScenario {
         self.table_slots
     }
 
-    /// Whether every fault plan is empty.
+    /// The fleet-scoped fault plan (shard crashes, region failures, link
+    /// faults) for planes served through `FleetPlane::serve_faulted`.
+    /// Empty for every case outside the fleet-fault family.
+    #[must_use]
+    pub fn fleet_plan(&self) -> &FleetFaultPlan {
+        &self.fleet_plan
+    }
+
+    /// Whether every fault plan — per-core and fleet-scoped — is empty.
     #[must_use]
     pub fn is_fault_free(&self) -> bool {
-        self.fault_plans.iter().all(FaultPlan::is_empty)
+        self.fault_plans.iter().all(FaultPlan::is_empty) && self.fleet_plan.is_empty()
     }
 }
 
-/// The scenario generator: one master seed, nine deterministic cases.
+/// The scenario generator: one master seed, eleven deterministic cases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdversaryGen {
     master_seed: u64,
@@ -378,6 +418,8 @@ impl AdversaryGen {
             AdversaryCase::DiurnalDrift => (10, 8.0e7),
             AdversaryCase::FlashCrowd => (14, 6.0e7),
             AdversaryCase::FaultStorm => (10, 5.0e7),
+            AdversaryCase::EpochCrash => (10, 6.0e7),
+            AdversaryCase::RegionBlackout => (14, 6.0e7),
             AdversaryCase::HysteresisBeat => (12, 4.0e7),
             AdversaryCase::PriorityInversion => (8, 2.0e7),
             AdversaryCase::ArpGaming => (9, 3.0e7),
@@ -410,6 +452,7 @@ impl AdversaryGen {
             ^ case.salt();
         let (arrivals, priorities) = self.arrivals_for(case, &knobs, seed)?;
         let fault_plans = fault_plans_for(case, &knobs, seed)?;
+        let fleet_plan = fleet_plan_for(case, &knobs, seed)?;
         Ok(AdversaryScenario {
             case,
             knobs,
@@ -417,6 +460,7 @@ impl AdversaryGen {
             arrivals,
             priorities,
             fault_plans,
+            fleet_plan,
             table_slots: table_slots_for(case),
         })
     }
@@ -460,6 +504,26 @@ impl AdversaryGen {
                 let p = vec![1.0; a.len()];
                 (a, p)
             }
+            AdversaryCase::EpochCrash => {
+                // Steady arrivals straddling several fleet epochs, so the
+                // boundary-timed crash always has live tenants both sides.
+                let a = OpenLoopProcess::new(&MIX, 2.0e6, seed)?
+                    .with_requests_per_session(2)?
+                    .with_think_cycles(1.5e5)?
+                    .sample(n)?;
+                let p = vec![1.0; a.len()];
+                (a, p)
+            }
+            AdversaryCase::RegionBlackout => {
+                // The same flash-crowd process the FlashCrowd case uses —
+                // the blackout lands while the crowd is at full rate.
+                let a = MmppProcess::flash_crowd(&MIX, 4.0e6, 6.0, 1.5e7, seed)?
+                    .with_requests_per_session(3)?
+                    .with_think_cycles(1.0e5)?
+                    .sample(n)?;
+                let p = vec![1.0; a.len()];
+                (a, p)
+            }
             AdversaryCase::HysteresisBeat => hysteresis_beat_arrivals(n, seed)?,
             AdversaryCase::PriorityInversion => priority_inversion_arrivals(n, seed)?,
             AdversaryCase::ArpGaming => arp_gaming_arrivals(n, seed)?,
@@ -497,6 +561,9 @@ fn fault_event_budget(case: AdversaryCase) -> usize {
     match case {
         AdversaryCase::FaultStorm => 12,
         AdversaryCase::BreakerFlap => 16,
+        // Fleet-scoped events count against the same prefix knob.
+        AdversaryCase::EpochCrash => 1,
+        AdversaryCase::RegionBlackout => 2,
         _ => 0,
     }
 }
@@ -765,6 +832,54 @@ fn fault_plans_for(
     Ok(plans)
 }
 
+/// Builds the fleet-scoped fault plan for a case. Fleet events honour the
+/// same `fault_prefix` knob as per-core plans: the pre-sampled events are
+/// ordered by fire time and the first `fault_prefix` kept, so shrinking a
+/// fleet-fault repro disarms the latest faults first.
+fn fleet_plan_for(
+    case: AdversaryCase,
+    knobs: &ScenarioKnobs,
+    seed: u64,
+) -> V10Result<FleetFaultPlan> {
+    let mut events: Vec<(f64, FleetFaultKind)> = match case {
+        AdversaryCase::EpochCrash => {
+            // Crash shard 0 (the one shard every plane has) exactly on a
+            // fleet epoch boundary between epochs 2 and 5 — the snapshot
+            // taken at that same boundary is what the restore replays.
+            let mut rng = SimRng::seed_from(seed ^ 0x0E90);
+            #[allow(clippy::cast_precision_loss)]
+            let boundary = (2 + rng.index(4)) as f64 * FLEET_EPOCH_CYCLES;
+            vec![(boundary, FleetFaultKind::ShardCrash { shard: 0 })]
+        }
+        AdversaryCase::RegionBlackout => {
+            // Black out HBM group 0 mid-crowd and partition its uplink at
+            // the same instant, so evacuations must back off through the
+            // partition window before they can land on survivors.
+            let mut rng = SimRng::seed_from(seed ^ 0xB1AC);
+            let at = rng.uniform(1.0e7, 2.0e7);
+            let window = rng.uniform(5.0e6, 1.0e7);
+            vec![
+                (
+                    at,
+                    FleetFaultKind::LinkPartition {
+                        hbm_group: 0,
+                        window_cycles: window,
+                    },
+                ),
+                (at, FleetFaultKind::RegionFail { hbm_group: 0 }),
+            ]
+        }
+        _ => Vec::new(),
+    };
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    events.truncate(knobs.fault_prefix);
+    let mut plan = FleetFaultPlan::none();
+    for (at, kind) in events {
+        plan = plan.with_fault(at, kind)?;
+    }
+    Ok(plan)
+}
+
 /// Twelve storm events on the single serving core: mostly transient op
 /// failures, every fourth a core stall.
 fn fault_storm_events(seed: u64) -> Vec<(usize, f64, FaultKind)> {
@@ -921,6 +1036,68 @@ mod tests {
             none.fault_prefix = 0;
             assert!(gen.scenario(case, &none).unwrap().is_fault_free());
         }
+    }
+
+    #[test]
+    fn fleet_cases_script_fleet_faults() {
+        let gen = AdversaryGen::new(0xBEEF);
+        for case in AdversaryCase::ALL {
+            let s = gen.scenario(case, &gen.default_knobs(case)).unwrap();
+            let fleet_case = matches!(
+                case,
+                AdversaryCase::EpochCrash | AdversaryCase::RegionBlackout
+            );
+            assert_eq!(!s.fleet_plan().is_empty(), fleet_case, "{case:?}");
+        }
+
+        let case = AdversaryCase::EpochCrash;
+        let s = gen.scenario(case, &gen.default_knobs(case)).unwrap();
+        assert_eq!(s.fleet_plan().scripted().len(), 1);
+        let crash = &s.fleet_plan().scripted()[0];
+        assert!(matches!(
+            crash.kind(),
+            FleetFaultKind::ShardCrash { shard: 0 }
+        ));
+        let epochs = crash.at_cycles() / FLEET_EPOCH_CYCLES;
+        assert_eq!(epochs.fract(), 0.0, "crash must land exactly on a boundary");
+        assert!((2.0..=5.0).contains(&epochs));
+        assert!(!s.is_fault_free());
+        assert!(
+            s.fault_plans().iter().all(FaultPlan::is_empty),
+            "fleet cases script no per-core faults"
+        );
+
+        let case = AdversaryCase::RegionBlackout;
+        let s = gen.scenario(case, &gen.default_knobs(case)).unwrap();
+        let scripted = s.fleet_plan().scripted();
+        assert_eq!(scripted.len(), 2);
+        assert!(matches!(
+            scripted[0].kind(),
+            FleetFaultKind::LinkPartition { hbm_group: 0, .. }
+        ));
+        assert!(matches!(
+            scripted[1].kind(),
+            FleetFaultKind::RegionFail { hbm_group: 0 }
+        ));
+        assert_eq!(
+            scripted[0].at_cycles(),
+            scripted[1].at_cycles(),
+            "the uplink partitions at the instant the region dies"
+        );
+
+        // The prefix knob shrinks fleet events like per-core ones: cutting
+        // to one leaves only the earliest (the harmless partition), zero
+        // disarms the case entirely.
+        let mut knobs = gen.default_knobs(case);
+        knobs.fault_prefix = 1;
+        let cut = gen.scenario(case, &knobs).unwrap();
+        assert_eq!(cut.fleet_plan().scripted().len(), 1);
+        assert!(matches!(
+            cut.fleet_plan().scripted()[0].kind(),
+            FleetFaultKind::LinkPartition { .. }
+        ));
+        knobs.fault_prefix = 0;
+        assert!(gen.scenario(case, &knobs).unwrap().is_fault_free());
     }
 
     #[test]
